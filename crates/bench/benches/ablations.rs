@@ -1,0 +1,141 @@
+//! Ablation benches for the design choices DESIGN.md calls out: each group
+//! compares the full cost model against a variant with one mechanism
+//! removed, printing the throughput delta the mechanism is responsible for.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recsim_data::schema::ModelConfig;
+use recsim_hw::units::Bytes;
+use recsim_hw::Platform;
+use recsim_placement::{PartitionScheme, PlacementStrategy};
+use recsim_sim::{GpuTrainingSim, SimReport};
+
+fn model() -> ModelConfig {
+    ModelConfig::test_suite(256, 16, 5_000_000, &[512, 512, 512])
+}
+
+fn run(platform: &Platform, strategy: PlacementStrategy, batch: u64) -> SimReport {
+    GpuTrainingSim::new(&model(), platform, strategy, batch)
+        .expect("fits")
+        .run()
+}
+
+/// Ablation: random-access bandwidth penalty for embedding gathers.
+fn ablation_random_access(c: &mut Criterion) {
+    let bb = Platform::big_basin(Bytes::from_gib(32));
+    let strategy = PlacementStrategy::GpuMemory(PartitionScheme::TableWise);
+    let base = run(&bb, strategy, 1600);
+    let ablated = run(&bb.without_random_access_penalty(), strategy, 1600);
+    println!(
+        "ablation_random_access: with penalty {:.0} ex/s, without {:.0} ex/s ({:+.1}%)",
+        base.throughput(),
+        ablated.throughput(),
+        (ablated.throughput() / base.throughput() - 1.0) * 100.0
+    );
+    let mut group = c.benchmark_group("ablation_random_access");
+    for (name, platform) in [("with_penalty", bb.clone()), ("without", bb.without_random_access_penalty())] {
+        let sim = GpuTrainingSim::new(&model(), &platform, strategy, 1600).expect("fits");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &sim, |b, sim| {
+            b.iter(|| sim.run().throughput())
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: per-kernel GPU launch overhead (the batch-size saturation
+/// mechanism of Figure 11).
+fn ablation_launch_overhead(c: &mut Criterion) {
+    let bb = Platform::big_basin(Bytes::from_gib(32));
+    let strategy = PlacementStrategy::GpuMemory(PartitionScheme::TableWise);
+    for batch in [200u64, 6400] {
+        let base = run(&bb, strategy, batch);
+        let ablated = run(&bb.without_kernel_overhead(), strategy, batch);
+        println!(
+            "ablation_launch_overhead batch {batch}: with {:.0} ex/s, without {:.0} ex/s \
+             ({:+.1}%) — overhead matters most at small batches",
+            base.throughput(),
+            ablated.throughput(),
+            (ablated.throughput() / base.throughput() - 1.0) * 100.0
+        );
+    }
+    let mut group = c.benchmark_group("ablation_launch_overhead");
+    for (name, platform) in [("with_overhead", bb.clone()), ("without", bb.without_kernel_overhead())] {
+        let sim = GpuTrainingSim::new(&model(), &platform, strategy, 200).expect("fits");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &sim, |b, sim| {
+            b.iter(|| sim.run().throughput())
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: partitioning scheme (table-wise vs row-wise vs replicated).
+fn ablation_partitioning(c: &mut Criterion) {
+    let bb = Platform::big_basin(Bytes::from_gib(32));
+    let mut group = c.benchmark_group("ablation_partitioning");
+    for scheme in [
+        PartitionScheme::TableWise,
+        PartitionScheme::RowWise,
+        PartitionScheme::Replicated,
+    ] {
+        let strategy = PlacementStrategy::GpuMemory(scheme);
+        match GpuTrainingSim::new(&model(), &bb, strategy, 1600) {
+            Ok(sim) => {
+                println!("ablation_partitioning {scheme}: {:.0} ex/s", sim.run().throughput());
+                group.bench_with_input(
+                    BenchmarkId::from_parameter(scheme.to_string().replace('-', "_")),
+                    &sim,
+                    |b, sim| b.iter(|| sim.run().throughput()),
+                );
+            }
+            Err(e) => println!("ablation_partitioning {scheme}: does not fit ({e})"),
+        }
+    }
+    group.finish();
+}
+
+/// Ablation: iteration pipelining (overlapped steady state vs one serial
+/// iteration — the compute/communication overlap DESIGN.md models).
+fn ablation_overlap(c: &mut Criterion) {
+    let zion = Platform::zion_prototype();
+    let strategy = PlacementStrategy::SystemMemory;
+    let sim = GpuTrainingSim::new(&model(), &zion, strategy, 1600).expect("fits");
+    let pipelined = sim.run();
+    let serial = sim.run_single_iteration();
+    println!(
+        "ablation_overlap (Zion, system memory): pipelined {:.0} ex/s vs serial {:.0} ex/s \
+         ({:.2}x from overlap)",
+        pipelined.throughput(),
+        serial.throughput(),
+        pipelined.throughput() / serial.throughput()
+    );
+    let mut group = c.benchmark_group("ablation_overlap");
+    group.bench_function("pipelined", |b| b.iter(|| sim.run().throughput()));
+    group.bench_function("serial", |b| b.iter(|| sim.run_single_iteration().throughput()));
+    group.finish();
+}
+
+/// Sweep: lookup truncation (the paper truncates at 32 to limit outliers).
+fn truncation_sweep(c: &mut Criterion) {
+    let bb = Platform::big_basin(Bytes::from_gib(32));
+    let strategy = PlacementStrategy::GpuMemory(PartitionScheme::TableWise);
+    let mut group = c.benchmark_group("truncation_sweep");
+    for truncation in [4u32, 32, 200] {
+        let m = model().with_truncation(truncation);
+        let sim = GpuTrainingSim::new(&m, &bb, strategy, 1600).expect("fits");
+        println!(
+            "truncation {truncation}: {:.0} ex/s",
+            sim.run().throughput()
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(truncation), &sim, |b, sim| {
+            b.iter(|| sim.run().throughput())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = ablation_random_access, ablation_launch_overhead, ablation_partitioning,
+              ablation_overlap, truncation_sweep
+);
+criterion_main!(benches);

@@ -1,0 +1,168 @@
+//! Criterion benches that double as figure regenerators: each group runs
+//! the simulator configurations behind one paper figure and prints the
+//! measured series once before timing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recsim_data::production::{production_model, ProductionModelId};
+use recsim_data::schema::ModelConfig;
+use recsim_hw::units::Bytes;
+use recsim_hw::Platform;
+use recsim_placement::{PartitionScheme, PlacementStrategy};
+use recsim_sim::{CpuClusterSetup, CpuTrainingSim, GpuTrainingSim};
+
+fn suite_model(dense: usize, sparse: usize, hash: u64) -> ModelConfig {
+    ModelConfig::test_suite(dense, sparse, hash, &[512, 512, 512])
+}
+
+fn big_basin() -> Platform {
+    Platform::big_basin(Bytes::from_gib(32))
+}
+
+/// Figure 11: batch-size scaling (GPU side).
+fn batch_scaling(c: &mut Criterion) {
+    let model = suite_model(256, 16, 100_000);
+    let bb = big_basin();
+    let mut group = c.benchmark_group("fig11_batch_scaling");
+    for batch in [200u64, 800, 3200, 12800] {
+        let sim = GpuTrainingSim::new(
+            &model,
+            &bb,
+            PlacementStrategy::GpuMemory(PartitionScheme::TableWise),
+            batch,
+        )
+        .expect("fits");
+        println!(
+            "fig11 gpu batch {batch}: {:.0} ex/s",
+            sim.run().throughput()
+        );
+        group.bench_with_input(BenchmarkId::new("gpu", batch), &sim, |b, sim| {
+            b.iter(|| sim.run().throughput())
+        });
+    }
+    for batch in [200u64, 1600, 6400] {
+        let sim = CpuTrainingSim::new(&model, CpuClusterSetup::single_trainer(batch));
+        println!(
+            "fig11 cpu batch {batch}: {:.0} ex/s",
+            sim.run().throughput()
+        );
+        group.bench_with_input(BenchmarkId::new("cpu", batch), &sim, |b, sim| {
+            b.iter(|| sim.run().throughput())
+        });
+    }
+    group.finish();
+}
+
+/// Figure 10: the dense x sparse feature sweep (corner points).
+fn feature_sweep(c: &mut Criterion) {
+    let bb = big_basin();
+    let mut group = c.benchmark_group("fig10_feature_sweep");
+    for (dense, sparse) in [(64usize, 4usize), (64, 128), (4096, 4), (4096, 128)] {
+        let model = suite_model(dense, sparse, 100_000);
+        let sim = GpuTrainingSim::new(
+            &model,
+            &bb,
+            PlacementStrategy::GpuMemory(PartitionScheme::TableWise),
+            1600,
+        )
+        .expect("fits");
+        println!(
+            "fig10 d={dense} s={sparse}: {:.0} ex/s",
+            sim.run().throughput()
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("d{dense}_s{sparse}")),
+            &sim,
+            |b, sim| b.iter(|| sim.run().throughput()),
+        );
+    }
+    group.finish();
+}
+
+/// Figure 12: hash-size scaling.
+fn hash_scaling(c: &mut Criterion) {
+    let bb = big_basin();
+    let mut group = c.benchmark_group("fig12_hash_scaling");
+    for hash in [10_000u64, 1_000_000, 50_000_000] {
+        let model = suite_model(256, 16, hash);
+        let sim = GpuTrainingSim::new(
+            &model,
+            &bb,
+            PlacementStrategy::GpuMemory(PartitionScheme::TableWise),
+            1600,
+        )
+        .expect("fits");
+        println!("fig12 hash {hash}: {:.0} ex/s", sim.run().throughput());
+        group.bench_with_input(BenchmarkId::from_parameter(hash), &sim, |b, sim| {
+            b.iter(|| sim.run().throughput())
+        });
+    }
+    group.finish();
+}
+
+/// Figure 13: MLP-dimension scaling.
+fn mlp_scaling(c: &mut Criterion) {
+    let bb = big_basin();
+    let mut group = c.benchmark_group("fig13_mlp_scaling");
+    for (width, layers) in [(64usize, 2usize), (512, 3), (2048, 4)] {
+        let mlp = vec![width; layers];
+        let model = ModelConfig::test_suite(256, 16, 100_000, &mlp);
+        let sim = GpuTrainingSim::new(
+            &model,
+            &bb,
+            PlacementStrategy::GpuMemory(PartitionScheme::TableWise),
+            1600,
+        )
+        .expect("fits");
+        println!(
+            "fig13 mlp {width}^{layers}: {:.0} ex/s",
+            sim.run().throughput()
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{width}x{layers}")),
+            &sim,
+            |b, sim| b.iter(|| sim.run().throughput()),
+        );
+    }
+    group.finish();
+}
+
+/// Figure 14 / Table III: production models across placements.
+fn production_models(c: &mut Criterion) {
+    let bb = big_basin();
+    let zion = Platform::zion_prototype();
+    let mut group = c.benchmark_group("production_models");
+    group.sample_size(10);
+    for id in ProductionModelId::ALL {
+        let model = production_model(id);
+        for (platform, pname) in [(&bb, "bb"), (&zion, "zion")] {
+            for strategy in PlacementStrategy::figure8_lineup() {
+                if let Ok(sim) = GpuTrainingSim::new(&model, platform, strategy, 1600) {
+                    println!(
+                        "fig14/{} {} {}: {:.0} ex/s",
+                        id.name(),
+                        pname,
+                        strategy,
+                        sim.run().throughput()
+                    );
+                    group.bench_with_input(
+                        BenchmarkId::from_parameter(format!(
+                            "{}_{pname}_{}",
+                            id.name(),
+                            strategy.label().replace([' ', '(', ')', '+', '/'], "_")
+                        )),
+                        &sim,
+                        |b, sim| b.iter(|| sim.run().throughput()),
+                    );
+                }
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = batch_scaling, feature_sweep, hash_scaling, mlp_scaling, production_models
+);
+criterion_main!(benches);

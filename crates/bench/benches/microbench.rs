@@ -1,0 +1,88 @@
+//! Microbenchmarks of the substrates: matrix kernels, embedding bags, the
+//! discrete-event engine and the workload generator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use recsim_data::schema::ModelConfig;
+use recsim_data::{CtrGenerator, SparseBatch};
+use recsim_hw::units::Duration;
+use recsim_model::embedding::EmbeddingTable;
+use recsim_model::Matrix;
+use recsim_sim::des::TaskGraph;
+
+fn matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for n in [32usize, 128, 256] {
+        let a = Matrix::xavier(n, n, 1);
+        let b = Matrix::xavier(n, n, 2);
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(a, b), |bch, (a, b)| {
+            bch.iter(|| a.matmul(b))
+        });
+    }
+    group.finish();
+}
+
+fn embedding_bag(c: &mut Criterion) {
+    let table = EmbeddingTable::new(100_000, 32, 1);
+    // 256 examples x 20 lookups.
+    let mut offsets = vec![0usize];
+    let mut indices = Vec::new();
+    for i in 0..256u32 {
+        for j in 0..20u32 {
+            indices.push((i * 2654435761u32).wrapping_add(j * 40503) % 100_000);
+        }
+        offsets.push(indices.len());
+    }
+    let batch = SparseBatch::new(offsets, indices);
+    let mut group = c.benchmark_group("embedding_bag");
+    group.throughput(Throughput::Elements(batch.total_lookups() as u64));
+    group.bench_function("forward_256x20", |b| b.iter(|| table.forward(&batch)));
+    let pooled = table.forward(&batch);
+    group.bench_function("backward_256x20", |b| b.iter(|| table.backward(&batch, &pooled)));
+    group.finish();
+}
+
+fn des_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_engine");
+    for tasks in [100usize, 1000] {
+        group.throughput(Throughput::Elements(tasks as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(tasks), &tasks, |b, &tasks| {
+            b.iter(|| {
+                let mut g = TaskGraph::new();
+                let r1 = g.add_resource("a", 2);
+                let r2 = g.add_resource("b", 1);
+                let mut prev = None;
+                for i in 0..tasks {
+                    let res = if i % 3 == 0 { r2 } else { r1 };
+                    let deps: Vec<_> = prev.into_iter().collect();
+                    prev = Some(g.add_task(
+                        "t",
+                        Duration::from_micros((i % 7 + 1) as f64),
+                        Some(res),
+                        &deps,
+                    ));
+                }
+                g.simulate().makespan()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn data_generation(c: &mut Criterion) {
+    let cfg = ModelConfig::test_suite(64, 16, 100_000, &[128]);
+    let mut group = c.benchmark_group("data_generation");
+    group.throughput(Throughput::Elements(256));
+    group.bench_function("ctr_batch_256", |b| {
+        let mut gen = CtrGenerator::new(&cfg, 7);
+        b.iter(|| gen.next_batch(256))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = matmul, embedding_bag, des_engine, data_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Benches of the *real* numerics: train-step latency across batch sizes
+//! (the raw material behind Figure 15) and end-to-end convergence runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use recsim_data::schema::ModelConfig;
+use recsim_data::CtrGenerator;
+use recsim_model::optim::Optimizer;
+use recsim_model::DlrmModel;
+use recsim_train::trainer::{TrainRun, TrainerConfig};
+
+fn model_config() -> ModelConfig {
+    ModelConfig::test_suite(16, 4, 2_000, &[32, 16])
+}
+
+/// Latency of one forward+backward+update step at various batch sizes.
+fn train_step(c: &mut Criterion) {
+    let cfg = model_config();
+    let mut group = c.benchmark_group("train_step");
+    for batch in [50usize, 200, 800] {
+        let mut gen = CtrGenerator::new(&cfg, 1);
+        let batch_data = gen.next_batch(batch);
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch_data, |b, data| {
+            let mut model = DlrmModel::new(&cfg, 2);
+            let mut opt = Optimizer::adagrad(0.05);
+            b.iter(|| model.train_step(data, &mut opt));
+        });
+    }
+    group.finish();
+}
+
+/// Evaluation-only forward pass latency.
+fn inference(c: &mut Criterion) {
+    let cfg = model_config();
+    let model = DlrmModel::new(&cfg, 3);
+    let mut gen = CtrGenerator::new(&cfg, 4);
+    let batch = gen.next_batch(256);
+    let mut group = c.benchmark_group("inference");
+    group.throughput(Throughput::Elements(256));
+    group.bench_function("forward_256", |b| b.iter(|| model.forward(&batch)));
+    group.finish();
+}
+
+/// A short convergence run (Figure 15's inner loop), printing the NE it
+/// reaches.
+fn training_convergence(c: &mut Criterion) {
+    let cfg = model_config();
+    let trainer_cfg = TrainerConfig {
+        batch_size: 200,
+        train_examples: 8_000,
+        eval_examples: 2_000,
+        learning_rate: 0.04,
+        warmup_steps: 10,
+        adagrad: true,
+        seed: 31,
+    };
+    let ne = TrainRun::new(&cfg, trainer_cfg).execute().final_ne();
+    println!("training_convergence: NE {ne:.4} after 8k examples");
+    let mut group = c.benchmark_group("training_convergence");
+    group.sample_size(10);
+    group.bench_function("8k_examples", |b| {
+        b.iter(|| TrainRun::new(&cfg, trainer_cfg).execute().final_ne())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = train_step, inference, training_convergence
+);
+criterion_main!(benches);

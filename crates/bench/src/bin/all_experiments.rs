@@ -1,0 +1,69 @@
+//! Runs every experiment driver in sequence, summarizes which paper claims
+//! reproduce, and writes a consolidated `results/REPORT.md`. Set
+//! RECSIM_QUICK=1 for the reduced scale.
+fn main() {
+    let effort = recsim_bench::effort_from_env();
+    let mut failures = 0usize;
+    let mut total_claims = 0usize;
+    let mut report = String::from(
+        "# recsim — consolidated experiment report\n\n\
+         Regenerated results for every artifact of *Understanding Training \
+         Efficiency of Deep Learning Recommendation Models at Scale* (HPCA \
+         2021). See EXPERIMENTS.md for the paper-vs-measured comparison.\n\n",
+    );
+    for (id, driver) in recsim_core::experiments::registry() {
+        let out = driver(effort);
+        print!("{}", out.render());
+        println!();
+        total_claims += out.claims.len();
+        let failed = out.failed_claims().len();
+        if failed > 0 {
+            eprintln!(">>> {id}: {failed} claim(s) FAILED");
+            failures += failed;
+        }
+        report.push_str(&format!("## {} — {}\n\n", out.id, out.title));
+        for table in &out.tables {
+            report.push_str(&table.to_string());
+            report.push('\n');
+        }
+        for claim in &out.claims {
+            report.push_str(&format!(
+                "- **[{}]** {}\n    - observed: {}\n",
+                if claim.holds { "ok" } else { "FAIL" },
+                claim.statement,
+                claim.observed
+            ));
+        }
+        for note in &out.notes {
+            report.push_str(&format!("- *note: {note}*\n"));
+        }
+        report.push('\n');
+        let dir = recsim_bench::results_dir();
+        if std::fs::create_dir_all(&dir).is_ok() {
+            if let Ok(json) = serde_json::to_string_pretty(&out) {
+                let _ = std::fs::write(dir.join(format!("{}.json", out.id)), json);
+            }
+            for (i, figure) in out.figures.iter().enumerate() {
+                let _ = std::fs::write(
+                    dir.join(format!("{}_fig{}.csv", out.id, i)),
+                    figure.to_csv(),
+                );
+            }
+        }
+    }
+    report.push_str(&format!(
+        "---\n\n**{}/{total_claims} claims hold.**\n",
+        total_claims - failures
+    ));
+    let dir = recsim_bench::results_dir();
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join("REPORT.md");
+        if std::fs::write(&path, &report).is_ok() {
+            println!("(consolidated report written to {})", path.display());
+        }
+    }
+    println!("==== summary: {}/{total_claims} claims hold ====", total_claims - failures);
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's automl artifact. See recsim-core::experiments::automl.
+fn main() {
+    recsim_bench::run_and_report(recsim_core::experiments::automl::run);
+}

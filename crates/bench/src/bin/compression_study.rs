@@ -1,0 +1,4 @@
+//! Regenerates the quantization/placement study. See recsim-core::experiments::compression.
+fn main() {
+    recsim_bench::run_and_report(recsim_core::experiments::compression::run);
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig01 artifact. See recsim-core::experiments::fig01.
+fn main() {
+    recsim_bench::run_and_report(recsim_core::experiments::fig01::run);
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig02 artifact. See recsim-core::experiments::fig02.
+fn main() {
+    recsim_bench::run_and_report(recsim_core::experiments::fig02::run);
+}

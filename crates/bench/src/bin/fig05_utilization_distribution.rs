@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig05 artifact. See recsim-core::experiments::fig05.
+fn main() {
+    recsim_bench::run_and_report(recsim_core::experiments::fig05::run);
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig06 artifact. See recsim-core::experiments::fig06.
+fn main() {
+    recsim_bench::run_and_report(recsim_core::experiments::fig06::run);
+}

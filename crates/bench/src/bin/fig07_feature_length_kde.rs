@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig07 artifact. See recsim-core::experiments::fig07.
+fn main() {
+    recsim_bench::run_and_report(recsim_core::experiments::fig07::run);
+}

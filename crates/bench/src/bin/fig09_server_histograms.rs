@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig09 artifact. See recsim-core::experiments::fig09.
+fn main() {
+    recsim_bench::run_and_report(recsim_core::experiments::fig09::run);
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig10 artifact. See recsim-core::experiments::fig10.
+fn main() {
+    recsim_bench::run_and_report(recsim_core::experiments::fig10::run);
+}

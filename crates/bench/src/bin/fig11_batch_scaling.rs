@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig11 artifact. See recsim-core::experiments::fig11.
+fn main() {
+    recsim_bench::run_and_report(recsim_core::experiments::fig11::run);
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig12 artifact. See recsim-core::experiments::fig12.
+fn main() {
+    recsim_bench::run_and_report(recsim_core::experiments::fig12::run);
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig13 artifact. See recsim-core::experiments::fig13.
+fn main() {
+    recsim_bench::run_and_report(recsim_core::experiments::fig13::run);
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig14 artifact. See recsim-core::experiments::fig14.
+fn main() {
+    recsim_bench::run_and_report(recsim_core::experiments::fig14::run);
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig15 artifact. See recsim-core::experiments::fig15.
+fn main() {
+    recsim_bench::run_and_report(recsim_core::experiments::fig15::run);
+}

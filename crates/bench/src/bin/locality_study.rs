@@ -1,0 +1,4 @@
+//! Regenerates the locality study. See recsim-core::experiments::locality.
+fn main() {
+    recsim_bench::run_and_report(recsim_core::experiments::locality::run);
+}

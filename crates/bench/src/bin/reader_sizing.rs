@@ -1,0 +1,4 @@
+//! Regenerates the reader-tier sizing study. See recsim-core::experiments::readers.
+fn main() {
+    recsim_bench::run_and_report(recsim_core::experiments::readers::run);
+}

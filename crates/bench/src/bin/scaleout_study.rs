@@ -1,0 +1,4 @@
+//! Regenerates the scaleout study. See recsim-core::experiments::scaleout.
+fn main() {
+    recsim_bench::run_and_report(recsim_core::experiments::scaleout::run);
+}

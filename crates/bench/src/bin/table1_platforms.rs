@@ -1,0 +1,4 @@
+//! Regenerates the paper's table1 artifact. See recsim-core::experiments::table1.
+fn main() {
+    recsim_bench::run_and_report(recsim_core::experiments::table1::run);
+}

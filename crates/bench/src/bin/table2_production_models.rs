@@ -1,0 +1,4 @@
+//! Regenerates the paper's table2 artifact. See recsim-core::experiments::table2.
+fn main() {
+    recsim_bench::run_and_report(recsim_core::experiments::table2::run);
+}

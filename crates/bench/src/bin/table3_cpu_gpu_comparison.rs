@@ -1,0 +1,4 @@
+//! Regenerates the paper's table3 artifact. See recsim-core::experiments::table3.
+fn main() {
+    recsim_bench::run_and_report(recsim_core::experiments::table3::run);
+}

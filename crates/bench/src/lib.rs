@@ -1,0 +1,76 @@
+//! Benchmark-harness support: run an experiment driver, print its report,
+//! persist the structured result, and fail loudly when a paper claim does
+//! not reproduce.
+
+use recsim_core::{Effort, ExperimentOutput};
+use std::path::PathBuf;
+
+/// Where experiment binaries write their JSON artifacts.
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("RECSIM_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Chooses the effort level: `RECSIM_QUICK=1` selects the reduced scale.
+pub fn effort_from_env() -> Effort {
+    if std::env::var_os("RECSIM_QUICK").is_some() {
+        Effort::Quick
+    } else {
+        Effort::Full
+    }
+}
+
+/// Runs one driver, prints its rendered report, writes
+/// `results/<id>.json`, and exits with a non-zero status if any claim
+/// failed — the entry point shared by every experiment binary.
+pub fn run_and_report(driver: fn(Effort) -> ExperimentOutput) {
+    let effort = effort_from_env();
+    let out = driver(effort);
+    print!("{}", out.render());
+    let dir = results_dir();
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join(format!("{}.json", out.id));
+        match serde_json::to_string_pretty(&out) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("could not write {}: {e}", path.display());
+                } else {
+                    println!("(structured result written to {})", path.display());
+                }
+            }
+            Err(e) => eprintln!("could not serialize result: {e}"),
+        }
+        for (i, figure) in out.figures.iter().enumerate() {
+            let csv_path = dir.join(format!("{}_fig{}.csv", out.id, i));
+            if std::fs::write(&csv_path, figure.to_csv()).is_ok() {
+                println!("(series written to {})", csv_path.display());
+            }
+        }
+    }
+    if !out.all_claims_hold() {
+        eprintln!("{}: {} claim(s) FAILED", out.id, out.failed_claims().len());
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effort_defaults_to_full() {
+        // The test environment does not set RECSIM_QUICK for this assertion
+        // to be meaningful; guard accordingly.
+        if std::env::var_os("RECSIM_QUICK").is_none() {
+            assert_eq!(effort_from_env(), Effort::Full);
+        }
+    }
+
+    #[test]
+    fn results_dir_defaults() {
+        if std::env::var_os("RECSIM_RESULTS_DIR").is_none() {
+            assert_eq!(results_dir(), PathBuf::from("results"));
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! The Section V design-space sweep helpers.
+//!
+//! The paper: "we created a test suite where we can customize major model
+//! configurations in a systematic way … numbers of dense features between 64
+//! and 4096 … counts of sparse features ranging between 4 and 128 … a
+//! constant hash size … truncate number of look-ups per table to 32."
+
+use recsim_data::schema::ModelConfig;
+use serde::{Deserialize, Serialize};
+
+/// The fixed anchors of the paper's test suite (Section V / Figure 10
+/// caption): MLP 512³, hash 100 000, CPU batch 200, GPU batch 1600.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TestSuite {
+    /// Hash size shared by all sparse features.
+    pub hash_size: u64,
+    /// Symmetric MLP used for both stacks.
+    pub mlp: Vec<usize>,
+    /// CPU mini-batch size.
+    pub cpu_batch: u64,
+    /// GPU global batch size.
+    pub gpu_batch: u64,
+}
+
+impl Default for TestSuite {
+    fn default() -> Self {
+        Self {
+            hash_size: 100_000,
+            mlp: vec![512, 512, 512],
+            cpu_batch: 200,
+            gpu_batch: 1600,
+        }
+    }
+}
+
+impl TestSuite {
+    /// The model with `dense` dense and `sparse` sparse features.
+    pub fn model(&self, dense: usize, sparse: usize) -> ModelConfig {
+        ModelConfig::test_suite(dense, sparse, self.hash_size, &self.mlp)
+    }
+
+    /// The paper's dense-feature axis (64 … 4096).
+    pub fn dense_axis() -> Vec<usize> {
+        vec![64, 128, 256, 512, 1024, 2048, 4096]
+    }
+
+    /// The paper's sparse-feature axis (4 … 128).
+    pub fn sparse_axis() -> Vec<usize> {
+        vec![4, 8, 16, 32, 64, 128]
+    }
+
+    /// The batch-size axis of Figure 11.
+    pub fn batch_axis() -> Vec<u64> {
+        vec![64, 128, 200, 400, 800, 1600, 3200, 6400, 12800]
+    }
+
+    /// The hash-size axis of Figure 12.
+    pub fn hash_axis() -> Vec<u64> {
+        vec![
+            10_000,
+            100_000,
+            1_000_000,
+            10_000_000,
+            50_000_000,
+            100_000_000,
+        ]
+    }
+
+    /// The MLP-dimension axis of Figure 13 as `(width, layers)` pairs
+    /// (rendered as `width^layers` like the paper).
+    pub fn mlp_axis() -> Vec<(usize, usize)> {
+        vec![(64, 2), (128, 2), (256, 3), (512, 3), (1024, 3), (2048, 4)]
+    }
+
+    /// A reduced grid for `Effort::Quick` runs.
+    pub fn quick_dense_axis() -> Vec<usize> {
+        vec![64, 512, 4096]
+    }
+
+    /// A reduced grid for `Effort::Quick` runs.
+    pub fn quick_sparse_axis() -> Vec<usize> {
+        vec![4, 32, 128]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_figure_10_caption() {
+        let t = TestSuite::default();
+        assert_eq!(t.hash_size, 100_000);
+        assert_eq!(t.mlp, vec![512, 512, 512]);
+        assert_eq!(t.cpu_batch, 200);
+        assert_eq!(t.gpu_batch, 1600);
+    }
+
+    #[test]
+    fn axes_span_the_paper_ranges() {
+        let dense = TestSuite::dense_axis();
+        assert_eq!(*dense.first().unwrap(), 64);
+        assert_eq!(*dense.last().unwrap(), 4096);
+        let sparse = TestSuite::sparse_axis();
+        assert_eq!(*sparse.first().unwrap(), 4);
+        assert_eq!(*sparse.last().unwrap(), 128);
+    }
+
+    #[test]
+    fn model_uses_anchors() {
+        let t = TestSuite::default();
+        let m = t.model(256, 16);
+        assert_eq!(m.num_dense(), 256);
+        assert_eq!(m.num_sparse(), 16);
+        assert_eq!(m.truncation(), 32);
+        assert_eq!(m.sparse_features()[0].hash_size(), 100_000);
+    }
+}

@@ -1,0 +1,95 @@
+//! Section VI.C — AutoML re-tuning recovers (and can beat) the small-batch
+//! baseline's model quality.
+//!
+//! The paper re-tunes the GPU setups' hyper-parameters from scratch with a
+//! Bayesian sweep and reports *better* NE than the CPU baselines (−0.2% for
+//! M1, −0.1% for M2). We reproduce the protocol with random search: a
+//! large-batch configuration whose manually scaled learning rate loses
+//! quality gets re-tuned and closes (or flips) the gap.
+
+use crate::experiments::fig15::{accuracy_model, baseline_config};
+use crate::{Claim, Effort, ExperimentOutput};
+use recsim_metrics::Table;
+use recsim_train::{AutoTuner, BatchScalingStudy};
+
+/// Runs the re-tuning study at a large batch size.
+pub fn run(effort: Effort) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new(
+        "automl",
+        "AutoML hyper-parameter re-tuning at large batch (paper Section VI.C)",
+    );
+    let model = accuracy_model();
+    let baseline = baseline_config(effort);
+    let big_batch = effort.pick(1600, 3200);
+    let trials = effort.pick(8, 24);
+
+    let study = BatchScalingStudy::new(&model, baseline);
+    let baseline_ne = study.baseline_ne();
+    let manual = study.sweep(&[big_batch])[0];
+
+    let tuner = AutoTuner::new(
+        &model,
+        baseline
+            .with_batch_size(big_batch)
+            .with_learning_rate(manual.learning_rate),
+        0xA070,
+    )
+    .with_lr_range(1e-3, 0.8);
+    let tuned = tuner.tune(trials);
+
+    let mut table = Table::new(vec!["configuration", "LR", "NE", "gap vs baseline"]);
+    table.push_row(vec![
+        format!("baseline (batch {})", baseline.batch_size),
+        format!("{:.4}", baseline.learning_rate),
+        format!("{baseline_ne:.4}"),
+        "-".into(),
+    ]);
+    table.push_row(vec![
+        format!("batch {big_batch}, manual linear-scaling LR"),
+        format!("{:.4}", manual.learning_rate),
+        format!("{:.4}", manual.ne),
+        format!("{:+.2}%", manual.ne_gap_percent),
+    ]);
+    table.push_row(vec![
+        format!("batch {big_batch}, AutoML re-tuned ({} trials)", tuned.trials),
+        format!("{:.4}", tuned.learning_rate),
+        format!("{:.4}", tuned.ne),
+        format!("{:+.2}%", (tuned.ne - baseline_ne) / baseline_ne * 100.0),
+    ]);
+    out.tables.push(table);
+
+    out.claims.push(Claim::new(
+        "Manual linear-scaling LR at large batch loses quality vs the baseline",
+        format!("manual gap {:+.2}%", manual.ne_gap_percent),
+        manual.ne_gap_percent > 0.0,
+    ));
+    out.claims.push(Claim::new(
+        "Automated re-tuning substantially closes the gap (the paper's sweep ended \
+         slightly *better* than the CPU baseline)",
+        format!(
+            "tuned NE {:.4} vs manual {:.4} (recovered {:.0}% of the gap)",
+            tuned.ne,
+            manual.ne,
+            (manual.ne - tuned.ne) / (manual.ne - baseline_ne).max(1e-9) * 100.0
+        ),
+        tuned.ne < manual.ne
+            && (manual.ne - tuned.ne) / (manual.ne - baseline_ne).max(1e-9) > 0.3,
+    ));
+    out.notes.push(
+        "Random search stands in for FBLearner's Bayesian optimization; the paper notes \
+         the production sweep took about a week — ours takes seconds at this scale."
+            .into(),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_hold() {
+        let out = run(Effort::Quick);
+        assert!(out.all_claims_hold(), "{}", out.render());
+    }
+}

@@ -1,0 +1,81 @@
+//! Figure 1 — relative throughput of the three production models across
+//! hardware and placement choices.
+
+use crate::setups::ProductionSetup;
+use crate::{Claim, Effort, ExperimentOutput};
+use recsim_data::production::ProductionModelId;
+use recsim_metrics::Table;
+
+/// Simulates M1/M2/M3 on their production CPU setups, their Big Basin
+/// ports, and Zion, reporting throughput relative to the CPU baseline.
+pub fn run(_effort: Effort) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new(
+        "fig01",
+        "Throughput of three production models across platforms (paper Figure 1)",
+    );
+    let mut table = Table::new(vec![
+        "model",
+        "CPU setup ex/s",
+        "Big Basin ex/s (rel)",
+        "Zion ex/s (rel)",
+        "BB embedding placement",
+    ]);
+    let mut rel: Vec<(ProductionModelId, f64, f64)> = Vec::new();
+    for id in ProductionModelId::ALL {
+        let setup = ProductionSetup::for_model(id);
+        let cpu = setup.simulate_cpu().throughput();
+        let bb = setup.simulate_big_basin().throughput();
+        let zion = setup.simulate_zion().throughput();
+        rel.push((id, bb / cpu, zion / cpu));
+        table.push_row(vec![
+            id.name().to_string(),
+            format!("{cpu:.0}"),
+            format!("{bb:.0} ({:.2}x)", bb / cpu),
+            format!("{zion:.0} ({:.2}x)", zion / cpu),
+            setup.gpu_placement.label(),
+        ]);
+    }
+    out.tables.push(table);
+
+    let m1 = rel[0];
+    let m2 = rel[1];
+    let m3 = rel[2];
+    out.claims.push(Claim::new(
+        "Both GPU platforms beat the production CPU setups for M1/M2, and the gains vary \
+         with model parameters",
+        format!(
+            "M1: BB {:.2}x / Zion {:.2}x; M2: BB {:.2}x / Zion {:.2}x",
+            m1.1, m1.2, m2.1, m2.2
+        ),
+        m1.1 > 1.0 && m1.2 > 1.0 && m2.1 > 1.0 && m2.2 > 1.0 && (m1.1 - m2.1).abs() > 0.1,
+    ));
+    out.claims.push(Claim::new(
+        "M3 shows weaker scaling on Big Basin because of its embedding memory requirement \
+         (remote placement), while Zion recovers it",
+        format!("M3: BB {:.2}x, Zion {:.2}x over CPU", m3.1, m3.2),
+        m3.1 < m1.1 && m3.1 < 1.0 && m3.2 > m3.1 && m3.2 > 1.0,
+    ));
+    out.notes.push(
+        "Relative throughput is normalized per model to its production CPU setup, as in \
+         the paper's Figure 1."
+            .into(),
+    );
+    out.notes.push(
+        "Deviation: the paper's Figure 1 shows Zion ahead of Big Basin for every model; \
+         in our model Big Basin keeps the lead for M1 (its tables fit HBM and its NVLink \
+         carries the exchanges), while Zion leads for M2 and M3."
+            .into(),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_hold() {
+        let out = run(Effort::Quick);
+        assert!(out.all_claims_hold(), "{}", out.render());
+    }
+}

@@ -1,0 +1,84 @@
+//! Figure 2 — frequency and duration of training workloads.
+
+use crate::{Claim, Effort, ExperimentOutput};
+use recsim_data::fleet::{FleetSampler, WorkloadClass};
+use recsim_metrics::{OnlineStats, Series, Table};
+
+/// Samples the fleet's workload classes and regenerates the
+/// frequency-vs-duration landscape.
+pub fn run(effort: Effort) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new(
+        "fig02",
+        "Frequency and duration of ML training workloads (paper Figure 2)",
+    );
+    let samples_per_class = effort.pick(200, 2000);
+    let mut fleet = FleetSampler::new(0x0F16_0002);
+
+    let mut table = Table::new(vec![
+        "workload",
+        "trainings/week (mean)",
+        "duration hours (mean)",
+        "recommendation?",
+    ]);
+    let mut freq_means = Vec::new();
+    let mut figure = recsim_metrics::Figure::new(
+        "workload landscape",
+        "trainings per week",
+        "duration (hours)",
+    );
+    for class in WorkloadClass::ALL {
+        let mut freq = OnlineStats::new();
+        let mut dur = OnlineStats::new();
+        let mut series = Series::new(class.name());
+        for _ in 0..samples_per_class {
+            let w = fleet.sample_workflow(class);
+            freq.push(w.trainings_per_week);
+            dur.push(w.duration_hours);
+            if series.len() < 50 {
+                series.push(w.trainings_per_week, w.duration_hours);
+            }
+        }
+        table.push_row(vec![
+            class.name().to_string(),
+            format!("{:.1}", freq.mean()),
+            format!("{:.1}", dur.mean()),
+            if class.is_recommendation() { "yes" } else { "no" }.to_string(),
+        ]);
+        freq_means.push((class, freq.mean()));
+        figure.push_series(series);
+    }
+    out.tables.push(table);
+    out.figures.push(figure);
+
+    let max_rec = freq_means
+        .iter()
+        .filter(|(c, _)| c.is_recommendation())
+        .map(|(_, f)| *f)
+        .fold(0.0f64, f64::max);
+    let max_other = freq_means
+        .iter()
+        .filter(|(c, _)| !c.is_recommendation())
+        .map(|(_, f)| *f)
+        .fold(0.0f64, f64::max);
+    out.claims.push(Claim::new(
+        "Deep learning recommendation models are the most frequently trained workloads",
+        format!(
+            "max recommendation cadence {max_rec:.1}/week vs max other {max_other:.1}/week"
+        ),
+        max_rec > max_other,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_hold() {
+        let out = run(Effort::Quick);
+        assert!(out.all_claims_hold(), "{}", out.render());
+        assert_eq!(out.tables[0].len(), 4);
+        assert_eq!(out.figures[0].series().len(), 4);
+    }
+}

@@ -1,0 +1,80 @@
+//! Figure 9 — histograms of trainer and parameter-server counts over a
+//! month of workflows.
+
+use crate::{Claim, Effort, ExperimentOutput};
+use recsim_data::fleet::FleetSampler;
+use recsim_metrics::{Histogram, Table};
+
+/// Samples a month of training workflows and histograms their server
+/// counts.
+pub fn run(effort: Effort) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new(
+        "fig09",
+        "Trainer / parameter-server count histograms over a month (paper Figure 9)",
+    );
+    let runs = effort.pick(500, 5000);
+    let mut fleet = FleetSampler::new(0x0F16_0009);
+    let samples = fleet.sample_month_of_runs(runs);
+
+    let mut trainer_hist = Histogram::with_range(0.0, 41.0, 41);
+    let mut ps_hist = Histogram::with_range(0.0, 80.0, 40);
+    let mut trainer_vals = Vec::with_capacity(runs);
+    let mut ps_vals = Vec::with_capacity(runs);
+    for s in &samples {
+        trainer_hist.record(s.trainers as f64);
+        ps_hist.record(s.parameter_servers as f64);
+        trainer_vals.push(s.trainers as f64);
+        ps_vals.push(s.parameter_servers as f64);
+    }
+
+    let cv = |xs: &[f64]| {
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        var.sqrt() / mean
+    };
+    let trainer_cv = cv(&trainer_vals);
+    let ps_cv = cv(&ps_vals);
+    let mode_fraction = trainer_hist.mode_fraction();
+
+    let mut table = Table::new(vec!["statistic", "trainers", "parameter servers"]);
+    table.push_row(vec![
+        "mode bin fraction".into(),
+        format!("{:.2}", mode_fraction),
+        format!("{:.2}", ps_hist.mode_fraction()),
+    ]);
+    table.push_row(vec![
+        "coefficient of variation".into(),
+        format!("{trainer_cv:.2}"),
+        format!("{ps_cv:.2}"),
+    ]);
+    table.push_row(vec![
+        "distinct counts used".into(),
+        format!("{}", (0..trainer_hist.bins()).filter(|&i| trainer_hist.count(i) > 0).count()),
+        format!("{}", (0..ps_hist.bins()).filter(|&i| ps_hist.count(i) > 0).count()),
+    ]);
+    out.tables.push(table);
+
+    out.claims.push(Claim::new(
+        "Over 40% of workflows use the same number of trainers",
+        format!("mode bin holds {:.0}% of runs", mode_fraction * 100.0),
+        mode_fraction > 0.40,
+    ));
+    out.claims.push(Claim::new(
+        "The number of parameter servers varies greatly, in contrast to trainers",
+        format!("PS cv {ps_cv:.2} vs trainer cv {trainer_cv:.2}"),
+        ps_cv > trainer_cv,
+    ));
+    out.notes.push(format!("{runs} workflows sampled"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_hold() {
+        let out = run(Effort::Quick);
+        assert!(out.all_claims_hold(), "{}", out.render());
+    }
+}

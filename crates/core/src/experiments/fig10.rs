@@ -1,0 +1,121 @@
+//! Figure 10 — throughput while varying dense and sparse feature counts on
+//! CPU and GPU, plus the perf-per-watt comparison.
+
+use crate::design_space::TestSuite;
+use crate::{Claim, Effort, ExperimentOutput};
+use recsim_hw::units::Bytes;
+use recsim_hw::Platform;
+use recsim_metrics::Table;
+use recsim_placement::{PartitionScheme, PlacementStrategy};
+use recsim_sim::{CpuClusterSetup, CpuTrainingSim, GpuTrainingSim};
+
+/// Sweeps the dense × sparse grid on both platforms.
+pub fn run(effort: Effort) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new(
+        "fig10",
+        "Varying dense/sparse features on CPU and GPU + efficiency (paper Figure 10)",
+    );
+    let suite = TestSuite::default();
+    let dense_axis = effort.pick(TestSuite::quick_dense_axis(), TestSuite::dense_axis());
+    let sparse_axis = effort.pick(TestSuite::quick_sparse_axis(), TestSuite::sparse_axis());
+    let bb = Platform::big_basin(Bytes::from_gib(32));
+
+    let mut table = Table::new(vec![
+        "dense",
+        "sparse",
+        "CPU ex/s",
+        "GPU ex/s",
+        "GPU/CPU",
+        "GPU/CPU perf-per-watt",
+    ]);
+    let mut gpu_always_faster = true;
+    // (dense, ppw ratio) at the smallest sparse count, to check the trend.
+    let mut ppw_by_dense: Vec<(usize, f64)> = Vec::new();
+    let mut tput_grid: Vec<(usize, usize, f64, f64)> = Vec::new();
+    for &dense in &dense_axis {
+        for &sparse in &sparse_axis {
+            let model = suite.model(dense, sparse);
+            let cpu = CpuTrainingSim::new(&model, CpuClusterSetup::single_trainer(suite.cpu_batch))
+                .run();
+            let gpu = GpuTrainingSim::new(
+                &model,
+                &bb,
+                PlacementStrategy::GpuMemory(PartitionScheme::TableWise),
+                suite.gpu_batch,
+            )
+            .expect("test-suite tables fit HBM")
+            .run();
+            let ratio = gpu.throughput() / cpu.throughput();
+            let ppw = gpu.perf_per_watt() / cpu.perf_per_watt();
+            gpu_always_faster &= ratio > 1.0;
+            if sparse == sparse_axis[0] {
+                ppw_by_dense.push((dense, ppw));
+            }
+            tput_grid.push((dense, sparse, cpu.throughput(), gpu.throughput()));
+            table.push_row(vec![
+                dense.to_string(),
+                sparse.to_string(),
+                format!("{:.0}", cpu.throughput()),
+                format!("{:.0}", gpu.throughput()),
+                format!("{ratio:.1}x"),
+                format!("{ppw:.1}x"),
+            ]);
+        }
+    }
+    out.tables.push(table);
+
+    out.claims.push(Claim::new(
+        "The throughput of the GPU setup is higher than the CPU setup in all configurations",
+        "GPU > CPU at every grid point",
+        gpu_always_faster,
+    ));
+    // Throughput falls as features increase (both axes), on both platforms.
+    let corner = |d: usize, s: usize| {
+        tput_grid
+            .iter()
+            .find(|&&(dd, ss, _, _)| dd == d && ss == s)
+            .copied()
+            .expect("grid corner present")
+    };
+    let small = corner(dense_axis[0], sparse_axis[0]);
+    let big = corner(*dense_axis.last().unwrap(), *sparse_axis.last().unwrap());
+    out.claims.push(Claim::new(
+        "As the number of dense and sparse features increase, training throughput reduces",
+        format!(
+            "CPU {:.0} -> {:.0}, GPU {:.0} -> {:.0}",
+            small.2, big.2, small.3, big.3
+        ),
+        big.2 < small.2 && big.3 < small.3,
+    ));
+    let ppw_first = ppw_by_dense.first().expect("non-empty").1;
+    let ppw_last = ppw_by_dense.last().expect("non-empty").1;
+    out.claims.push(Claim::new(
+        "GPU power efficiency is highest for models with more dense features",
+        format!(
+            "GPU/CPU perf-per-watt at {} dense: {ppw_first:.1}x; at {} dense: {ppw_last:.1}x",
+            ppw_by_dense.first().unwrap().0,
+            ppw_by_dense.last().unwrap().0
+        ),
+        ppw_last > ppw_first,
+    ));
+    out.notes.push(
+        "Fixed per the paper's caption: MLP 512^3, hash size 100000, batch 200 (CPU) and \
+         1600 (GPU). CPU setup: one trainer + one dense + one sparse PS. In our \
+         reproduction the GPU's perf-per-watt advantage is larger than the paper's \
+         (which found a few CPU wins); the trend across dense features matches."
+            .into(),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_hold() {
+        let out = run(Effort::Quick);
+        assert!(out.all_claims_hold(), "{}", out.render());
+        assert_eq!(out.tables[0].len(), 9);
+    }
+}

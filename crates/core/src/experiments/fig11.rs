@@ -1,0 +1,91 @@
+//! Figure 11 — batch-size scaling on CPU and GPU.
+
+use crate::design_space::TestSuite;
+use crate::{Claim, Effort, ExperimentOutput};
+use recsim_hw::units::Bytes;
+use recsim_hw::Platform;
+use recsim_metrics::{Figure, Series, Table};
+use recsim_placement::{PartitionScheme, PlacementStrategy};
+use recsim_sim::{CpuClusterSetup, CpuTrainingSim, GpuTrainingSim};
+
+/// Sweeps the batch size on both platforms at the test-suite anchor model.
+pub fn run(effort: Effort) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new(
+        "fig11",
+        "Batch-size scaling on CPU and GPU (paper Figure 11)",
+    );
+    let suite = TestSuite::default();
+    let model = suite.model(256, 16);
+    let batches = effort.pick(vec![64, 400, 1600, 6400], TestSuite::batch_axis());
+    let bb = Platform::big_basin(Bytes::from_gib(32));
+
+    let mut cpu_series = Series::new("CPU");
+    let mut gpu_series = Series::new("GPU");
+    let mut table = Table::new(vec!["batch", "CPU ex/s", "GPU ex/s", "GPU bottleneck"]);
+    for &batch in &batches {
+        let cpu = CpuTrainingSim::new(&model, CpuClusterSetup::single_trainer(batch)).run();
+        let gpu = GpuTrainingSim::new(
+            &model,
+            &bb,
+            PlacementStrategy::GpuMemory(PartitionScheme::TableWise),
+            batch,
+        )
+        .expect("fits")
+        .run();
+        cpu_series.push(batch as f64, cpu.throughput());
+        gpu_series.push(batch as f64, gpu.throughput());
+        table.push_row(vec![
+            batch.to_string(),
+            format!("{:.0}", cpu.throughput()),
+            format!("{:.0}", gpu.throughput()),
+            gpu.bottleneck().map(|(n, _)| n.to_string()).unwrap_or_default(),
+        ]);
+    }
+    out.tables.push(table);
+
+    let gpu_first = gpu_series.points().first().expect("non-empty").1;
+    let gpu_last = gpu_series.points().last().expect("non-empty").1;
+    let gpu_mid = gpu_series.points()[gpu_series.len() / 2].1;
+    out.claims.push(Claim::new(
+        "GPU throughput increases roughly linearly with batch size, then saturates",
+        format!(
+            "rise {:.1}x to midpoint, then {:.2}x further (sublinear tail)",
+            gpu_mid / gpu_first,
+            gpu_last / gpu_mid
+        ),
+        gpu_series.is_non_decreasing()
+            && gpu_mid / gpu_first > 2.0
+            && (gpu_last / gpu_mid)
+                < (batches[batches.len() - 1] as f64 / batches[batches.len() / 2] as f64),
+    ));
+    let (cpu_best_batch, _) = cpu_series.argmax().expect("non-empty");
+    let cpu_last = cpu_series.points().last().expect("non-empty").1;
+    let cpu_best = cpu_series.argmax().unwrap().1;
+    out.claims.push(Claim::new(
+        "Higher batch sizes can be detrimental to CPU training speed",
+        format!(
+            "CPU peaks at batch {cpu_best_batch:.0} and loses {:.0}% by the largest batch",
+            (1.0 - cpu_last / cpu_best) * 100.0
+        ),
+        cpu_best_batch <= 800.0 && cpu_last < cpu_best,
+    ));
+    out.figures.push(
+        Figure::new("batch scaling", "batch size", "examples/s")
+            .with_series(cpu_series)
+            .with_series(gpu_series),
+    );
+    out.notes
+        .push("Anchor model: 256 dense x 16 sparse, MLP 512^3, hash 100000.".into());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_hold() {
+        let out = run(Effort::Quick);
+        assert!(out.all_claims_hold(), "{}", out.render());
+    }
+}

@@ -1,0 +1,109 @@
+//! Figure 12 — hash-size scaling on CPU and GPU.
+//!
+//! On the CPU parameter server, growing hash sizes change the table size
+//! but barely the lookup cost. On the GPU server, growth first forces the
+//! tables out of the single-GPU replicated regime into a distributed one
+//! (adding per-table all-to-alls), then out of HBM entirely (hybrid spill
+//! to host memory) — the paper's "more GPUs need to be used … and this
+//! increases the communication cost".
+
+use crate::design_space::TestSuite;
+use crate::setups::gpu_with_fallback;
+use crate::{Claim, Effort, ExperimentOutput};
+use recsim_data::schema::ModelConfig;
+use recsim_hw::units::Bytes;
+use recsim_hw::Platform;
+use recsim_metrics::{Figure, Series, Table};
+use recsim_placement::plan::min_gpus_needed;
+use recsim_sim::{CpuClusterSetup, CpuTrainingSim};
+
+/// Sweeps the shared hash size on both platforms.
+pub fn run(effort: Effort) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new(
+        "fig12",
+        "Hash-size scaling on CPU and GPU (paper Figure 12)",
+    );
+    let suite = TestSuite::default();
+    let hashes = effort.pick(
+        vec![10_000, 1_000_000, 50_000_000, 100_000_000],
+        TestSuite::hash_axis(),
+    );
+    let bb = Platform::big_basin(Bytes::from_gib(32));
+
+    let mut cpu_series = Series::new("CPU");
+    let mut gpu_series = Series::new("GPU");
+    let mut table = Table::new(vec![
+        "hash size",
+        "CPU ex/s",
+        "GPU ex/s",
+        "GPU placement",
+        "min GPUs for tables",
+    ]);
+    for &hash in &hashes {
+        let model = ModelConfig::test_suite(256, 16, hash, &suite.mlp);
+        let cpu = CpuTrainingSim::new(&model, CpuClusterSetup::single_trainer(suite.cpu_batch))
+            .run();
+        cpu_series.push((hash as f64).log10(), cpu.throughput());
+        let gpus = min_gpus_needed(&model, &bb, 2.0)
+            .map(|g| g.to_string())
+            .unwrap_or_else(|| ">8".into());
+        match gpu_with_fallback(&model, &bb, suite.gpu_batch) {
+            Some((report, strategy)) => {
+                gpu_series.push((hash as f64).log10(), report.throughput());
+                table.push_row(vec![
+                    format!("{hash:.0e}"),
+                    format!("{:.0}", cpu.throughput()),
+                    format!("{:.0}", report.throughput()),
+                    strategy.label(),
+                    gpus,
+                ]);
+            }
+            None => {
+                table.push_row(vec![
+                    format!("{hash:.0e}"),
+                    format!("{:.0}", cpu.throughput()),
+                    "-".into(),
+                    "does not fit".into(),
+                    gpus,
+                ]);
+            }
+        }
+    }
+    out.tables.push(table);
+
+    let cpu_first = cpu_series.points().first().expect("non-empty").1;
+    let cpu_last = cpu_series.points().last().expect("non-empty").1;
+    out.claims.push(Claim::new(
+        "Increasing hash size does not significantly affect CPU throughput",
+        format!(
+            "CPU changes {:.0}% across four decades",
+            (cpu_last / cpu_first - 1.0) * 100.0
+        ),
+        (cpu_last / cpu_first - 1.0).abs() < 0.25,
+    ));
+    let gpu_first = gpu_series.points().first().expect("non-empty").1;
+    let gpu_last = gpu_series.points().last().expect("non-empty").1;
+    out.claims.push(Claim::new(
+        "GPU throughput drops significantly as hash size scales (tables spread over more \
+         GPUs, communication grows, and eventually spill to host memory)",
+        format!("GPU falls to {:.2}x of its small-hash throughput", gpu_last / gpu_first),
+        gpu_last < 0.5 * gpu_first,
+    ));
+    out.figures.push(
+        Figure::new("hash-size scaling", "log10(hash size)", "examples/s")
+            .with_series(cpu_series)
+            .with_series(gpu_series),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_hold() {
+        let out = run(Effort::Quick);
+        assert!(out.all_claims_hold(), "{}", out.render());
+    }
+}

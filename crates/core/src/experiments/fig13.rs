@@ -1,0 +1,89 @@
+//! Figure 13 — throughput under varying MLP dimensions.
+
+use crate::design_space::TestSuite;
+use crate::{Claim, Effort, ExperimentOutput};
+use recsim_data::schema::ModelConfig;
+use recsim_hw::units::Bytes;
+use recsim_hw::Platform;
+use recsim_metrics::{Figure, Series, Table};
+use recsim_placement::{PartitionScheme, PlacementStrategy};
+use recsim_sim::{CpuClusterSetup, CpuTrainingSim, GpuTrainingSim};
+
+/// Sweeps MLP width/depth on both platforms, reporting normalized relative
+/// throughput like the paper.
+pub fn run(effort: Effort) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new(
+        "fig13",
+        "Throughput under varying MLP dimensions (paper Figure 13)",
+    );
+    let suite = TestSuite::default();
+    let axis = effort.pick(vec![(64, 2), (512, 3), (2048, 4)], TestSuite::mlp_axis());
+    let bb = Platform::big_basin(Bytes::from_gib(32));
+
+    let mut cpu_series = Series::new("CPU (normalized)");
+    let mut gpu_series = Series::new("GPU (normalized)");
+    let mut table = Table::new(vec!["MLP", "CPU ex/s", "GPU ex/s"]);
+    for (i, &(width, layers)) in axis.iter().enumerate() {
+        let mlp = vec![width; layers];
+        let model = ModelConfig::test_suite(256, 16, suite.hash_size, &mlp);
+        let cpu = CpuTrainingSim::new(&model, CpuClusterSetup::single_trainer(suite.cpu_batch))
+            .run();
+        let gpu = GpuTrainingSim::new(
+            &model,
+            &bb,
+            PlacementStrategy::GpuMemory(PartitionScheme::TableWise),
+            suite.gpu_batch,
+        )
+        .expect("fits")
+        .run();
+        cpu_series.push(i as f64, cpu.throughput());
+        gpu_series.push(i as f64, gpu.throughput());
+        table.push_row(vec![
+            format!("{width}^{layers}"),
+            format!("{:.0}", cpu.throughput()),
+            format!("{:.0}", gpu.throughput()),
+        ]);
+    }
+    out.tables.push(table);
+
+    let cpu_norm = cpu_series.normalized_to_first();
+    let gpu_norm = gpu_series.normalized_to_first();
+    let cpu_final = cpu_norm.points().last().expect("non-empty").1;
+    let gpu_final = gpu_norm.points().last().expect("non-empty").1;
+    out.claims.push(Claim::new(
+        "Growing MLP dimensions reduce CPU throughput more than GPU throughput",
+        format!(
+            "largest MLP retains {:.1}% on CPU vs {:.1}% on GPU",
+            cpu_final * 100.0,
+            gpu_final * 100.0
+        ),
+        cpu_final < gpu_final,
+    ));
+    // The paper: throughput does not drop much until the MLP grows past
+    // 256^3 (index 2 of the full axis).
+    if axis.len() >= 3 {
+        let gpu_early = gpu_norm.points()[1].1;
+        out.claims.push(Claim::new(
+            "Throughput does not decrease significantly until the MLP grows large",
+            format!("second point retains {:.0}% of the smallest's GPU throughput", gpu_early * 100.0),
+            gpu_early > 0.5,
+        ));
+    }
+    out.figures.push(
+        Figure::new("MLP scaling (normalized)", "MLP size index", "relative throughput")
+            .with_series(cpu_norm)
+            .with_series(gpu_norm),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_hold() {
+        let out = run(Effort::Quick);
+        assert!(out.all_claims_hold(), "{}", out.render());
+    }
+}

@@ -1,0 +1,94 @@
+//! Figure 15 — model accuracy degrades with batch size under manual tuning.
+//!
+//! This is the one experiment that runs *real* training: a laptop-scale
+//! DLRM on planted-teacher CTR data, a fixed example budget, and the
+//! linear-scaling learning-rate rule. The paper's observation — "despite
+//! the tuning, the accuracy gap grows as we scale the batch size" — must
+//! emerge from actual optimization dynamics, not the simulator.
+
+use crate::{Claim, Effort, ExperimentOutput};
+use recsim_data::schema::ModelConfig;
+use recsim_metrics::{Figure, Series, Table};
+use recsim_train::trainer::TrainerConfig;
+use recsim_train::BatchScalingStudy;
+
+/// The model used for the real-training accuracy studies: a scaled-down
+/// recommendation model that trains in seconds.
+pub fn accuracy_model() -> ModelConfig {
+    ModelConfig::test_suite(16, 4, 2_000, &[32, 16])
+}
+
+/// The baseline configuration (batch 200, like the production CPU setups).
+pub fn baseline_config(effort: Effort) -> TrainerConfig {
+    TrainerConfig {
+        batch_size: 200,
+        train_examples: effort.pick(40_000, 240_000),
+        eval_examples: effort.pick(8_000, 20_000),
+        learning_rate: 0.04,
+        warmup_steps: 20,
+        adagrad: true,
+        seed: 31,
+    }
+}
+
+/// Trains at growing batch sizes with the manual linear-scaling rule and
+/// reports the NE gap against the batch-200 baseline.
+pub fn run(effort: Effort) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new(
+        "fig15",
+        "Accuracy gap vs batch size under manual LR tuning (paper Figure 15)",
+    );
+    let model = accuracy_model();
+    let study = BatchScalingStudy::new(&model, baseline_config(effort));
+    let batches: Vec<usize> = effort.pick(vec![200, 800, 3200], vec![200, 400, 800, 1600, 3200, 6400]);
+    let points = study.sweep(&batches);
+
+    let mut table = Table::new(vec!["batch", "scaled LR", "NE", "NE gap vs batch 200"]);
+    let mut series = Series::new("NE gap (%)");
+    for p in &points {
+        table.push_row(vec![
+            p.batch_size.to_string(),
+            format!("{:.4}", p.learning_rate),
+            format!("{:.4}", p.ne),
+            format!("{:+.2}%", p.ne_gap_percent),
+        ]);
+        series.push(p.batch_size as f64, p.ne_gap_percent);
+    }
+    out.tables.push(table);
+
+    let first_gap = points.first().expect("non-empty").ne_gap_percent;
+    let last_gap = points.last().expect("non-empty").ne_gap_percent;
+    out.claims.push(Claim::new(
+        "Despite manual LR tuning, the accuracy gap grows as the batch size is scaled",
+        format!("gap {first_gap:+.2}% at the baseline batch -> {last_gap:+.2}% at the largest"),
+        last_gap > first_gap && last_gap > 0.05,
+    ));
+    let all_finite = points.iter().all(|p| p.ne.is_finite() && p.ne < 1.2);
+    out.claims.push(Claim::new(
+        "Every configuration still trains to a usable model (NE near or below 1)",
+        "all NEs finite and < 1.2",
+        all_finite,
+    ));
+    out.figures.push(
+        Figure::new("accuracy gap vs batch size", "batch size", "NE gap (%)")
+            .with_series(series),
+    );
+    out.notes.push(
+        "Real numerics on synthetic planted-teacher CTR data with a fixed example budget: \
+         larger batches take proportionally fewer optimizer steps, the regime the paper's \
+         production sweeps operate in."
+            .into(),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_hold() {
+        let out = run(Effort::Quick);
+        assert!(out.all_claims_hold(), "{}", out.render());
+    }
+}

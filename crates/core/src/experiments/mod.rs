@@ -1,0 +1,55 @@
+//! One driver per paper artifact. Every driver has the shape
+//! `pub fn run(effort: Effort) -> ExperimentOutput`.
+
+pub mod automl;
+pub mod compression;
+pub mod fig01;
+pub mod fig02;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod locality;
+pub mod readers;
+pub mod scaleout;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+use crate::{Effort, ExperimentOutput};
+
+/// An experiment driver: scale in, structured output out.
+pub type Driver = fn(Effort) -> ExperimentOutput;
+
+/// Every driver, as `(id, function)` pairs — the registry used by the
+/// `all_experiments` binary and the integration tests.
+pub fn registry() -> Vec<(&'static str, Driver)> {
+    vec![
+        ("table1", table1::run as Driver),
+        ("table2", table2::run),
+        ("table3", table3::run),
+        ("fig01", fig01::run),
+        ("fig02", fig02::run),
+        ("fig05", fig05::run),
+        ("fig06", fig06::run),
+        ("fig07", fig07::run),
+        ("fig09", fig09::run),
+        ("fig10", fig10::run),
+        ("fig11", fig11::run),
+        ("fig12", fig12::run),
+        ("fig13", fig13::run),
+        ("fig14", fig14::run),
+        ("fig15", fig15::run),
+        ("automl", automl::run),
+        ("locality", locality::run),
+        ("scaleout", scaleout::run),
+        ("readers", readers::run),
+        ("compression", compression::run),
+    ]
+}

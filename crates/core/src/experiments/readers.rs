@@ -1,0 +1,103 @@
+//! Reader-tier sizing (paper Section IV.B.2).
+//!
+//! "We typically scale up reader servers such that data reading is not a
+//! bottleneck. Consequently, for more performant training hardware, we may
+//! utilize more readers." This driver sizes the reader tier for the same
+//! model on each training platform.
+
+use crate::{Claim, Effort, ExperimentOutput};
+use recsim_data::schema::ModelConfig;
+use recsim_hw::units::Bytes;
+use recsim_hw::Platform;
+use recsim_metrics::Table;
+use recsim_placement::{PartitionScheme, PlacementStrategy};
+use recsim_sim::readers::ReaderModel;
+use recsim_sim::{CpuClusterSetup, CpuTrainingSim, GpuTrainingSim};
+
+/// Sizes the reader tier behind each platform.
+pub fn run(_effort: Effort) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new(
+        "readers",
+        "Reader-tier sizing per training platform (paper Section IV.B.2)",
+    );
+    let model = ModelConfig::test_suite(256, 16, 100_000, &[512, 512, 512]);
+    let readers = ReaderModel::default();
+
+    let cpu = CpuTrainingSim::new(&model, CpuClusterSetup::single_trainer(200)).run();
+    let bb = GpuTrainingSim::new(
+        &model,
+        &Platform::big_basin(Bytes::from_gib(32)),
+        PlacementStrategy::GpuMemory(PartitionScheme::TableWise),
+        1600,
+    )
+    .expect("fits")
+    .run();
+    let zion = GpuTrainingSim::new(
+        &model,
+        &Platform::zion_prototype(),
+        PlacementStrategy::SystemMemory,
+        1600,
+    )
+    .expect("fits")
+    .run();
+
+    let mut table = Table::new(vec![
+        "training setup",
+        "throughput ex/s",
+        "readers needed",
+        "warehouse bandwidth",
+    ]);
+    let mut counts = Vec::new();
+    for (name, report) in [
+        ("dual-socket CPU (1 trainer + 2 PS)", &cpu),
+        ("Big Basin (GPU memory)", &bb),
+        ("Zion (system memory)", &zion),
+    ] {
+        let n = readers.readers_needed(&model, report.throughput());
+        counts.push(n);
+        table.push_row(vec![
+            name.to_string(),
+            format!("{:.0}", report.throughput()),
+            n.to_string(),
+            readers
+                .warehouse_bandwidth(&model, report.throughput())
+                .to_string()
+                + "/s",
+        ]);
+    }
+    out.tables.push(table);
+
+    out.claims.push(Claim::new(
+        "More performant training hardware utilizes more readers",
+        format!(
+            "CPU {} readers vs Big Basin {} vs Zion {}",
+            counts[0], counts[1], counts[2]
+        ),
+        counts[1] > counts[0] && counts[2] > counts[0],
+    ));
+    out.claims.push(Claim::new(
+        "Per-reader delivery rate is preprocessing-bound, well below the NIC line rate",
+        format!(
+            "{:.0} ex/s per reader",
+            readers.examples_per_second(&model)
+        ),
+        readers.examples_per_second(&model)
+            < recsim_hw::Link::ethernet_25g()
+                .effective_bandwidth()
+                .as_bytes_per_s()
+                / model.example_bytes() as f64
+                * 0.5,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_hold() {
+        let out = run(Effort::Quick);
+        assert!(out.all_claims_hold(), "{}", out.render());
+    }
+}

@@ -1,0 +1,101 @@
+//! Section VI.B's scale-out comparison: M3 on multiple Big Basins with
+//! sharded GPU-memory tables versus one Zion.
+//!
+//! The paper could not run this setup ("due to the lack of [fast inter-node
+//! GPU-GPU communication] we were not able to test this model setup") and
+//! instead reports from an analytical model that Zion is "several orders of
+//! magnitude more efficient". This driver regenerates that analysis with
+//! the concrete multi-node simulator.
+
+use crate::{Claim, Effort, ExperimentOutput};
+use recsim_data::production::{production_model, ProductionModelId};
+use recsim_hw::Platform;
+use recsim_metrics::Table;
+use recsim_placement::PlacementStrategy;
+use recsim_sim::scaleout::{min_nodes, ScaleOutSim};
+use recsim_sim::GpuTrainingSim;
+
+/// Runs the multi-Big-Basin vs Zion comparison for M3.
+pub fn run(effort: Effort) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new(
+        "scaleout",
+        "M3 on multiple Big Basins (sharded GPU memory) vs one Zion (paper §VI.B)",
+    );
+    let m3 = production_model(ProductionModelId::M3);
+    let base_nodes = min_nodes(&m3);
+    let node_counts: Vec<u32> = effort.pick(
+        vec![base_nodes, base_nodes * 2],
+        vec![base_nodes, base_nodes + 1, base_nodes * 2, base_nodes * 4],
+    );
+
+    let zion = GpuTrainingSim::new(
+        &m3,
+        &Platform::zion_prototype(),
+        PlacementStrategy::SystemMemory,
+        1600,
+    )
+    .expect("Zion holds M3")
+    .run();
+
+    let mut table = Table::new(vec![
+        "setup",
+        "ex/s",
+        "power",
+        "ex/J",
+        "Zion efficiency advantage",
+    ]);
+    table.push_row(vec![
+        "1 Zion (system memory)".into(),
+        format!("{:.0}", zion.throughput()),
+        zion.power().to_string(),
+        format!("{:.1}", zion.perf_per_watt()),
+        "1.0x".into(),
+    ]);
+    let mut min_advantage = f64::INFINITY;
+    for &nodes in &node_counts {
+        let multi = ScaleOutSim::new(&m3, nodes, 800)
+            .expect("enough nodes")
+            .run();
+        let advantage = zion.perf_per_watt() / multi.perf_per_watt();
+        min_advantage = min_advantage.min(advantage);
+        table.push_row(vec![
+            format!("{nodes} Big Basins (sharded GPU memory)"),
+            format!("{:.0}", multi.throughput()),
+            multi.power().to_string(),
+            format!("{:.1}", multi.perf_per_watt()),
+            format!("{advantage:.0}x"),
+        ]);
+    }
+    out.tables.push(table);
+
+    out.claims.push(Claim::new(
+        "Training M3 on Zion is over an order of magnitude more power-efficient than \
+         multi-Big-Basin sharded GPU memory (the paper's analytical model: 'several \
+         orders of magnitude')",
+        format!("minimum Zion advantage across node counts: {min_advantage:.0}x"),
+        min_advantage > 10.0,
+    ));
+    out.claims.push(Claim::new(
+        "M3's tables require more than one Big Basin's worth of HBM",
+        format!("min nodes = {base_nodes}"),
+        base_nodes >= 2,
+    ));
+    out.notes.push(
+        "Mechanism: without inter-node GPU-GPU networking every remote lookup's raw rows \
+         cross host memory and a 100 GbE NIC twice per iteration; M3's ~1.6 MB of rows \
+         per example makes the wire the bottleneck regardless of node count."
+            .into(),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_hold() {
+        let out = run(Effort::Quick);
+        assert!(out.all_claims_hold(), "{}", out.render());
+    }
+}

@@ -1,0 +1,115 @@
+//! Table I — hardware platform details.
+
+use crate::{Claim, Effort, ExperimentOutput};
+use recsim_hw::units::Bytes;
+use recsim_hw::Platform;
+use recsim_metrics::Table;
+
+/// Regenerates Table I from the `recsim-hw` platform presets.
+pub fn run(_effort: Effort) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new("table1", "Hardware platform details (paper Table I)");
+    let cpu = Platform::dual_socket_cpu();
+    let bb = Platform::big_basin(Bytes::from_gib(32));
+    let zion = Platform::zion_prototype();
+
+    let mut table = Table::new(vec![
+        "",
+        "CPU System",
+        "Big Basin GPU System",
+        "Prototype Zion GPU System",
+    ]);
+    let gpus = |p: &Platform| {
+        if p.has_gpus() {
+            format!("{} NVIDIA V100", p.gpus().len())
+        } else {
+            "-".to_string()
+        }
+    };
+    table.push_row(vec![
+        "Accelerators".into(),
+        gpus(&cpu),
+        gpus(&bb),
+        gpus(&zion),
+    ]);
+    let gpu_mem = |p: &Platform| {
+        p.gpus()
+            .first()
+            .map(|g| g.memory().capacity().to_string())
+            .unwrap_or_else(|| "-".into())
+    };
+    table.push_row(vec![
+        "Accelerator Memory".into(),
+        gpu_mem(&cpu),
+        "16/32 GiB".into(),
+        gpu_mem(&zion),
+    ]);
+    table.push_row(vec![
+        "System Memory".into(),
+        cpu.host().memory().capacity().to_string(),
+        bb.host().memory().capacity().to_string(),
+        zion.host().memory().capacity().to_string(),
+    ]);
+    table.push_row(vec![
+        "System Memory BW".into(),
+        cpu.host().memory().stream_bandwidth().to_string(),
+        bb.host().memory().stream_bandwidth().to_string(),
+        zion.host().memory().stream_bandwidth().to_string(),
+    ]);
+    table.push_row(vec![
+        "Interconnect".into(),
+        format!("{}", cpu.network().bandwidth()),
+        format!("{}", bb.network().bandwidth()),
+        format!("{}", zion.network().bandwidth()),
+    ]);
+    table.push_row(vec![
+        "Power envelope".into(),
+        cpu.power().envelope().to_string(),
+        bb.power().envelope().to_string(),
+        zion.power().envelope().to_string(),
+    ]);
+    out.tables.push(table);
+
+    out.claims.push(Claim::new(
+        "Zion has ~2 TB system memory and ~1 TB/s bandwidth (Table I)",
+        format!(
+            "{} at {}",
+            zion.host().memory().capacity(),
+            zion.host().memory().stream_bandwidth()
+        ),
+        zion.host().memory().capacity() == Bytes::from_tib(2)
+            && zion.host().memory().stream_bandwidth().as_gb_per_s() >= 1000.0,
+    ));
+    out.claims.push(Claim::new(
+        "Big Basin's power capacity is 7.3x the dual-socket CPU server",
+        format!(
+            "{:.1}x",
+            bb.power().envelope().as_watts() / cpu.power().envelope().as_watts()
+        ),
+        (bb.power().envelope().as_watts() / cpu.power().envelope().as_watts() - 7.3).abs()
+            < 0.01,
+    ));
+    out.claims.push(Claim::new(
+        "Both GPU platforms carry eight V100s",
+        format!("BB: {}, Zion: {}", bb.gpus().len(), zion.gpus().len()),
+        bb.gpus().len() == 8 && zion.gpus().len() == 8,
+    ));
+    out.notes.push(
+        "Zion's power envelope is an assumption (the paper discloses only Big Basin's 7.3x); \
+         see DESIGN.md."
+            .into(),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_hold() {
+        let out = run(Effort::Quick);
+        assert!(out.all_claims_hold(), "{}", out.render());
+        assert_eq!(out.tables.len(), 1);
+        assert_eq!(out.tables[0].len(), 6);
+    }
+}

@@ -1,0 +1,103 @@
+//! Table III — CPU vs GPU optimal-setup comparison for the production
+//! models.
+
+use crate::setups::{optimal_batch, ProductionSetup};
+use crate::{Claim, Effort, ExperimentOutput};
+use recsim_data::production::ProductionModelId;
+use recsim_hw::units::Bytes;
+use recsim_hw::Platform;
+use recsim_metrics::Table;
+
+/// Regenerates Table III: optimal batch search, relative throughput and
+/// power efficiency of the Big Basin ports against the production CPU
+/// setups.
+pub fn run(effort: Effort) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new(
+        "table3",
+        "CPU-GPU optimal setup comparison (paper Table III)",
+    );
+    let bb = Platform::big_basin(Bytes::from_gib(32));
+    let all_candidates: Vec<u64> =
+        effort.pick(vec![400, 800, 1600, 3200], vec![200, 400, 800, 1600, 3200]);
+
+    let mut table = Table::new(vec![
+        "model",
+        "CPU setup",
+        "GPU placement",
+        "optimal GPU batch",
+        "GPU/CPU throughput",
+        "GPU/CPU perf-per-watt",
+    ]);
+    let mut ratios: Vec<(ProductionModelId, f64, f64)> = Vec::new();
+    for id in ProductionModelId::ALL {
+        let setup = ProductionSetup::for_model(id);
+        let cpu = setup.simulate_cpu();
+        let model = setup.model_config();
+        // The paper's optimal batches (1600/3200/800) are quality-capped:
+        // beyond them the loss regression was unacceptable. Search below
+        // each model's cap.
+        let candidates: Vec<u64> = all_candidates
+            .iter()
+            .copied()
+            .filter(|&b| b <= setup.gpu_batch)
+            .collect();
+        let (best_batch, gpu) = optimal_batch(&model, &bb, setup.gpu_placement, &candidates)
+            .expect("Table III placements fit");
+        let tput_ratio = gpu.throughput() / cpu.throughput();
+        let ppw_ratio = gpu.perf_per_watt() / cpu.perf_per_watt();
+        ratios.push((id, tput_ratio, ppw_ratio));
+        table.push_row(vec![
+            id.name().to_string(),
+            format!(
+                "{} trainers + {} PS",
+                setup.cpu.trainers,
+                setup.cpu.dense_ps + setup.cpu.sparse_ps
+            ),
+            setup.gpu_placement.label(),
+            best_batch.to_string(),
+            format!("{tput_ratio:.2}x"),
+            format!("{ppw_ratio:.2}x"),
+        ]);
+    }
+    out.tables.push(table);
+
+    let (_, m1_tput, m1_ppw) = ratios[0];
+    let (_, m2_tput, m2_ppw) = ratios[1];
+    let (_, m3_tput, m3_ppw) = ratios[2];
+    out.claims.push(Claim::new(
+        "M1 trains faster on a single Big Basin than on its production CPU setup \
+         (paper: 2.25x) and is markedly more power-efficient (paper: 4.3x)",
+        format!("throughput {m1_tput:.2}x, perf/W {m1_ppw:.2}x"),
+        m1_tput > 1.0 && m1_ppw > m1_tput,
+    ));
+    out.claims.push(Claim::new(
+        "M2 is near parity in throughput (paper: 0.85x) yet clearly ahead in power \
+         efficiency (paper: 2.8x)",
+        format!("throughput {m2_tput:.2}x, perf/W {m2_ppw:.2}x"),
+        m2_tput < m1_tput && m2_ppw > 1.0,
+    ));
+    out.claims.push(Claim::new(
+        "M3 (remote embedding placement) reaches neither the CPU setup's throughput \
+         (paper: 0.67x) nor its power efficiency (paper: 0.43x)",
+        format!("throughput {m3_tput:.2}x, perf/W {m3_ppw:.2}x"),
+        m3_tput < 1.0 && m3_ppw < 1.0,
+    ));
+    out.notes.push(
+        "Power: CPU setups draw (trainers + parameter servers) x the 600 W dual-socket \
+         envelope; Big Basin draws its 7.3x envelope, plus remote PS servers for M3 — \
+         the arithmetic behind the paper's 4.3x/2.8x/0.43x column."
+            .into(),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_hold() {
+        let out = run(Effort::Quick);
+        assert!(out.all_claims_hold(), "{}", out.render());
+    }
+}

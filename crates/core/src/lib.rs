@@ -1,0 +1,48 @@
+//! The experiment harness of `recsim`: drivers that regenerate every table
+//! and figure of *Understanding Training Efficiency of Deep Learning
+//! Recommendation Models at Scale* (HPCA 2021).
+//!
+//! Each experiment in [`experiments`] is a pure function from a scale
+//! ([`Effort`]) to an [`ExperimentOutput`] — structured tables, series and
+//! the qualitative *claims* the paper makes about that experiment, each
+//! checked against the regenerated data. The benchmark binaries in
+//! `recsim-bench` and the integration tests are thin wrappers over these
+//! drivers.
+//!
+//! | Driver | Paper artifact |
+//! |---|---|
+//! | [`experiments::fig01`] | Fig. 1 — production models across platforms |
+//! | [`experiments::fig02`] | Fig. 2 — workload frequency vs duration |
+//! | [`experiments::fig05`] | Fig. 5 — utilization distributions |
+//! | [`experiments::fig06`] | Fig. 6 — hash size vs feature length |
+//! | [`experiments::fig07`] | Fig. 7 — feature-length KDE |
+//! | [`experiments::fig09`] | Fig. 9 — trainer / PS count histograms |
+//! | [`experiments::fig10`] | Fig. 10 — dense/sparse feature sweep |
+//! | [`experiments::fig11`] | Fig. 11 — batch-size scaling |
+//! | [`experiments::fig12`] | Fig. 12 — hash-size scaling |
+//! | [`experiments::fig13`] | Fig. 13 — MLP-dimension scaling |
+//! | [`experiments::fig14`] | Fig. 14 — placement comparison BB vs Zion |
+//! | [`experiments::fig15`] | Fig. 15 — batch size vs accuracy (real training) |
+//! | [`experiments::table1`] | Table I — platform inventory |
+//! | [`experiments::table2`] | Table II — production model descriptions |
+//! | [`experiments::table3`] | Table III — CPU vs GPU optimal setups |
+//! | [`experiments::automl`] | §VI.C — AutoML re-tuning study |
+//!
+//! # Example
+//!
+//! ```
+//! use recsim_core::{Effort, experiments::table1};
+//!
+//! let out = table1::run(Effort::Quick);
+//! assert!(out.all_claims_hold(), "{}", out.render());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod design_space;
+pub mod experiments;
+pub mod output;
+pub mod setups;
+
+pub use output::{Claim, Effort, ExperimentOutput};

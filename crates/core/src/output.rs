@@ -1,0 +1,155 @@
+//! Structured experiment results: tables, figures and checked claims.
+
+use recsim_metrics::{ascii, Figure, Table};
+use serde::{Deserialize, Serialize};
+
+/// How much compute an experiment driver may spend.
+///
+/// `Quick` shrinks sample counts and training budgets so the whole suite
+/// runs in CI seconds; `Full` matches the scales reported in
+/// `EXPERIMENTS.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Effort {
+    /// Reduced scale for tests.
+    Quick,
+    /// The scale used for the recorded results.
+    Full,
+}
+
+impl Effort {
+    /// Picks `quick` or `full` by variant.
+    pub fn pick<T>(self, quick: T, full: T) -> T {
+        match self {
+            Effort::Quick => quick,
+            Effort::Full => full,
+        }
+    }
+}
+
+/// One qualitative statement the paper makes, checked against regenerated
+/// data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Claim {
+    /// The paper's statement, paraphrased.
+    pub statement: String,
+    /// What the reproduction measured.
+    pub observed: String,
+    /// Whether the reproduction agrees.
+    pub holds: bool,
+}
+
+impl Claim {
+    /// Records a checked claim.
+    pub fn new(statement: impl Into<String>, observed: impl Into<String>, holds: bool) -> Self {
+        Self {
+            statement: statement.into(),
+            observed: observed.into(),
+            holds,
+        }
+    }
+}
+
+/// The structured output of one experiment driver.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentOutput {
+    /// Paper artifact id, e.g. `"fig11"`.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Result tables.
+    pub tables: Vec<Table>,
+    /// Result series (for plots).
+    pub figures: Vec<Figure>,
+    /// Checked qualitative claims.
+    pub claims: Vec<Claim>,
+    /// Free-form notes (assumptions, substitutions, deviations).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentOutput {
+    /// Creates an empty output shell.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            tables: Vec::new(),
+            figures: Vec::new(),
+            claims: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Whether every checked claim holds.
+    pub fn all_claims_hold(&self) -> bool {
+        self.claims.iter().all(|c| c.holds)
+    }
+
+    /// The claims that failed.
+    pub fn failed_claims(&self) -> Vec<&Claim> {
+        self.claims.iter().filter(|c| !c.holds).collect()
+    }
+
+    /// Renders everything as a terminal report: tables, ASCII plots, claim
+    /// checklist and notes.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("==== {} — {} ====\n\n", self.id, self.title));
+        for table in &self.tables {
+            out.push_str(&table.to_string());
+            out.push('\n');
+        }
+        for figure in &self.figures {
+            out.push_str(&ascii::line_plot(figure, 72, 18));
+            out.push('\n');
+        }
+        if !self.claims.is_empty() {
+            out.push_str("Claims:\n");
+            for claim in &self.claims {
+                out.push_str(&format!(
+                    "  [{}] {}\n        observed: {}\n",
+                    if claim.holds { "ok" } else { "FAIL" },
+                    claim.statement,
+                    claim.observed
+                ));
+            }
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effort_pick() {
+        assert_eq!(Effort::Quick.pick(1, 2), 1);
+        assert_eq!(Effort::Full.pick(1, 2), 2);
+    }
+
+    #[test]
+    fn claims_gate_success() {
+        let mut out = ExperimentOutput::new("figX", "test");
+        assert!(out.all_claims_hold(), "vacuously true");
+        out.claims.push(Claim::new("a", "yes", true));
+        assert!(out.all_claims_hold());
+        out.claims.push(Claim::new("b", "no", false));
+        assert!(!out.all_claims_hold());
+        assert_eq!(out.failed_claims().len(), 1);
+    }
+
+    #[test]
+    fn render_contains_sections() {
+        let mut out = ExperimentOutput::new("figY", "render test");
+        out.claims.push(Claim::new("stmt", "obs", true));
+        out.notes.push("a note".into());
+        let r = out.render();
+        assert!(r.contains("figY"));
+        assert!(r.contains("[ok] stmt"));
+        assert!(r.contains("note: a note"));
+    }
+}

@@ -1,0 +1,237 @@
+//! Shared experiment setups: the paper's Table III production
+//! configurations, platform constructors and placement fallbacks.
+
+use recsim_data::production::{production_model, ProductionModelId};
+use recsim_data::schema::ModelConfig;
+use recsim_hw::units::Bytes;
+use recsim_hw::Platform;
+use recsim_placement::{PartitionScheme, PlacementStrategy};
+use recsim_sim::{CpuClusterSetup, CpuTrainingSim, GpuTrainingSim, SimReport};
+use serde::{Deserialize, Serialize};
+
+/// The production training setup of one model (paper Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProductionSetup {
+    /// Which production model.
+    pub model: ProductionModelId,
+    /// The CPU fleet configuration.
+    pub cpu: CpuClusterSetup,
+    /// Embedding placement of the Big Basin port.
+    pub gpu_placement: PlacementStrategy,
+    /// The throughput-optimal global batch found for the GPU port.
+    pub gpu_batch: u64,
+}
+
+impl ProductionSetup {
+    /// Table III's row for `model`.
+    ///
+    /// CPU setups are the paper's (trainers and parameter servers split
+    /// evenly between dense and sparse); GPU placements and optimal batch
+    /// sizes are the paper's findings (M1: 1600 on GPU memory, M2: 3200 on
+    /// GPU memory, M3: 800 against remote CPU parameter servers).
+    pub fn for_model(model: ProductionModelId) -> Self {
+        match model {
+            ProductionModelId::M1 => Self {
+                model,
+                cpu: CpuClusterSetup {
+                    trainers: 6,
+                    dense_ps: 4,
+                    sparse_ps: 4,
+                    hogwild_threads: 1,
+                    batch_per_thread: 200,
+                    sync_period: 16,
+                },
+                gpu_placement: PlacementStrategy::GpuMemory(PartitionScheme::TableWise),
+                gpu_batch: 1600,
+            },
+            ProductionModelId::M2 => Self {
+                model,
+                cpu: CpuClusterSetup {
+                    trainers: 20,
+                    dense_ps: 8,
+                    sparse_ps: 8,
+                    hogwild_threads: 1,
+                    batch_per_thread: 200,
+                    sync_period: 16,
+                },
+                gpu_placement: PlacementStrategy::GpuMemory(PartitionScheme::TableWise),
+                gpu_batch: 3200,
+            },
+            ProductionModelId::M3 => Self {
+                model,
+                cpu: CpuClusterSetup {
+                    trainers: 8,
+                    dense_ps: 4,
+                    sparse_ps: 4,
+                    hogwild_threads: 4,
+                    batch_per_thread: 200,
+                    sync_period: 16,
+                },
+                gpu_placement: PlacementStrategy::RemoteCpu { servers: 8 },
+                gpu_batch: 800,
+            },
+        }
+    }
+
+    /// The model configuration.
+    pub fn model_config(&self) -> ModelConfig {
+        production_model(self.model)
+    }
+
+    /// Simulates the production CPU setup.
+    pub fn simulate_cpu(&self) -> SimReport {
+        CpuTrainingSim::new(&self.model_config(), self.cpu).run()
+    }
+
+    /// Simulates the Big Basin port (32 GiB SKU).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Table III placement cannot host the model — that would
+    /// mean the generated model diverged from the paper's capacity bands.
+    pub fn simulate_big_basin(&self) -> SimReport {
+        GpuTrainingSim::new(
+            &self.model_config(),
+            &Platform::big_basin(Bytes::from_gib(32)),
+            self.gpu_placement,
+            self.gpu_batch,
+        )
+        .expect("Table III placement must fit")
+        .run()
+    }
+
+    /// Simulates the model on Zion with the best placement among system
+    /// memory, hybrid and distributed GPU memory (system memory wins for
+    /// the production models, per the paper's Figure 14 finding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no placement fits (Zion's 2 TB always holds the production
+    /// models).
+    pub fn simulate_zion(&self) -> SimReport {
+        let zion = Platform::zion_prototype();
+        let model = self.model_config();
+        let batch = self.gpu_batch.max(1600);
+        [
+            PlacementStrategy::SystemMemory,
+            PlacementStrategy::Hybrid,
+            PlacementStrategy::GpuMemory(PartitionScheme::TableWise),
+        ]
+        .into_iter()
+        .filter_map(|s| GpuTrainingSim::new(&model, &zion, s, batch).ok())
+        .map(|sim| sim.run())
+        .max_by(|a, b| {
+            a.throughput()
+                .partial_cmp(&b.throughput())
+                .expect("finite throughput")
+        })
+        .expect("Zion system memory must fit production models")
+    }
+}
+
+/// Tries GPU placements in preference order (table-wise GPU memory, then
+/// hybrid spill) and returns the first that fits, with its label — the
+/// fallback chain a practitioner walks when tables outgrow HBM (used by the
+/// hash-scaling sweep of Figure 12).
+pub fn gpu_with_fallback(
+    config: &ModelConfig,
+    platform: &Platform,
+    batch: u64,
+) -> Option<(SimReport, PlacementStrategy)> {
+    for strategy in [
+        PlacementStrategy::GpuMemory(PartitionScheme::TableWise),
+        PlacementStrategy::Hybrid,
+        PlacementStrategy::SystemMemory,
+    ] {
+        if let Ok(sim) = GpuTrainingSim::new(config, platform, strategy, batch) {
+            return Some((sim.run(), strategy));
+        }
+    }
+    None
+}
+
+/// The throughput-optimal batch size over a candidate list.
+pub fn optimal_batch(
+    config: &ModelConfig,
+    platform: &Platform,
+    strategy: PlacementStrategy,
+    candidates: &[u64],
+) -> Option<(u64, SimReport)> {
+    let mut best: Option<(u64, SimReport)> = None;
+    for &batch in candidates {
+        if let Ok(sim) = GpuTrainingSim::new(config, platform, strategy, batch) {
+            let report = sim.run();
+            let better = best
+                .as_ref()
+                .map(|(_, b)| report.throughput() > b.throughput())
+                .unwrap_or(true);
+            if better {
+                best = Some((batch, report));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_setups_have_paper_shapes() {
+        let m1 = ProductionSetup::for_model(ProductionModelId::M1);
+        assert_eq!(m1.cpu.trainers, 6);
+        assert_eq!(m1.cpu.total_servers(), 14);
+        assert_eq!(m1.gpu_batch, 1600);
+        let m3 = ProductionSetup::for_model(ProductionModelId::M3);
+        assert!(matches!(
+            m3.gpu_placement,
+            PlacementStrategy::RemoteCpu { .. }
+        ));
+        assert_eq!(m3.cpu.hogwild_threads, 4);
+    }
+
+    #[test]
+    fn all_production_setups_simulate() {
+        for id in ProductionModelId::ALL {
+            let setup = ProductionSetup::for_model(id);
+            assert!(setup.simulate_cpu().throughput() > 0.0);
+            assert!(setup.simulate_big_basin().throughput() > 0.0);
+            assert!(setup.simulate_zion().throughput() > 0.0);
+        }
+    }
+
+    #[test]
+    fn fallback_walks_the_chain() {
+        let bb = Platform::big_basin(Bytes::from_gib(16));
+        // Small model: first choice fits.
+        let small = ModelConfig::test_suite(64, 8, 10_000, &[128]);
+        let (_, strat) = gpu_with_fallback(&small, &bb, 512).expect("fits");
+        assert_eq!(
+            strat,
+            PlacementStrategy::GpuMemory(PartitionScheme::TableWise)
+        );
+        // M3-scale model: table-wise fails, hybrid catches it.
+        let m3 = production_model(ProductionModelId::M3);
+        let (_, strat) = gpu_with_fallback(&m3, &bb, 512).expect("hybrid or host");
+        assert_ne!(
+            strat,
+            PlacementStrategy::GpuMemory(PartitionScheme::TableWise)
+        );
+    }
+
+    #[test]
+    fn optimal_batch_picks_a_candidate() {
+        let bb = Platform::big_basin(Bytes::from_gib(32));
+        let cfg = ModelConfig::test_suite(64, 8, 100_000, &[256, 256]);
+        let (batch, report) = optimal_batch(
+            &cfg,
+            &bb,
+            PlacementStrategy::GpuMemory(PartitionScheme::TableWise),
+            &[200, 1600, 6400],
+        )
+        .expect("some batch fits");
+        assert!([200, 1600, 6400].contains(&batch));
+        assert!(report.throughput() > 0.0);
+    }
+}

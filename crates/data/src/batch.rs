@@ -1,0 +1,249 @@
+//! Mini-batch containers in CSR (offsets + indices) form.
+
+use serde::{Deserialize, Serialize};
+
+/// One sparse feature's activated indices across a mini-batch, in CSR form:
+/// example `i`'s indices are `indices[offsets[i]..offsets[i+1]]`.
+///
+/// # Example
+///
+/// ```
+/// use recsim_data::SparseBatch;
+///
+/// // Example 0 activates rows {3, 5}; example 1 activates {9}.
+/// let sb = SparseBatch::new(vec![0, 2, 3], vec![3, 5, 9]);
+/// assert_eq!(sb.batch_size(), 2);
+/// assert_eq!(sb.example(0), &[3, 5]);
+/// assert_eq!(sb.example(1), &[9]);
+/// assert_eq!(sb.total_lookups(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SparseBatch {
+    offsets: Vec<usize>,
+    indices: Vec<u32>,
+}
+
+impl SparseBatch {
+    /// Creates a CSR sparse batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offsets` is not a valid monotone CSR offset array ending
+    /// at `indices.len()`.
+    pub fn new(offsets: Vec<usize>, indices: Vec<u32>) -> Self {
+        assert!(!offsets.is_empty(), "offsets must start with 0");
+        assert_eq!(offsets[0], 0, "offsets must start with 0");
+        assert_eq!(
+            *offsets.last().expect("non-empty"),
+            indices.len(),
+            "offsets must end at indices.len()"
+        );
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be monotone"
+        );
+        Self { offsets, indices }
+    }
+
+    /// An empty batch of `batch_size` examples with no activations.
+    pub fn empty(batch_size: usize) -> Self {
+        Self {
+            offsets: vec![0; batch_size + 1],
+            indices: Vec::new(),
+        }
+    }
+
+    /// Number of examples.
+    pub fn batch_size(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Indices activated by example `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn example(&self, i: usize) -> &[u32] {
+        &self.indices[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Total lookups across the batch.
+    pub fn total_lookups(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// The CSR offsets.
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The flat index array.
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Iterator over per-example index slices.
+    pub fn iter(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        (0..self.batch_size()).map(move |i| self.example(i))
+    }
+
+    /// Largest index referenced, if any — used to validate against a table's
+    /// hash size.
+    pub fn max_index(&self) -> Option<u32> {
+        self.indices.iter().copied().max()
+    }
+}
+
+/// A complete mini-batch: dense features (row-major `B × num_dense`), one
+/// [`SparseBatch`] per sparse feature, and binary labels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MiniBatch {
+    batch_size: usize,
+    num_dense: usize,
+    dense: Vec<f32>,
+    sparse: Vec<SparseBatch>,
+    labels: Vec<f32>,
+}
+
+impl MiniBatch {
+    /// Creates a mini-batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if array lengths are inconsistent with `batch_size` /
+    /// `num_dense`, or any sparse batch disagrees on batch size.
+    pub fn new(
+        batch_size: usize,
+        num_dense: usize,
+        dense: Vec<f32>,
+        sparse: Vec<SparseBatch>,
+        labels: Vec<f32>,
+    ) -> Self {
+        assert_eq!(dense.len(), batch_size * num_dense, "dense shape mismatch");
+        assert_eq!(labels.len(), batch_size, "label count mismatch");
+        for (i, sb) in sparse.iter().enumerate() {
+            assert_eq!(
+                sb.batch_size(),
+                batch_size,
+                "sparse feature {i} batch size mismatch"
+            );
+        }
+        Self {
+            batch_size,
+            num_dense,
+            dense,
+            sparse,
+            labels,
+        }
+    }
+
+    /// Number of examples.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Number of dense features per example.
+    pub fn num_dense(&self) -> usize {
+        self.num_dense
+    }
+
+    /// Row-major dense matrix (`batch_size × num_dense`).
+    pub fn dense(&self) -> &[f32] {
+        &self.dense
+    }
+
+    /// Dense row of example `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn dense_row(&self, i: usize) -> &[f32] {
+        &self.dense[i * self.num_dense..(i + 1) * self.num_dense]
+    }
+
+    /// Per-feature sparse activations.
+    pub fn sparse(&self) -> &[SparseBatch] {
+        &self.sparse
+    }
+
+    /// Binary labels in `{0.0, 1.0}`.
+    pub fn labels(&self) -> &[f32] {
+        &self.labels
+    }
+
+    /// Total embedding lookups across all features.
+    pub fn total_lookups(&self) -> usize {
+        self.sparse.iter().map(SparseBatch::total_lookups).sum()
+    }
+
+    /// Empirical click-through rate of the batch.
+    pub fn ctr(&self) -> f64 {
+        if self.labels.is_empty() {
+            0.0
+        } else {
+            self.labels.iter().map(|&l| l as f64).sum::<f64>() / self.labels.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_roundtrip() {
+        let sb = SparseBatch::new(vec![0, 1, 1, 4], vec![7, 1, 2, 3]);
+        assert_eq!(sb.batch_size(), 3);
+        assert_eq!(sb.example(0), &[7]);
+        assert_eq!(sb.example(1), &[] as &[u32]);
+        assert_eq!(sb.example(2), &[1, 2, 3]);
+        assert_eq!(sb.max_index(), Some(7));
+    }
+
+    #[test]
+    fn empty_batch() {
+        let sb = SparseBatch::empty(4);
+        assert_eq!(sb.batch_size(), 4);
+        assert_eq!(sb.total_lookups(), 0);
+        assert_eq!(sb.max_index(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn non_monotone_offsets_rejected() {
+        SparseBatch::new(vec![0, 3, 2, 4], vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "end at")]
+    fn mismatched_tail_rejected() {
+        SparseBatch::new(vec![0, 1], vec![1, 2]);
+    }
+
+    #[test]
+    fn minibatch_shape_checks() {
+        let mb = MiniBatch::new(
+            2,
+            3,
+            vec![0.0; 6],
+            vec![SparseBatch::empty(2)],
+            vec![1.0, 0.0],
+        );
+        assert_eq!(mb.dense_row(1).len(), 3);
+        assert_eq!(mb.ctr(), 0.5);
+        assert_eq!(mb.total_lookups(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size mismatch")]
+    fn sparse_batch_size_enforced() {
+        MiniBatch::new(2, 1, vec![0.0; 2], vec![SparseBatch::empty(3)], vec![0.0; 2]);
+    }
+
+    #[test]
+    fn iter_yields_all_examples() {
+        let sb = SparseBatch::new(vec![0, 2, 3], vec![1, 2, 3]);
+        let rows: Vec<&[u32]> = sb.iter().collect();
+        assert_eq!(rows, vec![&[1u32, 2][..], &[3u32][..]]);
+    }
+}

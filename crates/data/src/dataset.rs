@@ -1,0 +1,401 @@
+//! A binary on-disk format for example streams.
+//!
+//! The paper's readers stream preprocessed examples from the Hive warehouse
+//! to trainers. This module provides the equivalent artifact for `recsim`:
+//! a compact, versioned, little-endian binary format for [`MiniBatch`]
+//! streams, so workloads can be generated once and replayed (or shipped to
+//! another process) instead of being resampled.
+//!
+//! Layout: a 16-byte header (`RSDS`, version, dense count, sparse count)
+//! followed by length-prefixed batch records. Readers validate structure
+//! and report typed errors instead of panicking on malformed input.
+
+use crate::batch::{MiniBatch, SparseBatch};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"RSDS";
+const VERSION: u32 = 1;
+
+/// Why reading a dataset failed.
+#[derive(Debug)]
+pub enum DatasetError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream does not start with the `RSDS` magic.
+    BadMagic,
+    /// The stream's version is not supported.
+    UnsupportedVersion(u32),
+    /// A structural invariant was violated (truncated record, inconsistent
+    /// offsets, …).
+    Corrupt(&'static str),
+    /// The stream's schema does not match the expectation.
+    SchemaMismatch {
+        /// Dense/sparse counts found in the header.
+        found: (u32, u32),
+        /// Dense/sparse counts expected.
+        expected: (u32, u32),
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::Io(e) => write!(f, "dataset I/O failed: {e}"),
+            DatasetError::BadMagic => write!(f, "not a recsim dataset (bad magic)"),
+            DatasetError::UnsupportedVersion(v) => {
+                write!(f, "unsupported dataset version {v}")
+            }
+            DatasetError::Corrupt(what) => write!(f, "corrupt dataset: {what}"),
+            DatasetError::SchemaMismatch { found, expected } => write!(
+                f,
+                "dataset schema {found:?} does not match expected {expected:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+impl From<io::Error> for DatasetError {
+    fn from(e: io::Error) -> Self {
+        DatasetError::Io(e)
+    }
+}
+
+/// Streams batches into a writer.
+///
+/// A `&mut W` can be passed wherever `W: Write` is expected, so a writer
+/// borrowed from a file or buffer works directly.
+///
+/// # Example
+///
+/// ```
+/// use recsim_data::dataset::{DatasetReader, DatasetWriter};
+/// use recsim_data::{schema::ModelConfig, CtrGenerator};
+///
+/// let config = ModelConfig::test_suite(4, 2, 50, &[8]);
+/// let mut gen = CtrGenerator::new(&config, 1);
+/// let mut buf = Vec::new();
+/// let mut writer = DatasetWriter::new(&mut buf, 4, 2)?;
+/// writer.write_batch(&gen.next_batch(8))?;
+/// writer.write_batch(&gen.next_batch(8))?;
+///
+/// let mut reader = DatasetReader::new(buf.as_slice())?;
+/// let mut batches = 0;
+/// while let Some(batch) = reader.next_batch()? {
+///     assert_eq!(batch.batch_size(), 8);
+///     batches += 1;
+/// }
+/// assert_eq!(batches, 2);
+/// # Ok::<(), recsim_data::dataset::DatasetError>(())
+/// ```
+#[derive(Debug)]
+pub struct DatasetWriter<W> {
+    sink: W,
+    num_dense: u32,
+    num_sparse: u32,
+    batches_written: u64,
+}
+
+impl<W: Write> DatasetWriter<W> {
+    /// Writes the header and returns the writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn new(mut sink: W, num_dense: u32, num_sparse: u32) -> Result<Self, DatasetError> {
+        sink.write_all(MAGIC)?;
+        sink.write_all(&VERSION.to_le_bytes())?;
+        sink.write_all(&num_dense.to_le_bytes())?;
+        sink.write_all(&num_sparse.to_le_bytes())?;
+        Ok(Self {
+            sink,
+            num_dense,
+            num_sparse,
+            batches_written: 0,
+        })
+    }
+
+    /// Appends one batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch's shape does not match the header.
+    pub fn write_batch(&mut self, batch: &MiniBatch) -> Result<(), DatasetError> {
+        assert_eq!(
+            batch.num_dense() as u32,
+            self.num_dense,
+            "dense count mismatch"
+        );
+        assert_eq!(
+            batch.sparse().len() as u32,
+            self.num_sparse,
+            "sparse count mismatch"
+        );
+        let b = batch.batch_size() as u32;
+        self.sink.write_all(&b.to_le_bytes())?;
+        for &v in batch.dense() {
+            self.sink.write_all(&v.to_le_bytes())?;
+        }
+        for sb in batch.sparse() {
+            self.sink
+                .write_all(&(sb.total_lookups() as u32).to_le_bytes())?;
+            for &o in sb.offsets() {
+                self.sink.write_all(&(o as u32).to_le_bytes())?;
+            }
+            for &i in sb.indices() {
+                self.sink.write_all(&i.to_le_bytes())?;
+            }
+        }
+        for &l in batch.labels() {
+            self.sink.write_all(&l.to_le_bytes())?;
+        }
+        self.batches_written += 1;
+        Ok(())
+    }
+
+    /// Batches written so far.
+    pub fn batches_written(&self) -> u64 {
+        self.batches_written
+    }
+
+    /// Flushes and returns the underlying sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the flush failure.
+    pub fn finish(mut self) -> Result<W, DatasetError> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+/// Streams batches out of a reader.
+#[derive(Debug)]
+pub struct DatasetReader<R> {
+    source: R,
+    num_dense: u32,
+    num_sparse: u32,
+}
+
+impl<R: Read> DatasetReader<R> {
+    /// Reads and validates the header.
+    ///
+    /// # Errors
+    ///
+    /// [`DatasetError::BadMagic`] / [`DatasetError::UnsupportedVersion`] on
+    /// foreign input, I/O errors from the source.
+    pub fn new(mut source: R) -> Result<Self, DatasetError> {
+        let mut magic = [0u8; 4];
+        source.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(DatasetError::BadMagic);
+        }
+        let version = read_u32(&mut source)?;
+        if version != VERSION {
+            return Err(DatasetError::UnsupportedVersion(version));
+        }
+        let num_dense = read_u32(&mut source)?;
+        let num_sparse = read_u32(&mut source)?;
+        Ok(Self {
+            source,
+            num_dense,
+            num_sparse,
+        })
+    }
+
+    /// The schema from the header: `(num_dense, num_sparse)`.
+    pub fn schema(&self) -> (u32, u32) {
+        (self.num_dense, self.num_sparse)
+    }
+
+    /// Validates the header against an expected schema.
+    ///
+    /// # Errors
+    ///
+    /// [`DatasetError::SchemaMismatch`] when they differ.
+    pub fn expect_schema(&self, num_dense: u32, num_sparse: u32) -> Result<(), DatasetError> {
+        if (self.num_dense, self.num_sparse) != (num_dense, num_sparse) {
+            return Err(DatasetError::SchemaMismatch {
+                found: (self.num_dense, self.num_sparse),
+                expected: (num_dense, num_sparse),
+            });
+        }
+        Ok(())
+    }
+
+    /// Reads the next batch; `Ok(None)` at a clean end of stream.
+    ///
+    /// # Errors
+    ///
+    /// [`DatasetError::Corrupt`] on truncated or inconsistent records.
+    pub fn next_batch(&mut self) -> Result<Option<MiniBatch>, DatasetError> {
+        let b = match read_u32_or_eof(&mut self.source)? {
+            None => return Ok(None),
+            Some(b) => b as usize,
+        };
+        if b == 0 {
+            return Err(DatasetError::Corrupt("zero batch size"));
+        }
+        let mut dense = Vec::with_capacity(b * self.num_dense as usize);
+        for _ in 0..b * self.num_dense as usize {
+            dense.push(read_f32(&mut self.source)?);
+        }
+        let mut sparse = Vec::with_capacity(self.num_sparse as usize);
+        for _ in 0..self.num_sparse {
+            let total = read_u32(&mut self.source)? as usize;
+            let mut offsets = Vec::with_capacity(b + 1);
+            for _ in 0..=b {
+                offsets.push(read_u32(&mut self.source)? as usize);
+            }
+            if offsets.first() != Some(&0)
+                || offsets.last() != Some(&total)
+                || offsets.windows(2).any(|w| w[0] > w[1])
+            {
+                return Err(DatasetError::Corrupt("invalid CSR offsets"));
+            }
+            let mut indices = Vec::with_capacity(total);
+            for _ in 0..total {
+                indices.push(read_u32(&mut self.source)?);
+            }
+            sparse.push(SparseBatch::new(offsets, indices));
+        }
+        let mut labels = Vec::with_capacity(b);
+        for _ in 0..b {
+            let l = read_f32(&mut self.source)?;
+            if !l.is_finite() {
+                return Err(DatasetError::Corrupt("non-finite label"));
+            }
+            labels.push(l);
+        }
+        Ok(Some(MiniBatch::new(
+            b,
+            self.num_dense as usize,
+            dense,
+            sparse,
+            labels,
+        )))
+    }
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, DatasetError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)
+        .map_err(|_| DatasetError::Corrupt("truncated record"))?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u32_or_eof<R: Read>(r: &mut R) -> Result<Option<u32>, DatasetError> {
+    let mut buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => return Err(DatasetError::Corrupt("truncated batch header")),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(DatasetError::Io(e)),
+        }
+    }
+    Ok(Some(u32::from_le_bytes(buf)))
+}
+
+fn read_f32<R: Read>(r: &mut R) -> Result<f32, DatasetError> {
+    Ok(f32::from_bits(read_u32(r)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ModelConfig;
+    use crate::CtrGenerator;
+
+    fn sample_batches(n: usize, size: usize) -> (ModelConfig, Vec<MiniBatch>) {
+        let config = ModelConfig::test_suite(6, 3, 100, &[8]);
+        let mut gen = CtrGenerator::new(&config, 42);
+        let batches = (0..n).map(|_| gen.next_batch(size)).collect();
+        (config, batches)
+    }
+
+    #[test]
+    fn round_trip_preserves_batches_exactly() {
+        let (_, batches) = sample_batches(5, 17);
+        let mut buf = Vec::new();
+        let mut w = DatasetWriter::new(&mut buf, 6, 3).expect("header");
+        for b in &batches {
+            w.write_batch(b).expect("write");
+        }
+        assert_eq!(w.batches_written(), 5);
+        w.finish().expect("flush");
+
+        let mut r = DatasetReader::new(buf.as_slice()).expect("header");
+        assert_eq!(r.schema(), (6, 3));
+        r.expect_schema(6, 3).expect("schema");
+        let mut read_back = Vec::new();
+        while let Some(b) = r.next_batch().expect("read") {
+            read_back.push(b);
+        }
+        assert_eq!(read_back, batches);
+    }
+
+    #[test]
+    fn foreign_input_is_rejected() {
+        assert!(matches!(
+            DatasetReader::new(&b"not a dataset"[..]),
+            Err(DatasetError::BadMagic)
+        ));
+        let mut versioned = Vec::new();
+        versioned.extend_from_slice(MAGIC);
+        versioned.extend_from_slice(&99u32.to_le_bytes());
+        versioned.extend_from_slice(&[0u8; 8]);
+        assert!(matches!(
+            DatasetReader::new(versioned.as_slice()),
+            Err(DatasetError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let (_, batches) = sample_batches(1, 8);
+        let mut buf = Vec::new();
+        let mut w = DatasetWriter::new(&mut buf, 6, 3).expect("header");
+        w.write_batch(&batches[0]).expect("write");
+        buf.truncate(buf.len() - 3); // chop mid-record
+        let mut r = DatasetReader::new(buf.as_slice()).expect("header");
+        assert!(matches!(
+            r.next_batch(),
+            Err(DatasetError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn schema_mismatch_is_reported() {
+        let mut buf = Vec::new();
+        DatasetWriter::new(&mut buf, 6, 3).expect("header");
+        let r = DatasetReader::new(buf.as_slice()).expect("header");
+        let err = r.expect_schema(4, 3).unwrap_err();
+        assert!(matches!(err, DatasetError::SchemaMismatch { .. }));
+    }
+
+    #[test]
+    fn empty_dataset_reads_cleanly() {
+        let mut buf = Vec::new();
+        DatasetWriter::new(&mut buf, 2, 1).expect("header");
+        let mut r = DatasetReader::new(buf.as_slice()).expect("header");
+        assert!(r.next_batch().expect("clean EOF").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "dense count mismatch")]
+    fn writer_validates_shape() {
+        let (_, batches) = sample_batches(1, 4);
+        let mut buf = Vec::new();
+        let mut w = DatasetWriter::new(&mut buf, 99, 3).expect("header");
+        let _ = w.write_batch(&batches[0]);
+    }
+}

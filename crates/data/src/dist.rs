@@ -1,0 +1,308 @@
+//! Distribution toolbox: Zipf index popularity, truncated power-law feature
+//! lengths, log-normal hash-size spectra.
+//!
+//! The paper's Figure 7 shows that feature lengths "resemble a power-law
+//! distribution", and Figure 6 shows hash sizes spanning 30 … 20 million.
+//! These samplers regenerate populations with those statistics.
+
+use rand::Rng;
+use rand_distr::{Distribution, LogNormal, Zipf};
+use serde::{Deserialize, Serialize};
+
+/// Zipf-distributed embedding-row popularity.
+///
+/// Training lookups concentrate on hot rows; the paper points out that "some
+/// of the most accessed tables are relatively small" and that skew creates
+/// caching opportunities. `ZipfSampler` drives which row each lookup hits.
+///
+/// # Example
+///
+/// ```
+/// use recsim_data::dist::ZipfSampler;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let z = ZipfSampler::new(1000, 1.1);
+/// let idx = z.sample(&mut rng);
+/// assert!(idx < 1000);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ZipfSampler {
+    inner: Zipf<f64>,
+    n: u64,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `[0, n)` with exponent `s > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is not positive and finite.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "Zipf support must be non-empty");
+        assert!(s > 0.0 && s.is_finite(), "Zipf exponent must be positive");
+        Self {
+            inner: Zipf::new(n, s).expect("validated parameters"),
+            n,
+        }
+    }
+
+    /// Support size.
+    pub fn support(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws one zero-based index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        // rand_distr's Zipf returns 1-based ranks as f64.
+        (self.inner.sample(rng) as u64).saturating_sub(1).min(self.n - 1)
+    }
+}
+
+/// A discrete power-law sampler over `{1, …, max}` with density ∝ `k^-alpha`,
+/// used for per-example feature lengths (paper Figure 7).
+///
+/// Sampling uses the inverse-CDF of the continuous Pareto between 1 and
+/// `max`, discretized by flooring — cheap, and accurate enough for length
+/// distributions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerLawLengths {
+    alpha: f64,
+    max: u32,
+}
+
+impl PowerLawLengths {
+    /// Creates a sampler with tail exponent `alpha > 1` truncated at `max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha <= 1` or `max == 0`.
+    pub fn new(alpha: f64, max: u32) -> Self {
+        assert!(alpha > 1.0 && alpha.is_finite(), "power law needs alpha > 1");
+        assert!(max > 0, "maximum length must be positive");
+        Self { alpha, max }
+    }
+
+    /// The tail exponent.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The truncation point.
+    pub fn max(&self) -> u32 {
+        self.max
+    }
+
+    /// Draws one length in `{1, …, max}`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let a = self.alpha - 1.0;
+        let max = self.max as f64;
+        // Inverse CDF of Pareto(1, a) truncated at max.
+        let tail = 1.0 - max.powf(-a);
+        let x = (1.0 - u * tail).powf(-1.0 / a);
+        (x.floor() as u32).clamp(1, self.max)
+    }
+
+    /// Analytic mean of the truncated, discretized distribution, estimated
+    /// by direct summation of the continuous density (good to ~1%).
+    pub fn approx_mean(&self) -> f64 {
+        let a = self.alpha;
+        let max = self.max as f64;
+        // E[X] for continuous truncated Pareto(1, a-1).
+        let am1 = a - 1.0;
+        let tail = 1.0 - max.powf(-am1);
+        if (a - 2.0).abs() < 1e-9 {
+            (max.ln() * am1 / tail) + 0.0
+        } else {
+            am1 / (a - 2.0) * (1.0 - max.powf(-(a - 2.0))) / tail
+        }
+    }
+}
+
+/// Log-normal sampler for hash sizes, clamped to `[min, max]`.
+///
+/// Figure 6's hash sizes range "from 30 being smallest, to 20 million the
+/// largest", with means of a few million — a classic log-normal spectrum.
+#[derive(Debug, Clone, Copy)]
+pub struct HashSizeSpectrum {
+    inner: LogNormal<f64>,
+    min: u64,
+    max: u64,
+}
+
+impl HashSizeSpectrum {
+    /// Creates a spectrum with the given log-space mean and standard
+    /// deviation, clamped to `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min == 0`, `min > max`, or `sigma` is negative.
+    pub fn new(mu_ln: f64, sigma_ln: f64, min: u64, max: u64) -> Self {
+        assert!(min > 0 && min <= max, "need 0 < min <= max");
+        assert!(sigma_ln >= 0.0, "sigma must be non-negative");
+        Self {
+            inner: LogNormal::new(mu_ln, sigma_ln).expect("validated parameters"),
+            min,
+            max,
+        }
+    }
+
+    /// A spectrum calibrated to the paper's Figure 6: sizes in
+    /// [30, 20 million] with a mean of roughly `target_mean`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_mean` is not within (30, 2e7).
+    pub fn production(target_mean: f64) -> Self {
+        assert!(
+            target_mean > 30.0 && target_mean < 2e7,
+            "target mean must lie inside the observed range"
+        );
+        // For LogNormal, E[X] = exp(mu + sigma^2/2). Pick sigma = 2.0
+        // (spread over ~4 decades like Figure 6) and solve for mu. Clamping
+        // to 2e7 pulls the realized mean below exp(mu+sigma^2/2), so
+        // compensate with a small empirical factor.
+        let sigma = 2.0f64;
+        let mu = target_mean.ln() - sigma * sigma / 2.0 + 0.35;
+        Self::new(mu, sigma, 30, 20_000_000)
+    }
+
+    /// Draws one hash size.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        (self.inner.sample(rng) as u64).clamp(self.min, self.max)
+    }
+}
+
+/// Multiplicative log-normal noise around 1.0, used for run-to-run system
+/// variability in the fleet simulations (paper Figure 5 attributes part of
+/// the spread to "system or hardware level variability").
+#[derive(Debug, Clone, Copy)]
+pub struct SystemNoise {
+    inner: LogNormal<f64>,
+}
+
+impl SystemNoise {
+    /// Creates noise with the given log-space standard deviation; the
+    /// distribution is centred so its mean is 1.0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or not finite.
+    pub fn new(sigma: f64) -> Self {
+        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be >= 0");
+        Self {
+            inner: LogNormal::new(-sigma * sigma / 2.0, sigma).expect("validated"),
+        }
+    }
+
+    /// Draws one multiplicative factor (mean 1.0).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.inner.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_respects_support() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let z = ZipfSampler::new(100, 1.2);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let z = ZipfSampler::new(1000, 1.2);
+        let mut low = 0;
+        for _ in 0..10_000 {
+            if z.sample(&mut rng) < 10 {
+                low += 1;
+            }
+        }
+        // Top-1% of ranks should collect far more than 1% of mass.
+        assert!(low > 2000, "got {low} hits in the top 10 ranks");
+    }
+
+    #[test]
+    fn power_law_lengths_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = PowerLawLengths::new(2.0, 50);
+        for _ in 0..1000 {
+            let l = p.sample(&mut rng);
+            assert!((1..=50).contains(&l));
+        }
+    }
+
+    #[test]
+    fn power_law_mean_close_to_analytic() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let p = PowerLawLengths::new(2.5, 200);
+        let n = 200_000;
+        let sum: u64 = (0..n).map(|_| p.sample(&mut rng) as u64).sum();
+        let emp = sum as f64 / n as f64;
+        // Discretization biases down by up to ~0.5.
+        assert!(
+            (emp - p.approx_mean()).abs() < 0.6,
+            "empirical {emp} vs analytic {}",
+            p.approx_mean()
+        );
+    }
+
+    #[test]
+    fn power_law_is_heavy_tailed() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = PowerLawLengths::new(1.8, 1000);
+        let samples: Vec<u32> = (0..50_000).map(|_| p.sample(&mut rng)).collect();
+        let ones = samples.iter().filter(|&&l| l == 1).count();
+        let big = samples.iter().filter(|&&l| l > 100).count();
+        assert!(ones > samples.len() / 3, "mode at 1");
+        assert!(big > 0, "tail reaches past 100");
+    }
+
+    #[test]
+    fn hash_spectrum_clamps() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let h = HashSizeSpectrum::new(10.0, 3.0, 30, 20_000_000);
+        for _ in 0..1000 {
+            let s = h.sample(&mut rng);
+            assert!((30..=20_000_000).contains(&s));
+        }
+    }
+
+    #[test]
+    fn production_spectrum_hits_target_mean() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let target = 5_700_000.0; // M1's mean hash size from the paper
+        let h = HashSizeSpectrum::production(target);
+        let n = 40_000;
+        let sum: u64 = (0..n).map(|_| h.sample(&mut rng)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!(
+            (mean / target - 1.0).abs() < 0.35,
+            "mean {mean:.0} should be within 35% of {target:.0}"
+        );
+    }
+
+    #[test]
+    fn system_noise_centred_on_one() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let noise = SystemNoise::new(0.15);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| noise.sample(&mut rng)).sum();
+        assert!((sum / n as f64 - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha > 1")]
+    fn power_law_validates_alpha() {
+        PowerLawLengths::new(1.0, 10);
+    }
+}

@@ -1,0 +1,285 @@
+//! Fleet-level workload population sampling.
+//!
+//! Three of the paper's characterization figures describe the *population*
+//! of training workflows at the datacenter rather than a single run:
+//!
+//! * Figure 2 — training frequency vs duration per workload class,
+//! * Figure 5 — run-to-run utilization variability of one ranking model at
+//!   fixed scale (attributed to config variation plus system noise),
+//! * Figure 9 — histograms of trainer and parameter-server counts, with
+//!   "over 40% of the workflows using the same number of trainers" while
+//!   "the number of parameter servers varies greatly".
+//!
+//! This module samples synthetic populations with those properties.
+
+use crate::dist::SystemNoise;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, LogNormal};
+use serde::{Deserialize, Serialize};
+
+/// A class of training workload in the fleet (paper Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadClass {
+    /// News Feed ranking — a deep learning recommendation model; the most
+    /// frequently trained class.
+    NewsFeed,
+    /// Search ranking — also a recommendation model, trained very often.
+    Search,
+    /// Language translation — RNN variants, trained less often but long.
+    LanguageTranslation,
+    /// Facer (face detection) — CNN variants, trained least often.
+    Facer,
+}
+
+impl WorkloadClass {
+    /// All classes, in the figure's order.
+    pub const ALL: [WorkloadClass; 4] = [
+        WorkloadClass::NewsFeed,
+        WorkloadClass::Search,
+        WorkloadClass::LanguageTranslation,
+        WorkloadClass::Facer,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadClass::NewsFeed => "News Feed",
+            WorkloadClass::Search => "Search",
+            WorkloadClass::LanguageTranslation => "Language Translation",
+            WorkloadClass::Facer => "Facer",
+        }
+    }
+
+    /// Whether the class is a deep learning recommendation model.
+    pub fn is_recommendation(self) -> bool {
+        matches!(self, WorkloadClass::NewsFeed | WorkloadClass::Search)
+    }
+
+    /// Typical trainings per week (centre of the sampled range).
+    pub fn typical_trainings_per_week(self) -> f64 {
+        match self {
+            WorkloadClass::NewsFeed => 70.0,
+            WorkloadClass::Search => 50.0,
+            WorkloadClass::LanguageTranslation => 4.0,
+            WorkloadClass::Facer => 1.0,
+        }
+    }
+
+    /// Typical duration of one training run in hours.
+    pub fn typical_duration_hours(self) -> f64 {
+        match self {
+            WorkloadClass::NewsFeed => 18.0,
+            WorkloadClass::Search => 14.0,
+            WorkloadClass::LanguageTranslation => 60.0,
+            WorkloadClass::Facer => 30.0,
+        }
+    }
+}
+
+/// One sampled training workflow: its class, cadence and duration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkflowSample {
+    /// Workload class.
+    pub class: WorkloadClass,
+    /// Trainings per week for this workflow.
+    pub trainings_per_week: f64,
+    /// Duration of one training in hours.
+    pub duration_hours: f64,
+}
+
+/// One sampled run-scale configuration: server counts for a training run
+/// (paper Figure 9 and Section IV.B.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ServerCounts {
+    /// Data-parallel trainer servers.
+    pub trainers: u32,
+    /// Parameter servers (dense + sparse combined).
+    pub parameter_servers: u32,
+    /// Reader servers feeding the trainers.
+    pub readers: u32,
+}
+
+/// The fleet sampler. Deterministic for a given seed.
+///
+/// # Example
+///
+/// ```
+/// use recsim_data::fleet::FleetSampler;
+///
+/// let mut fleet = FleetSampler::new(7);
+/// let counts = fleet.sample_server_counts();
+/// assert!(counts.trainers >= 1);
+/// assert!(counts.parameter_servers >= 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FleetSampler {
+    rng: StdRng,
+    noise: SystemNoise,
+}
+
+/// The trainer count that the plurality of workflows share; the paper's
+/// Figure 9 shows one dominant bucket holding >40% of runs.
+pub const COMMON_TRAINER_COUNT: u32 = 12;
+
+impl FleetSampler {
+    /// Creates a sampler.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            noise: SystemNoise::new(0.12),
+        }
+    }
+
+    /// Samples one workflow for Figure 2: class-dependent cadence and
+    /// duration with log-normal jitter.
+    pub fn sample_workflow(&mut self, class: WorkloadClass) -> WorkflowSample {
+        let jitter = LogNormal::new(0.0, 0.5).expect("fixed parameters");
+        WorkflowSample {
+            class,
+            trainings_per_week: class.typical_trainings_per_week()
+                * jitter.sample(&mut self.rng),
+            duration_hours: class.typical_duration_hours() * jitter.sample(&mut self.rng),
+        }
+    }
+
+    /// Samples the server counts of one training run.
+    ///
+    /// Trainer counts concentrate: ~45% of runs use
+    /// [`COMMON_TRAINER_COUNT`], the rest spread geometrically ("the
+    /// training throughput requirement does not change very often").
+    /// Parameter-server counts vary widely ("memory capacity requirement
+    /// changes frequently, which results in a wide range").
+    pub fn sample_server_counts(&mut self) -> ServerCounts {
+        let trainers = if self.rng.gen_bool(0.45) {
+            COMMON_TRAINER_COUNT
+        } else {
+            // Geometric-ish spread over 1..=40, biased low.
+            let u: f64 = self.rng.gen_range(0.0f64..1.0);
+            (1.0 + 39.0 * u * u) as u32
+        };
+        let ps = {
+            // Log-uniform over [2, 64]: the wide PS distribution.
+            let u: f64 = self.rng.gen_range(0.0f64..1.0);
+            (2.0f64 * (32.0f64).powf(u)).round() as u32
+        };
+        // Readers scale with trainers so reading never bottlenecks.
+        let readers = (trainers * 2).max(4);
+        ServerCounts {
+            trainers,
+            parameter_servers: ps.max(1),
+            readers,
+        }
+    }
+
+    /// Samples a multiplicative system-level noise factor (mean 1.0) for
+    /// run-to-run hardware variability (Figure 5's residual spread).
+    pub fn sample_system_noise(&mut self) -> f64 {
+        self.noise.sample(&mut self.rng)
+    }
+
+    /// Samples a per-run model-configuration scale factor: ML engineers
+    /// tweak feature sets run to run, shifting resource demands. Returns a
+    /// factor around 1.0 with heavier spread than system noise.
+    pub fn sample_config_variation(&mut self) -> f64 {
+        let jitter = LogNormal::new(-0.045, 0.3).expect("fixed parameters");
+        jitter.sample(&mut self.rng)
+    }
+
+    /// Samples a whole month of runs (Figure 9's data volume).
+    pub fn sample_month_of_runs(&mut self, runs: usize) -> Vec<ServerCounts> {
+        (0..runs).map(|_| self.sample_server_counts()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recommendation_models_train_most_frequently() {
+        // Figure 2's headline: recommendation models are the most
+        // frequently trained workloads.
+        for class in WorkloadClass::ALL {
+            if !class.is_recommendation() {
+                assert!(
+                    class.typical_trainings_per_week()
+                        < WorkloadClass::NewsFeed.typical_trainings_per_week()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trainer_mode_exceeds_forty_percent() {
+        let mut fleet = FleetSampler::new(1);
+        let runs = fleet.sample_month_of_runs(5000);
+        let common = runs
+            .iter()
+            .filter(|r| r.trainers == COMMON_TRAINER_COUNT)
+            .count();
+        let frac = common as f64 / runs.len() as f64;
+        assert!(frac > 0.40, "mode fraction {frac:.2} must exceed 0.40");
+    }
+
+    #[test]
+    fn ps_counts_vary_more_than_trainer_counts() {
+        let mut fleet = FleetSampler::new(2);
+        let runs = fleet.sample_month_of_runs(5000);
+        let cv = |xs: Vec<f64>| {
+            let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+            var.sqrt() / mean
+        };
+        let cv_tr = cv(runs.iter().map(|r| r.trainers as f64).collect());
+        let cv_ps = cv(runs.iter().map(|r| r.parameter_servers as f64).collect());
+        assert!(
+            cv_ps > cv_tr,
+            "PS spread (cv={cv_ps:.2}) must exceed trainer spread (cv={cv_tr:.2})"
+        );
+    }
+
+    #[test]
+    fn server_counts_positive() {
+        let mut fleet = FleetSampler::new(3);
+        for _ in 0..1000 {
+            let c = fleet.sample_server_counts();
+            assert!(c.trainers >= 1 && c.trainers <= 40 || c.trainers == COMMON_TRAINER_COUNT);
+            assert!(c.parameter_servers >= 1);
+            assert!(c.readers >= c.trainers);
+        }
+    }
+
+    #[test]
+    fn noise_factors_are_positive_and_centered() {
+        let mut fleet = FleetSampler::new(4);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let f = fleet.sample_system_noise();
+            assert!(f > 0.0);
+            sum += f;
+        }
+        assert!((sum / n as f64 - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn sampler_is_deterministic() {
+        let mut a = FleetSampler::new(9);
+        let mut b = FleetSampler::new(9);
+        assert_eq!(a.sample_server_counts(), b.sample_server_counts());
+    }
+
+    #[test]
+    fn workflow_samples_follow_class_centres() {
+        let mut fleet = FleetSampler::new(5);
+        let n = 2000;
+        let mean_freq: f64 = (0..n)
+            .map(|_| fleet.sample_workflow(WorkloadClass::NewsFeed).trainings_per_week)
+            .sum::<f64>()
+            / n as f64;
+        // LogNormal(0, 0.5) has mean exp(0.125) ≈ 1.13.
+        let expected = WorkloadClass::NewsFeed.typical_trainings_per_week() * 1.13;
+        assert!((mean_freq / expected - 1.0).abs() < 0.15);
+    }
+}

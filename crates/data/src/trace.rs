@@ -1,0 +1,334 @@
+//! Embedding-access trace collection and locality analysis.
+//!
+//! Section III.A.2 of the paper observes that embedding accesses are
+//! heavily skewed ("there exists a small number of tables that are accessed
+//! much more frequently than others") and names "caching … for these large
+//! embedding tables" as the optimization opportunity that skew opens. This
+//! module quantifies that opportunity: it collects row-level access traces
+//! from the synthetic workload and computes
+//!
+//! * static hot-set coverage (what fraction of lookups the top-k rows
+//!   serve), and
+//! * the full LRU hit-rate curve in one pass, via Mattson stack distances
+//!   computed with a Fenwick tree (Olken's algorithm, `O(n log n)`).
+
+use crate::synthetic::CtrGenerator;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A Fenwick (binary-indexed) tree over access timestamps, used to count
+/// distinct rows touched between two accesses to the same row.
+#[derive(Debug, Clone)]
+struct Fenwick {
+    tree: Vec<u32>,
+}
+
+impl Fenwick {
+    fn new(n: usize) -> Self {
+        Self {
+            tree: vec![0; n + 1],
+        }
+    }
+
+    fn add(&mut self, mut i: usize, delta: i32) {
+        i += 1;
+        while i < self.tree.len() {
+            self.tree[i] = (self.tree[i] as i64 + delta as i64) as u32;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of `[0, i]`.
+    fn prefix(&self, mut i: usize) -> u32 {
+        i += 1;
+        let mut s = 0u32;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+}
+
+/// The reuse-distance profile of one table's access stream.
+///
+/// `distances[d]` counts accesses whose LRU stack distance is `d` (the
+/// number of *distinct* rows touched since the previous access to the same
+/// row); cold misses are counted separately. The LRU hit rate for any cache
+/// size falls out of the cumulative histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReuseProfile {
+    distances: Vec<u64>,
+    cold_misses: u64,
+    total_accesses: u64,
+    unique_rows: u64,
+    row_frequencies: Vec<u64>,
+}
+
+impl ReuseProfile {
+    /// Computes the profile of an access stream.
+    pub fn from_stream(accesses: &[u32]) -> Self {
+        let n = accesses.len();
+        let mut fenwick = Fenwick::new(n);
+        let mut last_pos: HashMap<u32, usize> = HashMap::new();
+        let mut freq: HashMap<u32, u64> = HashMap::new();
+        let mut distances: Vec<u64> = Vec::new();
+        let mut cold = 0u64;
+        for (t, &row) in accesses.iter().enumerate() {
+            *freq.entry(row).or_insert(0) += 1;
+            match last_pos.get(&row).copied() {
+                None => cold += 1,
+                Some(prev) => {
+                    // Distinct rows whose most recent access lies in
+                    // (prev, t): the stack distance.
+                    let d = (fenwick.prefix(t.max(1) - 1) - fenwick.prefix(prev)) as usize;
+                    if distances.len() <= d {
+                        distances.resize(d + 1, 0);
+                    }
+                    distances[d] += 1;
+                    fenwick.add(prev, -1);
+                }
+            }
+            fenwick.add(t, 1);
+            last_pos.insert(row, t);
+        }
+        let mut row_frequencies: Vec<u64> = freq.into_values().collect();
+        row_frequencies.sort_unstable_by(|a, b| b.cmp(a));
+        Self {
+            distances,
+            cold_misses: cold,
+            total_accesses: n as u64,
+            unique_rows: row_frequencies.len() as u64,
+            row_frequencies,
+        }
+    }
+
+    /// Total accesses in the stream.
+    pub fn total_accesses(&self) -> u64 {
+        self.total_accesses
+    }
+
+    /// Number of distinct rows touched.
+    pub fn unique_rows(&self) -> u64 {
+        self.unique_rows
+    }
+
+    /// First-touch (cold) misses.
+    pub fn cold_misses(&self) -> u64 {
+        self.cold_misses
+    }
+
+    /// Hit rate of an LRU cache holding `cache_rows` rows: the fraction of
+    /// accesses with stack distance < `cache_rows`. Zero when the stream is
+    /// empty.
+    pub fn lru_hit_rate(&self, cache_rows: usize) -> f64 {
+        if self.total_accesses == 0 {
+            return 0.0;
+        }
+        let hits: u64 = self.distances.iter().take(cache_rows).sum();
+        hits as f64 / self.total_accesses as f64
+    }
+
+    /// Fraction of accesses served by the `k` most frequent rows — the
+    /// ceiling for a *static* hot-row cache.
+    pub fn top_k_coverage(&self, k: usize) -> f64 {
+        if self.total_accesses == 0 {
+            return 0.0;
+        }
+        let covered: u64 = self.row_frequencies.iter().take(k).sum();
+        covered as f64 / self.total_accesses as f64
+    }
+
+    /// `(cache_rows, hit_rate)` points at geometrically spaced cache sizes
+    /// up to the unique-row count — the curve a cache-provisioning study
+    /// plots.
+    pub fn hit_rate_curve(&self, points: usize) -> Vec<(usize, f64)> {
+        let max = self.unique_rows.max(1) as f64;
+        (0..points.max(1))
+            .map(|i| {
+                let frac = (i + 1) as f64 / points as f64;
+                let rows = max.powf(frac).round().max(1.0) as usize;
+                (rows, self.lru_hit_rate(rows))
+            })
+            .collect()
+    }
+}
+
+/// Row-access traces for every table of a model, collected from the
+/// synthetic workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccessTrace {
+    per_table: Vec<Vec<u32>>,
+}
+
+impl AccessTrace {
+    /// Streams `examples` examples from `generator` and records each
+    /// table's row-access sequence (features sharing a table interleave
+    /// into one stream, as they do in memory).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `examples == 0`.
+    pub fn collect(generator: &mut CtrGenerator, examples: usize) -> Self {
+        assert!(examples > 0, "need at least one example");
+        let config = generator.config().clone();
+        let mut per_table: Vec<Vec<u32>> = vec![Vec::new(); config.num_tables()];
+        let mut remaining = examples;
+        while remaining > 0 {
+            let take = remaining.min(512);
+            let batch = generator.next_batch(take);
+            for (f, sb) in batch.sparse().iter().enumerate() {
+                per_table[config.table_of(f)].extend_from_slice(sb.indices());
+            }
+            remaining -= take;
+        }
+        Self { per_table }
+    }
+
+    /// Number of tables traced.
+    pub fn num_tables(&self) -> usize {
+        self.per_table.len()
+    }
+
+    /// The raw access stream of table `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn stream(&self, t: usize) -> &[u32] {
+        &self.per_table[t]
+    }
+
+    /// Reuse profile of table `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn profile(&self, t: usize) -> ReuseProfile {
+        ReuseProfile::from_stream(&self.per_table[t])
+    }
+
+    /// One merged profile across all tables (rows namespaced per table), as
+    /// a shared cache would see the traffic.
+    pub fn merged_profile(&self) -> ReuseProfile {
+        // Interleave per-example order is already lost; concatenating per
+        // table overstates locality, so interleave round-robin in chunks.
+        let mut merged = Vec::new();
+        let chunk = 64usize;
+        let mut offsets = vec![0usize; self.per_table.len()];
+        let mut progressed = true;
+        while progressed {
+            progressed = false;
+            for (t, stream) in self.per_table.iter().enumerate() {
+                let start = offsets[t];
+                if start < stream.len() {
+                    let end = (start + chunk).min(stream.len());
+                    // Namespace rows by table to avoid collisions.
+                    merged.extend(
+                        stream[start..end]
+                            .iter()
+                            .map(|&r| (t as u32) << 26 | (r & 0x03FF_FFFF)),
+                    );
+                    offsets[t] = end;
+                    progressed = true;
+                }
+            }
+        }
+        ReuseProfile::from_stream(&merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ModelConfig;
+
+    #[test]
+    fn stack_distances_match_hand_computation() {
+        // Stream: a b a c b a
+        //   a@0 cold; b@1 cold; a@2 d=1 (b); c@3 cold; b@4 d=2 (c,a);
+        //   a@5 d=2 (b,c).
+        let p = ReuseProfile::from_stream(&[0, 1, 0, 2, 1, 0]);
+        assert_eq!(p.cold_misses(), 3);
+        assert_eq!(p.total_accesses(), 6);
+        assert_eq!(p.unique_rows(), 3);
+        // Cache of 1 row: no hits (all distances >= 1).
+        assert_eq!(p.lru_hit_rate(1), 0.0);
+        // Cache of 2 rows: the d=1 access hits.
+        assert!((p.lru_hit_rate(2) - 1.0 / 6.0).abs() < 1e-12);
+        // Cache of 3 rows: d=1 and both d=2 accesses hit.
+        assert!((p.lru_hit_rate(3) - 3.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_single_row_is_all_hits() {
+        let p = ReuseProfile::from_stream(&[7; 100]);
+        assert_eq!(p.cold_misses(), 1);
+        assert!((p.lru_hit_rate(1) - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scan_has_no_reuse() {
+        let stream: Vec<u32> = (0..1000).collect();
+        let p = ReuseProfile::from_stream(&stream);
+        assert_eq!(p.cold_misses(), 1000);
+        assert_eq!(p.lru_hit_rate(1000), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_is_monotone_in_cache_size() {
+        let cfg = ModelConfig::test_suite(8, 2, 5_000, &[16]);
+        let mut gen = CtrGenerator::new(&cfg, 3);
+        let trace = AccessTrace::collect(&mut gen, 2_000);
+        let p = trace.profile(0);
+        let mut last = 0.0;
+        for (_, hr) in p.hit_rate_curve(12) {
+            assert!(hr >= last - 1e-12, "monotone hit-rate curve");
+            last = hr;
+        }
+        // Full-size cache only misses cold.
+        let full = p.lru_hit_rate(p.unique_rows() as usize);
+        let expected = 1.0 - p.cold_misses() as f64 / p.total_accesses() as f64;
+        assert!((full - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_traffic_concentrates_in_small_caches() {
+        // The paper's caching opportunity: skewed access means a cache far
+        // smaller than the table serves most lookups.
+        let cfg = ModelConfig::test_suite(8, 1, 100_000, &[16]);
+        let mut gen = CtrGenerator::new(&cfg, 11);
+        let trace = AccessTrace::collect(&mut gen, 8_000);
+        let p = trace.profile(0);
+        let one_percent = (p.unique_rows() as usize / 100).max(1);
+        assert!(
+            p.top_k_coverage(one_percent) > 0.25,
+            "top 1% of rows should serve >25% of lookups, got {:.2}",
+            p.top_k_coverage(one_percent)
+        );
+        let ten_percent = (p.unique_rows() as usize / 10).max(1);
+        assert!(
+            p.lru_hit_rate(ten_percent) > 0.4,
+            "a 10% LRU cache should serve >40% of lookups, got {:.2}",
+            p.lru_hit_rate(ten_percent)
+        );
+    }
+
+    #[test]
+    fn merged_profile_spans_tables() {
+        let cfg = ModelConfig::test_suite(8, 3, 1_000, &[16]);
+        let mut gen = CtrGenerator::new(&cfg, 5);
+        let trace = AccessTrace::collect(&mut gen, 500);
+        let merged = trace.merged_profile();
+        let per_table_total: u64 = (0..3).map(|t| trace.profile(t).total_accesses()).sum();
+        assert_eq!(merged.total_accesses(), per_table_total);
+        assert!(merged.unique_rows() >= trace.profile(0).unique_rows());
+    }
+
+    #[test]
+    fn top_k_coverage_reaches_one() {
+        let p = ReuseProfile::from_stream(&[1, 2, 3, 1, 1]);
+        assert!((p.top_k_coverage(3) - 1.0).abs() < 1e-12);
+        assert!((p.top_k_coverage(1) - 0.6).abs() < 1e-12);
+    }
+}

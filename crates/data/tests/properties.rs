@@ -1,0 +1,156 @@
+//! Property-based tests for workload-generation invariants.
+
+use proptest::prelude::*;
+use recsim_data::dist::{PowerLawLengths, ZipfSampler};
+use recsim_data::schema::{Interaction, ModelConfig, SparseFeatureSpec};
+use recsim_data::dataset::{DatasetReader, DatasetWriter};
+use recsim_data::{CtrGenerator, SparseBatch};
+
+fn arb_config() -> impl Strategy<Value = ModelConfig> {
+    (1usize..64, 1usize..16, 10u64..10_000, 1usize..4).prop_map(
+        |(dense, sparse, hash, layers)| {
+            let mlp: Vec<usize> = (0..layers).map(|i| 8 << (i % 3)).collect();
+            ModelConfig::test_suite(dense, sparse, hash, &mlp)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn batches_always_well_formed(config in arb_config(), bs in 1usize..64, seed in 0u64..1000) {
+        let mut g = CtrGenerator::new(&config, seed);
+        let b = g.next_batch(bs);
+        prop_assert_eq!(b.batch_size(), bs);
+        prop_assert_eq!(b.dense().len(), bs * config.num_dense());
+        prop_assert_eq!(b.sparse().len(), config.num_sparse());
+        prop_assert_eq!(b.labels().len(), bs);
+        for (f, sb) in b.sparse().iter().enumerate() {
+            prop_assert_eq!(sb.batch_size(), bs);
+            if let Some(max) = sb.max_index() {
+                prop_assert!(u64::from(max) < config.sparse_features()[f].hash_size());
+            }
+            for row in sb.iter() {
+                prop_assert!(!row.is_empty());
+                prop_assert!(row.len() <= config.truncation() as usize);
+            }
+        }
+        for &l in b.labels() {
+            prop_assert!(l == 0.0 || l == 1.0);
+        }
+    }
+
+    #[test]
+    fn flops_monotone_in_dense_features(
+        d1 in 1usize..512, extra in 1usize..512,
+        sparse in 1usize..16,
+    ) {
+        let a = ModelConfig::test_suite(d1, sparse, 100, &[64, 64]);
+        let b = ModelConfig::test_suite(d1 + extra, sparse, 100, &[64, 64]);
+        prop_assert!(b.forward_flops_per_example() > a.forward_flops_per_example());
+    }
+
+    #[test]
+    fn embedding_bytes_monotone_in_sparse_features(
+        dense in 1usize..64, s1 in 1usize..32, extra in 1usize..32,
+    ) {
+        let a = ModelConfig::test_suite(dense, s1, 1000, &[64]);
+        let b = ModelConfig::test_suite(dense, s1 + extra, 1000, &[64]);
+        prop_assert!(b.total_embedding_bytes() > a.total_embedding_bytes());
+        prop_assert!(b.embedding_read_bytes_per_example() > a.embedding_read_bytes_per_example());
+    }
+
+    #[test]
+    fn hash_scaling_scales_table_bytes_linearly(
+        config in arb_config(), factor in 2u64..100,
+    ) {
+        let scaled = config.with_hash_scale(factor);
+        prop_assert_eq!(
+            scaled.total_embedding_bytes(),
+            config.total_embedding_bytes() * factor
+        );
+        // FLOPs are unaffected by hash size.
+        prop_assert_eq!(
+            scaled.forward_flops_per_example(),
+            config.forward_flops_per_example()
+        );
+    }
+
+    #[test]
+    fn zipf_within_support(n in 1u64..100_000, s in 0.5f64..3.0, seed in 0u64..100) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let z = ZipfSampler::new(n, s);
+        for _ in 0..50 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    #[test]
+    fn power_law_within_bounds(alpha in 1.1f64..4.0, max in 1u32..1000, seed in 0u64..100) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = PowerLawLengths::new(alpha, max);
+        for _ in 0..50 {
+            let l = p.sample(&mut rng);
+            prop_assert!(l >= 1 && l <= max);
+        }
+    }
+
+    #[test]
+    fn sparse_batch_roundtrips_through_examples(
+        rows in prop::collection::vec(prop::collection::vec(0u32..1000, 0..8), 1..20),
+    ) {
+        let mut offsets = vec![0usize];
+        let mut indices = Vec::new();
+        for row in &rows {
+            indices.extend_from_slice(row);
+            offsets.push(indices.len());
+        }
+        let sb = SparseBatch::new(offsets, indices);
+        prop_assert_eq!(sb.batch_size(), rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            prop_assert_eq!(sb.example(i), row.as_slice());
+        }
+    }
+
+    #[test]
+    fn dataset_round_trips_arbitrary_streams(
+        config in arb_config(),
+        sizes in prop::collection::vec(1usize..32, 0..6),
+        seed in 0u64..500,
+    ) {
+        let mut gen = CtrGenerator::new(&config, seed);
+        let batches: Vec<_> = sizes.iter().map(|&b| gen.next_batch(b)).collect();
+        let mut buf = Vec::new();
+        let mut w = DatasetWriter::new(
+            &mut buf,
+            config.num_dense() as u32,
+            config.num_sparse() as u32,
+        )
+        .expect("header");
+        for b in &batches {
+            w.write_batch(b).expect("write");
+        }
+        w.finish().expect("flush");
+        let mut r = DatasetReader::new(buf.as_slice()).expect("header");
+        let mut read_back = Vec::new();
+        while let Some(b) = r.next_batch().expect("read") {
+            read_back.push(b);
+        }
+        prop_assert_eq!(read_back, batches);
+    }
+
+    #[test]
+    fn interaction_dims_consistent(dense in 1usize..64, sparse in 1usize..24) {
+        let dot = ModelConfig::test_suite(dense, sparse, 100, &[32]);
+        prop_assert_eq!(dot.top_input_dim(), 32 + (sparse + 1) * sparse / 2);
+        let concat = ModelConfig::new(
+            "c", dense,
+            vec![SparseFeatureSpec::new("f", 100, 2.0); sparse],
+            16, vec![32], vec![16], Interaction::Concat, 32,
+        );
+        prop_assert_eq!(concat.top_input_dim(), 32 + sparse * 16);
+    }
+}

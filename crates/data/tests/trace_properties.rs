@@ -1,0 +1,79 @@
+//! Property-based tests for the reuse-distance analysis: the exact stack
+//! distances must agree with a brute-force LRU simulation on small streams.
+
+use proptest::prelude::*;
+use recsim_data::trace::ReuseProfile;
+
+/// Brute-force LRU cache simulation: returns the hit count for a given
+/// capacity.
+fn brute_force_lru_hits(stream: &[u32], capacity: usize) -> u64 {
+    let mut stack: Vec<u32> = Vec::new(); // front = most recent
+    let mut hits = 0u64;
+    for &row in stream {
+        if let Some(pos) = stack.iter().position(|&r| r == row) {
+            if pos < capacity {
+                hits += 1;
+            }
+            stack.remove(pos);
+        }
+        stack.insert(0, row);
+    }
+    hits
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn profile_matches_brute_force_lru(
+        stream in prop::collection::vec(0u32..20, 0..200),
+        capacity in 1usize..25,
+    ) {
+        let profile = ReuseProfile::from_stream(&stream);
+        let expected = brute_force_lru_hits(&stream, capacity);
+        let got = (profile.lru_hit_rate(capacity) * stream.len().max(1) as f64).round() as u64;
+        prop_assert_eq!(got, expected, "capacity {}", capacity);
+    }
+
+    #[test]
+    fn accounting_identities(stream in prop::collection::vec(0u32..50, 0..300)) {
+        let p = ReuseProfile::from_stream(&stream);
+        prop_assert_eq!(p.total_accesses(), stream.len() as u64);
+        let distinct: std::collections::HashSet<u32> = stream.iter().copied().collect();
+        prop_assert_eq!(p.unique_rows(), distinct.len() as u64);
+        prop_assert_eq!(p.cold_misses(), distinct.len() as u64);
+        // An infinite cache hits everything except cold misses.
+        let full = p.lru_hit_rate(usize::MAX);
+        if !stream.is_empty() {
+            let expected = 1.0 - distinct.len() as f64 / stream.len() as f64;
+            prop_assert!((full - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn hit_rate_monotone_in_capacity(
+        stream in prop::collection::vec(0u32..30, 1..150),
+        c1 in 1usize..30,
+        c2 in 1usize..30,
+    ) {
+        let p = ReuseProfile::from_stream(&stream);
+        let (lo, hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
+        prop_assert!(p.lru_hit_rate(lo) <= p.lru_hit_rate(hi) + 1e-12);
+    }
+
+    #[test]
+    fn top_k_coverage_monotone_and_bounded(
+        stream in prop::collection::vec(0u32..30, 1..150),
+        k1 in 0usize..35,
+        k2 in 0usize..35,
+    ) {
+        let p = ReuseProfile::from_stream(&stream);
+        let (lo, hi) = if k1 <= k2 { (k1, k2) } else { (k2, k1) };
+        prop_assert!(p.top_k_coverage(lo) <= p.top_k_coverage(hi) + 1e-12);
+        prop_assert!(p.top_k_coverage(hi) <= 1.0 + 1e-12);
+        prop_assert!((p.top_k_coverage(usize::MAX) - 1.0).abs() < 1e-12);
+        // Static top-k can never beat LRU-with-k... actually it can, and
+        // vice versa; just assert both are valid probabilities.
+        prop_assert!((0.0..=1.0).contains(&p.lru_hit_rate(lo)));
+    }
+}

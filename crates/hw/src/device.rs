@@ -1,0 +1,231 @@
+//! Compute devices: CPUs and GPUs as roofline engines.
+
+use crate::memory::Memory;
+use crate::units::{Bytes, Duration, FlopRate};
+use serde::{Deserialize, Serialize};
+
+/// The broad class of a compute device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// A general-purpose CPU complex (one or more sockets).
+    Cpu,
+    /// A discrete accelerator with its own high-bandwidth memory.
+    Gpu,
+}
+
+/// A compute device: peak throughput, attached memory and fixed per-kernel
+/// overhead.
+///
+/// `kernel_overhead` models the CUDA-API / kernel-launch cost the paper
+/// highlights when explaining why GPUs need large batches ("large batch size
+/// reduces the overhead from CUDA API calls such as kernel launches"). For
+/// CPUs it models per-operator framework dispatch, which is much smaller.
+///
+/// # Example
+///
+/// ```
+/// use recsim_hw::device::{v100, skylake_dual_socket};
+/// use recsim_hw::units::Bytes;
+///
+/// let gpu = v100(Bytes::from_gib(32));
+/// let cpu = skylake_dual_socket();
+/// assert!(gpu.peak_flop_rate().as_tflops() > cpu.peak_flop_rate().as_tflops());
+/// assert!(gpu.kernel_overhead().as_micros() > cpu.kernel_overhead().as_micros());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComputeDevice {
+    kind: DeviceKind,
+    peak_flop_rate: FlopRate,
+    /// Fraction of peak FLOP/s sustained on well-blocked GEMMs.
+    gemm_efficiency: f64,
+    memory: Memory,
+    kernel_overhead: Duration,
+}
+
+impl ComputeDevice {
+    /// Creates a device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gemm_efficiency` is outside `(0, 1]`.
+    pub fn new(
+        kind: DeviceKind,
+        peak_flop_rate: FlopRate,
+        gemm_efficiency: f64,
+        memory: Memory,
+        kernel_overhead: Duration,
+    ) -> Self {
+        assert!(
+            gemm_efficiency > 0.0 && gemm_efficiency <= 1.0,
+            "gemm efficiency must be in (0, 1]"
+        );
+        Self {
+            kind,
+            peak_flop_rate,
+            gemm_efficiency,
+            memory,
+            kernel_overhead,
+        }
+    }
+
+    /// Device class.
+    pub fn kind(&self) -> DeviceKind {
+        self.kind
+    }
+
+    /// Nominal peak FLOP/s (marketing number).
+    pub fn peak_flop_rate(&self) -> FlopRate {
+        self.peak_flop_rate
+    }
+
+    /// FLOP/s sustained on dense GEMM-shaped work.
+    pub fn sustained_flop_rate(&self) -> FlopRate {
+        self.peak_flop_rate.derated(self.gemm_efficiency)
+    }
+
+    /// The fraction of peak sustained on GEMMs.
+    pub fn gemm_efficiency(&self) -> f64 {
+        self.gemm_efficiency
+    }
+
+    /// The memory directly attached to this device.
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// Fixed cost per launched kernel / dispatched operator.
+    pub fn kernel_overhead(&self) -> Duration {
+        self.kernel_overhead
+    }
+
+    /// Returns a copy with different attached memory (e.g. 16 GB vs 32 GB
+    /// V100 variants).
+    pub fn with_memory(&self, memory: Memory) -> ComputeDevice {
+        ComputeDevice { memory, ..*self }
+    }
+
+    /// Returns a copy with zero kernel overhead — the
+    /// `ablation_launch_overhead` configuration.
+    pub fn without_kernel_overhead(&self) -> ComputeDevice {
+        ComputeDevice {
+            kernel_overhead: Duration::ZERO,
+            ..*self
+        }
+    }
+}
+
+/// Preset: NVIDIA Tesla V100 (15.7 TFLOP/s FP32, HBM2 at 900 GB/s).
+///
+/// `capacity` selects the 16 GiB or 32 GiB SKU; both shipped in Big Basin
+/// (paper Table I).
+pub fn v100(capacity: Bytes) -> ComputeDevice {
+    ComputeDevice::new(
+        DeviceKind::Gpu,
+        FlopRate::from_tflops(15.7),
+        // Production FP32 GEMMs on V100 sustain roughly half of peak for the
+        // modest MLP shapes in recommendation models.
+        0.55,
+        crate::memory::hbm2_v100(capacity),
+        // ~8 us per kernel launch + framework op dispatch.
+        Duration::from_micros(8.0),
+    )
+}
+
+/// Preset: NVIDIA A100-40GB (19.5 TFLOP/s FP32, HBM2e at 1555 GB/s) — the
+/// generation after the paper's V100s, included because its related work
+/// discusses DLRM results on DGX-A100 systems.
+pub fn a100() -> ComputeDevice {
+    ComputeDevice::new(
+        DeviceKind::Gpu,
+        FlopRate::from_tflops(19.5),
+        0.60,
+        crate::memory::Memory::new(
+            Bytes::from_gib(40),
+            crate::units::Bandwidth::from_gb_per_s(1555.0),
+            0.35,
+        ),
+        Duration::from_micros(6.0),
+    )
+}
+
+/// Preset: dual-socket Intel Skylake trainer CPU (paper Table I "CPU
+/// System": 2 sockets, 256 GB DRAM).
+pub fn skylake_dual_socket() -> ComputeDevice {
+    ComputeDevice::new(
+        DeviceKind::Cpu,
+        // 2 sockets x 20 cores x 2.0 GHz x 32 FP32 FLOP/cycle (AVX-512 FMA)
+        // = 2.56 TFLOP/s peak.
+        FlopRate::from_tflops(2.56),
+        // Framework-level MLP kernels on CPU sustain ~30% of peak.
+        0.30,
+        crate::memory::ddr4_dual_socket(),
+        Duration::from_micros(1.0),
+    )
+}
+
+/// Preset: Zion's eight-socket CPU complex (Table I: 8-socket CPU, ~2 TB,
+/// ~1 TB/s).
+pub fn zion_cpu_complex() -> ComputeDevice {
+    ComputeDevice::new(
+        DeviceKind::Cpu,
+        // Four times the dual-socket complex.
+        FlopRate::from_tflops(10.2),
+        0.30,
+        crate::memory::zion_system_memory(),
+        Duration::from_micros(1.0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::Flops;
+
+    #[test]
+    fn sustained_below_peak() {
+        let d = v100(Bytes::from_gib(16));
+        assert!(d.sustained_flop_rate().as_tflops() < d.peak_flop_rate().as_tflops());
+    }
+
+    #[test]
+    fn v100_sku_memory() {
+        assert_eq!(v100(Bytes::from_gib(16)).memory().capacity(), Bytes::from_gib(16));
+        assert_eq!(v100(Bytes::from_gib(32)).memory().capacity(), Bytes::from_gib(32));
+    }
+
+    #[test]
+    fn gpu_flops_dominate_cpu() {
+        let gpu = v100(Bytes::from_gib(32));
+        let cpu = skylake_dual_socket();
+        let work = Flops::new(10_000_000_000);
+        let t_gpu = gpu.sustained_flop_rate().execution_time(work);
+        let t_cpu = cpu.sustained_flop_rate().execution_time(work);
+        assert!(t_gpu.as_secs() * 5.0 < t_cpu.as_secs());
+    }
+
+    #[test]
+    fn ablation_zeroes_overhead() {
+        let d = v100(Bytes::from_gib(16)).without_kernel_overhead();
+        assert_eq!(d.kernel_overhead(), Duration::ZERO);
+    }
+
+    #[test]
+    fn zion_cpu_is_four_dual_sockets() {
+        let z = zion_cpu_complex();
+        let d = skylake_dual_socket();
+        let ratio = z.peak_flop_rate().as_tflops() / d.peak_flop_rate().as_tflops();
+        assert!((ratio - 4.0).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "(0, 1]")]
+    fn efficiency_validated() {
+        ComputeDevice::new(
+            DeviceKind::Cpu,
+            FlopRate::from_tflops(1.0),
+            1.5,
+            crate::memory::ddr4_dual_socket(),
+            Duration::ZERO,
+        );
+    }
+}

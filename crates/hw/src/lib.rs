@@ -1,0 +1,52 @@
+//! Hardware substrate models for `recsim`.
+//!
+//! The paper compares three training platforms (its Table I): a dual-socket
+//! CPU server, the Big Basin 8-GPU server, and the prototype Zion
+//! large-memory server. This crate models the pieces of those machines that
+//! determine training throughput:
+//!
+//! * [`units`] — strongly typed quantities (bytes, bandwidths, durations,
+//!   FLOP counts, power) so a GB/s can never be added to a GB,
+//! * [`Memory`] — capacity + bandwidth with a *random-access efficiency*
+//!   that penalizes irregular embedding gathers,
+//! * [`ComputeDevice`] — CPUs and GPUs as roofline compute engines with
+//!   per-kernel launch overheads,
+//! * [`Link`] — interconnects (NVLink, PCIe, Ethernet, InfiniBand),
+//! * [`Platform`] — full machines assembled from the above, with presets
+//!   [`Platform::dual_socket_cpu`], [`Platform::big_basin`] and
+//!   [`Platform::zion_prototype`],
+//! * [`roofline`] — the cost model mapping a [`roofline::Work`] quantum onto
+//!   a device,
+//! * [`power`] — utilization-dependent power draw for perf-per-watt numbers.
+//!
+//! # Example
+//!
+//! ```
+//! use recsim_hw::{Platform, units::Bytes};
+//!
+//! let bb = Platform::big_basin(Bytes::from_gib(32));
+//! assert_eq!(bb.gpus().len(), 8);
+//! assert!(bb.gpu_interconnect().is_some(), "Big Basin has NVLink");
+//!
+//! let zion = Platform::zion_prototype();
+//! assert!(zion.gpu_interconnect().is_none(), "prototype Zion routes GPU traffic via CPUs");
+//! assert!(zion.host().memory().capacity() > bb.host().memory().capacity());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod link;
+pub mod memory;
+pub mod platform;
+pub mod power;
+pub mod roofline;
+pub mod units;
+
+pub use device::{ComputeDevice, DeviceKind};
+pub use link::Link;
+pub use memory::{AccessPattern, Memory};
+pub use platform::{Platform, PlatformKind};
+pub use power::PowerModel;
+pub use roofline::Work;

@@ -1,0 +1,196 @@
+//! Interconnect links: NVLink, PCIe, Ethernet, InfiniBand.
+
+use crate::units::{Bandwidth, Bytes, Duration};
+use serde::{Deserialize, Serialize};
+
+/// A point-to-point or shared interconnect with bandwidth and per-message
+/// latency.
+///
+/// The latency term matters: remote embedding lookups (placement on remote
+/// CPU parameter servers) pay a round trip per request batch, which is one of
+/// the two reasons the paper finds remote placement slow (the other being
+/// host-CPU work for send/receive).
+///
+/// # Example
+///
+/// ```
+/// use recsim_hw::Link;
+/// use recsim_hw::units::Bytes;
+///
+/// let nvlink = Link::nvlink_hybrid_cube_mesh();
+/// let eth = Link::ethernet_100g();
+/// let payload = Bytes::from_mib(64);
+/// assert!(nvlink.transfer_time(payload, 1).as_secs()
+///     < eth.transfer_time(payload, 1).as_secs());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    bandwidth: Bandwidth,
+    latency: Duration,
+    /// Protocol efficiency (header/ack overhead) applied to the line rate.
+    efficiency: f64,
+}
+
+impl Link {
+    /// Creates a link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `efficiency` is outside `(0, 1]`.
+    pub fn new(bandwidth: Bandwidth, latency: Duration, efficiency: f64) -> Self {
+        assert!(
+            efficiency > 0.0 && efficiency <= 1.0,
+            "link efficiency must be in (0, 1]"
+        );
+        Self {
+            bandwidth,
+            latency,
+            efficiency,
+        }
+    }
+
+    /// Line-rate bandwidth before protocol overhead.
+    pub fn bandwidth(&self) -> Bandwidth {
+        self.bandwidth
+    }
+
+    /// Bandwidth after protocol overhead.
+    pub fn effective_bandwidth(&self) -> Bandwidth {
+        self.bandwidth.derated(self.efficiency)
+    }
+
+    /// Per-message latency.
+    pub fn latency(&self) -> Duration {
+        self.latency
+    }
+
+    /// Time to move `bytes` split across `messages` messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `messages == 0`.
+    pub fn transfer_time(&self, bytes: Bytes, messages: u64) -> Duration {
+        assert!(messages > 0, "a transfer needs at least one message");
+        self.effective_bandwidth().transfer_time(bytes) + self.latency * messages as f64
+    }
+
+    /// NVLink as wired in Big Basin's eight-GPU hybrid cube mesh: each V100
+    /// has 6 links at 25 GB/s per direction; all-to-all style traffic sees
+    /// roughly 150 GB/s per GPU egress.
+    pub fn nvlink_hybrid_cube_mesh() -> Self {
+        Link::new(
+            Bandwidth::from_gb_per_s(150.0),
+            Duration::from_micros(2.0),
+            0.90,
+        )
+    }
+
+    /// PCIe 3.0 x16 between host and one GPU (~16 GB/s line, ~12 GB/s
+    /// effective).
+    pub fn pcie3_x16() -> Self {
+        Link::new(
+            Bandwidth::from_gb_per_s(16.0),
+            Duration::from_micros(5.0),
+            0.78,
+        )
+    }
+
+    /// PCIe 4.0 x16 (~32 GB/s line, ~25 GB/s effective).
+    pub fn pcie4_x16() -> Self {
+        Link::new(
+            Bandwidth::from_gb_per_s(32.0),
+            Duration::from_micros(4.0),
+            0.78,
+        )
+    }
+
+    /// 200 Gbps datacenter Ethernet (DGX-A100 generation).
+    pub fn ethernet_200g() -> Self {
+        Link::new(
+            Bandwidth::from_gbit_per_s(200.0),
+            Duration::from_micros(15.0),
+            0.85,
+        )
+    }
+
+    /// 25 Gbps datacenter Ethernet (Table I, CPU system).
+    pub fn ethernet_25g() -> Self {
+        Link::new(
+            Bandwidth::from_gbit_per_s(25.0),
+            Duration::from_micros(30.0),
+            0.85,
+        )
+    }
+
+    /// 100 Gbps datacenter Ethernet (Table I, Big Basin).
+    pub fn ethernet_100g() -> Self {
+        Link::new(
+            Bandwidth::from_gbit_per_s(100.0),
+            Duration::from_micros(20.0),
+            0.85,
+        )
+    }
+
+    /// Third-generation NVLink as wired in DGX-A100 (12 links per GPU at
+    /// 25 GB/s per direction; ~300 GB/s egress via NVSwitch).
+    pub fn nvlink3_nvswitch() -> Self {
+        Link::new(
+            Bandwidth::from_gb_per_s(300.0),
+            Duration::from_micros(1.5),
+            0.92,
+        )
+    }
+
+    /// Zion's 4× InfiniBand 100 Gbps NICs (Table I), aggregated.
+    pub fn infiniband_4x100g() -> Self {
+        Link::new(
+            Bandwidth::from_gbit_per_s(400.0),
+            Duration::from_micros(3.0),
+            0.90,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_dominates_small_messages() {
+        let eth = Link::ethernet_100g();
+        let one = eth.transfer_time(Bytes::new(64), 1);
+        // 64 bytes takes nanoseconds at 100 Gbps; latency is 20 us.
+        assert!(one.as_micros() > 19.0 && one.as_micros() < 22.0);
+    }
+
+    #[test]
+    fn bandwidth_dominates_large_messages() {
+        let eth = Link::ethernet_100g();
+        let t = eth.transfer_time(Bytes::from_gib(1), 1);
+        assert!(t.as_secs() > 0.09); // >= 1 GiB / (100 Gbit * 0.85)
+    }
+
+    #[test]
+    fn message_count_multiplies_latency() {
+        let eth = Link::ethernet_25g();
+        let one = eth.transfer_time(Bytes::from_kib(1), 1);
+        let ten = eth.transfer_time(Bytes::from_kib(1), 10);
+        assert!(ten.as_secs() > one.as_secs() * 5.0);
+    }
+
+    #[test]
+    fn link_ordering_matches_hardware() {
+        let nv = Link::nvlink_hybrid_cube_mesh().effective_bandwidth();
+        let pcie = Link::pcie3_x16().effective_bandwidth();
+        let ib = Link::infiniband_4x100g().effective_bandwidth();
+        let e100 = Link::ethernet_100g().effective_bandwidth();
+        let e25 = Link::ethernet_25g().effective_bandwidth();
+        assert!(nv > ib && ib > pcie && pcie > e100 && e100 > e25);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one message")]
+    fn zero_messages_rejected() {
+        Link::pcie3_x16().transfer_time(Bytes::new(1), 0);
+    }
+}

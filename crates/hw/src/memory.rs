@@ -1,0 +1,195 @@
+//! Memory devices: capacity, bandwidth and access-pattern efficiency.
+
+use crate::units::{Bandwidth, Bytes, Duration};
+use serde::{Deserialize, Serialize};
+
+/// How a workload touches memory.
+///
+/// Embedding-table gathers are the canonical `Random` workload in the paper:
+/// each lookup touches a `d`-float row at an arbitrary offset, so the memory
+/// system achieves only a fraction of its streaming bandwidth. MLP weight
+/// reads are `Sequential`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Streaming, prefetch-friendly access (dense GEMM operands).
+    Sequential,
+    /// Irregular, pointer-chasing access (embedding row gathers/scatters).
+    Random,
+}
+
+/// A memory device: capacity plus a two-regime bandwidth model.
+///
+/// `random_access_efficiency` is the fraction of streaming bandwidth
+/// achieved by irregular accesses; DESIGN.md lists it as an explicit
+/// ablation knob (`ablation_random_access`).
+///
+/// # Example
+///
+/// ```
+/// use recsim_hw::{Memory, AccessPattern};
+/// use recsim_hw::units::{Bandwidth, Bytes};
+///
+/// let hbm2 = Memory::new(Bytes::from_gib(32), Bandwidth::from_gb_per_s(900.0), 0.35);
+/// let seq = hbm2.effective_bandwidth(AccessPattern::Sequential);
+/// let rnd = hbm2.effective_bandwidth(AccessPattern::Random);
+/// assert!(rnd.as_gb_per_s() < seq.as_gb_per_s());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Memory {
+    capacity: Bytes,
+    stream_bandwidth: Bandwidth,
+    random_access_efficiency: f64,
+}
+
+impl Memory {
+    /// Creates a memory device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `random_access_efficiency` is outside `(0, 1]`.
+    pub fn new(
+        capacity: Bytes,
+        stream_bandwidth: Bandwidth,
+        random_access_efficiency: f64,
+    ) -> Self {
+        assert!(
+            random_access_efficiency > 0.0 && random_access_efficiency <= 1.0,
+            "random access efficiency must be in (0, 1]"
+        );
+        Self {
+            capacity,
+            stream_bandwidth,
+            random_access_efficiency,
+        }
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> Bytes {
+        self.capacity
+    }
+
+    /// Peak streaming bandwidth.
+    pub fn stream_bandwidth(&self) -> Bandwidth {
+        self.stream_bandwidth
+    }
+
+    /// The fraction of streaming bandwidth available to random accesses.
+    pub fn random_access_efficiency(&self) -> f64 {
+        self.random_access_efficiency
+    }
+
+    /// Bandwidth available under the given access pattern.
+    pub fn effective_bandwidth(&self, pattern: AccessPattern) -> Bandwidth {
+        match pattern {
+            AccessPattern::Sequential => self.stream_bandwidth,
+            AccessPattern::Random => self.stream_bandwidth.derated(self.random_access_efficiency),
+        }
+    }
+
+    /// Time to move `bytes` under the given pattern.
+    pub fn access_time(&self, bytes: Bytes, pattern: AccessPattern) -> Duration {
+        self.effective_bandwidth(pattern).transfer_time(bytes)
+    }
+
+    /// Whether a dataset of the given size fits in this memory.
+    pub fn fits(&self, bytes: Bytes) -> bool {
+        bytes <= self.capacity
+    }
+
+    /// Returns a copy with the random-access penalty removed — the ablation
+    /// configuration in which embedding gathers run at streaming bandwidth.
+    pub fn without_random_penalty(&self) -> Memory {
+        Memory {
+            random_access_efficiency: 1.0,
+            ..*self
+        }
+    }
+
+    /// Returns a copy scaled to represent `n` identical channels/devices
+    /// aggregated (capacity and bandwidth both multiply).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn aggregated(&self, n: u64) -> Memory {
+        assert!(n > 0, "cannot aggregate zero memories");
+        Memory {
+            capacity: self.capacity * n,
+            stream_bandwidth: self.stream_bandwidth * n as f64,
+            random_access_efficiency: self.random_access_efficiency,
+        }
+    }
+}
+
+/// Preset: one V100's HBM2 stack (used by both Big Basin and Zion).
+pub fn hbm2_v100(capacity: Bytes) -> Memory {
+    // 900 GB/s streaming; random gathers of short embedding rows reach ~35%
+    // of streaming bandwidth (row granularity beats DRAM page locality).
+    Memory::new(capacity, Bandwidth::from_gb_per_s(900.0), 0.35)
+}
+
+/// Preset: dual-socket Skylake DDR4 (256 GB, ~128 GB/s streaming).
+pub fn ddr4_dual_socket() -> Memory {
+    // 2 sockets x 6 channels x ~21.3 GB/s, derated for realistic STREAM.
+    Memory::new(Bytes::from_gib(256), Bandwidth::from_gb_per_s(128.0), 0.25)
+}
+
+/// Preset: Zion's eight-socket system memory (~2 TB, ~1 TB/s), Table I.
+pub fn zion_system_memory() -> Memory {
+    Memory::new(Bytes::from_tib(2), Bandwidth::from_gb_per_s(1000.0), 0.25)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_slower_than_sequential() {
+        let m = hbm2_v100(Bytes::from_gib(16));
+        let seq = m.access_time(Bytes::from_gib(1), AccessPattern::Sequential);
+        let rnd = m.access_time(Bytes::from_gib(1), AccessPattern::Random);
+        assert!(rnd.as_secs() > seq.as_secs());
+    }
+
+    #[test]
+    fn fits_respects_capacity() {
+        let m = ddr4_dual_socket();
+        assert!(m.fits(Bytes::from_gib(256)));
+        assert!(!m.fits(Bytes::from_gib(257)));
+    }
+
+    #[test]
+    fn ablation_removes_penalty() {
+        let m = hbm2_v100(Bytes::from_gib(32)).without_random_penalty();
+        assert_eq!(
+            m.effective_bandwidth(AccessPattern::Random),
+            m.effective_bandwidth(AccessPattern::Sequential)
+        );
+    }
+
+    #[test]
+    fn aggregation_scales_both_axes() {
+        let one = hbm2_v100(Bytes::from_gib(32));
+        let eight = one.aggregated(8);
+        assert_eq!(eight.capacity(), Bytes::from_gib(256));
+        assert!(
+            (eight.stream_bandwidth().as_gb_per_s() - 7200.0).abs() < 1e-6
+        );
+    }
+
+    #[test]
+    fn presets_match_table_one() {
+        assert_eq!(ddr4_dual_socket().capacity(), Bytes::from_gib(256));
+        assert_eq!(zion_system_memory().capacity(), Bytes::from_tib(2));
+        assert!(
+            zion_system_memory().stream_bandwidth().as_gb_per_s()
+                > ddr4_dual_socket().stream_bandwidth().as_gb_per_s() * 7.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "(0, 1]")]
+    fn efficiency_validated() {
+        Memory::new(Bytes::from_gib(1), Bandwidth::from_gb_per_s(1.0), 0.0);
+    }
+}

@@ -1,0 +1,372 @@
+//! Whole-machine platform models and the Table I presets.
+
+use crate::device::{self, ComputeDevice};
+use crate::link::Link;
+use crate::power::PowerModel;
+use crate::units::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// Which of the paper's platforms (or a custom one) a [`Platform`] models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlatformKind {
+    /// Dual-socket CPU trainer/parameter server (Table I column 1).
+    DualSocketCpu,
+    /// Big Basin: 8×V100 with NVLink hybrid cube mesh (Table I column 2).
+    BigBasin,
+    /// Prototype Zion: 8 sockets, ~2 TB, 8×V100 *without* direct GPU-GPU
+    /// interconnect (Table I column 3 and Section VI.B).
+    ZionPrototype,
+    /// A user-assembled machine.
+    Custom,
+}
+
+/// A training server: host CPU complex, accelerators and interconnects.
+///
+/// # Example
+///
+/// ```
+/// use recsim_hw::{Platform, units::Bytes};
+///
+/// let p = Platform::big_basin(Bytes::from_gib(16));
+/// assert_eq!(p.total_gpu_memory(), Bytes::from_gib(128));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    kind: PlatformKind,
+    name: String,
+    host: ComputeDevice,
+    gpus: Vec<ComputeDevice>,
+    gpu_interconnect: Option<Link>,
+    host_gpu_link: Option<Link>,
+    network: Link,
+    power: PowerModel,
+}
+
+impl Platform {
+    /// Assembles a custom platform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if GPUs are present without a host↔GPU link.
+    #[allow(clippy::too_many_arguments)]
+    pub fn custom(
+        name: impl Into<String>,
+        host: ComputeDevice,
+        gpus: Vec<ComputeDevice>,
+        gpu_interconnect: Option<Link>,
+        host_gpu_link: Option<Link>,
+        network: Link,
+        power: PowerModel,
+    ) -> Self {
+        assert!(
+            gpus.is_empty() || host_gpu_link.is_some(),
+            "platforms with GPUs need a host-GPU link"
+        );
+        Self {
+            kind: PlatformKind::Custom,
+            name: name.into(),
+            host,
+            gpus,
+            gpu_interconnect,
+            host_gpu_link,
+            network,
+            power,
+        }
+    }
+
+    /// The dual-socket CPU server of Table I: 2 Skylake sockets, 256 GB,
+    /// 25 Gbps Ethernet, no accelerators.
+    pub fn dual_socket_cpu() -> Self {
+        Self {
+            kind: PlatformKind::DualSocketCpu,
+            name: "dual-socket CPU".into(),
+            host: device::skylake_dual_socket(),
+            gpus: Vec::new(),
+            gpu_interconnect: None,
+            host_gpu_link: None,
+            network: Link::ethernet_25g(),
+            power: PowerModel::cpu_server(),
+        }
+    }
+
+    /// Big Basin (Table I): 8×V100 (16 or 32 GiB each) on an NVLink hybrid
+    /// cube mesh, dual-socket host with 256 GB, 100 Gbps Ethernet.
+    pub fn big_basin(gpu_memory: Bytes) -> Self {
+        Self {
+            kind: PlatformKind::BigBasin,
+            name: "Big Basin".into(),
+            host: device::skylake_dual_socket(),
+            gpus: vec![device::v100(gpu_memory); 8],
+            gpu_interconnect: Some(Link::nvlink_hybrid_cube_mesh()),
+            host_gpu_link: Some(Link::pcie3_x16()),
+            network: Link::ethernet_100g(),
+            power: PowerModel::big_basin(),
+        }
+    }
+
+    /// DGX-A100: the generation after Big Basin (8×A100-40GB on NVSwitch,
+    /// dual 64-core hosts with 1 TB DDR4, 200 GbE). The paper's related
+    /// work cites HugeCTR's MLPerf-DLRM results on this machine.
+    pub fn dgx_a100() -> Self {
+        let host = ComputeDevice::new(
+            crate::device::DeviceKind::Cpu,
+            crate::units::FlopRate::from_tflops(5.0),
+            0.30,
+            crate::memory::Memory::new(
+                Bytes::from_tib(1),
+                crate::units::Bandwidth::from_gb_per_s(380.0),
+                0.25,
+            ),
+            crate::units::Duration::from_micros(1.0),
+        );
+        Self {
+            kind: PlatformKind::Custom,
+            name: "DGX-A100".into(),
+            host,
+            gpus: vec![crate::device::a100(); 8],
+            gpu_interconnect: Some(Link::nvlink3_nvswitch()),
+            host_gpu_link: Some(Link::pcie4_x16()),
+            network: Link::ethernet_200g(),
+            power: PowerModel::new(crate::units::Power::from_watts(6500.0), 0.30),
+        }
+    }
+
+    /// Prototype Zion (Table I + Section VI.B): 8 CPU sockets with ~2 TB /
+    /// ~1 TB/s system memory, 8×V100-32GB, 4×100 Gbps InfiniBand — and *no
+    /// direct GPU-GPU interconnect*: "there was no GPU-GPU direct
+    /// communication in our prototype Zion server, hence all communication
+    /// across GPUs went through CPUs".
+    pub fn zion_prototype() -> Self {
+        Self {
+            kind: PlatformKind::ZionPrototype,
+            name: "Zion (prototype)".into(),
+            host: device::zion_cpu_complex(),
+            gpus: vec![device::v100(Bytes::from_gib(32)); 8],
+            gpu_interconnect: None,
+            host_gpu_link: Some(Link::pcie3_x16()),
+            network: Link::infiniband_4x100g(),
+            power: PowerModel::zion(),
+        }
+    }
+
+    /// Which preset (or custom) this platform is.
+    pub fn kind(&self) -> PlatformKind {
+        self.kind
+    }
+
+    /// Human-readable platform name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The host CPU complex (with the system memory attached).
+    pub fn host(&self) -> &ComputeDevice {
+        &self.host
+    }
+
+    /// The accelerators, if any.
+    pub fn gpus(&self) -> &[ComputeDevice] {
+        &self.gpus
+    }
+
+    /// Whether the platform has accelerators.
+    pub fn has_gpus(&self) -> bool {
+        !self.gpus.is_empty()
+    }
+
+    /// Direct GPU↔GPU interconnect, when present (NVLink on Big Basin;
+    /// absent on prototype Zion, where GPU traffic is relayed by the host).
+    pub fn gpu_interconnect(&self) -> Option<&Link> {
+        self.gpu_interconnect.as_ref()
+    }
+
+    /// The host↔GPU link (PCIe), when GPUs are present.
+    pub fn host_gpu_link(&self) -> Option<&Link> {
+        self.host_gpu_link.as_ref()
+    }
+
+    /// The external network interface.
+    pub fn network(&self) -> &Link {
+        &self.network
+    }
+
+    /// The platform power model.
+    pub fn power(&self) -> &PowerModel {
+        &self.power
+    }
+
+    /// Aggregate accelerator memory capacity (Big Basin with 16 GiB SKUs:
+    /// 128 GiB; with 32 GiB SKUs: 256 GiB).
+    pub fn total_gpu_memory(&self) -> Bytes {
+        self.gpus.iter().map(|g| g.memory().capacity()).sum()
+    }
+
+    /// Aggregate sustained FP32 throughput of all accelerators in TFLOP/s.
+    pub fn total_gpu_tflops(&self) -> f64 {
+        self.gpus
+            .iter()
+            .map(|g| g.sustained_flop_rate().as_tflops())
+            .sum()
+    }
+
+    /// Returns a copy with the GPU interconnect removed — used to model
+    /// prototype-Zion-style relayed communication on otherwise identical
+    /// hardware.
+    pub fn without_gpu_interconnect(&self) -> Platform {
+        Platform {
+            gpu_interconnect: None,
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy with every memory's random-access penalty removed
+    /// (`ablation_random_access`).
+    pub fn without_random_access_penalty(&self) -> Platform {
+        Platform {
+            host: self.host.with_memory(self.host.memory().without_random_penalty()),
+            gpus: self
+                .gpus
+                .iter()
+                .map(|g| g.with_memory(g.memory().without_random_penalty()))
+                .collect(),
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy with GPU `index` derated to `factor` of its compute
+    /// rate — a straggler, the "hardware level variability" the paper's
+    /// Figure 5 discussion points at. Data-parallel training runs at the
+    /// pace of the slowest worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or `factor` is outside `(0, 1]`.
+    pub fn with_straggler_gpu(&self, index: usize, factor: f64) -> Platform {
+        assert!(index < self.gpus.len(), "GPU index out of range");
+        assert!(factor > 0.0 && factor <= 1.0, "derate factor must be in (0, 1]");
+        let mut gpus = self.gpus.clone();
+        let g = gpus[index];
+        gpus[index] = ComputeDevice::new(
+            g.kind(),
+            g.peak_flop_rate().derated(factor),
+            g.gemm_efficiency(),
+            *g.memory(),
+            g.kernel_overhead(),
+        );
+        Platform {
+            gpus,
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy with zero kernel-launch overhead on every device
+    /// (`ablation_launch_overhead`).
+    pub fn without_kernel_overhead(&self) -> Platform {
+        Platform {
+            host: self.host.without_kernel_overhead(),
+            gpus: self
+                .gpus
+                .iter()
+                .map(ComputeDevice::without_kernel_overhead)
+                .collect(),
+            ..self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_shapes() {
+        let cpu = Platform::dual_socket_cpu();
+        assert!(!cpu.has_gpus());
+        assert_eq!(cpu.host().memory().capacity(), Bytes::from_gib(256));
+
+        let bb16 = Platform::big_basin(Bytes::from_gib(16));
+        assert_eq!(bb16.gpus().len(), 8);
+        assert_eq!(bb16.total_gpu_memory(), Bytes::from_gib(128));
+        let bb32 = Platform::big_basin(Bytes::from_gib(32));
+        assert_eq!(bb32.total_gpu_memory(), Bytes::from_gib(256));
+
+        let zion = Platform::zion_prototype();
+        assert_eq!(zion.gpus().len(), 8);
+        assert_eq!(zion.host().memory().capacity(), Bytes::from_tib(2));
+        assert!(zion.gpu_interconnect().is_none());
+        assert!(bb16.gpu_interconnect().is_some());
+    }
+
+    #[test]
+    fn zion_memory_bandwidth_dwarfs_big_basin_host() {
+        let bb = Platform::big_basin(Bytes::from_gib(32));
+        let zion = Platform::zion_prototype();
+        let ratio = zion.host().memory().stream_bandwidth().as_gb_per_s()
+            / bb.host().memory().stream_bandwidth().as_gb_per_s();
+        assert!(ratio > 7.0, "Zion claims ~1 TB/s vs ~128 GB/s, got {ratio}");
+    }
+
+    #[test]
+    fn power_ordering() {
+        let cpu = Platform::dual_socket_cpu().power().envelope().as_watts();
+        let bb = Platform::big_basin(Bytes::from_gib(16)).power().envelope().as_watts();
+        let zion = Platform::zion_prototype().power().envelope().as_watts();
+        assert!(cpu < bb && bb < zion);
+    }
+
+    #[test]
+    fn ablations_preserve_identity_elsewhere() {
+        let bb = Platform::big_basin(Bytes::from_gib(32));
+        let no_nv = bb.without_gpu_interconnect();
+        assert!(no_nv.gpu_interconnect().is_none());
+        assert_eq!(no_nv.gpus().len(), 8);
+        let no_pen = bb.without_random_access_penalty();
+        assert_eq!(
+            no_pen.gpus()[0].memory().random_access_efficiency(),
+            1.0
+        );
+        let no_oh = bb.without_kernel_overhead();
+        assert_eq!(no_oh.gpus()[0].kernel_overhead().as_secs(), 0.0);
+    }
+
+    #[test]
+    fn dgx_a100_is_a_generation_ahead_of_big_basin() {
+        let bb = Platform::big_basin(Bytes::from_gib(32));
+        let dgx = Platform::dgx_a100();
+        assert!(dgx.total_gpu_tflops() > bb.total_gpu_tflops());
+        assert!(
+            dgx.gpus()[0].memory().stream_bandwidth().as_gb_per_s()
+                > bb.gpus()[0].memory().stream_bandwidth().as_gb_per_s() * 1.5
+        );
+        assert!(dgx.gpu_interconnect().is_some());
+        assert_eq!(dgx.total_gpu_memory(), Bytes::from_gib(320));
+    }
+
+    #[test]
+    fn straggler_gpu_is_slower() {
+        let bb = Platform::big_basin(Bytes::from_gib(32));
+        let s = bb.with_straggler_gpu(3, 0.5);
+        assert!(
+            s.gpus()[3].sustained_flop_rate().as_tflops()
+                < bb.gpus()[3].sustained_flop_rate().as_tflops() * 0.6
+        );
+        assert_eq!(
+            s.gpus()[0].sustained_flop_rate().as_tflops(),
+            bb.gpus()[0].sustained_flop_rate().as_tflops()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "host-GPU link")]
+    fn custom_platform_validates_links() {
+        Platform::custom(
+            "broken",
+            device::skylake_dual_socket(),
+            vec![device::v100(Bytes::from_gib(16))],
+            None,
+            None,
+            Link::ethernet_25g(),
+            PowerModel::cpu_server(),
+        );
+    }
+}

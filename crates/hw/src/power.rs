@@ -1,0 +1,123 @@
+//! Utilization-dependent power draw.
+//!
+//! The paper reports training efficiency as throughput per watt and states
+//! that the "power capacity requirement of a Big Basin server is 7.3 times
+//! higher than the dual-socket CPU server". The [`PowerModel`] captures a
+//! platform's provisioned envelope plus a simple idle/dynamic split so that
+//! perf-per-watt comparisons (Figure 10 right panel, Table III) can be
+//! computed.
+
+use crate::units::Power;
+use serde::{Deserialize, Serialize};
+
+/// A linear utilization-to-power model: `P(u) = envelope * (idle + (1 - idle) * u)`.
+///
+/// # Example
+///
+/// ```
+/// use recsim_hw::PowerModel;
+/// use recsim_hw::units::Power;
+///
+/// let m = PowerModel::new(Power::from_watts(1000.0), 0.4);
+/// assert_eq!(m.draw(0.0).as_watts(), 400.0);
+/// assert_eq!(m.draw(1.0).as_watts(), 1000.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    envelope: Power,
+    idle_fraction: f64,
+}
+
+impl PowerModel {
+    /// Creates a power model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idle_fraction` is outside `[0, 1]`.
+    pub fn new(envelope: Power, idle_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&idle_fraction),
+            "idle fraction must be in [0, 1]"
+        );
+        Self {
+            envelope,
+            idle_fraction,
+        }
+    }
+
+    /// The provisioned (maximum) power.
+    pub fn envelope(&self) -> Power {
+        self.envelope
+    }
+
+    /// Fraction of the envelope drawn when idle.
+    pub fn idle_fraction(&self) -> f64 {
+        self.idle_fraction
+    }
+
+    /// Power drawn at the given utilization in `[0, 1]` (clamped).
+    pub fn draw(&self, utilization: f64) -> Power {
+        let u = utilization.clamp(0.0, 1.0);
+        self.envelope * (self.idle_fraction + (1.0 - self.idle_fraction) * u)
+    }
+
+    /// Perf-per-watt for a given throughput (examples/s) and utilization.
+    ///
+    /// Returns examples per joule.
+    pub fn efficiency(&self, throughput: f64, utilization: f64) -> f64 {
+        throughput / self.draw(utilization).as_watts()
+    }
+
+    /// The dual-socket CPU server envelope — normalization baseline.
+    pub fn cpu_server() -> Self {
+        PowerModel::new(Power::from_watts(600.0), 0.45)
+    }
+
+    /// Big Basin: the paper states 7.3× the CPU server's power capacity.
+    pub fn big_basin() -> Self {
+        PowerModel::new(Power::from_watts(600.0 * 7.3), 0.30)
+    }
+
+    /// Zion: documented assumption of ≈10.5× the CPU server (8 sockets +
+    /// 8 V100s + fabric); the paper does not disclose the number.
+    pub fn zion() -> Self {
+        PowerModel::new(Power::from_watts(600.0 * 10.5), 0.30)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draw_is_monotone_in_utilization() {
+        let m = PowerModel::big_basin();
+        assert!(m.draw(0.2).as_watts() < m.draw(0.8).as_watts());
+    }
+
+    #[test]
+    fn draw_clamps_utilization() {
+        let m = PowerModel::cpu_server();
+        assert_eq!(m.draw(-1.0), m.draw(0.0));
+        assert_eq!(m.draw(2.0), m.draw(1.0));
+    }
+
+    #[test]
+    fn big_basin_envelope_ratio_is_7_3() {
+        let ratio = PowerModel::big_basin().envelope().as_watts()
+            / PowerModel::cpu_server().envelope().as_watts();
+        assert!((ratio - 7.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn efficiency_divides_by_power() {
+        let m = PowerModel::new(Power::from_watts(100.0), 0.0);
+        assert!((m.efficiency(50.0, 1.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "[0, 1]")]
+    fn idle_fraction_validated() {
+        PowerModel::new(Power::from_watts(1.0), 1.5);
+    }
+}

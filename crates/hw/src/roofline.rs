@@ -1,0 +1,196 @@
+//! The roofline cost model: mapping a quantum of work onto a device.
+
+use crate::device::ComputeDevice;
+use crate::memory::AccessPattern;
+use crate::units::{Bytes, Duration, Flops};
+use serde::{Deserialize, Serialize};
+
+/// A quantum of work: arithmetic, data movement and kernel count.
+///
+/// Execution time on a device is
+/// `kernels * overhead + max(flops / sustained_rate, bytes / bandwidth(pattern))`
+/// — compute and memory streams overlap (the roofline assumption), while
+/// launch overhead is serial.
+///
+/// # Example
+///
+/// ```
+/// use recsim_hw::{Work, AccessPattern, device::v100};
+/// use recsim_hw::units::{Bytes, Flops};
+///
+/// let gemm = Work::new(Flops::new(1_000_000_000), Bytes::from_mib(64),
+///                      AccessPattern::Sequential, 3);
+/// let t = gemm.time_on(&v100(Bytes::from_gib(32)));
+/// assert!(t.as_secs() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Work {
+    flops: Flops,
+    bytes: Bytes,
+    pattern: AccessPattern,
+    kernels: u64,
+}
+
+impl Work {
+    /// Creates a work quantum.
+    pub fn new(flops: Flops, bytes: Bytes, pattern: AccessPattern, kernels: u64) -> Self {
+        Self {
+            flops,
+            bytes,
+            pattern,
+            kernels,
+        }
+    }
+
+    /// Pure compute work with sequential operand streaming.
+    pub fn compute(flops: Flops, bytes: Bytes, kernels: u64) -> Self {
+        Self::new(flops, bytes, AccessPattern::Sequential, kernels)
+    }
+
+    /// Pure data movement with random access (embedding gathers/scatters).
+    pub fn gather(bytes: Bytes, kernels: u64) -> Self {
+        Self::new(Flops::ZERO, bytes, AccessPattern::Random, kernels)
+    }
+
+    /// The no-op quantum.
+    pub fn none() -> Self {
+        Self::new(Flops::ZERO, Bytes::ZERO, AccessPattern::Sequential, 0)
+    }
+
+    /// Arithmetic operations.
+    pub fn flops(&self) -> Flops {
+        self.flops
+    }
+
+    /// Bytes moved through the device memory.
+    pub fn bytes(&self) -> Bytes {
+        self.bytes
+    }
+
+    /// The memory access pattern.
+    pub fn pattern(&self) -> AccessPattern {
+        self.pattern
+    }
+
+    /// Number of kernels launched.
+    pub fn kernels(&self) -> u64 {
+        self.kernels
+    }
+
+    /// Combines two quanta executed back-to-back on the same device.
+    ///
+    /// If either side is random-access the combined quantum is treated as
+    /// random (conservative).
+    pub fn merge(&self, other: &Work) -> Work {
+        Work {
+            flops: self.flops + other.flops,
+            bytes: self.bytes + other.bytes,
+            pattern: if self.pattern == AccessPattern::Random
+                || other.pattern == AccessPattern::Random
+            {
+                AccessPattern::Random
+            } else {
+                AccessPattern::Sequential
+            },
+            kernels: self.kernels + other.kernels,
+        }
+    }
+
+    /// Execution time on `device` under the roofline model.
+    pub fn time_on(&self, device: &ComputeDevice) -> Duration {
+        let compute = if self.flops == Flops::ZERO {
+            Duration::ZERO
+        } else {
+            device.sustained_flop_rate().execution_time(self.flops)
+        };
+        let mem = if self.bytes == Bytes::ZERO {
+            Duration::ZERO
+        } else {
+            device.memory().access_time(self.bytes, self.pattern)
+        };
+        device.kernel_overhead() * self.kernels as f64 + compute.max(mem)
+    }
+
+    /// Whether this quantum is memory-bound on `device` (its memory time
+    /// exceeds its compute time).
+    pub fn is_memory_bound_on(&self, device: &ComputeDevice) -> bool {
+        let compute = device.sustained_flop_rate().execution_time(self.flops);
+        let mem = device.memory().access_time(self.bytes, self.pattern);
+        mem > compute
+    }
+
+    /// Arithmetic intensity in FLOP/byte; `f64::INFINITY` when no bytes move.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        if self.bytes == Bytes::ZERO {
+            f64::INFINITY
+        } else {
+            self.flops.as_f64() / self.bytes.as_f64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{skylake_dual_socket, v100};
+
+    #[test]
+    fn compute_bound_work_scales_with_flops() {
+        let gpu = v100(Bytes::from_gib(32));
+        let small = Work::compute(Flops::new(1_000_000_000), Bytes::from_kib(1), 1);
+        let big = Work::compute(Flops::new(10_000_000_000), Bytes::from_kib(1), 1);
+        let ratio = big.time_on(&gpu).as_secs() / small.time_on(&gpu).as_secs();
+        assert!(ratio > 5.0 && ratio < 11.0);
+    }
+
+    #[test]
+    fn gather_is_memory_bound() {
+        let gpu = v100(Bytes::from_gib(32));
+        let g = Work::gather(Bytes::from_mib(256), 1);
+        assert!(g.is_memory_bound_on(&gpu));
+        assert_eq!(g.arithmetic_intensity(), 0.0);
+    }
+
+    #[test]
+    fn overhead_dominates_tiny_kernels() {
+        let gpu = v100(Bytes::from_gib(32));
+        let tiny = Work::compute(Flops::new(1000), Bytes::new(1000), 10);
+        let t = tiny.time_on(&gpu);
+        // 10 kernels x 8us = 80us floor.
+        assert!(t.as_micros() >= 80.0);
+    }
+
+    #[test]
+    fn merge_sums_and_keeps_random() {
+        let a = Work::compute(Flops::new(10), Bytes::new(20), 1);
+        let b = Work::gather(Bytes::new(5), 2);
+        let m = a.merge(&b);
+        assert_eq!(m.flops(), Flops::new(10));
+        assert_eq!(m.bytes(), Bytes::new(25));
+        assert_eq!(m.kernels(), 3);
+        assert_eq!(m.pattern(), AccessPattern::Random);
+    }
+
+    #[test]
+    fn roofline_takes_max_not_sum() {
+        let cpu = skylake_dual_socket();
+        let balanced = Work::compute(Flops::new(1_000_000_000), Bytes::from_gib(1), 0);
+        let t = balanced.time_on(&cpu).as_secs();
+        let compute = cpu
+            .sustained_flop_rate()
+            .execution_time(Flops::new(1_000_000_000))
+            .as_secs();
+        let mem = cpu
+            .memory()
+            .access_time(Bytes::from_gib(1), AccessPattern::Sequential)
+            .as_secs();
+        assert!((t - compute.max(mem)).abs() < 1e-12);
+        assert!(t < compute + mem);
+    }
+
+    #[test]
+    fn none_takes_no_time() {
+        let gpu = v100(Bytes::from_gib(16));
+        assert_eq!(Work::none().time_on(&gpu), Duration::ZERO);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the hardware substrate invariants.
+
+use proptest::prelude::*;
+use recsim_hw::device::v100;
+use recsim_hw::units::{Bandwidth, Bytes, Duration, Flops};
+use recsim_hw::{AccessPattern, Link, Memory, Platform, Work};
+
+proptest! {
+    #[test]
+    fn bytes_add_is_commutative(a in 0u64..1u64 << 40, b in 0u64..1u64 << 40) {
+        prop_assert_eq!(Bytes::new(a) + Bytes::new(b), Bytes::new(b) + Bytes::new(a));
+    }
+
+    #[test]
+    fn transfer_time_scales_linearly(
+        gb in 1.0f64..1000.0,
+        bytes in 1u64..1u64 << 32,
+    ) {
+        let bw = Bandwidth::from_gb_per_s(gb);
+        let t1 = bw.transfer_time(Bytes::new(bytes));
+        let t2 = bw.transfer_time(Bytes::new(bytes * 2));
+        prop_assert!((t2.as_secs() - 2.0 * t1.as_secs()).abs() < 1e-9 * t1.as_secs().max(1.0));
+    }
+
+    #[test]
+    fn random_access_never_faster(
+        cap_gib in 1u64..64,
+        gbps in 1.0f64..2000.0,
+        eff in 0.01f64..1.0,
+        amount in 1u64..1u64 << 30,
+    ) {
+        let m = Memory::new(Bytes::from_gib(cap_gib), Bandwidth::from_gb_per_s(gbps), eff);
+        let seq = m.access_time(Bytes::new(amount), AccessPattern::Sequential);
+        let rnd = m.access_time(Bytes::new(amount), AccessPattern::Random);
+        prop_assert!(rnd.as_secs() >= seq.as_secs() - 1e-15);
+    }
+
+    #[test]
+    fn work_time_monotone_in_flops(
+        f1 in 0u64..1u64 << 36,
+        extra in 0u64..1u64 << 36,
+        bytes in 0u64..1u64 << 28,
+    ) {
+        let gpu = v100(Bytes::from_gib(32));
+        let a = Work::compute(Flops::new(f1), Bytes::new(bytes), 1);
+        let b = Work::compute(Flops::new(f1 + extra), Bytes::new(bytes), 1);
+        prop_assert!(b.time_on(&gpu).as_secs() >= a.time_on(&gpu).as_secs() - 1e-15);
+    }
+
+    #[test]
+    fn merged_work_takes_at_least_max_part(
+        fa in 0u64..1u64 << 32, ba in 0u64..1u64 << 26,
+        fb in 0u64..1u64 << 32, bb in 0u64..1u64 << 26,
+    ) {
+        let gpu = v100(Bytes::from_gib(32));
+        let a = Work::compute(Flops::new(fa), Bytes::new(ba), 1);
+        let b = Work::gather(Bytes::new(bb), 1).merge(&Work::compute(Flops::new(fb), Bytes::ZERO, 0));
+        let merged = a.merge(&b);
+        let t = merged.time_on(&gpu).as_secs();
+        prop_assert!(t >= a.time_on(&gpu).as_secs() - gpu.kernel_overhead().as_secs() - 1e-15);
+        prop_assert!(t >= b.time_on(&gpu).as_secs() - gpu.kernel_overhead().as_secs() - 1e-15);
+    }
+
+    #[test]
+    fn link_transfer_time_monotone_in_payload(
+        small in 1u64..1u64 << 30,
+        extra in 0u64..1u64 << 30,
+        msgs in 1u64..100,
+    ) {
+        let link = Link::ethernet_100g();
+        let a = link.transfer_time(Bytes::new(small), msgs);
+        let b = link.transfer_time(Bytes::new(small + extra), msgs);
+        prop_assert!(b.as_secs() >= a.as_secs() - 1e-15);
+    }
+
+    #[test]
+    fn power_draw_within_envelope(u in -2.0f64..3.0) {
+        let p = Platform::big_basin(Bytes::from_gib(16));
+        let draw = p.power().draw(u).as_watts();
+        prop_assert!(draw >= 0.0);
+        prop_assert!(draw <= p.power().envelope().as_watts() + 1e-9);
+    }
+
+    #[test]
+    fn duration_saturating_sub_never_negative(a in 0.0f64..1e6, b in 0.0f64..1e6) {
+        let d = Duration::from_secs(a).saturating_sub(Duration::from_secs(b));
+        prop_assert!(d.as_secs() >= 0.0);
+    }
+}

@@ -1,0 +1,305 @@
+//! Linear- and logarithmic-binned histograms.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-range, linearly binned histogram.
+///
+/// Out-of-range observations are clamped into the first/last bin so that
+/// `total()` always equals the number of `record` calls — the fleet
+/// characterization experiments count *every* run.
+///
+/// # Example
+///
+/// ```
+/// use recsim_metrics::Histogram;
+///
+/// let mut h = Histogram::with_range(0.0, 100.0, 10);
+/// h.record(5.0);
+/// h.record(15.0);
+/// h.record(15.5);
+/// assert_eq!(h.count(0), 1);
+/// assert_eq!(h.count(1), 2);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`, `lo >= hi`, or either bound is non-finite.
+    pub fn with_range(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+        assert!(lo < hi, "histogram range must be non-empty");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Records one observation, clamping out-of-range values to the edge
+    /// bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN.
+    pub fn record(&mut self, x: f64) {
+        self.record_n(x, 1);
+    }
+
+    /// Records `n` identical observations at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN.
+    pub fn record_n(&mut self, x: f64, n: u64) {
+        assert!(!x.is_nan(), "Histogram::record received NaN");
+        let idx = self.bin_index(x);
+        self.counts[idx] += n;
+        self.total += n;
+    }
+
+    /// The bin that `x` would fall into (clamped to the edges).
+    pub fn bin_index(&self, x: f64) -> usize {
+        let bins = self.counts.len();
+        if x <= self.lo {
+            return 0;
+        }
+        if x >= self.hi {
+            return bins - 1;
+        }
+        let frac = (x - self.lo) / (self.hi - self.lo);
+        ((frac * bins as f64) as usize).min(bins - 1)
+    }
+
+    /// Count in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Total number of recorded observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// `(lower, upper)` edge of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+
+    /// Midpoint of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let (a, b) = self.bin_edges(i);
+        (a + b) / 2.0
+    }
+
+    /// Fraction of all observations in bin `i`; `0.0` when empty.
+    pub fn fraction(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / self.total as f64
+        }
+    }
+
+    /// Iterator over `(bin_center, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        (0..self.counts.len()).map(|i| (self.bin_center(i), self.counts[i]))
+    }
+
+    /// Index of the most populated bin (ties resolve to the lowest index);
+    /// `None` when empty.
+    pub fn mode_bin(&self) -> Option<usize> {
+        if self.total == 0 {
+            return None;
+        }
+        let mut best = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > self.counts[best] {
+                best = i;
+            }
+        }
+        Some(best)
+    }
+
+    /// Fraction of observations in the most populated bin; `0.0` when empty.
+    ///
+    /// The paper observes that “over 40% of the workflows use the same number
+    /// of trainers” — this is the statistic that checks it.
+    pub fn mode_fraction(&self) -> f64 {
+        self.mode_bin().map_or(0.0, |i| self.fraction(i))
+    }
+}
+
+/// A histogram with logarithmically spaced bins, for quantities spanning
+/// orders of magnitude (hash sizes range from 30 to 20 million in the paper's
+/// Figure 6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    log_lo: f64,
+    log_hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl LogHistogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` log-uniform bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo`/`hi` are not strictly positive and
+    /// ordered.
+    pub fn with_range(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo > 0.0 && hi > lo, "log histogram needs 0 < lo < hi");
+        Self {
+            log_lo: lo.ln(),
+            log_hi: hi.ln(),
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Records one observation (clamped to the edge bins; `x` must be > 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not strictly positive or is NaN.
+    pub fn record(&mut self, x: f64) {
+        assert!(x > 0.0, "LogHistogram::record needs positive values");
+        let bins = self.counts.len();
+        let lx = x.ln();
+        let idx = if lx <= self.log_lo {
+            0
+        } else if lx >= self.log_hi {
+            bins - 1
+        } else {
+            let frac = (lx - self.log_lo) / (self.log_hi - self.log_lo);
+            ((frac * bins as f64) as usize).min(bins - 1)
+        };
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Count in bin `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Total number of recorded observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Geometric midpoint of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.log_hi - self.log_lo) / self.counts.len() as f64;
+        (self.log_lo + w * (i as f64 + 0.5)).exp()
+    }
+
+    /// Iterator over `(geometric_bin_center, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        (0..self.counts.len()).map(|i| (self.bin_center(i), self.counts[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamps_out_of_range() {
+        let mut h = Histogram::with_range(0.0, 10.0, 5);
+        h.record(-3.0);
+        h.record(100.0);
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(4), 1);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn boundary_goes_to_upper_bin() {
+        let mut h = Histogram::with_range(0.0, 10.0, 5);
+        h.record(2.0); // exactly on the boundary between bin 0 and 1
+        assert_eq!(h.count(1), 1);
+    }
+
+    #[test]
+    fn bin_edges_partition_range() {
+        let h = Histogram::with_range(0.0, 10.0, 4);
+        assert_eq!(h.bin_edges(0), (0.0, 2.5));
+        assert_eq!(h.bin_edges(3), (7.5, 10.0));
+        assert_eq!(h.bin_center(1), 3.75);
+    }
+
+    #[test]
+    fn mode_fraction() {
+        let mut h = Histogram::with_range(0.0, 10.0, 10);
+        for _ in 0..6 {
+            h.record(3.5);
+        }
+        for _ in 0..4 {
+            h.record(7.5);
+        }
+        assert_eq!(h.mode_bin(), Some(3));
+        assert!((h.mode_fraction() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_mode_is_none() {
+        let h = Histogram::with_range(0.0, 1.0, 2);
+        assert_eq!(h.mode_bin(), None);
+        assert_eq!(h.mode_fraction(), 0.0);
+    }
+
+    #[test]
+    fn log_histogram_spreads_orders_of_magnitude() {
+        let mut h = LogHistogram::with_range(1.0, 1e6, 6);
+        h.record(5.0); // decade 0
+        h.record(5_000.0); // decade 3
+        h.record(500_000.0); // decade 5
+        let occupied: Vec<usize> = (0..6).filter(|&i| h.count(i) > 0).collect();
+        assert_eq!(occupied.len(), 3);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn log_histogram_rejects_zero() {
+        LogHistogram::with_range(1.0, 10.0, 2).record(0.0);
+    }
+
+    #[test]
+    fn record_n_bulk() {
+        let mut h = Histogram::with_range(0.0, 1.0, 2);
+        h.record_n(0.25, 10);
+        assert_eq!(h.count(0), 10);
+        assert_eq!(h.total(), 10);
+        assert_eq!(h.fraction(0), 1.0);
+    }
+}

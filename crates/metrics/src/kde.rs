@@ -1,0 +1,181 @@
+//! Gaussian kernel density estimation.
+//!
+//! The paper's Figure 7 overlays a kernel density estimate on the
+//! feature-length histograms of the three production models; [`Kde`] is that
+//! estimator.
+
+use serde::{Deserialize, Serialize};
+
+const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
+
+/// A Gaussian kernel density estimator over a one-dimensional sample.
+///
+/// Bandwidth defaults to Silverman's rule of thumb and can be overridden with
+/// [`Kde::with_bandwidth`].
+///
+/// # Example
+///
+/// ```
+/// use recsim_metrics::Kde;
+///
+/// let kde = Kde::fit(&[1.0, 1.1, 0.9, 5.0, 5.1, 4.9]);
+/// // Density near the two clusters dominates density between them.
+/// assert!(kde.density(1.0) > kde.density(3.0));
+/// assert!(kde.density(5.0) > kde.density(3.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Kde {
+    samples: Vec<f64>,
+    bandwidth: f64,
+}
+
+impl Kde {
+    /// Fits a KDE with Silverman's rule-of-thumb bandwidth:
+    /// `0.9 * min(std, IQR/1.34) * n^(-1/5)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or contains NaN.
+    pub fn fit(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "KDE needs at least one sample");
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in KDE samples"));
+        let n = sorted.len() as f64;
+        let mean = sorted.iter().sum::<f64>() / n;
+        let std = (sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n).sqrt();
+        let iqr = crate::stats::quantile(&sorted, 0.75) - crate::stats::quantile(&sorted, 0.25);
+        let spread = if iqr > 0.0 {
+            std.min(iqr / 1.34)
+        } else {
+            std
+        };
+        // Degenerate samples (all equal) still need a positive bandwidth.
+        let bandwidth = (0.9 * spread * n.powf(-0.2)).max(1e-9);
+        Self {
+            samples: sorted,
+            bandwidth,
+        }
+    }
+
+    /// Fits a KDE with an explicit bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or `bandwidth` is not strictly positive.
+    pub fn with_bandwidth(samples: &[f64], bandwidth: f64) -> Self {
+        assert!(bandwidth > 0.0, "bandwidth must be positive");
+        let mut kde = Self::fit(samples);
+        kde.bandwidth = bandwidth;
+        kde
+    }
+
+    /// The bandwidth in use.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Number of samples the estimate is built from.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if fitted on an empty sample (never true: construction
+    /// forbids it), provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Estimated probability density at `x`.
+    pub fn density(&self, x: f64) -> f64 {
+        let h = self.bandwidth;
+        let sum: f64 = self
+            .samples
+            .iter()
+            .map(|&xi| {
+                let u = (x - xi) / h;
+                INV_SQRT_2PI * (-0.5 * u * u).exp()
+            })
+            .sum();
+        sum / (self.samples.len() as f64 * h)
+    }
+
+    /// Evaluates the density on `points` evenly spaced points spanning the
+    /// sample range padded by three bandwidths, returning `(x, density)`
+    /// pairs — the curve the figure plots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points < 2`.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2, "a curve needs at least two points");
+        let lo = self.samples[0] - 3.0 * self.bandwidth;
+        let hi = self.samples[self.samples.len() - 1] + 3.0 * self.bandwidth;
+        let step = (hi - lo) / (points - 1) as f64;
+        (0..points)
+            .map(|i| {
+                let x = lo + step * i as f64;
+                (x, self.density(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_is_nonnegative_and_peaks_at_data() {
+        let kde = Kde::fit(&[0.0, 0.0, 0.1, -0.1]);
+        assert!(kde.density(0.0) > kde.density(2.0));
+        assert!(kde.density(2.0) >= 0.0);
+    }
+
+    #[test]
+    fn integrates_to_one_approximately() {
+        let kde = Kde::fit(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        // trapezoid rule over a wide range
+        let lo = -10.0;
+        let hi = 20.0;
+        let n = 3000;
+        let step = (hi - lo) / n as f64;
+        let mut integral = 0.0;
+        for i in 0..n {
+            let x0 = lo + step * i as f64;
+            integral += (kde.density(x0) + kde.density(x0 + step)) / 2.0 * step;
+        }
+        assert!((integral - 1.0).abs() < 1e-3, "integral = {integral}");
+    }
+
+    #[test]
+    fn degenerate_sample_has_positive_bandwidth() {
+        let kde = Kde::fit(&[7.0, 7.0, 7.0]);
+        assert!(kde.bandwidth() > 0.0);
+        assert!(kde.density(7.0).is_finite());
+    }
+
+    #[test]
+    fn curve_covers_sample_range() {
+        let kde = Kde::fit(&[0.0, 10.0]);
+        let curve = kde.curve(50);
+        assert_eq!(curve.len(), 50);
+        assert!(curve.first().unwrap().0 < 0.0);
+        assert!(curve.last().unwrap().0 > 10.0);
+        // x strictly increasing
+        for w in curve.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn explicit_bandwidth_respected() {
+        let kde = Kde::with_bandwidth(&[0.0, 1.0], 0.5);
+        assert_eq!(kde.bandwidth(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_fit_panics() {
+        Kde::fit(&[]);
+    }
+}

@@ -1,0 +1,49 @@
+//! Statistics and reporting primitives for the `recsim` workspace.
+//!
+//! The characterization study that `recsim` reproduces is, at its heart, an
+//! exercise in descriptive statistics: utilization *distributions* (Figure 5
+//! of the paper), feature-length *kernel density estimates* (Figure 7),
+//! server-count *histograms* (Figure 9), and throughput *series* swept over
+//! model parameters (Figures 10–14). This crate provides those primitives:
+//!
+//! * [`Summary`] / [`OnlineStats`] — five-number summaries and streaming
+//!   moments,
+//! * [`Histogram`] / [`LogHistogram`] — linear- and log-binned counting,
+//! * [`Kde`] — Gaussian kernel density estimation with Silverman bandwidth,
+//! * [`Series`] and [`Figure`] — named *(x, y)* data suitable for rendering,
+//! * [`Table`] — aligned Markdown-style table rendering for experiment
+//!   reports,
+//! * [`ascii`] — terminal bar and line charts so every experiment binary can
+//!   show the shape of its result without a plotting stack.
+//!
+//! # Example
+//!
+//! ```
+//! use recsim_metrics::{OnlineStats, Histogram};
+//!
+//! let mut stats = OnlineStats::new();
+//! let mut hist = Histogram::with_range(0.0, 10.0, 10);
+//! for x in [1.0, 2.0, 2.5, 7.0] {
+//!     stats.push(x);
+//!     hist.record(x);
+//! }
+//! assert_eq!(stats.count(), 4);
+//! assert!((stats.mean() - 3.125).abs() < 1e-12);
+//! assert_eq!(hist.total(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ascii;
+pub mod histogram;
+pub mod kde;
+pub mod series;
+pub mod stats;
+pub mod table;
+
+pub use histogram::{Histogram, LogHistogram};
+pub use kde::Kde;
+pub use series::{Figure, Series};
+pub use stats::{quantile, OnlineStats, Summary};
+pub use table::Table;

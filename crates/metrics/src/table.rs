@@ -1,0 +1,193 @@
+//! Aligned, Markdown-compatible table rendering for experiment reports.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A simple column-aligned table.
+///
+/// Every experiment binary prints its result as one of these so the output
+/// can be diffed against the paper's tables.
+///
+/// # Example
+///
+/// ```
+/// use recsim_metrics::Table;
+///
+/// let mut t = Table::new(vec!["model", "speedup"]);
+/// t.push_row(vec!["M1".to_string(), "2.25x".to_string()]);
+/// let s = t.to_string();
+/// assert!(s.contains("M1"));
+/// assert!(s.contains("speedup"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the header count.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Appends a row built from `Display` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the header count.
+    pub fn push_display_row<D: fmt::Display>(&mut self, row: &[D]) {
+        self.push_row(row.iter().map(|d| d.to_string()).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Cell at `(row, col)` if present.
+    pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
+        self.rows.get(row).and_then(|r| r.get(col)).map(String::as_str)
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let render_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, cell) in cells.iter().enumerate() {
+                write!(f, " {:<w$} |", cell, w = widths[i])?;
+            }
+            writeln!(f)
+        };
+        render_row(f, &self.headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{:-<w$}|", "", w = w + 2)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            render_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with engineering-style precision appropriate for report
+/// tables: large magnitudes get thousands separators dropped in favour of
+/// short scientific-ish suffixes (`1.2M`, `3.4k`), small ones keep 3
+/// significant decimals.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(recsim_metrics::table::humanize(2_500_000.0), "2.50M");
+/// assert_eq!(recsim_metrics::table::humanize(1_250.0), "1.25k");
+/// assert_eq!(recsim_metrics::table::humanize(0.125), "0.125");
+/// ```
+pub fn humanize(x: f64) -> String {
+    let a = x.abs();
+    if a >= 1e9 {
+        format!("{:.2}G", x / 1e9)
+    } else if a >= 1e6 {
+        format!("{:.2}M", x / 1e6)
+    } else if a >= 1e3 {
+        format!("{:.2}k", x / 1e3)
+    } else if a >= 1.0 || a == 0.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown_shape() {
+        let mut t = Table::new(vec!["a", "bb"]);
+        t.push_row(vec!["x".into(), "y".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("| a"));
+        assert!(lines[1].starts_with("|--"));
+        assert!(lines[2].contains("| x"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a"]);
+        t.push_row(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn display_row_formats() {
+        let mut t = Table::new(vec!["n", "v"]);
+        t.push_display_row(&[1.5, 2.25]);
+        assert_eq!(t.cell(0, 1), Some("2.25"));
+    }
+
+    #[test]
+    fn humanize_bands() {
+        assert_eq!(humanize(5e9), "5.00G");
+        assert_eq!(humanize(0.0), "0.00");
+        assert_eq!(humanize(42.0), "42.00");
+    }
+
+    #[test]
+    fn alignment_pads_to_widest() {
+        let mut t = Table::new(vec!["h"]);
+        t.push_row(vec!["longer-cell".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the metrics crate invariants.
+
+use proptest::prelude::*;
+use recsim_metrics::{quantile, Histogram, Kde, OnlineStats, Series, Summary};
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    (-1e6f64..1e6f64).prop_filter("finite", |x| x.is_finite())
+}
+
+proptest! {
+    #[test]
+    fn online_stats_mean_within_min_max(xs in prop::collection::vec(finite_f64(), 1..200)) {
+        let s: OnlineStats = xs.iter().copied().collect();
+        prop_assert!(s.mean() >= s.min() - 1e-9);
+        prop_assert!(s.mean() <= s.max() + 1e-9);
+    }
+
+    #[test]
+    fn online_stats_merge_associative(
+        a in prop::collection::vec(finite_f64(), 0..50),
+        b in prop::collection::vec(finite_f64(), 0..50),
+    ) {
+        let mut merged: OnlineStats = a.iter().copied().collect();
+        let sb: OnlineStats = b.iter().copied().collect();
+        merged.merge(&sb);
+        let seq: OnlineStats = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged.count(), seq.count());
+        prop_assert!((merged.mean() - seq.mean()).abs() < 1e-6);
+        prop_assert!((merged.sample_variance() - seq.sample_variance()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn quantiles_are_monotone(
+        mut xs in prop::collection::vec(finite_f64(), 2..100),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(quantile(&xs, lo) <= quantile(&xs, hi) + 1e-9);
+    }
+
+    #[test]
+    fn quantile_bounded_by_extremes(
+        mut xs in prop::collection::vec(finite_f64(), 1..100),
+        q in 0.0f64..1.0,
+    ) {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let v = quantile(&xs, q);
+        prop_assert!(v >= xs[0] - 1e-9 && v <= xs[xs.len() - 1] + 1e-9);
+    }
+
+    #[test]
+    fn histogram_total_equals_records(xs in prop::collection::vec(finite_f64(), 0..300)) {
+        let mut h = Histogram::with_range(-100.0, 100.0, 20);
+        for &x in &xs {
+            h.record(x);
+        }
+        prop_assert_eq!(h.total(), xs.len() as u64);
+        let sum: u64 = (0..h.bins()).map(|i| h.count(i)).sum();
+        prop_assert_eq!(sum, xs.len() as u64);
+    }
+
+    #[test]
+    fn histogram_fractions_sum_to_one(xs in prop::collection::vec(finite_f64(), 1..100)) {
+        let mut h = Histogram::with_range(-10.0, 10.0, 7);
+        for &x in &xs {
+            h.record(x);
+        }
+        let sum: f64 = (0..h.bins()).map(|i| h.fraction(i)).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kde_density_nonnegative(
+        xs in prop::collection::vec(-100.0f64..100.0, 1..50),
+        probe in -200.0f64..200.0,
+    ) {
+        let kde = Kde::fit(&xs);
+        let d = kde.density(probe);
+        prop_assert!(d >= 0.0 && d.is_finite());
+    }
+
+    #[test]
+    fn series_normalization_starts_at_one(
+        ys in prop::collection::vec(0.001f64..1e5, 1..50),
+    ) {
+        let s = Series::from_points(
+            "p",
+            ys.iter().enumerate().map(|(i, &y)| (i as f64, y)).collect(),
+        );
+        let n = s.normalized_to_first();
+        prop_assert!((n.points()[0].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_whiskers_within_range(xs in prop::collection::vec(finite_f64(), 1..200)) {
+        let mut s = Summary::from_samples(xs.clone());
+        let (p5, p25, p50, p75, p95) = s.whiskers();
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(p5 >= lo - 1e-9 && p95 <= hi + 1e-9);
+        prop_assert!(p5 <= p25 && p25 <= p50 && p50 <= p75 && p75 <= p95);
+    }
+}

@@ -1,0 +1,272 @@
+//! Embedding tables with sum-pooling bags and sparse gradients.
+//!
+//! Each sparse feature maps hashed categorical indices into a learned
+//! `hash_size × d` table (paper Section III.A). A forward "bag" gathers the
+//! rows a batch activates and sum-pools them per example; backward produces
+//! a *sparse* gradient touching only the gathered rows — the property that
+//! makes embedding training memory-bandwidth-bound rather than
+//! compute-bound.
+
+use crate::optim::Optimizer;
+use crate::tensor::Matrix;
+use recsim_data::SparseBatch;
+use serde::{Deserialize, Serialize};
+
+/// A learned embedding table with sum-pooling lookup.
+///
+/// # Example
+///
+/// ```
+/// use recsim_model::EmbeddingTable;
+/// use recsim_data::SparseBatch;
+///
+/// let table = EmbeddingTable::new(100, 8, 1);
+/// let batch = SparseBatch::new(vec![0, 2, 3], vec![5, 9, 40]);
+/// let pooled = table.forward(&batch);
+/// assert_eq!((pooled.rows(), pooled.cols()), (2, 8));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmbeddingTable {
+    weights: Matrix, // hash_size x d
+    state: Option<Matrix>,
+}
+
+/// A sparse gradient for an [`EmbeddingTable`]: `rows[i]` receives
+/// `grads.row(i)`. Rows are unique and sorted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseGradient {
+    rows: Vec<u32>,
+    grads: Matrix,
+}
+
+impl SparseGradient {
+    /// The (unique, sorted) touched row indices.
+    pub fn rows(&self) -> &[u32] {
+        &self.rows
+    }
+
+    /// The per-row gradients, aligned with [`SparseGradient::rows`].
+    pub fn grads(&self) -> &Matrix {
+        &self.grads
+    }
+
+    /// Number of distinct rows touched.
+    pub fn touched(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+impl EmbeddingTable {
+    /// Creates a table with `hash_size` rows of dimension `dim`, initialized
+    /// with small uniform values (scaled down so that pooled sums stay
+    /// `O(1)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(hash_size: usize, dim: usize, seed: u64) -> Self {
+        assert!(hash_size > 0 && dim > 0, "table dimensions must be positive");
+        let mut weights = Matrix::xavier(hash_size, dim, seed);
+        // Xavier's fan-in here is the huge hash_size; rescale to a magnitude
+        // appropriate for sum pooling of a handful of rows.
+        let scale = (hash_size as f32 / dim as f32).sqrt() * 0.1;
+        for w in weights.as_mut_slice() {
+            *w *= scale;
+        }
+        Self {
+            weights,
+            state: None,
+        }
+    }
+
+    /// Number of rows (the hash size).
+    pub fn hash_size(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// The raw weight matrix.
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// Parameter count.
+    pub fn parameter_count(&self) -> usize {
+        self.weights.rows() * self.weights.cols()
+    }
+
+    /// Sum-pools the rows activated by each example: output is
+    /// `batch_size × dim`. Examples with no activations pool to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn forward(&self, batch: &SparseBatch) -> Matrix {
+        let mut out = Matrix::zeros(batch.batch_size(), self.dim());
+        for (i, idxs) in batch.iter().enumerate() {
+            let row = out.row_mut(i);
+            for &idx in idxs {
+                let src = self.weights.row(idx as usize);
+                for (o, &v) in row.iter_mut().zip(src) {
+                    *o += v;
+                }
+            }
+        }
+        out
+    }
+
+    /// Backward: scatter the upstream pooled gradient `dy: batch_size × dim`
+    /// back to the activated rows, coalescing duplicates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dy`'s shape does not match the batch and dimension.
+    pub fn backward(&self, batch: &SparseBatch, dy: &Matrix) -> SparseGradient {
+        assert_eq!(dy.rows(), batch.batch_size(), "batch size mismatch");
+        assert_eq!(dy.cols(), self.dim(), "gradient width mismatch");
+        let mut rows: Vec<u32> = batch.indices().to_vec();
+        rows.sort_unstable();
+        rows.dedup();
+        let pos = |idx: u32| rows.binary_search(&idx).expect("present by construction");
+        let mut grads = Matrix::zeros(rows.len().max(1), self.dim());
+        for (i, idxs) in batch.iter().enumerate() {
+            let g = dy.row(i).to_vec();
+            for &idx in idxs {
+                let dst = grads.row_mut(pos(idx));
+                for (d, &v) in dst.iter_mut().zip(&g) {
+                    *d += v;
+                }
+            }
+        }
+        if rows.is_empty() {
+            // Degenerate batch with no activations: empty gradient.
+            return SparseGradient {
+                rows,
+                grads: Matrix::zeros(1, self.dim()),
+            };
+        }
+        SparseGradient { rows, grads }
+    }
+
+    /// Applies a sparse gradient.
+    pub fn apply(&mut self, grad: &SparseGradient, optimizer: &mut Optimizer) {
+        if grad.rows.is_empty() {
+            return;
+        }
+        optimizer.update_rows(&mut self.weights, &grad.rows, &grad.grads, &mut self.state);
+    }
+
+    /// Elastic-averaging pull toward another replica, restricted to `rows`
+    /// (pulling 20M-row tables densely would defeat sparse training).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tables' shapes differ or a row is out of range.
+    pub fn pull_rows_toward(&mut self, other: &EmbeddingTable, rows: &[u32], alpha: f32) {
+        assert_eq!(self.weights.rows(), other.weights.rows(), "shape mismatch");
+        assert_eq!(self.weights.cols(), other.weights.cols(), "shape mismatch");
+        for &r in rows {
+            let o = other.weights.row(r as usize).to_vec();
+            let dst = self.weights.row_mut(r as usize);
+            for (d, &ov) in dst.iter_mut().zip(&o) {
+                *d += alpha * (ov - *d);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_pools_by_sum() {
+        let table = EmbeddingTable::new(10, 4, 3);
+        let batch = SparseBatch::new(vec![0, 2], vec![1, 1]); // row 1 twice
+        let pooled = table.forward(&batch);
+        let row1 = table.weights().row(1);
+        for (p, &w) in pooled.row(0).iter().zip(row1) {
+            assert!((p - 2.0 * w).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn empty_example_pools_to_zero() {
+        let table = EmbeddingTable::new(10, 4, 3);
+        let batch = SparseBatch::new(vec![0, 0, 1], vec![2]);
+        let pooled = table.forward(&batch);
+        assert!(pooled.row(0).iter().all(|&v| v == 0.0));
+        assert!(pooled.row(1).iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn backward_coalesces_duplicates() {
+        let table = EmbeddingTable::new(10, 2, 1);
+        // Examples 0 and 1 both touch row 5; example 0 also touches 3.
+        let batch = SparseBatch::new(vec![0, 2, 3], vec![5, 3, 5]);
+        let dy = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let g = table.backward(&batch, &dy);
+        assert_eq!(g.rows(), &[3, 5]);
+        assert_eq!(g.grads().row(0), &[1.0, 0.0]); // row 3 from example 0
+        assert_eq!(g.grads().row(1), &[1.0, 1.0]); // row 5 from both
+    }
+
+    #[test]
+    fn gradient_check() {
+        let table = EmbeddingTable::new(6, 3, 7);
+        let batch = SparseBatch::new(vec![0, 2, 3], vec![0, 4, 2]);
+        let dy = Matrix::from_rows(&[&[1.0, 1.0, 1.0], &[1.0, 1.0, 1.0]]);
+        let g = table.backward(&batch, &dy);
+        // L = sum(forward); dL/dW[r] = (times row r appears) * 1.
+        for (i, &r) in g.rows().iter().enumerate() {
+            let count = batch.indices().iter().filter(|&&x| x == r).count() as f32;
+            for &v in g.grads().row(i) {
+                assert!((v - count).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn apply_moves_only_touched_rows() {
+        let mut table = EmbeddingTable::new(8, 2, 9);
+        let before = table.weights().clone();
+        let batch = SparseBatch::new(vec![0, 1], vec![6]);
+        let dy = Matrix::from_rows(&[&[1.0, 1.0]]);
+        let g = table.backward(&batch, &dy);
+        let mut opt = Optimizer::sgd(0.5);
+        table.apply(&g, &mut opt);
+        for r in 0..8 {
+            if r == 6 {
+                assert_ne!(table.weights().row(r), before.row(r));
+            } else {
+                assert_eq!(table.weights().row(r), before.row(r));
+            }
+        }
+    }
+
+    #[test]
+    fn pull_rows_toward_is_partial() {
+        let mut a = EmbeddingTable::new(5, 2, 1);
+        let b = EmbeddingTable::new(5, 2, 2);
+        let a0 = a.weights().row(0).to_vec();
+        a.pull_rows_toward(&b, &[1], 1.0);
+        assert_eq!(a.weights().row(0), a0.as_slice(), "row 0 untouched");
+        assert_eq!(a.weights().row(1), b.weights().row(1), "row 1 snapped");
+    }
+
+    #[test]
+    fn init_magnitude_is_moderate() {
+        let table = EmbeddingTable::new(100_000, 16, 5);
+        let max = table
+            .weights()
+            .as_slice()
+            .iter()
+            .fold(0.0f32, |m, &v| m.max(v.abs()));
+        assert!(max < 0.5, "init values stay small: {max}");
+        assert!(max > 1e-4, "but not degenerate: {max}");
+    }
+}

@@ -1,0 +1,370 @@
+//! Feature interactions: concatenation and pairwise dot product.
+//!
+//! Section III.A.3 of the paper: concatenation appends the pooled embeddings
+//! to the dense MLP output; the dot-product combiner projects the dense
+//! output to the embedding dimension and computes dot products between all
+//! pairs of {projected dense, sparse embeddings}, concatenating the products
+//! with the original dense output.
+
+use crate::linear::{Linear, LinearGradients};
+use crate::optim::Optimizer;
+use crate::tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// The interaction layer of a DLRM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum InteractionLayer {
+    /// `top_in = [z0 | e_1 | … | e_S]`.
+    Concat,
+    /// `top_in = [z0 | {v_i · v_j}_{i<j}]` with `v_0 = proj(z0)`,
+    /// `v_f = e_f`.
+    Dot {
+        /// The dense-to-embedding-dimension projection.
+        projection: Linear,
+    },
+}
+
+/// Cache of the interaction forward pass.
+#[derive(Debug, Clone)]
+pub struct InteractionCache {
+    z0: Matrix,
+    /// `v_0 = proj(z0)` followed by the pooled embeddings (dot only).
+    vectors: Vec<Matrix>,
+}
+
+/// Gradients flowing out of the interaction backward pass.
+#[derive(Debug, Clone)]
+pub struct InteractionGradients {
+    /// Projection-layer gradients (dot interaction only).
+    pub projection: Option<LinearGradients>,
+    /// Gradient w.r.t. the bottom-MLP output.
+    pub d_bottom: Matrix,
+    /// Gradient w.r.t. each pooled embedding, in feature order.
+    pub d_embeddings: Vec<Matrix>,
+}
+
+impl InteractionLayer {
+    /// Creates a concat interaction.
+    pub fn concat() -> Self {
+        InteractionLayer::Concat
+    }
+
+    /// Creates a dot-product interaction with a fresh projection from
+    /// `bottom_out` to `embedding_dim`.
+    pub fn dot(bottom_out: usize, embedding_dim: usize, seed: u64) -> Self {
+        InteractionLayer::Dot {
+            projection: Linear::new(bottom_out, embedding_dim, seed),
+        }
+    }
+
+    /// Output width for `num_sparse` features given the bottom output and
+    /// embedding dimension.
+    pub fn output_dim(
+        &self,
+        bottom_out: usize,
+        embedding_dim: usize,
+        num_sparse: usize,
+    ) -> usize {
+        match self {
+            InteractionLayer::Concat => bottom_out + num_sparse * embedding_dim,
+            InteractionLayer::Dot { .. } => {
+                let n = num_sparse + 1;
+                bottom_out + n * (n - 1) / 2
+            }
+        }
+    }
+
+    /// Forward pass: combines the bottom output `z0: B×n0` with the pooled
+    /// embeddings (each `B×d`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on batch-size or dimension mismatches.
+    pub fn forward(&self, z0: &Matrix, embeddings: &[Matrix]) -> (Matrix, InteractionCache) {
+        for e in embeddings {
+            assert_eq!(e.rows(), z0.rows(), "embedding batch mismatch");
+        }
+        match self {
+            InteractionLayer::Concat => {
+                let mut out = z0.clone();
+                for e in embeddings {
+                    out = out.hcat(e);
+                }
+                (
+                    out,
+                    InteractionCache {
+                        z0: z0.clone(),
+                        vectors: Vec::new(),
+                    },
+                )
+            }
+            InteractionLayer::Dot { projection } => {
+                let b = z0.rows();
+                let p = projection.forward(z0);
+                let d = p.cols();
+                for e in embeddings {
+                    assert_eq!(e.cols(), d, "embedding dim mismatch");
+                }
+                let mut vectors = Vec::with_capacity(embeddings.len() + 1);
+                vectors.push(p);
+                vectors.extend(embeddings.iter().cloned());
+                let n = vectors.len();
+                let pairs = n * (n - 1) / 2;
+                let mut dots = Matrix::zeros(b, pairs.max(1));
+                let mut k = 0usize;
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        for row in 0..b {
+                            let vi = vectors[i].row(row);
+                            let vj = vectors[j].row(row);
+                            let dot: f32 = vi.iter().zip(vj).map(|(&a, &c)| a * c).sum();
+                            dots.set(row, k, dot);
+                        }
+                        k += 1;
+                    }
+                }
+                let out = if pairs == 0 {
+                    z0.clone()
+                } else {
+                    z0.hcat(&dots)
+                };
+                (
+                    out,
+                    InteractionCache {
+                        z0: z0.clone(),
+                        vectors,
+                    },
+                )
+            }
+        }
+    }
+
+    /// Backward pass from the gradient of the interaction output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache or gradient shape is inconsistent.
+    pub fn backward(
+        &self,
+        cache: &InteractionCache,
+        d_out: &Matrix,
+        num_sparse: usize,
+        embedding_dim: usize,
+    ) -> InteractionGradients {
+        let n0 = cache.z0.cols();
+        match self {
+            InteractionLayer::Concat => {
+                assert_eq!(
+                    d_out.cols(),
+                    n0 + num_sparse * embedding_dim,
+                    "gradient width mismatch"
+                );
+                let (d_bottom, mut rest) = if num_sparse == 0 {
+                    (d_out.clone(), Matrix::zeros(d_out.rows(), 1))
+                } else {
+                    d_out.hsplit(n0)
+                };
+                let mut d_embeddings = Vec::with_capacity(num_sparse);
+                for f in 0..num_sparse {
+                    if f + 1 == num_sparse {
+                        d_embeddings.push(rest.clone());
+                    } else {
+                        let (head, tail) = rest.hsplit(embedding_dim);
+                        d_embeddings.push(head);
+                        rest = tail;
+                    }
+                }
+                InteractionGradients {
+                    projection: None,
+                    d_bottom,
+                    d_embeddings,
+                }
+            }
+            InteractionLayer::Dot { projection } => {
+                let n = cache.vectors.len();
+                assert_eq!(n, num_sparse + 1, "stale cache");
+                let pairs = n * (n - 1) / 2;
+                let b = d_out.rows();
+                let (mut d_bottom, d_dots) = if pairs == 0 {
+                    (d_out.clone(), Matrix::zeros(b, 1))
+                } else {
+                    d_out.hsplit(n0)
+                };
+                // Gradient into each interaction vector.
+                let mut d_vectors: Vec<Matrix> = (0..n)
+                    .map(|_| Matrix::zeros(b, embedding_dim))
+                    .collect();
+                let mut k = 0usize;
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        for row in 0..b {
+                            let g = d_dots.get(row, k);
+                            if g == 0.0 {
+                                continue;
+                            }
+                            let vj = cache.vectors[j].row(row).to_vec();
+                            for (d, &v) in d_vectors[i].row_mut(row).iter_mut().zip(&vj) {
+                                *d += g * v;
+                            }
+                            let vi = cache.vectors[i].row(row).to_vec();
+                            for (d, &v) in d_vectors[j].row_mut(row).iter_mut().zip(&vi) {
+                                *d += g * v;
+                            }
+                        }
+                        k += 1;
+                    }
+                }
+                // v_0 backpropagates through the projection into z0.
+                let (proj_grads, d_z0_from_proj) =
+                    projection.backward(&cache.z0, &d_vectors[0]);
+                d_bottom.add_scaled(&d_z0_from_proj, 1.0);
+                InteractionGradients {
+                    projection: Some(proj_grads),
+                    d_bottom,
+                    d_embeddings: d_vectors.split_off(1),
+                }
+            }
+        }
+    }
+
+    /// Applies projection gradients (no-op for concat).
+    pub fn apply(&mut self, grads: &InteractionGradients, optimizer: &mut Optimizer) {
+        if let (InteractionLayer::Dot { projection }, Some(g)) = (self, &grads.projection) {
+            projection.apply(g, optimizer);
+        }
+    }
+
+    /// Elastic-averaging pull toward another replica's interaction layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if variants differ.
+    pub fn pull_toward(&mut self, other: &InteractionLayer, alpha: f32) {
+        match (self, other) {
+            (InteractionLayer::Concat, InteractionLayer::Concat) => {}
+            (
+                InteractionLayer::Dot { projection },
+                InteractionLayer::Dot { projection: o },
+            ) => projection.pull_toward(o, alpha),
+            _ => panic!("interaction variant mismatch"),
+        }
+    }
+
+    /// Parameter count (projection only).
+    pub fn parameter_count(&self) -> usize {
+        match self {
+            InteractionLayer::Concat => 0,
+            InteractionLayer::Dot { projection } => projection.parameter_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn embeddings(b: usize, d: usize, n: usize, seed: u64) -> Vec<Matrix> {
+        (0..n).map(|i| Matrix::xavier(b, d, seed + i as u64)).collect()
+    }
+
+    #[test]
+    fn concat_output_width() {
+        let layer = InteractionLayer::concat();
+        let z0 = Matrix::xavier(3, 8, 1);
+        let embs = embeddings(3, 4, 2, 10);
+        let (out, _) = layer.forward(&z0, &embs);
+        assert_eq!(out.cols(), 8 + 2 * 4);
+        assert_eq!(out.cols(), layer.output_dim(8, 4, 2));
+    }
+
+    #[test]
+    fn dot_output_width() {
+        let layer = InteractionLayer::dot(8, 4, 2);
+        let z0 = Matrix::xavier(3, 8, 1);
+        let embs = embeddings(3, 4, 3, 10);
+        let (out, _) = layer.forward(&z0, &embs);
+        // 8 + C(4,2) = 8 + 6
+        assert_eq!(out.cols(), 14);
+        assert_eq!(out.cols(), layer.output_dim(8, 4, 3));
+    }
+
+    #[test]
+    fn concat_backward_splits_exactly() {
+        let layer = InteractionLayer::concat();
+        let z0 = Matrix::xavier(2, 3, 2);
+        let embs = embeddings(2, 2, 2, 20);
+        let (out, cache) = layer.forward(&z0, &embs);
+        let d_out = Matrix::from_vec(2, out.cols(), (0..2 * out.cols()).map(|i| i as f32).collect());
+        let g = layer.backward(&cache, &d_out, 2, 2);
+        assert!(g.projection.is_none());
+        assert_eq!(g.d_bottom.cols(), 3);
+        assert_eq!(g.d_embeddings.len(), 2);
+        // First embedding takes cols 3..5 of the upstream gradient.
+        assert_eq!(g.d_embeddings[0].row(0), &d_out.row(0)[3..5]);
+        assert_eq!(g.d_embeddings[1].row(1), &d_out.row(1)[5..7]);
+    }
+
+    #[test]
+    fn dot_gradient_check_embeddings() {
+        let layer = InteractionLayer::dot(3, 2, 30);
+        let z0 = Matrix::from_rows(&[&[0.4, -0.3, 0.8]]);
+        let embs = vec![
+            Matrix::from_rows(&[&[0.5, -0.1]]),
+            Matrix::from_rows(&[&[0.2, 0.7]]),
+        ];
+        let (out, cache) = layer.forward(&z0, &embs);
+        let d_out = Matrix::from_vec(1, out.cols(), vec![1.0; out.cols()]);
+        let g = layer.backward(&cache, &d_out, 2, 2);
+        let loss = |embs: &[Matrix]| -> f32 {
+            layer.forward(&z0, embs).0.as_slice().iter().sum()
+        };
+        let eps = 1e-3f32;
+        for f in 0..2 {
+            for j in 0..2 {
+                let mut up = embs.clone();
+                up[f].set(0, j, embs[f].get(0, j) + eps);
+                let mut down = embs.clone();
+                down[f].set(0, j, embs[f].get(0, j) - eps);
+                let fd = (loss(&up) - loss(&down)) / (2.0 * eps);
+                let analytic = g.d_embeddings[f].get(0, j);
+                assert!(
+                    (fd - analytic).abs() < 1e-2,
+                    "emb {f} coord {j}: fd {fd} vs {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dot_gradient_check_bottom() {
+        let layer = InteractionLayer::dot(3, 2, 31);
+        let z0 = Matrix::from_rows(&[&[0.4, -0.3, 0.8]]);
+        let embs = vec![Matrix::from_rows(&[&[0.5, -0.1]])];
+        let (out, cache) = layer.forward(&z0, &embs);
+        let d_out = Matrix::from_vec(1, out.cols(), vec![1.0; out.cols()]);
+        let g = layer.backward(&cache, &d_out, 1, 2);
+        assert!(g.projection.is_some());
+        let loss = |z: &Matrix| -> f32 { layer.forward(z, &embs).0.as_slice().iter().sum() };
+        let eps = 1e-3f32;
+        for j in 0..3 {
+            let mut zp = z0.clone();
+            zp.set(0, j, z0.get(0, j) + eps);
+            let mut zm = z0.clone();
+            zm.set(0, j, z0.get(0, j) - eps);
+            let fd = (loss(&zp) - loss(&zm)) / (2.0 * eps);
+            let analytic = g.d_bottom.get(0, j);
+            assert!(
+                (fd - analytic).abs() < 1e-2,
+                "z0 coord {j}: fd {fd} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_with_zero_sparse_features_passes_through() {
+        let layer = InteractionLayer::dot(4, 2, 32);
+        let z0 = Matrix::xavier(2, 4, 3);
+        let (out, _) = layer.forward(&z0, &[]);
+        assert_eq!(out.cols(), 4);
+    }
+}

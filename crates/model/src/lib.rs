@@ -1,0 +1,58 @@
+//! From-scratch DLRM numerics for `recsim`.
+//!
+//! The paper's models are Caffe2 DLRMs: a bottom MLP over dense features,
+//! embedding-bag lookups over sparse features, a feature interaction, and a
+//! top MLP ending in a click-probability logit (its Figure 3). This crate
+//! implements that model with real arithmetic — no autograd framework, no
+//! BLAS — so the accuracy experiments (paper Figure 15 and the AutoML study
+//! of Section VI.C) run actual gradient descent:
+//!
+//! * [`tensor`] — a minimal row-major `f32` matrix with the GEMM variants
+//!   backpropagation needs,
+//! * [`linear`] — fully connected layers with explicit forward caches,
+//! * [`mlp`] — ReLU MLP stacks,
+//! * [`embedding`] — embedding tables with sum-pooling bags and sparse
+//!   gradients,
+//! * [`interaction`] — concat and pairwise-dot feature interactions,
+//! * [`loss`] — binary cross-entropy with logits and the *normalized
+//!   entropy* metric the paper reports model quality in,
+//! * [`optim`] — SGD and row-wise Adagrad,
+//! * [`dlrm`] — the assembled model with `forward` / `backward` /
+//!   `train_step`.
+//!
+//! # Example
+//!
+//! ```
+//! use recsim_data::{schema::ModelConfig, CtrGenerator};
+//! use recsim_model::{DlrmModel, optim::Optimizer};
+//!
+//! let config = ModelConfig::test_suite(8, 2, 100, &[16]);
+//! let mut model = DlrmModel::new(&config, 1);
+//! let mut gen = CtrGenerator::new(&config, 2);
+//! let mut opt = Optimizer::sgd(0.05);
+//! let batch = gen.next_batch(32);
+//! let first = model.train_step(&batch, &mut opt);
+//! for _ in 0..30 {
+//!     let b = gen.next_batch(32);
+//!     model.train_step(&b, &mut opt);
+//! }
+//! let last = model.train_step(&gen.next_batch(32), &mut opt);
+//! assert!(last < first, "loss should fall: {first} -> {last}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dlrm;
+pub mod embedding;
+pub mod interaction;
+pub mod linear;
+pub mod loss;
+pub mod mlp;
+pub mod optim;
+pub mod tensor;
+
+pub use dlrm::{DlrmGradients, DlrmModel};
+pub use embedding::EmbeddingTable;
+pub use loss::{bce_with_logits, normalized_entropy};
+pub use tensor::Matrix;

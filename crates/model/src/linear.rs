@@ -1,0 +1,241 @@
+//! Fully connected layers with explicit forward caches.
+
+use crate::optim::Optimizer;
+use crate::tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A fully connected layer `y = x·W + b` with `W: in×out`, `b: out`.
+///
+/// Backward is explicit: [`Linear::backward`] consumes the cached input and
+/// the upstream gradient and produces parameter gradients plus the gradient
+/// with respect to the input.
+///
+/// # Example
+///
+/// ```
+/// use recsim_model::linear::Linear;
+/// use recsim_model::Matrix;
+///
+/// let layer = Linear::new(3, 2, 7);
+/// let x = Matrix::zeros(4, 3);
+/// let y = layer.forward(&x);
+/// assert_eq!((y.rows(), y.cols()), (4, 2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Linear {
+    weight: Matrix, // in x out
+    bias: Vec<f32>, // out
+    weight_state: Option<Matrix>,
+    bias_state: Option<Vec<f32>>,
+}
+
+/// Gradients of one [`Linear`] layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearGradients {
+    /// ∂L/∂W, shaped like the weight.
+    pub weight: Matrix,
+    /// ∂L/∂b.
+    pub bias: Vec<f32>,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier-initialized weights and zero bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(input_dim: usize, output_dim: usize, seed: u64) -> Self {
+        assert!(input_dim > 0 && output_dim > 0, "dimensions must be positive");
+        Self {
+            weight: Matrix::xavier(input_dim, output_dim, seed),
+            bias: vec![0.0; output_dim],
+            weight_state: None,
+            bias_state: None,
+        }
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// Output width.
+    pub fn output_dim(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// The weight matrix.
+    pub fn weight(&self) -> &Matrix {
+        &self.weight
+    }
+
+    /// The bias vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Number of parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.weight.rows() * self.weight.cols() + self.bias.len()
+    }
+
+    /// `y = x·W + b` for a batch `x: B×in`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != input_dim`.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut y = x.matmul(&self.weight);
+        for r in 0..y.rows() {
+            for (v, &b) in y.row_mut(r).iter_mut().zip(&self.bias) {
+                *v += b;
+            }
+        }
+        y
+    }
+
+    /// Backward pass: given the forward input `x` and upstream gradient
+    /// `dy: B×out`, returns the parameter gradients and `dx: B×in`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn backward(&self, x: &Matrix, dy: &Matrix) -> (LinearGradients, Matrix) {
+        assert_eq!(x.rows(), dy.rows(), "batch size mismatch");
+        assert_eq!(dy.cols(), self.output_dim(), "upstream gradient width");
+        let grads = LinearGradients {
+            weight: x.transposed_matmul(dy),
+            bias: dy.column_sums(),
+        };
+        let dx = dy.matmul_transposed(&self.weight);
+        (grads, dx)
+    }
+
+    /// Applies gradients with the optimizer (allocating Adagrad state
+    /// lazily).
+    pub fn apply(&mut self, grads: &LinearGradients, optimizer: &mut Optimizer) {
+        optimizer.update_matrix(&mut self.weight, &grads.weight, &mut self.weight_state);
+        optimizer.update_vector(&mut self.bias, &grads.bias, &mut self.bias_state);
+    }
+
+    /// Moves the parameters toward `other` by `alpha` (elastic averaging:
+    /// `w += alpha * (other - w)`); used by the EASGD trainer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree.
+    pub fn pull_toward(&mut self, other: &Linear, alpha: f32) {
+        assert_eq!(self.weight.rows(), other.weight.rows(), "shape mismatch");
+        assert_eq!(self.weight.cols(), other.weight.cols(), "shape mismatch");
+        for (w, &o) in self
+            .weight
+            .as_mut_slice()
+            .iter_mut()
+            .zip(other.weight.as_slice())
+        {
+            *w += alpha * (o - *w);
+        }
+        for (b, &o) in self.bias.iter_mut().zip(&other.bias) {
+            *b += alpha * (o - *b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_applies_bias() {
+        let mut layer = Linear::new(2, 2, 1);
+        // Overwrite with known values via apply of a crafted "gradient".
+        let mut sgd = Optimizer::sgd(1.0);
+        let zero_out = LinearGradients {
+            weight: layer.weight().clone(),
+            bias: vec![-1.0, -2.0],
+        };
+        layer.apply(&zero_out, &mut sgd); // W -= W => 0; b -= (-1,-2) => (1,2)
+        let x = Matrix::from_rows(&[&[5.0, 6.0]]);
+        let y = layer.forward(&x);
+        assert_eq!(y.row(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_shapes() {
+        let layer = Linear::new(3, 4, 2);
+        let x = Matrix::xavier(5, 3, 3);
+        let dy = Matrix::xavier(5, 4, 4);
+        let (g, dx) = layer.backward(&x, &dy);
+        assert_eq!((g.weight.rows(), g.weight.cols()), (3, 4));
+        assert_eq!(g.bias.len(), 4);
+        assert_eq!((dx.rows(), dx.cols()), (5, 3));
+    }
+
+    #[test]
+    fn gradient_check_weight() {
+        // Finite-difference check of dL/dW where L = sum(forward(x)).
+        let mut layer = Linear::new(2, 2, 5);
+        let x = Matrix::from_rows(&[&[0.3, -0.7], &[1.1, 0.4]]);
+        let dy = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let (g, _) = layer.backward(&x, &dy);
+        let eps = 1e-3f32;
+        let loss = |l: &Linear| -> f32 { l.forward(&x).as_slice().iter().sum() };
+        for i in 0..2 {
+            for j in 0..2 {
+                let orig = layer.weight.get(i, j);
+                layer.weight.set(i, j, orig + eps);
+                let up = loss(&layer);
+                layer.weight.set(i, j, orig - eps);
+                let down = loss(&layer);
+                layer.weight.set(i, j, orig);
+                let fd = (up - down) / (2.0 * eps);
+                assert!(
+                    (fd - g.weight.get(i, j)).abs() < 1e-2,
+                    "dW[{i}{j}]: fd {fd} vs analytic {}",
+                    g.weight.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_check_input() {
+        let layer = Linear::new(3, 2, 6);
+        let x = Matrix::from_rows(&[&[0.5, -0.2, 0.9]]);
+        let dy = Matrix::from_rows(&[&[1.0, 1.0]]);
+        let (_, dx) = layer.backward(&x, &dy);
+        let eps = 1e-3f32;
+        for j in 0..3 {
+            let mut xp = x.clone();
+            xp.set(0, j, x.get(0, j) + eps);
+            let mut xm = x.clone();
+            xm.set(0, j, x.get(0, j) - eps);
+            let fd: f32 = (layer.forward(&xp).as_slice().iter().sum::<f32>()
+                - layer.forward(&xm).as_slice().iter().sum::<f32>())
+                / (2.0 * eps);
+            assert!((fd - dx.get(0, j)).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn pull_toward_converges() {
+        let mut a = Linear::new(2, 2, 7);
+        let b = Linear::new(2, 2, 8);
+        for _ in 0..200 {
+            a.pull_toward(&b, 0.1);
+        }
+        let diff: f32 = a
+            .weight()
+            .as_slice()
+            .iter()
+            .zip(b.weight().as_slice())
+            .map(|(&x, &y)| (x - y).abs())
+            .sum();
+        assert!(diff < 1e-4);
+    }
+
+    #[test]
+    fn parameter_count() {
+        assert_eq!(Linear::new(3, 4, 0).parameter_count(), 16);
+    }
+}

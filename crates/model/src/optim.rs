@@ -1,0 +1,398 @@
+//! Optimizers: SGD and (row-wise capable) Adagrad.
+//!
+//! The paper's recommendation models train with per-parameter adaptive
+//! methods on the sparse side; Adagrad is the canonical choice. Optimizer
+//! state lives next to each parameter (allocated lazily), so the same
+//! [`Optimizer`] value can drive every layer.
+
+use crate::tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// The optimizer algorithm and its hyper-parameters.
+///
+/// # Example
+///
+/// ```
+/// use recsim_model::optim::Optimizer;
+///
+/// let mut opt = Optimizer::adagrad(0.1);
+/// let mut w = vec![1.0f32];
+/// let mut state = None;
+/// opt.update_vector(&mut w, &[1.0], &mut state);
+/// assert!(w[0] < 1.0);
+/// assert!(state.is_some(), "Adagrad allocates accumulator state");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Optimizer {
+    /// Plain stochastic gradient descent.
+    Sgd {
+        /// Learning rate.
+        lr: f32,
+    },
+    /// Adagrad: per-parameter learning-rate adaptation by accumulated
+    /// squared gradients.
+    Adagrad {
+        /// Base learning rate.
+        lr: f32,
+        /// Numerical-stability epsilon.
+        eps: f32,
+    },
+    /// Row-wise Adagrad: one accumulator per embedding *row* (the mean of
+    /// the row's squared gradients), the memory-frugal variant production
+    /// recommendation systems use for their terabyte-scale tables — it
+    /// shrinks optimizer state from one float per weight to one float per
+    /// row.
+    RowWiseAdagrad {
+        /// Base learning rate.
+        lr: f32,
+        /// Numerical-stability epsilon.
+        eps: f32,
+    },
+}
+
+impl Optimizer {
+    /// Creates an SGD optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not strictly positive.
+    pub fn sgd(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Optimizer::Sgd { lr }
+    }
+
+    /// Creates an Adagrad optimizer with `eps = 1e-8`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not strictly positive.
+    pub fn adagrad(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Optimizer::Adagrad { lr, eps: 1e-8 }
+    }
+
+    /// Creates a row-wise Adagrad optimizer with `eps = 1e-8`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not strictly positive.
+    pub fn row_wise_adagrad(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Optimizer::RowWiseAdagrad { lr, eps: 1e-8 }
+    }
+
+    /// The configured learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        match *self {
+            Optimizer::Sgd { lr }
+            | Optimizer::Adagrad { lr, .. }
+            | Optimizer::RowWiseAdagrad { lr, .. } => lr,
+        }
+    }
+
+    /// Returns a copy with a different learning rate (for LR sweeps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not strictly positive.
+    pub fn with_learning_rate(&self, lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        match *self {
+            Optimizer::Sgd { .. } => Optimizer::Sgd { lr },
+            Optimizer::Adagrad { eps, .. } => Optimizer::Adagrad { lr, eps },
+            Optimizer::RowWiseAdagrad { eps, .. } => Optimizer::RowWiseAdagrad { lr, eps },
+        }
+    }
+
+    /// Updates a flat parameter slice. Allocates state on first use for
+    /// stateful algorithms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `param` and `grad` lengths disagree.
+    pub fn update_vector(
+        &mut self,
+        param: &mut [f32],
+        grad: &[f32],
+        state: &mut Option<Vec<f32>>,
+    ) {
+        assert_eq!(param.len(), grad.len(), "gradient length mismatch");
+        match *self {
+            Optimizer::Sgd { lr } => {
+                for (p, &g) in param.iter_mut().zip(grad) {
+                    *p -= lr * g;
+                }
+            }
+            Optimizer::Adagrad { lr, eps } => {
+                let acc = state.get_or_insert_with(|| vec![0.0; param.len()]);
+                assert_eq!(acc.len(), param.len(), "optimizer state length mismatch");
+                for ((p, &g), a) in param.iter_mut().zip(grad).zip(acc.iter_mut()) {
+                    *a += g * g;
+                    *p -= lr * g / (a.sqrt() + eps);
+                }
+            }
+            Optimizer::RowWiseAdagrad { lr, eps } => {
+                // A flat vector is a single "row": one shared accumulator.
+                let acc = state.get_or_insert_with(|| vec![0.0; 1]);
+                let mean_sq =
+                    grad.iter().map(|&g| g * g).sum::<f32>() / param.len().max(1) as f32;
+                acc[0] += mean_sq;
+                let scale = lr / (acc[0].sqrt() + eps);
+                for (p, &g) in param.iter_mut().zip(grad) {
+                    *p -= scale * g;
+                }
+            }
+        }
+    }
+
+    /// Updates a matrix parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree.
+    pub fn update_matrix(
+        &mut self,
+        param: &mut Matrix,
+        grad: &Matrix,
+        state: &mut Option<Matrix>,
+    ) {
+        assert_eq!(
+            (param.rows(), param.cols()),
+            (grad.rows(), grad.cols()),
+            "gradient shape mismatch"
+        );
+        match *self {
+            Optimizer::Sgd { lr } => {
+                param.add_scaled(grad, -lr);
+            }
+            Optimizer::Adagrad { lr, eps } => {
+                let acc =
+                    state.get_or_insert_with(|| Matrix::zeros(param.rows(), param.cols()));
+                for ((p, &g), a) in param
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(grad.as_slice())
+                    .zip(acc.as_mut_slice().iter_mut())
+                {
+                    *a += g * g;
+                    *p -= lr * g / (a.sqrt() + eps);
+                }
+            }
+            Optimizer::RowWiseAdagrad { lr, eps } => {
+                // One accumulator per matrix row, stored as an n x 1 state.
+                let acc = state.get_or_insert_with(|| Matrix::zeros(param.rows(), 1));
+                for r in 0..param.rows() {
+                    let g_row = grad.row(r);
+                    let mean_sq =
+                        g_row.iter().map(|&g| g * g).sum::<f32>() / g_row.len() as f32;
+                    let a = acc.get(r, 0) + mean_sq;
+                    acc.set(r, 0, a);
+                    let scale = lr / (a.sqrt() + eps);
+                    for (p, &g) in param.row_mut(r).iter_mut().zip(g_row) {
+                        *p -= scale * g;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Updates selected rows of a matrix parameter (sparse embedding
+    /// update): row `rows[i]` of `param` receives row `i` of `grads`.
+    ///
+    /// For Adagrad the accumulator is also row-sparse — only touched rows
+    /// pay state updates, matching how production embedding training works.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths disagree, `grads.rows() != rows.len()`, or a row is
+    /// out of bounds.
+    pub fn update_rows(
+        &mut self,
+        param: &mut Matrix,
+        rows: &[u32],
+        grads: &Matrix,
+        state: &mut Option<Matrix>,
+    ) {
+        assert_eq!(grads.rows(), rows.len(), "row count mismatch");
+        assert_eq!(grads.cols(), param.cols(), "row width mismatch");
+        match *self {
+            Optimizer::Sgd { lr } => {
+                for (i, &r) in rows.iter().enumerate() {
+                    let dst = param.row_mut(r as usize);
+                    for (p, &g) in dst.iter_mut().zip(grads.row(i)) {
+                        *p -= lr * g;
+                    }
+                }
+            }
+            Optimizer::Adagrad { lr, eps } => {
+                let acc =
+                    state.get_or_insert_with(|| Matrix::zeros(param.rows(), param.cols()));
+                for (i, &r) in rows.iter().enumerate() {
+                    let r = r as usize;
+                    let g_row = grads.row(i).to_vec();
+                    let a_row = acc.row_mut(r);
+                    for (a, &g) in a_row.iter_mut().zip(&g_row) {
+                        *a += g * g;
+                    }
+                    let a_row: Vec<f32> = acc.row(r).to_vec();
+                    let dst = param.row_mut(r);
+                    for ((p, &g), &a) in dst.iter_mut().zip(&g_row).zip(&a_row) {
+                        *p -= lr * g / (a.sqrt() + eps);
+                    }
+                }
+            }
+            Optimizer::RowWiseAdagrad { lr, eps } => {
+                // State: one accumulator per table row (n x 1) — 1/d the
+                // memory of full Adagrad, the production default for
+                // embedding tables.
+                let acc = state.get_or_insert_with(|| Matrix::zeros(param.rows(), 1));
+                for (i, &r) in rows.iter().enumerate() {
+                    let r = r as usize;
+                    let g_row = grads.row(i);
+                    let mean_sq =
+                        g_row.iter().map(|&g| g * g).sum::<f32>() / g_row.len() as f32;
+                    let a = acc.get(r, 0) + mean_sq;
+                    acc.set(r, 0, a);
+                    let scale = lr / (a.sqrt() + eps);
+                    let g_row = grads.row(i).to_vec();
+                    let dst = param.row_mut(r);
+                    for (p, &g) in dst.iter_mut().zip(&g_row) {
+                        *p -= scale * g;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let mut opt = Optimizer::sgd(0.5);
+        let mut p = vec![1.0f32, -1.0];
+        opt.update_vector(&mut p, &[2.0, -2.0], &mut None);
+        assert_eq!(p, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn adagrad_step_shrinks_with_history() {
+        let mut opt = Optimizer::adagrad(1.0);
+        let mut p = vec![0.0f32];
+        let mut state = None;
+        opt.update_vector(&mut p, &[1.0], &mut state);
+        let first = -p[0];
+        let before = p[0];
+        opt.update_vector(&mut p, &[1.0], &mut state);
+        let second = before - p[0];
+        assert!(second < first, "steps shrink: {first} then {second}");
+    }
+
+    #[test]
+    fn adagrad_adapts_per_coordinate() {
+        let mut opt = Optimizer::adagrad(1.0);
+        let mut p = vec![0.0f32, 0.0];
+        let mut state = None;
+        // Coordinate 0 gets big gradients, coordinate 1 small ones.
+        for _ in 0..10 {
+            opt.update_vector(&mut p, &[10.0, 0.1], &mut state);
+        }
+        // Adagrad normalizes: both should have moved a similar distance.
+        let ratio = p[0].abs() / p[1].abs();
+        assert!(ratio < 2.0, "per-coordinate adaptation, ratio {ratio}");
+    }
+
+    #[test]
+    fn sparse_rows_update_only_touched_rows() {
+        let mut opt = Optimizer::sgd(1.0);
+        let mut table = Matrix::zeros(4, 2);
+        let grads = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0]]);
+        opt.update_rows(&mut table, &[1, 3], &grads, &mut None);
+        assert_eq!(table.row(0), &[0.0, 0.0]);
+        assert_eq!(table.row(1), &[-1.0, -1.0]);
+        assert_eq!(table.row(2), &[0.0, 0.0]);
+        assert_eq!(table.row(3), &[-2.0, -2.0]);
+    }
+
+    #[test]
+    fn sparse_adagrad_state_is_rowwise() {
+        let mut opt = Optimizer::adagrad(1.0);
+        let mut table = Matrix::zeros(3, 1);
+        let mut state = None;
+        let g = Matrix::from_rows(&[&[1.0]]);
+        opt.update_rows(&mut table, &[0], &g, &mut state);
+        opt.update_rows(&mut table, &[0], &g, &mut state);
+        opt.update_rows(&mut table, &[2], &g, &mut state);
+        // Row 0 has seen two gradients (smaller second step) while row 2's
+        // first step is full-size.
+        assert!(table.get(2, 0).abs() > table.get(0, 0).abs() / 2.0);
+        let acc = state.expect("allocated");
+        assert_eq!(acc.get(1, 0), 0.0, "untouched rows keep zero state");
+    }
+
+    #[test]
+    fn row_wise_adagrad_state_is_one_float_per_row() {
+        let mut opt = Optimizer::row_wise_adagrad(1.0);
+        let mut table = Matrix::zeros(8, 4);
+        let mut state = None;
+        let g = Matrix::from_rows(&[&[1.0, 1.0, 1.0, 1.0]]);
+        opt.update_rows(&mut table, &[3], &g, &mut state);
+        let acc = state.as_ref().expect("allocated");
+        assert_eq!((acc.rows(), acc.cols()), (8, 1), "one accumulator per row");
+        assert!(acc.get(3, 0) > 0.0);
+        assert_eq!(acc.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn row_wise_adagrad_steps_shrink() {
+        let mut opt = Optimizer::row_wise_adagrad(1.0);
+        let mut table = Matrix::zeros(2, 2);
+        let mut state = None;
+        let g = Matrix::from_rows(&[&[1.0, 1.0]]);
+        opt.update_rows(&mut table, &[0], &g, &mut state);
+        let first = -table.get(0, 0);
+        let before = table.get(0, 0);
+        opt.update_rows(&mut table, &[0], &g, &mut state);
+        let second = before - table.get(0, 0);
+        assert!(second < first, "steps shrink: {first} then {second}");
+    }
+
+    #[test]
+    fn row_wise_adagrad_scales_whole_row_uniformly() {
+        let mut opt = Optimizer::row_wise_adagrad(1.0);
+        let mut table = Matrix::zeros(1, 2);
+        let mut state = None;
+        // Mixed-magnitude gradient within one row: both coordinates share
+        // the row's accumulator, so the ratio of the updates equals the
+        // ratio of the gradients (unlike full Adagrad).
+        let g = Matrix::from_rows(&[&[4.0, 1.0]]);
+        opt.update_rows(&mut table, &[0], &g, &mut state);
+        let ratio = table.get(0, 0) / table.get(0, 1);
+        assert!((ratio - 4.0).abs() < 1e-5, "uniform row scaling, ratio {ratio}");
+    }
+
+    #[test]
+    fn row_wise_dense_matrix_update_works() {
+        let mut opt = Optimizer::row_wise_adagrad(0.5);
+        let mut w = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let g = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 0.0]]);
+        let mut state = None;
+        opt.update_matrix(&mut w, &g, &mut state);
+        assert!(w.get(0, 0) < 1.0);
+        assert_eq!(w.get(1, 0), 1.0, "zero-gradient row untouched");
+    }
+
+    #[test]
+    fn lr_override() {
+        let opt = Optimizer::adagrad(0.1).with_learning_rate(0.2);
+        assert_eq!(opt.learning_rate(), 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_lr_rejected() {
+        Optimizer::sgd(0.0);
+    }
+}

@@ -1,0 +1,453 @@
+//! A minimal row-major `f32` matrix with the GEMM variants backpropagation
+//! needs.
+//!
+//! This is deliberately not a general tensor library: DLRM training needs
+//! exactly `C = A·B`, `C = A·Bᵀ`, `C = Aᵀ·B`, elementwise maps, and row
+//! reductions. Keeping the surface small keeps every kernel obviously
+//! correct and testable against finite differences.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix of `f32`.
+///
+/// # Example
+///
+/// ```
+/// use recsim_model::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+/// let c = a.matmul(&b);
+/// assert_eq!(c.get(0, 0), 19.0);
+/// assert_eq!(c.get(1, 1), 50.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols` or a dimension is zero.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        assert_eq!(data.len(), rows * cols, "buffer length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows are empty or ragged.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "need at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "rows must be non-empty");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Xavier/Glorot-uniform initialization for a layer with the given
+    /// fan-in/fan-out, seeded deterministically.
+    pub fn xavier(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let limit = (6.0 / (rows + cols) as f64).sqrt() as f32;
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-limit..limit))
+            .collect();
+        Self::from_vec(rows, cols, data)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds access.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The flat row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The flat row-major buffer, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        // i-k-j loop order: streaming access on both inputs and the output.
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if column counts disagree.
+    pub fn matmul_transposed(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_transposed dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..other.rows {
+                let b_row = other.row(j);
+                let dot: f32 = a_row.iter().zip(b_row).map(|(&a, &b)| a * b).sum();
+                out.set(i, j, dot);
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts disagree.
+    pub fn transposed_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "transposed_matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            let a_row = self.row(k);
+            let b_row = other.row(k);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// The transpose.
+    pub fn transposed(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.set(j, i, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Elementwise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// In-place `self += scale * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree.
+    pub fn add_scaled(&mut self, other: &Matrix, scale: f32) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "add_scaled shape mismatch"
+        );
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += scale * b;
+        }
+    }
+
+    /// Elementwise product (Hadamard) into a new matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "hadamard shape mismatch"
+        );
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| a * b)
+                .collect(),
+        }
+    }
+
+    /// Sum over rows, producing a length-`cols` vector (bias gradients).
+    pub fn column_sums(&self) -> Vec<f32> {
+        let mut sums = vec![0.0f32; self.cols];
+        for r in 0..self.rows {
+            for (s, &v) in sums.iter_mut().zip(self.row(r)) {
+                *s += v;
+            }
+        }
+        sums
+    }
+
+    /// Horizontal concatenation `[self | other]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts disagree.
+    pub fn hcat(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "hcat row mismatch");
+        let cols = self.cols + other.cols;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for r in 0..self.rows {
+            data.extend_from_slice(self.row(r));
+            data.extend_from_slice(other.row(r));
+        }
+        Matrix {
+            rows: self.rows,
+            cols,
+            data,
+        }
+    }
+
+    /// Splits off the first `left_cols` columns, returning `(left, right)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `left_cols` is zero or >= `cols`.
+    pub fn hsplit(&self, left_cols: usize) -> (Matrix, Matrix) {
+        assert!(
+            left_cols > 0 && left_cols < self.cols,
+            "split point must be interior"
+        );
+        let right_cols = self.cols - left_cols;
+        let mut left = Vec::with_capacity(self.rows * left_cols);
+        let mut right = Vec::with_capacity(self.rows * right_cols);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            left.extend_from_slice(&row[..left_cols]);
+            right.extend_from_slice(&row[left_cols..]);
+        }
+        (
+            Matrix::from_vec(self.rows, left_cols, left),
+            Matrix::from_vec(self.rows, right_cols, right),
+        )
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Fills with zeros in place.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: &Matrix, b: &Matrix, tol: f32) -> bool {
+        a.rows() == b.rows()
+            && a.cols() == b.cols()
+            && a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(&x, &y)| (x - y).abs() <= tol)
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let i = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        assert!(approx(&a.matmul(&i), &a, 0.0));
+        assert!(approx(&i.matmul(&a), &a, 0.0));
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]); // 1x3
+        let b = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]); // 3x1
+        let c = a.matmul(&b);
+        assert_eq!((c.rows(), c.cols()), (1, 1));
+        assert_eq!(c.get(0, 0), 14.0);
+    }
+
+    #[test]
+    fn transposed_variants_agree_with_explicit_transpose() {
+        let a = Matrix::xavier(4, 3, 1);
+        let b = Matrix::xavier(5, 3, 2);
+        assert!(approx(
+            &a.matmul_transposed(&b),
+            &a.matmul(&b.transposed()),
+            1e-6
+        ));
+        let c = Matrix::xavier(4, 6, 3);
+        assert!(approx(
+            &a.transposed_matmul(&c),
+            &a.transposed().matmul(&c),
+            1e-6
+        ));
+    }
+
+    #[test]
+    fn transpose_is_involutive() {
+        let a = Matrix::xavier(3, 7, 9);
+        assert!(approx(&a.transposed().transposed(), &a, 0.0));
+    }
+
+    #[test]
+    fn hcat_hsplit_roundtrip() {
+        let a = Matrix::xavier(2, 3, 4);
+        let b = Matrix::xavier(2, 5, 5);
+        let joined = a.hcat(&b);
+        assert_eq!(joined.cols(), 8);
+        let (l, r) = joined.hsplit(3);
+        assert!(approx(&l, &a, 0.0));
+        assert!(approx(&r, &b, 0.0));
+    }
+
+    #[test]
+    fn column_sums_match_manual() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        assert_eq!(a.column_sums(), vec![9.0, 12.0]);
+    }
+
+    #[test]
+    fn add_scaled_accumulates() {
+        let mut a = Matrix::zeros(2, 2);
+        let b = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        a.add_scaled(&b, 0.5);
+        a.add_scaled(&b, 0.5);
+        assert!(approx(&a, &b, 1e-6));
+    }
+
+    #[test]
+    fn xavier_is_bounded_and_seeded() {
+        let a = Matrix::xavier(10, 10, 42);
+        let b = Matrix::xavier(10, 10, 42);
+        assert_eq!(a, b);
+        let limit = (6.0f32 / 20.0).sqrt();
+        assert!(a.as_slice().iter().all(|&x| x.abs() <= limit));
+        assert!(a.norm() > 0.0);
+    }
+
+    #[test]
+    fn map_and_hadamard() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0]]);
+        assert_eq!(a.map(|x| x.max(0.0)).as_slice(), &[1.0, 0.0]);
+        assert_eq!(a.hadamard(&a).as_slice(), &[1.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matmul_shape_checked() {
+        Matrix::zeros(2, 3).matmul(&Matrix::zeros(2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dims_rejected() {
+        Matrix::zeros(0, 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests: gradient checks and algebraic invariants of the
+//! DLRM numerics.
+
+use proptest::prelude::*;
+use recsim_data::schema::ModelConfig;
+use recsim_data::{CtrGenerator, SparseBatch};
+use recsim_model::embedding::EmbeddingTable;
+use recsim_model::linear::Linear;
+use recsim_model::mlp::Mlp;
+use recsim_model::optim::Optimizer;
+use recsim_model::{bce_with_logits, DlrmModel, Matrix};
+
+fn small_vals() -> impl Strategy<Value = f32> {
+    (-2.0f32..2.0).prop_filter("finite", |x| x.is_finite())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in prop::collection::vec(small_vals(), 6),
+        b in prop::collection::vec(small_vals(), 6),
+        c in prop::collection::vec(small_vals(), 6),
+    ) {
+        let a = Matrix::from_vec(2, 3, a);
+        let b = Matrix::from_vec(3, 2, b);
+        let c = Matrix::from_vec(3, 2, c);
+        let mut b_plus_c = b.clone();
+        b_plus_c.add_scaled(&c, 1.0);
+        let lhs = a.matmul(&b_plus_c);
+        let mut rhs = a.matmul(&b);
+        rhs.add_scaled(&a.matmul(&c), 1.0);
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_identity(seed in 0u64..1000) {
+        // (A·B)ᵀ == Bᵀ·Aᵀ
+        let a = Matrix::xavier(3, 4, seed);
+        let b = Matrix::xavier(4, 2, seed + 1);
+        let lhs = a.matmul(&b).transposed();
+        let rhs = b.transposed().matmul(&a.transposed());
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn linear_gradient_check_random(seed in 0u64..500) {
+        let layer = Linear::new(3, 2, seed);
+        let x = Matrix::xavier(2, 3, seed + 7);
+        let dy = Matrix::from_vec(2, 2, vec![1.0; 4]);
+        let (g, _) = layer.backward(&x, &dy);
+        // Analytic dW == xᵀ·1; verify against direct computation.
+        let expected = x.transposed_matmul(&dy);
+        for (a, b) in g.weight.as_slice().iter().zip(expected.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn embedding_pooling_is_additive(
+        seed in 0u64..200,
+        idxs in prop::collection::vec(0u32..20, 1..8),
+    ) {
+        // Sum pooling is additive: pooling a concatenated index list equals
+        // the sum of pooling each index alone.
+        let table = EmbeddingTable::new(20, 4, seed);
+        let all = SparseBatch::new(vec![0, idxs.len()], idxs.clone());
+        let pooled = table.forward(&all);
+        let mut expected = vec![0.0f32; 4];
+        for &i in &idxs {
+            let single = SparseBatch::new(vec![0, 1], vec![i]);
+            for (e, &v) in expected.iter_mut().zip(table.forward(&single).row(0)) {
+                *e += v;
+            }
+        }
+        for (p, e) in pooled.row(0).iter().zip(&expected) {
+            prop_assert!((p - e).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn bce_loss_nonnegative_and_gradient_bounded(
+        logits in prop::collection::vec(-10.0f32..10.0, 1..32),
+        seed in 0u64..100,
+    ) {
+        let labels: Vec<f32> = logits
+            .iter()
+            .enumerate()
+            .map(|(i, _)| if (i as u64 + seed).is_multiple_of(2) { 1.0 } else { 0.0 })
+            .collect();
+        let m = Matrix::from_vec(logits.len(), 1, logits.clone());
+        let (loss, grad) = bce_with_logits(&m, &labels);
+        prop_assert!(loss >= 0.0);
+        for &g in grad.as_slice() {
+            prop_assert!(g.abs() <= 1.0 / logits.len() as f32 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn mlp_forward_deterministic(seed in 0u64..200) {
+        let mlp = Mlp::new(4, &[8, 2], false, seed);
+        let x = Matrix::xavier(3, 4, seed + 5);
+        let (a, _) = mlp.forward(&x);
+        let (b, _) = mlp.forward(&x);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dlrm_logits_finite_for_any_batch(
+        dense in 1usize..12,
+        sparse in 1usize..5,
+        bs in 1usize..16,
+        seed in 0u64..100,
+    ) {
+        let cfg = ModelConfig::test_suite(dense, sparse, 40, &[8]);
+        let model = DlrmModel::new(&cfg, seed);
+        let mut gen = CtrGenerator::new(&cfg, seed + 1);
+        let batch = gen.next_batch(bs);
+        let (logits, _) = model.forward(&batch);
+        prop_assert_eq!(logits.rows(), bs);
+        for &v in logits.as_slice() {
+            prop_assert!(v.is_finite());
+        }
+    }
+
+    #[test]
+    fn sgd_step_is_linear_in_lr(lr in 0.001f32..0.5, g in -3.0f32..3.0) {
+        let mut p1 = vec![1.0f32];
+        Optimizer::sgd(lr).update_vector(&mut p1, &[g], &mut None);
+        let mut p2 = vec![1.0f32];
+        Optimizer::sgd(lr * 2.0).update_vector(&mut p2, &[g], &mut None);
+        let d1 = 1.0 - p1[0];
+        let d2 = 1.0 - p2[0];
+        prop_assert!((d2 - 2.0 * d1).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,28 @@
+//! Embedding-table placement strategies and partitioners.
+//!
+//! Section IV.B.1 of the paper describes four strategies for storing
+//! embedding tables when training on accelerated systems — GPU memory (with
+//! table-wise or row-wise partitioning), system memory of the GPU server,
+//! system memory of remote CPU servers, and a hybrid of GPU + system memory
+//! (its Figure 8). The optimal choice is the crux of the paper's
+//! production case studies: M1/M2 run best with tables on GPU HBM, M3's
+//! hundreds of GBs force remote placement on Big Basin, and Zion's 2 TB
+//! system memory flips the answer again.
+//!
+//! This crate turns a ([`ModelConfig`], [`Platform`], [`PlacementStrategy`])
+//! triple into a concrete [`Placement`] — which table lives where — or a
+//! typed capacity error, and provides the load/traffic summaries the
+//! simulator consumes.
+//!
+//! [`ModelConfig`]: recsim_data::schema::ModelConfig
+//! [`Platform`]: recsim_hw::Platform
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod partition;
+pub mod plan;
+pub mod strategy;
+
+pub use plan::{Placement, PlacementError, TableAssignment, TableLocation};
+pub use strategy::{PartitionScheme, PlacementStrategy};

@@ -1,0 +1,99 @@
+//! The placement strategy vocabulary (paper Figure 8).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How tables are split across GPUs under GPU-memory placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PartitionScheme {
+    /// Whole tables are assigned to GPUs (greedy size balancing).
+    TableWise,
+    /// Every table's rows are sharded evenly across all GPUs.
+    RowWise,
+    /// Every GPU holds a full copy of every table: gathers are local and no
+    /// forward exchange is needed, but every replica applies the full
+    /// batch's updates and gradients must be exchanged — only sensible when
+    /// everything fits one GPU's HBM.
+    Replicated,
+}
+
+impl fmt::Display for PartitionScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionScheme::TableWise => write!(f, "table-wise"),
+            PartitionScheme::RowWise => write!(f, "row-wise"),
+            PartitionScheme::Replicated => write!(f, "replicated"),
+        }
+    }
+}
+
+/// One of the paper's four embedding-placement strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlacementStrategy {
+    /// Tables distributed over the GPUs' HBM.
+    GpuMemory(PartitionScheme),
+    /// Tables in the GPU server's own system (CPU) memory.
+    SystemMemory,
+    /// Tables partitioned across remote CPU parameter servers.
+    RemoteCpu {
+        /// Number of remote sparse parameter servers.
+        servers: u32,
+    },
+    /// Hot tables on GPU HBM up to capacity, the rest in system memory.
+    Hybrid,
+}
+
+impl PlacementStrategy {
+    /// All strategies in the order of the paper's Figure 8, with table-wise
+    /// GPU partitioning and 8 remote servers as representatives.
+    pub fn figure8_lineup() -> [PlacementStrategy; 4] {
+        [
+            PlacementStrategy::GpuMemory(PartitionScheme::TableWise),
+            PlacementStrategy::SystemMemory,
+            PlacementStrategy::RemoteCpu { servers: 8 },
+            PlacementStrategy::Hybrid,
+        ]
+    }
+
+    /// Short label for report tables.
+    pub fn label(&self) -> String {
+        match self {
+            PlacementStrategy::GpuMemory(s) => format!("GPU memory ({s})"),
+            PlacementStrategy::SystemMemory => "system memory".to_string(),
+            PlacementStrategy::RemoteCpu { servers } => {
+                format!("remote CPU ({servers} PS)")
+            }
+            PlacementStrategy::Hybrid => "hybrid GPU+system".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for PlacementStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineup_covers_the_four_options() {
+        let lineup = PlacementStrategy::figure8_lineup();
+        assert_eq!(lineup.len(), 4);
+        assert!(matches!(lineup[0], PlacementStrategy::GpuMemory(_)));
+        assert!(matches!(lineup[1], PlacementStrategy::SystemMemory));
+        assert!(matches!(lineup[2], PlacementStrategy::RemoteCpu { .. }));
+        assert!(matches!(lineup[3], PlacementStrategy::Hybrid));
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<String> = PlacementStrategy::figure8_lineup()
+            .iter()
+            .map(PlacementStrategy::label)
+            .collect();
+        assert_eq!(labels.len(), 4);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests: placements never exceed capacity and conserve
+//! tables.
+
+use proptest::prelude::*;
+use recsim_data::schema::ModelConfig;
+use recsim_hw::units::Bytes;
+use recsim_hw::Platform;
+use recsim_placement::partition::{
+    bin_loads, greedy_balance, greedy_pack, load_imbalance, refine_balance,
+};
+use recsim_placement::plan::gpu_table_capacity;
+use recsim_placement::{PartitionScheme, Placement, PlacementStrategy, TableLocation};
+
+fn arb_strategy() -> impl Strategy<Value = PlacementStrategy> {
+    prop_oneof![
+        Just(PlacementStrategy::GpuMemory(PartitionScheme::TableWise)),
+        Just(PlacementStrategy::GpuMemory(PartitionScheme::RowWise)),
+        Just(PlacementStrategy::SystemMemory),
+        (1u32..16).prop_map(|servers| PlacementStrategy::RemoteCpu { servers }),
+        Just(PlacementStrategy::Hybrid),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn placement_conserves_tables_and_capacity(
+        sparse in 1usize..32,
+        hash in 1_000u64..50_000_000,
+        strategy in arb_strategy(),
+    ) {
+        let config = ModelConfig::test_suite(64, sparse, hash, &[256]);
+        let platform = Platform::big_basin(Bytes::from_gib(32));
+        match Placement::plan(&config, &platform, strategy, 2.0) {
+            Ok(p) => {
+                // Every table is assigned exactly once, in feature order.
+                prop_assert_eq!(p.assignments().len(), sparse);
+                for (i, a) in p.assignments().iter().enumerate() {
+                    prop_assert_eq!(a.table, i);
+                }
+                // Capacity invariants per location class.
+                let per_gpu = gpu_table_capacity(&platform);
+                for &load in &p.gpu_loads() {
+                    prop_assert!(load <= per_gpu, "GPU overfull: {load} > {per_gpu}");
+                }
+                let host_cap = platform.host().memory().capacity().as_u64();
+                prop_assert!(p.host_bytes() <= host_cap);
+                // Byte conservation.
+                let located: u64 = p.gpu_loads().iter().sum::<u64>()
+                    + p.host_bytes()
+                    + p.remote_loads().iter().sum::<u64>();
+                let diff = p.total_bytes().abs_diff(located);
+                // Row-wise sharding may lose < num_gpus bytes to integer
+                // division.
+                prop_assert!(diff < 64, "byte conservation, diff {diff}");
+                // Gather split covers all traffic.
+                let (g, h, r) = p.gather_split();
+                let total: u64 = p
+                    .assignments()
+                    .iter()
+                    .map(|a| a.gather_bytes_per_example)
+                    .sum();
+                prop_assert_eq!(g + h + r, total);
+            }
+            Err(_) => {
+                // Errors are only legitimate when something genuinely cannot
+                // fit. System memory errors require total > capacity, etc.
+                let total = (config.total_embedding_bytes() as f64 * 2.0) as u64;
+                match strategy {
+                    PlacementStrategy::SystemMemory => {
+                        prop_assert!(total > platform.host().memory().capacity().as_u64());
+                    }
+                    PlacementStrategy::GpuMemory(_) => {
+                        // At least one GPU's worth must be exceeded somewhere.
+                        prop_assert!(
+                            total > gpu_table_capacity(&platform)
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_pack_never_exceeds_capacity(
+        weights in prop::collection::vec(1u64..100, 0..40),
+        bins in 1usize..8,
+        capacity in 50u64..500,
+    ) {
+        if let Ok(assignment) = greedy_pack(&weights, bins, capacity) {
+            let loads = bin_loads(&weights, &assignment, bins);
+            for &l in &loads {
+                prop_assert!(l <= capacity);
+            }
+            prop_assert_eq!(loads.iter().sum::<u64>(), weights.iter().sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn greedy_balance_within_twice_optimal(
+        weights in prop::collection::vec(1u64..1000, 1..50),
+        bins in 1usize..8,
+    ) {
+        // LPT is a 4/3-approximation; assert the weaker 2x bound.
+        let assignment = greedy_balance(&weights, bins);
+        let loads = bin_loads(&weights, &assignment, bins);
+        let total: u64 = weights.iter().sum();
+        let lower = (total as f64 / bins as f64)
+            .max(*weights.iter().max().unwrap() as f64);
+        let max = *loads.iter().max().unwrap() as f64;
+        prop_assert!(max <= 2.0 * lower + 1e-9);
+        prop_assert!(load_imbalance(&loads) >= 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn refinement_never_increases_max_load(
+        weights in prop::collection::vec(1u64..1000, 1..40),
+        bins in 1usize..8,
+        iterations in 0usize..32,
+    ) {
+        let mut assignment = greedy_balance(&weights, bins);
+        let before = *bin_loads(&weights, &assignment, bins).iter().max().unwrap();
+        refine_balance(&weights, &mut assignment, bins, iterations);
+        let loads = bin_loads(&weights, &assignment, bins);
+        let after = *loads.iter().max().unwrap();
+        prop_assert!(after <= before, "refinement worsened: {before} -> {after}");
+        // Conservation.
+        prop_assert_eq!(loads.iter().sum::<u64>(), weights.iter().sum::<u64>());
+        prop_assert!(assignment.iter().all(|&b| b < bins));
+    }
+
+    #[test]
+    fn remote_placement_uses_requested_server_range(
+        sparse in 1usize..32,
+        servers in 1u32..16,
+    ) {
+        let config = ModelConfig::test_suite(32, sparse, 10_000, &[64]);
+        let platform = Platform::big_basin(Bytes::from_gib(16));
+        let p = Placement::plan(
+            &config,
+            &platform,
+            PlacementStrategy::RemoteCpu { servers },
+            1.0,
+        ).expect("small tables always fit");
+        for a in p.assignments() {
+            match a.location {
+                TableLocation::Remote(s) => prop_assert!(s < servers as usize),
+                other => prop_assert!(false, "unexpected location {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,414 @@
+//! The operation-level cost model.
+//!
+//! Everything the simulator charges time for is produced here, from the
+//! model geometry in [`ModelConfig`] and the device models in `recsim-hw`.
+//! Each constant is a documented, ablatable knob ([`CostKnobs`]).
+
+use recsim_data::schema::{ModelConfig, F32_BYTES};
+use recsim_hw::units::{Bytes, Duration, Flops};
+use recsim_hw::{AccessPattern, ComputeDevice, Work};
+use serde::{Deserialize, Serialize};
+
+/// Tunable constants of the cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostKnobs {
+    /// Backward FLOPs as a multiple of forward FLOPs (dL/dW and dL/dx GEMMs).
+    pub backward_flops_multiplier: f64,
+    /// Embedding-update traffic per forward gather byte: gradient-row write
+    /// plus read-modify-write of weights and Adagrad state.
+    pub scatter_multiplier: f64,
+    /// Random-gather speedup when a table's working set fits in cache.
+    pub cache_boost: f64,
+    /// Table size (bytes) at or below which the full cache boost applies.
+    pub cache_resident_bytes: u64,
+    /// Table size (bytes) at or above which no boost applies.
+    pub dram_resident_bytes: u64,
+    /// Kernels launched per MLP layer per pass (GEMM + bias/activation).
+    pub kernels_per_layer: u64,
+    /// GEMM kernel size (FLOPs) at which a GPU reaches half of its
+    /// sustained rate. Recommendation MLPs are small; a 200×512×512 GEMM
+    /// runs far below peak on a V100, which is why the paper's production
+    /// models see only ~2× GPU speedups despite a ~40× FLOP/s advantage.
+    pub gemm_half_efficiency_flops: f64,
+    /// Extra bandwidth derate for scatter/update traffic on GPUs: atomic
+    /// read-modify-write of rows contends in ways plain gathers do not.
+    pub gpu_scatter_efficiency: f64,
+    /// Fixed synchronization cost per collective operation (NCCL barrier /
+    /// rendezvous).
+    pub collective_barrier: Duration,
+    /// Fraction of the host's streaming memory bandwidth usable for staging
+    /// relayed copies (read + write + packet processing — the "additional
+    /// work for the CPUs on the GPU server" of the paper). Scales with the
+    /// platform: Zion's 8-socket, 1 TB/s complex stages far faster than Big
+    /// Basin's 2-socket host.
+    pub staging_fraction: f64,
+    /// Per-request software overhead of a parameter-server RPC.
+    pub rpc_overhead: Duration,
+    /// Per-collective-round synchronization cost of each PCIe hop when GPU
+    /// traffic is relayed through host memory (no GPUDirect peer access):
+    /// the host must observe the D2H completion before issuing the H2D.
+    pub staged_hop_latency: Duration,
+    /// Trainer-side working-set size (bytes) beyond which CPU compute
+    /// efficiency starts degrading (LLC pressure at large batch sizes).
+    pub cpu_cache_bytes: u64,
+    /// Fraction of the trainer machine a single Hogwild thread can keep
+    /// busy (framework serial sections, poor intra-op scaling).
+    pub hogwild_base_utilization: f64,
+    /// Incremental machine utilization contributed by each additional
+    /// Hogwild thread (lock/update contention keeps it below the ideal).
+    pub hogwild_efficiency: f64,
+}
+
+impl Default for CostKnobs {
+    fn default() -> Self {
+        Self {
+            backward_flops_multiplier: 2.0,
+            scatter_multiplier: 4.0,
+            cache_boost: 3.0,
+            cache_resident_bytes: 32 << 20,      // 32 MiB: L2/LLC resident
+            dram_resident_bytes: 4 << 30,        // 4 GiB: fully DRAM-bound
+            kernels_per_layer: 2,
+            gemm_half_efficiency_flops: 5e8,
+            gpu_scatter_efficiency: 0.4,
+            collective_barrier: Duration::from_micros(20.0),
+            staging_fraction: 0.2,
+            rpc_overhead: Duration::from_micros(40.0),
+            staged_hop_latency: Duration::from_micros(50.0),
+            cpu_cache_bytes: 40 << 20,           // ~40 MiB LLC per socket pair
+            hogwild_base_utilization: 0.55,
+            hogwild_efficiency: 0.6,
+        }
+    }
+}
+
+impl CostKnobs {
+    /// Cache-ability boost for a random gather over a table of `table_bytes`:
+    /// log-interpolates from [`CostKnobs::cache_boost`] (fully resident) to
+    /// `1.0` (DRAM resident).
+    pub fn gather_boost(&self, table_bytes: u64) -> f64 {
+        if table_bytes <= self.cache_resident_bytes {
+            return self.cache_boost;
+        }
+        if table_bytes >= self.dram_resident_bytes {
+            return 1.0;
+        }
+        let span = (self.dram_resident_bytes as f64 / self.cache_resident_bytes as f64).ln();
+        let pos = (table_bytes as f64 / self.cache_resident_bytes as f64).ln() / span;
+        self.cache_boost + (1.0 - self.cache_boost) * pos
+    }
+
+    /// Fraction of the trainer machine `threads` Hogwild workers keep busy:
+    /// `min(1, base + (1 − base) · efficiency · (threads − 1))`. One thread
+    /// leaves much of the machine idle ("a large degree of parallelism …
+    /// is left unexploited", Section II.B); additional asynchronous threads
+    /// fill it in with diminishing returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn hogwild_machine_utilization(&self, threads: u32) -> f64 {
+        assert!(threads > 0, "need at least one Hogwild thread");
+        let base = self.hogwild_base_utilization;
+        (base + (1.0 - base) * self.hogwild_efficiency * (threads - 1) as f64).min(1.0)
+    }
+
+    /// Fraction of a GPU's sustained GEMM rate achieved by a kernel of
+    /// `kernel_flops`: `f / (f + half_size)`. CPUs are unaffected (their
+    /// kernels hit peak at much smaller sizes).
+    pub fn gemm_efficiency(&self, kernel_flops: f64) -> f64 {
+        kernel_flops / (kernel_flops + self.gemm_half_efficiency_flops)
+    }
+
+    /// CPU compute derate for a trainer whose per-iteration working set is
+    /// `working_set` bytes: `1 / (1 + ln(1 + ws/cache))`. Large batches
+    /// blow the LLC, which is why "higher batch sizes can be detrimental to
+    /// the training speed over CPU hardware".
+    pub fn cpu_batch_derate(&self, working_set: u64) -> f64 {
+        1.0 / (1.0 + (1.0 + working_set as f64 / self.cpu_cache_bytes as f64).ln())
+    }
+}
+
+/// Per-model cost builder binding a [`ModelConfig`] to [`CostKnobs`].
+#[derive(Debug, Clone)]
+pub struct IterationCosts<'a> {
+    config: &'a ModelConfig,
+    knobs: CostKnobs,
+}
+
+impl<'a> IterationCosts<'a> {
+    /// Creates a cost builder.
+    pub fn new(config: &'a ModelConfig, knobs: CostKnobs) -> Self {
+        Self { config, knobs }
+    }
+
+    /// The knobs in use.
+    pub fn knobs(&self) -> &CostKnobs {
+        &self.knobs
+    }
+
+    /// The model.
+    pub fn config(&self) -> &ModelConfig {
+        self.config
+    }
+
+    // ------------------------------------------------------------------
+    // Dense compute
+    // ------------------------------------------------------------------
+
+    /// Forward work of the bottom MLP for `batch` examples: GEMM FLOPs plus
+    /// weight/activation streaming.
+    pub fn bottom_forward(&self, batch: u64) -> Work {
+        let flops = self.config.bottom_mlp_flops_per_example() * batch;
+        let bytes = self.dense_stream_bytes(batch, self.config.bottom_mlp(), self.config.num_dense());
+        Work::compute(
+            Flops::new(flops),
+            Bytes::new(bytes),
+            self.config.bottom_mlp().len() as u64 * self.knobs.kernels_per_layer,
+        )
+    }
+
+    /// Forward work of the feature interaction for `batch` examples.
+    pub fn interaction_forward(&self, batch: u64) -> Work {
+        let flops = self.config.interaction_flops_per_example() * batch;
+        let bytes =
+            (self.config.num_sparse() + 1) as u64 * self.config.row_bytes() * batch;
+        Work::compute(Flops::new(flops), Bytes::new(bytes), 2)
+    }
+
+    /// Forward work of the top MLP for `batch` examples.
+    pub fn top_forward(&self, batch: u64) -> Work {
+        let flops = self.config.top_mlp_flops_per_example() * batch;
+        let bytes =
+            self.dense_stream_bytes(batch, self.config.top_mlp(), self.config.top_input_dim());
+        Work::compute(
+            Flops::new(flops),
+            Bytes::new(bytes),
+            (self.config.top_mlp().len() as u64 + 1) * self.knobs.kernels_per_layer,
+        )
+    }
+
+    /// Backward work of the full dense stack (both MLPs + interaction) for
+    /// `batch` examples.
+    pub fn dense_backward(&self, batch: u64) -> Work {
+        let fwd = self
+            .bottom_forward(batch)
+            .merge(&self.interaction_forward(batch))
+            .merge(&self.top_forward(batch));
+        Work::compute(
+            Flops::new((fwd.flops().as_f64() * self.knobs.backward_flops_multiplier) as u64),
+            Bytes::new(
+                (fwd.bytes().as_f64() * self.knobs.backward_flops_multiplier) as u64,
+            ),
+            fwd.kernels(),
+        )
+    }
+
+    /// Dense optimizer update: streams every MLP parameter (read gradient,
+    /// read-modify-write weight and state).
+    pub fn dense_optimizer(&self) -> Work {
+        let params = self.config.mlp_parameter_bytes();
+        Work::compute(
+            Flops::new(params / F32_BYTES * 4),
+            Bytes::new(params * 3),
+            4,
+        )
+    }
+
+    fn dense_stream_bytes(&self, batch: u64, widths: &[usize], input: usize) -> u64 {
+        let mut weight_bytes = 0u64;
+        let mut act_bytes = 0u64;
+        let mut prev = input;
+        for &w in widths {
+            weight_bytes += (prev * w) as u64 * F32_BYTES;
+            act_bytes += w as u64 * F32_BYTES;
+            prev = w;
+        }
+        weight_bytes + act_bytes * batch
+    }
+
+    // ------------------------------------------------------------------
+    // Embedding traffic
+    // ------------------------------------------------------------------
+
+    /// Forward gather work for `gather_bytes` of embedding rows pulled from
+    /// `tables` tables with an average size of `avg_table_bytes` (sets
+    /// cache-ability), including pooling FLOPs. One kernel launches per
+    /// table (SparseLengthsSum-style), which matters for wide models: 128
+    /// sparse features cost 128 launches per pass.
+    pub fn embedding_gather(
+        &self,
+        gather_bytes: u64,
+        avg_table_bytes: u64,
+        tables: u64,
+    ) -> Work {
+        let boost = self.knobs.gather_boost(avg_table_bytes);
+        let effective = (gather_bytes as f64 / boost) as u64;
+        // Pooling: one add per gathered float.
+        Work::new(
+            Flops::new(gather_bytes / F32_BYTES),
+            Bytes::new(effective),
+            AccessPattern::Random,
+            tables.max(1),
+        )
+    }
+
+    /// Backward scatter + optimizer update at the table's location:
+    /// [`CostKnobs::scatter_multiplier`] × the forward gather traffic, with
+    /// an extra atomic-contention derate on GPUs
+    /// ([`CostKnobs::gpu_scatter_efficiency`]).
+    pub fn embedding_scatter(
+        &self,
+        gather_bytes: u64,
+        avg_table_bytes: u64,
+        tables: u64,
+        device_kind: recsim_hw::DeviceKind,
+    ) -> Work {
+        let boost = self.knobs.gather_boost(avg_table_bytes);
+        let atomic = match device_kind {
+            recsim_hw::DeviceKind::Gpu => self.knobs.gpu_scatter_efficiency,
+            recsim_hw::DeviceKind::Cpu => 1.0,
+        };
+        let bytes =
+            (gather_bytes as f64 * self.knobs.scatter_multiplier / (boost * atomic)) as u64;
+        Work::new(
+            Flops::new(gather_bytes / F32_BYTES * 2),
+            Bytes::new(bytes),
+            AccessPattern::Random,
+            tables.max(1),
+        )
+    }
+
+    /// Host-CPU staging work for relaying `bytes` through the system memory
+    /// of `host` (recv processing, repacking, send): streaming at
+    /// [`CostKnobs::staging_fraction`] of the host's memory bandwidth.
+    pub fn host_staging(&self, bytes: u64, host: &ComputeDevice) -> Duration {
+        host.memory()
+            .stream_bandwidth()
+            .derated(self.knobs.staging_fraction)
+            .transfer_time(Bytes::new(bytes))
+    }
+
+    /// Time a compute device needs for MLP-shaped `work` whose FLOPs are
+    /// spread over `kernels` roughly equal GEMM kernels. On GPUs the
+    /// per-kernel size sets the achieved fraction of the sustained rate
+    /// ([`CostKnobs::gemm_half_efficiency_flops`]); CPUs run `work` as-is.
+    pub fn dense_time_on(&self, work: &Work, device: &ComputeDevice) -> Duration {
+        if device.kind() != recsim_hw::DeviceKind::Gpu || work.flops() == Flops::ZERO {
+            return work.time_on(device);
+        }
+        let kernels = work.kernels().max(1) as f64;
+        let eff = self.knobs.gemm_efficiency(work.flops().as_f64() / kernels);
+        let compute = device
+            .sustained_flop_rate()
+            .derated(eff.clamp(1e-6, 1.0))
+            .execution_time(work.flops());
+        let mem = device.memory().access_time(work.bytes(), work.pattern());
+        device.kernel_overhead() * kernels + compute.max(mem)
+    }
+
+    /// Time a compute device needs for `work`.
+    pub fn time_on(&self, work: &Work, device: &ComputeDevice) -> Duration {
+        work.time_on(device)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recsim_hw::device::v100;
+
+    fn config() -> ModelConfig {
+        ModelConfig::test_suite(64, 8, 100_000, &[512, 512, 512])
+    }
+
+    #[test]
+    fn gather_boost_interpolates_monotonically() {
+        let k = CostKnobs::default();
+        assert_eq!(k.gather_boost(1 << 20), k.cache_boost);
+        assert_eq!(k.gather_boost(8 << 30), 1.0);
+        let mid = k.gather_boost(512 << 20);
+        assert!(mid > 1.0 && mid < k.cache_boost);
+        // Monotone decreasing.
+        let mut prev = k.gather_boost(1 << 20);
+        for shift in 21..34 {
+            let b = k.gather_boost(1u64 << shift);
+            assert!(b <= prev + 1e-12, "boost must not increase with size");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn hogwild_utilization_grows_and_saturates() {
+        let k = CostKnobs::default();
+        let u1 = k.hogwild_machine_utilization(1);
+        let u2 = k.hogwild_machine_utilization(2);
+        let u8 = k.hogwild_machine_utilization(8);
+        assert!(u1 < u2 && u2 <= u8);
+        assert!(u1 > 0.0 && u8 <= 1.0);
+        assert_eq!(u8, 1.0, "many threads saturate the machine");
+    }
+
+    #[test]
+    fn cpu_batch_derate_decreases_with_working_set() {
+        let k = CostKnobs::default();
+        let small = k.cpu_batch_derate(1 << 20);
+        let large = k.cpu_batch_derate(1 << 30);
+        assert!(small > large);
+        assert!(small <= 1.0 && large > 0.0);
+    }
+
+    #[test]
+    fn forward_work_scales_with_batch() {
+        let cfg = config();
+        let costs = IterationCosts::new(&cfg, CostKnobs::default());
+        let a = costs.bottom_forward(100);
+        let b = costs.bottom_forward(200);
+        assert_eq!(b.flops().as_u64(), 2 * a.flops().as_u64());
+    }
+
+    #[test]
+    fn backward_costs_more_than_forward() {
+        let cfg = config();
+        let costs = IterationCosts::new(&cfg, CostKnobs::default());
+        let gpu = v100(Bytes::from_gib(32));
+        let fwd = costs
+            .bottom_forward(1600)
+            .merge(&costs.interaction_forward(1600))
+            .merge(&costs.top_forward(1600));
+        let bwd = costs.dense_backward(1600);
+        assert!(bwd.time_on(&gpu).as_secs() > fwd.time_on(&gpu).as_secs());
+    }
+
+    #[test]
+    fn scatter_exceeds_gather() {
+        let cfg = config();
+        let costs = IterationCosts::new(&cfg, CostKnobs::default());
+        let gpu = v100(Bytes::from_gib(32));
+        let gather = costs.embedding_gather(1 << 26, 1 << 33, 8);
+        let scatter = costs.embedding_scatter(1 << 26, 1 << 33, 8, recsim_hw::DeviceKind::Gpu);
+        assert!(scatter.time_on(&gpu).as_secs() > gather.time_on(&gpu).as_secs());
+    }
+
+    #[test]
+    fn small_tables_gather_faster() {
+        let cfg = config();
+        let costs = IterationCosts::new(&cfg, CostKnobs::default());
+        let gpu = v100(Bytes::from_gib(32));
+        let hot = costs.embedding_gather(1 << 26, 1 << 20, 8); // cache-resident
+        let cold = costs.embedding_gather(1 << 26, 1 << 34, 8); // DRAM
+        assert!(
+            cold.time_on(&gpu).as_secs() > 2.0 * hot.time_on(&gpu).as_secs(),
+            "cache-ability must matter"
+        );
+    }
+
+    #[test]
+    fn gather_is_random_access() {
+        let cfg = config();
+        let costs = IterationCosts::new(&cfg, CostKnobs::default());
+        assert_eq!(
+            costs.embedding_gather(1000, 1 << 30, 4).pattern(),
+            AccessPattern::Random
+        );
+    }
+}

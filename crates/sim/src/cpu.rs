@@ -1,0 +1,454 @@
+//! Distributed CPU training pipeline: trainers + parameter servers +
+//! readers (the paper's Figure 4).
+//!
+//! Each trainer holds a replica of the dense parameters, reads mini-batches
+//! from reader servers, fetches pooled embeddings from *sparse* parameter
+//! servers, runs Hogwild threads over the dense stack, pushes embedding
+//! gradients back, and elastic-average-syncs (EASGD) its dense parameters
+//! with the *dense* parameter servers every iteration.
+
+use crate::cost::{CostKnobs, IterationCosts};
+use crate::des::{ResourceId, TaskGraph, TaskId};
+use crate::report::SimReport;
+use recsim_data::schema::{ModelConfig, F32_BYTES};
+use recsim_hw::units::Bytes;
+use recsim_hw::PowerModel;
+use serde::{Deserialize, Serialize};
+
+/// The scale of a distributed CPU training run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CpuClusterSetup {
+    /// Data-parallel trainer servers.
+    pub trainers: u32,
+    /// Dense parameter servers (MLP parameters, sharded).
+    pub dense_ps: u32,
+    /// Sparse parameter servers (embedding tables, sharded).
+    pub sparse_ps: u32,
+    /// Hogwild threads per trainer.
+    pub hogwild_threads: u32,
+    /// Mini-batch per Hogwild thread per iteration.
+    pub batch_per_thread: u64,
+    /// EASGD communication period: dense parameters sync with the center
+    /// every this many iterations (the elastic in elastic averaging), so the
+    /// per-iteration sync volume is amortized by this factor.
+    pub sync_period: u32,
+}
+
+impl CpuClusterSetup {
+    /// A single-trainer setup with one dense and one sparse PS — the
+    /// configuration of the paper's Section V test suite ("a single
+    /// trainer, dense and sparse parameter server"), batch 200.
+    pub fn single_trainer(batch: u64) -> Self {
+        Self {
+            trainers: 1,
+            dense_ps: 1,
+            sparse_ps: 1,
+            hogwild_threads: 1,
+            batch_per_thread: batch,
+            sync_period: 16,
+        }
+    }
+
+    /// Total servers drawing power (trainers + both PS pools; readers are
+    /// shared infrastructure and excluded, which reproduces Table III's
+    /// power arithmetic: M1's 6 trainers + 8 PS = 14 CPU-server units).
+    pub fn total_servers(&self) -> u32 {
+        self.trainers + self.dense_ps + self.sparse_ps
+    }
+
+    /// Examples consumed per fleet iteration.
+    pub fn examples_per_iteration(&self) -> u64 {
+        self.trainers as u64 * self.hogwild_threads as u64 * self.batch_per_thread
+    }
+}
+
+/// Simulator for one distributed CPU training setup.
+///
+/// # Example
+///
+/// ```
+/// use recsim_sim::{CpuClusterSetup, CpuTrainingSim};
+/// use recsim_data::schema::ModelConfig;
+///
+/// let config = ModelConfig::test_suite(256, 16, 100_000, &[512, 512, 512]);
+/// let sim = CpuTrainingSim::new(&config, CpuClusterSetup::single_trainer(200));
+/// let report = sim.run();
+/// assert!(report.throughput() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CpuTrainingSim {
+    config: ModelConfig,
+    setup: CpuClusterSetup,
+    knobs: CostKnobs,
+}
+
+impl CpuTrainingSim {
+    /// Builds the simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count in `setup` is zero.
+    pub fn new(config: &ModelConfig, setup: CpuClusterSetup) -> Self {
+        assert!(setup.trainers > 0, "need at least one trainer");
+        assert!(setup.dense_ps > 0 && setup.sparse_ps > 0, "need parameter servers");
+        assert!(setup.hogwild_threads > 0, "need at least one Hogwild thread");
+        assert!(setup.batch_per_thread > 0, "batch must be positive");
+        assert!(setup.sync_period > 0, "sync period must be positive");
+        Self {
+            config: config.clone(),
+            setup,
+            knobs: CostKnobs::default(),
+        }
+    }
+
+    /// Overrides the cost-model knobs (for ablations).
+    pub fn with_knobs(mut self, knobs: CostKnobs) -> Self {
+        self.knobs = knobs;
+        self
+    }
+
+    /// The cluster configuration.
+    pub fn setup(&self) -> &CpuClusterSetup {
+        &self.setup
+    }
+
+    /// Pipeline depth for steady-state measurement (see
+    /// [`crate::gpu::GpuTrainingSim::PIPELINE_DEPTH`]); trainers prefetch
+    /// batches and embedding responses for the next iteration while the
+    /// current one computes.
+    pub const PIPELINE_DEPTH: usize = 4;
+
+    /// Simulates steady-state pipelined training and reports the marginal
+    /// per-iteration time.
+    pub fn run(&self) -> SimReport {
+        let single = self.build_graph(1).simulate();
+        let pipelined = self.build_graph(Self::PIPELINE_DEPTH).simulate();
+        let steady = pipelined
+            .makespan()
+            .saturating_sub(single.makespan())
+            / (Self::PIPELINE_DEPTH - 1) as f64;
+        let steady = steady.max(single.makespan() / Self::PIPELINE_DEPTH as f64);
+        self.report(steady, &pipelined)
+    }
+
+    /// Simulates exactly one un-pipelined fleet iteration (latency view).
+    pub fn run_single_iteration(&self) -> SimReport {
+        let schedule = self.build_graph(1).simulate();
+        self.report(schedule.makespan(), &schedule)
+    }
+
+    fn build_graph(&self, iterations: usize) -> TaskGraph {
+        let costs = IterationCosts::new(&self.config, self.knobs);
+        let t_count = self.setup.trainers as usize;
+        let s_count = self.setup.sparse_ps as usize;
+        let d_count = self.setup.dense_ps as usize;
+        let h = self.setup.hogwild_threads;
+        // Examples a trainer pushes through per iteration.
+        let b_iter = self.setup.batch_per_thread * h as u64;
+
+        let trainer_dev = recsim_hw::device::skylake_dual_socket();
+        let ps_dev = recsim_hw::device::skylake_dual_socket();
+        let net = recsim_hw::Link::ethernet_25g();
+
+        let mut graph = TaskGraph::new();
+        let trainer_cpu: Vec<ResourceId> = (0..t_count)
+            .map(|i| graph.add_resource(format!("trainer{i}_cpu"), 1))
+            .collect();
+        let trainer_nic: Vec<ResourceId> = (0..t_count)
+            .map(|i| graph.add_resource(format!("trainer{i}_nic"), 1))
+            .collect();
+        let sparse_cpu: Vec<ResourceId> = (0..s_count)
+            .map(|s| graph.add_resource(format!("sparse_ps{s}_cpu"), 1))
+            .collect();
+        let sparse_nic: Vec<ResourceId> = (0..s_count)
+            .map(|s| graph.add_resource(format!("sparse_ps{s}_nic"), 1))
+            .collect();
+        let dense_cpu: Vec<ResourceId> = (0..d_count)
+            .map(|d| graph.add_resource(format!("dense_ps{d}_cpu"), 1))
+            .collect();
+        let dense_nic: Vec<ResourceId> = (0..d_count)
+            .map(|d| graph.add_resource(format!("dense_ps{d}_nic"), 1))
+            .collect();
+
+        // Traffic volumes.
+        let gather_pe = self.config.embedding_read_bytes_per_example();
+        let pooled_pe = self.config.pooled_bytes_per_example();
+        let avg_table = self.config.total_embedding_bytes() / self.config.num_sparse().max(1) as u64;
+        let mlp_bytes = self.config.mlp_parameter_bytes();
+
+        // Dense compute per trainer iteration: fwd + bwd for b_iter examples,
+        // with Hogwild parallel efficiency and LLC pressure at large batch.
+        let fwd = costs
+            .bottom_forward(b_iter)
+            .merge(&costs.interaction_forward(b_iter))
+            .merge(&costs.top_forward(b_iter));
+        let bwd = costs.dense_backward(b_iter);
+        let working_set = self.setup.batch_per_thread
+            * (self.config.num_dense() as u64
+                + self.config.top_input_dim() as u64
+                + self
+                    .config
+                    .bottom_mlp()
+                    .iter()
+                    .chain(self.config.top_mlp())
+                    .map(|&w| w as u64)
+                    .sum::<u64>())
+            * F32_BYTES;
+        let machine_util = self.knobs.hogwild_machine_utilization(h);
+        let derate = self.knobs.cpu_batch_derate(working_set);
+        let compute_time = (fwd.time_on(&trainer_dev) + bwd.time_on(&trainer_dev))
+            * (1.0 / (machine_util * derate));
+
+        for _iteration in 0..iterations {
+        let mut tail: Vec<TaskId> = Vec::new();
+        for i in 0..t_count {
+            // Read mini-batches from the reader tier.
+            let t_read = graph.add_task(
+                format!("read{i}"),
+                net.transfer_time(Bytes::new(b_iter * self.config.example_bytes()), 1),
+                Some(trainer_nic[i]),
+                &[],
+            );
+            // Sparse lookups: PS-side gather + response over the PS NIC.
+            let mut lookup_done = Vec::with_capacity(s_count);
+            for s in 0..s_count {
+                let t_gather = graph.add_task(
+                    format!("lookup_t{i}_ps{s}"),
+                    costs
+                        .embedding_gather(
+                            b_iter * gather_pe / s_count as u64,
+                            avg_table,
+                            (self.config.num_sparse() as u64).div_ceil(s_count as u64),
+                        )
+                        .time_on(&ps_dev)
+                        + self.knobs.rpc_overhead,
+                    Some(sparse_cpu[s]),
+                    &[t_read],
+                );
+                let t_resp = graph.add_task(
+                    format!("lookup_resp_t{i}_ps{s}"),
+                    net.transfer_time(Bytes::new(b_iter * pooled_pe / s_count as u64), 1),
+                    Some(sparse_nic[s]),
+                    &[t_gather],
+                );
+                lookup_done.push(t_resp);
+            }
+            // Hogwild forward+backward over the dense stack.
+            let mut compute_deps = lookup_done.clone();
+            compute_deps.push(t_read);
+            let t_compute = graph.add_task(
+                format!("hogwild_fwd_bwd{i}"),
+                compute_time,
+                Some(trainer_cpu[i]),
+                &compute_deps,
+            );
+            // Push embedding gradients back to the sparse PS.
+            for s in 0..s_count {
+                let t_push = graph.add_task(
+                    format!("grad_push_t{i}_ps{s}"),
+                    net.transfer_time(Bytes::new(b_iter * pooled_pe / s_count as u64), 1),
+                    Some(sparse_nic[s]),
+                    &[t_compute],
+                );
+                tail.push(graph.add_task(
+                    format!("ps_scatter_t{i}_ps{s}"),
+                    costs
+                        .embedding_scatter(
+                            b_iter * gather_pe / s_count as u64,
+                            avg_table,
+                            (self.config.num_sparse() as u64).div_ceil(s_count as u64),
+                            recsim_hw::DeviceKind::Cpu,
+                        )
+                        .time_on(&ps_dev)
+                        + self.knobs.rpc_overhead,
+                    Some(sparse_cpu[s]),
+                    &[t_push],
+                ));
+            }
+            // EASGD sync of dense parameters with the dense PS shards.
+            for d in 0..d_count {
+                // Amortized by the EASGD communication period.
+                let shard = mlp_bytes / d_count as u64 / self.setup.sync_period as u64;
+                let t_xfer = graph.add_task(
+                    format!("easgd_xfer_t{i}_ps{d}"),
+                    net.transfer_time(Bytes::new(2 * shard), 2),
+                    Some(dense_nic[d]),
+                    &[t_compute],
+                );
+                tail.push(graph.add_task(
+                    format!("easgd_update_t{i}_ps{d}"),
+                    recsim_hw::Work::compute(
+                        recsim_hw::units::Flops::new(shard / F32_BYTES * 2),
+                        Bytes::new(3 * shard),
+                        1,
+                    )
+                    .time_on(&ps_dev),
+                    Some(dense_cpu[d]),
+                    &[t_xfer],
+                ));
+            }
+        }
+        graph.add_barrier("fleet_iteration_done", &tail);
+        }
+        graph
+    }
+
+    fn report(
+        &self,
+        iteration_time: recsim_hw::units::Duration,
+        schedule: &crate::des::Schedule,
+    ) -> SimReport {
+        let t_count = self.setup.trainers as usize;
+        let s_count = self.setup.sparse_ps as usize;
+        let d_count = self.setup.dense_ps as usize;
+        let h = self.setup.hogwild_threads;
+        let utilizations = schedule.utilizations();
+        let class_util = |prefix: &str| -> f64 {
+            let sel: Vec<f64> = utilizations
+                .iter()
+                .filter(|(n, _)| n.starts_with(prefix))
+                .map(|(_, u)| *u)
+                .collect();
+            if sel.is_empty() {
+                0.0
+            } else {
+                sel.iter().sum::<f64>() / sel.len() as f64
+            }
+        };
+        let power = PowerModel::cpu_server().draw(class_util("trainer")) * t_count as f64
+            + PowerModel::cpu_server().draw(class_util("sparse_ps")) * s_count as f64
+            + PowerModel::cpu_server().draw(class_util("dense_ps")) * d_count as f64;
+
+        SimReport::new(
+            format!(
+                "CPU cluster {}T/{}sPS/{}dPS x{}hw / batch {}",
+                t_count, s_count, d_count, h, self.setup.batch_per_thread
+            ),
+            iteration_time,
+            self.setup.examples_per_iteration() as f64,
+            utilizations,
+            schedule.bottleneck(),
+            power,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_config() -> ModelConfig {
+        ModelConfig::test_suite(256, 16, 100_000, &[512, 512, 512])
+    }
+
+    #[test]
+    fn single_trainer_runs() {
+        let r = CpuTrainingSim::new(&test_config(), CpuClusterSetup::single_trainer(200)).run();
+        assert!(r.throughput() > 0.0);
+        assert!(r.power().as_watts() > 0.0);
+    }
+
+    #[test]
+    fn more_trainers_scale_throughput_sublinearly() {
+        // Paper: "approximately linear increase in training speedup when we
+        // increase the number of trainer servers, up to a certain degree".
+        let cfg = test_config();
+        let one = CpuTrainingSim::new(
+            &cfg,
+            CpuClusterSetup {
+                trainers: 1,
+                dense_ps: 4,
+                sparse_ps: 4,
+                hogwild_threads: 1,
+                batch_per_thread: 200,
+                sync_period: 16,
+            },
+        )
+        .run();
+        let eight = CpuTrainingSim::new(
+            &cfg,
+            CpuClusterSetup {
+                trainers: 8,
+                dense_ps: 4,
+                sparse_ps: 4,
+                hogwild_threads: 1,
+                batch_per_thread: 200,
+                sync_period: 16,
+            },
+        )
+        .run();
+        let speedup = eight.throughput() / one.throughput();
+        assert!(
+            speedup > 3.0 && speedup <= 8.0,
+            "8 trainers give {speedup:.1}x"
+        );
+    }
+
+    #[test]
+    fn hogwild_threads_increase_throughput() {
+        let cfg = test_config();
+        let mk = |h: u32| {
+            CpuTrainingSim::new(
+                &cfg,
+                CpuClusterSetup {
+                    trainers: 1,
+                    dense_ps: 1,
+                    sparse_ps: 1,
+                    hogwild_threads: h,
+                    batch_per_thread: 200,
+                    sync_period: 16,
+                },
+            )
+            .run()
+            .throughput()
+        };
+        let t1 = mk(1);
+        let t4 = mk(4);
+        assert!(t4 > t1, "hogwild helps: {t1} vs {t4}");
+        assert!(t4 < t1 * 4.0, "but not perfectly: {t1} vs {t4}");
+    }
+
+    #[test]
+    fn cpu_batch_scaling_is_flat_or_declining_at_large_batch() {
+        // Figure 11's CPU panel.
+        let cfg = test_config();
+        let mk = |b: u64| {
+            CpuTrainingSim::new(&cfg, CpuClusterSetup::single_trainer(b))
+                .run()
+                .throughput()
+        };
+        let t200 = mk(200);
+        let t6400 = mk(6400);
+        assert!(
+            t6400 < t200 * 1.5,
+            "CPU does not benefit much from big batches: {t200} vs {t6400}"
+        );
+    }
+
+    #[test]
+    fn power_counts_every_server() {
+        let cfg = test_config();
+        let r = CpuTrainingSim::new(
+            &cfg,
+            CpuClusterSetup {
+                trainers: 6,
+                dense_ps: 4,
+                sparse_ps: 4,
+                hogwild_threads: 1,
+                batch_per_thread: 200,
+                sync_period: 16,
+            },
+        )
+        .run();
+        // 14 servers at >= idle 45% of 600 W each.
+        assert!(r.power().as_watts() >= 14.0 * 600.0 * 0.45);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = test_config();
+        let a = CpuTrainingSim::new(&cfg, CpuClusterSetup::single_trainer(200)).run();
+        let b = CpuTrainingSim::new(&cfg, CpuClusterSetup::single_trainer(200)).run();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,60 @@
+//! Distributed-training simulation for `recsim`.
+//!
+//! This crate answers the paper's central question — *how fast does a given
+//! recommendation model train on a given platform with a given embedding
+//! placement?* — without the production fleet. A training iteration is
+//! compiled into a resource-constrained task DAG (kernels, gathers, link
+//! transfers, parameter-server work) and executed by a deterministic
+//! discrete-event engine:
+//!
+//! * [`des`] — the task-graph executor (resources, FIFO queues, makespan,
+//!   per-resource busy time),
+//! * [`cost`] — the operation-level cost model: MLP rooflines, embedding
+//!   gather/scatter traffic with cache-ability, kernel-launch overheads,
+//!   collective volumes ([`cost::CostKnobs`] documents every constant),
+//! * [`gpu`] — the single-server GPU training pipeline (Big Basin / Zion)
+//!   under any [`recsim_placement::PlacementStrategy`],
+//! * [`cpu`] — the distributed CPU pipeline (trainers + dense/sparse
+//!   parameter servers + readers, EASGD + Hogwild),
+//! * [`scaleout`] — multi-node Big Basin training with sharded GPU-memory
+//!   tables (the Section VI.B analytical comparison against Zion),
+//! * [`readers`] — sizing the reader tier so "data reading is not a
+//!   bottleneck" (Section IV.B.2),
+//! * [`variability`] — Monte-Carlo throughput distributions under per-GPU
+//!   hardware noise (the "hardware level variability" of Figure 5),
+//! * [`report`] — [`SimReport`]: iteration time, throughput, utilization,
+//!   bottleneck, power and perf-per-watt.
+//!
+//! # Example
+//!
+//! ```
+//! use recsim_sim::gpu::GpuTrainingSim;
+//! use recsim_data::schema::ModelConfig;
+//! use recsim_hw::{Platform, units::Bytes};
+//! use recsim_placement::{PlacementStrategy, PartitionScheme};
+//!
+//! let config = ModelConfig::test_suite(256, 16, 100_000, &[512, 512, 512]);
+//! let platform = Platform::big_basin(Bytes::from_gib(32));
+//! let sim = GpuTrainingSim::new(&config, &platform,
+//!     PlacementStrategy::GpuMemory(PartitionScheme::TableWise), 1600)?;
+//! let report = sim.run();
+//! assert!(report.throughput() > 0.0);
+//! # Ok::<(), recsim_placement::PlacementError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod cpu;
+pub mod des;
+pub mod gpu;
+pub mod readers;
+pub mod report;
+pub mod scaleout;
+pub mod variability;
+
+pub use cost::CostKnobs;
+pub use cpu::{CpuClusterSetup, CpuTrainingSim};
+pub use gpu::GpuTrainingSim;
+pub use report::SimReport;

@@ -1,0 +1,149 @@
+//! The reader-server tier (paper Figure 4 and Section IV.B.2).
+//!
+//! "Readers access model training data in parallel from remote storage …
+//! Reader servers are decoupled from trainers to be scaled-up independently
+//! and not to stall training. We typically scale up reader servers such
+//! that data reading is not a bottleneck. Consequently, for more performant
+//! training hardware, we may utilize more readers."
+//!
+//! This module models one reader's deliverable example rate (bounded by its
+//! NIC and its preprocessing CPU) and sizes the tier for a target training
+//! throughput.
+
+use recsim_data::schema::ModelConfig;
+use recsim_hw::units::Bytes;
+use recsim_hw::Link;
+use serde::{Deserialize, Serialize};
+
+/// One reader server's capability model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReaderModel {
+    /// Bytes of warehouse data touched per delivered example byte
+    /// (decompression, filtering, feature transforms).
+    pub preprocess_amplification: f64,
+    /// Fraction of the reader's memory bandwidth usable for preprocessing.
+    pub preprocess_bandwidth_fraction: f64,
+    /// Safety headroom: the tier is sized so readers run at most at this
+    /// utilization ("such that data reading is not a bottleneck").
+    pub target_utilization: f64,
+}
+
+impl Default for ReaderModel {
+    fn default() -> Self {
+        Self {
+            // Warehouse rows are wide and compressed: many bytes touched
+            // per delivered example byte.
+            preprocess_amplification: 50.0,
+            // Feature transforms are CPU-bound, not STREAM-bound.
+            preprocess_bandwidth_fraction: 0.02,
+            target_utilization: 0.7,
+        }
+    }
+}
+
+impl ReaderModel {
+    /// Examples per second one dual-socket reader can deliver for `config`:
+    /// the minimum of its NIC-limited and preprocessing-limited rates.
+    pub fn examples_per_second(&self, config: &ModelConfig) -> f64 {
+        let example_bytes = config.example_bytes() as f64;
+        let reader = recsim_hw::device::skylake_dual_socket();
+        let nic = Link::ethernet_25g();
+        // Egress: delivering examples to trainers.
+        let nic_rate = nic.effective_bandwidth().as_bytes_per_s() / example_bytes;
+        // Preprocessing: touching amplified warehouse bytes.
+        let mem_rate = reader.memory().stream_bandwidth().as_bytes_per_s()
+            * self.preprocess_bandwidth_fraction
+            / (example_bytes * self.preprocess_amplification);
+        nic_rate.min(mem_rate)
+    }
+
+    /// Readers needed so the tier serves `target_throughput` examples/s at
+    /// no more than [`ReaderModel::target_utilization`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_throughput` is not positive and finite.
+    pub fn readers_needed(&self, config: &ModelConfig, target_throughput: f64) -> u32 {
+        assert!(
+            target_throughput > 0.0 && target_throughput.is_finite(),
+            "target throughput must be positive"
+        );
+        let per_reader = self.examples_per_second(config) * self.target_utilization;
+        (target_throughput / per_reader).ceil().max(1.0) as u32
+    }
+
+    /// Warehouse bytes streamed per second by a tier serving
+    /// `target_throughput` examples/s (storage-side provisioning).
+    pub fn warehouse_bandwidth(&self, config: &ModelConfig, target_throughput: f64) -> Bytes {
+        let bytes =
+            target_throughput * config.example_bytes() as f64 * self.preprocess_amplification;
+        Bytes::new(bytes as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> ModelConfig {
+        ModelConfig::test_suite(256, 16, 100_000, &[512, 512, 512])
+    }
+
+    #[test]
+    fn per_reader_rate_is_positive_and_bounded() {
+        let m = ReaderModel::default();
+        let rate = m.examples_per_second(&config());
+        assert!(rate > 0.0);
+        // Cannot exceed the raw NIC rate.
+        let nic_limit = Link::ethernet_25g().effective_bandwidth().as_bytes_per_s()
+            / config().example_bytes() as f64;
+        assert!(rate <= nic_limit);
+    }
+
+    #[test]
+    fn faster_hardware_needs_more_readers() {
+        // The paper's claim: "for more performant training hardware, we may
+        // utilize more readers."
+        let m = ReaderModel::default();
+        let cfg = config();
+        let cpu_tput = 40_000.0;
+        let gpu_tput = 700_000.0;
+        let cpu_readers = m.readers_needed(&cfg, cpu_tput);
+        let gpu_readers = m.readers_needed(&cfg, gpu_tput);
+        assert!(
+            gpu_readers > cpu_readers,
+            "GPU tier needs more readers: {cpu_readers} vs {gpu_readers}"
+        );
+    }
+
+    #[test]
+    fn bigger_examples_need_more_readers() {
+        let m = ReaderModel::default();
+        let small = ModelConfig::test_suite(64, 4, 1000, &[64]);
+        let big = ModelConfig::test_suite(4096, 128, 1000, &[64]);
+        assert!(
+            m.readers_needed(&big, 100_000.0) > m.readers_needed(&small, 100_000.0)
+        );
+    }
+
+    #[test]
+    fn readers_scale_linearly_with_throughput() {
+        let m = ReaderModel::default();
+        let cfg = config();
+        // Use targets large enough that ceiling effects are negligible.
+        let one = m.readers_needed(&cfg, 200_000.0);
+        let ten = m.readers_needed(&cfg, 2_000_000.0);
+        assert!(
+            ten >= one * 9 && ten <= one * 11,
+            "expected ~10x readers: {one} -> {ten}"
+        );
+    }
+
+    #[test]
+    fn warehouse_bandwidth_includes_amplification() {
+        let m = ReaderModel::default();
+        let cfg = config();
+        let bw = m.warehouse_bandwidth(&cfg, 100_000.0);
+        assert!(bw.as_f64() > 100_000.0 * cfg.example_bytes() as f64);
+    }
+}

@@ -1,0 +1,143 @@
+//! Simulation results: throughput, utilization, power.
+
+use recsim_hw::units::{Duration, Power};
+use serde::{Deserialize, Serialize};
+
+/// The outcome of simulating one training iteration of a setup.
+///
+/// Throughput is examples per second; utilizations are per named resource
+/// in `[0, 1]`; power is the setup's total draw (all servers involved),
+/// which is what divides throughput for the paper's perf-per-watt numbers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    setup: String,
+    iteration_time: Duration,
+    examples_per_iteration: f64,
+    utilizations: Vec<(String, f64)>,
+    bottleneck: Option<(String, f64)>,
+    power: Power,
+}
+
+impl SimReport {
+    /// Assembles a report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iteration time or example count is not positive.
+    pub fn new(
+        setup: impl Into<String>,
+        iteration_time: Duration,
+        examples_per_iteration: f64,
+        utilizations: Vec<(String, f64)>,
+        bottleneck: Option<(String, f64)>,
+        power: Power,
+    ) -> Self {
+        assert!(iteration_time.as_secs() > 0.0, "iteration time must be positive");
+        assert!(examples_per_iteration > 0.0, "examples must be positive");
+        Self {
+            setup: setup.into(),
+            iteration_time,
+            examples_per_iteration,
+            utilizations,
+            bottleneck,
+            power,
+        }
+    }
+
+    /// A human-readable description of the simulated setup.
+    pub fn setup(&self) -> &str {
+        &self.setup
+    }
+
+    /// Wall-clock time of one training iteration.
+    pub fn iteration_time(&self) -> Duration {
+        self.iteration_time
+    }
+
+    /// Examples consumed per iteration (across all data-parallel workers).
+    pub fn examples_per_iteration(&self) -> f64 {
+        self.examples_per_iteration
+    }
+
+    /// Training throughput in examples per second.
+    pub fn throughput(&self) -> f64 {
+        self.examples_per_iteration / self.iteration_time.as_secs()
+    }
+
+    /// Per-resource utilization in `[0, 1]`.
+    pub fn utilizations(&self) -> &[(String, f64)] {
+        &self.utilizations
+    }
+
+    /// Utilization of a resource by name, if present.
+    pub fn utilization_of(&self, name: &str) -> Option<f64> {
+        self.utilizations
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, u)| *u)
+    }
+
+    /// The busiest resource and its utilization.
+    pub fn bottleneck(&self) -> Option<(&str, f64)> {
+        self.bottleneck.as_ref().map(|(n, u)| (n.as_str(), *u))
+    }
+
+    /// Total power draw of every server in the setup.
+    pub fn power(&self) -> Power {
+        self.power
+    }
+
+    /// Examples per joule.
+    pub fn perf_per_watt(&self) -> f64 {
+        self.throughput() / self.power.as_watts()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport::new(
+            "test",
+            Duration::from_millis(2.0),
+            1600.0,
+            vec![("gpu".into(), 0.8), ("nic".into(), 0.1)],
+            Some(("gpu".into(), 0.8)),
+            Power::from_watts(4380.0),
+        )
+    }
+
+    #[test]
+    fn throughput_is_examples_over_time() {
+        let r = report();
+        assert!((r.throughput() - 800_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn perf_per_watt() {
+        let r = report();
+        assert!((r.perf_per_watt() - 800_000.0 / 4380.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn utilization_lookup() {
+        let r = report();
+        assert_eq!(r.utilization_of("nic"), Some(0.1));
+        assert_eq!(r.utilization_of("missing"), None);
+        assert_eq!(r.bottleneck(), Some(("gpu", 0.8)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_iteration_rejected() {
+        SimReport::new(
+            "bad",
+            Duration::ZERO,
+            1.0,
+            vec![],
+            None,
+            Power::from_watts(1.0),
+        );
+    }
+}

@@ -1,0 +1,400 @@
+//! Multi-node scale-out: embedding tables distributed over the GPU memory
+//! of several Big Basin servers.
+//!
+//! Section VI of the paper considers this option for M3-class models and
+//! rejects it: "to be performance efficient, this mode requires fast
+//! inter-node GPU-GPU communication … due to the lack of this capability,
+//! we were not able to test this model setup", and its analytical model
+//! finds Zion "several orders of magnitude more efficient than using
+//! multiple Big Basins with embedding tables placed on the GPU memory".
+//!
+//! This simulator builds that analytical model concretely. Without
+//! GPUDirect-RDMA-style networking, every remote lookup's *raw rows* cross
+//! node boundaries through host staging and a 100 GbE NIC (pooling happens
+//! at the consumer, since no remote-pooling operator exists for GPU-held
+//! tables), and the backward pass sends them all back — which is what makes
+//! the efficiency gap enormous.
+
+use crate::cost::{CostKnobs, IterationCosts};
+use crate::des::{TaskGraph, TaskId};
+use crate::report::SimReport;
+use recsim_data::schema::ModelConfig;
+use recsim_hw::units::Bytes;
+use recsim_hw::{Platform, PowerModel};
+use recsim_placement::plan::{gpu_table_capacity, ADAGRAD_STATE_MULTIPLIER};
+use serde::{Deserialize, Serialize};
+
+/// Why a scale-out setup cannot be constructed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScaleOutError {
+    /// Even the requested node count cannot hold the tables.
+    Capacity {
+        /// Nodes requested.
+        nodes: u32,
+        /// Minimum nodes whose pooled HBM holds the tables.
+        needed: u32,
+    },
+}
+
+impl std::fmt::Display for ScaleOutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScaleOutError::Capacity { nodes, needed } => write!(
+                f,
+                "tables need at least {needed} Big Basin nodes, got {nodes}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScaleOutError {}
+
+/// Simulator for `nodes` Big Basin servers training data-parallel with
+/// embedding tables sharded across all nodes' GPU memory.
+///
+/// # Example
+///
+/// ```
+/// use recsim_sim::scaleout::ScaleOutSim;
+/// use recsim_data::production::{production_model, ProductionModelId};
+///
+/// let m3 = production_model(ProductionModelId::M3);
+/// let sim = ScaleOutSim::new(&m3, 4, 800)?;
+/// let report = sim.run();
+/// assert!(report.throughput() > 0.0);
+/// # Ok::<(), recsim_sim::scaleout::ScaleOutError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScaleOutSim {
+    config: ModelConfig,
+    nodes: u32,
+    batch_per_node: u64,
+    knobs: CostKnobs,
+}
+
+/// Minimum Big Basin (32 GiB SKU) node count whose pooled HBM holds the
+/// model's tables with Adagrad state.
+pub fn min_nodes(config: &ModelConfig) -> u32 {
+    let bb = Platform::big_basin(Bytes::from_gib(32));
+    let per_node = gpu_table_capacity(&bb) * bb.gpus().len() as u64;
+    let total = (config.total_embedding_bytes() as f64 * ADAGRAD_STATE_MULTIPLIER) as u64;
+    total.div_ceil(per_node).max(1) as u32
+}
+
+impl ScaleOutSim {
+    /// Builds the simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScaleOutError::Capacity`] when `nodes` of pooled HBM cannot
+    /// hold the tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0` or `batch_per_node == 0`.
+    pub fn new(
+        config: &ModelConfig,
+        nodes: u32,
+        batch_per_node: u64,
+    ) -> Result<Self, ScaleOutError> {
+        assert!(nodes > 0, "need at least one node");
+        assert!(batch_per_node > 0, "batch must be positive");
+        let needed = min_nodes(config);
+        if nodes < needed {
+            return Err(ScaleOutError::Capacity { nodes, needed });
+        }
+        Ok(Self {
+            config: config.clone(),
+            nodes,
+            batch_per_node,
+            knobs: CostKnobs::default(),
+        })
+    }
+
+    /// Overrides the cost-model knobs.
+    pub fn with_knobs(mut self, knobs: CostKnobs) -> Self {
+        self.knobs = knobs;
+        self
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> u32 {
+        self.nodes
+    }
+
+    /// Simulates steady-state pipelined training across the nodes.
+    pub fn run(&self) -> SimReport {
+        let single = self.build_graph(1).simulate();
+        let depth = crate::gpu::GpuTrainingSim::PIPELINE_DEPTH;
+        let pipelined = self.build_graph(depth).simulate();
+        let steady = pipelined.makespan().saturating_sub(single.makespan()) / (depth - 1) as f64;
+        let steady = steady.max(single.makespan() / depth as f64);
+
+        let utilizations = pipelined.utilizations();
+        let avg_util = utilizations.iter().map(|(_, u)| *u).sum::<f64>()
+            / utilizations.len().max(1) as f64;
+        let power = PowerModel::big_basin().draw(avg_util) * self.nodes as f64;
+        SimReport::new(
+            format!(
+                "{} Big Basins / sharded GPU memory / batch {}/node",
+                self.nodes, self.batch_per_node
+            ),
+            steady,
+            (self.nodes as u64 * self.batch_per_node) as f64,
+            utilizations,
+            pipelined.bottleneck(),
+            power,
+        )
+    }
+
+    fn build_graph(&self, iterations: usize) -> TaskGraph {
+        let n = self.nodes as usize;
+        let b = self.batch_per_node;
+        let big_b = b * n as u64;
+        let costs = IterationCosts::new(&self.config, self.knobs);
+        let bb = Platform::big_basin(Bytes::from_gib(32));
+        let gpu_dev = bb.gpus()[0];
+        let host_dev = *bb.host();
+        let nic = *bb.network();
+
+        let mut graph = TaskGraph::new();
+        // Per node: the 8-GPU complex (capacity 8, per-GPU tasks), the
+        // host, and the NIC.
+        let gpus: Vec<_> = (0..n)
+            .map(|i| graph.add_resource(format!("node{i}_gpus"), 8))
+            .collect();
+        let hosts: Vec<_> = (0..n)
+            .map(|i| graph.add_resource(format!("node{i}_host"), 1))
+            .collect();
+        let nics: Vec<_> = (0..n)
+            .map(|i| graph.add_resource(format!("node{i}_nic"), 1))
+            .collect();
+
+        let gather_pe = self.config.embedding_read_bytes_per_example();
+        let tables = self.config.num_tables() as u64;
+        let avg_table = self.config.total_embedding_bytes() / tables.max(1);
+        let example_bytes = self.config.example_bytes();
+        let mlp_bytes = self.config.mlp_parameter_bytes();
+        let remote_frac = (n as u64 - 1) as f64 / n as f64;
+
+        for _iter in 0..iterations {
+            let mut tails: Vec<TaskId> = Vec::new();
+            for i in 0..n {
+                // Input pipeline.
+                let t_read = graph.add_task(
+                    format!("read{i}"),
+                    nic.transfer_time(Bytes::new(b * example_bytes), 1),
+                    Some(nics[i]),
+                    &[],
+                );
+                let t_stage = graph.add_task(
+                    format!("stage{i}"),
+                    costs.host_staging(b * example_bytes, &host_dev),
+                    Some(hosts[i]),
+                    &[t_read],
+                );
+
+                // Local gathers: this node owns 1/n of the tables and must
+                // gather raw rows for the FULL global batch.
+                let t_gather = graph.add_task(
+                    format!("gather{i}"),
+                    costs
+                        .embedding_gather(big_b * gather_pe / n as u64, avg_table, tables / n as u64)
+                        .time_on(&gpu_dev),
+                    Some(gpus[i]),
+                    &[t_stage],
+                );
+
+                // Export raw rows for other nodes' examples: D2H staging +
+                // NIC; import this node's remote rows symmetrically. No
+                // GPUDirect RDMA: everything passes host memory, and each
+                // table x peer pair is its own message exchange.
+                let wire_bytes = ((big_b - b) * gather_pe / n as u64) as f64;
+                let import_bytes = (b as f64 * gather_pe as f64 * remote_frac) as u64;
+                let messages = (tables * (n as u64 - 1)).max(1);
+                let t_import_stage = if n > 1 {
+                    let t_export_stage = graph.add_task(
+                        format!("export_stage{i}"),
+                        costs.host_staging(wire_bytes as u64, &host_dev)
+                            + self.knobs.rpc_overhead * messages as f64,
+                        Some(hosts[i]),
+                        &[t_gather],
+                    );
+                    let t_wire = graph.add_task(
+                        format!("wire_fwd{i}"),
+                        nic.transfer_time(
+                            Bytes::new(wire_bytes as u64 + import_bytes),
+                            messages,
+                        ),
+                        Some(nics[i]),
+                        &[t_export_stage],
+                    );
+                    graph.add_task(
+                        format!("import_stage{i}"),
+                        costs.host_staging(import_bytes, &host_dev),
+                        Some(hosts[i]),
+                        &[t_wire],
+                    )
+                } else {
+                    t_gather
+                };
+
+                // Consumer-side pooling + the dense stack for this node's
+                // shard (8 data-parallel GPU tasks).
+                let per_gpu = (b / 8).max(1);
+                let mut bwd = Vec::with_capacity(8);
+                for g in 0..8 {
+                    let fwd_work = costs
+                        .bottom_forward(per_gpu)
+                        .merge(&costs.interaction_forward(per_gpu))
+                        .merge(&costs.top_forward(per_gpu));
+                    let t_fwd = graph.add_task(
+                        format!("fwd{i}_{g}"),
+                        costs.dense_time_on(&fwd_work, &gpu_dev),
+                        Some(gpus[i]),
+                        &[t_import_stage],
+                    );
+                    bwd.push(graph.add_task(
+                        format!("bwd{i}_{g}"),
+                        costs.dense_time_on(&costs.dense_backward(per_gpu), &gpu_dev),
+                        Some(gpus[i]),
+                        &[t_fwd],
+                    ));
+                }
+
+                // Backward: raw row gradients return over the wire, then
+                // scatter/update at the owners.
+                let t_grad_ready = if n > 1 {
+                    let t_grad_stage = graph.add_task(
+                        format!("grad_stage{i}"),
+                        costs.host_staging(import_bytes, &host_dev)
+                            + self.knobs.rpc_overhead * messages as f64,
+                        Some(hosts[i]),
+                        &bwd,
+                    );
+                    vec![graph.add_task(
+                        format!("wire_bwd{i}"),
+                        nic.transfer_time(
+                            Bytes::new(wire_bytes as u64 + import_bytes),
+                            messages,
+                        ),
+                        Some(nics[i]),
+                        &[t_grad_stage],
+                    )]
+                } else {
+                    bwd.clone()
+                };
+                let t_scatter = graph.add_task(
+                    format!("scatter{i}"),
+                    costs
+                        .embedding_scatter(
+                            big_b * gather_pe / n as u64,
+                            avg_table,
+                            tables / n as u64,
+                            recsim_hw::DeviceKind::Gpu,
+                        )
+                        .time_on(&gpu_dev),
+                    Some(gpus[i]),
+                    &t_grad_ready,
+                );
+                tails.push(t_scatter);
+
+                // Dense all-reduce across nodes over the NICs.
+                if n > 1 {
+                    let ring = (2 * mlp_bytes) as f64 * remote_frac;
+                    let t_ar = graph.add_task(
+                        format!("allreduce{i}"),
+                        nic.transfer_time(
+                            Bytes::new((ring as u64).max(1)),
+                            (self.config.bottom_mlp().len() + self.config.top_mlp().len()
+                                + 1) as u64,
+                        ),
+                        Some(nics[i]),
+                        &bwd,
+                    );
+                    tails.push(t_ar);
+                }
+            }
+            graph.add_barrier("scaleout_iteration_done", &tails);
+        }
+        graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recsim_data::production::{production_model, ProductionModelId};
+    use recsim_placement::PlacementStrategy;
+
+    #[test]
+    fn m3_needs_multiple_nodes() {
+        let m3 = production_model(ProductionModelId::M3);
+        let needed = min_nodes(&m3);
+        assert!(needed >= 2, "M3 + state exceeds one node's HBM: {needed}");
+        assert!(matches!(
+            ScaleOutSim::new(&m3, 1, 800),
+            Err(ScaleOutError::Capacity { .. })
+        ));
+        assert!(ScaleOutSim::new(&m3, needed, 800).is_ok());
+    }
+
+    #[test]
+    fn zion_is_far_more_efficient_than_multi_big_basin() {
+        // Section VI.B's analytical-model claim, regenerated: for M3,
+        // training on Zion beats sharded-GPU-memory multi-Big-Basin by a
+        // large factor in perf-per-watt.
+        let m3 = production_model(ProductionModelId::M3);
+        let nodes = min_nodes(&m3).max(2);
+        let multi = ScaleOutSim::new(&m3, nodes, 800).expect("fits").run();
+        let zion = crate::gpu::GpuTrainingSim::new(
+            &m3,
+            &Platform::zion_prototype(),
+            PlacementStrategy::SystemMemory,
+            1600,
+        )
+        .expect("fits")
+        .run();
+        let eff_ratio = zion.perf_per_watt() / multi.perf_per_watt();
+        assert!(
+            eff_ratio > 10.0,
+            "Zion should be >10x more efficient, got {eff_ratio:.1}x \
+             (zion {:.0} ex/s @ {:.0} W vs multi {:.0} ex/s @ {:.0} W)",
+            zion.throughput(),
+            zion.power().as_watts(),
+            multi.throughput(),
+            multi.power().as_watts()
+        );
+    }
+
+    #[test]
+    fn more_nodes_do_not_fix_the_wire_bottleneck() {
+        // Adding nodes grows the raw-row exchange, so per-node throughput
+        // collapses rather than scales.
+        let m3 = production_model(ProductionModelId::M3);
+        let base = min_nodes(&m3).max(2);
+        let small = ScaleOutSim::new(&m3, base, 800).expect("fits").run();
+        let big = ScaleOutSim::new(&m3, base * 2, 800).expect("fits").run();
+        let per_node_small = small.throughput() / base as f64;
+        let per_node_big = big.throughput() / (base * 2) as f64;
+        assert!(
+            per_node_big < per_node_small,
+            "per-node throughput must fall: {per_node_small:.0} -> {per_node_big:.0}"
+        );
+    }
+
+    #[test]
+    fn small_models_scale_out_fine() {
+        // A compute-bound model without heavy embeddings scales acceptably
+        // (the pathology is M3-specific).
+        let cfg = ModelConfig::test_suite(256, 4, 100_000, &[1024, 1024, 1024]);
+        let one = ScaleOutSim::new(&cfg, 1, 800).expect("fits").run();
+        let four = ScaleOutSim::new(&cfg, 4, 800).expect("fits").run();
+        assert!(
+            four.throughput() > one.throughput() * 1.5,
+            "compute-bound models gain from nodes: {:.0} -> {:.0}",
+            one.throughput(),
+            four.throughput()
+        );
+    }
+}

@@ -1,0 +1,229 @@
+//! Property-based tests for the simulator: schedule invariants and
+//! monotonicity of the cost model.
+
+use proptest::prelude::*;
+use recsim_data::schema::ModelConfig;
+use recsim_hw::units::{Bytes, Duration};
+use recsim_hw::Platform;
+use recsim_placement::{PartitionScheme, PlacementStrategy};
+use recsim_sim::des::TaskGraph;
+use recsim_sim::{CostKnobs, CpuClusterSetup, CpuTrainingSim, GpuTrainingSim};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn des_makespan_bounds(
+        durations in prop::collection::vec(0.0f64..10.0, 1..30),
+        chain in prop::bool::ANY,
+    ) {
+        // Makespan is at least the longest task and at most the sum.
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("r", 1);
+        let mut prev = None;
+        for (i, &d) in durations.iter().enumerate() {
+            let deps: Vec<_> = match (chain, prev) {
+                (true, Some(p)) => vec![p],
+                _ => vec![],
+            };
+            prev = Some(g.add_task(format!("t{i}"), Duration::from_secs(d), Some(r), &deps));
+        }
+        let s = g.simulate();
+        let max = durations.iter().copied().fold(0.0, f64::max);
+        let sum: f64 = durations.iter().sum();
+        prop_assert!(s.makespan().as_secs() >= max - 1e-9);
+        prop_assert!(s.makespan().as_secs() <= sum + 1e-9);
+        // Single capacity-1 resource: makespan equals the sum exactly.
+        prop_assert!((s.makespan().as_secs() - sum).abs() < 1e-6);
+    }
+
+    #[test]
+    fn des_capacity_never_hurts(
+        durations in prop::collection::vec(0.01f64..5.0, 2..20),
+        cap in 1usize..4,
+    ) {
+        let build = |capacity: usize| {
+            let mut g = TaskGraph::new();
+            let r = g.add_resource("r", capacity);
+            for (i, &d) in durations.iter().enumerate() {
+                g.add_task(format!("t{i}"), Duration::from_secs(d), Some(r), &[]);
+            }
+            g.simulate().makespan().as_secs()
+        };
+        prop_assert!(build(cap + 1) <= build(cap) + 1e-9);
+    }
+
+    #[test]
+    fn des_utilization_in_unit_interval(
+        durations in prop::collection::vec(0.0f64..3.0, 1..20),
+    ) {
+        let mut g = TaskGraph::new();
+        let r1 = g.add_resource("a", 1);
+        let r2 = g.add_resource("b", 2);
+        for (i, &d) in durations.iter().enumerate() {
+            let r = if i % 2 == 0 { r1 } else { r2 };
+            g.add_task(format!("t{i}"), Duration::from_secs(d), Some(r), &[]);
+        }
+        let s = g.simulate();
+        for (_, u) in s.utilizations() {
+            prop_assert!((0.0..=1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gpu_iteration_time_monotone_in_batch(
+        b1 in 64u64..4096,
+        extra in 64u64..4096,
+    ) {
+        let cfg = ModelConfig::test_suite(64, 8, 100_000, &[256, 256]);
+        let bb = Platform::big_basin(Bytes::from_gib(32));
+        let strat = PlacementStrategy::GpuMemory(PartitionScheme::TableWise);
+        let small = GpuTrainingSim::new(&cfg, &bb, strat, b1).unwrap().run();
+        let large = GpuTrainingSim::new(&cfg, &bb, strat, b1 + extra).unwrap().run();
+        prop_assert!(
+            large.iteration_time().as_secs() >= small.iteration_time().as_secs() - 1e-9,
+            "iteration time must grow with batch"
+        );
+    }
+
+    #[test]
+    fn cpu_throughput_positive_for_any_setup(
+        trainers in 1u32..8,
+        dense_ps in 1u32..4,
+        sparse_ps in 1u32..4,
+        hogwild in 1u32..6,
+        batch in 16u64..1024,
+    ) {
+        let cfg = ModelConfig::test_suite(32, 4, 10_000, &[64, 64]);
+        let r = CpuTrainingSim::new(
+            &cfg,
+            CpuClusterSetup {
+                trainers,
+                dense_ps,
+                sparse_ps,
+                hogwild_threads: hogwild,
+                batch_per_thread: batch,
+                sync_period: 16,
+            },
+        )
+        .run();
+        prop_assert!(r.throughput() > 0.0);
+        prop_assert!(r.power().as_watts() > 0.0);
+        for (_, u) in r.utilizations() {
+            prop_assert!((0.0..=1.0).contains(u));
+        }
+    }
+
+    #[test]
+    fn removing_random_penalty_never_slows_gpu(b in 128u64..4096) {
+        let cfg = ModelConfig::test_suite(64, 16, 5_000_000, &[256, 256]);
+        let bb = Platform::big_basin(Bytes::from_gib(32));
+        let strat = PlacementStrategy::GpuMemory(PartitionScheme::TableWise);
+        let base = GpuTrainingSim::new(&cfg, &bb, strat, b).unwrap().run();
+        let ablated = GpuTrainingSim::new(
+            &cfg,
+            &bb.without_random_access_penalty(),
+            strat,
+            b,
+        )
+        .unwrap()
+        .run();
+        prop_assert!(ablated.throughput() >= base.throughput() - 1e-6);
+    }
+
+    #[test]
+    fn zero_kernel_overhead_never_slows_gpu(b in 64u64..2048) {
+        let cfg = ModelConfig::test_suite(64, 16, 100_000, &[256, 256]);
+        let bb = Platform::big_basin(Bytes::from_gib(32));
+        let strat = PlacementStrategy::GpuMemory(PartitionScheme::TableWise);
+        let base = GpuTrainingSim::new(&cfg, &bb, strat, b).unwrap().run();
+        let ablated = GpuTrainingSim::new(&cfg, &bb.without_kernel_overhead(), strat, b)
+            .unwrap()
+            .run();
+        prop_assert!(ablated.throughput() >= base.throughput() - 1e-6);
+    }
+
+    #[test]
+    fn des_schedules_are_valid(
+        specs in prop::collection::vec(
+            (0.0f64..5.0, 0usize..3, prop::collection::vec(prop::num::usize::ANY, 0..3)),
+            1..40,
+        ),
+    ) {
+        // Build a random DAG: task i may depend on earlier tasks only.
+        let mut g = TaskGraph::new();
+        let resources = [
+            g.add_resource("r0", 1),
+            g.add_resource("r1", 2),
+            g.add_resource("r2", 3),
+        ];
+        let mut ids = Vec::new();
+        let mut meta = Vec::new(); // (duration, resource_idx, deps)
+        for (i, (dur, res_idx, raw_deps)) in specs.iter().enumerate() {
+            let deps: Vec<_> = raw_deps
+                .iter()
+                .filter(|_| i > 0)
+                .map(|&d| ids[d % i])
+                .collect();
+            let id = g.add_task(
+                format!("t{i}"),
+                Duration::from_secs(*dur),
+                Some(resources[*res_idx]),
+                &deps,
+            );
+            meta.push((*dur, *res_idx, deps.clone()));
+            ids.push(id);
+        }
+        let s = g.simulate();
+        // 1. Durations respected.
+        for (i, id) in ids.iter().enumerate() {
+            let span = s.finish_of(*id).as_secs() - s.start_of(*id).as_secs();
+            prop_assert!((span - meta[i].0).abs() < 1e-9);
+        }
+        // 2. Dependencies respected: a task starts no earlier than every
+        //    dependency's finish.
+        for (i, id) in ids.iter().enumerate() {
+            for dep in &meta[i].2 {
+                prop_assert!(
+                    s.start_of(*id).as_secs() >= s.finish_of(*dep).as_secs() - 1e-9
+                );
+            }
+        }
+        // 3. Resource capacity respected: at any task start, the number of
+        //    overlapping tasks on the same resource stays within capacity.
+        let caps = [1usize, 2, 3];
+        for (i, id) in ids.iter().enumerate() {
+            if meta[i].0 == 0.0 {
+                continue;
+            }
+            let t = s.start_of(*id).as_secs() + 1e-12;
+            let overlapping = ids
+                .iter()
+                .enumerate()
+                .filter(|(j, other)| {
+                    meta[*j].1 == meta[i].1
+                        && s.start_of(**other).as_secs() <= t
+                        && s.finish_of(**other).as_secs() > t
+                })
+                .count();
+            prop_assert!(
+                overlapping <= caps[meta[i].1],
+                "resource r{} over capacity at t={t}: {overlapping}",
+                meta[i].1
+            );
+        }
+        // 4. Makespan equals the max finish.
+        let max_finish = ids
+            .iter()
+            .map(|id| s.finish_of(*id).as_secs())
+            .fold(0.0, f64::max);
+        prop_assert!((s.makespan().as_secs() - max_finish).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gather_boost_monotone(a in 1u64..1u64 << 36, b in 1u64..1u64 << 36) {
+        let k = CostKnobs::default();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(k.gather_boost(lo) >= k.gather_boost(hi) - 1e-12);
+    }
+}

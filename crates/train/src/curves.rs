@@ -1,0 +1,220 @@
+//! Learning curves and early stopping.
+//!
+//! The paper's quality experiments ran "high volumes of data … to ensure
+//! the quality of the new model setup", taking about a week per sweep.
+//! Learning curves make the budget/quality trade visible (how much of the
+//! final NE a fraction of the data already buys), and early stopping caps
+//! wasted epochs once the held-out metric plateaus.
+
+use crate::trainer::TrainerConfig;
+use recsim_data::schema::ModelConfig;
+use recsim_data::CtrGenerator;
+use recsim_model::optim::Optimizer;
+use recsim_model::{bce_with_logits, normalized_entropy, DlrmModel};
+use serde::{Deserialize, Serialize};
+
+/// A held-out NE trajectory over training.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LearningCurve {
+    points: Vec<(usize, f64)>,
+}
+
+impl LearningCurve {
+    /// `(examples_consumed, held_out_ne)` points in training order.
+    pub fn points(&self) -> &[(usize, f64)] {
+        &self.points
+    }
+
+    /// The best (lowest) NE observed and the example count it occurred at.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the curve is empty.
+    pub fn best(&self) -> (usize, f64) {
+        self.points
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite NE"))
+            .expect("non-empty curve")
+    }
+
+    /// The final NE.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the curve is empty.
+    pub fn final_ne(&self) -> f64 {
+        self.points.last().expect("non-empty curve").1
+    }
+
+    /// Examples needed to get within `fraction` of the way from the first
+    /// NE down to the best NE (e.g. `0.9` = 90% of the total improvement);
+    /// `None` when never reached.
+    pub fn examples_to_reach(&self, fraction: f64) -> Option<usize> {
+        let first = self.points.first()?.1;
+        let best = self.best().1;
+        let target = first - (first - best) * fraction;
+        self.points
+            .iter()
+            .find(|(_, ne)| *ne <= target)
+            .map(|(ex, _)| *ex)
+    }
+}
+
+/// Early-stopping policy: stop when the held-out NE has not improved by at
+/// least `min_delta` for `patience` consecutive evaluations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EarlyStopping {
+    /// Evaluations without improvement tolerated before stopping.
+    pub patience: usize,
+    /// Minimum NE improvement that counts.
+    pub min_delta: f64,
+}
+
+impl Default for EarlyStopping {
+    fn default() -> Self {
+        Self {
+            patience: 3,
+            min_delta: 1e-4,
+        }
+    }
+}
+
+/// Trains with periodic held-out evaluation, returning the curve and the
+/// examples actually consumed (less than the budget when early stopping
+/// triggers).
+///
+/// # Panics
+///
+/// Panics if `eval_every_steps == 0` or the configuration is degenerate.
+pub fn learning_curve(
+    model_config: &ModelConfig,
+    config: TrainerConfig,
+    eval_every_steps: usize,
+    early_stopping: Option<EarlyStopping>,
+) -> (LearningCurve, usize) {
+    assert!(eval_every_steps > 0, "evaluation period must be positive");
+    assert!(config.batch_size > 0 && config.train_examples > 0, "degenerate config");
+    let mut model = DlrmModel::new(model_config, config.seed);
+    let mut gen = CtrGenerator::with_seeds(
+        model_config,
+        config.seed.wrapping_add(1),
+        config.seed.wrapping_add(2),
+    );
+    let mut eval_gen = CtrGenerator::with_seeds(
+        model_config,
+        config.seed.wrapping_add(1),
+        config.seed.wrapping_add(3),
+    );
+    let eval_batch = eval_gen.next_batch(config.eval_examples);
+    let base_ctr = eval_batch.ctr().clamp(0.01, 0.99);
+    let evaluate = |m: &DlrmModel| -> f64 {
+        let (logits, _) = m.forward(&eval_batch);
+        normalized_entropy(bce_with_logits(&logits, eval_batch.labels()).0, base_ctr)
+    };
+
+    let mut opt = if config.adagrad {
+        Optimizer::adagrad(config.learning_rate)
+    } else {
+        Optimizer::sgd(config.learning_rate)
+    };
+    let steps = config.steps();
+    let mut points = Vec::new();
+    let mut best = f64::INFINITY;
+    let mut stale = 0usize;
+    let mut consumed = 0usize;
+    points.push((0, evaluate(&model)));
+    for step in 0..steps {
+        let batch = gen.next_batch(config.batch_size);
+        model.train_step(&batch, &mut opt);
+        consumed += config.batch_size;
+        if (step + 1) % eval_every_steps == 0 || step + 1 == steps {
+            let ne = evaluate(&model);
+            points.push((consumed, ne));
+            if let Some(policy) = early_stopping {
+                if ne < best - policy.min_delta {
+                    best = ne;
+                    stale = 0;
+                } else {
+                    stale += 1;
+                    if stale >= policy.patience {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    (LearningCurve { points }, consumed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (ModelConfig, TrainerConfig) {
+        let model = ModelConfig::test_suite(8, 2, 200, &[16, 8]);
+        let config = TrainerConfig {
+            batch_size: 64,
+            train_examples: 12_800,
+            eval_examples: 2_000,
+            learning_rate: 0.05,
+            warmup_steps: 0,
+            adagrad: true,
+            seed: 13,
+        };
+        (model, config)
+    }
+
+    #[test]
+    fn curve_trends_downward() {
+        let (model, config) = setup();
+        let (curve, consumed) = learning_curve(&model, config, 20, None);
+        assert_eq!(consumed, config.train_examples);
+        let first = curve.points().first().unwrap().1;
+        assert!(curve.final_ne() < first, "NE falls over training");
+        assert!(curve.best().1 <= curve.final_ne());
+    }
+
+    #[test]
+    fn most_improvement_comes_early() {
+        // The week-long-sweep motivation: a fraction of the data buys most
+        // of the quality.
+        let (model, config) = setup();
+        let (curve, _) = learning_curve(&model, config, 10, None);
+        let to_90 = curve.examples_to_reach(0.9).expect("reached");
+        assert!(
+            to_90 < config.train_examples,
+            "90% of improvement before the full budget ({to_90})"
+        );
+    }
+
+    #[test]
+    fn early_stopping_saves_examples() {
+        let (model, mut config) = setup();
+        config.train_examples = 64_000; // generous budget
+        let policy = EarlyStopping {
+            patience: 2,
+            min_delta: 5e-4,
+        };
+        let (_, consumed) = learning_curve(&model, config, 10, Some(policy));
+        assert!(
+            consumed < config.train_examples,
+            "early stopping should fire before {consumed}"
+        );
+    }
+
+    #[test]
+    fn curves_are_reproducible() {
+        let (model, config) = setup();
+        let (a, _) = learning_curve(&model, config, 25, None);
+        let (b, _) = learning_curve(&model, config, 25, None);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_eval_period_rejected() {
+        let (model, config) = setup();
+        learning_curve(&model, config, 0, None);
+    }
+}

@@ -1,0 +1,44 @@
+//! Real training loops and model-quality experiments for `recsim`.
+//!
+//! Most of the paper is throughput characterization, but its Section VI.C is
+//! about *quality*: scaling the batch size degrades normalized entropy (NE)
+//! even after manual learning-rate tuning (Figure 15), and a full AutoML
+//! re-tune recovers — or beats — the CPU baseline. Those experiments need
+//! actual numerics, which this crate provides on top of `recsim-model`:
+//!
+//! * [`trainer`] — a seeded training harness with held-out NE evaluation,
+//! * [`scaling`] — the batch-size scaling study (linear-scaling LR rule vs a
+//!   tuned baseline),
+//! * [`autotune`] — random-search hyper-parameter tuning (the stand-in for
+//!   FBLearner's Bayesian sweeps),
+//! * [`parallel`] — EASGD workers with Hogwild-style threads on real cores,
+//! * [`checkpoint`] — integrity-checked model snapshots with exact resume
+//!   (the reliability concern the paper's related work highlights),
+//! * [`curves`] — held-out learning curves and early stopping.
+//!
+//! # Example
+//!
+//! ```
+//! use recsim_data::schema::ModelConfig;
+//! use recsim_train::trainer::{TrainRun, TrainerConfig};
+//!
+//! let config = ModelConfig::test_suite(8, 2, 100, &[16]);
+//! let run = TrainRun::new(&config, TrainerConfig::quick_test()).execute();
+//! assert!(run.final_ne() < 1.05, "learns at least the base rate");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod autotune;
+pub mod checkpoint;
+pub mod curves;
+pub mod parallel;
+pub mod scaling;
+pub mod trainer;
+
+pub use autotune::{AutoTuner, TuneResult};
+pub use checkpoint::Checkpoint;
+pub use curves::{learning_curve, EarlyStopping, LearningCurve};
+pub use scaling::{BatchScalingStudy, ScalingPoint};
+pub use trainer::{TrainRun, TrainerConfig};

@@ -1,0 +1,223 @@
+//! Elastic-averaging SGD with asynchronous worker threads.
+//!
+//! The paper's CPU trainers run EASGD against a center parameter store with
+//! Hogwild threads inside each trainer. This module reproduces that
+//! topology on real OS threads: each worker owns a model replica, trains on
+//! its own data shard, and periodically performs the symmetric elastic
+//! update with the shared center — asynchronously, with no barrier between
+//! workers. Embedding tables sync only the rows a worker actually touched,
+//! as production sparse EASGD does.
+
+use crate::trainer::TrainerConfig;
+use parking_lot::Mutex;
+use recsim_data::schema::ModelConfig;
+use recsim_data::CtrGenerator;
+use recsim_model::optim::Optimizer;
+use recsim_model::{bce_with_logits, normalized_entropy, DlrmModel};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Configuration of an EASGD run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EasgdConfig {
+    /// Number of asynchronous worker threads.
+    pub workers: usize,
+    /// Optimizer steps between elastic syncs (the communication period τ).
+    pub sync_period: usize,
+    /// Elastic coefficient α in `w += α (center − w)`.
+    pub elasticity: f32,
+    /// Per-worker training configuration (budget is per worker).
+    pub worker: TrainerConfig,
+}
+
+impl EasgdConfig {
+    /// A quick configuration for tests.
+    pub fn quick_test(workers: usize) -> Self {
+        Self {
+            workers,
+            sync_period: 8,
+            elasticity: 0.5,
+            worker: TrainerConfig::quick_test(),
+        }
+    }
+}
+
+/// The outcome of an EASGD run.
+#[derive(Debug)]
+pub struct EasgdOutcome {
+    center: DlrmModel,
+    teacher_seed: u64,
+    total_examples: usize,
+    syncs: usize,
+}
+
+impl EasgdOutcome {
+    /// The center model after training.
+    pub fn center(&self) -> &DlrmModel {
+        &self.center
+    }
+
+    /// Total examples consumed across workers.
+    pub fn total_examples(&self) -> usize {
+        self.total_examples
+    }
+
+    /// Total elastic syncs performed.
+    pub fn syncs(&self) -> usize {
+        self.syncs
+    }
+
+    /// Held-out NE of the center model on a fresh evaluation stream drawn
+    /// from the *training* teacher (`seed` only varies the stream).
+    pub fn evaluate_ne(&self, model_config: &ModelConfig, seed: u64, examples: usize) -> f64 {
+        let mut gen = CtrGenerator::with_seeds(model_config, self.teacher_seed, seed);
+        let batch = gen.next_batch(examples);
+        let (logits, _) = self.center.forward(&batch);
+        let loss = bce_with_logits(&logits, batch.labels()).0;
+        normalized_entropy(loss, batch.ctr().clamp(0.01, 0.99))
+    }
+}
+
+/// Runs EASGD training with real threads.
+///
+/// # Panics
+///
+/// Panics if `config.workers == 0` or `config.sync_period == 0`.
+///
+/// # Example
+///
+/// ```no_run
+/// use recsim_data::schema::ModelConfig;
+/// use recsim_train::parallel::{easgd_train, EasgdConfig};
+///
+/// let config = ModelConfig::test_suite(8, 2, 100, &[16]);
+/// let outcome = easgd_train(&config, EasgdConfig::quick_test(4));
+/// assert!(outcome.evaluate_ne(&config, 999, 2000) < 1.0);
+/// ```
+pub fn easgd_train(model_config: &ModelConfig, config: EasgdConfig) -> EasgdOutcome {
+    assert!(config.workers > 0, "need at least one worker");
+    assert!(config.sync_period > 0, "sync period must be positive");
+    let center = Arc::new(Mutex::new(DlrmModel::new(model_config, config.worker.seed)));
+    let sync_count = Arc::new(Mutex::new(0usize));
+    let steps = config.worker.steps();
+
+    crossbeam::thread::scope(|scope| {
+        for w in 0..config.workers {
+            let center = Arc::clone(&center);
+            let sync_count = Arc::clone(&sync_count);
+            let model_config = model_config.clone();
+            scope.spawn(move |_| {
+                let mut local = center.lock().clone();
+                // All workers share the teacher; each draws its own stream.
+                let mut gen = CtrGenerator::with_seeds(
+                    &model_config,
+                    config.worker.seed,
+                    config.worker.seed.wrapping_add(100 + w as u64),
+                );
+                let mut opt = if config.worker.adagrad {
+                    Optimizer::adagrad(config.worker.learning_rate)
+                } else {
+                    Optimizer::sgd(config.worker.learning_rate)
+                };
+                // Track touched rows per *distinct* table (features sharing
+                // a table pool their row sets).
+                let mut touched: Vec<BTreeSet<u32>> =
+                    vec![BTreeSet::new(); model_config.num_tables()];
+                for step in 0..steps {
+                    let batch = gen.next_batch(config.worker.batch_size);
+                    for (f, sb) in batch.sparse().iter().enumerate() {
+                        touched[model_config.table_of(f)]
+                            .extend(sb.indices().iter().copied());
+                    }
+                    local.train_step(&batch, &mut opt);
+                    if (step + 1) % config.sync_period == 0 || step + 1 == steps {
+                        let rows: Vec<Vec<u32>> = touched
+                            .iter_mut()
+                            .map(|set| {
+                                let v: Vec<u32> = set.iter().copied().collect();
+                                set.clear();
+                                v
+                            })
+                            .collect();
+                        let mut c = center.lock();
+                        // Symmetric elastic update: the center and the
+                        // worker move toward each other.
+                        c.pull_toward(&local, config.elasticity, &rows);
+                        let snapshot = c.clone();
+                        drop(c);
+                        local.pull_toward(&snapshot, config.elasticity, &rows);
+                        *sync_count.lock() += 1;
+                    }
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    let center = Arc::try_unwrap(center)
+        .expect("all workers joined")
+        .into_inner();
+    let syncs = *sync_count.lock();
+    EasgdOutcome {
+        center,
+        teacher_seed: config.worker.seed,
+        total_examples: config.workers * steps * config.worker.batch_size,
+        syncs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model_config() -> ModelConfig {
+        ModelConfig::test_suite(8, 2, 200, &[16, 8])
+    }
+
+    #[test]
+    fn single_worker_learns() {
+        let cfg = model_config();
+        let outcome = easgd_train(&cfg, EasgdConfig::quick_test(1));
+        let ne = outcome.evaluate_ne(&cfg, 12345, 4000);
+        assert!(ne < 1.0, "NE {ne} should beat base rate");
+    }
+
+    #[test]
+    fn four_workers_learn_and_sync() {
+        let cfg = model_config();
+        let config = EasgdConfig::quick_test(4);
+        let outcome = easgd_train(&cfg, config);
+        assert_eq!(
+            outcome.total_examples(),
+            4 * config.worker.steps() * config.worker.batch_size
+        );
+        assert!(outcome.syncs() >= 4, "every worker syncs at least once");
+        let ne = outcome.evaluate_ne(&cfg, 54321, 4000);
+        assert!(ne < 1.0, "NE {ne} should beat base rate");
+    }
+
+    #[test]
+    fn center_beats_untrained_model() {
+        let cfg = model_config();
+        let outcome = easgd_train(&cfg, EasgdConfig::quick_test(2));
+        let trained = outcome.evaluate_ne(&cfg, 777, 4000);
+        let fresh = EasgdOutcome {
+            center: DlrmModel::new(&cfg, EasgdConfig::quick_test(2).worker.seed),
+            teacher_seed: EasgdConfig::quick_test(2).worker.seed,
+            total_examples: 0,
+            syncs: 0,
+        };
+        let untrained = fresh.evaluate_ne(&cfg, 777, 4000);
+        assert!(
+            trained < untrained,
+            "trained {trained} vs untrained {untrained}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        easgd_train(&model_config(), EasgdConfig::quick_test(0));
+    }
+}

@@ -1,0 +1,153 @@
+//! The batch-size scaling accuracy study (paper Figure 15).
+//!
+//! The paper scales the GPU batch size, re-tunes the learning rate
+//! *manually* (the standard linear-scaling rule with warm-up of Goyal et
+//! al., which it cites), and observes that the NE gap versus the
+//! small-batch CPU baseline still grows with batch size. This module
+//! reproduces that protocol: a fixed example budget, a baseline batch, and
+//! a sweep of larger batches whose learning rate follows the linear rule.
+
+use crate::trainer::{TrainRun, TrainerConfig};
+use recsim_data::schema::ModelConfig;
+use serde::{Deserialize, Serialize};
+
+/// One point of the batch-scaling sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalingPoint {
+    /// Batch size trained at.
+    pub batch_size: usize,
+    /// Learning rate used (after the linear-scaling rule).
+    pub learning_rate: f32,
+    /// Final held-out normalized entropy.
+    pub ne: f64,
+    /// NE gap versus the baseline, in percent (positive = worse).
+    pub ne_gap_percent: f64,
+}
+
+/// The batch-size scaling study.
+///
+/// # Example
+///
+/// ```no_run
+/// use recsim_data::schema::ModelConfig;
+/// use recsim_train::{BatchScalingStudy, trainer::TrainerConfig};
+///
+/// let config = ModelConfig::test_suite(8, 2, 200, &[16]);
+/// let study = BatchScalingStudy::new(&config, TrainerConfig::accuracy_baseline());
+/// let points = study.sweep(&[200, 400, 800, 1600]);
+/// assert_eq!(points.len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchScalingStudy {
+    model_config: ModelConfig,
+    baseline: TrainerConfig,
+}
+
+impl BatchScalingStudy {
+    /// Creates a study around a baseline configuration (its `batch_size`
+    /// and `learning_rate` anchor the linear-scaling rule).
+    pub fn new(model_config: &ModelConfig, baseline: TrainerConfig) -> Self {
+        Self {
+            model_config: model_config.clone(),
+            baseline,
+        }
+    }
+
+    /// The linear-scaling learning rate for `batch_size`:
+    /// `base_lr × batch / base_batch`, with the Adagrad variant damped to a
+    /// square-root rule (adaptive methods need gentler scaling).
+    pub fn scaled_learning_rate(&self, batch_size: usize) -> f32 {
+        let ratio = batch_size as f32 / self.baseline.batch_size as f32;
+        if self.baseline.adagrad {
+            self.baseline.learning_rate * ratio.sqrt()
+        } else {
+            self.baseline.learning_rate * ratio
+        }
+    }
+
+    /// Trains the baseline and returns its NE.
+    pub fn baseline_ne(&self) -> f64 {
+        TrainRun::new(&self.model_config, self.baseline)
+            .execute()
+            .final_ne()
+    }
+
+    /// Runs the sweep: each batch size trains on the same example budget
+    /// with the manually scaled learning rate; the NE gap is measured
+    /// against the baseline batch.
+    pub fn sweep(&self, batch_sizes: &[usize]) -> Vec<ScalingPoint> {
+        let baseline_ne = self.baseline_ne();
+        batch_sizes
+            .iter()
+            .map(|&batch_size| {
+                let lr = self.scaled_learning_rate(batch_size);
+                let ne = TrainRun::new(
+                    &self.model_config,
+                    self.baseline.with_batch_size(batch_size).with_learning_rate(lr),
+                )
+                .execute()
+                .final_ne();
+                ScalingPoint {
+                    batch_size,
+                    learning_rate: lr,
+                    ne,
+                    ne_gap_percent: (ne - baseline_ne) / baseline_ne * 100.0,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn study() -> BatchScalingStudy {
+        let config = ModelConfig::test_suite(8, 2, 200, &[16, 8]);
+        let baseline = TrainerConfig {
+            batch_size: 50,
+            train_examples: 20_000,
+            eval_examples: 4_000,
+            learning_rate: 0.05,
+            warmup_steps: 10,
+            adagrad: true,
+            seed: 7,
+        };
+        BatchScalingStudy::new(&config, baseline)
+    }
+
+    #[test]
+    fn linear_rule_scales_lr() {
+        let s = study();
+        let lr_base = s.scaled_learning_rate(50);
+        let lr_4x = s.scaled_learning_rate(200);
+        assert!((lr_base - 0.05).abs() < 1e-6);
+        // Adagrad variant: sqrt rule.
+        assert!((lr_4x - 0.05 * 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sweep_produces_gap_per_batch() {
+        let s = study();
+        let points = s.sweep(&[50, 400]);
+        assert_eq!(points.len(), 2);
+        // The baseline batch re-run gives (near-)zero gap.
+        assert!(points[0].ne_gap_percent.abs() < 1e-9);
+        assert!(points[1].ne > 0.0 && points[1].ne.is_finite());
+    }
+
+    #[test]
+    fn large_batch_with_fixed_budget_loses_quality() {
+        // The Figure 15 effect: same example budget, 32x the batch (so 32x
+        // fewer optimizer steps) ends with worse held-out NE despite the
+        // scaled learning rate.
+        let s = study();
+        let points = s.sweep(&[50, 1600]);
+        assert!(
+            points[1].ne > points[0].ne,
+            "batch 1600 NE {} should exceed batch 50 NE {}",
+            points[1].ne,
+            points[0].ne
+        );
+    }
+}

@@ -1,0 +1,237 @@
+//! A seeded training harness with held-out normalized-entropy evaluation.
+
+use recsim_data::schema::ModelConfig;
+use recsim_data::{CtrGenerator, MiniBatch};
+use recsim_model::optim::Optimizer;
+use recsim_model::{bce_with_logits, normalized_entropy, DlrmModel};
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters and budget of one training run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainerConfig {
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Total number of training examples consumed (the *budget*; the step
+    /// count is `examples / batch_size`, so bigger batches take fewer
+    /// steps — exactly the trade the paper's Figure 15 explores).
+    pub train_examples: usize,
+    /// Held-out examples for NE evaluation.
+    pub eval_examples: usize,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Linear warm-up steps (0 disables warm-up).
+    pub warmup_steps: usize,
+    /// Use Adagrad (true) or plain SGD (false).
+    pub adagrad: bool,
+    /// Data / initialization seed.
+    pub seed: u64,
+}
+
+impl TrainerConfig {
+    /// A configuration small enough for unit tests (seconds, not minutes).
+    pub fn quick_test() -> Self {
+        Self {
+            batch_size: 64,
+            train_examples: 8_192,
+            eval_examples: 2_048,
+            learning_rate: 0.05,
+            warmup_steps: 10,
+            adagrad: true,
+            seed: 17,
+        }
+    }
+
+    /// The baseline configuration of the accuracy study: batch 200 (the
+    /// production CPU mini-batch size in the paper's test suite).
+    pub fn accuracy_baseline() -> Self {
+        Self {
+            batch_size: 200,
+            train_examples: 60_000,
+            eval_examples: 10_000,
+            learning_rate: 0.04,
+            warmup_steps: 20,
+            adagrad: true,
+            seed: 31,
+        }
+    }
+
+    /// Returns a copy with a different batch size.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Returns a copy with a different learning rate.
+    pub fn with_learning_rate(mut self, lr: f32) -> Self {
+        self.learning_rate = lr;
+        self
+    }
+
+    /// Number of optimizer steps the budget affords.
+    pub fn steps(&self) -> usize {
+        (self.train_examples / self.batch_size).max(1)
+    }
+}
+
+/// A prepared training run: model + data + hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct TrainRun {
+    model: DlrmModel,
+    config: TrainerConfig,
+    generator: CtrGenerator,
+    eval_batch: MiniBatch,
+    base_ctr: f64,
+    loss_history: Vec<f64>,
+}
+
+impl TrainRun {
+    /// Prepares a run: builds the model, the data stream and a held-out
+    /// evaluation batch (drawn from an independent seed so training never
+    /// sees it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has a zero batch size or example budget.
+    pub fn new(model_config: &ModelConfig, config: TrainerConfig) -> Self {
+        assert!(config.batch_size > 0, "batch size must be positive");
+        assert!(config.train_examples > 0, "training budget must be positive");
+        assert!(config.eval_examples > 0, "evaluation set must be non-empty");
+        let model = DlrmModel::new(model_config, config.seed);
+        let generator = CtrGenerator::new(model_config, config.seed.wrapping_add(1));
+        // The held-out set shares the generator's *teacher* (same seed
+        // wrapping) but a different sample stream.
+        let mut eval_gen = CtrGenerator::new(model_config, config.seed.wrapping_add(1));
+        let eval_batch = eval_gen.next_batch(config.eval_examples);
+        // Skip the evaluation prefix in the training stream so train and
+        // eval examples never overlap.
+        let mut generator = generator;
+        let _ = generator.next_batch(config.eval_examples);
+        let base_ctr = eval_batch.ctr().clamp(0.01, 0.99);
+        Self {
+            model,
+            config,
+            generator,
+            eval_batch,
+            base_ctr,
+            loss_history: Vec::new(),
+        }
+    }
+
+    /// The hyper-parameters of this run.
+    pub fn config(&self) -> &TrainerConfig {
+        &self.config
+    }
+
+    /// Trains for the configured budget, recording the loss after each
+    /// step, and returns `self` for inspection.
+    pub fn execute(mut self) -> TrainRun {
+        let steps = self.config.steps();
+        let base_opt = if self.config.adagrad {
+            Optimizer::adagrad(self.config.learning_rate)
+        } else {
+            Optimizer::sgd(self.config.learning_rate)
+        };
+        let mut opt = base_opt;
+        for step in 0..steps {
+            if self.config.warmup_steps > 0 && step < self.config.warmup_steps {
+                let scale = (step + 1) as f32 / self.config.warmup_steps as f32;
+                opt = base_opt.with_learning_rate(self.config.learning_rate * scale);
+            } else {
+                opt = opt.with_learning_rate(self.config.learning_rate);
+            }
+            let batch = self.generator.next_batch(self.config.batch_size);
+            let loss = self.model.train_step(&batch, &mut opt);
+            self.loss_history.push(loss);
+        }
+        self
+    }
+
+    /// Per-step training losses (empty before [`TrainRun::execute`]).
+    pub fn loss_history(&self) -> &[f64] {
+        &self.loss_history
+    }
+
+    /// Held-out log loss of the current model.
+    pub fn eval_log_loss(&self) -> f64 {
+        let (logits, _) = self.model.forward(&self.eval_batch);
+        bce_with_logits(&logits, self.eval_batch.labels()).0
+    }
+
+    /// Held-out normalized entropy: `< 1.0` beats base-rate prediction.
+    pub fn final_ne(&self) -> f64 {
+        normalized_entropy(self.eval_log_loss(), self.base_ctr)
+    }
+
+    /// The trained model.
+    pub fn model(&self) -> &DlrmModel {
+        &self.model
+    }
+
+    /// The empirical CTR of the held-out set.
+    pub fn base_ctr(&self) -> f64 {
+        self.base_ctr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> ModelConfig {
+        ModelConfig::test_suite(8, 2, 200, &[16, 8])
+    }
+
+    #[test]
+    fn training_beats_base_rate() {
+        let run = TrainRun::new(&config(), TrainerConfig::quick_test()).execute();
+        assert!(
+            run.final_ne() < 1.0,
+            "NE {} should beat base-rate prediction",
+            run.final_ne()
+        );
+    }
+
+    #[test]
+    fn loss_trends_down() {
+        let run = TrainRun::new(&config(), TrainerConfig::quick_test()).execute();
+        let hist = run.loss_history();
+        let early: f64 = hist[..10].iter().sum::<f64>() / 10.0;
+        let late: f64 = hist[hist.len() - 10..].iter().sum::<f64>() / 10.0;
+        assert!(late < early, "loss {early} -> {late}");
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let a = TrainRun::new(&config(), TrainerConfig::quick_test()).execute();
+        let b = TrainRun::new(&config(), TrainerConfig::quick_test()).execute();
+        assert_eq!(a.final_ne(), b.final_ne());
+        assert_eq!(a.loss_history(), b.loss_history());
+    }
+
+    #[test]
+    fn untrained_model_is_near_chance() {
+        let run = TrainRun::new(&config(), TrainerConfig::quick_test());
+        // Without training, NE should be around or above 1 (no better than
+        // base rate); allow generous slack for random initialization.
+        assert!(run.final_ne() > 0.9);
+    }
+
+    #[test]
+    fn steps_respects_budget() {
+        let c = TrainerConfig::quick_test().with_batch_size(1024);
+        assert_eq!(c.steps(), 8);
+        let run = TrainRun::new(&config(), c).execute();
+        assert_eq!(run.loss_history().len(), 8);
+    }
+
+    #[test]
+    fn larger_lr_changes_outcome() {
+        let base = TrainRun::new(&config(), TrainerConfig::quick_test()).execute();
+        let hot = TrainRun::new(
+            &config(),
+            TrainerConfig::quick_test().with_learning_rate(1.0),
+        )
+        .execute();
+        assert_ne!(base.final_ne(), hot.final_ne());
+    }
+}

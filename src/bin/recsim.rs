@@ -1,0 +1,282 @@
+//! The `recsim` command-line interface.
+//!
+//! ```text
+//! recsim experiments [--quick] [id ...]   regenerate paper artifacts
+//! recsim simulate [options]               price one training setup
+//! recsim train [options]                  really train a model, report NE
+//! recsim models                           describe the M1/M2/M3 stand-ins
+//! recsim help
+//! ```
+
+use recsim::prelude::*;
+use recsim::sim::scaleout::min_nodes;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("experiments") => cmd_experiments(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("train") => cmd_train(&args[1..]),
+        Some("models") => cmd_models(),
+        Some("help") | None => {
+            print_help();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`; try `recsim help`");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "recsim — training-efficiency laboratory for recommendation models\n\
+         \n\
+         USAGE:\n\
+         \x20 recsim experiments [--quick] [id ...]   run paper-artifact drivers\n\
+         \x20 recsim simulate [options]               simulate one training setup\n\
+         \x20 recsim train [options]                  train for real, report NE\n\
+         \x20 recsim models                           describe M1/M2/M3 stand-ins\n\
+         \n\
+         SIMULATE OPTIONS (defaults in brackets):\n\
+         \x20 --platform bb|bb16|zion|cpu [bb]   --placement gpu|rowwise|replicated|\n\
+         \x20                                      system|remote|hybrid [gpu]\n\
+         \x20 --dense N [256]   --sparse N [16]   --hash N [100000]\n\
+         \x20 --mlp WxL [512x3] --batch N [1600]  --nodes N (multi-node scale-out)\n\
+         \x20 --trace FILE (write a chrome://tracing timeline of one iteration)\n\
+         \x20 --describe (print the table-by-table placement map)\n\
+         \n\
+         TRAIN OPTIONS:\n\
+         \x20 --batch N [200]  --examples N [40000]  --lr F [0.04]  --seed N [31]\n\
+         \x20 --dense N [16]   --sparse N [4]        --hash N [2000]"
+    );
+}
+
+fn parse_flags(args: &[String]) -> (HashMap<String, String>, Vec<String>) {
+    let mut flags = HashMap::new();
+    let mut positional = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            if let Some(v) = it.peek() {
+                if !v.starts_with("--") {
+                    flags.insert(name.to_string(), it.next().expect("peeked").clone());
+                    continue;
+                }
+            }
+            flags.insert(name.to_string(), "true".to_string());
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    (flags, positional)
+}
+
+fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    flags
+        .get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn build_model(flags: &HashMap<String, String>) -> ModelConfig {
+    let dense = get(flags, "dense", 256usize);
+    let sparse = get(flags, "sparse", 16usize);
+    let hash = get(flags, "hash", 100_000u64);
+    let mlp_spec = flags
+        .get("mlp")
+        .cloned()
+        .unwrap_or_else(|| "512x3".to_string());
+    let (w, l) = mlp_spec
+        .split_once('x')
+        .and_then(|(w, l)| Some((w.parse().ok()?, l.parse().ok()?)))
+        .unwrap_or((512usize, 3usize));
+    ModelConfig::test_suite(dense, sparse, hash, &vec![w; l])
+}
+
+fn cmd_experiments(args: &[String]) -> ExitCode {
+    let (flags, ids) = parse_flags(args);
+    let effort = if flags.contains_key("quick") {
+        Effort::Quick
+    } else {
+        Effort::Full
+    };
+    let registry = experiments::registry();
+    let selected: Vec<_> = if ids.is_empty() {
+        registry
+    } else {
+        registry
+            .into_iter()
+            .filter(|(id, _)| ids.iter().any(|want| want == id))
+            .collect()
+    };
+    if selected.is_empty() {
+        eprintln!("no experiments matched; known ids:");
+        for (id, _) in experiments::registry() {
+            eprintln!("  {id}");
+        }
+        return ExitCode::FAILURE;
+    }
+    let mut failed = 0usize;
+    for (_, driver) in selected {
+        let out = driver(effort);
+        print!("{}", out.render());
+        println!();
+        failed += out.failed_claims().len();
+    }
+    if failed > 0 {
+        eprintln!("{failed} claim(s) failed");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_simulate(args: &[String]) -> ExitCode {
+    let (flags, _) = parse_flags(args);
+    let model = build_model(&flags);
+    let batch = get(&flags, "batch", 1600u64);
+
+    // Multi-node scale-out mode.
+    if let Some(nodes) = flags.get("nodes").and_then(|v| v.parse::<u32>().ok()) {
+        return match recsim::sim::scaleout::ScaleOutSim::new(&model, nodes, batch) {
+            Ok(sim) => {
+                print_report(&sim.run());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("scale-out error: {e} (min nodes = {})", min_nodes(&model));
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let platform_name = flags
+        .get("platform")
+        .cloned()
+        .unwrap_or_else(|| "bb".to_string());
+    if platform_name == "cpu" {
+        let report = CpuTrainingSim::new(&model, CpuClusterSetup::single_trainer(batch.min(800)))
+            .run();
+        print_report(&report);
+        return ExitCode::SUCCESS;
+    }
+    let platform = match platform_name.as_str() {
+        "bb" => Platform::big_basin(Bytes::from_gib(32)),
+        "bb16" => Platform::big_basin(Bytes::from_gib(16)),
+        "zion" => Platform::zion_prototype(),
+        other => {
+            eprintln!("unknown platform `{other}` (bb, bb16, zion, cpu)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let placement = match flags
+        .get("placement")
+        .map(String::as_str)
+        .unwrap_or("gpu")
+    {
+        "gpu" => PlacementStrategy::GpuMemory(PartitionScheme::TableWise),
+        "rowwise" => PlacementStrategy::GpuMemory(PartitionScheme::RowWise),
+        "replicated" => PlacementStrategy::GpuMemory(PartitionScheme::Replicated),
+        "system" => PlacementStrategy::SystemMemory,
+        "remote" => PlacementStrategy::RemoteCpu { servers: 8 },
+        "hybrid" => PlacementStrategy::Hybrid,
+        other => {
+            eprintln!("unknown placement `{other}`");
+            return ExitCode::FAILURE;
+        }
+    };
+    match GpuTrainingSim::new(&model, &platform, placement, batch) {
+        Ok(sim) => {
+            print_report(&sim.run());
+            if flags.contains_key("describe") {
+                print!("{}", sim.placement().describe());
+            }
+            if let Some(path) = flags.get("trace") {
+                match std::fs::write(path, sim.timeline()) {
+                    Ok(()) => println!(
+                        "timeline written to {path} (open in chrome://tracing or Perfetto)"
+                    ),
+                    Err(e) => eprintln!("could not write trace: {e}"),
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("placement error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_report(report: &SimReport) {
+    println!("setup:          {}", report.setup());
+    println!("iteration time: {}", report.iteration_time());
+    println!("throughput:     {:.0} examples/s", report.throughput());
+    println!("power:          {}", report.power());
+    println!("efficiency:     {:.1} examples/J", report.perf_per_watt());
+    if let Some((name, util)) = report.bottleneck() {
+        println!("bottleneck:     {name} at {:.0}% utilization", util * 100.0);
+    }
+    println!("utilization:");
+    let mut utils: Vec<_> = report.utilizations().to_vec();
+    utils.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    for (name, u) in utils.into_iter().take(12) {
+        if u > 0.005 {
+            println!("  {name:<18} {:>5.1}%", u * 100.0);
+        }
+    }
+}
+
+fn cmd_train(args: &[String]) -> ExitCode {
+    let (mut flags, _) = parse_flags(args);
+    flags.entry("dense".into()).or_insert_with(|| "16".into());
+    flags.entry("sparse".into()).or_insert_with(|| "4".into());
+    flags.entry("hash".into()).or_insert_with(|| "2000".into());
+    flags.entry("mlp".into()).or_insert_with(|| "32x2".into());
+    let model = build_model(&flags);
+    let config = TrainerConfig {
+        batch_size: get(&flags, "batch", 200usize),
+        train_examples: get(&flags, "examples", 40_000usize),
+        eval_examples: 8_000,
+        learning_rate: get(&flags, "lr", 0.04f32),
+        warmup_steps: 20,
+        adagrad: true,
+        seed: get(&flags, "seed", 31u64),
+    };
+    println!(
+        "training {} for {} examples at batch {} (lr {})...",
+        model.name(),
+        config.train_examples,
+        config.batch_size,
+        config.learning_rate
+    );
+    let run = TrainRun::new(&model, config).execute();
+    let hist = run.loss_history();
+    println!("steps:           {}", hist.len());
+    println!("first-step loss: {:.4}", hist.first().copied().unwrap_or(0.0));
+    println!("last-step loss:  {:.4}", hist.last().copied().unwrap_or(0.0));
+    println!("held-out NE:     {:.4}  (1.0 = base-rate prediction)", run.final_ne());
+    ExitCode::SUCCESS
+}
+
+fn cmd_models() -> ExitCode {
+    for id in ProductionModelId::ALL {
+        let m = production_model(id);
+        println!(
+            "{:<8} {:>4} sparse x {:>4} dense, {:>7.1} GiB embeddings, {:>5.1} lookups/feature, \
+             bottom {:?}, top {:?}",
+            id.name(),
+            m.num_sparse(),
+            m.num_dense(),
+            m.total_embedding_bytes() as f64 / (1u64 << 30) as f64,
+            m.mean_lookups_per_feature(),
+            m.bottom_mlp(),
+            m.top_mlp(),
+        );
+    }
+    ExitCode::SUCCESS
+}

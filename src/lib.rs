@@ -1,0 +1,71 @@
+//! `recsim` — a training-efficiency laboratory for deep learning
+//! recommendation models.
+//!
+//! This facade crate re-exports the full workspace, which reproduces
+//! *Understanding Training Efficiency of Deep Learning Recommendation
+//! Models at Scale* (Acun et al., HPCA 2021) as a library:
+//!
+//! * [`data`] — synthetic recommendation workloads: the model configuration
+//!   space, distributions, a CTR generator with a planted teacher,
+//!   production-model stand-ins and the fleet sampler,
+//! * [`model`] — a from-scratch DLRM that really trains (tensors, MLPs,
+//!   embedding bags, interactions, losses, optimizers),
+//! * [`hw`] — hardware platform models (dual-socket CPU, Big Basin, Zion),
+//! * [`placement`] — the four embedding-table placement strategies,
+//! * [`sim`] — the discrete-event training-pipeline simulator,
+//! * [`train`] — real training loops, NE metrics, batch scaling, AutoML,
+//!   EASGD/Hogwild,
+//! * [`metrics`] — histograms, KDE, quantiles, report rendering,
+//! * [`core`] — the experiment drivers regenerating every paper table and
+//!   figure.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use recsim::prelude::*;
+//!
+//! // How fast does a mid-size recommendation model train on Big Basin?
+//! let config = ModelConfig::test_suite(256, 16, 100_000, &[512, 512, 512]);
+//! let platform = Platform::big_basin(Bytes::from_gib(32));
+//! let report = GpuTrainingSim::new(
+//!     &config, &platform,
+//!     PlacementStrategy::GpuMemory(PartitionScheme::TableWise), 1600,
+//! )?.run();
+//! assert!(report.throughput() > 0.0);
+//!
+//! // And does a (smaller) model actually learn on the synthetic data?
+//! let small = ModelConfig::test_suite(8, 2, 100, &[16]);
+//! let run = TrainRun::new(&small, TrainerConfig::quick_test()).execute();
+//! assert!(run.final_ne() < 1.05);
+//! # Ok::<(), recsim::placement::PlacementError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use recsim_core as core;
+pub use recsim_data as data;
+pub use recsim_hw as hw;
+pub use recsim_metrics as metrics;
+pub use recsim_model as model;
+pub use recsim_placement as placement;
+pub use recsim_sim as sim;
+pub use recsim_train as train;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use recsim_core::{experiments, Effort, ExperimentOutput};
+    pub use recsim_data::production::{production_model, ProductionModelId};
+    pub use recsim_data::schema::{Interaction, ModelConfig, SparseFeatureSpec};
+    pub use recsim_data::trace::{AccessTrace, ReuseProfile};
+    pub use recsim_data::CtrGenerator;
+    pub use recsim_hw::units::{Bandwidth, Bytes, Duration, FlopRate, Flops, Power};
+    pub use recsim_hw::{Platform, PlatformKind};
+    pub use recsim_model::{DlrmModel, Matrix};
+    pub use recsim_placement::{PartitionScheme, Placement, PlacementStrategy};
+    pub use recsim_sim::readers::ReaderModel;
+    pub use recsim_sim::scaleout::ScaleOutSim;
+    pub use recsim_sim::{CpuClusterSetup, CpuTrainingSim, GpuTrainingSim, SimReport};
+    pub use recsim_train::trainer::{TrainRun, TrainerConfig};
+    pub use recsim_train::{AutoTuner, BatchScalingStudy};
+}

@@ -1,0 +1,48 @@
+//! End-to-end integration: every experiment driver runs at reduced scale
+//! and every qualitative claim the paper makes must reproduce. A regression
+//! in any crate (data statistics, cost model, placement logic, training
+//! numerics) surfaces here as a failed claim.
+
+use recsim::prelude::*;
+
+#[test]
+fn every_registered_experiment_reproduces_its_claims() {
+    let mut failures = Vec::new();
+    for (id, driver) in experiments::registry() {
+        let out = driver(Effort::Quick);
+        assert_eq!(out.id, id, "registry id must match the output id");
+        assert!(!out.claims.is_empty(), "{id} must check at least one claim");
+        for claim in out.failed_claims() {
+            failures.push(format!(
+                "{id}: {} (observed: {})",
+                claim.statement, claim.observed
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "paper claims failed to reproduce:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn experiment_outputs_serialize_round_trip() {
+    let out = experiments::table1::run(Effort::Quick);
+    let json = serde_json::to_string(&out).expect("serialize");
+    let back: ExperimentOutput = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(out, back);
+}
+
+#[test]
+fn registry_covers_every_paper_artifact() {
+    let ids: Vec<&str> = experiments::registry().iter().map(|(id, _)| *id).collect();
+    for expected in [
+        "table1", "table2", "table3", "fig01", "fig02", "fig05", "fig06", "fig07", "fig09",
+        "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "automl", "locality",
+        "scaleout", "readers", "compression",
+    ] {
+        assert!(ids.contains(&expected), "missing driver for {expected}");
+    }
+    assert_eq!(ids.len(), 20);
+}
