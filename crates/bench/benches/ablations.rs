@@ -4,10 +4,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use recsim_data::schema::ModelConfig;
-use recsim_hw::units::Bytes;
+use recsim_hw::units::{Bytes, Duration};
 use recsim_hw::Platform;
 use recsim_placement::{PartitionScheme, PlacementStrategy};
-use recsim_sim::{GpuTrainingSim, SimReport};
+use recsim_sim::{CostKnobs, CpuClusterSetup, CpuTrainingSim, GpuTrainingSim, SimReport};
 
 fn model() -> ModelConfig {
     ModelConfig::test_suite(256, 16, 5_000_000, &[512, 512, 512])
@@ -113,6 +113,180 @@ fn ablation_overlap(c: &mut Criterion) {
     group.finish();
 }
 
+/// Sensitivity sweep over every [`CostKnobs`] field: each variant perturbs
+/// exactly one knob and reports the largest throughput shift it causes
+/// across a GPU-memory run, a host-memory run and a CPU-cluster run. This
+/// is the ablation surface the verification layer's RV005 rule keys on —
+/// every knob must be exercised here (or in a sibling bench) by name.
+fn knob_sensitivity(c: &mut Criterion) {
+    let base = CostKnobs::default();
+    let variants: Vec<(&str, CostKnobs)> = vec![
+        (
+            "backward_flops_multiplier",
+            CostKnobs {
+                backward_flops_multiplier: base.backward_flops_multiplier * 1.5,
+                ..CostKnobs::default()
+            },
+        ),
+        (
+            "scatter_multiplier",
+            CostKnobs {
+                scatter_multiplier: base.scatter_multiplier * 2.0,
+                ..CostKnobs::default()
+            },
+        ),
+        (
+            "cache_boost",
+            CostKnobs {
+                cache_boost: base.cache_boost * 2.0,
+                ..CostKnobs::default()
+            },
+        ),
+        (
+            "cache_resident_bytes",
+            CostKnobs {
+                cache_resident_bytes: base.cache_resident_bytes * 4,
+                ..CostKnobs::default()
+            },
+        ),
+        (
+            "dram_resident_bytes",
+            CostKnobs {
+                dram_resident_bytes: base.dram_resident_bytes * 4,
+                ..CostKnobs::default()
+            },
+        ),
+        (
+            "kernels_per_layer",
+            CostKnobs {
+                kernels_per_layer: base.kernels_per_layer * 4,
+                ..CostKnobs::default()
+            },
+        ),
+        (
+            "gemm_half_efficiency_flops",
+            CostKnobs {
+                gemm_half_efficiency_flops: base.gemm_half_efficiency_flops * 4.0,
+                ..CostKnobs::default()
+            },
+        ),
+        (
+            "gpu_scatter_efficiency",
+            CostKnobs {
+                gpu_scatter_efficiency: 1.0,
+                ..CostKnobs::default()
+            },
+        ),
+        (
+            "collective_barrier",
+            CostKnobs {
+                collective_barrier: Duration::from_micros(200.0),
+                ..CostKnobs::default()
+            },
+        ),
+        (
+            "staging_fraction",
+            CostKnobs {
+                staging_fraction: 0.8,
+                ..CostKnobs::default()
+            },
+        ),
+        (
+            "rpc_overhead",
+            CostKnobs {
+                rpc_overhead: Duration::from_micros(400.0),
+                ..CostKnobs::default()
+            },
+        ),
+        (
+            "staged_hop_latency",
+            CostKnobs {
+                staged_hop_latency: Duration::from_micros(500.0),
+                ..CostKnobs::default()
+            },
+        ),
+        (
+            "cpu_cache_bytes",
+            CostKnobs {
+                cpu_cache_bytes: base.cpu_cache_bytes * 8,
+                ..CostKnobs::default()
+            },
+        ),
+        (
+            "hogwild_base_utilization",
+            CostKnobs {
+                hogwild_base_utilization: 0.9,
+                ..CostKnobs::default()
+            },
+        ),
+        (
+            "hogwild_efficiency",
+            CostKnobs {
+                hogwild_efficiency: 0.9,
+                ..CostKnobs::default()
+            },
+        ),
+    ];
+
+    let bb = Platform::big_basin(Bytes::from_gib(32));
+    let m = model();
+    let cpu_setup = CpuClusterSetup {
+        trainers: 4,
+        dense_ps: 2,
+        sparse_ps: 2,
+        hogwild_threads: 4,
+        batch_per_thread: 200,
+        sync_period: 16,
+    };
+    let throughputs = |knobs: CostKnobs| -> [f64; 3] {
+        let gpu = GpuTrainingSim::new(
+            &m,
+            &bb,
+            PlacementStrategy::GpuMemory(PartitionScheme::TableWise),
+            1600,
+        )
+        .expect("fits")
+        .with_knobs(knobs)
+        .expect("valid knobs")
+        .run()
+        .throughput();
+        let host = GpuTrainingSim::new(&m, &bb, PlacementStrategy::SystemMemory, 1600)
+            .expect("fits")
+            .with_knobs(knobs)
+            .expect("valid knobs")
+            .run()
+            .throughput();
+        let cpu = CpuTrainingSim::new(&m, cpu_setup)
+            .expect("valid setup")
+            .with_knobs(knobs)
+            .expect("valid knobs")
+            .run()
+            .throughput();
+        [gpu, host, cpu]
+    };
+    let baseline = throughputs(CostKnobs::default());
+    for (name, knobs) in &variants {
+        let t = throughputs(*knobs);
+        let max_shift = t
+            .iter()
+            .zip(baseline)
+            .map(|(&v, b)| (v / b - 1.0).abs())
+            .fold(0.0, f64::max);
+        println!("knob_sensitivity {name}: max |Δthroughput| {:.1}%", max_shift * 100.0);
+    }
+
+    let mut group = c.benchmark_group("knob_sensitivity");
+    group.bench_function("all_knob_variants", |b| {
+        b.iter(|| {
+            variants
+                .iter()
+                .map(|(_, k)| throughputs(*k)[0])
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
 /// Sweep: lookup truncation (the paper truncates at 32 to limit outliers).
 fn truncation_sweep(c: &mut Criterion) {
     let bb = Platform::big_basin(Bytes::from_gib(32));
@@ -136,6 +310,6 @@ criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(15);
     targets = ablation_random_access, ablation_launch_overhead, ablation_partitioning,
-              ablation_overlap, truncation_sweep
+              ablation_overlap, knob_sensitivity, truncation_sweep
 );
 criterion_main!(benches);

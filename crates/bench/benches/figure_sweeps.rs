@@ -40,7 +40,8 @@ fn batch_scaling(c: &mut Criterion) {
         });
     }
     for batch in [200u64, 1600, 6400] {
-        let sim = CpuTrainingSim::new(&model, CpuClusterSetup::single_trainer(batch));
+        let sim = CpuTrainingSim::new(&model, CpuClusterSetup::single_trainer(batch))
+            .expect("valid setup");
         println!(
             "fig11 cpu batch {batch}: {:.0} ex/s",
             sim.run().throughput()

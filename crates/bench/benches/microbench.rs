@@ -62,7 +62,7 @@ fn des_engine(c: &mut Criterion) {
                         &deps,
                     ));
                 }
-                g.simulate().makespan()
+                g.simulate().expect("valid graph").makespan()
             })
         });
     }

@@ -2,6 +2,8 @@
 //! persist the structured result, and fail loudly when a paper claim does
 //! not reproduce.
 
+#![forbid(unsafe_code)]
+
 use recsim_core::{Effort, ExperimentOutput};
 use std::path::PathBuf;
 

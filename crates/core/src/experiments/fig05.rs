@@ -65,7 +65,9 @@ pub fn run(effort: Effort) -> ExperimentOutput {
     for _ in 0..runs {
         let config_factor = fleet.sample_config_variation();
         let model = jittered_model(&base, config_factor);
-        let report = CpuTrainingSim::new(&model, scale).run();
+        let report = CpuTrainingSim::new(&model, scale)
+            .expect("fixed-scale setup is valid")
+            .run();
         let noise = fleet.sample_system_noise();
         let push = |summary: &mut Summary, prefix: &str, suffix: &str| {
             let sel: Vec<f64> = report
@@ -137,7 +139,8 @@ pub fn run(effort: Effort) -> ExperimentOutput {
         HardwareNoise::default(),
         gpu_runs,
         0x0F16_5005,
-    );
+    )
+    .expect("noise study inputs are valid");
     let mut summary = study.summary();
     let (p5, _, p50, _, p95) = summary.whiskers();
     let mut table = Table::new(vec!["GPU-fleet throughput under hardware noise", "value"]);

@@ -36,6 +36,7 @@ pub fn run(effort: Effort) -> ExperimentOutput {
         for &sparse in &sparse_axis {
             let model = suite.model(dense, sparse);
             let cpu = CpuTrainingSim::new(&model, CpuClusterSetup::single_trainer(suite.cpu_batch))
+                .expect("single-trainer setup is valid")
                 .run();
             let gpu = GpuTrainingSim::new(
                 &model,

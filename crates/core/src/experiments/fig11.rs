@@ -23,7 +23,9 @@ pub fn run(effort: Effort) -> ExperimentOutput {
     let mut gpu_series = Series::new("GPU");
     let mut table = Table::new(vec!["batch", "CPU ex/s", "GPU ex/s", "GPU bottleneck"]);
     for &batch in &batches {
-        let cpu = CpuTrainingSim::new(&model, CpuClusterSetup::single_trainer(batch)).run();
+        let cpu = CpuTrainingSim::new(&model, CpuClusterSetup::single_trainer(batch))
+            .expect("single-trainer setup is valid")
+            .run();
         let gpu = GpuTrainingSim::new(
             &model,
             &bb,

@@ -42,6 +42,7 @@ pub fn run(effort: Effort) -> ExperimentOutput {
     for &hash in &hashes {
         let model = ModelConfig::test_suite(256, 16, hash, &suite.mlp);
         let cpu = CpuTrainingSim::new(&model, CpuClusterSetup::single_trainer(suite.cpu_batch))
+            .expect("single-trainer setup is valid")
             .run();
         cpu_series.push((hash as f64).log10(), cpu.throughput());
         let gpus = min_gpus_needed(&model, &bb, 2.0)

@@ -27,6 +27,7 @@ pub fn run(effort: Effort) -> ExperimentOutput {
         let mlp = vec![width; layers];
         let model = ModelConfig::test_suite(256, 16, suite.hash_size, &mlp);
         let cpu = CpuTrainingSim::new(&model, CpuClusterSetup::single_trainer(suite.cpu_batch))
+            .expect("single-trainer setup is valid")
             .run();
         let gpu = GpuTrainingSim::new(
             &model,

@@ -85,6 +85,7 @@ pub fn run(effort: Effort) -> ExperimentOutput {
     let host_cached = GpuTrainingSim::new(&sim_model, &bb, PlacementStrategy::SystemMemory, batch)
         .expect("fits")
         .with_host_cache_hit_rate(hr_10)
+        .expect("measured hit rate is a valid fraction")
         .run();
 
     let mut table = Table::new(vec!["setup", "ex/s", "vs GPU-memory placement"]);

@@ -23,7 +23,9 @@ pub fn run(_effort: Effort) -> ExperimentOutput {
     let model = ModelConfig::test_suite(256, 16, 100_000, &[512, 512, 512]);
     let readers = ReaderModel::default();
 
-    let cpu = CpuTrainingSim::new(&model, CpuClusterSetup::single_trainer(200)).run();
+    let cpu = CpuTrainingSim::new(&model, CpuClusterSetup::single_trainer(200))
+        .expect("single-trainer setup is valid")
+        .run();
     let bb = GpuTrainingSim::new(
         &model,
         &Platform::big_basin(Bytes::from_gib(32)),

@@ -46,3 +46,7 @@ pub mod output;
 pub mod setups;
 
 pub use output::{Claim, Effort, ExperimentOutput};
+
+/// Re-export of the validation layer so experiment drivers and downstream
+/// tools can name RV0xx codes without a direct `recsim-verify` dependency.
+pub use recsim_verify as verify;

@@ -79,8 +79,15 @@ impl ProductionSetup {
     }
 
     /// Simulates the production CPU setup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Table III cluster shape fails validation — the shapes
+    /// here are constants, so that would be a bug in this module.
     pub fn simulate_cpu(&self) -> SimReport {
-        CpuTrainingSim::new(&self.model_config(), self.cpu).run()
+        CpuTrainingSim::new(&self.model_config(), self.cpu)
+            .expect("Table III CPU setup is valid")
+            .run()
     }
 
     /// Simulates the Big Basin port (32 GiB SKU).

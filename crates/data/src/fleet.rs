@@ -16,6 +16,7 @@ use crate::dist::SystemNoise;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rand_distr::{Distribution, LogNormal};
+use recsim_verify::{Code, Diagnostic, Validate};
 use serde::{Deserialize, Serialize};
 
 /// A class of training workload in the fleet (paper Figure 2).
@@ -98,6 +99,63 @@ pub struct ServerCounts {
     pub parameter_servers: u32,
     /// Reader servers feeding the trainers.
     pub readers: u32,
+}
+
+/// RV029: a sampled workflow must have a positive, finite cadence and
+/// duration.
+impl Validate for WorkflowSample {
+    fn validate(&self) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        if !(self.trainings_per_week > 0.0 && self.trainings_per_week.is_finite()) {
+            diags.push(Diagnostic::error(
+                Code::InvalidClusterConfig,
+                format!("WorkflowSample({})", self.class.name()),
+                format!(
+                    "trainings_per_week {} must be positive and finite",
+                    self.trainings_per_week
+                ),
+            ));
+        }
+        if !(self.duration_hours > 0.0 && self.duration_hours.is_finite()) {
+            diags.push(Diagnostic::error(
+                Code::InvalidClusterConfig,
+                format!("WorkflowSample({})", self.class.name()),
+                format!(
+                    "duration_hours {} must be positive and finite",
+                    self.duration_hours
+                ),
+            ));
+        }
+        diags
+    }
+}
+
+/// RV029: a training run needs at least one trainer; readers below the
+/// trainer count risk starving the pipeline (paper §IV.B.2), which is
+/// suspicious but not invalid.
+impl Validate for ServerCounts {
+    fn validate(&self) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        if self.trainers == 0 {
+            diags.push(Diagnostic::error(
+                Code::InvalidClusterConfig,
+                "ServerCounts.trainers",
+                "a training run needs at least one trainer",
+            ));
+        }
+        if self.readers < self.trainers {
+            diags.push(Diagnostic::warning(
+                Code::InvalidClusterConfig,
+                "ServerCounts.readers",
+                format!(
+                    "{} reader(s) for {} trainer(s) — readers usually scale with \
+                     trainers to avoid starving them",
+                    self.readers, self.trainers
+                ),
+            ));
+        }
+        diags
+    }
 }
 
 /// The fleet sampler. Deterministic for a given seed.
@@ -261,6 +319,22 @@ mod tests {
             sum += f;
         }
         assert!((sum / n as f64 - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn sampled_configs_validate() {
+        let mut fleet = FleetSampler::new(11);
+        for _ in 0..200 {
+            assert!(fleet.sample_server_counts().check().is_ok());
+            assert!(fleet.sample_workflow(WorkloadClass::Search).check().is_ok());
+        }
+        let no_trainers = ServerCounts {
+            trainers: 0,
+            parameter_servers: 4,
+            readers: 4,
+        };
+        let err = no_trainers.check().expect_err("zero trainers");
+        assert!(err.has_code(Code::InvalidClusterConfig));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! the single source of truth that both the real numerics (`recsim-model`)
 //! and the performance simulator (`recsim-sim`) derive their work from.
 
+use recsim_verify::{Code, Diagnostic, Validate};
 use serde::{Deserialize, Serialize};
 
 /// Bytes per FP32 value — the paper's models train in single precision.
@@ -529,6 +530,118 @@ impl ModelConfig {
     }
 }
 
+/// RV028: structural invariants of a model architecture. `ModelConfig::new`
+/// upholds most of these, but configs are `Deserialize` and the `table_of`
+/// sharing map can only go wrong through hand-edited serialized forms — the
+/// simulators run this before costing a model.
+impl Validate for ModelConfig {
+    fn validate(&self) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        let at = |part: &str| format!("ModelConfig({}).{part}", self.name);
+        if self.num_dense == 0 {
+            diags.push(Diagnostic::error(
+                Code::InvalidModelConfig,
+                at("num_dense"),
+                "need at least one dense feature",
+            ));
+        }
+        if self.embedding_dim == 0 {
+            diags.push(Diagnostic::error(
+                Code::InvalidModelConfig,
+                at("embedding_dim"),
+                "embedding dimension must be positive",
+            ));
+        }
+        if self.truncation == 0 {
+            diags.push(Diagnostic::error(
+                Code::InvalidModelConfig,
+                at("truncation"),
+                "lookup truncation must be positive",
+            ));
+        }
+        for (part, mlp) in [("bottom_mlp", &self.bottom_mlp), ("top_mlp", &self.top_mlp)] {
+            if mlp.is_empty() {
+                diags.push(Diagnostic::error(
+                    Code::InvalidModelConfig,
+                    at(part),
+                    "MLP stack must be non-empty",
+                ));
+            } else if mlp.iter().any(|&w| w == 0) {
+                diags.push(Diagnostic::error(
+                    Code::InvalidModelConfig,
+                    at(part),
+                    "MLP layer widths must be positive",
+                ));
+            }
+        }
+        for (i, f) in self.sparse.iter().enumerate() {
+            if f.hash_size == 0 {
+                diags.push(Diagnostic::error(
+                    Code::InvalidModelConfig,
+                    at(&format!("sparse[{i}]")),
+                    format!("feature `{}` has a zero hash size", f.name),
+                ));
+            }
+            if !(f.mean_lookups > 0.0 && f.mean_lookups.is_finite()) {
+                diags.push(Diagnostic::error(
+                    Code::InvalidModelConfig,
+                    at(&format!("sparse[{i}]")),
+                    format!(
+                        "feature `{}` mean lookups {} must be positive and finite",
+                        f.name, f.mean_lookups
+                    ),
+                ));
+            }
+        }
+        // Table-sharing map: one entry per feature, dense table ids, and a
+        // consistent hash size within each shared table.
+        if self.table_of.len() != self.sparse.len() {
+            diags.push(Diagnostic::error(
+                Code::InvalidModelConfig,
+                at("table_of"),
+                format!(
+                    "sharing map has {} entries for {} sparse features",
+                    self.table_of.len(),
+                    self.sparse.len()
+                ),
+            ));
+        } else {
+            // `num_tables` is max(table_of)+1, so ids cannot exceed it; the
+            // failure mode is a *gap* — a table id nothing references.
+            let num_tables = self.num_tables();
+            let mut seen = vec![false; num_tables];
+            for &t in &self.table_of {
+                seen[t] = true;
+            }
+            for (t, &used) in seen.iter().enumerate() {
+                if !used {
+                    diags.push(Diagnostic::error(
+                        Code::InvalidModelConfig,
+                        at("table_of"),
+                        format!("table id {t} is referenced by no feature"),
+                    ));
+                }
+            }
+            for t in 0..num_tables {
+                let features = self.table_features(t);
+                if let Some((&first, rest)) = features.split_first() {
+                    let hash = self.sparse[first].hash_size;
+                    for &f in rest {
+                        if self.sparse[f].hash_size != hash {
+                            diags.push(Diagnostic::error(
+                                Code::InvalidModelConfig,
+                                at(&format!("table_of[{f}]")),
+                                "shared tables require a shared hash sizing",
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        diags
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -646,5 +759,24 @@ mod tests {
     #[test]
     fn example_bytes_positive() {
         assert!(small().example_bytes() > 64 * 4);
+    }
+
+    #[test]
+    fn valid_configs_pass_validate() {
+        assert!(small().check().is_ok());
+        assert!(small()
+            .with_shared_tables(&[vec![0, 1], vec![2, 3]])
+            .check()
+            .is_ok());
+    }
+
+    #[test]
+    fn corrupted_sharing_map_is_rv028() {
+        let mut m = small();
+        // A gap in the table ids, as a hand-edited serialized config could
+        // produce: feature 0 points past every other table.
+        m.table_of[0] = m.num_tables() + 3;
+        let err = m.check().expect_err("gapped sharing map");
+        assert!(err.has_code(Code::InvalidModelConfig));
     }
 }

@@ -4,6 +4,7 @@ use crate::device::{self, ComputeDevice};
 use crate::link::Link;
 use crate::power::PowerModel;
 use crate::units::Bytes;
+use recsim_verify::{Code, Diagnostic, Validate};
 use serde::{Deserialize, Serialize};
 
 /// Which of the paper's platforms (or a custom one) a [`Platform`] models.
@@ -274,9 +275,146 @@ impl Platform {
     }
 }
 
+/// RV020: structural invariants of a platform. Constructors uphold these by
+/// construction, but `Platform` is `Deserialize`, so arbitrary instances can
+/// arrive from config files — the simulators run this before using one.
+impl Validate for Platform {
+    fn validate(&self) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        let at = |part: &str| format!("Platform({}).{part}", self.name);
+        if self.name.trim().is_empty() {
+            diags.push(Diagnostic::warning(
+                Code::InvalidPlatform,
+                "Platform.name",
+                "platform has an empty name",
+            ));
+        }
+        if self.has_gpus() && self.host_gpu_link.is_none() {
+            diags.push(Diagnostic::error(
+                Code::InvalidPlatform,
+                at("host_gpu_link"),
+                format!(
+                    "{} GPU(s) but no host-GPU link to reach them",
+                    self.gpus.len()
+                ),
+            ));
+        }
+        if !self.has_gpus() && self.gpu_interconnect.is_some() {
+            diags.push(Diagnostic::warning(
+                Code::InvalidPlatform,
+                at("gpu_interconnect"),
+                "GPU interconnect present on a platform without GPUs",
+            ));
+        }
+        validate_device(&mut diags, &at("host"), &self.host);
+        for (i, gpu) in self.gpus.iter().enumerate() {
+            validate_device(&mut diags, &at(&format!("gpus[{i}]")), gpu);
+        }
+        for (part, link) in [
+            ("gpu_interconnect", self.gpu_interconnect.as_ref()),
+            ("host_gpu_link", self.host_gpu_link.as_ref()),
+            ("network", Some(&self.network)),
+        ] {
+            if let Some(link) = link {
+                validate_link(&mut diags, &at(part), link);
+            }
+        }
+        if self.power.envelope().as_watts() <= 0.0 {
+            diags.push(Diagnostic::error(
+                Code::InvalidPlatform,
+                at("power"),
+                "power envelope must be positive",
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.power.idle_fraction()) {
+            diags.push(Diagnostic::error(
+                Code::InvalidPlatform,
+                at("power"),
+                format!(
+                    "idle fraction {} outside [0, 1]",
+                    self.power.idle_fraction()
+                ),
+            ));
+        }
+        diags
+    }
+}
+
+fn validate_device(diags: &mut Vec<Diagnostic>, at: &str, dev: &ComputeDevice) {
+    if dev.sustained_flop_rate().as_tflops() <= 0.0 {
+        diags.push(Diagnostic::error(
+            Code::InvalidPlatform,
+            at.to_string(),
+            "device has no sustained compute throughput",
+        ));
+    }
+    if dev.memory().capacity().as_f64() <= 0.0 {
+        diags.push(Diagnostic::error(
+            Code::InvalidPlatform,
+            at.to_string(),
+            "device memory capacity must be positive",
+        ));
+    }
+    if dev.memory().stream_bandwidth().as_gb_per_s() <= 0.0 {
+        diags.push(Diagnostic::error(
+            Code::InvalidPlatform,
+            at.to_string(),
+            "device memory bandwidth must be positive",
+        ));
+    }
+    let rae = dev.memory().random_access_efficiency();
+    if !(rae > 0.0 && rae <= 1.0) {
+        diags.push(Diagnostic::error(
+            Code::InvalidPlatform,
+            at.to_string(),
+            format!("random-access efficiency {rae} outside (0, 1]"),
+        ));
+    }
+}
+
+fn validate_link(diags: &mut Vec<Diagnostic>, at: &str, link: &Link) {
+    if link.bandwidth().as_gb_per_s() <= 0.0 || link.effective_bandwidth().as_gb_per_s() <= 0.0 {
+        diags.push(Diagnostic::error(
+            Code::InvalidPlatform,
+            at.to_string(),
+            "link bandwidth (raw and effective) must be positive",
+        ));
+    }
+    if link.latency().as_secs() < 0.0 {
+        diags.push(Diagnostic::error(
+            Code::InvalidPlatform,
+            at.to_string(),
+            "link latency must be non-negative",
+        ));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn presets_validate_cleanly() {
+        for p in [
+            Platform::dual_socket_cpu(),
+            Platform::big_basin(Bytes::from_gib(16)),
+            Platform::big_basin(Bytes::from_gib(32)),
+            Platform::zion_prototype(),
+            Platform::dgx_a100(),
+        ] {
+            assert!(p.check().is_ok(), "{} should validate", p.name());
+        }
+    }
+
+    #[test]
+    fn deserialized_gpu_platform_without_pcie_is_rv020() {
+        // Simulate what `custom()` forbids but Deserialize permits.
+        let mut broken = Platform::big_basin(Bytes::from_gib(16));
+        broken.host_gpu_link = None;
+        let err = broken.check().expect_err("GPUs without a host link");
+        assert!(err.has_code(Code::InvalidPlatform));
+        assert!(err.to_string().contains("host-GPU link"));
+    }
 
     #[test]
     fn table_one_shapes() {

@@ -29,12 +29,13 @@ pub fn greedy_balance(weights: &[u64], bins: usize) -> Vec<usize> {
     let mut loads = vec![0u64; bins];
     let mut assignment = vec![0usize; weights.len()];
     for idx in order {
+        // `bins > 0` is asserted above, so a minimum always exists.
         let bin = loads
             .iter()
             .enumerate()
             .min_by_key(|&(i, &l)| (l, i))
             .map(|(i, _)| i)
-            .expect("bins > 0");
+            .unwrap_or(0);
         assignment[idx] = bin;
         loads[bin] += weights[idx];
     }
@@ -92,16 +93,22 @@ pub fn refine_balance(
     assert!(bins > 0, "need at least one bin");
     let mut loads = bin_loads(weights, assignment, bins);
     for _ in 0..iterations {
-        let (max_bin, &max_load) = loads
+        // `bins > 0` is asserted above; the `else` arms are unreachable but
+        // keep the function total without a panicking call.
+        let Some((max_bin, &max_load)) = loads
             .iter()
             .enumerate()
             .max_by_key(|&(i, &l)| (l, usize::MAX - i))
-            .expect("bins > 0");
-        let (min_bin, &min_load) = loads
+        else {
+            return;
+        };
+        let Some((min_bin, &min_load)) = loads
             .iter()
             .enumerate()
             .min_by_key(|&(i, &l)| (l, i))
-            .expect("bins > 0");
+        else {
+            return;
+        };
         if max_bin == min_bin {
             return;
         }
@@ -181,7 +188,7 @@ pub fn load_imbalance(loads: &[u64]) -> f64 {
         return 1.0;
     }
     let mean = total as f64 / loads.len() as f64;
-    let max = *loads.iter().max().expect("non-empty") as f64;
+    let max = loads.iter().copied().max().unwrap_or(0) as f64;
     max / mean
 }
 

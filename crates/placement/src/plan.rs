@@ -5,6 +5,7 @@ use crate::strategy::{PartitionScheme, PlacementStrategy};
 use recsim_data::schema::ModelConfig;
 use recsim_hw::units::Bytes;
 use recsim_hw::Platform;
+use recsim_verify::{Code, Diagnostic, Validate};
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
@@ -75,6 +76,16 @@ pub struct Placement {
     strategy: PlacementStrategy,
     assignments: Vec<TableAssignment>,
     num_gpus: usize,
+    /// Table capacity of one GPU on the planned platform; 0 = unknown
+    /// (capacity checks are skipped for that location class).
+    #[serde(default)]
+    gpu_capacity: u64,
+    /// Table capacity of the host's system memory; 0 = unknown.
+    #[serde(default)]
+    host_capacity: u64,
+    /// Table capacity of one remote parameter server; 0 = unknown.
+    #[serde(default)]
+    remote_capacity: u64,
 }
 
 /// Why a placement could not be constructed.
@@ -155,6 +166,20 @@ impl Placement {
             .collect();
         let total_bytes: u64 = sized.iter().map(|s| s.0).sum();
 
+        // Capacities are recorded on the plan so `Validate` can re-check it
+        // later (after deserialization, hand edits, or noise injection).
+        let gpu_capacity = gpu_table_capacity(platform);
+        let host_capacity = platform.host().memory().capacity().as_u64();
+        let remote_capacity = recsim_hw::memory::ddr4_dual_socket().capacity().as_u64();
+        let finish = |strategy, assignments, num_gpus| Placement {
+            strategy,
+            assignments,
+            num_gpus,
+            gpu_capacity,
+            host_capacity,
+            remote_capacity,
+        };
+
         let build = |locations: Vec<TableLocation>| -> Vec<TableAssignment> {
             sized
                 .iter()
@@ -186,11 +211,11 @@ impl Placement {
                                 available: Bytes::new(per_gpu),
                             });
                         }
-                        Ok(Placement {
+                        Ok(finish(
                             strategy,
-                            assignments: build(vec![TableLocation::Replicated; sized.len()]),
-                            num_gpus: gpus,
-                        })
+                            build(vec![TableLocation::Replicated; sized.len()]),
+                            gpus,
+                        ))
                     }
                     PartitionScheme::TableWise => {
                         let weights: Vec<u64> = sized.iter().map(|s| s.0).collect();
@@ -204,13 +229,11 @@ impl Placement {
                         // ever lowers the maximum load, so capacity is
                         // preserved.
                         refine_balance(&weights, &mut assignment, gpus, 16);
-                        Ok(Placement {
+                        Ok(finish(
                             strategy,
-                            assignments: build(
-                                assignment.into_iter().map(TableLocation::Gpu).collect(),
-                            ),
-                            num_gpus: gpus,
-                        })
+                            build(assignment.into_iter().map(TableLocation::Gpu).collect()),
+                            gpus,
+                        ))
                     }
                     PartitionScheme::RowWise => {
                         let per_gpu_load = total_bytes / gpus as u64;
@@ -221,15 +244,15 @@ impl Placement {
                                 available: Bytes::new(per_gpu),
                             });
                         }
-                        Ok(Placement {
+                        Ok(finish(
                             strategy,
-                            assignments: build(
+                            build(
                                 (0..sized.len())
                                     .map(|_| TableLocation::RowWiseSharded { num_gpus: gpus })
                                     .collect(),
                             ),
-                            num_gpus: gpus,
-                        })
+                            gpus,
+                        ))
                     }
                 }
             }
@@ -242,11 +265,11 @@ impl Placement {
                         available: Bytes::new(capacity),
                     });
                 }
-                Ok(Placement {
+                Ok(finish(
                     strategy,
-                    assignments: build(vec![TableLocation::HostMemory; sized.len()]),
-                    num_gpus: platform.gpus().len(),
-                })
+                    build(vec![TableLocation::HostMemory; sized.len()]),
+                    platform.gpus().len(),
+                ))
             }
             PlacementStrategy::RemoteCpu { servers } => {
                 let servers = servers.max(1) as usize;
@@ -268,13 +291,11 @@ impl Placement {
                         available: Bytes::new(per_server),
                     });
                 }
-                Ok(Placement {
+                Ok(finish(
                     strategy,
-                    assignments: build(
-                        assignment.into_iter().map(TableLocation::Remote).collect(),
-                    ),
-                    num_gpus: platform.gpus().len(),
-                })
+                    build(assignment.into_iter().map(TableLocation::Remote).collect()),
+                    platform.gpus().len(),
+                ))
             }
             PlacementStrategy::Hybrid => {
                 if !platform.has_gpus() {
@@ -288,7 +309,7 @@ impl Placement {
                 order.sort_by(|&a, &b| {
                     let da = sized[a].1 as f64 / sized[a].0.max(1) as f64;
                     let db = sized[b].1 as f64 / sized[b].0.max(1) as f64;
-                    db.partial_cmp(&da).expect("finite").then(a.cmp(&b))
+                    db.total_cmp(&da).then(a.cmp(&b))
                 });
                 let mut gpu_loads = vec![0u64; gpus];
                 let mut locations = vec![TableLocation::HostMemory; sized.len()];
@@ -319,12 +340,31 @@ impl Placement {
                         available: Bytes::new(host_capacity),
                     });
                 }
-                Ok(Placement {
-                    strategy,
-                    assignments: build(locations),
-                    num_gpus: gpus,
-                })
+                Ok(finish(strategy, build(locations), gpus))
             }
+        }
+    }
+
+    /// Assembles a placement directly from its parts, bypassing the
+    /// planner. No invariants are enforced here — that is the point: this
+    /// is the entry for tests, config loaders and external tools, and
+    /// [`Validate`] is how the result gets checked. Capacities of `0`
+    /// disable the capacity check for that location class.
+    pub fn from_parts(
+        strategy: PlacementStrategy,
+        assignments: Vec<TableAssignment>,
+        num_gpus: usize,
+        gpu_capacity: u64,
+        host_capacity: u64,
+        remote_capacity: u64,
+    ) -> Placement {
+        Placement {
+            strategy,
+            assignments,
+            num_gpus,
+            gpu_capacity,
+            host_capacity,
+            remote_capacity,
         }
     }
 
@@ -520,6 +560,139 @@ impl Placement {
             ));
         }
         out
+    }
+}
+
+/// RV021/RV022/RV023: a placement must reference only devices that exist,
+/// must not overfill any memory whose capacity it knows, and must have a
+/// sane shape (one assignment per table, non-degenerate sharding).
+impl Validate for Placement {
+    fn validate(&self) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        if self.assignments.is_empty() {
+            diags.push(Diagnostic::warning(
+                Code::InvalidPlacement,
+                "Placement.assignments",
+                "placement assigns no tables",
+            ));
+        }
+        // RV022 first: dangling device references make the load accounting
+        // below meaningless, so gather them and skip the offenders.
+        let mut gpu_loads = vec![0u64; self.num_gpus];
+        let mut host_load = 0u64;
+        let mut remote_loads: Vec<u64> = Vec::new();
+        let mut seen_tables = std::collections::BTreeMap::new();
+        for (i, a) in self.assignments.iter().enumerate() {
+            let at = format!("Placement.assignments[{i}]");
+            if let Some(&prev) = seen_tables.get(&a.table) {
+                diags.push(Diagnostic::error(
+                    Code::InvalidPlacement,
+                    at.clone(),
+                    format!(
+                        "table {} is assigned twice (also at assignments[{prev}])",
+                        a.table
+                    ),
+                ));
+            } else {
+                seen_tables.insert(a.table, i);
+            }
+            match a.location {
+                TableLocation::Replicated => {
+                    if self.num_gpus == 0 {
+                        diags.push(Diagnostic::error(
+                            Code::DanglingResource,
+                            at,
+                            "table replicated across GPUs on a plan with zero GPUs",
+                        ));
+                    } else {
+                        for l in gpu_loads.iter_mut() {
+                            *l += a.bytes;
+                        }
+                    }
+                }
+                TableLocation::Gpu(g) => {
+                    if g >= self.num_gpus {
+                        diags.push(Diagnostic::error(
+                            Code::DanglingResource,
+                            at,
+                            format!(
+                                "table on GPU {g} but the plan has only {} GPU(s)",
+                                self.num_gpus
+                            ),
+                        ));
+                    } else {
+                        gpu_loads[g] += a.bytes;
+                    }
+                }
+                TableLocation::RowWiseSharded { num_gpus } => {
+                    if num_gpus == 0 || num_gpus > self.num_gpus {
+                        diags.push(Diagnostic::error(
+                            Code::DanglingResource,
+                            at,
+                            format!(
+                                "table sharded across {num_gpus} GPU(s) on a plan with {}",
+                                self.num_gpus
+                            ),
+                        ));
+                    } else {
+                        let share = a.bytes / num_gpus as u64;
+                        for l in gpu_loads.iter_mut().take(num_gpus) {
+                            *l += share;
+                        }
+                    }
+                }
+                TableLocation::HostMemory => host_load += a.bytes,
+                TableLocation::Remote(s) => {
+                    if remote_loads.len() <= s {
+                        remote_loads.resize(s + 1, 0);
+                    }
+                    remote_loads[s] += a.bytes;
+                }
+            }
+        }
+        // RV021: capacity, where the plan knows it (0 = unknown, skipped).
+        if self.gpu_capacity > 0 {
+            for (g, &load) in gpu_loads.iter().enumerate() {
+                if load > self.gpu_capacity {
+                    diags.push(Diagnostic::error(
+                        Code::PlacementOverCapacity,
+                        format!("Placement GPU {g}"),
+                        format!(
+                            "{} of tables routed to a GPU with {} of table capacity",
+                            Bytes::new(load),
+                            Bytes::new(self.gpu_capacity)
+                        ),
+                    ));
+                }
+            }
+        }
+        if self.host_capacity > 0 && host_load > self.host_capacity {
+            diags.push(Diagnostic::error(
+                Code::PlacementOverCapacity,
+                "Placement host memory",
+                format!(
+                    "{} of tables routed to a host with {}",
+                    Bytes::new(host_load),
+                    Bytes::new(self.host_capacity)
+                ),
+            ));
+        }
+        if self.remote_capacity > 0 {
+            for (s, &load) in remote_loads.iter().enumerate() {
+                if load > self.remote_capacity {
+                    diags.push(Diagnostic::error(
+                        Code::PlacementOverCapacity,
+                        format!("Placement remote PS {s}"),
+                        format!(
+                            "{} of tables routed to a parameter server with {}",
+                            Bytes::new(load),
+                            Bytes::new(self.remote_capacity)
+                        ),
+                    ));
+                }
+            }
+        }
+        diags
     }
 }
 
@@ -742,6 +915,80 @@ mod tests {
             assert!(text.contains(&format!("table   {t}")), "{text}");
         }
         assert!(text.contains("GPU loads"));
+    }
+
+    #[test]
+    fn planned_placements_validate_cleanly() {
+        let bb = big_basin();
+        let cfg = test_config(100_000);
+        for strategy in [
+            PlacementStrategy::GpuMemory(PartitionScheme::TableWise),
+            PlacementStrategy::GpuMemory(PartitionScheme::RowWise),
+            PlacementStrategy::GpuMemory(PartitionScheme::Replicated),
+            PlacementStrategy::SystemMemory,
+            PlacementStrategy::RemoteCpu { servers: 4 },
+            PlacementStrategy::Hybrid,
+        ] {
+            let p = Placement::plan(&cfg, &bb, strategy, ADAGRAD_STATE_MULTIPLIER)
+                .expect("small model places everywhere");
+            assert!(p.check().is_ok(), "{strategy:?} should validate");
+        }
+    }
+
+    #[test]
+    fn over_capacity_plan_is_rv021() {
+        let a = TableAssignment {
+            table: 0,
+            bytes: 100,
+            gather_bytes_per_example: 8,
+            pooled_bytes_per_example: 8,
+            location: TableLocation::Gpu(0),
+        };
+        let p = Placement::from_parts(
+            PlacementStrategy::GpuMemory(PartitionScheme::TableWise),
+            vec![a],
+            2,
+            64, // capacity below the 100 bytes routed to GPU 0
+            0,
+            0,
+        );
+        let err = p.check().expect_err("over capacity");
+        assert!(err.has_code(Code::PlacementOverCapacity));
+    }
+
+    #[test]
+    fn dangling_gpu_reference_is_rv022() {
+        let a = TableAssignment {
+            table: 0,
+            bytes: 100,
+            gather_bytes_per_example: 8,
+            pooled_bytes_per_example: 8,
+            location: TableLocation::Gpu(5),
+        };
+        let p = Placement::from_parts(
+            PlacementStrategy::GpuMemory(PartitionScheme::TableWise),
+            vec![a],
+            2,
+            1 << 30,
+            0,
+            0,
+        );
+        let err = p.check().expect_err("GPU 5 does not exist");
+        assert!(err.has_code(Code::DanglingResource));
+    }
+
+    #[test]
+    fn duplicate_table_assignment_is_rv023() {
+        let a = TableAssignment {
+            table: 3,
+            bytes: 100,
+            gather_bytes_per_example: 8,
+            pooled_bytes_per_example: 8,
+            location: TableLocation::HostMemory,
+        };
+        let p = Placement::from_parts(PlacementStrategy::SystemMemory, vec![a, a], 0, 0, 0, 0);
+        let err = p.check().expect_err("table 3 assigned twice");
+        assert!(err.has_code(Code::InvalidPlacement));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 use recsim_data::schema::{ModelConfig, F32_BYTES};
 use recsim_hw::units::{Bytes, Duration, Flops};
 use recsim_hw::{AccessPattern, ComputeDevice, Work};
+use recsim_verify::{Code, Diagnostic, Validate};
 use serde::{Deserialize, Serialize};
 
 /// Tunable constants of the cost model.
@@ -103,11 +104,11 @@ impl CostKnobs {
     /// is left unexploited", Section II.B); additional asynchronous threads
     /// fill it in with diminishing returns.
     ///
-    /// # Panics
-    ///
-    /// Panics if `threads == 0`.
+    /// `threads == 0` is treated as one thread: cluster shapes are rejected
+    /// by validation before they reach the cost model, so the clamp only
+    /// guards direct callers.
     pub fn hogwild_machine_utilization(&self, threads: u32) -> f64 {
-        assert!(threads > 0, "need at least one Hogwild thread");
+        let threads = threads.max(1);
         let base = self.hogwild_base_utilization;
         (base + (1.0 - base) * self.hogwild_efficiency * (threads - 1) as f64).min(1.0)
     }
@@ -125,6 +126,123 @@ impl CostKnobs {
     /// the training speed over CPU hardware".
     pub fn cpu_batch_derate(&self, working_set: u64) -> f64 {
         1.0 / (1.0 + (1.0 + working_set as f64 / self.cpu_cache_bytes as f64).ln())
+    }
+}
+
+/// RV024: every knob must be in its meaningful range — multipliers and
+/// sizes positive and finite, fractions in `[0, 1]`, the cache-boost span
+/// ordered (`cache_resident_bytes < dram_resident_bytes`). A knob outside
+/// these ranges silently warps every cost the simulator charges, so the
+/// check runs before any simulation that overrides knobs.
+impl Validate for CostKnobs {
+    fn validate(&self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let mut knob = |name: &str, ok: bool, got: f64, want: &str| {
+            if !ok {
+                out.push(Diagnostic::error(
+                    Code::InvalidCostKnob,
+                    format!("CostKnobs.{name}"),
+                    format!("{got} is out of range: want {want}"),
+                ));
+            }
+        };
+        let positive = |v: f64| v.is_finite() && v > 0.0;
+        let fraction = |v: f64| v.is_finite() && (0.0..=1.0).contains(&v);
+        let non_negative = |v: f64| v.is_finite() && v >= 0.0;
+
+        knob(
+            "backward_flops_multiplier",
+            positive(self.backward_flops_multiplier),
+            self.backward_flops_multiplier,
+            "> 0, finite",
+        );
+        knob(
+            "scatter_multiplier",
+            positive(self.scatter_multiplier),
+            self.scatter_multiplier,
+            "> 0, finite",
+        );
+        knob(
+            "cache_boost",
+            self.cache_boost.is_finite() && self.cache_boost >= 1.0,
+            self.cache_boost,
+            ">= 1 (a boost, not a penalty)",
+        );
+        knob(
+            "cache_resident_bytes",
+            self.cache_resident_bytes > 0,
+            self.cache_resident_bytes as f64,
+            "> 0",
+        );
+        knob(
+            "dram_resident_bytes",
+            self.dram_resident_bytes > self.cache_resident_bytes,
+            self.dram_resident_bytes as f64,
+            "> cache_resident_bytes (the boost must have a span to decay over)",
+        );
+        knob(
+            "kernels_per_layer",
+            self.kernels_per_layer > 0,
+            self.kernels_per_layer as f64,
+            "> 0",
+        );
+        knob(
+            "gemm_half_efficiency_flops",
+            positive(self.gemm_half_efficiency_flops),
+            self.gemm_half_efficiency_flops,
+            "> 0, finite",
+        );
+        knob(
+            "gpu_scatter_efficiency",
+            self.gpu_scatter_efficiency.is_finite() && self.gpu_scatter_efficiency > 0.0
+                && self.gpu_scatter_efficiency <= 1.0,
+            self.gpu_scatter_efficiency,
+            "in (0, 1]",
+        );
+        knob(
+            "collective_barrier",
+            non_negative(self.collective_barrier.as_secs()),
+            self.collective_barrier.as_secs(),
+            ">= 0 seconds",
+        );
+        knob(
+            "staging_fraction",
+            self.staging_fraction.is_finite() && self.staging_fraction > 0.0
+                && self.staging_fraction <= 1.0,
+            self.staging_fraction,
+            "in (0, 1]",
+        );
+        knob(
+            "rpc_overhead",
+            non_negative(self.rpc_overhead.as_secs()),
+            self.rpc_overhead.as_secs(),
+            ">= 0 seconds",
+        );
+        knob(
+            "staged_hop_latency",
+            non_negative(self.staged_hop_latency.as_secs()),
+            self.staged_hop_latency.as_secs(),
+            ">= 0 seconds",
+        );
+        knob(
+            "cpu_cache_bytes",
+            self.cpu_cache_bytes > 0,
+            self.cpu_cache_bytes as f64,
+            "> 0",
+        );
+        knob(
+            "hogwild_base_utilization",
+            fraction(self.hogwild_base_utilization),
+            self.hogwild_base_utilization,
+            "in [0, 1]",
+        );
+        knob(
+            "hogwild_efficiency",
+            fraction(self.hogwild_efficiency),
+            self.hogwild_efficiency,
+            "in [0, 1]",
+        );
+        out
     }
 }
 
@@ -346,6 +464,30 @@ mod tests {
         assert!(u1 < u2 && u2 <= u8);
         assert!(u1 > 0.0 && u8 <= 1.0);
         assert_eq!(u8, 1.0, "many threads saturate the machine");
+        assert_eq!(k.hogwild_machine_utilization(0), u1, "zero threads clamps to one");
+    }
+
+    #[test]
+    fn default_knobs_validate_cleanly() {
+        assert!(CostKnobs::default().check().is_ok());
+    }
+
+    #[test]
+    fn corrupted_knobs_are_rv024() {
+        let bad = CostKnobs {
+            staging_fraction: 0.0,
+            dram_resident_bytes: CostKnobs::default().cache_resident_bytes,
+            hogwild_base_utilization: f64::NAN,
+            ..CostKnobs::default()
+        };
+        let diags = bad.validate();
+        assert_eq!(diags.len(), 3, "one diagnostic per corrupted knob: {diags:?}");
+        assert!(diags.iter().all(|d| d.code() == Code::InvalidCostKnob));
+        assert!(diags
+            .iter()
+            .any(|d| d.location() == "CostKnobs.staging_fraction"));
+        let err = bad.check().expect_err("corrupted knobs must be rejected");
+        assert!(err.has_code(Code::InvalidCostKnob));
     }
 
     #[test]

@@ -8,11 +8,13 @@
 //! with the *dense* parameter servers every iteration.
 
 use crate::cost::{CostKnobs, IterationCosts};
-use crate::des::{ResourceId, TaskGraph, TaskId};
+use crate::des::{ResourceId, Schedule, TaskGraph, TaskId};
 use crate::report::SimReport;
+use crate::SimError;
 use recsim_data::schema::{ModelConfig, F32_BYTES};
 use recsim_hw::units::Bytes;
 use recsim_hw::PowerModel;
+use recsim_verify::{Code, Diagnostic, Validate};
 use serde::{Deserialize, Serialize};
 
 /// The scale of a distributed CPU training run.
@@ -62,6 +64,46 @@ impl CpuClusterSetup {
     }
 }
 
+impl Validate for CpuClusterSetup {
+    /// Every count must be positive ([`Code::InvalidClusterConfig`],
+    /// RV029): a fleet with no trainers, no parameter servers, no Hogwild
+    /// threads, an empty batch, or a zero sync period cannot train.
+    fn validate(&self) -> Vec<Diagnostic> {
+        fn need(out: &mut Vec<Diagnostic>, field: &str, ok: bool, msg: &str) {
+            if !ok {
+                out.push(Diagnostic::error(
+                    Code::InvalidClusterConfig,
+                    format!("CpuClusterSetup.{field}"),
+                    msg,
+                ));
+            }
+        }
+        let mut out = Vec::new();
+        need(&mut out, "trainers", self.trainers > 0, "need at least one trainer");
+        need(&mut out, "dense_ps", self.dense_ps > 0, "need dense parameter servers");
+        need(&mut out, "sparse_ps", self.sparse_ps > 0, "need sparse parameter servers");
+        need(
+            &mut out,
+            "hogwild_threads",
+            self.hogwild_threads > 0,
+            "need at least one Hogwild thread",
+        );
+        need(
+            &mut out,
+            "batch_per_thread",
+            self.batch_per_thread > 0,
+            "batch must be positive",
+        );
+        need(
+            &mut out,
+            "sync_period",
+            self.sync_period > 0,
+            "EASGD sync period must be positive",
+        );
+        out
+    }
+}
+
 /// Simulator for one distributed CPU training setup.
 ///
 /// # Example
@@ -71,9 +113,10 @@ impl CpuClusterSetup {
 /// use recsim_data::schema::ModelConfig;
 ///
 /// let config = ModelConfig::test_suite(256, 16, 100_000, &[512, 512, 512]);
-/// let sim = CpuTrainingSim::new(&config, CpuClusterSetup::single_trainer(200));
+/// let sim = CpuTrainingSim::new(&config, CpuClusterSetup::single_trainer(200))?;
 /// let report = sim.run();
 /// assert!(report.throughput() > 0.0);
+/// # Ok::<(), recsim_sim::SimError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct CpuTrainingSim {
@@ -85,26 +128,33 @@ pub struct CpuTrainingSim {
 impl CpuTrainingSim {
     /// Builds the simulator.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any count in `setup` is zero.
-    pub fn new(config: &ModelConfig, setup: CpuClusterSetup) -> Self {
-        assert!(setup.trainers > 0, "need at least one trainer");
-        assert!(setup.dense_ps > 0 && setup.sparse_ps > 0, "need parameter servers");
-        assert!(setup.hogwild_threads > 0, "need at least one Hogwild thread");
-        assert!(setup.batch_per_thread > 0, "batch must be positive");
-        assert!(setup.sync_period > 0, "sync period must be positive");
-        Self {
+    /// [`SimError::Invalid`] with RV028/RV029 diagnostics when the model
+    /// config or any count in `setup` fails [`Validate`].
+    pub fn new(config: &ModelConfig, setup: CpuClusterSetup) -> Result<Self, SimError> {
+        let mut diagnostics = config.validate();
+        diagnostics.extend(setup.validate());
+        let errors = crate::collect_errors(diagnostics);
+        if !errors.diagnostics().is_empty() {
+            return Err(SimError::Invalid(errors));
+        }
+        Ok(Self {
             config: config.clone(),
             setup,
             knobs: CostKnobs::default(),
-        }
+        })
     }
 
     /// Overrides the cost-model knobs (for ablations).
-    pub fn with_knobs(mut self, knobs: CostKnobs) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Invalid`] (RV024) when a knob fails [`Validate`].
+    pub fn with_knobs(mut self, knobs: CostKnobs) -> Result<Self, SimError> {
+        knobs.check()?;
         self.knobs = knobs;
-        self
+        Ok(self)
     }
 
     /// The cluster configuration.
@@ -121,8 +171,8 @@ impl CpuTrainingSim {
     /// Simulates steady-state pipelined training and reports the marginal
     /// per-iteration time.
     pub fn run(&self) -> SimReport {
-        let single = self.build_graph(1).simulate();
-        let pipelined = self.build_graph(Self::PIPELINE_DEPTH).simulate();
+        let single = self.schedule_of(1);
+        let pipelined = self.schedule_of(Self::PIPELINE_DEPTH);
         let steady = pipelined
             .makespan()
             .saturating_sub(single.makespan())
@@ -133,8 +183,20 @@ impl CpuTrainingSim {
 
     /// Simulates exactly one un-pipelined fleet iteration (latency view).
     pub fn run_single_iteration(&self) -> SimReport {
-        let schedule = self.build_graph(1).simulate();
+        let schedule = self.schedule_of(1);
         self.report(schedule.makespan(), &schedule)
+    }
+
+    /// Builds and simulates the fleet graph; see
+    /// [`GpuTrainingSim::schedule_of`]'s invariant note — the validated
+    /// constructor makes the fallback unreachable.
+    ///
+    /// [`GpuTrainingSim::schedule_of`]: crate::gpu::GpuTrainingSim
+    fn schedule_of(&self, iterations: usize) -> Schedule {
+        match self.build_graph(iterations).simulate() {
+            Ok(schedule) => schedule,
+            Err(_) => TaskGraph::new().execute(),
+        }
     }
 
     fn build_graph(&self, iterations: usize) -> TaskGraph {
@@ -343,7 +405,7 @@ mod tests {
 
     #[test]
     fn single_trainer_runs() {
-        let r = CpuTrainingSim::new(&test_config(), CpuClusterSetup::single_trainer(200)).run();
+        let r = CpuTrainingSim::new(&test_config(), CpuClusterSetup::single_trainer(200)).expect("valid setup").run();
         assert!(r.throughput() > 0.0);
         assert!(r.power().as_watts() > 0.0);
     }
@@ -364,6 +426,7 @@ mod tests {
                 sync_period: 16,
             },
         )
+        .expect("valid setup")
         .run();
         let eight = CpuTrainingSim::new(
             &cfg,
@@ -376,6 +439,7 @@ mod tests {
                 sync_period: 16,
             },
         )
+        .expect("valid setup")
         .run();
         let speedup = eight.throughput() / one.throughput();
         assert!(
@@ -399,6 +463,7 @@ mod tests {
                     sync_period: 16,
                 },
             )
+            .expect("valid setup")
             .run()
             .throughput()
         };
@@ -414,6 +479,7 @@ mod tests {
         let cfg = test_config();
         let mk = |b: u64| {
             CpuTrainingSim::new(&cfg, CpuClusterSetup::single_trainer(b))
+                .expect("valid setup")
                 .run()
                 .throughput()
         };
@@ -439,16 +505,33 @@ mod tests {
                 sync_period: 16,
             },
         )
+        .expect("valid setup")
         .run();
         // 14 servers at >= idle 45% of 600 W each.
         assert!(r.power().as_watts() >= 14.0 * 600.0 * 0.45);
     }
 
     #[test]
+    fn zero_counts_are_rejected_with_rv029() {
+        let mut setup = CpuClusterSetup::single_trainer(200);
+        setup.trainers = 0;
+        setup.sync_period = 0;
+        let err = CpuTrainingSim::new(&test_config(), setup)
+            .expect_err("zero trainers rejected");
+        match err {
+            SimError::Invalid(v) => {
+                assert!(v.has_code(Code::InvalidClusterConfig));
+                assert_eq!(v.diagnostics().len(), 2);
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
     fn deterministic() {
         let cfg = test_config();
-        let a = CpuTrainingSim::new(&cfg, CpuClusterSetup::single_trainer(200)).run();
-        let b = CpuTrainingSim::new(&cfg, CpuClusterSetup::single_trainer(200)).run();
+        let a = CpuTrainingSim::new(&cfg, CpuClusterSetup::single_trainer(200)).expect("valid setup").run();
+        let b = CpuTrainingSim::new(&cfg, CpuClusterSetup::single_trainer(200)).expect("valid setup").run();
         assert_eq!(a, b);
     }
 }

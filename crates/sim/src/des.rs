@@ -12,6 +12,7 @@
 //! given graph always produces the same schedule.
 
 use recsim_hw::units::Duration;
+use recsim_verify::{Code, Diagnostic, Validate, ValidationError};
 use std::collections::BinaryHeap;
 
 /// Identifies a resource in a [`TaskGraph`].
@@ -49,13 +50,16 @@ struct Task {
 /// let a = g.add_task("kernel_a", Duration::from_millis(1.0), Some(gpu), &[]);
 /// let b = g.add_task("kernel_b", Duration::from_millis(2.0), Some(gpu), &[a]);
 /// let _ = b;
-/// let schedule = g.simulate();
+/// let schedule = g.simulate().expect("valid graph");
 /// assert!((schedule.makespan().as_millis() - 3.0).abs() < 1e-9);
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct TaskGraph {
     resources: Vec<Resource>,
     tasks: Vec<Task>,
+    /// Structural problems recorded by the infallible builder methods;
+    /// surfaced by [`Validate::validate`] and rejected by [`TaskGraph::simulate`].
+    violations: Vec<Diagnostic>,
 }
 
 /// The result of simulating a [`TaskGraph`].
@@ -77,27 +81,98 @@ impl TaskGraph {
         Self::default()
     }
 
+    /// Registers a resource with `capacity` concurrent slots, rejecting a
+    /// zero capacity with an [`Code::ZeroCapacityResource`] diagnostic
+    /// (RV027) instead of registering anything.
+    pub fn try_add_resource(
+        &mut self,
+        name: impl Into<String>,
+        capacity: usize,
+    ) -> Result<ResourceId, Diagnostic> {
+        let name = name.into();
+        if capacity == 0 {
+            return Err(Diagnostic::error(
+                Code::ZeroCapacityResource,
+                format!("TaskGraph.resource({name})"),
+                "resource capacity must be positive",
+            ));
+        }
+        self.resources.push(Resource { name, capacity });
+        Ok(ResourceId(self.resources.len() - 1))
+    }
+
     /// Registers a resource with `capacity` concurrent slots.
     ///
-    /// # Panics
-    ///
-    /// Panics if `capacity == 0`.
+    /// A zero `capacity` is recorded as a violation (RV027) that makes
+    /// [`TaskGraph::simulate`] fail; the resource is still registered (with
+    /// a single slot, so later ids stay aligned) and a usable id returned.
+    /// Builders that want the error at the call site use
+    /// [`TaskGraph::try_add_resource`].
     pub fn add_resource(&mut self, name: impl Into<String>, capacity: usize) -> ResourceId {
-        assert!(capacity > 0, "resource capacity must be positive");
-        self.resources.push(Resource {
-            name: name.into(),
-            capacity,
+        let name = name.into();
+        match self.try_add_resource(name.clone(), capacity) {
+            Ok(id) => id,
+            Err(violation) => {
+                self.violations.push(violation);
+                self.resources.push(Resource { name, capacity: 1 });
+                ResourceId(self.resources.len() - 1)
+            }
+        }
+    }
+
+    /// Adds a task with a fixed duration, an optional resource binding, and
+    /// dependencies that must finish before it starts, rejecting an unknown
+    /// resource ([`Code::UnknownTaskResource`], RV025) or a dependency
+    /// created after its dependent ([`Code::DependencyCycle`], RV026 —
+    /// insertion order is the builder's acyclicity proof) without adding
+    /// anything.
+    pub fn try_add_task(
+        &mut self,
+        name: impl Into<String>,
+        duration: Duration,
+        resource: Option<ResourceId>,
+        deps: &[TaskId],
+    ) -> Result<TaskId, Diagnostic> {
+        let name = name.into();
+        if let Some(r) = resource {
+            if r.0 >= self.resources.len() {
+                return Err(Diagnostic::error(
+                    Code::UnknownTaskResource,
+                    format!("TaskGraph.task({name})"),
+                    format!("bound to unknown resource #{}", r.0),
+                ));
+            }
+        }
+        for d in deps {
+            if d.0 >= self.tasks.len() {
+                return Err(Diagnostic::error(
+                    Code::DependencyCycle,
+                    format!("TaskGraph.task({name})"),
+                    format!(
+                        "dependency #{} does not exist yet (dependencies must be \
+                         created before dependents)",
+                        d.0
+                    ),
+                ));
+            }
+        }
+        self.tasks.push(Task {
+            name,
+            duration,
+            resource,
+            deps: deps.to_vec(),
         });
-        ResourceId(self.resources.len() - 1)
+        TaskId(self.tasks.len() - 1)
     }
 
     /// Adds a task with a fixed duration, an optional resource binding, and
     /// dependencies that must finish before it starts.
     ///
-    /// # Panics
-    ///
-    /// Panics if a dependency or resource id is out of range (dependencies
-    /// must be created before dependents, which also guarantees acyclicity).
+    /// An unknown resource or dependency id is recorded as a violation
+    /// (RV025/RV026) that makes [`TaskGraph::simulate`] fail; the task is
+    /// still added (with the offending references dropped, so later ids stay
+    /// aligned) and a usable id returned. Builders that want the error at
+    /// the call site use [`TaskGraph::try_add_task`].
     pub fn add_task(
         &mut self,
         name: impl Into<String>,
@@ -105,19 +180,45 @@ impl TaskGraph {
         resource: Option<ResourceId>,
         deps: &[TaskId],
     ) -> TaskId {
-        if let Some(r) = resource {
-            assert!(r.0 < self.resources.len(), "unknown resource");
+        let name = name.into();
+        match self.try_add_task(name.clone(), duration, resource, deps) {
+            Ok(id) => id,
+            Err(violation) => {
+                self.violations.push(violation);
+                let resource = resource.filter(|r| r.0 < self.resources.len());
+                let deps = deps
+                    .iter()
+                    .copied()
+                    .filter(|d| d.0 < self.tasks.len())
+                    .collect();
+                self.tasks.push(Task {
+                    name,
+                    duration,
+                    resource,
+                    deps,
+                });
+                TaskId(self.tasks.len() - 1)
+            }
         }
-        for d in deps {
-            assert!(d.0 < self.tasks.len(), "dependency created after dependent");
+    }
+
+    /// Adds an extra dependency edge between two existing tasks.
+    ///
+    /// Unlike the deps passed to [`TaskGraph::add_task`] — whose insertion
+    /// order proves acyclicity — a late edge can close a cycle. The cycle is
+    /// not checked here; [`TaskGraph::simulate`] rejects cyclic graphs with
+    /// RV026. An edge referencing a task outside the graph is recorded as a
+    /// violation instead of being added.
+    pub fn add_dependency(&mut self, task: TaskId, dep: TaskId) {
+        if task.0 >= self.tasks.len() || dep.0 >= self.tasks.len() {
+            self.violations.push(Diagnostic::error(
+                Code::DependencyCycle,
+                format!("TaskGraph.edge({} <- {})", task.0, dep.0),
+                "dependency edge references a task outside the graph",
+            ));
+            return;
         }
-        self.tasks.push(Task {
-            name: name.into(),
-            duration,
-            resource,
-            deps: deps.to_vec(),
-        });
-        TaskId(self.tasks.len() - 1)
+        self.tasks[task.0].deps.push(dep);
     }
 
     /// A zero-duration joining task depending on all of `deps` — a barrier.
@@ -136,7 +237,20 @@ impl TaskGraph {
     }
 
     /// Runs the discrete-event simulation and returns the schedule.
-    pub fn simulate(&self) -> Schedule {
+    ///
+    /// The graph is validated first ([`Validate::check`]): violations
+    /// recorded by the builder methods, plus a full Kahn topological pass
+    /// that catches cycles closed by [`TaskGraph::add_dependency`]
+    /// ([`Code::DependencyCycle`], RV026).
+    pub fn simulate(&self) -> Result<Schedule, ValidationError> {
+        self.check()?;
+        Ok(self.execute())
+    }
+
+    /// The discrete-event engine proper. Only called on a validated graph:
+    /// every resource binding is in range and the dependency relation is
+    /// acyclic, so the event loop completes every task.
+    pub(crate) fn execute(&self) -> Schedule {
         let n = self.tasks.len();
         let mut remaining_deps: Vec<usize> = self.tasks.iter().map(|t| t.deps.len()).collect();
         let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -168,11 +282,11 @@ impl TaskGraph {
         }
         impl Ord for Event {
             fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-                // Reverse for min-heap.
+                // Reverse for min-heap; total_cmp keeps the ordering total
+                // even if a task duration degenerates to NaN.
                 other
                     .0
-                    .partial_cmp(&self.0)
-                    .expect("finite times")
+                    .total_cmp(&self.0)
                     .then(other.1.cmp(&self.1))
                     .then(other.2.cmp(&self.2))
             }
@@ -297,10 +411,9 @@ impl TaskGraph {
             }
         }
 
-        assert!(
-            done.iter().all(|&d| d),
-            "unreachable tasks in graph (cyclic or dangling dependencies)"
-        );
+        // Validation guarantees acyclicity, so every task has completed;
+        // the fold below would simply ignore unreached (zero-time) tasks if
+        // that invariant were ever broken.
         let makespan = finish
             .iter()
             .copied()
@@ -315,6 +428,59 @@ impl TaskGraph {
             task_names: self.tasks.iter().map(|t| t.name.clone()).collect(),
             task_resource: self.tasks.iter().map(|t| t.resource.map(|r| r.0)).collect(),
         }
+    }
+}
+
+impl Validate for TaskGraph {
+    /// Violations recorded while building (RV025/RV026/RV027) plus a Kahn
+    /// topological pass over the final dependency relation — the only way
+    /// to catch cycles closed after the fact by
+    /// [`TaskGraph::add_dependency`].
+    fn validate(&self) -> Vec<Diagnostic> {
+        let mut out = self.violations.clone();
+
+        let n = self.tasks.len();
+        let mut remaining: Vec<usize> = vec![0; n];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, t) in self.tasks.iter().enumerate() {
+            for d in &t.deps {
+                if d.0 < n {
+                    remaining[i] += 1;
+                    dependents[d.0].push(i);
+                }
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| remaining[i] == 0).collect();
+        let mut settled = 0usize;
+        while let Some(i) = queue.pop() {
+            settled += 1;
+            for &dep in &dependents[i] {
+                remaining[dep] -= 1;
+                if remaining[dep] == 0 {
+                    queue.push(dep);
+                }
+            }
+        }
+        if settled < n {
+            let stuck: Vec<&str> = self
+                .tasks
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| remaining[i] > 0)
+                .take(4)
+                .map(|(_, t)| t.name.as_str())
+                .collect();
+            out.push(Diagnostic::error(
+                Code::DependencyCycle,
+                "TaskGraph",
+                format!(
+                    "{} task(s) are trapped in a dependency cycle (e.g. {})",
+                    n - settled,
+                    stuck.join(", ")
+                ),
+            ));
+        }
+        out
     }
 }
 
@@ -367,7 +533,7 @@ impl Schedule {
         self.utilizations()
             .into_iter()
             .filter(|(_, u)| *u > 0.0)
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
     }
 
     /// Name of a task (diagnostics).
@@ -432,7 +598,7 @@ mod tests {
         let a = g.add_task("a", ms(1.0), Some(r), &[]);
         let b = g.add_task("b", ms(2.0), Some(r), &[a]);
         let c = g.add_task("c", ms(3.0), Some(r), &[b]);
-        let s = g.simulate();
+        let s = g.simulate().expect("valid graph");
         assert!((s.makespan().as_millis() - 6.0).abs() < 1e-9);
         assert!((s.finish_of(c).as_millis() - 6.0).abs() < 1e-9);
         assert!((s.utilization(r) - 1.0).abs() < 1e-9);
@@ -445,7 +611,7 @@ mod tests {
         let r2 = g.add_resource("r2", 1);
         g.add_task("a", ms(5.0), Some(r1), &[]);
         g.add_task("b", ms(5.0), Some(r2), &[]);
-        let s = g.simulate();
+        let s = g.simulate().expect("valid graph");
         assert!((s.makespan().as_millis() - 5.0).abs() < 1e-9);
     }
 
@@ -455,7 +621,7 @@ mod tests {
         let r = g.add_resource("r", 1);
         g.add_task("a", ms(5.0), Some(r), &[]);
         g.add_task("b", ms(5.0), Some(r), &[]);
-        let s = g.simulate();
+        let s = g.simulate().expect("valid graph");
         assert!((s.makespan().as_millis() - 10.0).abs() < 1e-9);
     }
 
@@ -466,7 +632,7 @@ mod tests {
         for i in 0..4 {
             g.add_task(format!("t{i}"), ms(1.0), Some(r), &[]);
         }
-        let s = g.simulate();
+        let s = g.simulate().expect("valid graph");
         assert!((s.makespan().as_millis() - 2.0).abs() < 1e-9);
         assert!((s.utilization(r) - 1.0).abs() < 1e-9);
     }
@@ -478,7 +644,7 @@ mod tests {
         let r2 = g.add_resource("r2", 1);
         let a = g.add_task("a", ms(3.0), Some(r1), &[]);
         let b = g.add_task("b", ms(1.0), Some(r2), &[a]);
-        let s = g.simulate();
+        let s = g.simulate().expect("valid graph");
         assert!((s.start_of(b).as_millis() - 3.0).abs() < 1e-9);
         assert!((s.makespan().as_millis() - 4.0).abs() < 1e-9);
     }
@@ -491,7 +657,7 @@ mod tests {
         let a = g.add_task("a", ms(2.0), Some(r1), &[]);
         let b = g.add_task("b", ms(7.0), Some(r2), &[]);
         let j = g.add_barrier("join", &[a, b]);
-        let s = g.simulate();
+        let s = g.simulate().expect("valid graph");
         assert!((s.finish_of(j).as_millis() - 7.0).abs() < 1e-9);
     }
 
@@ -501,7 +667,7 @@ mod tests {
         let r = g.add_resource("r", 1);
         let first = g.add_task("first", ms(1.0), Some(r), &[]);
         let second = g.add_task("second", ms(1.0), Some(r), &[]);
-        let s = g.simulate();
+        let s = g.simulate().expect("valid graph");
         assert!(s.finish_of(first).as_secs() < s.finish_of(second).as_secs());
     }
 
@@ -512,7 +678,7 @@ mod tests {
         let r2 = g.add_resource("r2", 1);
         let a = g.add_task("a", ms(8.0), Some(r1), &[]);
         g.add_task("b", ms(2.0), Some(r2), &[a]);
-        let s = g.simulate();
+        let s = g.simulate().expect("valid graph");
         assert!((s.utilization(r1) - 0.8).abs() < 1e-9);
         assert!((s.utilization(r2) - 0.2).abs() < 1e-9);
         let (name, _) = s.bottleneck().expect("has bottleneck");
@@ -522,7 +688,7 @@ mod tests {
     #[test]
     fn empty_graph_is_trivial() {
         let g = TaskGraph::new();
-        let s = g.simulate();
+        let s = g.simulate().expect("valid graph");
         assert_eq!(s.makespan(), Duration::ZERO);
         assert!(s.bottleneck().is_none());
     }
@@ -536,7 +702,7 @@ mod tests {
         let _ = b;
         g.add_task("free_task", ms(0.5), None, &[]);
         g.add_barrier("done", &[a]); // zero-duration: skipped in the trace
-        let trace = g.simulate().to_chrome_trace();
+        let trace = g.simulate().expect("valid graph").to_chrome_trace();
         let parsed: serde_json::Value =
             serde_json::from_str(&trace).expect("valid JSON despite quoted names");
         let events = parsed["traceEvents"].as_array().expect("array");
@@ -556,8 +722,52 @@ mod tests {
     fn unbound_tasks_run_immediately() {
         let mut g = TaskGraph::new();
         let a = g.add_task("free", ms(4.0), None, &[]);
-        let s = g.simulate();
+        let s = g.simulate().expect("valid graph");
         assert!((s.finish_of(a).as_millis() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_capacity_resource_is_rv027() {
+        let mut g = TaskGraph::new();
+        assert!(g.try_add_resource("broken", 0).is_err());
+        let r = g.add_resource("broken", 0); // recorded, id still usable
+        g.add_task("t", ms(1.0), Some(r), &[]);
+        let err = g.simulate().expect_err("zero capacity rejected");
+        assert!(err.has_code(Code::ZeroCapacityResource));
+    }
+
+    #[test]
+    fn unknown_resource_binding_is_rv025() {
+        let mut g = TaskGraph::new();
+        g.add_resource("real", 1);
+        let phantom = ResourceId(7);
+        assert!(g.try_add_task("t", ms(1.0), Some(phantom), &[]).is_err());
+        g.add_task("t", ms(1.0), Some(phantom), &[]);
+        let err = g.simulate().expect_err("unknown resource rejected");
+        assert!(err.has_code(Code::UnknownTaskResource));
+    }
+
+    #[test]
+    fn forward_dependency_is_rv026() {
+        let mut g = TaskGraph::new();
+        let future = TaskId(3);
+        assert!(g.try_add_task("t", ms(1.0), None, &[future]).is_err());
+        g.add_task("t", ms(1.0), None, &[future]);
+        let err = g.simulate().expect_err("forward dependency rejected");
+        assert!(err.has_code(Code::DependencyCycle));
+    }
+
+    #[test]
+    fn injected_cycle_is_rv026() {
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("r", 1);
+        let a = g.add_task("a", ms(1.0), Some(r), &[]);
+        let b = g.add_task("b", ms(1.0), Some(r), &[a]);
+        let c = g.add_task("c", ms(1.0), Some(r), &[b]);
+        g.add_dependency(a, c); // closes the a -> b -> c -> a cycle
+        let err = g.simulate().expect_err("cycle rejected");
+        assert!(err.has_code(Code::DependencyCycle));
+        assert!(err.to_string().contains("RV026"), "{err}");
     }
 
     #[test]
@@ -568,7 +778,7 @@ mod tests {
         let left = g.add_task("left", ms(2.0), Some(r), &[src]);
         let right = g.add_task("right", ms(3.0), Some(r), &[src]);
         let sink = g.add_task("sink", ms(1.0), Some(r), &[left, right]);
-        let s = g.simulate();
+        let s = g.simulate().expect("valid graph");
         // 1 + max(2,3) + 1 = 5.
         assert!((s.finish_of(sink).as_millis() - 5.0).abs() < 1e-9);
     }

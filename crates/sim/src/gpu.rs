@@ -20,14 +20,14 @@
 //! traffic at each table's owner, plus a ring all-reduce of dense gradients.
 
 use crate::cost::{CostKnobs, IterationCosts};
-use crate::des::{ResourceId, TaskGraph, TaskId};
+use crate::des::{ResourceId, Schedule, TaskGraph, TaskId};
 use crate::report::SimReport;
+use crate::SimError;
 use recsim_data::schema::ModelConfig;
 use recsim_hw::units::Bytes;
-use recsim_hw::{Platform, PowerModel};
-use recsim_placement::{
-    Placement, PlacementError, PlacementStrategy, TableAssignment, TableLocation,
-};
+use recsim_hw::{Link, Platform, PowerModel};
+use recsim_placement::{Placement, PlacementStrategy, TableAssignment, TableLocation};
+use recsim_verify::{Code, Diagnostic, Validate};
 
 /// Simulator for one GPU-server training setup.
 ///
@@ -40,6 +40,11 @@ pub struct GpuTrainingSim {
     batch: u64,
     knobs: CostKnobs,
     cache_hit_rate: f64,
+    /// Host-GPU link, extracted once construction has validated that the
+    /// platform actually reaches its GPUs.
+    pcie: Link,
+    /// Direct GPU-GPU interconnect, when the platform has one.
+    nvlink: Option<Link>,
 }
 
 impl GpuTrainingSim {
@@ -47,48 +52,76 @@ impl GpuTrainingSim {
     ///
     /// # Errors
     ///
-    /// Propagates [`PlacementError`] when the strategy cannot host the
-    /// model's tables.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `batch == 0` or the platform has no GPUs.
+    /// [`SimError::Placement`] when the strategy cannot host the model's
+    /// tables; [`SimError::Invalid`] when the model or platform fails
+    /// validation.
     pub fn new(
         config: &ModelConfig,
         platform: &Platform,
         strategy: PlacementStrategy,
         batch: u64,
-    ) -> Result<Self, PlacementError> {
+    ) -> Result<Self, SimError> {
         let placement = Placement::plan(
             config,
             platform,
             strategy,
             recsim_placement::plan::ADAGRAD_STATE_MULTIPLIER,
         )?;
-        Ok(Self::with_placement(config, platform, placement, batch))
+        Self::with_placement(config, platform, placement, batch)
     }
 
     /// Builds the simulator from an existing placement.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `batch == 0` or the platform has no GPUs.
+    /// [`SimError::Invalid`] with the collected RV0xx diagnostics when the
+    /// model config, platform, or placement fails [`Validate`], when
+    /// `batch == 0`, or when the platform has no (reachable) GPUs.
     pub fn with_placement(
         config: &ModelConfig,
         platform: &Platform,
         placement: Placement,
         batch: u64,
-    ) -> Self {
-        assert!(batch > 0, "batch must be positive");
-        assert!(platform.has_gpus(), "GPU training needs GPUs");
-        Self {
+    ) -> Result<Self, SimError> {
+        let mut diagnostics = config.validate();
+        diagnostics.extend(platform.validate());
+        diagnostics.extend(placement.validate());
+        if batch == 0 {
+            diagnostics.push(Diagnostic::error(
+                Code::InvalidClusterConfig,
+                "GpuTrainingSim.batch",
+                "batch must be positive",
+            ));
+        }
+        if !platform.has_gpus() {
+            diagnostics.push(Diagnostic::error(
+                Code::InvalidPlatform,
+                format!("GpuTrainingSim.platform({})", platform.name()),
+                "GPU training needs a platform with GPUs",
+            ));
+        }
+        // RV020 from Platform::validate already covers the GPUs-without-a-
+        // host-link case, so this only fails alongside it.
+        let pcie = match platform.host_gpu_link() {
+            Some(link) => *link,
+            None => {
+                return Err(SimError::Invalid(collect_errors(diagnostics)));
+            }
+        };
+        let errors = collect_errors(diagnostics);
+        if !errors.diagnostics().is_empty() {
+            return Err(SimError::Invalid(errors));
+        }
+        Ok(Self {
             config: config.clone(),
             platform: platform.clone(),
             placement,
             batch,
             knobs: CostKnobs::default(),
             cache_hit_rate: 0.0,
-        }
+            pcie,
+            nvlink: platform.gpu_interconnect().copied(),
+        })
     }
 
     /// Adds a GPU-resident hot-row cache in front of host/remote embedding
@@ -97,22 +130,33 @@ impl GpuTrainingSim {
     /// rates from `recsim_data::trace::ReuseProfile::lru_hit_rate` — the
     /// caching opportunity the paper's Section III.A.2 points at.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `hit_rate` is outside `[0, 1]`.
-    pub fn with_host_cache_hit_rate(mut self, hit_rate: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&hit_rate),
-            "hit rate must be in [0, 1]"
-        );
+    /// [`SimError::Invalid`] (RV029) if `hit_rate` is outside `[0, 1]`.
+    pub fn with_host_cache_hit_rate(mut self, hit_rate: f64) -> Result<Self, SimError> {
+        if !hit_rate.is_finite() || !(0.0..=1.0).contains(&hit_rate) {
+            return Err(SimError::Invalid(
+                Diagnostic::error(
+                    Code::InvalidClusterConfig,
+                    "GpuTrainingSim.cache_hit_rate",
+                    format!("hit rate must be in [0, 1], got {hit_rate}"),
+                )
+                .into(),
+            ));
+        }
         self.cache_hit_rate = hit_rate;
-        self
+        Ok(self)
     }
 
     /// Overrides the cost-model knobs (for ablations).
-    pub fn with_knobs(mut self, knobs: CostKnobs) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Invalid`] (RV024) when a knob fails [`Validate`].
+    pub fn with_knobs(mut self, knobs: CostKnobs) -> Result<Self, SimError> {
+        knobs.check()?;
         self.knobs = knobs;
-        self
+        Ok(self)
     }
 
     /// The planned placement.
@@ -136,8 +180,8 @@ impl GpuTrainingSim {
     /// Simulates steady-state pipelined training and reports the marginal
     /// per-iteration time.
     pub fn run(&self) -> SimReport {
-        let single = self.build_graph(1).simulate();
-        let pipelined = self.build_graph(Self::PIPELINE_DEPTH).simulate();
+        let single = self.schedule_of(1);
+        let pipelined = self.schedule_of(Self::PIPELINE_DEPTH);
         let steady = pipelined
             .makespan()
             .saturating_sub(single.makespan())
@@ -150,7 +194,7 @@ impl GpuTrainingSim {
 
     /// Simulates exactly one un-pipelined iteration (latency view).
     pub fn run_single_iteration(&self) -> SimReport {
-        let schedule = self.build_graph(1).simulate();
+        let schedule = self.schedule_of(1);
         self.report(schedule.makespan(), &schedule)
     }
 
@@ -158,7 +202,18 @@ impl GpuTrainingSim {
     /// `chrome://tracing` / Perfetto): which kernel, copy or transfer ran
     /// where and when.
     pub fn timeline(&self) -> String {
-        self.build_graph(1).simulate().to_chrome_trace()
+        self.schedule_of(1).to_chrome_trace()
+    }
+
+    /// Builds and simulates the iteration graph. Construction validated
+    /// every input and `build_graph` only wires ids it just created, so the
+    /// graph always passes its own validation; if that invariant ever broke
+    /// an empty schedule (zero makespan) is returned rather than a panic.
+    fn schedule_of(&self, iterations: usize) -> Schedule {
+        match self.build_graph(iterations).simulate() {
+            Ok(schedule) => schedule,
+            Err(_) => TaskGraph::new().execute(),
+        }
     }
 
     fn build_graph(&self, iterations: usize) -> TaskGraph {
@@ -188,7 +243,7 @@ impl GpuTrainingSim {
 
         let host_dev = *self.platform.host();
         let gpu_devs: Vec<_> = self.platform.gpus().to_vec();
-        let pcie = *self.platform.host_gpu_link().expect("GPU platform has PCIe");
+        let pcie = self.pcie;
         let nic = *self.platform.network();
 
         // ---- Placement-derived traffic ---------------------------------
@@ -749,7 +804,9 @@ impl GpuTrainingSim {
         let barrier_cost = self.knobs.collective_barrier * rounds as f64;
         match nvlink {
             Some(nv) => {
-                let link = self.platform.gpu_interconnect().expect("checked");
+                // The nvlink resource only exists when the link does; the
+                // fallback keeps this total without a panicking call.
+                let link = self.nvlink.unwrap_or(self.pcie);
                 let tasks: Vec<TaskId> = (0..g_count)
                     .map(|g| {
                         graph.add_task(
@@ -769,7 +826,7 @@ impl GpuTrainingSim {
                 // No direct GPU-GPU path: D2H per GPU, host staging of the
                 // full volume, then H2D per GPU. This is the prototype-Zion
                 // relay the paper calls out in Section VI.B.
-                let pcie = self.platform.host_gpu_link().expect("GPU platform");
+                let pcie = self.pcie;
                 let hop = self.knobs.staged_hop_latency * rounds as f64;
                 let ups: Vec<TaskId> = (0..g_count)
                     .map(|g| {
@@ -1000,6 +1057,7 @@ mod tests {
         let cached = GpuTrainingSim::new(&cfg, &bb, PlacementStrategy::SystemMemory, 1600)
             .unwrap()
             .with_host_cache_hit_rate(0.9)
+            .expect("valid hit rate")
             .run();
         assert!(
             cached.throughput() > uncached.throughput(),
@@ -1010,17 +1068,61 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "[0, 1]")]
     fn cache_hit_rate_validated() {
         let cfg = test_config();
-        let _ = GpuTrainingSim::new(
+        let err = GpuTrainingSim::new(
             &cfg,
             &big_basin(),
             PlacementStrategy::SystemMemory,
             256,
         )
         .unwrap()
-        .with_host_cache_hit_rate(1.5);
+        .with_host_cache_hit_rate(1.5)
+        .expect_err("hit rate above 1 rejected");
+        match err {
+            SimError::Invalid(v) => {
+                assert!(v.has_code(recsim_verify::Code::InvalidClusterConfig))
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn zero_batch_is_rejected_with_rv029() {
+        let err = GpuTrainingSim::new(
+            &test_config(),
+            &big_basin(),
+            PlacementStrategy::SystemMemory,
+            0,
+        )
+        .expect_err("zero batch rejected");
+        match err {
+            SimError::Invalid(v) => {
+                assert!(v.has_code(recsim_verify::Code::InvalidClusterConfig))
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn bad_knobs_are_rejected_with_rv024() {
+        let mut knobs = CostKnobs::default();
+        knobs.staging_fraction = -1.0;
+        let err = GpuTrainingSim::new(
+            &test_config(),
+            &big_basin(),
+            PlacementStrategy::SystemMemory,
+            256,
+        )
+        .unwrap()
+        .with_knobs(knobs)
+        .expect_err("negative staging fraction rejected");
+        match err {
+            SimError::Invalid(v) => {
+                assert!(v.has_code(recsim_verify::Code::InvalidCostKnob))
+            }
+            other => panic!("unexpected error: {other}"),
+        }
     }
 
     #[test]

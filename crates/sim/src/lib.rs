@@ -39,8 +39,12 @@
 //!     PlacementStrategy::GpuMemory(PartitionScheme::TableWise), 1600)?;
 //! let report = sim.run();
 //! assert!(report.throughput() > 0.0);
-//! # Ok::<(), recsim_placement::PlacementError>(())
+//! # Ok::<(), recsim_sim::SimError>(())
 //! ```
+//!
+//! Every simulation entry point validates its inputs up front
+//! ([`recsim_verify::Validate`]) and reports structured RV0xx diagnostics
+//! through [`SimError`] instead of panicking.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -58,3 +62,56 @@ pub use cost::CostKnobs;
 pub use cpu::{CpuClusterSetup, CpuTrainingSim};
 pub use gpu::GpuTrainingSim;
 pub use report::SimReport;
+
+use recsim_placement::PlacementError;
+use recsim_verify::{Diagnostic, Severity, ValidationError};
+
+/// Keeps only error-severity findings, the ones that abort a simulation.
+pub(crate) fn collect_errors(diagnostics: Vec<Diagnostic>) -> ValidationError {
+    ValidationError::new(
+        diagnostics
+            .into_iter()
+            .filter(|d| d.severity() == Severity::Error)
+            .collect(),
+    )
+}
+
+/// Why a simulation could not be built or run.
+#[derive(Debug)]
+pub enum SimError {
+    /// The placement planner could not host the model's tables.
+    Placement(PlacementError),
+    /// A configuration failed pre-simulation validation; the payload
+    /// carries the structured RV0xx diagnostics.
+    Invalid(ValidationError),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Placement(e) => write!(f, "placement failed: {e}"),
+            Self::Invalid(e) => write!(f, "invalid simulation input: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Placement(e) => Some(e),
+            Self::Invalid(e) => Some(e),
+        }
+    }
+}
+
+impl From<PlacementError> for SimError {
+    fn from(e: PlacementError) -> Self {
+        Self::Placement(e)
+    }
+}
+
+impl From<ValidationError> for SimError {
+    fn from(e: ValidationError) -> Self {
+        Self::Invalid(e)
+    }
+}

@@ -16,16 +16,16 @@
 //! the efficiency gap enormous.
 
 use crate::cost::{CostKnobs, IterationCosts};
-use crate::des::{TaskGraph, TaskId};
+use crate::des::{Schedule, TaskGraph, TaskId};
 use crate::report::SimReport;
 use recsim_data::schema::ModelConfig;
 use recsim_hw::units::Bytes;
 use recsim_hw::{Platform, PowerModel};
 use recsim_placement::plan::{gpu_table_capacity, ADAGRAD_STATE_MULTIPLIER};
-use serde::{Deserialize, Serialize};
+use recsim_verify::{Code, Diagnostic, Validate, ValidationError};
 
 /// Why a scale-out setup cannot be constructed.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ScaleOutError {
     /// Even the requested node count cannot hold the tables.
     Capacity {
@@ -34,6 +34,9 @@ pub enum ScaleOutError {
         /// Minimum nodes whose pooled HBM holds the tables.
         needed: u32,
     },
+    /// The model config or the setup parameters failed validation
+    /// (RV028/RV029/RV024 diagnostics).
+    Invalid(ValidationError),
 }
 
 impl std::fmt::Display for ScaleOutError {
@@ -43,11 +46,18 @@ impl std::fmt::Display for ScaleOutError {
                 f,
                 "tables need at least {needed} Big Basin nodes, got {nodes}"
             ),
+            ScaleOutError::Invalid(e) => write!(f, "invalid scale-out setup: {e}"),
         }
     }
 }
 
 impl std::error::Error for ScaleOutError {}
+
+impl From<ValidationError> for ScaleOutError {
+    fn from(e: ValidationError) -> Self {
+        Self::Invalid(e)
+    }
+}
 
 /// Simulator for `nodes` Big Basin servers training data-parallel with
 /// embedding tables sharded across all nodes' GPU memory.
@@ -87,18 +97,33 @@ impl ScaleOutSim {
     /// # Errors
     ///
     /// Returns [`ScaleOutError::Capacity`] when `nodes` of pooled HBM cannot
-    /// hold the tables.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `nodes == 0` or `batch_per_node == 0`.
+    /// hold the tables, and [`ScaleOutError::Invalid`] (RV028/RV029) when
+    /// the model config fails validation, `nodes == 0`, or
+    /// `batch_per_node == 0`.
     pub fn new(
         config: &ModelConfig,
         nodes: u32,
         batch_per_node: u64,
     ) -> Result<Self, ScaleOutError> {
-        assert!(nodes > 0, "need at least one node");
-        assert!(batch_per_node > 0, "batch must be positive");
+        let mut diagnostics = config.validate();
+        if nodes == 0 {
+            diagnostics.push(Diagnostic::error(
+                Code::InvalidClusterConfig,
+                "ScaleOutSim.nodes",
+                "need at least one node",
+            ));
+        }
+        if batch_per_node == 0 {
+            diagnostics.push(Diagnostic::error(
+                Code::InvalidClusterConfig,
+                "ScaleOutSim.batch_per_node",
+                "batch must be positive",
+            ));
+        }
+        let errors = crate::collect_errors(diagnostics);
+        if !errors.diagnostics().is_empty() {
+            return Err(ScaleOutError::Invalid(errors));
+        }
         let needed = min_nodes(config);
         if nodes < needed {
             return Err(ScaleOutError::Capacity { nodes, needed });
@@ -112,9 +137,14 @@ impl ScaleOutSim {
     }
 
     /// Overrides the cost-model knobs.
-    pub fn with_knobs(mut self, knobs: CostKnobs) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`ScaleOutError::Invalid`] (RV024) when a knob fails [`Validate`].
+    pub fn with_knobs(mut self, knobs: CostKnobs) -> Result<Self, ScaleOutError> {
+        knobs.check()?;
         self.knobs = knobs;
-        self
+        Ok(self)
     }
 
     /// Number of nodes.
@@ -124,9 +154,9 @@ impl ScaleOutSim {
 
     /// Simulates steady-state pipelined training across the nodes.
     pub fn run(&self) -> SimReport {
-        let single = self.build_graph(1).simulate();
+        let single = self.schedule_of(1);
         let depth = crate::gpu::GpuTrainingSim::PIPELINE_DEPTH;
-        let pipelined = self.build_graph(depth).simulate();
+        let pipelined = self.schedule_of(depth);
         let steady = pipelined.makespan().saturating_sub(single.makespan()) / (depth - 1) as f64;
         let steady = steady.max(single.makespan() / depth as f64);
 
@@ -145,6 +175,15 @@ impl ScaleOutSim {
             pipelined.bottleneck(),
             power,
         )
+    }
+
+    /// Builds and simulates the scale-out graph; the validated constructor
+    /// makes the fallback unreachable (see `GpuTrainingSim`).
+    fn schedule_of(&self, iterations: usize) -> Schedule {
+        match self.build_graph(iterations).simulate() {
+            Ok(schedule) => schedule,
+            Err(_) => TaskGraph::new().execute(),
+        }
     }
 
     fn build_graph(&self, iterations: usize) -> TaskGraph {
@@ -337,6 +376,17 @@ mod tests {
             Err(ScaleOutError::Capacity { .. })
         ));
         assert!(ScaleOutSim::new(&m3, needed, 800).is_ok());
+    }
+
+    #[test]
+    fn zero_nodes_are_rejected_with_rv029() {
+        let m3 = production_model(ProductionModelId::M3);
+        match ScaleOutSim::new(&m3, 0, 800) {
+            Err(ScaleOutError::Invalid(v)) => {
+                assert!(v.has_code(Code::InvalidClusterConfig))
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
     }
 
     #[test]

@@ -10,12 +10,14 @@
 
 use crate::gpu::GpuTrainingSim;
 use crate::report::SimReport;
+use crate::SimError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use recsim_data::schema::ModelConfig;
 use recsim_hw::Platform;
 use recsim_metrics::Summary;
 use recsim_placement::PlacementStrategy;
+use recsim_verify::{Code, Diagnostic};
 use serde::{Deserialize, Serialize};
 
 /// The hardware-noise model: each GPU independently runs at a derate factor
@@ -66,9 +68,12 @@ pub struct VariabilityStudy {
 impl VariabilityStudy {
     /// Runs `runs` noisy-fleet simulations of the given setup.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `runs == 0` or the placement does not fit the platform.
+    /// [`SimError::Invalid`] (RV029) when `runs == 0` or the model/platform
+    /// fails validation; [`SimError::Placement`] when the placement does
+    /// not fit the platform (noise never changes capacity, so every noisy
+    /// fleet fits whenever the nominal one does).
     pub fn run(
         config: &ModelConfig,
         platform: &Platform,
@@ -77,26 +82,34 @@ impl VariabilityStudy {
         noise: HardwareNoise,
         runs: usize,
         seed: u64,
-    ) -> Self {
-        assert!(runs > 0, "need at least one run");
+    ) -> Result<Self, SimError> {
+        if runs == 0 {
+            return Err(SimError::Invalid(
+                Diagnostic::error(
+                    Code::InvalidClusterConfig,
+                    "VariabilityStudy.runs",
+                    "need at least one run",
+                )
+                .into(),
+            ));
+        }
         let mut rng = StdRng::seed_from_u64(seed);
-        let nominal = GpuTrainingSim::new(config, platform, strategy, batch)
-            .expect("placement must fit")
+        let nominal = GpuTrainingSim::new(config, platform, strategy, batch)?
             .run()
             .throughput();
-        let throughputs = (0..runs)
-            .map(|_| {
-                let noisy = noise.sample_platform(platform, &mut rng);
-                GpuTrainingSim::new(config, &noisy, strategy, batch)
-                    .expect("noise does not change capacity")
+        let mut throughputs = Vec::with_capacity(runs);
+        for _ in 0..runs {
+            let noisy = noise.sample_platform(platform, &mut rng);
+            throughputs.push(
+                GpuTrainingSim::new(config, &noisy, strategy, batch)?
                     .run()
-                    .throughput()
-            })
-            .collect();
-        Self {
+                    .throughput(),
+            );
+        }
+        Ok(Self {
             throughputs,
             nominal,
-        }
+        })
     }
 
     /// Throughput of the noise-free fleet.
@@ -153,7 +166,8 @@ mod tests {
             HardwareNoise::default(),
             12,
             7,
-        );
+        )
+        .expect("valid study");
         for &t in study.samples() {
             assert!(
                 t <= study.nominal_throughput() + 1e-6,
@@ -178,7 +192,8 @@ mod tests {
             },
             16,
             11,
-        );
+        )
+        .expect("valid study");
         let harsh = VariabilityStudy::run(
             &cfg,
             &platform,
@@ -190,7 +205,8 @@ mod tests {
             },
             16,
             11,
-        );
+        )
+        .expect("valid study");
         assert!(
             harsh.mean_loss() > mild.mean_loss(),
             "sigma 0.20 loses {:.3} vs sigma 0.02 {:.3}",
@@ -204,10 +220,12 @@ mod tests {
         let (cfg, platform, strategy) = setup();
         let a = VariabilityStudy::run(
             &cfg, &platform, strategy, 512, HardwareNoise::default(), 6, 3,
-        );
+        )
+        .expect("valid study");
         let b = VariabilityStudy::run(
             &cfg, &platform, strategy, 512, HardwareNoise::default(), 6, 3,
-        );
+        )
+        .expect("valid study");
         assert_eq!(a, b);
     }
 

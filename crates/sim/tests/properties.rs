@@ -5,9 +5,12 @@ use proptest::prelude::*;
 use recsim_data::schema::ModelConfig;
 use recsim_hw::units::{Bytes, Duration};
 use recsim_hw::Platform;
-use recsim_placement::{PartitionScheme, PlacementStrategy};
+use recsim_placement::{
+    PartitionScheme, Placement, PlacementStrategy, TableAssignment, TableLocation,
+};
 use recsim_sim::des::TaskGraph;
 use recsim_sim::{CostKnobs, CpuClusterSetup, CpuTrainingSim, GpuTrainingSim};
+use recsim_verify::{Code, Validate};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -28,7 +31,7 @@ proptest! {
             };
             prev = Some(g.add_task(format!("t{i}"), Duration::from_secs(d), Some(r), &deps));
         }
-        let s = g.simulate();
+        let s = g.simulate().expect("valid graph");
         let max = durations.iter().copied().fold(0.0, f64::max);
         let sum: f64 = durations.iter().sum();
         prop_assert!(s.makespan().as_secs() >= max - 1e-9);
@@ -48,7 +51,7 @@ proptest! {
             for (i, &d) in durations.iter().enumerate() {
                 g.add_task(format!("t{i}"), Duration::from_secs(d), Some(r), &[]);
             }
-            g.simulate().makespan().as_secs()
+            g.simulate().expect("valid graph").makespan().as_secs()
         };
         prop_assert!(build(cap + 1) <= build(cap) + 1e-9);
     }
@@ -64,7 +67,7 @@ proptest! {
             let r = if i % 2 == 0 { r1 } else { r2 };
             g.add_task(format!("t{i}"), Duration::from_secs(d), Some(r), &[]);
         }
-        let s = g.simulate();
+        let s = g.simulate().expect("valid graph");
         for (_, u) in s.utilizations() {
             prop_assert!((0.0..=1.0).contains(&u));
         }
@@ -106,6 +109,7 @@ proptest! {
                 sync_period: 16,
             },
         )
+        .expect("valid setup")
         .run();
         prop_assert!(r.throughput() > 0.0);
         prop_assert!(r.power().as_watts() > 0.0);
@@ -174,7 +178,7 @@ proptest! {
             meta.push((*dur, *res_idx, deps.clone()));
             ids.push(id);
         }
-        let s = g.simulate();
+        let s = g.simulate().expect("valid graph");
         // 1. Durations respected.
         for (i, id) in ids.iter().enumerate() {
             let span = s.finish_of(*id).as_secs() - s.start_of(*id).as_secs();
@@ -225,5 +229,135 @@ proptest! {
         let k = CostKnobs::default();
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
         prop_assert!(k.gather_boost(lo) >= k.gather_boost(hi) - 1e-12);
+    }
+
+    #[test]
+    fn capacity_respecting_plans_validate(
+        sizes in prop::collection::vec(1u64..1000, 1..16),
+        num_gpus in 1usize..8,
+    ) {
+        // Round-robin the tables over the GPUs and set every capacity just
+        // large enough: Validate must accept the plan.
+        let assignments: Vec<TableAssignment> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &bytes)| TableAssignment {
+                table: i,
+                bytes,
+                gather_bytes_per_example: 8,
+                pooled_bytes_per_example: 8,
+                location: TableLocation::Gpu(i % num_gpus),
+            })
+            .collect();
+        let max_load = (0..num_gpus)
+            .map(|g| {
+                assignments
+                    .iter()
+                    .filter(|a| a.location == TableLocation::Gpu(g))
+                    .map(|a| a.bytes)
+                    .sum::<u64>()
+            })
+            .max()
+            .unwrap_or(0);
+        let plan = Placement::from_parts(
+            PlacementStrategy::GpuMemory(PartitionScheme::TableWise),
+            assignments,
+            num_gpus,
+            max_load,
+            0,
+            0,
+        );
+        prop_assert!(plan.check().is_ok());
+    }
+
+    #[test]
+    fn injected_overflow_is_always_rv021(
+        sizes in prop::collection::vec(1u64..1000, 1..16),
+        shrink in 1u64..50,
+    ) {
+        // Same round-robin plan, but the GPU capacity is strictly below the
+        // heaviest load: Validate must reject with RV021 specifically.
+        let num_gpus = 2usize;
+        let assignments: Vec<TableAssignment> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &bytes)| TableAssignment {
+                table: i,
+                bytes,
+                gather_bytes_per_example: 8,
+                pooled_bytes_per_example: 8,
+                location: TableLocation::Gpu(i % num_gpus),
+            })
+            .collect();
+        let max_load = (0..num_gpus)
+            .map(|g| {
+                assignments
+                    .iter()
+                    .filter(|a| a.location == TableLocation::Gpu(g))
+                    .map(|a| a.bytes)
+                    .sum::<u64>()
+            })
+            .max()
+            .unwrap_or(0);
+        prop_assume!(max_load > shrink);
+        let plan = Placement::from_parts(
+            PlacementStrategy::GpuMemory(PartitionScheme::TableWise),
+            assignments,
+            num_gpus,
+            max_load - shrink,
+            0,
+            0,
+        );
+        let err = plan.check().expect_err("over capacity");
+        prop_assert!(err.has_code(Code::PlacementOverCapacity));
+        prop_assert!(!err.has_code(Code::DanglingResource));
+    }
+
+    #[test]
+    fn injected_dangling_gpu_is_always_rv022(
+        num_gpus in 1usize..6,
+        beyond in 0usize..4,
+    ) {
+        let a = TableAssignment {
+            table: 0,
+            bytes: 64,
+            gather_bytes_per_example: 8,
+            pooled_bytes_per_example: 8,
+            location: TableLocation::Gpu(num_gpus + beyond),
+        };
+        let plan = Placement::from_parts(
+            PlacementStrategy::GpuMemory(PartitionScheme::TableWise),
+            vec![a],
+            num_gpus,
+            1 << 30,
+            0,
+            0,
+        );
+        let err = plan.check().expect_err("references a GPU past the end");
+        prop_assert!(err.has_code(Code::DanglingResource));
+    }
+
+    #[test]
+    fn injected_cycle_is_always_rv026(
+        prefix in prop::collection::vec(0.1f64..2.0, 0..6),
+        cycle_len in 2usize..5,
+    ) {
+        // A clean chain of `prefix` tasks followed by a forced cycle: the
+        // graph must be rejected with RV026, never executed.
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("r", 1);
+        let mut prev = None;
+        for (i, &d) in prefix.iter().enumerate() {
+            let deps: Vec<_> = prev.into_iter().collect();
+            prev = Some(g.add_task(format!("p{i}"), Duration::from_secs(d), Some(r), &deps));
+        }
+        let mut ring = Vec::new();
+        for i in 0..cycle_len {
+            let deps: Vec<_> = ring.last().copied().into_iter().collect();
+            ring.push(g.add_task(format!("c{i}"), Duration::from_secs(1.0), Some(r), &deps));
+        }
+        g.add_dependency(ring[0], ring[cycle_len - 1]);
+        let err = g.simulate().expect_err("cycle must be rejected");
+        prop_assert!(err.has_code(Code::DependencyCycle));
     }
 }

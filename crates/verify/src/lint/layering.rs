@@ -1,0 +1,254 @@
+//! Crate-layering rules (RV008, RV009): each crate's `[dependencies]` must
+//! respect the DESIGN.md DAG, and only a fixed set of external crates is
+//! allowed (the workspace is offline-first — nothing outside the baked-in
+//! set may be pulled in).
+//!
+//! The DAG, bottom-up:
+//!
+//! ```text
+//! verify ← metrics ← hw ← placement ← sim
+//!                  ↖ data ← model ← train
+//! core atop everything; bench + the root facade atop core.
+//! ```
+
+use crate::{Code, Diagnostic};
+
+/// External crates the workspace may depend on (build or dev). Anything
+/// else is RV009 — the environment is offline and nothing new gets vendored.
+pub const ALLOWED_EXTERNAL: [&str; 8] = [
+    "rand",
+    "rand_distr",
+    "proptest",
+    "criterion",
+    "crossbeam",
+    "parking_lot",
+    "serde",
+    "serde_json",
+];
+
+/// Allowed `[dependencies]` (workspace-internal) per crate — the DESIGN.md
+/// DAG. `[dev-dependencies]` are not layered: tests may reach sideways.
+pub fn allowed_internal(package: &str) -> Option<&'static [&'static str]> {
+    const VERIFY: &[&str] = &[];
+    const METRICS: &[&str] = &["recsim-verify"];
+    const HW: &[&str] = &["recsim-verify", "recsim-metrics"];
+    const DATA: &[&str] = &["recsim-verify", "recsim-metrics"];
+    const MODEL: &[&str] = &["recsim-verify", "recsim-metrics", "recsim-data"];
+    const PLACEMENT: &[&str] = &["recsim-verify", "recsim-metrics", "recsim-hw", "recsim-data"];
+    const SIM: &[&str] = &[
+        "recsim-verify",
+        "recsim-metrics",
+        "recsim-hw",
+        "recsim-data",
+        "recsim-placement",
+    ];
+    const TRAIN: &[&str] = &[
+        "recsim-verify",
+        "recsim-metrics",
+        "recsim-data",
+        "recsim-model",
+    ];
+    const CORE: &[&str] = &[
+        "recsim-verify",
+        "recsim-metrics",
+        "recsim-hw",
+        "recsim-data",
+        "recsim-model",
+        "recsim-placement",
+        "recsim-sim",
+        "recsim-train",
+    ];
+    const TOP: &[&str] = &[
+        "recsim-verify",
+        "recsim-metrics",
+        "recsim-hw",
+        "recsim-data",
+        "recsim-model",
+        "recsim-placement",
+        "recsim-sim",
+        "recsim-train",
+        "recsim-core",
+    ];
+    match package {
+        "recsim-verify" => Some(VERIFY),
+        "recsim-metrics" => Some(METRICS),
+        "recsim-hw" => Some(HW),
+        "recsim-data" => Some(DATA),
+        "recsim-model" => Some(MODEL),
+        "recsim-placement" => Some(PLACEMENT),
+        "recsim-sim" => Some(SIM),
+        "recsim-train" => Some(TRAIN),
+        "recsim-core" => Some(CORE),
+        "recsim-bench" | "recsim" => Some(TOP),
+        _ => None,
+    }
+}
+
+/// A parsed crate manifest: just the parts layering cares about.
+#[derive(Debug, Default, Clone)]
+pub struct ManifestDeps {
+    /// `name = "…"` under `[package]`.
+    pub package: String,
+    /// Keys under `[dependencies]`.
+    pub dependencies: Vec<String>,
+    /// Keys under `[dev-dependencies]`.
+    pub dev_dependencies: Vec<String>,
+}
+
+/// Minimal TOML section/key scanner — enough for Cargo manifests written in
+/// the workspace's style (one dependency per line; no inline tables
+/// spanning sections).
+pub fn parse_manifest(toml: &str) -> ManifestDeps {
+    #[derive(PartialEq)]
+    enum Section {
+        Package,
+        Dependencies,
+        DevDependencies,
+        Other,
+    }
+    let mut section = Section::Other;
+    let mut out = ManifestDeps::default();
+    for raw in toml.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            section = match line {
+                "[package]" => Section::Package,
+                "[dependencies]" => Section::Dependencies,
+                "[dev-dependencies]" => Section::DevDependencies,
+                _ => Section::Other,
+            };
+            continue;
+        }
+        let Some(eq) = line.find('=') else { continue };
+        let key = line[..eq].trim();
+        match section {
+            Section::Package if key == "name" => {
+                out.package = line[eq + 1..].trim().trim_matches('"').to_string();
+            }
+            Section::Dependencies | Section::DevDependencies => {
+                // `serde.workspace = true` → key `serde`.
+                let name = key.split('.').next().unwrap_or(key).trim().to_string();
+                if section == Section::Dependencies {
+                    out.dependencies.push(name);
+                } else {
+                    out.dev_dependencies.push(name);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// RV008 + RV009 for one crate manifest.
+pub fn check_manifest(path: &str, toml: &str) -> Vec<Diagnostic> {
+    let deps = parse_manifest(toml);
+    let mut out = Vec::new();
+    let Some(allowed) = allowed_internal(&deps.package) else {
+        out.push(Diagnostic::error(
+            Code::LayeringViolation,
+            path,
+            format!(
+                "crate `{}` is not in the DESIGN.md DAG — add it to \
+                 crates/verify/src/lint/layering.rs with its allowed layer",
+                deps.package
+            ),
+        ));
+        return out;
+    };
+    for dep in &deps.dependencies {
+        if dep.starts_with("recsim") {
+            if !allowed.contains(&dep.as_str()) {
+                out.push(Diagnostic::error(
+                    Code::LayeringViolation,
+                    path,
+                    format!(
+                        "`{}` may not depend on `{dep}`: the DESIGN.md DAG allows only {:?}",
+                        deps.package, allowed
+                    ),
+                ));
+            }
+        } else if !ALLOWED_EXTERNAL.contains(&dep.as_str()) {
+            out.push(Diagnostic::error(
+                Code::ForeignDependency,
+                path,
+                format!(
+                    "external dependency `{dep}` is outside the allowed set {ALLOWED_EXTERNAL:?}"
+                ),
+            ));
+        }
+    }
+    for dep in &deps.dev_dependencies {
+        // dev-deps are not layered, but they must still be offline-available.
+        if !dep.starts_with("recsim") && !ALLOWED_EXTERNAL.contains(&dep.as_str()) {
+            out.push(Diagnostic::error(
+                Code::ForeignDependency,
+                path,
+                format!(
+                    "external dev-dependency `{dep}` is outside the allowed set \
+                     {ALLOWED_EXTERNAL:?}"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_workspace_style_manifest() {
+        let toml = "\
+[package]
+name = \"recsim-hw\"
+version.workspace = true
+
+[dependencies]
+serde.workspace = true
+recsim-metrics = { path = \"../metrics\" }
+
+[dev-dependencies]
+proptest.workspace = true
+";
+        let m = parse_manifest(toml);
+        assert_eq!(m.package, "recsim-hw");
+        assert_eq!(m.dependencies, ["serde", "recsim-metrics"]);
+        assert_eq!(m.dev_dependencies, ["proptest"]);
+    }
+
+    #[test]
+    fn clean_manifest_passes() {
+        let toml = "[package]\nname = \"recsim-hw\"\n[dependencies]\nserde.workspace = true\n";
+        assert!(check_manifest("crates/hw/Cargo.toml", toml).is_empty());
+    }
+
+    #[test]
+    fn upward_dependency_is_rv008() {
+        let toml = "[package]\nname = \"recsim-hw\"\n[dependencies]\nrecsim-sim.workspace = true\n";
+        let diags = check_manifest("crates/hw/Cargo.toml", toml);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code(), Code::LayeringViolation);
+        assert!(diags[0].message().contains("recsim-sim"));
+    }
+
+    #[test]
+    fn foreign_dependency_is_rv009() {
+        let toml = "[package]\nname = \"recsim-hw\"\n[dependencies]\nsyn = \"2\"\n";
+        let diags = check_manifest("crates/hw/Cargo.toml", toml);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code(), Code::ForeignDependency);
+    }
+
+    #[test]
+    fn unknown_crate_is_flagged() {
+        let toml = "[package]\nname = \"recsim-extras\"\n[dependencies]\n";
+        let diags = check_manifest("crates/extras/Cargo.toml", toml);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code(), Code::LayeringViolation);
+    }
+}

@@ -1,0 +1,285 @@
+//! Layer 1: the workspace lint driver.
+//!
+//! Pure rule logic lives in the submodules ([`source`], [`knobs`],
+//! [`registry`], [`layering`]) so it can be unit-tested on inline
+//! fixtures; this module does the filesystem walking and wires the rules
+//! to the real tree. Everything runs offline on the checked-out sources —
+//! no network, no external tooling, no proc macros.
+
+pub mod knobs;
+pub mod layering;
+pub mod registry;
+pub mod source;
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::{Code, Diagnostic};
+
+/// Relative path of the RV002 budget file.
+pub const ALLOWLIST_PATH: &str = "crates/verify/panic_allowlist.txt";
+
+/// Locates the workspace root: `$CARGO_MANIFEST_DIR/../..` when run via
+/// `cargo run -p recsim-verify`, otherwise the nearest ancestor of the
+/// current directory whose `Cargo.toml` declares `[workspace]`.
+pub fn workspace_root() -> Option<PathBuf> {
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        let candidate = Path::new(&manifest).join("../..");
+        if is_workspace_root(&candidate) {
+            return candidate.canonicalize().ok();
+        }
+    }
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if is_workspace_root(&dir) {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn is_workspace_root(dir: &Path) -> bool {
+    fs::read_to_string(dir.join("Cargo.toml"))
+        .map(|s| s.contains("[workspace]"))
+        .unwrap_or(false)
+}
+
+/// Runs every Layer-1 rule over the workspace at `root`.
+pub fn run(root: &Path) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let budgets = load_allowlist(root, &mut diags);
+
+    // RV001 + RV002 over library sources.
+    for (rel, content) in library_sources(root, &mut diags) {
+        if rel.ends_with("src/lib.rs") {
+            diags.extend(source::check_forbid_unsafe(&rel, &content));
+        }
+        let budget = budgets.get(rel.as_str()).copied().unwrap_or(0);
+        diags.extend(source::check_panic_budget(&rel, &content, budget));
+    }
+    // Budgets pointing at files that no longer exist are stale too.
+    for (path, budget) in &budgets {
+        if !root.join(path).is_file() {
+            diags.push(Diagnostic::warning(
+                Code::StaleAllowlist,
+                ALLOWLIST_PATH,
+                format!("allowlisted file `{path}` (budget {budget}) does not exist"),
+            ));
+        }
+    }
+
+    // RV003–RV005 over the cost model.
+    let cost_rel = "crates/sim/src/cost.rs";
+    match fs::read_to_string(root.join(cost_rel)) {
+        Ok(cost_src) => {
+            diags.extend(knobs::check_knob_declarations(cost_rel, &cost_src));
+            let bench_sources = sources_under(root, &["crates/bench/benches", "crates/bench/src"]);
+            diags.extend(knobs::check_knob_references(cost_rel, &cost_src, &bench_sources));
+        }
+        Err(e) => diags.push(read_error(cost_rel, &e)),
+    }
+
+    // RV006 + RV007 over the experiment registry.
+    let bin_dir = root.join("crates/bench/src/bin");
+    let mut bin_stems: Vec<String> = rs_files(&bin_dir)
+        .iter()
+        .filter_map(|p| p.file_stem().and_then(|s| s.to_str()).map(String::from))
+        .collect();
+    bin_stems.sort();
+    let mod_rel = "crates/core/src/experiments/mod.rs";
+    let modules = match fs::read_to_string(root.join(mod_rel)) {
+        Ok(src) => registry::experiment_modules(&src),
+        Err(e) => {
+            diags.push(read_error(mod_rel, &e));
+            Vec::new()
+        }
+    };
+    let experiments_md = fs::read_to_string(root.join("EXPERIMENTS.md")).unwrap_or_default();
+    diags.extend(registry::check_registry(&bin_stems, &modules, &experiments_md));
+
+    // RV008 + RV009 over every manifest.
+    for (rel, toml) in manifests(root, &mut diags) {
+        diags.extend(layering::check_manifest(&rel, &toml));
+    }
+
+    diags
+}
+
+/// Regenerates the allowlist from the actual per-file panic counts, so the
+/// budget is exactly tight (`lint --write-allowlist`).
+pub fn write_allowlist(root: &Path) -> std::io::Result<usize> {
+    let mut ignored = Vec::new();
+    let mut lines = vec![
+        "# RV002 budget: panicking sites allowed per library file.".to_string(),
+        "# Regenerate with `cargo run -p recsim-verify -- lint --write-allowlist`.".to_string(),
+        "# The budget only ratchets down: exceeding it is an error, beating it".to_string(),
+        "# is an RV010 warning until this file is tightened.".to_string(),
+    ];
+    let mut files = 0;
+    for (rel, content) in library_sources(root, &mut ignored) {
+        let count = source::panic_sites(&content).len();
+        if count > 0 {
+            lines.push(format!("{rel} {count}"));
+            files += 1;
+        }
+    }
+    lines.push(String::new());
+    fs::write(root.join(ALLOWLIST_PATH), lines.join("\n"))?;
+    Ok(files)
+}
+
+fn load_allowlist(root: &Path, diags: &mut Vec<Diagnostic>) -> BTreeMap<String, usize> {
+    let mut budgets = BTreeMap::new();
+    let text = match fs::read_to_string(root.join(ALLOWLIST_PATH)) {
+        Ok(t) => t,
+        Err(_) => return budgets, // no allowlist = zero budget everywhere
+    };
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let entry = (parts.next(), parts.next().and_then(|n| n.parse::<usize>().ok()));
+        if let (Some(path), Some(count)) = entry {
+            budgets.insert(path.to_string(), count);
+        } else {
+            diags.push(Diagnostic::error(
+                Code::StaleAllowlist,
+                format!("{ALLOWLIST_PATH}:{}", idx + 1),
+                format!("malformed allowlist line `{line}` (expected `path count`)"),
+            ));
+        }
+    }
+    budgets
+}
+
+/// Every non-test library source in the workspace: `crates/*/src/**/*.rs`
+/// excluding `src/bin/` and `main.rs`, plus the root facade `src/lib.rs`.
+/// Test dirs (`tests/`), benches, and examples are exempt by construction —
+/// they are never under `src/`.
+fn library_sources(root: &Path, diags: &mut Vec<Diagnostic>) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
+        .map(|rd| {
+            rd.filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| p.is_dir())
+                .collect()
+        })
+        .unwrap_or_default();
+    crate_dirs.sort();
+    let mut files = Vec::new();
+    for crate_dir in crate_dirs {
+        files.extend(rs_files_excluding_bin(&crate_dir.join("src")));
+    }
+    files.push(root.join("src/lib.rs"));
+    files.sort();
+    for path in files {
+        let rel = rel_path(root, &path);
+        match fs::read_to_string(&path) {
+            Ok(content) => out.push((rel, content)),
+            Err(e) => diags.push(read_error(&rel, &e)),
+        }
+    }
+    out
+}
+
+fn rs_files_excluding_bin(src: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![src.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(rd) = fs::read_dir(&dir) else { continue };
+        for entry in rd.filter_map(Result::ok) {
+            let path = entry.path();
+            if path.is_dir() {
+                if path.file_name().is_some_and(|n| n == "bin") {
+                    continue;
+                }
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs")
+                && path.file_name().is_none_or(|n| n != "main.rs")
+            {
+                out.push(path);
+            }
+        }
+    }
+    out
+}
+
+fn rs_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+                .collect()
+        })
+        .unwrap_or_default();
+    out.sort();
+    out
+}
+
+fn sources_under(root: &Path, rel_dirs: &[&str]) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for rel_dir in rel_dirs {
+        let mut stack = vec![root.join(rel_dir)];
+        while let Some(dir) = stack.pop() {
+            let Ok(rd) = fs::read_dir(&dir) else { continue };
+            for entry in rd.filter_map(Result::ok) {
+                let path = entry.path();
+                if path.is_dir() {
+                    stack.push(path);
+                } else if path.extension().is_some_and(|e| e == "rs") {
+                    if let Ok(content) = fs::read_to_string(&path) {
+                        out.push((rel_path(root, &path), content));
+                    }
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Root `Cargo.toml` plus every `crates/*/Cargo.toml`.
+fn manifests(root: &Path, diags: &mut Vec<Diagnostic>) -> Vec<(String, String)> {
+    let mut paths = vec![root.join("Cargo.toml")];
+    if let Ok(rd) = fs::read_dir(root.join("crates")) {
+        let mut crate_manifests: Vec<PathBuf> = rd
+            .filter_map(Result::ok)
+            .map(|e| e.path().join("Cargo.toml"))
+            .filter(|p| p.is_file())
+            .collect();
+        crate_manifests.sort();
+        paths.extend(crate_manifests);
+    }
+    let mut out = Vec::new();
+    for path in paths {
+        let rel = rel_path(root, &path);
+        match fs::read_to_string(&path) {
+            Ok(toml) => out.push((rel, toml)),
+            Err(e) => diags.push(read_error(&rel, &e)),
+        }
+    }
+    out
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn read_error(rel: &str, e: &std::io::Error) -> Diagnostic {
+    Diagnostic::error(
+        Code::StaleAllowlist,
+        rel.to_string(),
+        format!("lint driver could not read this file: {e}"),
+    )
+}

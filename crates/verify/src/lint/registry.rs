@@ -1,0 +1,109 @@
+//! Experiment-registry completeness (RV006, RV007): every `fig*`/`table*`
+//! binary under `crates/bench/src/bin/` must have a matching
+//! `core::experiments` module (so `all_experiments` and the CLI can drive
+//! it) and a row in EXPERIMENTS.md (so the reproduction claim is written
+//! down).
+
+use crate::{Code, Diagnostic};
+
+/// The registry key for a bench binary stem: `fig01_production_throughput`
+/// → `fig01`, `table2_production_models` → `table2`. Non-figure/table
+/// binaries (studies, `all_experiments`) return `None` — they are outside
+/// this rule's scope.
+pub fn registry_key(bin_stem: &str) -> Option<&str> {
+    let key = bin_stem.split('_').next().unwrap_or(bin_stem);
+    let suffix = key
+        .strip_prefix("fig")
+        .or_else(|| key.strip_prefix("table"))?;
+    if !suffix.is_empty() && suffix.chars().all(|c| c.is_ascii_digit()) {
+        Some(key)
+    } else {
+        None
+    }
+}
+
+/// RV006 + RV007 over pure inputs: the bench binary stems, the experiment
+/// module names declared in `core::experiments`, and the EXPERIMENTS.md
+/// text.
+pub fn check_registry(
+    bin_stems: &[String],
+    experiment_modules: &[String],
+    experiments_md: &str,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for stem in bin_stems {
+        let Some(key) = registry_key(stem) else {
+            continue;
+        };
+        if !experiment_modules.iter().any(|m| m == key) {
+            out.push(Diagnostic::error(
+                Code::ExperimentMissingModule,
+                format!("crates/bench/src/bin/{stem}.rs"),
+                format!("no `core::experiments::{key}` module backs this binary"),
+            ));
+        }
+        if !experiments_md.contains(stem.as_str()) {
+            out.push(Diagnostic::error(
+                Code::ExperimentMissingDocRow,
+                format!("crates/bench/src/bin/{stem}.rs"),
+                format!("`{stem}` has no row in EXPERIMENTS.md"),
+            ));
+        }
+    }
+    out
+}
+
+/// Extracts `mod name;` / `pub mod name;` declarations from
+/// `core/src/experiments/mod.rs`.
+pub fn experiment_modules(mod_rs: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for raw in mod_rs.lines() {
+        let t = raw.trim_start();
+        let rest = t
+            .strip_prefix("pub mod ")
+            .or_else(|| t.strip_prefix("mod "));
+        if let Some(rest) = rest {
+            if let Some(name) = rest.strip_suffix(';') {
+                out.push(name.trim().to_string());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys() {
+        assert_eq!(registry_key("fig01_production_throughput"), Some("fig01"));
+        assert_eq!(registry_key("table3_cpu_gpu_comparison"), Some("table3"));
+        assert_eq!(registry_key("locality_study"), None);
+        assert_eq!(registry_key("all_experiments"), None);
+        assert_eq!(registry_key("figment_thing"), None);
+    }
+
+    #[test]
+    fn module_extraction() {
+        let src = "pub mod fig01;\nmod helpers;\n// mod disabled;\npub mod table1;\n";
+        assert_eq!(experiment_modules(src), ["fig01", "helpers", "table1"]);
+    }
+
+    #[test]
+    fn missing_module_and_row_flagged() {
+        let bins = vec!["fig01_throughput".to_string(), "fig02_landscape".to_string()];
+        let modules = vec!["fig01".to_string()];
+        let md = "| Fig 1 | `fig01_throughput` | … |";
+        let diags = check_registry(&bins, &modules, md);
+        assert_eq!(diags.len(), 2);
+        assert!(diags
+            .iter()
+            .any(|d| d.code() == Code::ExperimentMissingModule
+                && d.location().contains("fig02_landscape")));
+        assert!(diags
+            .iter()
+            .any(|d| d.code() == Code::ExperimentMissingDocRow
+                && d.message().contains("fig02_landscape")));
+    }
+}

@@ -1,0 +1,240 @@
+//! Source-level rules: `#![forbid(unsafe_code)]` presence (RV001) and
+//! panicking calls in non-test library code (RV002).
+//!
+//! Rules are pure functions over `(path, content)` so unit tests can run
+//! them against inline fixture snippets without touching the filesystem.
+
+use crate::{Code, Diagnostic};
+
+/// RV001: a library crate root must carry `#![forbid(unsafe_code)]`.
+pub fn check_forbid_unsafe(path: &str, content: &str) -> Option<Diagnostic> {
+    let has = content
+        .lines()
+        .any(|l| l.trim_start().starts_with("#![forbid(unsafe_code)]"));
+    if has {
+        None
+    } else {
+        Some(Diagnostic::error(
+            Code::MissingForbidUnsafe,
+            path,
+            "crate root does not declare #![forbid(unsafe_code)]",
+        ))
+    }
+}
+
+/// The panicking tokens RV002 looks for. Assembled at runtime so this file
+/// does not flag itself when the scanner runs over the verify crate.
+fn panic_tokens() -> [String; 5] {
+    [
+        format!(".unw{}()", "rap"),
+        format!(".exp{}(", "ect"),
+        format!("pa{}!", "nic"),
+        format!("to{}!", "do"),
+        format!("unimple{}!", "mented"),
+    ]
+}
+
+/// RV002 scanner: returns `(line_number, token)` for every panicking call
+/// in non-test code. Line numbers are 1-based; the token is the matched
+/// text (e.g. a trailing `(` marks a call prefix).
+///
+/// The scanner strips `//` comments (which also removes doc comments and
+/// the doctests inside them) and skips `#[cfg(test)] mod … { … }` blocks by
+/// brace counting. It intentionally does not parse string literals — a
+/// lightweight token scan is the contract here, and the workspace style
+/// keeps panicky tokens out of message strings.
+pub fn panic_sites(content: &str) -> Vec<(usize, String)> {
+    let tokens = panic_tokens();
+    let mut sites = Vec::new();
+
+    // `#[cfg(test)]` handling: after the attribute we look for the item it
+    // decorates and swallow its brace-delimited body.
+    enum State {
+        Code,
+        /// Saw `#[cfg(test)]`; consuming any further stacked attributes.
+        PendingItem,
+        /// The test item's `{` opens on a later line.
+        WaitingOpen,
+        /// Inside the test item's body at the given brace depth.
+        Skipping(i64),
+    }
+    let mut state = State::Code;
+
+    for (idx, raw) in content.lines().enumerate() {
+        let line = strip_line_comment(raw);
+        let trimmed = line.trim_start();
+        let delta = brace_delta(line);
+
+        match state {
+            State::Code => {
+                if trimmed.starts_with("#[cfg(test)]") {
+                    state = State::PendingItem;
+                    continue;
+                }
+                for tok in &tokens {
+                    let mut start = 0;
+                    while let Some(pos) = line[start..].find(tok.as_str()) {
+                        sites.push((idx + 1, tok.clone()));
+                        start += pos + tok.len();
+                    }
+                }
+            }
+            State::PendingItem => {
+                if trimmed.starts_with("#[") {
+                    continue; // stacked attributes (#[cfg(test)] #[allow(...)])
+                }
+                state = if line.contains('{') {
+                    if delta > 0 {
+                        State::Skipping(delta)
+                    } else {
+                        State::Code // opened and closed on one line
+                    }
+                } else if trimmed.ends_with(';') {
+                    State::Code // `mod tests;` — out-of-line file, skip just this line
+                } else {
+                    State::WaitingOpen
+                };
+            }
+            State::WaitingOpen => {
+                if line.contains('{') {
+                    state = if delta > 0 {
+                        State::Skipping(delta)
+                    } else {
+                        State::Code
+                    };
+                }
+            }
+            State::Skipping(depth) => {
+                let depth = depth + delta;
+                state = if depth <= 0 {
+                    State::Code
+                } else {
+                    State::Skipping(depth)
+                };
+            }
+        }
+    }
+    sites
+}
+
+/// RV002 with the per-file budget applied: over budget is an error, under
+/// budget is an RV010 stale-allowlist warning (ratchet the budget down).
+pub fn check_panic_budget(path: &str, content: &str, budget: usize) -> Vec<Diagnostic> {
+    let sites = panic_sites(content);
+    let actual = sites.len();
+    let mut out = Vec::new();
+    if actual > budget {
+        for (line, token) in &sites {
+            out.push(Diagnostic::error(
+                Code::PanicInLibrary,
+                format!("{path}:{line}"),
+                format!(
+                    "`{token}` in library code ({actual} site(s), budget {budget}); \
+                     return a Diagnostic/Result instead or raise the budget in \
+                     crates/verify/panic_allowlist.txt"
+                ),
+            ));
+        }
+    } else if actual < budget {
+        out.push(Diagnostic::warning(
+            Code::StaleAllowlist,
+            path.to_string(),
+            format!(
+                "allowlist budget is {budget} but only {actual} panicking site(s) remain; \
+                 ratchet it down (or run `lint --write-allowlist`)"
+            ),
+        ));
+    }
+    out
+}
+
+/// Strips a trailing `//…` comment. Does not understand string literals;
+/// good enough for this workspace's style.
+fn strip_line_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+fn brace_delta(line: &str) -> i64 {
+    let mut d = 0;
+    for c in line.chars() {
+        match c {
+            '{' => d += 1,
+            '}' => d -= 1,
+            _ => {}
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forbid_unsafe_detected() {
+        assert!(check_forbid_unsafe("a.rs", "#![forbid(unsafe_code)]\npub fn f() {}").is_none());
+        let d = check_forbid_unsafe("a.rs", "pub fn f() {}").expect("missing attr");
+        assert_eq!(d.code(), Code::MissingForbidUnsafe);
+    }
+
+    #[test]
+    fn finds_panicking_tokens() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\nfn g() { panic!(\"boom\") }\n";
+        let sites = panic_sites(src);
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites[0].0, 2);
+        assert!(sites[0].1.contains("unwrap"));
+        assert_eq!(sites[1].0, 4);
+        assert!(sites[1].1.contains("nic!"));
+    }
+
+    #[test]
+    fn unwrap_or_is_not_flagged() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }\n\
+                   fn g(r: Result<u8, u8>) -> bool { r.expect_err(\"no\") == 1 }\n";
+        assert!(panic_sites(src).is_empty());
+    }
+
+    #[test]
+    fn comments_and_doctests_ignored() {
+        let src = "/// let v = x.unwrap();\n// y.expect(\"no\")\nfn f() {}\n";
+        assert!(panic_sites(src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_modules_exempt() {
+        let src = concat!(
+            "fn lib() -> u8 { 1 }\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    use super::*;\n",
+            "    #[test]\n",
+            "    fn t() { assert_eq!(lib(), 1); Some(1).unwrap(); }\n",
+            "}\n",
+            "fn after() -> Option<u8> { None.unwrap() }\n",
+        );
+        let sites = panic_sites(src);
+        assert_eq!(sites.len(), 1, "only the post-module site counts: {sites:?}");
+        assert_eq!(sites[0].0, 8);
+    }
+
+    #[test]
+    fn budget_over_and_under() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let over = check_panic_budget("f.rs", src, 0);
+        assert_eq!(over.len(), 1);
+        assert_eq!(over[0].code(), Code::PanicInLibrary);
+        assert_eq!(over[0].severity(), crate::Severity::Error);
+
+        let exact = check_panic_budget("f.rs", src, 1);
+        assert!(exact.is_empty());
+
+        let stale = check_panic_budget("f.rs", src, 3);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].code(), Code::StaleAllowlist);
+        assert_eq!(stale[0].severity(), crate::Severity::Warning);
+    }
+}

@@ -1,0 +1,96 @@
+//! `recsim-verify` — the workspace lint driver (Layer 1).
+//!
+//! ```text
+//! cargo run --release -p recsim-verify -- lint               # run all lints
+//! cargo run -p recsim-verify -- lint --write-allowlist       # retighten RV002 budgets
+//! cargo run -p recsim-verify -- codes                        # print the RV0xx table
+//! ```
+//!
+//! Exits non-zero when any error-severity finding is produced, so it can
+//! gate CI: `cargo build --release && cargo test -q &&
+//! cargo run --release -p recsim-verify -- lint`.
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+use recsim_verify::lint;
+use recsim_verify::{Code, Severity};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => cmd_lint(args.iter().any(|a| a == "--write-allowlist")),
+        Some("codes") => {
+            cmd_codes();
+            ExitCode::SUCCESS
+        }
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print_help();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand `{other}`\n");
+            print_help();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_lint(write_allowlist: bool) -> ExitCode {
+    let Some(root) = lint::workspace_root() else {
+        eprintln!("error: could not locate the workspace root (no Cargo.toml with [workspace])");
+        return ExitCode::FAILURE;
+    };
+    if write_allowlist {
+        match lint::write_allowlist(&root) {
+            Ok(files) => {
+                println!(
+                    "wrote {} ({files} file(s) with a non-zero budget)",
+                    lint::ALLOWLIST_PATH
+                );
+            }
+            Err(e) => {
+                eprintln!("error: failed to write {}: {e}", lint::ALLOWLIST_PATH);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let diags = lint::run(&root);
+    let errors = diags.iter().filter(|d| d.severity() == Severity::Error).count();
+    let warnings = diags.len() - errors;
+    for d in &diags {
+        println!("{d}");
+    }
+    println!(
+        "recsim-verify lint: {errors} error(s), {warnings} warning(s) \
+         across workspace at {}",
+        root.display()
+    );
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_codes() {
+    println!("code   severity-at-rest  description");
+    for code in Code::ALL {
+        let layer = if code.as_str() < "RV020" { "lint" } else { "validate" };
+        println!("{}  {:<8}         {}", code, layer, code.describe());
+    }
+}
+
+fn print_help() {
+    println!(
+        "recsim-verify — static analysis for the recsim workspace\n\n\
+         USAGE:\n  cargo run --release -p recsim-verify -- <subcommand>\n\n\
+         SUBCOMMANDS:\n  \
+         lint                    run all workspace lints (RV001-RV010); exits non-zero on errors\n  \
+         lint --write-allowlist  regenerate the RV002 panic budget before linting\n  \
+         codes                   print the full RV0xx code table\n  \
+         help                    this message\n\n\
+         The driver is fully offline: it reads only the checked-out sources."
+    );
+}

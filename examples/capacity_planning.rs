@@ -52,6 +52,7 @@ fn main() {
                 sync_period: 16,
             },
         )
+        .expect("valid setup")
         .run();
         candidates.push((
             format!("CPU cluster (8 trainers, {sparse_ps} sparse PS)"),

@@ -19,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 2. Estimate training throughput on the paper's three platforms.
-    let cpu = CpuTrainingSim::new(&config, CpuClusterSetup::single_trainer(200)).run();
+    let cpu = CpuTrainingSim::new(&config, CpuClusterSetup::single_trainer(200))?.run();
     println!(
         "\ndual-socket CPU (1 trainer + 2 PS):  {:>9.0} ex/s  ({:.1} ex/J)",
         cpu.throughput(),

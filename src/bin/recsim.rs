@@ -5,11 +5,13 @@
 //! recsim simulate [options]               price one training setup
 //! recsim train [options]                  really train a model, report NE
 //! recsim models                           describe the M1/M2/M3 stand-ins
+//! recsim verify                           validate presets, list RV0xx codes
 //! recsim help
 //! ```
 
 use recsim::prelude::*;
 use recsim::sim::scaleout::min_nodes;
+use recsim::sim::CostKnobs;
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -20,6 +22,7 @@ fn main() -> ExitCode {
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
         Some("models") => cmd_models(),
+        Some("verify") => cmd_verify(),
         Some("help") | None => {
             print_help();
             ExitCode::SUCCESS
@@ -40,6 +43,7 @@ fn print_help() {
          \x20 recsim simulate [options]               simulate one training setup\n\
          \x20 recsim train [options]                  train for real, report NE\n\
          \x20 recsim models                           describe M1/M2/M3 stand-ins\n\
+         \x20 recsim verify                           validate presets, list RV0xx codes\n\
          \n\
          SIMULATE OPTIONS (defaults in brackets):\n\
          \x20 --platform bb|bb16|zion|cpu [bb]   --placement gpu|rowwise|replicated|\n\
@@ -159,10 +163,17 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
         .cloned()
         .unwrap_or_else(|| "bb".to_string());
     if platform_name == "cpu" {
-        let report = CpuTrainingSim::new(&model, CpuClusterSetup::single_trainer(batch.min(800)))
-            .run();
-        print_report(&report);
-        return ExitCode::SUCCESS;
+        return match CpuTrainingSim::new(&model, CpuClusterSetup::single_trainer(batch.min(800)))
+        {
+            Ok(sim) => {
+                print_report(&sim.run());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("invalid CPU setup: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     let platform = match platform_name.as_str() {
         "bb" => Platform::big_basin(Bytes::from_gib(32)),
@@ -206,9 +217,64 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("placement error: {e}");
+            eprintln!("cannot simulate this setup: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// `recsim verify` — the semantic half of the verification layer: runs every
+/// built-in platform, production model and the default cost knobs through
+/// [`Validate`] and prints the structured findings. The source-lint half
+/// lives in the standalone driver (`cargo run -p recsim-verify -- lint`).
+fn cmd_verify() -> ExitCode {
+    let mut findings: Vec<(String, Diagnostic)> = Vec::new();
+    let mut checked = 0usize;
+    let mut check = |subject: String, diags: Vec<Diagnostic>| {
+        checked += 1;
+        findings.extend(diags.into_iter().map(|d| (subject.clone(), d)));
+    };
+
+    for (name, platform) in [
+        ("platform bb (32 GiB)", Platform::big_basin(Bytes::from_gib(32))),
+        ("platform bb16", Platform::big_basin(Bytes::from_gib(16))),
+        ("platform zion", Platform::zion_prototype()),
+        ("platform cpu", Platform::dual_socket_cpu()),
+    ] {
+        check(name.to_string(), platform.validate());
+    }
+    for id in ProductionModelId::ALL {
+        let m = production_model(id);
+        check(format!("model {}", id.name()), m.validate());
+        // The Table III placement for this model must also validate.
+        let setup = recsim::core::setups::ProductionSetup::for_model(id);
+        if let Ok(p) = Placement::plan(
+            &m,
+            &Platform::big_basin(Bytes::from_gib(32)),
+            setup.gpu_placement,
+            recsim::placement::plan::ADAGRAD_STATE_MULTIPLIER,
+        ) {
+            check(format!("placement {} on bb", id.name()), p.validate());
+        }
+    }
+    check("cost knobs (default)".to_string(), CostKnobs::default().validate());
+
+    for (subject, d) in &findings {
+        println!("{subject}: {d}");
+    }
+    let errors = findings
+        .iter()
+        .filter(|(_, d)| d.severity() == Severity::Error)
+        .count();
+    println!(
+        "verified {checked} subject(s): {} finding(s), {errors} error(s)",
+        findings.len()
+    );
+    println!("(source lints: cargo run -p recsim-verify -- lint; codes: -- codes)");
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 

@@ -17,7 +17,10 @@
 //!   EASGD/Hogwild,
 //! * [`metrics`] — histograms, KDE, quantiles, report rendering,
 //! * [`core`] — the experiment drivers regenerating every paper table and
-//!   figure.
+//!   figure,
+//! * [`verify`] — the static-analysis and config-validation layer: RV0xx
+//!   diagnostics, the [`verify::Validate`] trait, and the workspace lint
+//!   engine (`cargo run -p recsim-verify -- lint`).
 //!
 //! # Quickstart
 //!
@@ -37,7 +40,7 @@
 //! let small = ModelConfig::test_suite(8, 2, 100, &[16]);
 //! let run = TrainRun::new(&small, TrainerConfig::quick_test()).execute();
 //! assert!(run.final_ne() < 1.05);
-//! # Ok::<(), recsim::placement::PlacementError>(())
+//! # Ok::<(), recsim::sim::SimError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -51,6 +54,7 @@ pub use recsim_model as model;
 pub use recsim_placement as placement;
 pub use recsim_sim as sim;
 pub use recsim_train as train;
+pub use recsim_verify as verify;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
@@ -65,7 +69,8 @@ pub mod prelude {
     pub use recsim_placement::{PartitionScheme, Placement, PlacementStrategy};
     pub use recsim_sim::readers::ReaderModel;
     pub use recsim_sim::scaleout::ScaleOutSim;
-    pub use recsim_sim::{CpuClusterSetup, CpuTrainingSim, GpuTrainingSim, SimReport};
+    pub use recsim_sim::{CpuClusterSetup, CpuTrainingSim, GpuTrainingSim, SimError, SimReport};
     pub use recsim_train::trainer::{TrainRun, TrainerConfig};
     pub use recsim_train::{AutoTuner, BatchScalingStudy};
+    pub use recsim_verify::{Code, Diagnostic, Severity, Validate, ValidationError};
 }

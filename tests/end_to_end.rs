@@ -36,6 +36,7 @@ fn m3_capacity_story() {
             sync_period: 16,
         },
     )
+    .expect("valid setup")
     .run();
     assert!(
         remote.throughput() < cpu.throughput(),
@@ -114,6 +115,7 @@ fn cost_knob_overrides_compose() {
     let tuned = GpuTrainingSim::new(&config, &bb.without_kernel_overhead(), strategy, 1600)
         .expect("fits")
         .with_knobs(knobs)
+        .expect("valid knobs")
         .run();
     assert!(
         tuned.throughput() > base.throughput() * 1.5,
