@@ -14,6 +14,7 @@ use crate::SimError;
 use recsim_data::schema::{ModelConfig, F32_BYTES};
 use recsim_hw::units::Bytes;
 use recsim_hw::PowerModel;
+use recsim_trace::{CriticalPathReport, TaskCategory, Trace};
 use recsim_verify::{Code, Diagnostic, Validate};
 use serde::{Deserialize, Serialize};
 
@@ -187,6 +188,17 @@ impl CpuTrainingSim {
         self.report(schedule.makespan(), &schedule)
     }
 
+    /// Execution trace of one un-pipelined fleet iteration; export with
+    /// [`recsim_trace::chrome_trace`] or the text/summary exporters.
+    pub fn trace(&self) -> Trace {
+        self.schedule_of(1).to_trace()
+    }
+
+    /// Critical-path attribution of one un-pipelined fleet iteration.
+    pub fn critical_path(&self, top_k: usize) -> CriticalPathReport {
+        self.schedule_of(1).critical_path(top_k)
+    }
+
     /// Builds and simulates the fleet graph; see
     /// [`GpuTrainingSim::schedule_of`]'s invariant note — the validated
     /// constructor makes the fallback unreachable.
@@ -265,7 +277,8 @@ impl CpuTrainingSim {
         let mut tail: Vec<TaskId> = Vec::new();
         for i in 0..t_count {
             // Read mini-batches from the reader tier.
-            let t_read = graph.add_task(
+            let t_read = graph.add_task_in(
+                TaskCategory::ReaderStall,
                 format!("read{i}"),
                 net.transfer_time(Bytes::new(b_iter * self.config.example_bytes()), 1),
                 Some(trainer_nic[i]),
@@ -274,7 +287,8 @@ impl CpuTrainingSim {
             // Sparse lookups: PS-side gather + response over the PS NIC.
             let mut lookup_done = Vec::with_capacity(s_count);
             for s in 0..s_count {
-                let t_gather = graph.add_task(
+                let t_gather = graph.add_task_in(
+                    TaskCategory::EmbeddingLookup,
                     format!("lookup_t{i}_ps{s}"),
                     costs
                         .embedding_gather(
@@ -287,7 +301,8 @@ impl CpuTrainingSim {
                     Some(sparse_cpu[s]),
                     &[t_read],
                 );
-                let t_resp = graph.add_task(
+                let t_resp = graph.add_task_in(
+                    TaskCategory::NicTransfer,
                     format!("lookup_resp_t{i}_ps{s}"),
                     net.transfer_time(Bytes::new(b_iter * pooled_pe / s_count as u64), 1),
                     Some(sparse_nic[s]),
@@ -298,7 +313,8 @@ impl CpuTrainingSim {
             // Hogwild forward+backward over the dense stack.
             let mut compute_deps = lookup_done.clone();
             compute_deps.push(t_read);
-            let t_compute = graph.add_task(
+            let t_compute = graph.add_task_in(
+                TaskCategory::MlpCompute,
                 format!("hogwild_fwd_bwd{i}"),
                 compute_time,
                 Some(trainer_cpu[i]),
@@ -306,13 +322,15 @@ impl CpuTrainingSim {
             );
             // Push embedding gradients back to the sparse PS.
             for s in 0..s_count {
-                let t_push = graph.add_task(
+                let t_push = graph.add_task_in(
+                    TaskCategory::NicTransfer,
                     format!("grad_push_t{i}_ps{s}"),
                     net.transfer_time(Bytes::new(b_iter * pooled_pe / s_count as u64), 1),
                     Some(sparse_nic[s]),
                     &[t_compute],
                 );
-                tail.push(graph.add_task(
+                tail.push(graph.add_task_in(
+                    TaskCategory::PsUpdate,
                     format!("ps_scatter_t{i}_ps{s}"),
                     costs
                         .embedding_scatter(
@@ -331,13 +349,15 @@ impl CpuTrainingSim {
             for d in 0..d_count {
                 // Amortized by the EASGD communication period.
                 let shard = mlp_bytes / d_count as u64 / self.setup.sync_period as u64;
-                let t_xfer = graph.add_task(
+                let t_xfer = graph.add_task_in(
+                    TaskCategory::NicTransfer,
                     format!("easgd_xfer_t{i}_ps{d}"),
                     net.transfer_time(Bytes::new(2 * shard), 2),
                     Some(dense_nic[d]),
                     &[t_compute],
                 );
-                tail.push(graph.add_task(
+                tail.push(graph.add_task_in(
+                    TaskCategory::PsUpdate,
                     format!("easgd_update_t{i}_ps{d}"),
                     recsim_hw::Work::compute(
                         recsim_hw::units::Flops::new(shard / F32_BYTES * 2),
@@ -381,17 +401,38 @@ impl CpuTrainingSim {
             + PowerModel::cpu_server().draw(class_util("sparse_ps")) * s_count as f64
             + PowerModel::cpu_server().draw(class_util("dense_ps")) * d_count as f64;
 
-        SimReport::new(
-            format!(
-                "CPU cluster {}T/{}sPS/{}dPS x{}hw / batch {}",
-                t_count, s_count, d_count, h, self.setup.batch_per_thread
-            ),
+        // Scale the schedule's critical-path breakdown to the reported
+        // steady-state iteration time (see GpuTrainingSim::report).
+        let makespan = schedule.makespan().as_secs();
+        let scale = if makespan > 0.0 {
+            iteration_time.as_secs() / makespan
+        } else {
+            0.0
+        };
+        let attribution: Vec<(String, recsim_hw::units::Duration)> = schedule
+            .attribution()
+            .into_iter()
+            .map(|(label, d)| {
+                (label, recsim_hw::units::Duration::from_secs(d.as_secs() * scale))
+            })
+            .collect();
+        let setup = format!(
+            "CPU cluster {}T/{}sPS/{}dPS x{}hw / batch {}",
+            t_count, s_count, d_count, h, self.setup.batch_per_thread
+        );
+        // The validated constructor makes the Err arm unreachable; keep
+        // run() total.
+        match SimReport::new(
+            setup.clone(),
             iteration_time,
             self.setup.examples_per_iteration() as f64,
             utilizations,
             schedule.bottleneck(),
             power,
-        )
+        ) {
+            Ok(report) => report.with_attribution(attribution),
+            Err(_) => SimReport::degenerate(setup),
+        }
     }
 }
 

@@ -12,6 +12,7 @@
 //! given graph always produces the same schedule.
 
 use recsim_hw::units::Duration;
+use recsim_trace::{CriticalPathReport, ScheduledTask, TaskCategory, Trace, TraceRecorder, Tracer};
 use recsim_verify::{Code, Diagnostic, Validate, ValidationError};
 use std::collections::BinaryHeap;
 
@@ -32,6 +33,7 @@ struct Resource {
 #[derive(Debug, Clone)]
 struct Task {
     name: String,
+    category: TaskCategory,
     duration: Duration,
     resource: Option<ResourceId>,
     deps: Vec<TaskId>,
@@ -72,7 +74,9 @@ pub struct Schedule {
     resource_names: Vec<String>,
     resource_capacity: Vec<usize>,
     task_names: Vec<String>,
+    task_category: Vec<TaskCategory>,
     task_resource: Vec<Option<usize>>,
+    task_deps: Vec<Vec<usize>>,
 }
 
 impl TaskGraph {
@@ -120,14 +124,29 @@ impl TaskGraph {
         }
     }
 
-    /// Adds a task with a fixed duration, an optional resource binding, and
-    /// dependencies that must finish before it starts, rejecting an unknown
-    /// resource ([`Code::UnknownTaskResource`], RV025) or a dependency
-    /// created after its dependent ([`Code::DependencyCycle`], RV026 —
-    /// insertion order is the builder's acyclicity proof) without adding
-    /// anything.
+    /// [`TaskGraph::try_add_task_in`] with [`TaskCategory::Other`] — for
+    /// generic graphs built outside the simulators, where attribution does
+    /// not apply. Simulator builders use the categorized variant (lint
+    /// RV011 enforces this).
     pub fn try_add_task(
         &mut self,
+        name: impl Into<String>,
+        duration: Duration,
+        resource: Option<ResourceId>,
+        deps: &[TaskId],
+    ) -> Result<TaskId, Diagnostic> {
+        self.try_add_task_in(TaskCategory::Other, name, duration, resource, deps)
+    }
+
+    /// Adds a task with an attribution category, a fixed duration, an
+    /// optional resource binding, and dependencies that must finish before
+    /// it starts, rejecting an unknown resource
+    /// ([`Code::UnknownTaskResource`], RV025) or a dependency created after
+    /// its dependent ([`Code::DependencyCycle`], RV026 — insertion order is
+    /// the builder's acyclicity proof) without adding anything.
+    pub fn try_add_task_in(
+        &mut self,
+        category: TaskCategory,
         name: impl Into<String>,
         duration: Duration,
         resource: Option<ResourceId>,
@@ -158,21 +177,17 @@ impl TaskGraph {
         }
         self.tasks.push(Task {
             name,
+            category,
             duration,
             resource,
             deps: deps.to_vec(),
         });
-        TaskId(self.tasks.len() - 1)
+        Ok(TaskId(self.tasks.len() - 1))
     }
 
-    /// Adds a task with a fixed duration, an optional resource binding, and
-    /// dependencies that must finish before it starts.
-    ///
-    /// An unknown resource or dependency id is recorded as a violation
-    /// (RV025/RV026) that makes [`TaskGraph::simulate`] fail; the task is
-    /// still added (with the offending references dropped, so later ids stay
-    /// aligned) and a usable id returned. Builders that want the error at
-    /// the call site use [`TaskGraph::try_add_task`].
+    /// [`TaskGraph::add_task_in`] with [`TaskCategory::Other`] — for generic
+    /// graphs built outside the simulators. Simulator builders use the
+    /// categorized variant (lint RV011 enforces this).
     pub fn add_task(
         &mut self,
         name: impl Into<String>,
@@ -180,8 +195,28 @@ impl TaskGraph {
         resource: Option<ResourceId>,
         deps: &[TaskId],
     ) -> TaskId {
+        self.add_task_in(TaskCategory::Other, name, duration, resource, deps)
+    }
+
+    /// Adds a task with an attribution category, a fixed duration, an
+    /// optional resource binding, and dependencies that must finish before
+    /// it starts.
+    ///
+    /// An unknown resource or dependency id is recorded as a violation
+    /// (RV025/RV026) that makes [`TaskGraph::simulate`] fail; the task is
+    /// still added (with the offending references dropped, so later ids stay
+    /// aligned) and a usable id returned. Builders that want the error at
+    /// the call site use [`TaskGraph::try_add_task_in`].
+    pub fn add_task_in(
+        &mut self,
+        category: TaskCategory,
+        name: impl Into<String>,
+        duration: Duration,
+        resource: Option<ResourceId>,
+        deps: &[TaskId],
+    ) -> TaskId {
         let name = name.into();
-        match self.try_add_task(name.clone(), duration, resource, deps) {
+        match self.try_add_task_in(category, name.clone(), duration, resource, deps) {
             Ok(id) => id,
             Err(violation) => {
                 self.violations.push(violation);
@@ -193,6 +228,7 @@ impl TaskGraph {
                     .collect();
                 self.tasks.push(Task {
                     name,
+                    category,
                     duration,
                     resource,
                     deps,
@@ -222,8 +258,9 @@ impl TaskGraph {
     }
 
     /// A zero-duration joining task depending on all of `deps` — a barrier.
+    /// Attributed to [`TaskCategory::Framework`] (it never carries time).
     pub fn add_barrier(&mut self, name: impl Into<String>, deps: &[TaskId]) -> TaskId {
-        self.add_task(name, Duration::ZERO, None, deps)
+        self.add_task_in(TaskCategory::Framework, name, Duration::ZERO, None, deps)
     }
 
     /// Number of tasks.
@@ -245,6 +282,16 @@ impl TaskGraph {
     pub fn simulate(&self) -> Result<Schedule, ValidationError> {
         self.check()?;
         Ok(self.execute())
+    }
+
+    /// [`TaskGraph::simulate`], additionally emitting the finished schedule
+    /// into `tracer` (spans per task, per-resource occupancy counters, a
+    /// makespan instant). With a disabled tracer this is exactly
+    /// [`TaskGraph::simulate`].
+    pub fn simulate_traced(&self, tracer: &mut dyn Tracer) -> Result<Schedule, ValidationError> {
+        let schedule = self.simulate()?;
+        schedule.emit_into(tracer);
+        Ok(schedule)
     }
 
     /// The discrete-event engine proper. Only called on a validated graph:
@@ -426,7 +473,13 @@ impl TaskGraph {
             resource_names: self.resources.iter().map(|r| r.name.clone()).collect(),
             resource_capacity: self.resources.iter().map(|r| r.capacity).collect(),
             task_names: self.tasks.iter().map(|t| t.name.clone()).collect(),
+            task_category: self.tasks.iter().map(|t| t.category).collect(),
             task_resource: self.tasks.iter().map(|t| t.resource.map(|r| r.0)).collect(),
+            task_deps: self
+                .tasks
+                .iter()
+                .map(|t| t.deps.iter().map(|d| d.0).filter(|&d| d < n).collect())
+                .collect(),
         }
     }
 }
@@ -541,45 +594,95 @@ impl Schedule {
         &self.task_names[task.0]
     }
 
-    /// Exports the schedule in Chrome trace-event format (load the output
-    /// in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev) to see
-    /// the iteration timeline per resource).
-    ///
-    /// Each resource becomes a "thread"; each task a complete event with
-    /// microsecond timestamps.
-    pub fn to_chrome_trace(&self) -> String {
-        fn escape(s: &str) -> String {
-            s.replace('\\', "\\\\").replace('"', "\\\"")
+    /// Attribution category of a task.
+    pub fn task_category_of(&self, task: TaskId) -> TaskCategory {
+        self.task_category[task.0]
+    }
+
+    /// Emits the schedule into a [`Tracer`]: one span per non-zero-duration
+    /// task on its resource's track (unbound tasks on `(unbound)`), a
+    /// `running:<resource>` occupancy counter sampled at every start/finish
+    /// edge, and a `makespan` instant marking the end of the iteration.
+    /// A disabled tracer returns immediately.
+    pub fn emit_into(&self, tracer: &mut dyn Tracer) {
+        if !tracer.enabled() {
+            return;
         }
-        let mut events = Vec::new();
-        for (i, name) in self.resource_names.iter().enumerate() {
-            events.push(format!(
-                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
-                 \"args\":{{\"name\":\"{}\"}}}}",
-                i,
-                escape(name)
-            ));
-        }
-        let unbound_tid = self.resource_names.len();
-        events.push(format!(
-            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{unbound_tid},\
-             \"args\":{{\"name\":\"(unbound)\"}}}}"
-        ));
         for t in 0..self.task_names.len() {
-            let dur = self.finish[t].as_micros() - self.start[t].as_micros();
-            if dur <= 0.0 {
+            let start_us = self.start[t].as_micros();
+            let dur_us = self.finish[t].as_micros() - start_us;
+            if dur_us <= 0.0 {
                 continue;
             }
-            let tid = self.task_resource[t].unwrap_or(unbound_tid);
-            events.push(format!(
-                "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\
-                 \"ts\":{:.3},\"dur\":{:.3}}}",
-                escape(&self.task_names[t]),
-                self.start[t].as_micros(),
-                dur
-            ));
+            let track = match self.task_resource[t] {
+                Some(r) => self.resource_names[r].as_str(),
+                None => "(unbound)",
+            };
+            tracer.span(track, &self.task_names[t], self.task_category[t], start_us, dur_us);
         }
-        format!("{{\"traceEvents\":[{}]}}", events.join(","))
+        for (r, name) in self.resource_names.iter().enumerate() {
+            let mut edges: Vec<(f64, f64)> = Vec::new();
+            for t in 0..self.task_names.len() {
+                if self.task_resource[t] == Some(r) && self.finish[t] > self.start[t] {
+                    edges.push((self.start[t].as_micros(), 1.0));
+                    edges.push((self.finish[t].as_micros(), -1.0));
+                }
+            }
+            edges.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let counter = format!("running:{name}");
+            let mut level = 0.0;
+            let mut i = 0;
+            while i < edges.len() {
+                let ts = edges[i].0;
+                while i < edges.len() && edges[i].0 == ts {
+                    level += edges[i].1;
+                    i += 1;
+                }
+                tracer.counter(&counter, ts, level);
+            }
+        }
+        tracer.instant("(schedule)", "makespan", self.makespan.as_micros());
+    }
+
+    /// The schedule as a recorded [`Trace`], ready for the `recsim-trace`
+    /// exporters (Chrome trace-event JSON via `recsim_trace::chrome_trace`,
+    /// text timeline, summary tables).
+    pub fn to_trace(&self) -> Trace {
+        let mut recorder = TraceRecorder::new();
+        self.emit_into(&mut recorder);
+        recorder.finish()
+    }
+
+    /// The schedule's tasks in the form the critical-path analysis consumes.
+    pub fn scheduled_tasks(&self) -> Vec<ScheduledTask> {
+        (0..self.task_names.len())
+            .map(|t| ScheduledTask {
+                name: self.task_names[t].clone(),
+                category: self.task_category[t],
+                start: self.start[t].as_secs(),
+                finish: self.finish[t].as_secs(),
+                resource: self.task_resource[t],
+                deps: self.task_deps[t].clone(),
+            })
+            .collect()
+    }
+
+    /// Critical-path attribution: partitions `[0, makespan]` across task
+    /// categories by walking the dependency/resource-wait chain backwards
+    /// from the last-finishing task, with a top-`top_k` slack report. The
+    /// per-category durations sum to the makespan exactly.
+    pub fn critical_path(&self, top_k: usize) -> CriticalPathReport {
+        recsim_trace::critical_path(&self.scheduled_tasks(), top_k)
+    }
+
+    /// The critical-path breakdown as `(category label, time)` pairs — the
+    /// shape `SimReport` carries. Durations sum to the makespan.
+    pub fn attribution(&self) -> Vec<(String, Duration)> {
+        self.critical_path(0)
+            .breakdown
+            .into_iter()
+            .map(|(category, secs)| (category.label().to_string(), Duration::from_secs(secs)))
+            .collect()
     }
 }
 
@@ -702,20 +805,77 @@ mod tests {
         let _ = b;
         g.add_task("free_task", ms(0.5), None, &[]);
         g.add_barrier("done", &[a]); // zero-duration: skipped in the trace
-        let trace = g.simulate().expect("valid graph").to_chrome_trace();
+        let trace = recsim_trace::chrome_trace(&g.simulate().expect("valid graph").to_trace());
         let parsed: serde_json::Value =
             serde_json::from_str(&trace).expect("valid JSON despite quoted names");
         let events = parsed["traceEvents"].as_array().expect("array");
-        // 2 thread metadata (resource + unbound) + 3 task events.
-        assert_eq!(events.len(), 5, "{trace}");
         let durations: Vec<f64> = events
             .iter()
             .filter(|e| e["ph"] == "X")
             .map(|e| e["dur"].as_f64().expect("dur"))
             .collect();
-        assert_eq!(durations.len(), 3);
+        assert_eq!(durations.len(), 3, "{trace}");
         assert!(durations.iter().any(|&d| (d - 1000.0).abs() < 1e-6));
         assert!(durations.iter().any(|&d| (d - 2000.0).abs() < 1e-6));
+        // Resource + unbound + schedule-marker thread metadata.
+        let metas = events.iter().filter(|e| e["ph"] == "M").count();
+        assert_eq!(metas, 3, "{trace}");
+        // Occupancy counter samples for the one real resource.
+        assert!(events.iter().any(|e| e["ph"] == "C"));
+        // The makespan instant survives.
+        assert!(events.iter().any(|e| e["ph"] == "i" && e["name"] == "makespan"));
+    }
+
+    #[test]
+    fn categories_flow_from_builder_to_schedule() {
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("r", 1);
+        let a = g.add_task_in(TaskCategory::EmbeddingLookup, "gather", ms(1.0), Some(r), &[]);
+        let b = g.add_task("anything", ms(1.0), Some(r), &[a]);
+        let barrier = g.add_barrier("join", &[b]);
+        let s = g.simulate().expect("valid graph");
+        assert_eq!(s.task_category_of(a), TaskCategory::EmbeddingLookup);
+        assert_eq!(s.task_category_of(b), TaskCategory::Other);
+        assert_eq!(s.task_category_of(barrier), TaskCategory::Framework);
+    }
+
+    #[test]
+    fn attribution_partitions_the_makespan() {
+        let mut g = TaskGraph::new();
+        let nic = g.add_resource("nic", 1);
+        let gpu = g.add_resource("gpu", 1);
+        let read = g.add_task_in(TaskCategory::ReaderStall, "read", ms(2.0), Some(nic), &[]);
+        let mlp = g.add_task_in(TaskCategory::MlpCompute, "mlp", ms(5.0), Some(gpu), &[read]);
+        let opt = g.add_task_in(TaskCategory::Optimizer, "opt", ms(1.0), Some(gpu), &[mlp]);
+        let _ = opt;
+        let s = g.simulate().expect("valid graph");
+        let report = s.critical_path(8);
+        assert!((report.makespan - s.makespan().as_secs()).abs() < 1e-12);
+        let total: f64 = report.breakdown.iter().map(|(_, t)| t).sum();
+        assert!((total - report.makespan).abs() < 1e-12);
+        assert!((report.share_of(TaskCategory::MlpCompute) - 0.005).abs() < 1e-12);
+        let attribution = s.attribution();
+        let attr_total: f64 = attribution.iter().map(|(_, d)| d.as_secs()).sum();
+        assert!((attr_total - s.makespan().as_secs()).abs() < 1e-12);
+        assert!(attribution.iter().any(|(l, _)| l == "reader stall"));
+    }
+
+    #[test]
+    fn simulate_traced_records_spans() {
+        let mut g = TaskGraph::new();
+        let r = g.add_resource("r", 1);
+        g.add_task_in(TaskCategory::PsUpdate, "scatter", ms(1.0), Some(r), &[]);
+        let mut recorder = recsim_trace::TraceRecorder::new();
+        g.simulate_traced(&mut recorder).expect("valid graph");
+        let trace = recorder.finish();
+        assert!(!trace.is_empty());
+        let totals = trace.category_totals();
+        assert_eq!(totals.len(), 1);
+        assert_eq!(totals[0].0, TaskCategory::PsUpdate);
+        // A disabled tracer records nothing and changes nothing.
+        let mut noop = recsim_trace::NoopTracer;
+        let s = g.simulate_traced(&mut noop).expect("valid graph");
+        assert!((s.makespan().as_millis() - 1.0).abs() < 1e-9);
     }
 
     #[test]

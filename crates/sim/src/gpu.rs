@@ -27,6 +27,7 @@ use recsim_data::schema::ModelConfig;
 use recsim_hw::units::Bytes;
 use recsim_hw::{Link, Platform, PowerModel};
 use recsim_placement::{Placement, PlacementStrategy, TableAssignment, TableLocation};
+use recsim_trace::{CriticalPathReport, TaskCategory, Trace};
 use recsim_verify::{Code, Diagnostic, Validate};
 
 /// Simulator for one GPU-server training setup.
@@ -198,11 +199,18 @@ impl GpuTrainingSim {
         self.report(schedule.makespan(), &schedule)
     }
 
-    /// Chrome trace-event JSON of one iteration's timeline (open in
-    /// `chrome://tracing` / Perfetto): which kernel, copy or transfer ran
-    /// where and when.
-    pub fn timeline(&self) -> String {
-        self.schedule_of(1).to_chrome_trace()
+    /// Execution trace of one un-pipelined iteration: spans per resource
+    /// plus occupancy counters. Export with [`recsim_trace::chrome_trace`]
+    /// (Perfetto / `chrome://tracing`), [`recsim_trace::text_timeline`], or
+    /// the summary tables.
+    pub fn trace(&self) -> Trace {
+        self.schedule_of(1).to_trace()
+    }
+
+    /// Critical-path attribution of one un-pipelined iteration, with the
+    /// `top_k` highest-slack off-path tasks.
+    pub fn critical_path(&self, top_k: usize) -> CriticalPathReport {
+        self.schedule_of(1).critical_path(top_k)
     }
 
     /// Builds and simulates the iteration graph. Construction validated
@@ -337,13 +345,15 @@ impl GpuTrainingSim {
         // dependencies: the DES yields the steady-state overlap.
         let example_bytes = self.config.example_bytes();
         for _iteration in 0..iterations {
-        let t_read = graph.add_task(
+        let t_read = graph.add_task_in(
+            TaskCategory::ReaderStall,
             "read_batch",
             nic.transfer_time(Bytes::new(big_b * example_bytes), 1),
             Some(nic_res),
             &[],
         );
-        let t_stage_in = graph.add_task(
+        let t_stage_in = graph.add_task_in(
+            TaskCategory::HostStaging,
             "stage_input",
             costs.host_staging(big_b * example_bytes, &host_dev),
             Some(host_res),
@@ -351,7 +361,8 @@ impl GpuTrainingSim {
         );
         let t_h2d: Vec<TaskId> = (0..g_count)
             .map(|g| {
-                graph.add_task(
+                graph.add_task_in(
+                    TaskCategory::PcieTransfer,
                     format!("h2d_input{g}"),
                     pcie.transfer_time(Bytes::new(small_b * example_bytes), 1),
                     Some(pcie_res[g]),
@@ -363,7 +374,8 @@ impl GpuTrainingSim {
         // ---- Dense forward ----------------------------------------------
         let t_bottom: Vec<TaskId> = (0..g_count)
             .map(|g| {
-                graph.add_task(
+                graph.add_task_in(
+                    TaskCategory::MlpCompute,
                     format!("bottom_mlp{g}"),
                     costs.dense_time_on(&costs.bottom_forward(small_b), &gpu_devs[g]),
                     Some(gpu_res[g]),
@@ -380,7 +392,8 @@ impl GpuTrainingSim {
         if gather_gpu > 0 {
             if replicated {
                 for g in 0..g_count {
-                    let t = graph.add_task(
+                    let t = graph.add_task_in(
+                        TaskCategory::EmbeddingLookup,
                         format!("local_gather{g}"),
                         costs
                             .embedding_gather(small_b * gather_gpu, avg_gpu_table, gpu_tables)
@@ -394,7 +407,8 @@ impl GpuTrainingSim {
                 // Owners gather the full batch for their tables.
                 let gathers: Vec<TaskId> = (0..g_count)
                     .map(|o| {
-                        graph.add_task(
+                        graph.add_task_in(
+                            TaskCategory::EmbeddingLookup,
                             format!("owner_gather{o}"),
                             costs
                                 .embedding_gather(
@@ -441,7 +455,8 @@ impl GpuTrainingSim {
         }
 
         if gather_host > 0 {
-            let t_hgather = graph.add_task(
+            let t_hgather = graph.add_task_in(
+                TaskCategory::EmbeddingLookup,
                 "host_gather",
                 costs
                     .embedding_gather(big_b * gather_host, avg_host_table, host_tables)
@@ -450,7 +465,8 @@ impl GpuTrainingSim {
                 &[t_stage_in],
             );
             for g in 0..g_count {
-                let t = graph.add_task(
+                let t = graph.add_task_in(
+                    TaskCategory::PcieTransfer,
                     format!("h2d_pooled{g}"),
                     pcie.transfer_time(Bytes::new(small_b * pooled_host), 1),
                     Some(pcie_res[g]),
@@ -471,7 +487,8 @@ impl GpuTrainingSim {
             let ps_dev = recsim_hw::device::skylake_dual_socket();
             let ps_tasks: Vec<TaskId> = (0..remote_servers)
                 .map(|k| {
-                    graph.add_task(
+                    graph.add_task_in(
+                        TaskCategory::EmbeddingLookup,
                         format!("ps_gather{k}"),
                         costs
                             .embedding_gather(
@@ -492,7 +509,8 @@ impl GpuTrainingSim {
                 .iter()
                 .filter(|a| matches!(a.location, TableLocation::Remote(_)))
                 .count() as u64;
-            let t_net = graph.add_task(
+            let t_net = graph.add_task_in(
+                TaskCategory::NicTransfer,
                 "net_pooled",
                 nic.transfer_time(
                     Bytes::new(big_b * pooled_remote),
@@ -505,7 +523,8 @@ impl GpuTrainingSim {
             // per-GPU buffers — one RPC's worth of software per table per
             // server plus the staging copy ("this setup also creates
             // additional work for the CPUs on the GPU server").
-            let t_rstage = graph.add_task(
+            let t_rstage = graph.add_task_in(
+                TaskCategory::HostStaging,
                 "stage_pooled",
                 costs.host_staging(big_b * pooled_remote, &host_dev)
                     + self.knobs.rpc_overhead * (remote_tables * remote_servers as u64) as f64,
@@ -513,7 +532,8 @@ impl GpuTrainingSim {
                 &[t_net],
             );
             for g in 0..g_count {
-                let t = graph.add_task(
+                let t = graph.add_task_in(
+                    TaskCategory::PcieTransfer,
                     format!("h2d_remote_pooled{g}"),
                     pcie.transfer_time(Bytes::new(small_b * pooled_remote), 1),
                     Some(pcie_res[g]),
@@ -528,19 +548,22 @@ impl GpuTrainingSim {
         for g in 0..g_count {
             let mut deps = vec![t_bottom[g]];
             deps.extend_from_slice(&emb_ready[g]);
-            let t_interact = graph.add_task(
+            let t_interact = graph.add_task_in(
+                TaskCategory::MlpCompute,
                 format!("interaction{g}"),
                 costs.dense_time_on(&costs.interaction_forward(small_b), &gpu_devs[g]),
                 Some(gpu_res[g]),
                 &deps,
             );
-            let t_top = graph.add_task(
+            let t_top = graph.add_task_in(
+                TaskCategory::MlpCompute,
                 format!("top_mlp{g}"),
                 costs.dense_time_on(&costs.top_forward(small_b), &gpu_devs[g]),
                 Some(gpu_res[g]),
                 &[t_interact],
             );
-            t_bwd.push(graph.add_task(
+            t_bwd.push(graph.add_task_in(
+                TaskCategory::MlpCompute,
                 format!("dense_backward{g}"),
                 costs.dense_time_on(&costs.dense_backward(small_b), &gpu_devs[g]),
                 Some(gpu_res[g]),
@@ -570,7 +593,8 @@ impl GpuTrainingSim {
                     &costs,
                 );
                 for g in 0..g_count {
-                    tail_tasks.push(graph.add_task(
+                    tail_tasks.push(graph.add_task_in(
+                        TaskCategory::EmbeddingUpdate,
                         format!("replica_scatter{g}"),
                         costs
                             .embedding_scatter(
@@ -609,7 +633,8 @@ impl GpuTrainingSim {
                     &costs,
                 );
                 for o in 0..g_count {
-                    tail_tasks.push(graph.add_task(
+                    tail_tasks.push(graph.add_task_in(
+                        TaskCategory::EmbeddingUpdate,
                         format!("owner_scatter{o}"),
                         costs
                             .embedding_scatter(
@@ -629,7 +654,8 @@ impl GpuTrainingSim {
         if gather_host > 0 {
             let ups: Vec<TaskId> = (0..g_count)
                 .map(|g| {
-                    graph.add_task(
+                    graph.add_task_in(
+                        TaskCategory::PcieTransfer,
                         format!("d2h_emb_grad{g}"),
                         pcie.transfer_time(Bytes::new(small_b * pooled_host), 1),
                         Some(pcie_res[g]),
@@ -637,7 +663,8 @@ impl GpuTrainingSim {
                     )
                 })
                 .collect();
-            tail_tasks.push(graph.add_task(
+            tail_tasks.push(graph.add_task_in(
+                TaskCategory::EmbeddingUpdate,
                 "host_scatter",
                 costs
                     .embedding_scatter(
@@ -666,14 +693,16 @@ impl GpuTrainingSim {
                 .filter(|a| matches!(a.location, TableLocation::Remote(_)))
                 .count() as u64;
             // Repack gradient requests on the host, then push them out.
-            let t_bstage = graph.add_task(
+            let t_bstage = graph.add_task_in(
+                TaskCategory::HostStaging,
                 "stage_emb_grads",
                 costs.host_staging(big_b * pooled_remote, &host_dev)
                     + self.knobs.rpc_overhead * (remote_tables * remote_servers as u64) as f64,
                 Some(host_res),
                 &t_bwd,
             );
-            let t_up = graph.add_task(
+            let t_up = graph.add_task_in(
+                TaskCategory::NicTransfer,
                 "net_emb_grads",
                 nic.transfer_time(
                     Bytes::new(big_b * pooled_remote),
@@ -684,7 +713,8 @@ impl GpuTrainingSim {
             );
             let ps_dev = recsim_hw::device::skylake_dual_socket();
             for k in 0..remote_servers {
-                tail_tasks.push(graph.add_task(
+                tail_tasks.push(graph.add_task_in(
+                    TaskCategory::PsUpdate,
                     format!("ps_scatter{k}"),
                     costs
                         .embedding_scatter(
@@ -725,7 +755,8 @@ impl GpuTrainingSim {
             t_bwd.clone()
         };
         for g in 0..g_count {
-            let t = graph.add_task(
+            let t = graph.add_task_in(
+                TaskCategory::Optimizer,
                 format!("dense_optimizer{g}"),
                 costs.dense_optimizer().time_on(&gpu_devs[g]),
                 Some(gpu_res[g]),
@@ -765,19 +796,41 @@ impl GpuTrainingSim {
             power = power
                 + PowerModel::cpu_server().draw(ps_util) * remote_servers as f64;
         }
-        SimReport::new(
-            format!(
-                "{} / {} / batch {}",
-                self.platform.name(),
-                self.placement.strategy(),
-                self.batch
-            ),
+        // Attribute the reported (steady-state) iteration time across the
+        // schedule's critical-path categories: each category keeps its share
+        // of the makespan, scaled so the breakdown sums to iteration_time.
+        let makespan = schedule.makespan().as_secs();
+        let scale = if makespan > 0.0 {
+            iteration_time.as_secs() / makespan
+        } else {
+            0.0
+        };
+        let attribution: Vec<(String, recsim_hw::units::Duration)> = schedule
+            .attribution()
+            .into_iter()
+            .map(|(label, d)| {
+                (label, recsim_hw::units::Duration::from_secs(d.as_secs() * scale))
+            })
+            .collect();
+        let setup = format!(
+            "{} / {} / batch {}",
+            self.platform.name(),
+            self.placement.strategy(),
+            self.batch
+        );
+        // Construction validated batch > 0 and every task cost is positive,
+        // so the Err arm is unreachable in practice; keep run() total.
+        match SimReport::new(
+            setup.clone(),
             iteration_time,
             (small_b * g_count as u64) as f64,
             utilizations,
             schedule.bottleneck(),
             power,
-        )
+        ) {
+            Ok(report) => report.with_attribution(attribution),
+            Err(_) => SimReport::degenerate(setup),
+        }
     }
 
     /// Adds a collective exchange among GPUs: over NVLink when present,
@@ -809,7 +862,8 @@ impl GpuTrainingSim {
                 let link = self.nvlink.unwrap_or(self.pcie);
                 let tasks: Vec<TaskId> = (0..g_count)
                     .map(|g| {
-                        graph.add_task(
+                        graph.add_task_in(
+                            TaskCategory::AllToAll,
                             format!("{name}_gpu{g}"),
                             link.transfer_time(
                                 Bytes::new(egress_bytes_per_gpu.max(1)),
@@ -830,7 +884,8 @@ impl GpuTrainingSim {
                 let hop = self.knobs.staged_hop_latency * rounds as f64;
                 let ups: Vec<TaskId> = (0..g_count)
                     .map(|g| {
-                        graph.add_task(
+                        graph.add_task_in(
+                            TaskCategory::PcieTransfer,
                             format!("{name}_d2h{g}"),
                             pcie.transfer_time(Bytes::new(egress_bytes_per_gpu.max(1)), rounds)
                                 + hop,
@@ -839,7 +894,8 @@ impl GpuTrainingSim {
                         )
                     })
                     .collect();
-                let stage = graph.add_task(
+                let stage = graph.add_task_in(
+                    TaskCategory::HostStaging,
                     format!("{name}_host_stage"),
                     costs.host_staging(egress_bytes_per_gpu * g_count as u64, self.platform.host())
                         + barrier_cost
@@ -849,7 +905,8 @@ impl GpuTrainingSim {
                 );
                 let downs: Vec<TaskId> = (0..g_count)
                     .map(|g| {
-                        graph.add_task(
+                        graph.add_task_in(
+                            TaskCategory::PcieTransfer,
                             format!("{name}_h2d{g}"),
                             pcie.transfer_time(Bytes::new(ingress_bytes_per_gpu.max(1)), rounds)
                                 + hop,

@@ -23,7 +23,13 @@
 //! * [`variability`] — Monte-Carlo throughput distributions under per-GPU
 //!   hardware noise (the "hardware level variability" of Figure 5),
 //! * [`report`] — [`SimReport`]: iteration time, throughput, utilization,
-//!   bottleneck, power and perf-per-watt.
+//!   bottleneck, power, perf-per-watt and critical-path attribution.
+//!
+//! Every simulator builds its task graph through the category-carrying
+//! constructors ([`des::TaskGraph::add_task_in`]), so schedules export to
+//! `recsim-trace` (Chrome/Perfetto traces, text timelines) and support
+//! critical-path attribution: each nanosecond of the makespan charged to a
+//! [`TaskCategory`] (embedding lookup, MLP compute, all-to-all, …).
 //!
 //! # Example
 //!
@@ -62,6 +68,7 @@ pub use cost::CostKnobs;
 pub use cpu::{CpuClusterSetup, CpuTrainingSim};
 pub use gpu::GpuTrainingSim;
 pub use report::SimReport;
+pub use recsim_trace::TaskCategory;
 
 use recsim_placement::PlacementError;
 use recsim_verify::{Diagnostic, Severity, ValidationError};

@@ -13,6 +13,7 @@
 use recsim_data::schema::ModelConfig;
 use recsim_hw::units::Bytes;
 use recsim_hw::Link;
+use recsim_trace::Tracer;
 use serde::{Deserialize, Serialize};
 
 /// One reader server's capability model.
@@ -79,6 +80,37 @@ impl ReaderModel {
             target_throughput * config.example_bytes() as f64 * self.preprocess_amplification;
         Bytes::new(bytes as u64)
     }
+
+    /// Emits the tier-sizing numbers as trace counters at `ts_us`:
+    /// per-reader deliverable rate, readers needed for `target_throughput`,
+    /// and the warehouse bandwidth the tier pulls. A non-positive or
+    /// non-finite target emits nothing (no sizing question to answer).
+    pub fn emit_counters(
+        &self,
+        config: &ModelConfig,
+        target_throughput: f64,
+        ts_us: f64,
+        tracer: &mut dyn Tracer,
+    ) {
+        if !tracer.enabled() || !(target_throughput > 0.0) || !target_throughput.is_finite() {
+            return;
+        }
+        tracer.counter(
+            "reader:examples_per_s",
+            ts_us,
+            self.examples_per_second(config),
+        );
+        tracer.counter(
+            "reader:servers_needed",
+            ts_us,
+            f64::from(self.readers_needed(config, target_throughput)),
+        );
+        tracer.counter(
+            "reader:warehouse_bytes_per_s",
+            ts_us,
+            self.warehouse_bandwidth(config, target_throughput).as_f64(),
+        );
+    }
 }
 
 #[cfg(test)]
@@ -137,6 +169,20 @@ mod tests {
             ten >= one * 9 && ten <= one * 11,
             "expected ~10x readers: {one} -> {ten}"
         );
+    }
+
+    #[test]
+    fn counters_emitted_for_valid_targets_only() {
+        let m = ReaderModel::default();
+        let cfg = config();
+        let mut rec = recsim_trace::TraceRecorder::new();
+        m.emit_counters(&cfg, -5.0, 0.0, &mut rec);
+        m.emit_counters(&cfg, f64::NAN, 0.0, &mut rec);
+        m.emit_counters(&cfg, 100_000.0, 0.0, &mut rec);
+        let trace = rec.finish();
+        assert_eq!(trace.len(), 3, "one emit, three counters");
+        let names = trace.counter_names();
+        assert!(names.iter().any(|n| n == "reader:servers_needed"));
     }
 
     #[test]

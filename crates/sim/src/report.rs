@@ -1,6 +1,7 @@
-//! Simulation results: throughput, utilization, power.
+//! Simulation results: throughput, utilization, power, attribution.
 
 use recsim_hw::units::{Duration, Power};
+use recsim_verify::{Code, Diagnostic};
 use serde::{Deserialize, Serialize};
 
 /// The outcome of simulating one training iteration of a setup.
@@ -8,6 +9,8 @@ use serde::{Deserialize, Serialize};
 /// Throughput is examples per second; utilizations are per named resource
 /// in `[0, 1]`; power is the setup's total draw (all servers involved),
 /// which is what divides throughput for the paper's perf-per-watt numbers.
+/// The optional `attribution` partitions the iteration time across
+/// critical-path task categories (see `recsim-trace`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
     setup: String,
@@ -16,14 +19,19 @@ pub struct SimReport {
     utilizations: Vec<(String, f64)>,
     bottleneck: Option<(String, f64)>,
     power: Power,
+    /// Critical-path attribution: `(category label, time)` pairs summing to
+    /// `iteration_time`. Empty when the simulator did not attach one.
+    #[serde(default)]
+    attribution: Vec<(String, Duration)>,
 }
 
 impl SimReport {
     /// Assembles a report.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the iteration time or example count is not positive.
+    /// Returns `RV030` if the iteration time is not positive and `RV031`
+    /// if the example count is not positive.
     pub fn new(
         setup: impl Into<String>,
         iteration_time: Duration,
@@ -31,17 +39,57 @@ impl SimReport {
         utilizations: Vec<(String, f64)>,
         bottleneck: Option<(String, f64)>,
         power: Power,
-    ) -> Self {
-        assert!(iteration_time.as_secs() > 0.0, "iteration time must be positive");
-        assert!(examples_per_iteration > 0.0, "examples must be positive");
-        Self {
-            setup: setup.into(),
+    ) -> Result<Self, Diagnostic> {
+        let setup = setup.into();
+        if !(iteration_time.as_secs() > 0.0) {
+            return Err(Diagnostic::error(
+                Code::NonPositiveIterationTime,
+                format!("SimReport::new({setup})"),
+                format!(
+                    "iteration time must be positive, got {} s",
+                    iteration_time.as_secs()
+                ),
+            ));
+        }
+        if !(examples_per_iteration > 0.0) {
+            return Err(Diagnostic::error(
+                Code::NonPositiveExampleCount,
+                format!("SimReport::new({setup})"),
+                format!("examples per iteration must be positive, got {examples_per_iteration}"),
+            ));
+        }
+        Ok(Self {
+            setup,
             iteration_time,
             examples_per_iteration,
             utilizations,
             bottleneck,
             power,
+            attribution: Vec::new(),
+        })
+    }
+
+    /// Infallible degenerate report (1 µs, 1 example, no resources). The
+    /// simulators fall back to this on paths their construction-time
+    /// validation makes unreachable, so their `run()` stays total without a
+    /// panicking call.
+    pub fn degenerate(setup: impl Into<String>) -> Self {
+        Self {
+            setup: setup.into(),
+            iteration_time: Duration::from_secs(1e-6),
+            examples_per_iteration: 1.0,
+            utilizations: Vec::new(),
+            bottleneck: None,
+            power: Power::from_watts(1.0),
+            attribution: Vec::new(),
         }
+    }
+
+    /// Attaches a critical-path attribution breakdown (builder style).
+    #[must_use]
+    pub fn with_attribution(mut self, attribution: Vec<(String, Duration)>) -> Self {
+        self.attribution = attribution;
+        self
     }
 
     /// A human-readable description of the simulated setup.
@@ -77,6 +125,23 @@ impl SimReport {
             .map(|(_, u)| *u)
     }
 
+    /// Mean utilization over resources whose name passes `keep`, or `None`
+    /// when no resource matches. This is what the paper's utilization
+    /// distributions (fig. 5) aggregate per resource class.
+    pub fn mean_utilization(&self, keep: impl Fn(&str) -> bool) -> Option<f64> {
+        let picked: Vec<f64> = self
+            .utilizations
+            .iter()
+            .filter(|(n, _)| keep(n))
+            .map(|(_, u)| *u)
+            .collect();
+        if picked.is_empty() {
+            None
+        } else {
+            Some(picked.iter().sum::<f64>() / picked.len() as f64)
+        }
+    }
+
     /// The busiest resource and its utilization.
     pub fn bottleneck(&self) -> Option<(&str, f64)> {
         self.bottleneck.as_ref().map(|(n, u)| (n.as_str(), *u))
@@ -90,6 +155,20 @@ impl SimReport {
     /// Examples per joule.
     pub fn perf_per_watt(&self) -> f64 {
         self.throughput() / self.power.as_watts()
+    }
+
+    /// Critical-path attribution: `(category label, time)` pairs summing to
+    /// [`Self::iteration_time`]. Empty when no attribution was attached.
+    pub fn attribution(&self) -> &[(String, Duration)] {
+        &self.attribution
+    }
+
+    /// Time attributed to one category label, if present.
+    pub fn attributed_to(&self, label: &str) -> Option<Duration> {
+        self.attribution
+            .iter()
+            .find(|(n, _)| n == label)
+            .map(|(_, d)| *d)
     }
 }
 
@@ -106,6 +185,7 @@ mod tests {
             Some(("gpu".into(), 0.8)),
             Power::from_watts(4380.0),
         )
+        .expect("valid report")
     }
 
     #[test]
@@ -129,15 +209,52 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
+    fn mean_utilization_filters_by_name() {
+        let r = report();
+        let gpu = r.mean_utilization(|n| n.contains("gpu")).expect("gpu");
+        assert!((gpu - 0.8).abs() < 1e-12);
+        let all = r.mean_utilization(|_| true).expect("all");
+        assert!((all - 0.45).abs() < 1e-12);
+        assert_eq!(r.mean_utilization(|n| n == "missing"), None);
+    }
+
+    #[test]
     fn zero_iteration_rejected() {
-        SimReport::new(
+        let err = SimReport::new(
             "bad",
             Duration::ZERO,
             1.0,
             vec![],
             None,
             Power::from_watts(1.0),
-        );
+        )
+        .expect_err("zero iteration time must be rejected");
+        assert_eq!(err.code(), Code::NonPositiveIterationTime);
+    }
+
+    #[test]
+    fn zero_examples_rejected() {
+        let err = SimReport::new(
+            "bad",
+            Duration::from_millis(1.0),
+            0.0,
+            vec![],
+            None,
+            Power::from_watts(1.0),
+        )
+        .expect_err("zero examples must be rejected");
+        assert_eq!(err.code(), Code::NonPositiveExampleCount);
+    }
+
+    #[test]
+    fn attribution_round_trips() {
+        let r = report().with_attribution(vec![
+            ("mlp compute".into(), Duration::from_millis(1.5)),
+            ("reader stall".into(), Duration::from_millis(0.5)),
+        ]);
+        assert_eq!(r.attribution().len(), 2);
+        let mlp = r.attributed_to("mlp compute").expect("mlp");
+        assert!((mlp.as_secs() - 0.0015).abs() < 1e-12);
+        assert_eq!(r.attributed_to("nope"), None);
     }
 }

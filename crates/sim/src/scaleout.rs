@@ -22,6 +22,7 @@ use recsim_data::schema::ModelConfig;
 use recsim_hw::units::Bytes;
 use recsim_hw::{Platform, PowerModel};
 use recsim_placement::plan::{gpu_table_capacity, ADAGRAD_STATE_MULTIPLIER};
+use recsim_trace::{CriticalPathReport, TaskCategory, Trace};
 use recsim_verify::{Code, Diagnostic, Validate, ValidationError};
 
 /// Why a scale-out setup cannot be constructed.
@@ -164,17 +165,49 @@ impl ScaleOutSim {
         let avg_util = utilizations.iter().map(|(_, u)| *u).sum::<f64>()
             / utilizations.len().max(1) as f64;
         let power = PowerModel::big_basin().draw(avg_util) * self.nodes as f64;
-        SimReport::new(
-            format!(
-                "{} Big Basins / sharded GPU memory / batch {}/node",
-                self.nodes, self.batch_per_node
-            ),
+        // Scale the schedule's critical-path breakdown to the reported
+        // steady-state iteration time (see GpuTrainingSim::report).
+        let makespan = pipelined.makespan().as_secs();
+        let scale = if makespan > 0.0 {
+            steady.as_secs() / makespan
+        } else {
+            0.0
+        };
+        let attribution: Vec<(String, recsim_hw::units::Duration)> = pipelined
+            .attribution()
+            .into_iter()
+            .map(|(label, d)| {
+                (label, recsim_hw::units::Duration::from_secs(d.as_secs() * scale))
+            })
+            .collect();
+        let setup = format!(
+            "{} Big Basins / sharded GPU memory / batch {}/node",
+            self.nodes, self.batch_per_node
+        );
+        // The validated constructor makes the Err arm unreachable; keep
+        // run() total.
+        match SimReport::new(
+            setup.clone(),
             steady,
             (self.nodes as u64 * self.batch_per_node) as f64,
             utilizations,
             pipelined.bottleneck(),
             power,
-        )
+        ) {
+            Ok(report) => report.with_attribution(attribution),
+            Err(_) => SimReport::degenerate(setup),
+        }
+    }
+
+    /// Execution trace of one un-pipelined scale-out iteration; export with
+    /// [`recsim_trace::chrome_trace`] or the text/summary exporters.
+    pub fn trace(&self) -> Trace {
+        self.schedule_of(1).to_trace()
+    }
+
+    /// Critical-path attribution of one un-pipelined scale-out iteration.
+    pub fn critical_path(&self, top_k: usize) -> CriticalPathReport {
+        self.schedule_of(1).critical_path(top_k)
     }
 
     /// Builds and simulates the scale-out graph; the validated constructor
@@ -220,13 +253,15 @@ impl ScaleOutSim {
             let mut tails: Vec<TaskId> = Vec::new();
             for i in 0..n {
                 // Input pipeline.
-                let t_read = graph.add_task(
+                let t_read = graph.add_task_in(
+                    TaskCategory::ReaderStall,
                     format!("read{i}"),
                     nic.transfer_time(Bytes::new(b * example_bytes), 1),
                     Some(nics[i]),
                     &[],
                 );
-                let t_stage = graph.add_task(
+                let t_stage = graph.add_task_in(
+                    TaskCategory::HostStaging,
                     format!("stage{i}"),
                     costs.host_staging(b * example_bytes, &host_dev),
                     Some(hosts[i]),
@@ -235,7 +270,8 @@ impl ScaleOutSim {
 
                 // Local gathers: this node owns 1/n of the tables and must
                 // gather raw rows for the FULL global batch.
-                let t_gather = graph.add_task(
+                let t_gather = graph.add_task_in(
+                    TaskCategory::EmbeddingLookup,
                     format!("gather{i}"),
                     costs
                         .embedding_gather(big_b * gather_pe / n as u64, avg_table, tables / n as u64)
@@ -252,14 +288,16 @@ impl ScaleOutSim {
                 let import_bytes = (b as f64 * gather_pe as f64 * remote_frac) as u64;
                 let messages = (tables * (n as u64 - 1)).max(1);
                 let t_import_stage = if n > 1 {
-                    let t_export_stage = graph.add_task(
+                    let t_export_stage = graph.add_task_in(
+                        TaskCategory::HostStaging,
                         format!("export_stage{i}"),
                         costs.host_staging(wire_bytes as u64, &host_dev)
                             + self.knobs.rpc_overhead * messages as f64,
                         Some(hosts[i]),
                         &[t_gather],
                     );
-                    let t_wire = graph.add_task(
+                    let t_wire = graph.add_task_in(
+                        TaskCategory::NicTransfer,
                         format!("wire_fwd{i}"),
                         nic.transfer_time(
                             Bytes::new(wire_bytes as u64 + import_bytes),
@@ -268,7 +306,8 @@ impl ScaleOutSim {
                         Some(nics[i]),
                         &[t_export_stage],
                     );
-                    graph.add_task(
+                    graph.add_task_in(
+                        TaskCategory::HostStaging,
                         format!("import_stage{i}"),
                         costs.host_staging(import_bytes, &host_dev),
                         Some(hosts[i]),
@@ -287,13 +326,15 @@ impl ScaleOutSim {
                         .bottom_forward(per_gpu)
                         .merge(&costs.interaction_forward(per_gpu))
                         .merge(&costs.top_forward(per_gpu));
-                    let t_fwd = graph.add_task(
+                    let t_fwd = graph.add_task_in(
+                        TaskCategory::MlpCompute,
                         format!("fwd{i}_{g}"),
                         costs.dense_time_on(&fwd_work, &gpu_dev),
                         Some(gpus[i]),
                         &[t_import_stage],
                     );
-                    bwd.push(graph.add_task(
+                    bwd.push(graph.add_task_in(
+                        TaskCategory::MlpCompute,
                         format!("bwd{i}_{g}"),
                         costs.dense_time_on(&costs.dense_backward(per_gpu), &gpu_dev),
                         Some(gpus[i]),
@@ -304,14 +345,16 @@ impl ScaleOutSim {
                 // Backward: raw row gradients return over the wire, then
                 // scatter/update at the owners.
                 let t_grad_ready = if n > 1 {
-                    let t_grad_stage = graph.add_task(
+                    let t_grad_stage = graph.add_task_in(
+                        TaskCategory::HostStaging,
                         format!("grad_stage{i}"),
                         costs.host_staging(import_bytes, &host_dev)
                             + self.knobs.rpc_overhead * messages as f64,
                         Some(hosts[i]),
                         &bwd,
                     );
-                    vec![graph.add_task(
+                    vec![graph.add_task_in(
+                        TaskCategory::NicTransfer,
                         format!("wire_bwd{i}"),
                         nic.transfer_time(
                             Bytes::new(wire_bytes as u64 + import_bytes),
@@ -323,7 +366,8 @@ impl ScaleOutSim {
                 } else {
                     bwd.clone()
                 };
-                let t_scatter = graph.add_task(
+                let t_scatter = graph.add_task_in(
+                    TaskCategory::EmbeddingUpdate,
                     format!("scatter{i}"),
                     costs
                         .embedding_scatter(
@@ -341,7 +385,8 @@ impl ScaleOutSim {
                 // Dense all-reduce across nodes over the NICs.
                 if n > 1 {
                     let ring = (2 * mlp_bytes) as f64 * remote_frac;
-                    let t_ar = graph.add_task(
+                    let t_ar = graph.add_task_in(
+                        TaskCategory::AllToAll,
                         format!("allreduce{i}"),
                         nic.transfer_time(
                             Bytes::new((ring as u64).max(1)),

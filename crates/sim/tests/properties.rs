@@ -9,7 +9,7 @@ use recsim_placement::{
     PartitionScheme, Placement, PlacementStrategy, TableAssignment, TableLocation,
 };
 use recsim_sim::des::TaskGraph;
-use recsim_sim::{CostKnobs, CpuClusterSetup, CpuTrainingSim, GpuTrainingSim};
+use recsim_sim::{CostKnobs, CpuClusterSetup, CpuTrainingSim, GpuTrainingSim, TaskCategory};
 use recsim_verify::{Code, Validate};
 
 proptest! {
@@ -359,5 +359,77 @@ proptest! {
         g.add_dependency(ring[0], ring[cycle_len - 1]);
         let err = g.simulate().expect_err("cycle must be rejected");
         prop_assert!(err.has_code(Code::DependencyCycle));
+    }
+
+    #[test]
+    fn attribution_partitions_makespan(
+        specs in prop::collection::vec(
+            (0.01f64..5.0, 0usize..3, 0usize..12, prop::collection::vec(prop::num::usize::ANY, 0..3)),
+            1..40,
+        ),
+    ) {
+        // Random DAG with random categories: the critical-path breakdown
+        // must partition [0, makespan] exactly, using only known labels.
+        let mut g = TaskGraph::new();
+        let resources = [
+            g.add_resource("r0", 1),
+            g.add_resource("r1", 2),
+            g.add_resource("r2", 3),
+        ];
+        let mut ids = Vec::new();
+        for (i, (dur, res_idx, cat_idx, raw_deps)) in specs.iter().enumerate() {
+            let deps: Vec<_> = raw_deps
+                .iter()
+                .filter(|_| i > 0)
+                .map(|&d| ids[d % i])
+                .collect();
+            ids.push(g.add_task_in(
+                TaskCategory::ALL[*cat_idx],
+                format!("t{i}"),
+                Duration::from_secs(*dur),
+                Some(resources[*res_idx]),
+                &deps,
+            ));
+        }
+        let s = g.simulate().expect("valid graph");
+        let report = s.critical_path(5);
+        prop_assert!((report.attributed_total() - report.makespan).abs() <= 1e-9 * report.makespan.max(1.0));
+        prop_assert!((report.makespan - s.makespan().as_secs()).abs() < 1e-9);
+        for (category, secs) in &report.breakdown {
+            prop_assert!(*secs >= 0.0);
+            prop_assert!(TaskCategory::from_label(category.label()) == Some(*category));
+        }
+        // The schedule-level label/duration view agrees with the report.
+        let by_label: f64 = s.attribution().iter().map(|(_, d)| d.as_secs()).sum();
+        prop_assert!((by_label - report.makespan).abs() <= 1e-9 * report.makespan.max(1.0));
+    }
+
+    #[test]
+    fn cpu_attribution_sums_to_iteration_time(
+        trainers in 1u32..5,
+        sparse_ps in 1u32..3,
+        batch in 16u64..512,
+    ) {
+        let cfg = ModelConfig::test_suite(32, 4, 10_000, &[64, 64]);
+        let r = CpuTrainingSim::new(
+            &cfg,
+            CpuClusterSetup {
+                trainers,
+                dense_ps: 1,
+                sparse_ps,
+                hogwild_threads: 2,
+                batch_per_thread: batch,
+                sync_period: 16,
+            },
+        )
+        .expect("valid setup")
+        .run();
+        let total = r.iteration_time().as_secs();
+        let sum: f64 = r.attribution().iter().map(|(_, d)| d.as_secs()).sum();
+        prop_assert!(!r.attribution().is_empty());
+        prop_assert!((sum - total).abs() < 1e-6 * total);
+        for (label, _) in r.attribution() {
+            prop_assert!(TaskCategory::from_label(label).is_some(), "unknown label {label:?}");
+        }
     }
 }

@@ -1,0 +1,151 @@
+//! The task-category taxonomy used for critical-path attribution.
+//!
+//! Every task a simulator schedules carries one of these categories, so a
+//! nanosecond of iteration time can always be attributed to a phase of the
+//! training pipeline — the attribution axis of the paper's Figures 5 and
+//! 10–14 (where does time go: embedding work, MLP compute, collectives,
+//! data movement, parameter-server work, or the input pipeline?).
+
+use std::fmt;
+
+/// What kind of work a scheduled task performs.
+///
+/// The set is closed on purpose: attribution reports group by category, and
+/// a fixed vocabulary keeps those reports comparable across simulators
+/// (CPU fleet, single-server GPU, multi-node scale-out).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TaskCategory {
+    /// Embedding-row gathers and pooling, wherever the table lives (GPU
+    /// HBM, host memory, or a sparse parameter server).
+    EmbeddingLookup,
+    /// Embedding-row scatter/optimizer updates applied at a table's owner
+    /// on the trainer side.
+    EmbeddingUpdate,
+    /// Dense forward/backward compute: bottom MLP, feature interaction,
+    /// top MLP, dense backward, Hogwild fwd+bwd.
+    MlpCompute,
+    /// Collective exchanges between workers: all-to-all of pooled vectors,
+    /// all-reduce of dense gradients, replica gradient exchanges.
+    AllToAll,
+    /// Host↔device copies over PCIe (input upload, pooled-vector delivery,
+    /// gradient download, staged-exchange hops).
+    PcieTransfer,
+    /// Network transfers over the NIC (parameter-server responses,
+    /// gradient pushes, inter-node wires, EASGD sync traffic).
+    NicTransfer,
+    /// CPU-side staging/repacking of buffers in host memory.
+    HostStaging,
+    /// Work executed on a parameter server: sharded gathers, scatters,
+    /// EASGD center updates.
+    PsUpdate,
+    /// Dense optimizer steps on the trainer.
+    Optimizer,
+    /// Waiting on the input pipeline: batch delivery from the reader tier.
+    ReaderStall,
+    /// Framework bookkeeping: barriers and zero-duration joins.
+    Framework,
+    /// Uncategorized work (generic graphs built outside the simulators).
+    Other,
+}
+
+impl TaskCategory {
+    /// Every category, in display order.
+    pub const ALL: [TaskCategory; 12] = [
+        TaskCategory::EmbeddingLookup,
+        TaskCategory::EmbeddingUpdate,
+        TaskCategory::MlpCompute,
+        TaskCategory::AllToAll,
+        TaskCategory::PcieTransfer,
+        TaskCategory::NicTransfer,
+        TaskCategory::HostStaging,
+        TaskCategory::PsUpdate,
+        TaskCategory::Optimizer,
+        TaskCategory::ReaderStall,
+        TaskCategory::Framework,
+        TaskCategory::Other,
+    ];
+
+    /// Stable human-readable label (used in attribution tables, Chrome
+    /// trace `cat` fields and `SimReport` breakdowns).
+    pub fn label(self) -> &'static str {
+        match self {
+            TaskCategory::EmbeddingLookup => "embedding lookup",
+            TaskCategory::EmbeddingUpdate => "embedding update",
+            TaskCategory::MlpCompute => "mlp compute",
+            TaskCategory::AllToAll => "all-to-all",
+            TaskCategory::PcieTransfer => "pcie transfer",
+            TaskCategory::NicTransfer => "nic transfer",
+            TaskCategory::HostStaging => "host staging",
+            TaskCategory::PsUpdate => "ps update",
+            TaskCategory::Optimizer => "optimizer",
+            TaskCategory::ReaderStall => "reader stall",
+            TaskCategory::Framework => "framework",
+            TaskCategory::Other => "other",
+        }
+    }
+
+    /// Position in [`TaskCategory::ALL`] (dense array indexing for
+    /// per-category accumulators).
+    pub fn index(self) -> usize {
+        match self {
+            TaskCategory::EmbeddingLookup => 0,
+            TaskCategory::EmbeddingUpdate => 1,
+            TaskCategory::MlpCompute => 2,
+            TaskCategory::AllToAll => 3,
+            TaskCategory::PcieTransfer => 4,
+            TaskCategory::NicTransfer => 5,
+            TaskCategory::HostStaging => 6,
+            TaskCategory::PsUpdate => 7,
+            TaskCategory::Optimizer => 8,
+            TaskCategory::ReaderStall => 9,
+            TaskCategory::Framework => 10,
+            TaskCategory::Other => 11,
+        }
+    }
+
+    /// Parses a [`TaskCategory::label`] back into a category.
+    pub fn from_label(label: &str) -> Option<TaskCategory> {
+        TaskCategory::ALL.into_iter().find(|c| c.label() == label)
+    }
+}
+
+impl Default for TaskCategory {
+    /// Generic graphs that predate categorization default to
+    /// [`TaskCategory::Other`].
+    fn default() -> Self {
+        TaskCategory::Other
+    }
+}
+
+impl fmt::Display for TaskCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique_and_roundtrip() {
+        let mut seen = std::collections::HashSet::new();
+        for c in TaskCategory::ALL {
+            assert!(seen.insert(c.label()), "duplicate label {}", c.label());
+            assert_eq!(TaskCategory::from_label(c.label()), Some(c));
+        }
+        assert_eq!(TaskCategory::from_label("nonsense"), None);
+    }
+
+    #[test]
+    fn index_matches_all_order() {
+        for (i, c) in TaskCategory::ALL.into_iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn default_is_other() {
+        assert_eq!(TaskCategory::default(), TaskCategory::Other);
+    }
+}

@@ -1,0 +1,409 @@
+//! Critical-path attribution over a finished schedule.
+//!
+//! The discrete-event engine in `recsim-sim` is work-conserving with FIFO
+//! resource queues: a task starts either at time zero or exactly when the
+//! event that released it fired — the finish of a dependency, or the finish
+//! of the task whose completion freed a unit of its resource. That means the
+//! interval `[0, makespan]` can be partitioned *exactly* by walking
+//! backwards from the task that finishes last, at each step re-attaching to
+//! whichever predecessor's finish explains the current task's start. Each
+//! segment of the walk is charged to the covering task's
+//! [`TaskCategory`], so the per-category breakdown sums to the makespan to
+//! the last ulp (a property the test-suite pins down).
+
+use crate::category::TaskCategory;
+
+/// Absolute tolerance (seconds) when matching a task's start time against a
+/// candidate predecessor's finish time. Schedules are built from f64
+/// arithmetic; identical event times can differ by accumulated rounding.
+const EPS: f64 = 1e-9;
+
+/// One task of a finished schedule, in seconds, as the analysis consumes it.
+///
+/// This mirrors `recsim-sim`'s `Schedule` rows without depending on the sim
+/// crate (the dependency points the other way).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledTask {
+    /// Task name.
+    pub name: String,
+    /// Attribution category.
+    pub category: TaskCategory,
+    /// Start time, seconds.
+    pub start: f64,
+    /// Finish time, seconds.
+    pub finish: f64,
+    /// Index of the resource the task occupied, if any.
+    pub resource: Option<usize>,
+    /// Indices of dependency tasks.
+    pub deps: Vec<usize>,
+}
+
+/// A task on the critical path, with the share of the makespan charged to it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathStep {
+    /// Index into the input task slice.
+    pub task: usize,
+    /// Task name.
+    pub name: String,
+    /// Attribution category.
+    pub category: TaskCategory,
+    /// Seconds of the makespan attributed to this step.
+    pub contribution: f64,
+}
+
+/// A non-critical task ranked by how much it could slip without moving the
+/// makespan (classic CPM slack over the dependency graph).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlackEntry {
+    /// Index into the input task slice.
+    pub task: usize,
+    /// Task name.
+    pub name: String,
+    /// Attribution category.
+    pub category: TaskCategory,
+    /// Task duration, seconds.
+    pub duration: f64,
+    /// Slack, seconds: how late the task could start without delaying any
+    /// dependent (ignoring resource contention).
+    pub slack: f64,
+}
+
+/// Result of [`critical_path`]: the walked path, the per-category
+/// partition of the makespan, and a top-k slack report.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CriticalPathReport {
+    /// Schedule makespan, seconds.
+    pub makespan: f64,
+    /// Seconds of the makespan charged to each category, in
+    /// [`TaskCategory::ALL`] order, zero-share categories omitted. The
+    /// values sum to `makespan` exactly (telescoping construction).
+    pub breakdown: Vec<(TaskCategory, f64)>,
+    /// The walked path, last-finishing task first.
+    pub path: Vec<PathStep>,
+    /// The `top_k` largest-slack tasks, descending.
+    pub slack: Vec<SlackEntry>,
+}
+
+impl CriticalPathReport {
+    /// Share of the makespan attributed to `category` (0.0 if absent).
+    pub fn share_of(&self, category: TaskCategory) -> f64 {
+        self.breakdown
+            .iter()
+            .find(|(c, _)| *c == category)
+            .map_or(0.0, |(_, s)| *s)
+    }
+
+    /// Sum of all per-category shares; equals `makespan` by construction.
+    pub fn attributed_total(&self) -> f64 {
+        self.breakdown.iter().map(|(_, s)| s).sum()
+    }
+}
+
+/// Walks the schedule backwards from its last-finishing task, partitioning
+/// `[0, makespan]` into segments charged to the covering task's category,
+/// and computes a dependency-graph slack report for the `top_k`
+/// largest-slack tasks.
+///
+/// Zero-duration tasks (barriers) can appear on the path but contribute no
+/// time. An empty input yields an empty report.
+pub fn critical_path(tasks: &[ScheduledTask], top_k: usize) -> CriticalPathReport {
+    let Some(last) = (0..tasks.len()).max_by(|&a, &b| {
+        tasks[a]
+            .finish
+            .total_cmp(&tasks[b].finish)
+            .then_with(|| b.cmp(&a))
+    }) else {
+        return CriticalPathReport::default();
+    };
+    let makespan = tasks[last].finish;
+
+    // Tasks sharing a resource, sorted by finish time, for resource-wait
+    // predecessor lookups.
+    let n_resources = tasks
+        .iter()
+        .filter_map(|t| t.resource)
+        .max()
+        .map_or(0, |m| m + 1);
+    let mut by_resource: Vec<Vec<usize>> = vec![Vec::new(); n_resources];
+    for (i, t) in tasks.iter().enumerate() {
+        if let Some(r) = t.resource {
+            by_resource[r].push(i);
+        }
+    }
+    for list in &mut by_resource {
+        list.sort_by(|&a, &b| tasks[a].finish.total_cmp(&tasks[b].finish));
+    }
+
+    let mut acc = [0.0f64; TaskCategory::ALL.len()];
+    let mut path = Vec::new();
+    let mut visited = vec![false; tasks.len()];
+    let mut cur = last;
+    // `hi` is the upper edge of the still-unattributed interval [0, hi].
+    let mut hi = makespan;
+
+    while hi > 0.0 {
+        visited[cur] = true;
+        let t = &tasks[cur];
+        let lo = t.start.min(hi);
+
+        // Find what explains `lo` (the current task's start): an unvisited
+        // dependency or same-resource predecessor finishing at ≈ lo. When
+        // none matches exactly (rounding, graphs not produced by the DES),
+        // fall back to the latest finisher at or before lo.
+        let next = if lo <= 0.0 {
+            None
+        } else {
+            let dep = t
+                .deps
+                .iter()
+                .copied()
+                .filter(|&d| !visited[d] && tasks[d].finish <= lo + EPS)
+                .max_by(|&a, &b| tasks[a].finish.total_cmp(&tasks[b].finish));
+            let res_pred = t.resource.and_then(|r| {
+                by_resource[r]
+                    .iter()
+                    .copied()
+                    .filter(|&p| !visited[p] && tasks[p].finish <= lo + EPS)
+                    .max_by(|&a, &b| tasks[a].finish.total_cmp(&tasks[b].finish))
+            });
+            let best = match (dep, res_pred) {
+                (Some(d), Some(p)) => {
+                    // Prefer an exact explanation of `lo`; among exact
+                    // matches prefer the dependency edge.
+                    if (lo - tasks[d].finish).abs() <= EPS {
+                        Some(d)
+                    } else if (lo - tasks[p].finish).abs() <= EPS {
+                        Some(p)
+                    } else if tasks[d].finish >= tasks[p].finish {
+                        Some(d)
+                    } else {
+                        Some(p)
+                    }
+                }
+                (Some(d), None) => Some(d),
+                (None, Some(p)) => Some(p),
+                (None, None) => None,
+            };
+            best.or_else(|| {
+                // Global fallback: any unvisited task finishing at or
+                // before lo — keeps the walk total even for graphs whose
+                // start times the predecessor rules can't explain.
+                (0..tasks.len())
+                    .filter(|&i| !visited[i] && tasks[i].finish <= lo + EPS)
+                    .max_by(|&a, &b| tasks[a].finish.total_cmp(&tasks[b].finish))
+            })
+        };
+
+        // Charge [hi_next, hi] to the current task: the segment telescopes,
+        // so the per-category totals sum to the makespan exactly.
+        let hi_next = next.map_or(0.0, |n| tasks[n].finish.min(lo)).max(0.0);
+        let contribution = hi - hi_next;
+        acc[t.category.index()] += contribution;
+        path.push(PathStep {
+            task: cur,
+            name: t.name.clone(),
+            category: t.category,
+            contribution,
+        });
+        match next {
+            Some(n) => {
+                cur = n;
+                hi = hi_next;
+            }
+            None => break,
+        }
+    }
+
+    let breakdown: Vec<(TaskCategory, f64)> = TaskCategory::ALL
+        .into_iter()
+        .zip(acc)
+        .filter(|(_, s)| *s > 0.0)
+        .collect();
+
+    CriticalPathReport {
+        makespan,
+        breakdown,
+        path,
+        slack: slack_report(tasks, makespan, top_k),
+    }
+}
+
+/// Classic CPM backward pass over the dependency edges: latest start of a
+/// task is the minimum over dependents of (their latest start) minus the
+/// task's own duration; slack is latest start minus actual start.
+fn slack_report(tasks: &[ScheduledTask], makespan: f64, top_k: usize) -> Vec<SlackEntry> {
+    if top_k == 0 || tasks.is_empty() {
+        return Vec::new();
+    }
+    let n = tasks.len();
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, t) in tasks.iter().enumerate() {
+        for &d in &t.deps {
+            if d < n {
+                dependents[d].push(i);
+            }
+        }
+    }
+    // Reverse-topological order via Kahn on the dependents relation.
+    let mut indeg: Vec<usize> = tasks.iter().map(|t| t.deps.len()).collect();
+    let mut order: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut head = 0;
+    while head < order.len() {
+        let i = order[head];
+        head += 1;
+        for &j in &dependents[i] {
+            indeg[j] -= 1;
+            if indeg[j] == 0 {
+                order.push(j);
+            }
+        }
+    }
+    let mut latest_finish = vec![makespan; n];
+    for &i in order.iter().rev() {
+        for &j in &dependents[i] {
+            let j_latest_start = latest_finish[j] - (tasks[j].finish - tasks[j].start);
+            if j_latest_start < latest_finish[i] {
+                latest_finish[i] = j_latest_start;
+            }
+        }
+    }
+    let mut entries: Vec<SlackEntry> = (0..n)
+        .map(|i| {
+            let t = &tasks[i];
+            let duration = t.finish - t.start;
+            SlackEntry {
+                task: i,
+                name: t.name.clone(),
+                category: t.category,
+                duration,
+                slack: (latest_finish[i] - duration - t.start).max(0.0),
+            }
+        })
+        .collect();
+    entries.sort_by(|a, b| b.slack.total_cmp(&a.slack).then_with(|| a.task.cmp(&b.task)));
+    entries.truncate(top_k);
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(
+        name: &str,
+        category: TaskCategory,
+        start: f64,
+        finish: f64,
+        resource: Option<usize>,
+        deps: &[usize],
+    ) -> ScheduledTask {
+        ScheduledTask {
+            name: name.to_string(),
+            category,
+            start,
+            finish,
+            resource,
+            deps: deps.to_vec(),
+        }
+    }
+
+    #[test]
+    fn empty_schedule_gives_empty_report() {
+        let report = critical_path(&[], 5);
+        assert_eq!(report.makespan, 0.0);
+        assert!(report.breakdown.is_empty());
+        assert!(report.path.is_empty());
+        assert!(report.slack.is_empty());
+    }
+
+    #[test]
+    fn serial_chain_attributes_everything() {
+        let tasks = vec![
+            task("a", TaskCategory::ReaderStall, 0.0, 1.0, Some(0), &[]),
+            task("b", TaskCategory::MlpCompute, 1.0, 4.0, Some(1), &[0]),
+            task("c", TaskCategory::AllToAll, 4.0, 6.0, Some(2), &[1]),
+        ];
+        let report = critical_path(&tasks, 3);
+        assert_eq!(report.makespan, 6.0);
+        assert_eq!(report.attributed_total(), 6.0);
+        assert_eq!(report.share_of(TaskCategory::ReaderStall), 1.0);
+        assert_eq!(report.share_of(TaskCategory::MlpCompute), 3.0);
+        assert_eq!(report.share_of(TaskCategory::AllToAll), 2.0);
+        assert_eq!(report.path.len(), 3);
+        assert_eq!(report.path[0].name, "c");
+        assert_eq!(report.path[2].name, "a");
+    }
+
+    #[test]
+    fn diamond_walks_through_the_slow_branch() {
+        // a -> {b (slow), c (fast)} -> d. Critical path is a, b, d.
+        let tasks = vec![
+            task("a", TaskCategory::ReaderStall, 0.0, 1.0, Some(0), &[]),
+            task("b", TaskCategory::MlpCompute, 1.0, 5.0, Some(1), &[0]),
+            task("c", TaskCategory::NicTransfer, 1.0, 2.0, Some(2), &[0]),
+            task("d", TaskCategory::Optimizer, 5.0, 6.0, Some(0), &[1, 2]),
+        ];
+        let report = critical_path(&tasks, 4);
+        assert_eq!(report.makespan, 6.0);
+        assert_eq!(report.attributed_total(), 6.0);
+        assert_eq!(report.share_of(TaskCategory::MlpCompute), 4.0);
+        assert_eq!(report.share_of(TaskCategory::NicTransfer), 0.0);
+        // c has 3 seconds of slack (can finish as late as 5.0).
+        let c = report.slack.iter().find(|s| s.name == "c").unwrap();
+        assert!((c.slack - 3.0).abs() < 1e-12, "slack was {}", c.slack);
+    }
+
+    #[test]
+    fn resource_wait_is_charged_to_the_blocking_task() {
+        // Two independent tasks on one unit of resource 0: "second" waits
+        // for "first" to free the unit, so both land on the path.
+        let tasks = vec![
+            task("first", TaskCategory::EmbeddingLookup, 0.0, 2.0, Some(0), &[]),
+            task("second", TaskCategory::EmbeddingUpdate, 2.0, 5.0, Some(0), &[]),
+        ];
+        let report = critical_path(&tasks, 2);
+        assert_eq!(report.makespan, 5.0);
+        assert_eq!(report.attributed_total(), 5.0);
+        assert_eq!(report.share_of(TaskCategory::EmbeddingLookup), 2.0);
+        assert_eq!(report.share_of(TaskCategory::EmbeddingUpdate), 3.0);
+    }
+
+    #[test]
+    fn zero_duration_barrier_contributes_nothing() {
+        let tasks = vec![
+            task("work", TaskCategory::MlpCompute, 0.0, 3.0, Some(0), &[]),
+            task("barrier", TaskCategory::Framework, 3.0, 3.0, None, &[0]),
+        ];
+        let report = critical_path(&tasks, 2);
+        assert_eq!(report.makespan, 3.0);
+        assert_eq!(report.attributed_total(), 3.0);
+        assert_eq!(report.share_of(TaskCategory::Framework), 0.0);
+        assert_eq!(report.share_of(TaskCategory::MlpCompute), 3.0);
+    }
+
+    #[test]
+    fn idle_gap_is_charged_to_the_task_above_it() {
+        // A task starting later than anything explains (no deps, no
+        // resource contention): the gap [0, start] has no predecessor, so
+        // the walk charges the whole [0, finish] interval to it.
+        let tasks = vec![task("late", TaskCategory::PsUpdate, 2.0, 4.0, Some(0), &[])];
+        let report = critical_path(&tasks, 1);
+        assert_eq!(report.makespan, 4.0);
+        assert_eq!(report.attributed_total(), 4.0);
+        assert_eq!(report.share_of(TaskCategory::PsUpdate), 4.0);
+    }
+
+    #[test]
+    fn slack_report_is_sorted_and_truncated() {
+        let tasks = vec![
+            task("a", TaskCategory::MlpCompute, 0.0, 4.0, Some(0), &[]),
+            task("b", TaskCategory::NicTransfer, 0.0, 1.0, Some(1), &[]),
+            task("c", TaskCategory::PsUpdate, 0.0, 2.0, Some(2), &[]),
+        ];
+        let report = critical_path(&tasks, 2);
+        assert_eq!(report.slack.len(), 2);
+        assert_eq!(report.slack[0].name, "b");
+        assert!((report.slack[0].slack - 3.0).abs() < 1e-12);
+        assert_eq!(report.slack[1].name, "c");
+    }
+}

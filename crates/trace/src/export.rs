@@ -1,0 +1,335 @@
+//! Trace exporters: Chrome trace-event JSON, a plain-text per-track
+//! timeline, and summary tables rendered via `recsim-metrics`.
+
+use crate::critical_path::CriticalPathReport;
+use crate::tracer::{Trace, TraceEvent};
+use recsim_metrics::Table;
+use std::fmt::Write as _;
+
+/// Serializes a trace into Chrome trace-event JSON
+/// (`{"traceEvents": [...]}`), loadable by Perfetto and `chrome://tracing`.
+///
+/// Each track becomes a thread of process 0 (named via an `"M"` metadata
+/// event); spans become `"X"` complete events carrying their category in
+/// `cat`, instants become `"i"` events, counters become `"C"` events.
+pub fn chrome_trace(trace: &Trace) -> String {
+    let tracks = trace.tracks();
+    let tid_of = |track: &str| tracks.iter().position(|t| *t == track).unwrap_or(0);
+    let mut parts: Vec<String> = Vec::with_capacity(trace.len() + tracks.len());
+    for (tid, track) in tracks.iter().enumerate() {
+        parts.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            escape(track)
+        ));
+    }
+    for event in trace.events() {
+        parts.push(match event {
+            TraceEvent::Span {
+                track,
+                name,
+                category,
+                start_us,
+                dur_us,
+            } => format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\
+                 \"dur\":{},\"pid\":0,\"tid\":{}}}",
+                escape(name),
+                escape(category.label()),
+                num(*start_us),
+                num(*dur_us),
+                tid_of(track)
+            ),
+            TraceEvent::Instant { track, name, ts_us } => format!(
+                "{{\"name\":\"{}\",\"ph\":\"i\",\"ts\":{},\"pid\":0,\
+                 \"tid\":{},\"s\":\"t\"}}",
+                escape(name),
+                num(*ts_us),
+                tid_of(track)
+            ),
+            TraceEvent::Counter { name, ts_us, value } => format!(
+                "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{},\"pid\":0,\
+                 \"args\":{{\"value\":{}}}}}",
+                escape(name),
+                num(*ts_us),
+                num(*value)
+            ),
+        });
+    }
+    format!("{{\"traceEvents\":[{}]}}", parts.join(","))
+}
+
+/// Renders a plain-text timeline: one section per track, spans in start
+/// order with `[start .. end] name (category)` rows, instants marked with
+/// `@`, followed by a counter section when counters were recorded.
+pub fn text_timeline(trace: &Trace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "timeline ({} events, {} end)", trace.len(), fmt_us(trace.end_us()));
+    for track in trace.tracks() {
+        let _ = writeln!(out, "{track}:");
+        let mut rows: Vec<(f64, String)> = Vec::new();
+        for event in trace.events() {
+            match event {
+                TraceEvent::Span {
+                    track: t,
+                    name,
+                    category,
+                    start_us,
+                    dur_us,
+                } if t == track => {
+                    rows.push((
+                        *start_us,
+                        format!(
+                            "  [{:>12} .. {:>12}] {name} ({category})",
+                            fmt_us(*start_us),
+                            fmt_us(start_us + dur_us)
+                        ),
+                    ));
+                }
+                TraceEvent::Instant { track: t, name, ts_us } if t == track => {
+                    rows.push((*ts_us, format!("  @{:>12} {name}", fmt_us(*ts_us))));
+                }
+                _ => {}
+            }
+        }
+        rows.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for (_, row) in rows {
+            let _ = writeln!(out, "{row}");
+        }
+    }
+    let counters = trace.counter_names();
+    if !counters.is_empty() {
+        let _ = writeln!(out, "counters:");
+        for name in counters {
+            for event in trace.events() {
+                if let TraceEvent::Counter { name: n, ts_us, value } = event {
+                    if n == name {
+                        let _ = writeln!(out, "  {n} @{} = {value}", fmt_us(*ts_us));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Summarizes every counter series as a table: sample count, min, mean,
+/// max and last value.
+pub fn counter_summary(trace: &Trace) -> Table {
+    let mut table = Table::new(vec!["counter", "samples", "min", "mean", "max", "last"]);
+    for name in trace.counter_names() {
+        let values: Vec<f64> = trace
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Counter { name: n, value, .. } if n == name => Some(*value),
+                _ => None,
+            })
+            .collect();
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mean = values.iter().sum::<f64>() / values.len().max(1) as f64;
+        let last = values.last().copied().unwrap_or(0.0);
+        table.push_row(vec![
+            name.to_string(),
+            values.len().to_string(),
+            format!("{min:.3}"),
+            format!("{mean:.3}"),
+            format!("{max:.3}"),
+            format!("{last:.3}"),
+        ]);
+    }
+    table
+}
+
+/// Summarizes total span time per category as a table (busy time across all
+/// tracks, not critical-path attribution — see [`attribution_table`] for
+/// the latter).
+pub fn category_summary(trace: &Trace) -> Table {
+    let totals = trace.category_totals();
+    let grand: f64 = totals.iter().map(|(_, t)| t).sum();
+    let mut table = Table::new(vec!["category", "busy time", "share"]);
+    for (category, us) in totals {
+        table.push_row(vec![
+            category.label().to_string(),
+            fmt_us(us),
+            fmt_share(us, grand),
+        ]);
+    }
+    table
+}
+
+/// Renders a critical-path attribution report as a table: seconds of the
+/// makespan charged to each category, with percentage shares. The time
+/// column sums to the makespan by construction.
+pub fn attribution_table(report: &CriticalPathReport) -> Table {
+    let mut table = Table::new(vec!["category", "time", "share"]);
+    for (category, secs) in &report.breakdown {
+        table.push_row(vec![
+            category.label().to_string(),
+            fmt_us(secs * 1e6),
+            fmt_share(*secs, report.makespan),
+        ]);
+    }
+    table.push_row(vec![
+        "total (makespan)".to_string(),
+        fmt_us(report.makespan * 1e6),
+        fmt_share(report.makespan, report.makespan),
+    ]);
+    table
+}
+
+/// Renders the top-k slack report as a table.
+pub fn slack_table(report: &CriticalPathReport) -> Table {
+    let mut table = Table::new(vec!["task", "category", "duration", "slack"]);
+    for entry in &report.slack {
+        table.push_row(vec![
+            entry.name.clone(),
+            entry.category.label().to_string(),
+            fmt_us(entry.duration * 1e6),
+            fmt_us(entry.slack * 1e6),
+        ]);
+    }
+    table
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number (non-finite values degrade to 0).
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Formats a microsecond quantity with a readable unit.
+fn fmt_us(us: f64) -> String {
+    if us.abs() >= 1e6 {
+        format!("{:.3} s", us / 1e6)
+    } else if us.abs() >= 1e3 {
+        format!("{:.3} ms", us / 1e3)
+    } else {
+        format!("{us:.3} µs")
+    }
+}
+
+/// Formats `part / whole` as a percentage (0.0% when the whole is zero).
+fn fmt_share(part: f64, whole: f64) -> String {
+    if whole > 0.0 {
+        format!("{:.1}%", 100.0 * part / whole)
+    } else {
+        "0.0%".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::category::TaskCategory;
+    use crate::critical_path::{critical_path, ScheduledTask};
+    use crate::tracer::{TraceRecorder, Tracer};
+
+    fn sample_trace() -> Trace {
+        let mut rec = TraceRecorder::new();
+        rec.span("gpu0", "bottom_mlp", TaskCategory::MlpCompute, 0.0, 10.0);
+        rec.span("nic", "read \"batch\"", TaskCategory::ReaderStall, 0.0, 4.0);
+        rec.instant("gpu0", "iteration_done", 10.0);
+        rec.counter("occupancy:gpu0", 0.0, 1.0);
+        rec.counter("occupancy:gpu0", 10.0, 0.0);
+        rec.finish()
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json() {
+        let json = chrome_trace(&sample_trace());
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let events = parsed["traceEvents"].as_array().unwrap();
+        // 2 metadata + 2 spans + 1 instant + 2 counters.
+        assert_eq!(events.len(), 7);
+        let phases: Vec<&str> = events.iter().map(|e| e["ph"].as_str().unwrap()).collect();
+        assert_eq!(phases.iter().filter(|p| **p == "M").count(), 2);
+        assert_eq!(phases.iter().filter(|p| **p == "X").count(), 2);
+        assert_eq!(phases.iter().filter(|p| **p == "i").count(), 1);
+        assert_eq!(phases.iter().filter(|p| **p == "C").count(), 2);
+        // The quoted task name survives escaping and round-trips.
+        assert!(events.iter().any(|e| e["name"] == "read \"batch\""));
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid_json() {
+        let json = chrome_trace(&Trace::default());
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed["traceEvents"].as_array().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn text_timeline_lists_tracks_and_counters() {
+        let text = text_timeline(&sample_trace());
+        assert!(text.contains("gpu0:"));
+        assert!(text.contains("nic:"));
+        assert!(text.contains("bottom_mlp (mlp compute)"));
+        assert!(text.contains("counters:"));
+        assert!(text.contains("occupancy:gpu0"));
+    }
+
+    #[test]
+    fn counter_summary_aggregates() {
+        let table = counter_summary(&sample_trace());
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.cell(0, 0), Some("occupancy:gpu0"));
+        assert_eq!(table.cell(0, 1), Some("2"));
+        assert_eq!(table.cell(0, 2), Some("0.000"));
+        assert_eq!(table.cell(0, 4), Some("1.000"));
+    }
+
+    #[test]
+    fn category_summary_totals_spans() {
+        let table = category_summary(&sample_trace());
+        assert_eq!(table.len(), 2);
+        let rendered = table.to_string();
+        assert!(rendered.contains("mlp compute"));
+        assert!(rendered.contains("reader stall"));
+    }
+
+    #[test]
+    fn attribution_table_includes_total_row() {
+        let tasks = vec![ScheduledTask {
+            name: "only".to_string(),
+            category: TaskCategory::MlpCompute,
+            start: 0.0,
+            finish: 2e-3,
+            resource: Some(0),
+            deps: vec![],
+        }];
+        let report = critical_path(&tasks, 1);
+        let table = attribution_table(&report);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.cell(1, 0), Some("total (makespan)"));
+        assert_eq!(table.cell(1, 2), Some("100.0%"));
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+}

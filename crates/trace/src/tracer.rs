@@ -1,0 +1,254 @@
+//! The tracing sink: spans, instants and counters.
+//!
+//! Simulators emit through the [`Tracer`] trait; the default
+//! [`NoopTracer`] compiles every emission down to nothing, so instrumented
+//! code pays no cost unless a [`TraceRecorder`] is plugged in.
+
+use crate::category::TaskCategory;
+
+/// One recorded event. Timestamps and durations are in microseconds from
+/// the start of the traced run — the native unit of the Chrome trace-event
+/// format, and precise enough for nanosecond-scale simulated work when
+/// carried as `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A task occupying `track` for `[start_us, start_us + dur_us]`.
+    Span {
+        /// Resource or lane the work ran on (becomes a Chrome "thread").
+        track: String,
+        /// Task name.
+        name: String,
+        /// Attribution category.
+        category: TaskCategory,
+        /// Start timestamp, µs.
+        start_us: f64,
+        /// Duration, µs.
+        dur_us: f64,
+    },
+    /// A point-in-time marker on `track`.
+    Instant {
+        /// Track the marker belongs to.
+        track: String,
+        /// Marker name.
+        name: String,
+        /// Timestamp, µs.
+        ts_us: f64,
+    },
+    /// A named numeric series sample (queue depth, occupancy, rates).
+    Counter {
+        /// Counter name.
+        name: String,
+        /// Timestamp, µs.
+        ts_us: f64,
+        /// Sampled value.
+        value: f64,
+    },
+}
+
+/// Where instrumented code sends its events.
+///
+/// Every method has an empty default body, so `&mut NoopTracer` is free:
+/// the call sites stay, the work disappears. Implementations that record
+/// override [`Tracer::enabled`] to let callers skip expensive
+/// event-preparation entirely.
+pub trait Tracer {
+    /// Whether emissions are observed at all. Callers may skip building
+    /// event arguments when this is `false`.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Records a span (see [`TraceEvent::Span`]).
+    fn span(&mut self, track: &str, name: &str, category: TaskCategory, start_us: f64, dur_us: f64) {
+        let _ = (track, name, category, start_us, dur_us);
+    }
+
+    /// Records an instant marker.
+    fn instant(&mut self, track: &str, name: &str, ts_us: f64) {
+        let _ = (track, name, ts_us);
+    }
+
+    /// Records a counter sample.
+    fn counter(&mut self, name: &str, ts_us: f64, value: f64) {
+        let _ = (name, ts_us, value);
+    }
+}
+
+/// The zero-cost default sink: drops everything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopTracer;
+
+impl Tracer for NoopTracer {}
+
+/// A [`Tracer`] that records every event in memory; [`TraceRecorder::finish`]
+/// turns the recording into an immutable [`Trace`] for export.
+#[derive(Debug, Clone, Default)]
+pub struct TraceRecorder {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the recorder and returns the finished trace.
+    pub fn finish(self) -> Trace {
+        Trace { events: self.events }
+    }
+}
+
+impl Tracer for TraceRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn span(&mut self, track: &str, name: &str, category: TaskCategory, start_us: f64, dur_us: f64) {
+        self.events.push(TraceEvent::Span {
+            track: track.to_string(),
+            name: name.to_string(),
+            category,
+            start_us,
+            dur_us,
+        });
+    }
+
+    fn instant(&mut self, track: &str, name: &str, ts_us: f64) {
+        self.events.push(TraceEvent::Instant {
+            track: track.to_string(),
+            name: name.to_string(),
+            ts_us,
+        });
+    }
+
+    fn counter(&mut self, name: &str, ts_us: f64, value: f64) {
+        self.events.push(TraceEvent::Counter {
+            name: name.to_string(),
+            ts_us,
+            value,
+        });
+    }
+}
+
+/// An immutable recording, ready for the exporters in [`crate::export`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Every recorded event, in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Distinct span/instant tracks, in first-seen order.
+    pub fn tracks(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for e in &self.events {
+            let track = match e {
+                TraceEvent::Span { track, .. } | TraceEvent::Instant { track, .. } => track,
+                TraceEvent::Counter { .. } => continue,
+            };
+            if !out.contains(&track.as_str()) {
+                out.push(track);
+            }
+        }
+        out
+    }
+
+    /// Distinct counter names, in first-seen order.
+    pub fn counter_names(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for e in &self.events {
+            if let TraceEvent::Counter { name, .. } = e {
+                if !out.contains(&name.as_str()) {
+                    out.push(name);
+                }
+            }
+        }
+        out
+    }
+
+    /// Total span time per category, in µs, in [`TaskCategory::ALL`] order;
+    /// categories with zero time are omitted.
+    pub fn category_totals(&self) -> Vec<(TaskCategory, f64)> {
+        let mut acc = [0.0f64; TaskCategory::ALL.len()];
+        for e in &self.events {
+            if let TraceEvent::Span { category, dur_us, .. } = e {
+                acc[category.index()] += dur_us;
+            }
+        }
+        TaskCategory::ALL
+            .into_iter()
+            .zip(acc)
+            .filter(|(_, t)| *t > 0.0)
+            .collect()
+    }
+
+    /// Timestamp of the latest span end, instant, or counter sample, in µs.
+    pub fn end_us(&self) -> f64 {
+        self.events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Span { start_us, dur_us, .. } => start_us + dur_us,
+                TraceEvent::Instant { ts_us, .. } | TraceEvent::Counter { ts_us, .. } => *ts_us,
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_tracer_is_disabled_and_silent() {
+        let mut t = NoopTracer;
+        assert!(!t.enabled());
+        t.span("r", "a", TaskCategory::MlpCompute, 0.0, 5.0);
+        t.instant("r", "m", 1.0);
+        t.counter("c", 1.0, 2.0);
+    }
+
+    #[test]
+    fn recorder_collects_in_order() {
+        let mut rec = TraceRecorder::new();
+        assert!(rec.enabled());
+        rec.span("gpu0", "kernel", TaskCategory::MlpCompute, 0.0, 10.0);
+        rec.counter("occupancy:gpu0", 0.0, 1.0);
+        rec.instant("gpu0", "done", 10.0);
+        let trace = rec.finish();
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.tracks(), vec!["gpu0"]);
+        assert_eq!(trace.counter_names(), vec!["occupancy:gpu0"]);
+        assert_eq!(trace.end_us(), 10.0);
+    }
+
+    #[test]
+    fn category_totals_aggregate_spans() {
+        let mut rec = TraceRecorder::new();
+        rec.span("a", "x", TaskCategory::MlpCompute, 0.0, 3.0);
+        rec.span("b", "y", TaskCategory::MlpCompute, 1.0, 4.0);
+        rec.span("a", "z", TaskCategory::NicTransfer, 3.0, 2.0);
+        let totals = rec.finish().category_totals();
+        assert_eq!(
+            totals,
+            vec![
+                (TaskCategory::MlpCompute, 7.0),
+                (TaskCategory::NicTransfer, 2.0)
+            ]
+        );
+    }
+}

@@ -81,6 +81,9 @@ pub enum Code {
     ForeignDependency,
     /// An allowlist budget exceeds the actual count — ratchet it down.
     StaleAllowlist,
+    /// A simulator builds a task without a `TaskCategory` (raw `add_task`
+    /// in non-test sim code, invisible to critical-path attribution).
+    UncategorizedTask,
     /// A `hw::Platform` violates its structural invariants.
     InvalidPlatform,
     /// A placement routes more table bytes to a memory than it can hold.
@@ -103,12 +106,16 @@ pub enum Code {
     /// A fleet/cluster configuration (server counts, workflow sample,
     /// CPU-cluster setup) is invalid.
     InvalidClusterConfig,
+    /// A simulation report's iteration time is zero or negative.
+    NonPositiveIterationTime,
+    /// A simulation report's examples-per-iteration is zero or negative.
+    NonPositiveExampleCount,
 }
 
 impl Code {
     /// Every code, in numeric order (drives the `codes` subcommand and the
     /// DESIGN.md table test).
-    pub const ALL: [Code; 20] = [
+    pub const ALL: [Code; 23] = [
         Code::MissingForbidUnsafe,
         Code::PanicInLibrary,
         Code::KnobMissingDoc,
@@ -119,6 +126,7 @@ impl Code {
         Code::LayeringViolation,
         Code::ForeignDependency,
         Code::StaleAllowlist,
+        Code::UncategorizedTask,
         Code::InvalidPlatform,
         Code::PlacementOverCapacity,
         Code::DanglingResource,
@@ -129,6 +137,8 @@ impl Code {
         Code::ZeroCapacityResource,
         Code::InvalidModelConfig,
         Code::InvalidClusterConfig,
+        Code::NonPositiveIterationTime,
+        Code::NonPositiveExampleCount,
     ];
 
     /// The stable `RV0xx` identifier.
@@ -144,6 +154,7 @@ impl Code {
             Code::LayeringViolation => "RV008",
             Code::ForeignDependency => "RV009",
             Code::StaleAllowlist => "RV010",
+            Code::UncategorizedTask => "RV011",
             Code::InvalidPlatform => "RV020",
             Code::PlacementOverCapacity => "RV021",
             Code::DanglingResource => "RV022",
@@ -154,6 +165,8 @@ impl Code {
             Code::ZeroCapacityResource => "RV027",
             Code::InvalidModelConfig => "RV028",
             Code::InvalidClusterConfig => "RV029",
+            Code::NonPositiveIterationTime => "RV030",
+            Code::NonPositiveExampleCount => "RV031",
         }
     }
 
@@ -182,6 +195,9 @@ impl Code {
             }
             Code::ForeignDependency => "external dependency outside the allowed set",
             Code::StaleAllowlist => "allowlist budget above the actual count",
+            Code::UncategorizedTask => {
+                "simulator schedules a task without a TaskCategory (raw add_task)"
+            }
             Code::InvalidPlatform => "platform violates structural invariants",
             Code::PlacementOverCapacity => "placement exceeds a memory's capacity",
             Code::DanglingResource => "placement references a nonexistent device",
@@ -192,6 +208,8 @@ impl Code {
             Code::ZeroCapacityResource => "task-graph resource has zero capacity",
             Code::InvalidModelConfig => "model configuration is invalid",
             Code::InvalidClusterConfig => "fleet/cluster configuration is invalid",
+            Code::NonPositiveIterationTime => "simulation report iteration time not positive",
+            Code::NonPositiveExampleCount => "simulation report example count not positive",
         }
     }
 }
@@ -352,7 +370,10 @@ mod tests {
         }
         assert_eq!(Code::MissingForbidUnsafe.as_str(), "RV001");
         assert_eq!(Code::PanicInLibrary.as_str(), "RV002");
+        assert_eq!(Code::UncategorizedTask.as_str(), "RV011");
         assert_eq!(Code::DependencyCycle.as_str(), "RV026");
+        assert_eq!(Code::NonPositiveIterationTime.as_str(), "RV030");
+        assert_eq!(Code::NonPositiveExampleCount.as_str(), "RV031");
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! RV011: simulator task graphs must carry task categories.
+//!
+//! Critical-path attribution (`recsim-trace`) partitions the makespan by
+//! `TaskCategory`, which only works if every task a simulator schedules was
+//! added through the category-carrying constructors (`add_task_in` /
+//! `try_add_task_in`). This rule flags raw `add_task`/`try_add_task` call
+//! sites in non-test simulator code; the driver applies it to
+//! `crates/sim/src/**` except `des.rs` itself (where the delegating
+//! uncategorized wrappers legitimately live for generic graphs).
+
+use super::source;
+use crate::{Code, Diagnostic};
+
+/// The uncategorized constructors RV011 looks for. Assembled at runtime so
+/// this file does not flag itself when the scanner runs over the verify
+/// crate.
+fn raw_task_tokens() -> [String; 2] {
+    [format!(".add_{}(", "task"), format!(".try_add_{}(", "task")]
+}
+
+/// RV011 for one simulator source file: every task must be scheduled with a
+/// `TaskCategory`. Note `.add_task_in(` does not match the `.add_task(`
+/// token (the next character is `_`, not `(`), so categorized call sites
+/// pass untouched.
+pub fn check_task_categories(path: &str, content: &str) -> Vec<Diagnostic> {
+    source::token_sites(content, &raw_task_tokens())
+        .into_iter()
+        .map(|(line, token)| {
+            Diagnostic::error(
+                Code::UncategorizedTask,
+                format!("{path}:{line}"),
+                format!(
+                    "`{token}…)` schedules a task without a TaskCategory; use \
+                     `add_task_in`/`try_add_task_in` so critical-path \
+                     attribution can classify it"
+                ),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_add_task_is_rv011() {
+        let src = "fn build(g: &mut TaskGraph) {\n    g.add_task(\"x\", d, None, &[]);\n}\n";
+        let diags = check_task_categories("crates/sim/src/gpu.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code(), Code::UncategorizedTask);
+        assert_eq!(diags[0].location(), "crates/sim/src/gpu.rs:2");
+    }
+
+    #[test]
+    fn try_variant_is_rv011_too() {
+        let src = "let id = g.try_add_task(\"x\", d, None, &[]);\n";
+        let diags = check_task_categories("crates/sim/src/cpu.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code(), Code::UncategorizedTask);
+    }
+
+    #[test]
+    fn categorized_call_sites_pass() {
+        let src = "g.add_task_in(TaskCategory::MlpCompute, \"x\", d, None, &[]);\n\
+                   g.try_add_task_in(TaskCategory::AllToAll, \"y\", d, None, &[]);\n";
+        assert!(check_task_categories("crates/sim/src/gpu.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = concat!(
+            "fn lib(g: &mut TaskGraph) { g.add_task_in(c, \"x\", d, None, &[]); }\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn t(g: &mut TaskGraph) { g.add_task(\"x\", d, None, &[]); }\n",
+            "}\n",
+        );
+        assert!(check_task_categories("crates/sim/src/gpu.rs", src).is_empty());
+    }
+}

@@ -8,6 +8,7 @@
 //! ```text
 //! verify ← metrics ← hw ← placement ← sim
 //!                  ↖ data ← model ← train
+//!                  ↖ trace (← sim, for schedule export/attribution)
 //! core atop everything; bench + the root facade atop core.
 //! ```
 
@@ -35,12 +36,14 @@ pub fn allowed_internal(package: &str) -> Option<&'static [&'static str]> {
     const DATA: &[&str] = &["recsim-verify", "recsim-metrics"];
     const MODEL: &[&str] = &["recsim-verify", "recsim-metrics", "recsim-data"];
     const PLACEMENT: &[&str] = &["recsim-verify", "recsim-metrics", "recsim-hw", "recsim-data"];
+    const TRACE: &[&str] = &["recsim-verify", "recsim-metrics"];
     const SIM: &[&str] = &[
         "recsim-verify",
         "recsim-metrics",
         "recsim-hw",
         "recsim-data",
         "recsim-placement",
+        "recsim-trace",
     ];
     const TRAIN: &[&str] = &[
         "recsim-verify",
@@ -56,6 +59,7 @@ pub fn allowed_internal(package: &str) -> Option<&'static [&'static str]> {
         "recsim-model",
         "recsim-placement",
         "recsim-sim",
+        "recsim-trace",
         "recsim-train",
     ];
     const TOP: &[&str] = &[
@@ -66,6 +70,7 @@ pub fn allowed_internal(package: &str) -> Option<&'static [&'static str]> {
         "recsim-model",
         "recsim-placement",
         "recsim-sim",
+        "recsim-trace",
         "recsim-train",
         "recsim-core",
     ];
@@ -77,6 +82,7 @@ pub fn allowed_internal(package: &str) -> Option<&'static [&'static str]> {
         "recsim-model" => Some(MODEL),
         "recsim-placement" => Some(PLACEMENT),
         "recsim-sim" => Some(SIM),
+        "recsim-trace" => Some(TRACE),
         "recsim-train" => Some(TRAIN),
         "recsim-core" => Some(CORE),
         "recsim-bench" | "recsim" => Some(TOP),

@@ -6,6 +6,7 @@
 //! to the real tree. Everything runs offline on the checked-out sources —
 //! no network, no external tooling, no proc macros.
 
+pub mod categories;
 pub mod knobs;
 pub mod layering;
 pub mod registry;
@@ -52,13 +53,18 @@ pub fn run(root: &Path) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     let budgets = load_allowlist(root, &mut diags);
 
-    // RV001 + RV002 over library sources.
+    // RV001 + RV002 over library sources; RV011 over simulator sources
+    // (des.rs hosts the uncategorized wrappers for generic graphs, so it is
+    // exempt — every *simulator builder* must categorize its tasks).
     for (rel, content) in library_sources(root, &mut diags) {
         if rel.ends_with("src/lib.rs") {
             diags.extend(source::check_forbid_unsafe(&rel, &content));
         }
         let budget = budgets.get(rel.as_str()).copied().unwrap_or(0);
         diags.extend(source::check_panic_budget(&rel, &content, budget));
+        if rel.starts_with("crates/sim/src/") && !rel.ends_with("/des.rs") {
+            diags.extend(categories::check_task_categories(&rel, &content));
+        }
     }
     // Budgets pointing at files that no longer exist are stale too.
     for (path, budget) in &budgets {

@@ -37,14 +37,19 @@ fn panic_tokens() -> [String; 5] {
 /// RV002 scanner: returns `(line_number, token)` for every panicking call
 /// in non-test code. Line numbers are 1-based; the token is the matched
 /// text (e.g. a trailing `(` marks a call prefix).
+pub fn panic_sites(content: &str) -> Vec<(usize, String)> {
+    token_sites(content, &panic_tokens())
+}
+
+/// Generic non-test token scanner shared by RV002 and RV011: returns
+/// `(line_number, token)` for every match outside test code.
 ///
 /// The scanner strips `//` comments (which also removes doc comments and
 /// the doctests inside them) and skips `#[cfg(test)] mod … { … }` blocks by
 /// brace counting. It intentionally does not parse string literals — a
 /// lightweight token scan is the contract here, and the workspace style
-/// keeps panicky tokens out of message strings.
-pub fn panic_sites(content: &str) -> Vec<(usize, String)> {
-    let tokens = panic_tokens();
+/// keeps the scanned tokens out of message strings.
+pub fn token_sites(content: &str, tokens: &[String]) -> Vec<(usize, String)> {
     let mut sites = Vec::new();
 
     // `#[cfg(test)]` handling: after the attribute we look for the item it
@@ -71,7 +76,7 @@ pub fn panic_sites(content: &str) -> Vec<(usize, String)> {
                     state = State::PendingItem;
                     continue;
                 }
-                for tok in &tokens {
+                for tok in tokens {
                     let mut start = 0;
                     while let Some(pos) = line[start..].find(tok.as_str()) {
                         sites.push((idx + 1, tok.clone()));

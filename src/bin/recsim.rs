@@ -3,6 +3,7 @@
 //! ```text
 //! recsim experiments [--quick] [id ...]   regenerate paper artifacts
 //! recsim simulate [options]               price one training setup
+//! recsim trace <setup> [options]          export a timeline + attribution
 //! recsim train [options]                  really train a model, report NE
 //! recsim models                           describe the M1/M2/M3 stand-ins
 //! recsim verify                           validate presets, list RV0xx codes
@@ -20,6 +21,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("experiments") => cmd_experiments(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
         Some("models") => cmd_models(),
         Some("verify") => cmd_verify(),
@@ -41,6 +43,7 @@ fn print_help() {
          USAGE:\n\
          \x20 recsim experiments [--quick] [id ...]   run paper-artifact drivers\n\
          \x20 recsim simulate [options]               simulate one training setup\n\
+         \x20 recsim trace <setup> [options]          export a timeline + attribution\n\
          \x20 recsim train [options]                  train for real, report NE\n\
          \x20 recsim models                           describe M1/M2/M3 stand-ins\n\
          \x20 recsim verify                           validate presets, list RV0xx codes\n\
@@ -51,7 +54,12 @@ fn print_help() {
          \x20 --dense N [256]   --sparse N [16]   --hash N [100000]\n\
          \x20 --mlp WxL [512x3] --batch N [1600]  --nodes N (multi-node scale-out)\n\
          \x20 --trace FILE (write a chrome://tracing timeline of one iteration)\n\
+         \x20 --attribute (print the critical-path attribution breakdown)\n\
          \x20 --describe (print the table-by-table placement map)\n\
+         \n\
+         TRACE: recsim trace bb|bb16|zion|cpu|scaleout\n\
+         \x20 --format chrome|text|summary [chrome]  --out FILE (default: stdout)\n\
+         \x20 plus the simulate model/placement/batch/nodes flags\n\
          \n\
          TRAIN OPTIONS:\n\
          \x20 --batch N [200]  --examples N [40000]  --lr F [0.04]  --seed N [31]\n\
@@ -184,30 +192,21 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let placement = match flags
-        .get("placement")
-        .map(String::as_str)
-        .unwrap_or("gpu")
-    {
-        "gpu" => PlacementStrategy::GpuMemory(PartitionScheme::TableWise),
-        "rowwise" => PlacementStrategy::GpuMemory(PartitionScheme::RowWise),
-        "replicated" => PlacementStrategy::GpuMemory(PartitionScheme::Replicated),
-        "system" => PlacementStrategy::SystemMemory,
-        "remote" => PlacementStrategy::RemoteCpu { servers: 8 },
-        "hybrid" => PlacementStrategy::Hybrid,
-        other => {
-            eprintln!("unknown placement `{other}`");
-            return ExitCode::FAILURE;
-        }
+    let Some(placement) = parse_placement(&flags) else {
+        return ExitCode::FAILURE;
     };
     match GpuTrainingSim::new(&model, &platform, placement, batch) {
         Ok(sim) => {
-            print_report(&sim.run());
+            let report = sim.run();
+            print_report(&report);
+            if flags.contains_key("attribute") {
+                print_attribution(&report);
+            }
             if flags.contains_key("describe") {
                 print!("{}", sim.placement().describe());
             }
             if let Some(path) = flags.get("trace") {
-                match std::fs::write(path, sim.timeline()) {
+                match std::fs::write(path, chrome_trace(&sim.trace())) {
                     Ok(()) => println!(
                         "timeline written to {path} (open in chrome://tracing or Perfetto)"
                     ),
@@ -220,6 +219,124 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
             eprintln!("cannot simulate this setup: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+fn parse_placement(flags: &HashMap<String, String>) -> Option<PlacementStrategy> {
+    match flags.get("placement").map(String::as_str).unwrap_or("gpu") {
+        "gpu" => Some(PlacementStrategy::GpuMemory(PartitionScheme::TableWise)),
+        "rowwise" => Some(PlacementStrategy::GpuMemory(PartitionScheme::RowWise)),
+        "replicated" => Some(PlacementStrategy::GpuMemory(PartitionScheme::Replicated)),
+        "system" => Some(PlacementStrategy::SystemMemory),
+        "remote" => Some(PlacementStrategy::RemoteCpu { servers: 8 }),
+        "hybrid" => Some(PlacementStrategy::Hybrid),
+        other => {
+            eprintln!("unknown placement `{other}`");
+            None
+        }
+    }
+}
+
+/// `recsim trace <setup>` — export one iteration's execution timeline and
+/// its critical-path attribution. Setups: the GPU platforms (`bb`, `bb16`,
+/// `zion`), `cpu` (single-trainer fleet) and `scaleout` (multi-node sharded
+/// GPU memory). Formats: `chrome` (Perfetto-loadable JSON), `text`
+/// (per-resource timeline), `summary` (category/attribution/slack tables).
+fn cmd_trace(args: &[String]) -> ExitCode {
+    const TOP_K: usize = 5;
+    let (flags, positional) = parse_flags(args);
+    let model = build_model(&flags);
+    let batch = get(&flags, "batch", 1600u64);
+    let setup = positional.first().map(String::as_str).unwrap_or("bb");
+
+    let (trace, cp) = match setup {
+        "cpu" => {
+            match CpuTrainingSim::new(&model, CpuClusterSetup::single_trainer(batch.min(800))) {
+                Ok(sim) => (sim.trace(), sim.critical_path(TOP_K)),
+                Err(e) => {
+                    eprintln!("invalid CPU setup: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        "scaleout" => {
+            let nodes = get(&flags, "nodes", min_nodes(&model).max(2));
+            match recsim::sim::scaleout::ScaleOutSim::new(&model, nodes, batch) {
+                Ok(sim) => (sim.trace(), sim.critical_path(TOP_K)),
+                Err(e) => {
+                    eprintln!("scale-out error: {e} (min nodes = {})", min_nodes(&model));
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        name @ ("bb" | "bb16" | "zion") => {
+            let platform = match name {
+                "bb" => Platform::big_basin(Bytes::from_gib(32)),
+                "bb16" => Platform::big_basin(Bytes::from_gib(16)),
+                _ => Platform::zion_prototype(),
+            };
+            let Some(placement) = parse_placement(&flags) else {
+                return ExitCode::FAILURE;
+            };
+            match GpuTrainingSim::new(&model, &platform, placement, batch) {
+                Ok(sim) => (sim.trace(), sim.critical_path(TOP_K)),
+                Err(e) => {
+                    eprintln!("cannot trace this setup: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        other => {
+            eprintln!("unknown setup `{other}` (bb, bb16, zion, cpu, scaleout)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let rendered = match flags.get("format").map(String::as_str).unwrap_or("chrome") {
+        "chrome" => chrome_trace(&trace),
+        "text" => recsim::trace::text_timeline(&trace),
+        "summary" => format!(
+            "busy time by category:\n{}\ncritical-path attribution ({}):\n{}\ntop slack:\n{}",
+            recsim::trace::category_summary(&trace),
+            setup,
+            attribution_table(&cp),
+            recsim::trace::slack_table(&cp),
+        ),
+        other => {
+            eprintln!("unknown format `{other}` (chrome, text, summary)");
+            return ExitCode::FAILURE;
+        }
+    };
+    match flags.get("out") {
+        Some(path) => match std::fs::write(path, rendered) {
+            Ok(()) => {
+                println!("trace written to {path}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("could not write {path}: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        None => {
+            print!("{rendered}");
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+/// Prints a [`SimReport`]'s critical-path attribution (the `--attribute`
+/// flag): how the steady-state iteration time splits across categories.
+fn print_attribution(report: &SimReport) {
+    if report.attribution().is_empty() {
+        println!("attribution:    (none recorded)");
+        return;
+    }
+    let total = report.iteration_time().as_secs();
+    println!("attribution (critical path):");
+    for (label, d) in report.attribution() {
+        let share = if total > 0.0 { d.as_secs() / total * 100.0 } else { 0.0 };
+        println!("  {label:<18} {d} ({share:.1}%)");
     }
 }
 

@@ -13,6 +13,8 @@
 //! * [`hw`] — hardware platform models (dual-socket CPU, Big Basin, Zion),
 //! * [`placement`] — the four embedding-table placement strategies,
 //! * [`sim`] — the discrete-event training-pipeline simulator,
+//! * [`trace`] — spans/counters tracing, Chrome/Perfetto export, and
+//!   critical-path attribution of the makespan to task categories,
 //! * [`train`] — real training loops, NE metrics, batch scaling, AutoML,
 //!   EASGD/Hogwild,
 //! * [`metrics`] — histograms, KDE, quantiles, report rendering,
@@ -53,6 +55,7 @@ pub use recsim_metrics as metrics;
 pub use recsim_model as model;
 pub use recsim_placement as placement;
 pub use recsim_sim as sim;
+pub use recsim_trace as trace;
 pub use recsim_train as train;
 pub use recsim_verify as verify;
 
@@ -70,6 +73,10 @@ pub mod prelude {
     pub use recsim_sim::readers::ReaderModel;
     pub use recsim_sim::scaleout::ScaleOutSim;
     pub use recsim_sim::{CpuClusterSetup, CpuTrainingSim, GpuTrainingSim, SimError, SimReport};
+    pub use recsim_trace::{
+        attribution_table, chrome_trace, critical_path, CriticalPathReport, NoopTracer,
+        TaskCategory, Trace, TraceRecorder, Tracer,
+    };
     pub use recsim_train::trainer::{TrainRun, TrainerConfig};
     pub use recsim_train::{AutoTuner, BatchScalingStudy};
     pub use recsim_verify::{Code, Diagnostic, Severity, Validate, ValidationError};

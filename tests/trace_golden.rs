@@ -1,0 +1,171 @@
+//! Golden tests for the tracing/attribution surface: every simulator's
+//! Chrome trace must be valid JSON with the expected event shapes (so
+//! Perfetto loads it), and every report's attribution must repartition the
+//! reported iteration time.
+
+use recsim::prelude::*;
+use recsim::trace::text_timeline;
+use serde_json::Value;
+
+fn gpu_sim() -> GpuTrainingSim {
+    let config = ModelConfig::test_suite(256, 16, 100_000, &[512, 512, 512]);
+    let platform = Platform::big_basin(Bytes::from_gib(32));
+    GpuTrainingSim::new(
+        &config,
+        &platform,
+        PlacementStrategy::GpuMemory(PartitionScheme::TableWise),
+        1600,
+    )
+    .expect("test-suite model fits Big Basin")
+}
+
+fn cpu_sim() -> CpuTrainingSim {
+    let config = ModelConfig::test_suite(256, 16, 100_000, &[512, 512, 512]);
+    CpuTrainingSim::new(
+        &config,
+        CpuClusterSetup {
+            trainers: 2,
+            dense_ps: 1,
+            sparse_ps: 2,
+            hogwild_threads: 2,
+            batch_per_thread: 100,
+            sync_period: 16,
+        },
+    )
+    .expect("valid CPU cluster setup")
+}
+
+fn scaleout_sim() -> ScaleOutSim {
+    let config = ModelConfig::test_suite(256, 16, 1_000_000, &[512, 512, 512]);
+    ScaleOutSim::new(&config, 2, 1600).expect("two Big Basins hold the test suite")
+}
+
+/// Parses the exported JSON and checks the trace-event invariants Perfetto
+/// relies on: a `traceEvents` array whose entries carry `ph`/`ts`/`pid`,
+/// with `X` spans adding `dur` and `cat`, plus per-track `M` metadata.
+fn assert_chrome_trace_well_formed(json: &str, label: &str) {
+    let value: Value =
+        serde_json::from_str(json).unwrap_or_else(|e| panic!("{label}: invalid JSON: {e}"));
+    let events = value
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .unwrap_or_else(|| panic!("{label}: missing traceEvents array"));
+    assert!(!events.is_empty(), "{label}: empty trace");
+
+    let mut spans = 0usize;
+    let mut metadata = 0usize;
+    for event in events {
+        let ph = event
+            .get("ph")
+            .and_then(Value::as_str)
+            .unwrap_or_else(|| panic!("{label}: event without ph: {event}"));
+        assert!(event.get("pid").is_some(), "{label}: event without pid");
+        match ph {
+            "X" => {
+                spans += 1;
+                let dur = event.get("dur").and_then(Value::as_f64);
+                assert!(
+                    dur.is_some_and(|d| d >= 0.0),
+                    "{label}: X event needs non-negative dur: {event}"
+                );
+                assert!(
+                    event.get("ts").and_then(Value::as_f64).is_some(),
+                    "{label}: X event needs numeric ts: {event}"
+                );
+                let cat = event
+                    .get("cat")
+                    .and_then(Value::as_str)
+                    .unwrap_or_else(|| panic!("{label}: X event without cat: {event}"));
+                assert!(
+                    TaskCategory::from_label(cat).is_some(),
+                    "{label}: unknown category {cat:?}"
+                );
+            }
+            "M" => metadata += 1,
+            "i" | "C" => {
+                assert!(
+                    event.get("ts").and_then(Value::as_f64).is_some(),
+                    "{label}: {ph} event needs numeric ts: {event}"
+                );
+            }
+            other => panic!("{label}: unexpected phase {other:?}"),
+        }
+    }
+    assert!(spans > 0, "{label}: no spans exported");
+    assert!(metadata > 0, "{label}: no track-name metadata exported");
+}
+
+/// The report's attribution must sum to the reported iteration time (the
+/// breakdown is the iteration, repartitioned) and use only known labels.
+fn assert_attribution_partitions(report: &SimReport) {
+    let total = report.iteration_time().as_secs();
+    assert!(total > 0.0);
+    let attribution = report.attribution();
+    assert!(!attribution.is_empty(), "report carries no attribution");
+    let mut sum = 0.0;
+    for (label, d) in attribution {
+        assert!(
+            TaskCategory::from_label(label).is_some(),
+            "unknown attribution label {label:?}"
+        );
+        assert!(d.as_secs() >= 0.0);
+        sum += d.as_secs();
+    }
+    let rel = (sum - total).abs() / total;
+    assert!(
+        rel < 1e-6,
+        "attribution sums to {sum:.3e}, iteration time {total:.3e} (rel err {rel:.3e})"
+    );
+}
+
+#[test]
+fn gpu_trace_and_attribution_golden() {
+    let sim = gpu_sim();
+    assert_chrome_trace_well_formed(&chrome_trace(&sim.trace()), "gpu");
+    assert_attribution_partitions(&sim.run());
+    let cp = sim.critical_path(5);
+    assert!(cp.makespan > 0.0);
+    assert!((cp.attributed_total() - cp.makespan).abs() <= 1e-9 * cp.makespan);
+}
+
+#[test]
+fn cpu_trace_and_attribution_golden() {
+    let sim = cpu_sim();
+    assert_chrome_trace_well_formed(&chrome_trace(&sim.trace()), "cpu");
+    assert_attribution_partitions(&sim.run());
+    let cp = sim.critical_path(5);
+    assert!(cp.makespan > 0.0);
+    assert!((cp.attributed_total() - cp.makespan).abs() <= 1e-9 * cp.makespan);
+}
+
+#[test]
+fn scaleout_trace_and_attribution_golden() {
+    let sim = scaleout_sim();
+    assert_chrome_trace_well_formed(&chrome_trace(&sim.trace()), "scaleout");
+    assert_attribution_partitions(&sim.run());
+    let cp = sim.critical_path(5);
+    assert!(cp.makespan > 0.0);
+    assert!((cp.attributed_total() - cp.makespan).abs() <= 1e-9 * cp.makespan);
+}
+
+#[test]
+fn text_timeline_names_every_track() {
+    let sim = gpu_sim();
+    let trace = sim.trace();
+    let text = text_timeline(&trace);
+    for track in trace.tracks() {
+        assert!(
+            text.contains(track),
+            "timeline missing track {track:?}"
+        );
+    }
+}
+
+#[test]
+fn serde_round_trip_preserves_attribution() {
+    let report = gpu_sim().run();
+    let json = serde_json::to_string(&report).expect("report serializes");
+    let back: SimReport = serde_json::from_str(&json).expect("report deserializes");
+    assert_eq!(report.attribution(), back.attribution());
+    assert_eq!(report.throughput(), back.throughput());
+}
