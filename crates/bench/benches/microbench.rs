@@ -8,6 +8,7 @@ use recsim_hw::units::Duration;
 use recsim_model::embedding::EmbeddingTable;
 use recsim_model::Matrix;
 use recsim_sim::des::TaskGraph;
+use recsim_sim::SimScratch;
 
 fn matmul(c: &mut Criterion) {
     let mut group = c.benchmark_group("matmul");
@@ -69,6 +70,70 @@ fn des_engine(c: &mut Criterion) {
     group.finish();
 }
 
+/// The DES hot path with and without arena reuse: `simulate()` allocates a
+/// fresh heap/queues/adjacency every call, `simulate_in` borrows a
+/// [`SimScratch`] whose buffers survive across calls — the difference is
+/// what a grid driver pays per extra sweep point.
+fn des_scratch_reuse(c: &mut Criterion) {
+    let build = |tasks: usize| {
+        let mut g = TaskGraph::new();
+        let r1 = g.add_resource("a", 2);
+        let r2 = g.add_resource("b", 1);
+        let mut prev = None;
+        for i in 0..tasks {
+            let res = if i % 3 == 0 { r2 } else { r1 };
+            let deps: Vec<_> = prev.into_iter().collect();
+            prev = Some(g.add_task(
+                "t",
+                Duration::from_micros((i % 7 + 1) as f64),
+                Some(res),
+                &deps,
+            ));
+        }
+        g
+    };
+    // Wide shape: one slot per resource, like the per-GPU/per-link resources
+    // of a training pipeline. Fresh allocation pays one wait-queue per
+    // resource per call, which is exactly what the scratch arena retains.
+    let build_wide = |resources: usize, tasks: usize| {
+        let mut g = TaskGraph::new();
+        let rs: Vec<_> = (0..resources)
+            .map(|i| g.add_resource(format!("r{i}"), 1))
+            .collect();
+        let mut prev = None;
+        for i in 0..tasks {
+            let deps: Vec<_> = prev.into_iter().collect();
+            let t = g.add_task(
+                "t",
+                Duration::from_micros(1.0),
+                Some(rs[i % resources]),
+                &deps,
+            );
+            prev = (i % 7 == 0).then_some(t);
+        }
+        g
+    };
+    let mut group = c.benchmark_group("des_scratch_reuse");
+    let shapes = [
+        ("chain100", build(100)),
+        ("chain1000", build(1000)),
+        ("wide64x512", build_wide(64, 512)),
+    ];
+    for (label, g) in &shapes {
+        group.throughput(Throughput::Elements(g.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("fresh_alloc", label),
+            g,
+            |b, g| b.iter(|| g.simulate().expect("valid graph").makespan()),
+        );
+        group.bench_with_input(BenchmarkId::new("reused_scratch", label), g, |b, g| {
+            let mut scratch = SimScratch::new();
+            b.iter(|| g.simulate_in(&mut scratch).expect("valid graph").makespan())
+        });
+    }
+    group.finish();
+}
+
 fn data_generation(c: &mut Criterion) {
     let cfg = ModelConfig::test_suite(64, 16, 100_000, &[128]);
     let mut group = c.benchmark_group("data_generation");
@@ -83,6 +148,6 @@ fn data_generation(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = matmul, embedding_bag, des_engine, data_generation
+    targets = matmul, embedding_bag, des_engine, des_scratch_reuse, data_generation
 );
 criterion_main!(benches);

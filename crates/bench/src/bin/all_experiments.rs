@@ -1,8 +1,15 @@
-//! Runs every experiment driver in sequence, summarizes which paper claims
-//! reproduce, and writes a consolidated `results/REPORT.md`. Set
-//! RECSIM_QUICK=1 for the reduced scale.
+//! Runs every experiment driver twice — a timed serial pass and a timed
+//! parallel pass through `recsim_core::experiments::run_all` — verifies the
+//! two produce byte-identical structured outputs, summarizes which paper
+//! claims reproduce, writes a consolidated `results/REPORT.md`, and records
+//! the speedup baseline in `BENCH_sweeps.json` at the workspace root (schema
+//! documented in `recsim_bench`). Set RECSIM_QUICK=1 for the reduced scale;
+//! RECSIM_THREADS caps the parallel pass.
+use std::time::Instant;
+
 fn main() {
     let effort = recsim_bench::effort_from_env();
+    let threads = recsim_pool::thread_count();
     let mut failures = 0usize;
     let mut total_claims = 0usize;
     let mut report = String::from(
@@ -11,8 +18,16 @@ fn main() {
          Efficiency of Deep Learning Recommendation Models at Scale* (HPCA \
          2021). See EXPERIMENTS.md for the paper-vs-measured comparison.\n\n",
     );
+
+    // Serial timed pass: one driver at a time, in registry order. This is
+    // the pass whose outputs are rendered, persisted, and claim-checked.
+    let mut serial_outputs = Vec::new();
+    let mut driver_times: Vec<(&'static str, f64)> = Vec::new();
+    let serial_start = Instant::now();
     for (id, driver) in recsim_core::experiments::registry() {
+        let t = Instant::now();
         let out = driver(effort);
+        driver_times.push((id, t.elapsed().as_secs_f64()));
         print!("{}", out.render());
         println!();
         total_claims += out.claims.len();
@@ -38,32 +53,93 @@ fn main() {
             report.push_str(&format!("- *note: {note}*\n"));
         }
         report.push('\n');
-        let dir = recsim_bench::results_dir();
-        if std::fs::create_dir_all(&dir).is_ok() {
-            if let Ok(json) = serde_json::to_string_pretty(&out) {
-                let _ = std::fs::write(dir.join(format!("{}.json", out.id)), json);
-            }
-            for (i, figure) in out.figures.iter().enumerate() {
-                let _ = std::fs::write(
-                    dir.join(format!("{}_fig{}.csv", out.id, i)),
-                    figure.to_csv(),
-                );
-            }
+        if let Err(e) = recsim_bench::write_artifacts(&out, &recsim_bench::results_dir()) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+        serial_outputs.push((id, out));
+    }
+    let serial_total = serial_start.elapsed().as_secs_f64();
+
+    // Parallel timed pass: whole drivers (and their inner grids) fan across
+    // the recsim-pool workers.
+    println!("==== parallel re-run across {threads} thread(s) ====");
+    let parallel_start = Instant::now();
+    let parallel_outputs = recsim_core::experiments::run_all(effort);
+    let parallel_total = parallel_start.elapsed().as_secs_f64();
+
+    // Determinism check: the parallel pass must be byte-identical to the
+    // serial one once serialized.
+    let to_json = |out: &recsim_core::ExperimentOutput| {
+        serde_json::to_string(out).expect("experiment outputs serialize")
+    };
+    let mut outputs_identical = serial_outputs.len() == parallel_outputs.len();
+    for ((sid, sout), (pid, pout)) in serial_outputs.iter().zip(&parallel_outputs) {
+        if sid != pid || to_json(sout) != to_json(pout) {
+            eprintln!(">>> parallel output for `{sid}` differs from the serial run");
+            outputs_identical = false;
         }
     }
+
+    let speedup = if parallel_total > 0.0 {
+        serial_total / parallel_total
+    } else {
+        1.0
+    };
+    println!(
+        "==== serial {serial_total:.2}s, parallel {parallel_total:.2}s on {threads} thread(s) \
+         ({speedup:.2}x), outputs identical: {outputs_identical} ===="
+    );
+
+    // Persist the speedup baseline next to the workspace manifest.
+    let bench_doc = serde_json::json!({
+        "schema": "recsim-bench-sweeps-v1",
+        "threads": threads,
+        "effort": if effort == recsim_core::Effort::Quick { "quick" } else { "full" },
+        "drivers": driver_times
+            .iter()
+            .map(|(id, secs)| serde_json::json!({ "id": id, "serial_secs": secs }))
+            .collect::<Vec<_>>(),
+        "serial_total_secs": serial_total,
+        "parallel_total_secs": parallel_total,
+        "speedup": speedup,
+        "outputs_identical": outputs_identical,
+    });
+    let root = recsim_verify::lint::workspace_root().unwrap_or_else(|| ".".into());
+    let bench_path = root.join("BENCH_sweeps.json");
+    match serde_json::to_string_pretty(&bench_doc) {
+        Ok(json) => match std::fs::write(&bench_path, json + "\n") {
+            Ok(()) => println!("(sweep baseline written to {})", bench_path.display()),
+            Err(e) => {
+                eprintln!("could not write {}: {e}", bench_path.display());
+                std::process::exit(1);
+            }
+        },
+        Err(e) => {
+            eprintln!("could not serialize bench baseline: {e}");
+            std::process::exit(1);
+        }
+    }
+
     report.push_str(&format!(
         "---\n\n**{}/{total_claims} claims hold.**\n",
         total_claims - failures
     ));
     let dir = recsim_bench::results_dir();
-    if std::fs::create_dir_all(&dir).is_ok() {
-        let path = dir.join("REPORT.md");
-        if std::fs::write(&path, &report).is_ok() {
-            println!("(consolidated report written to {})", path.display());
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("could not create results dir {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+    let path = dir.join("REPORT.md");
+    match std::fs::write(&path, &report) {
+        Ok(()) => println!("(consolidated report written to {})", path.display()),
+        Err(e) => {
+            eprintln!("could not write {}: {e}", path.display());
+            std::process::exit(1);
         }
     }
     println!("==== summary: {}/{total_claims} claims hold ====", total_claims - failures);
-    if failures > 0 {
+    if failures > 0 || !outputs_identical {
         std::process::exit(1);
     }
 }

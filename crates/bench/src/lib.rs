@@ -1,11 +1,41 @@
 //! Benchmark-harness support: run an experiment driver, print its report,
 //! persist the structured result, and fail loudly when a paper claim does
 //! not reproduce.
+//!
+//! # The `BENCH_sweeps.json` baseline
+//!
+//! `cargo run --release -p recsim-bench --bin all_experiments` times every
+//! driver twice — a serial pass (one driver at a time, in registry order)
+//! and a parallel pass ([`recsim_core::experiments::run_all`], which fans
+//! drivers and their inner grid points across a `recsim-pool` thread pool)
+//! — verifies the two passes produce byte-identical JSON, and writes the
+//! comparison to `BENCH_sweeps.json` at the workspace root:
+//!
+//! ```text
+//! {
+//!   "schema": "recsim-bench-sweeps-v1",
+//!   "threads": 4,                        // pool width used by the parallel pass
+//!   "effort": "quick" | "full",
+//!   "drivers": [                         // registry order
+//!     { "id": "table1", "serial_secs": 0.812 },
+//!     ...
+//!   ],
+//!   "serial_total_secs": 14.2,           // sum of the serial pass
+//!   "parallel_total_secs": 4.1,          // one wall-clock for the whole fan-out
+//!   "speedup": 3.46,                     // serial_total / parallel_total
+//!   "outputs_identical": true            // byte-equal serialized outputs
+//! }
+//! ```
+//!
+//! `outputs_identical: false` (or a missing file) means the determinism
+//! contract of `recsim_core::sweep` was violated; the binary also exits
+//! non-zero in that case. `speedup` is hardware-dependent: expect ~1.0 on a
+//! single-core container and scaling with physical cores elsewhere.
 
 #![forbid(unsafe_code)]
 
 use recsim_core::{Effort, ExperimentOutput};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Where experiment binaries write their JSON artifacts.
 pub fn results_dir() -> PathBuf {
@@ -23,32 +53,42 @@ pub fn effort_from_env() -> Effort {
     }
 }
 
+/// Writes one experiment's structured artifacts (`<id>.json` plus one CSV
+/// per figure) into `dir`, creating it first. Returns the first I/O or
+/// serialization error instead of swallowing it, so callers can decide
+/// whether a missing artifact is fatal.
+pub fn write_artifacts(out: &ExperimentOutput, dir: &Path) -> Result<(), String> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| format!("could not create results dir {}: {e}", dir.display()))?;
+    let path = dir.join(format!("{}.json", out.id));
+    let json = serde_json::to_string_pretty(out)
+        .map_err(|e| format!("could not serialize {}: {e}", out.id))?;
+    std::fs::write(&path, json)
+        .map_err(|e| format!("could not write {}: {e}", path.display()))?;
+    println!("(structured result written to {})", path.display());
+    for (i, figure) in out.figures.iter().enumerate() {
+        let csv_path = dir.join(format!("{}_fig{}.csv", out.id, i));
+        std::fs::write(&csv_path, figure.to_csv())
+            .map_err(|e| format!("could not write {}: {e}", csv_path.display()))?;
+        println!("(series written to {})", csv_path.display());
+    }
+    Ok(())
+}
+
 /// Runs one driver, prints its rendered report, writes
 /// `results/<id>.json`, and exits with a non-zero status if any claim
 /// failed — the entry point shared by every experiment binary.
+///
+/// A result that cannot be persisted (unwritable `RECSIM_RESULTS_DIR`,
+/// full disk, ...) is also a hard failure: a benchmark whose artifact
+/// silently vanishes looks identical to one that was never run.
 pub fn run_and_report(driver: fn(Effort) -> ExperimentOutput) {
     let effort = effort_from_env();
     let out = driver(effort);
     print!("{}", out.render());
-    let dir = results_dir();
-    if std::fs::create_dir_all(&dir).is_ok() {
-        let path = dir.join(format!("{}.json", out.id));
-        match serde_json::to_string_pretty(&out) {
-            Ok(json) => {
-                if let Err(e) = std::fs::write(&path, json) {
-                    eprintln!("could not write {}: {e}", path.display());
-                } else {
-                    println!("(structured result written to {})", path.display());
-                }
-            }
-            Err(e) => eprintln!("could not serialize result: {e}"),
-        }
-        for (i, figure) in out.figures.iter().enumerate() {
-            let csv_path = dir.join(format!("{}_fig{}.csv", out.id, i));
-            if std::fs::write(&csv_path, figure.to_csv()).is_ok() {
-                println!("(series written to {})", csv_path.display());
-            }
-        }
+    if let Err(e) = write_artifacts(&out, &results_dir()) {
+        eprintln!("{e}");
+        std::process::exit(1);
     }
     if !out.all_claims_hold() {
         eprintln!("{}: {} claim(s) FAILED", out.id, out.failed_claims().len());
@@ -74,5 +114,27 @@ mod tests {
         if std::env::var_os("RECSIM_RESULTS_DIR").is_none() {
             assert_eq!(results_dir(), PathBuf::from("results"));
         }
+    }
+
+    #[test]
+    fn write_artifacts_reports_unwritable_dir() {
+        let out = ExperimentOutput::new("bench_test", "write_artifacts error path");
+        // A results "dir" nested under a regular file cannot be created.
+        let base = std::env::temp_dir().join("recsim_bench_unwritable");
+        std::fs::write(&base, b"not a directory").expect("temp file");
+        let err = write_artifacts(&out, &base.join("results"))
+            .expect_err("creating a dir under a file must fail");
+        assert!(err.contains("could not create results dir"), "{err}");
+        let _ = std::fs::remove_file(&base);
+    }
+
+    #[test]
+    fn write_artifacts_roundtrips() {
+        let out = ExperimentOutput::new("bench_test_ok", "write_artifacts happy path");
+        let dir = std::env::temp_dir().join("recsim_bench_ok");
+        write_artifacts(&out, &dir).expect("writable dir");
+        let written = std::fs::read_to_string(dir.join("bench_test_ok.json")).expect("artifact");
+        assert!(written.contains("bench_test_ok"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

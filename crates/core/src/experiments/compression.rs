@@ -9,6 +9,7 @@
 //! the GPU-memory placement it was denied becomes available.
 
 use crate::setups::gpu_with_fallback;
+use crate::sweep::sweep;
 use crate::{Claim, Effort, ExperimentOutput};
 use recsim_data::production::{production_model, ProductionModelId};
 use recsim_data::schema::EmbeddingPrecision;
@@ -26,19 +27,13 @@ pub fn run(_effort: Effort) -> ExperimentOutput {
     let bb = Platform::big_basin(Bytes::from_gib(32));
     let batch = 800;
 
-    let mut table = Table::new(vec![
-        "precision",
-        "embedding size",
-        "fits BB GPU memory?",
-        "best BB setup",
-        "ex/s",
-    ]);
-    let mut results = Vec::new();
-    for (label, precision) in [
+    // Parallel phase: one embedding precision per sweep point.
+    let precisions = [
         ("FP32", EmbeddingPrecision::Fp32),
         ("FP16", EmbeddingPrecision::Fp16),
         ("INT8", EmbeddingPrecision::Int8),
-    ] {
+    ];
+    let points = sweep(&precisions, |&(_, precision)| {
         let model = production_model(ProductionModelId::M3).with_embedding_precision(precision);
         let fits = Placement::plan(
             &model,
@@ -49,13 +44,32 @@ pub fn run(_effort: Effort) -> ExperimentOutput {
         .is_ok();
         let (report, strategy) =
             gpu_with_fallback(&model, &bb, batch).expect("some placement fits");
-        results.push((precision, fits, report.throughput()));
+        (
+            fits,
+            report.throughput(),
+            strategy.label(),
+            Bytes::new(model.total_embedding_bytes()).to_string(),
+        )
+    });
+
+    let mut table = Table::new(vec![
+        "precision",
+        "embedding size",
+        "fits BB GPU memory?",
+        "best BB setup",
+        "ex/s",
+    ]);
+    let mut results = Vec::new();
+    for (&(label, precision), (fits, tput, strategy_label, size)) in
+        precisions.iter().zip(&points)
+    {
+        results.push((precision, *fits, *tput));
         table.push_row(vec![
             label.to_string(),
-            Bytes::new(model.total_embedding_bytes()).to_string(),
-            if fits { "yes" } else { "no" }.to_string(),
-            strategy.label(),
-            format!("{:.0}", report.throughput()),
+            size.clone(),
+            if *fits { "yes" } else { "no" }.to_string(),
+            strategy_label.clone(),
+            format!("{tput:.0}"),
         ]);
     }
     out.tables.push(table);

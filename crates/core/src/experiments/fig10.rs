@@ -2,12 +2,22 @@
 //! CPU and GPU, plus the perf-per-watt comparison.
 
 use crate::design_space::TestSuite;
+use crate::sweep::{grid2, sweep};
 use crate::{Claim, Effort, ExperimentOutput};
 use recsim_hw::units::Bytes;
 use recsim_hw::Platform;
 use recsim_metrics::Table;
 use recsim_placement::{PartitionScheme, PlacementStrategy};
-use recsim_sim::{CpuClusterSetup, CpuTrainingSim, GpuTrainingSim};
+use recsim_sim::{CpuClusterSetup, CpuTrainingSim, GpuTrainingSim, SimScratch};
+
+/// One simulated (dense, sparse) grid point.
+struct Point {
+    dense: usize,
+    sparse: usize,
+    cpu_tput: f64,
+    gpu_tput: f64,
+    ppw: f64,
+}
 
 /// Sweeps the dense × sparse grid on both platforms.
 pub fn run(effort: Effort) -> ExperimentOutput {
@@ -20,6 +30,32 @@ pub fn run(effort: Effort) -> ExperimentOutput {
     let sparse_axis = effort.pick(TestSuite::quick_sparse_axis(), TestSuite::sparse_axis());
     let bb = Platform::big_basin(Bytes::from_gib(32));
 
+    // Parallel phase: each grid point is an independent pure simulation.
+    let points = sweep(&grid2(&dense_axis, &sparse_axis), |&(dense, sparse)| {
+        let model = suite.model(dense, sparse);
+        let mut scratch = SimScratch::new();
+        let cpu = CpuTrainingSim::new(&model, CpuClusterSetup::single_trainer(suite.cpu_batch))
+            .expect("single-trainer setup is valid")
+            .run_in(&mut scratch);
+        let gpu = GpuTrainingSim::new(
+            &model,
+            &bb,
+            PlacementStrategy::GpuMemory(PartitionScheme::TableWise),
+            suite.gpu_batch,
+        )
+        .expect("test-suite tables fit HBM")
+        .run_in(&mut scratch);
+        Point {
+            dense,
+            sparse,
+            cpu_tput: cpu.throughput(),
+            gpu_tput: gpu.throughput(),
+            ppw: gpu.perf_per_watt() / cpu.perf_per_watt(),
+        }
+    });
+
+    // Serial fold, in submission (row-major) order — identical to the old
+    // nested loop.
     let mut table = Table::new(vec![
         "dense",
         "sparse",
@@ -32,36 +68,21 @@ pub fn run(effort: Effort) -> ExperimentOutput {
     // (dense, ppw ratio) at the smallest sparse count, to check the trend.
     let mut ppw_by_dense: Vec<(usize, f64)> = Vec::new();
     let mut tput_grid: Vec<(usize, usize, f64, f64)> = Vec::new();
-    for &dense in &dense_axis {
-        for &sparse in &sparse_axis {
-            let model = suite.model(dense, sparse);
-            let cpu = CpuTrainingSim::new(&model, CpuClusterSetup::single_trainer(suite.cpu_batch))
-                .expect("single-trainer setup is valid")
-                .run();
-            let gpu = GpuTrainingSim::new(
-                &model,
-                &bb,
-                PlacementStrategy::GpuMemory(PartitionScheme::TableWise),
-                suite.gpu_batch,
-            )
-            .expect("test-suite tables fit HBM")
-            .run();
-            let ratio = gpu.throughput() / cpu.throughput();
-            let ppw = gpu.perf_per_watt() / cpu.perf_per_watt();
-            gpu_always_faster &= ratio > 1.0;
-            if sparse == sparse_axis[0] {
-                ppw_by_dense.push((dense, ppw));
-            }
-            tput_grid.push((dense, sparse, cpu.throughput(), gpu.throughput()));
-            table.push_row(vec![
-                dense.to_string(),
-                sparse.to_string(),
-                format!("{:.0}", cpu.throughput()),
-                format!("{:.0}", gpu.throughput()),
-                format!("{ratio:.1}x"),
-                format!("{ppw:.1}x"),
-            ]);
+    for p in &points {
+        let ratio = p.gpu_tput / p.cpu_tput;
+        gpu_always_faster &= ratio > 1.0;
+        if p.sparse == sparse_axis[0] {
+            ppw_by_dense.push((p.dense, p.ppw));
         }
+        tput_grid.push((p.dense, p.sparse, p.cpu_tput, p.gpu_tput));
+        table.push_row(vec![
+            p.dense.to_string(),
+            p.sparse.to_string(),
+            format!("{:.0}", p.cpu_tput),
+            format!("{:.0}", p.gpu_tput),
+            format!("{ratio:.1}x"),
+            format!("{:.1}x", p.ppw),
+        ]);
     }
     out.tables.push(table);
 

@@ -1,12 +1,13 @@
 //! Figure 11 — batch-size scaling on CPU and GPU.
 
 use crate::design_space::TestSuite;
+use crate::sweep::sweep;
 use crate::{Claim, Effort, ExperimentOutput};
 use recsim_hw::units::Bytes;
 use recsim_hw::Platform;
 use recsim_metrics::{Figure, Series, Table};
 use recsim_placement::{PartitionScheme, PlacementStrategy};
-use recsim_sim::{CpuClusterSetup, CpuTrainingSim, GpuTrainingSim};
+use recsim_sim::{CpuClusterSetup, CpuTrainingSim, GpuTrainingSim, SimScratch};
 
 /// Sweeps the batch size on both platforms at the test-suite anchor model.
 pub fn run(effort: Effort) -> ExperimentOutput {
@@ -19,13 +20,12 @@ pub fn run(effort: Effort) -> ExperimentOutput {
     let batches = effort.pick(vec![64, 400, 1600, 6400], TestSuite::batch_axis());
     let bb = Platform::big_basin(Bytes::from_gib(32));
 
-    let mut cpu_series = Series::new("CPU");
-    let mut gpu_series = Series::new("GPU");
-    let mut table = Table::new(vec!["batch", "CPU ex/s", "GPU ex/s", "GPU bottleneck"]);
-    for &batch in &batches {
+    // Parallel phase: one (cpu, gpu) simulation pair per batch size.
+    let points = sweep(&batches, |&batch| {
+        let mut scratch = SimScratch::new();
         let cpu = CpuTrainingSim::new(&model, CpuClusterSetup::single_trainer(batch))
             .expect("single-trainer setup is valid")
-            .run();
+            .run_in(&mut scratch);
         let gpu = GpuTrainingSim::new(
             &model,
             &bb,
@@ -33,14 +33,25 @@ pub fn run(effort: Effort) -> ExperimentOutput {
             batch,
         )
         .expect("fits")
-        .run();
-        cpu_series.push(batch as f64, cpu.throughput());
-        gpu_series.push(batch as f64, gpu.throughput());
+        .run_in(&mut scratch);
+        let gpu_bottleneck = gpu
+            .bottleneck()
+            .map(|(n, _)| n.to_string())
+            .unwrap_or_default();
+        (cpu.throughput(), gpu.throughput(), gpu_bottleneck)
+    });
+
+    let mut cpu_series = Series::new("CPU");
+    let mut gpu_series = Series::new("GPU");
+    let mut table = Table::new(vec!["batch", "CPU ex/s", "GPU ex/s", "GPU bottleneck"]);
+    for (&batch, (cpu_tput, gpu_tput, gpu_bottleneck)) in batches.iter().zip(&points) {
+        cpu_series.push(batch as f64, *cpu_tput);
+        gpu_series.push(batch as f64, *gpu_tput);
         table.push_row(vec![
             batch.to_string(),
-            format!("{:.0}", cpu.throughput()),
-            format!("{:.0}", gpu.throughput()),
-            gpu.bottleneck().map(|(n, _)| n.to_string()).unwrap_or_default(),
+            format!("{cpu_tput:.0}"),
+            format!("{gpu_tput:.0}"),
+            gpu_bottleneck.clone(),
         ]);
     }
     out.tables.push(table);

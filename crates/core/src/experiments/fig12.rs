@@ -9,13 +9,14 @@
 
 use crate::design_space::TestSuite;
 use crate::setups::gpu_with_fallback;
+use crate::sweep::sweep;
 use crate::{Claim, Effort, ExperimentOutput};
 use recsim_data::schema::ModelConfig;
 use recsim_hw::units::Bytes;
 use recsim_hw::Platform;
 use recsim_metrics::{Figure, Series, Table};
 use recsim_placement::plan::min_gpus_needed;
-use recsim_sim::{CpuClusterSetup, CpuTrainingSim};
+use recsim_sim::{CpuClusterSetup, CpuTrainingSim, SimScratch};
 
 /// Sweeps the shared hash size on both platforms.
 pub fn run(effort: Effort) -> ExperimentOutput {
@@ -30,6 +31,21 @@ pub fn run(effort: Effort) -> ExperimentOutput {
     );
     let bb = Platform::big_basin(Bytes::from_gib(32));
 
+    // Parallel phase: one hash size per sweep point.
+    let points = sweep(&hashes, |&hash| {
+        let model = ModelConfig::test_suite(256, 16, hash, &suite.mlp);
+        let mut scratch = SimScratch::new();
+        let cpu = CpuTrainingSim::new(&model, CpuClusterSetup::single_trainer(suite.cpu_batch))
+            .expect("single-trainer setup is valid")
+            .run_in(&mut scratch);
+        let gpus = min_gpus_needed(&model, &bb, 2.0)
+            .map(|g| g.to_string())
+            .unwrap_or_else(|| ">8".into());
+        let gpu = gpu_with_fallback(&model, &bb, suite.gpu_batch)
+            .map(|(report, strategy)| (report.throughput(), strategy.label()));
+        (cpu.throughput(), gpu, gpus)
+    });
+
     let mut cpu_series = Series::new("CPU");
     let mut gpu_series = Series::new("GPU");
     let mut table = Table::new(vec![
@@ -39,33 +55,26 @@ pub fn run(effort: Effort) -> ExperimentOutput {
         "GPU placement",
         "min GPUs for tables",
     ]);
-    for &hash in &hashes {
-        let model = ModelConfig::test_suite(256, 16, hash, &suite.mlp);
-        let cpu = CpuTrainingSim::new(&model, CpuClusterSetup::single_trainer(suite.cpu_batch))
-            .expect("single-trainer setup is valid")
-            .run();
-        cpu_series.push((hash as f64).log10(), cpu.throughput());
-        let gpus = min_gpus_needed(&model, &bb, 2.0)
-            .map(|g| g.to_string())
-            .unwrap_or_else(|| ">8".into());
-        match gpu_with_fallback(&model, &bb, suite.gpu_batch) {
-            Some((report, strategy)) => {
-                gpu_series.push((hash as f64).log10(), report.throughput());
+    for (&hash, (cpu_tput, gpu, gpus)) in hashes.iter().zip(&points) {
+        cpu_series.push((hash as f64).log10(), *cpu_tput);
+        match gpu {
+            Some((gpu_tput, strategy_label)) => {
+                gpu_series.push((hash as f64).log10(), *gpu_tput);
                 table.push_row(vec![
                     format!("{hash:.0e}"),
-                    format!("{:.0}", cpu.throughput()),
-                    format!("{:.0}", report.throughput()),
-                    strategy.label(),
-                    gpus,
+                    format!("{cpu_tput:.0}"),
+                    format!("{gpu_tput:.0}"),
+                    strategy_label.clone(),
+                    gpus.clone(),
                 ]);
             }
             None => {
                 table.push_row(vec![
                     format!("{hash:.0e}"),
-                    format!("{:.0}", cpu.throughput()),
+                    format!("{cpu_tput:.0}"),
                     "-".into(),
                     "does not fit".into(),
-                    gpus,
+                    gpus.clone(),
                 ]);
             }
         }

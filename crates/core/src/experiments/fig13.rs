@@ -1,13 +1,14 @@
 //! Figure 13 — throughput under varying MLP dimensions.
 
 use crate::design_space::TestSuite;
+use crate::sweep::sweep;
 use crate::{Claim, Effort, ExperimentOutput};
 use recsim_data::schema::ModelConfig;
 use recsim_hw::units::Bytes;
 use recsim_hw::Platform;
 use recsim_metrics::{Figure, Series, Table};
 use recsim_placement::{PartitionScheme, PlacementStrategy};
-use recsim_sim::{CpuClusterSetup, CpuTrainingSim, GpuTrainingSim};
+use recsim_sim::{CpuClusterSetup, CpuTrainingSim, GpuTrainingSim, SimScratch};
 
 /// Sweeps MLP width/depth on both platforms, reporting normalized relative
 /// throughput like the paper.
@@ -20,15 +21,14 @@ pub fn run(effort: Effort) -> ExperimentOutput {
     let axis = effort.pick(vec![(64, 2), (512, 3), (2048, 4)], TestSuite::mlp_axis());
     let bb = Platform::big_basin(Bytes::from_gib(32));
 
-    let mut cpu_series = Series::new("CPU (normalized)");
-    let mut gpu_series = Series::new("GPU (normalized)");
-    let mut table = Table::new(vec!["MLP", "CPU ex/s", "GPU ex/s"]);
-    for (i, &(width, layers)) in axis.iter().enumerate() {
+    // Parallel phase: one MLP shape per sweep point.
+    let points = sweep(&axis, |&(width, layers)| {
         let mlp = vec![width; layers];
         let model = ModelConfig::test_suite(256, 16, suite.hash_size, &mlp);
+        let mut scratch = SimScratch::new();
         let cpu = CpuTrainingSim::new(&model, CpuClusterSetup::single_trainer(suite.cpu_batch))
             .expect("single-trainer setup is valid")
-            .run();
+            .run_in(&mut scratch);
         let gpu = GpuTrainingSim::new(
             &model,
             &bb,
@@ -36,13 +36,22 @@ pub fn run(effort: Effort) -> ExperimentOutput {
             suite.gpu_batch,
         )
         .expect("fits")
-        .run();
-        cpu_series.push(i as f64, cpu.throughput());
-        gpu_series.push(i as f64, gpu.throughput());
+        .run_in(&mut scratch);
+        (cpu.throughput(), gpu.throughput())
+    });
+
+    let mut cpu_series = Series::new("CPU (normalized)");
+    let mut gpu_series = Series::new("GPU (normalized)");
+    let mut table = Table::new(vec!["MLP", "CPU ex/s", "GPU ex/s"]);
+    for (i, (&(width, layers), (cpu_tput, gpu_tput))) in
+        axis.iter().zip(&points).enumerate()
+    {
+        cpu_series.push(i as f64, *cpu_tput);
+        gpu_series.push(i as f64, *gpu_tput);
         table.push_row(vec![
             format!("{width}^{layers}"),
-            format!("{:.0}", cpu.throughput()),
-            format!("{:.0}", gpu.throughput()),
+            format!("{cpu_tput:.0}"),
+            format!("{gpu_tput:.0}"),
         ]);
     }
     out.tables.push(table);

@@ -1,12 +1,13 @@
 //! Figure 14 — embedding placements on Big Basin vs Zion for M2.
 
+use crate::sweep::sweep;
 use crate::{Claim, Effort, ExperimentOutput};
 use recsim_data::production::{production_model, ProductionModelId};
 use recsim_hw::units::Bytes;
 use recsim_hw::Platform;
 use recsim_metrics::Table;
 use recsim_placement::PlacementStrategy;
-use recsim_sim::{GpuTrainingSim, SimReport};
+use recsim_sim::{GpuTrainingSim, SimReport, SimScratch};
 
 /// Simulates M2 under every placement on both GPU platforms.
 pub fn run(_effort: Effort) -> ExperimentOutput {
@@ -21,19 +22,33 @@ pub fn run(_effort: Effort) -> ExperimentOutput {
         ("Zion", Platform::zion_prototype()),
     ];
 
+    // Parallel phase: one placement strategy per sweep point (both
+    // platforms simulated inside the point, sharing one scratch).
+    let lineup = PlacementStrategy::figure8_lineup();
+    let cells: Vec<Vec<Result<SimReport, String>>> = sweep(&lineup, |&strategy| {
+        let mut scratch = SimScratch::new();
+        platforms
+            .iter()
+            .map(|(_, platform)| {
+                GpuTrainingSim::new(&m2, platform, strategy, batch)
+                    .map(|sim| sim.run_in(&mut scratch))
+                    .map_err(|e| e.to_string())
+            })
+            .collect()
+    });
+
     let mut table = Table::new(vec!["placement", "Big Basin ex/s", "Zion ex/s"]);
     let mut results: Vec<(PlacementStrategy, Vec<f64>)> = Vec::new();
     // Full reports for the GPU-memory placement, kept so the exchange-cost
     // claim below reads the critical-path attribution instead of
     // recomputing anything from raw busy-times.
     let mut gpu_reports: Vec<Option<SimReport>> = vec![None, None];
-    for strategy in PlacementStrategy::figure8_lineup() {
+    for (&strategy, platform_cells) in lineup.iter().zip(cells) {
         let mut row = vec![strategy.label()];
         let mut tputs = Vec::new();
-        for (pi, (_, platform)) in platforms.iter().enumerate() {
-            match GpuTrainingSim::new(&m2, platform, strategy, batch) {
-                Ok(sim) => {
-                    let report = sim.run();
+        for (pi, cell) in platform_cells.into_iter().enumerate() {
+            match cell {
+                Ok(report) => {
                     let t = report.throughput();
                     tputs.push(t);
                     row.push(format!("{t:.0}"));

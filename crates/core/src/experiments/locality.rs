@@ -9,6 +9,7 @@
 //! GPU-memory placement's throughput a hot-row cache recovers for a model
 //! whose tables live in host memory.
 
+use crate::sweep::sweep;
 use crate::{Claim, Effort, ExperimentOutput};
 use recsim_data::schema::ModelConfig;
 use recsim_data::trace::AccessTrace;
@@ -17,7 +18,7 @@ use recsim_hw::units::Bytes;
 use recsim_hw::Platform;
 use recsim_metrics::{Figure, Series, Table};
 use recsim_placement::{PartitionScheme, PlacementStrategy};
-use recsim_sim::GpuTrainingSim;
+use recsim_sim::{GpuTrainingSim, SimScratch};
 
 /// Runs the locality characterization and the cache-augmented placement
 /// study.
@@ -71,29 +72,37 @@ pub fn run(effort: Effort) -> ExperimentOutput {
     let bb = Platform::big_basin(Bytes::from_gib(32));
     let batch = 1600;
     let sim_model = ModelConfig::test_suite(256, 16, 5_000_000, &[512, 512, 512]);
-    let gpu_mem = GpuTrainingSim::new(
-        &sim_model,
-        &bb,
-        PlacementStrategy::GpuMemory(PartitionScheme::TableWise),
-        batch,
-    )
-    .expect("fits")
-    .run();
-    let host_plain = GpuTrainingSim::new(&sim_model, &bb, PlacementStrategy::SystemMemory, batch)
-        .expect("fits")
-        .run();
-    let host_cached = GpuTrainingSim::new(&sim_model, &bb, PlacementStrategy::SystemMemory, batch)
-        .expect("fits")
-        .with_host_cache_hit_rate(hr_10)
-        .expect("measured hit rate is a valid fraction")
-        .run();
+    // Parallel phase: the three placement setups are independent sims.
+    let cache_setups = [
+        (
+            "GPU memory (table-wise)",
+            PlacementStrategy::GpuMemory(PartitionScheme::TableWise),
+            None,
+        ),
+        ("system memory, no cache", PlacementStrategy::SystemMemory, None),
+        (
+            "system memory + hot-row GPU cache",
+            PlacementStrategy::SystemMemory,
+            Some(hr_10),
+        ),
+    ];
+    let reports = sweep(&cache_setups, |&(_, strategy, cache)| {
+        let mut scratch = SimScratch::new();
+        let sim = GpuTrainingSim::new(&sim_model, &bb, strategy, batch).expect("fits");
+        match cache {
+            Some(hr) => sim
+                .with_host_cache_hit_rate(hr)
+                .expect("measured hit rate is a valid fraction")
+                .run_in(&mut scratch),
+            None => sim.run_in(&mut scratch),
+        }
+    });
+    let gpu_mem = &reports[0];
+    let host_plain = &reports[1];
+    let host_cached = &reports[2];
 
     let mut table = Table::new(vec!["setup", "ex/s", "vs GPU-memory placement"]);
-    for (name, r) in [
-        ("GPU memory (table-wise)", &gpu_mem),
-        ("system memory, no cache", &host_plain),
-        ("system memory + hot-row GPU cache", &host_cached),
-    ] {
+    for (&(name, _, _), r) in cache_setups.iter().zip(&reports) {
         table.push_row(vec![
             name.to_string(),
             format!("{:.0}", r.throughput()),

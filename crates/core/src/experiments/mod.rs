@@ -53,3 +53,13 @@ pub fn registry() -> Vec<(&'static str, Driver)> {
         ("compression", compression::run),
     ]
 }
+
+/// Runs every registered driver at `effort`, fanning whole drivers across
+/// cores (`recsim-pool`), and returns `(id, output)` pairs in registry
+/// order. Each driver is a pure function of `effort`, and any sweep *inside*
+/// a driver is itself order-preserving, so the outputs are identical to a
+/// serial `registry()` loop at any thread count.
+pub fn run_all(effort: Effort) -> Vec<(&'static str, ExperimentOutput)> {
+    let entries = registry();
+    crate::sweep::sweep(&entries, |&(id, driver)| (id, driver(effort)))
+}

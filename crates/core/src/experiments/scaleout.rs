@@ -7,13 +7,14 @@
 //! magnitude more efficient". This driver regenerates that analysis with
 //! the concrete multi-node simulator.
 
+use crate::sweep::sweep;
 use crate::{Claim, Effort, ExperimentOutput};
 use recsim_data::production::{production_model, ProductionModelId};
 use recsim_hw::Platform;
 use recsim_metrics::Table;
 use recsim_placement::PlacementStrategy;
 use recsim_sim::scaleout::{min_nodes, ScaleOutSim};
-use recsim_sim::GpuTrainingSim;
+use recsim_sim::{GpuTrainingSim, SimScratch};
 
 /// Runs the multi-Big-Basin vs Zion comparison for M3.
 pub fn run(effort: Effort) -> ExperimentOutput {
@@ -51,11 +52,16 @@ pub fn run(effort: Effort) -> ExperimentOutput {
         format!("{:.1}", zion.perf_per_watt()),
         "1.0x".into(),
     ]);
-    let mut min_advantage = f64::INFINITY;
-    for &nodes in &node_counts {
-        let multi = ScaleOutSim::new(&m3, nodes, 800)
+    // Parallel phase: one node count per sweep point.
+    let multis = sweep(&node_counts, |&nodes| {
+        let mut scratch = SimScratch::new();
+        ScaleOutSim::new(&m3, nodes, 800)
             .expect("enough nodes")
-            .run();
+            .run_in(&mut scratch)
+    });
+
+    let mut min_advantage = f64::INFINITY;
+    for (&nodes, multi) in node_counts.iter().zip(&multis) {
         let advantage = zion.perf_per_watt() / multi.perf_per_watt();
         min_advantage = min_advantage.min(advantage);
         table.push_row(vec![

@@ -2,6 +2,7 @@
 //! models.
 
 use crate::setups::{optimal_batch, ProductionSetup};
+use crate::sweep::sweep;
 use crate::{Claim, Effort, ExperimentOutput};
 use recsim_data::production::ProductionModelId;
 use recsim_hw::units::Bytes;
@@ -20,16 +21,9 @@ pub fn run(effort: Effort) -> ExperimentOutput {
     let all_candidates: Vec<u64> =
         effort.pick(vec![400, 800, 1600, 3200], vec![200, 400, 800, 1600, 3200]);
 
-    let mut table = Table::new(vec![
-        "model",
-        "CPU setup",
-        "GPU placement",
-        "optimal GPU batch",
-        "GPU/CPU throughput",
-        "GPU/CPU perf-per-watt",
-    ]);
-    let mut ratios: Vec<(ProductionModelId, f64, f64)> = Vec::new();
-    for id in ProductionModelId::ALL {
+    // Parallel phase: one production model per sweep point. The optimal
+    // batch search inside each point is itself a serial candidate scan.
+    let points = sweep(&ProductionModelId::ALL, |&id| {
         let setup = ProductionSetup::for_model(id);
         let cpu = setup.simulate_cpu();
         let model = setup.model_config();
@@ -43,17 +37,36 @@ pub fn run(effort: Effort) -> ExperimentOutput {
             .collect();
         let (best_batch, gpu) = optimal_batch(&model, &bb, setup.gpu_placement, &candidates)
             .expect("Table III placements fit");
-        let tput_ratio = gpu.throughput() / cpu.throughput();
-        let ppw_ratio = gpu.perf_per_watt() / cpu.perf_per_watt();
-        ratios.push((id, tput_ratio, ppw_ratio));
-        table.push_row(vec![
-            id.name().to_string(),
+        (
             format!(
                 "{} trainers + {} PS",
                 setup.cpu.trainers,
                 setup.cpu.dense_ps + setup.cpu.sparse_ps
             ),
             setup.gpu_placement.label(),
+            best_batch,
+            gpu.throughput() / cpu.throughput(),
+            gpu.perf_per_watt() / cpu.perf_per_watt(),
+        )
+    });
+
+    let mut table = Table::new(vec![
+        "model",
+        "CPU setup",
+        "GPU placement",
+        "optimal GPU batch",
+        "GPU/CPU throughput",
+        "GPU/CPU perf-per-watt",
+    ]);
+    let mut ratios: Vec<(ProductionModelId, f64, f64)> = Vec::new();
+    for (&id, (cpu_setup, placement, best_batch, tput_ratio, ppw_ratio)) in
+        ProductionModelId::ALL.iter().zip(&points)
+    {
+        ratios.push((id, *tput_ratio, *ppw_ratio));
+        table.push_row(vec![
+            id.name().to_string(),
+            cpu_setup.clone(),
+            placement.clone(),
             best_batch.to_string(),
             format!("{tput_ratio:.2}x"),
             format!("{ppw_ratio:.2}x"),

@@ -44,8 +44,10 @@ pub mod design_space;
 pub mod experiments;
 pub mod output;
 pub mod setups;
+pub mod sweep;
 
 pub use output::{Claim, Effort, ExperimentOutput};
+pub use sweep::sweep;
 
 /// Re-export of the validation layer so experiment drivers and downstream
 /// tools can name RV0xx codes without a direct `recsim-verify` dependency.

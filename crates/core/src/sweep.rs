@@ -1,0 +1,63 @@
+//! Parallel configuration sweeps for the experiment drivers.
+//!
+//! The paper's figures are design-space sweeps: dozens of independent
+//! (dense, sparse, hash-size, MLP, batch) simulations whose results are
+//! folded into one table. [`sweep`] fans those points across cores via
+//! `recsim-pool` while keeping the driver code shaped exactly like the old
+//! serial loop: map each grid point to a plain result struct, then fold the
+//! returned (submission-ordered) vector serially.
+//!
+//! # Determinism contract
+//!
+//! A driver refactored onto [`sweep`] must produce **byte-identical**
+//! [`crate::ExperimentOutput`] JSON at any thread count. That holds as long
+//! as the per-point closure is a pure function of its grid point (the pool
+//! guarantees submission ordering, so the fold sees results in the same
+//! order the serial loop did). Anything order-sensitive — accumulators,
+//! claim thresholds, formatting — belongs in the fold, not the closure.
+//! `crates/core/tests/determinism.rs` enforces this for every refactored
+//! driver at 1, 2 and 8 threads.
+
+/// Maps `f` over the sweep points on all available cores (see
+/// `recsim_pool::thread_count` for the `RECSIM_THREADS` / `--threads`
+/// override chain), returning results in submission order.
+pub fn sweep<T, R, F>(points: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    recsim_pool::par_map(points, f)
+}
+
+/// The cartesian product of two axes, row-major (`a` outer, `b` inner) —
+/// the iteration order of the nested loops the grid drivers started from.
+pub fn grid2<A: Copy, B: Copy>(a: &[A], b: &[B]) -> Vec<(A, B)> {
+    let mut out = Vec::with_capacity(a.len() * b.len());
+    for &x in a {
+        for &y in b {
+            out.push((x, y));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_preserves_submission_order() {
+        let points: Vec<u32> = (0..97).collect();
+        let out = sweep(&points, |&p| p * 3);
+        assert_eq!(out, points.iter().map(|&p| p * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn grid2_is_row_major() {
+        assert_eq!(
+            grid2(&[1, 2], &["a", "b", "c"]),
+            vec![(1, "a"), (1, "b"), (1, "c"), (2, "a"), (2, "b"), (2, "c")]
+        );
+    }
+}

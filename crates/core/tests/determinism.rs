@@ -1,0 +1,76 @@
+//! Determinism contract of the parallel sweep engine: every driver routed
+//! through `recsim_core::sweep` must produce byte-identical structured
+//! output at any thread count. These tests pin the pool width with
+//! `recsim_pool::set_thread_override`, which is process-global — every test
+//! that touches it serializes on [`OVERRIDE_LOCK`] and restores the
+//! default before releasing it.
+
+use recsim_core::{experiments, Effort};
+use std::sync::Mutex;
+
+static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+/// The drivers whose sweeps were routed through `recsim_core::sweep`.
+const PARALLEL_DRIVERS: [&str; 9] = [
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "table3",
+    "scaleout",
+    "locality",
+    "compression",
+];
+
+fn driver(id: &str) -> experiments::Driver {
+    experiments::registry()
+        .into_iter()
+        .find(|(rid, _)| *rid == id)
+        .unwrap_or_else(|| panic!("driver `{id}` not registered"))
+        .1
+}
+
+#[test]
+fn refactored_drivers_are_thread_count_invariant() {
+    let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    for id in PARALLEL_DRIVERS {
+        let run = driver(id);
+        let mut baseline: Option<String> = None;
+        for threads in [1usize, 2, 8] {
+            recsim_pool::set_thread_override(Some(threads));
+            let out = run(Effort::Quick);
+            let json = serde_json::to_string(&out).expect("experiment outputs serialize");
+            match &baseline {
+                None => baseline = Some(json),
+                Some(serial) => assert_eq!(
+                    serial, &json,
+                    "`{id}` output at {threads} threads differs from the 1-thread run"
+                ),
+            }
+        }
+    }
+    recsim_pool::set_thread_override(None);
+}
+
+#[test]
+fn run_all_matches_serial_registry_order() {
+    let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+
+    recsim_pool::set_thread_override(Some(1));
+    let serial = experiments::run_all(Effort::Quick);
+
+    recsim_pool::set_thread_override(Some(4));
+    let parallel = experiments::run_all(Effort::Quick);
+    recsim_pool::set_thread_override(None);
+
+    let registry_ids: Vec<&str> = experiments::registry().iter().map(|&(id, _)| id).collect();
+    let parallel_ids: Vec<&str> = parallel.iter().map(|&(id, _)| id).collect();
+    assert_eq!(registry_ids, parallel_ids, "run_all must preserve registry order");
+
+    for ((sid, sout), (_, pout)) in serial.iter().zip(&parallel) {
+        let s = serde_json::to_string(sout).expect("serializes");
+        let p = serde_json::to_string(pout).expect("serializes");
+        assert_eq!(s, p, "`{sid}` differs between 1-thread and 4-thread run_all");
+    }
+}

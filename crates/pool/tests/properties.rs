@@ -1,0 +1,57 @@
+//! Property tests for the pool's determinism contract: results come back in
+//! submission order, nothing is lost or duplicated, and a panicking task is
+//! surfaced to the caller rather than wedging the pool.
+
+use proptest::prelude::*;
+use recsim_pool::par_map_with;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn par_map_equals_serial_map(
+        items in proptest::collection::vec(any::<u64>(), 0..300),
+        threads in 1usize..12,
+    ) {
+        let work = |&x: &u64| x.rotate_left(11).wrapping_mul(2654435761) ^ 0x9e3779b97f4a7c15;
+        let serial: Vec<u64> = items.iter().map(work).collect();
+        let parallel = par_map_with(&items, threads, work);
+        prop_assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once_in_order(
+        len in 0usize..400,
+        threads in 1usize..12,
+    ) {
+        let items: Vec<usize> = (0..len).collect();
+        let counts: Vec<AtomicU64> = (0..len).map(|_| AtomicU64::new(0)).collect();
+        let out = par_map_with(&items, threads, |&i| {
+            counts[i].fetch_add(1, Ordering::SeqCst);
+            i
+        });
+        prop_assert_eq!(out, items);
+        for count in &counts {
+            prop_assert_eq!(count.load(Ordering::SeqCst), 1);
+        }
+    }
+
+    #[test]
+    fn panic_in_one_task_propagates(
+        len in 1usize..200,
+        threads in 1usize..12,
+        victim_seed in any::<usize>(),
+    ) {
+        let items: Vec<usize> = (0..len).collect();
+        let victim = victim_seed % len;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            par_map_with(&items, threads, |&i| {
+                assert!(i != victim, "deliberate test panic at {i}");
+                i
+            })
+        }));
+        prop_assert!(outcome.is_err());
+    }
+}

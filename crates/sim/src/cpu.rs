@@ -8,7 +8,7 @@
 //! with the *dense* parameter servers every iteration.
 
 use crate::cost::{CostKnobs, IterationCosts};
-use crate::des::{ResourceId, Schedule, TaskGraph, TaskId};
+use crate::des::{ResourceId, Schedule, SimScratch, TaskGraph, TaskId};
 use crate::report::SimReport;
 use crate::SimError;
 use recsim_data::schema::{ModelConfig, F32_BYTES};
@@ -172,8 +172,14 @@ impl CpuTrainingSim {
     /// Simulates steady-state pipelined training and reports the marginal
     /// per-iteration time.
     pub fn run(&self) -> SimReport {
-        let single = self.schedule_of(1);
-        let pipelined = self.schedule_of(Self::PIPELINE_DEPTH);
+        self.run_in(&mut SimScratch::new())
+    }
+
+    /// [`CpuTrainingSim::run`] borrowing a caller-owned [`SimScratch`], so a
+    /// sweep amortizes the engine's working buffers over its whole grid.
+    pub fn run_in(&self, scratch: &mut SimScratch) -> SimReport {
+        let single = self.schedule_of(1, scratch);
+        let pipelined = self.schedule_of(Self::PIPELINE_DEPTH, scratch);
         let steady = pipelined
             .makespan()
             .saturating_sub(single.makespan())
@@ -184,19 +190,19 @@ impl CpuTrainingSim {
 
     /// Simulates exactly one un-pipelined fleet iteration (latency view).
     pub fn run_single_iteration(&self) -> SimReport {
-        let schedule = self.schedule_of(1);
+        let schedule = self.schedule_of(1, &mut SimScratch::new());
         self.report(schedule.makespan(), &schedule)
     }
 
     /// Execution trace of one un-pipelined fleet iteration; export with
     /// [`recsim_trace::chrome_trace`] or the text/summary exporters.
     pub fn trace(&self) -> Trace {
-        self.schedule_of(1).to_trace()
+        self.schedule_of(1, &mut SimScratch::new()).to_trace()
     }
 
     /// Critical-path attribution of one un-pipelined fleet iteration.
     pub fn critical_path(&self, top_k: usize) -> CriticalPathReport {
-        self.schedule_of(1).critical_path(top_k)
+        self.schedule_of(1, &mut SimScratch::new()).critical_path(top_k)
     }
 
     /// Builds and simulates the fleet graph; see
@@ -204,8 +210,8 @@ impl CpuTrainingSim {
     /// constructor makes the fallback unreachable.
     ///
     /// [`GpuTrainingSim::schedule_of`]: crate::gpu::GpuTrainingSim
-    fn schedule_of(&self, iterations: usize) -> Schedule {
-        match self.build_graph(iterations).simulate() {
+    fn schedule_of(&self, iterations: usize, scratch: &mut SimScratch) -> Schedule {
+        match self.build_graph(iterations).simulate_in(scratch) {
             Ok(schedule) => schedule,
             Err(_) => TaskGraph::new().execute(),
         }
@@ -378,7 +384,7 @@ impl CpuTrainingSim {
     fn report(
         &self,
         iteration_time: recsim_hw::units::Duration,
-        schedule: &crate::des::Schedule,
+        schedule: &Schedule,
     ) -> SimReport {
         let t_count = self.setup.trainers as usize;
         let s_count = self.setup.sparse_ps as usize;

@@ -79,6 +79,95 @@ pub struct Schedule {
     task_deps: Vec<Vec<usize>>,
 }
 
+/// Completion event in the engine's min-heap: (time, seq, task).
+#[derive(Debug, PartialEq)]
+struct Event(f64, u64, usize);
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse for min-heap; total_cmp keeps the ordering total
+        // even if a task duration degenerates to NaN.
+        other
+            .0
+            .total_cmp(&self.0)
+            .then(other.1.cmp(&self.1))
+            .then(other.2.cmp(&self.2))
+    }
+}
+
+/// Reusable arena for the engine's per-run state.
+///
+/// Every [`TaskGraph::execute`] call needs an event heap, per-resource FIFO
+/// queues, an indegree vector, a CSR adjacency of dependents and a handful
+/// of per-task flag vectors. A sweep simulates thousands of graphs
+/// back-to-back, so allocating those afresh per call is pure hot-path
+/// waste: [`TaskGraph::simulate_in`] borrows a `SimScratch` instead and
+/// only ever grows its buffers. Reuse is purely an allocation optimization
+/// — a run never observes a previous run's state (everything is reset on
+/// entry), so `simulate()` and `simulate_in()` produce identical schedules.
+///
+/// A scratch is not shared between threads; in a parallel sweep each worker
+/// owns one (e.g. one per `recsim_pool::par_map` item, or one per simulator
+/// `run()` call).
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    /// Unsatisfied dependency count per task.
+    remaining_deps: Vec<usize>,
+    /// CSR row offsets into `dep_targets`: the dependents of task `i` are
+    /// `dep_targets[dep_offsets[i]..dep_offsets[i + 1]]`.
+    dep_offsets: Vec<usize>,
+    /// CSR adjacency: all dependent-task ids, grouped by dependency.
+    dep_targets: Vec<usize>,
+    /// Fill cursor per task while building the CSR rows.
+    dep_cursor: Vec<usize>,
+    /// Occupied slots per resource.
+    in_use: Vec<usize>,
+    /// FIFO wait queue per resource.
+    queues: Vec<std::collections::VecDeque<usize>>,
+    /// Pending completion events.
+    heap: BinaryHeap<Event>,
+    /// Whether each task has started / completed.
+    started: Vec<bool>,
+    done: Vec<bool>,
+}
+
+impl SimScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears all state and sizes every buffer for a graph with `n_tasks`
+    /// tasks and `n_resources` resources, keeping existing capacity.
+    fn reset(&mut self, n_tasks: usize, n_resources: usize) {
+        self.remaining_deps.clear();
+        self.remaining_deps.resize(n_tasks, 0);
+        self.dep_offsets.clear();
+        self.dep_offsets.resize(n_tasks + 1, 0);
+        self.dep_targets.clear();
+        self.dep_cursor.clear();
+        self.in_use.clear();
+        self.in_use.resize(n_resources, 0);
+        if self.queues.len() < n_resources {
+            self.queues
+                .resize_with(n_resources, std::collections::VecDeque::new);
+        }
+        for queue in &mut self.queues {
+            queue.clear();
+        }
+        self.heap.clear();
+        self.started.clear();
+        self.started.resize(n_tasks, false);
+        self.done.clear();
+        self.done.resize(n_tasks, false);
+    }
+}
+
 impl TaskGraph {
     /// Creates an empty graph.
     pub fn new() -> Self {
@@ -280,8 +369,15 @@ impl TaskGraph {
     /// that catches cycles closed by [`TaskGraph::add_dependency`]
     /// ([`Code::DependencyCycle`], RV026).
     pub fn simulate(&self) -> Result<Schedule, ValidationError> {
+        self.simulate_in(&mut SimScratch::new())
+    }
+
+    /// [`TaskGraph::simulate`] borrowing a caller-owned [`SimScratch`] so
+    /// back-to-back simulations reuse the engine's working buffers instead
+    /// of reallocating them. Produces the identical schedule.
+    pub fn simulate_in(&self, scratch: &mut SimScratch) -> Result<Schedule, ValidationError> {
         self.check()?;
-        Ok(self.execute())
+        Ok(self.execute_in(scratch))
     }
 
     /// [`TaskGraph::simulate`], additionally emitting the finished schedule
@@ -289,7 +385,16 @@ impl TaskGraph {
     /// makespan instant). With a disabled tracer this is exactly
     /// [`TaskGraph::simulate`].
     pub fn simulate_traced(&self, tracer: &mut dyn Tracer) -> Result<Schedule, ValidationError> {
-        let schedule = self.simulate()?;
+        self.simulate_traced_in(&mut SimScratch::new(), tracer)
+    }
+
+    /// [`TaskGraph::simulate_traced`] with scratch reuse, for traced sweeps.
+    pub fn simulate_traced_in(
+        &self,
+        scratch: &mut SimScratch,
+        tracer: &mut dyn Tracer,
+    ) -> Result<Schedule, ValidationError> {
+        let schedule = self.simulate_in(scratch)?;
         schedule.emit_into(tracer);
         Ok(schedule)
     }
@@ -298,55 +403,47 @@ impl TaskGraph {
     /// every resource binding is in range and the dependency relation is
     /// acyclic, so the event loop completes every task.
     pub(crate) fn execute(&self) -> Schedule {
+        self.execute_in(&mut SimScratch::new())
+    }
+
+    /// [`TaskGraph::execute`] against a reusable [`SimScratch`]. The scratch
+    /// is fully reset before use, so the schedule is identical to a
+    /// fresh-allocation run; only `start`/`finish`/`busy` are allocated here
+    /// (the returned [`Schedule`] owns them).
+    pub(crate) fn execute_in(&self, scratch: &mut SimScratch) -> Schedule {
         let n = self.tasks.len();
-        let mut remaining_deps: Vec<usize> = self.tasks.iter().map(|t| t.deps.len()).collect();
-        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        scratch.reset(n, self.resources.len());
+        for (i, t) in self.tasks.iter().enumerate() {
+            scratch.remaining_deps[i] = t.deps.len();
+            for d in &t.deps {
+                scratch.dep_offsets[d.0 + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            scratch.dep_offsets[i + 1] += scratch.dep_offsets[i];
+        }
+        // Filling in task-id order keeps each CSR row ascending — the same
+        // dependent order the old Vec<Vec<_>> build produced.
+        scratch.dep_cursor.extend_from_slice(&scratch.dep_offsets[..n]);
+        scratch.dep_targets.resize(scratch.dep_offsets[n], 0);
         for (i, t) in self.tasks.iter().enumerate() {
             for d in &t.deps {
-                dependents[d.0].push(i);
+                scratch.dep_targets[scratch.dep_cursor[d.0]] = i;
+                scratch.dep_cursor[d.0] += 1;
             }
         }
 
         let mut start = vec![Duration::ZERO; n];
         let mut finish = vec![Duration::ZERO; n];
         let mut busy = vec![Duration::ZERO; self.resources.len()];
-        let mut in_use = vec![0usize; self.resources.len()];
-        // FIFO queue per resource: (ready_seq, task). ready_seq preserves
-        // arrival order for determinism.
-        let mut queues: Vec<std::collections::VecDeque<usize>> =
-            vec![std::collections::VecDeque::new(); self.resources.len()];
-        let mut ready_seq = 0u64;
-        let _ = &mut ready_seq;
 
-        // Event heap: completion events (time, seq, task).
-        #[derive(PartialEq)]
-        struct Event(f64, u64, usize);
-        impl Eq for Event {}
-        impl PartialOrd for Event {
-            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-                Some(self.cmp(other))
-            }
-        }
-        impl Ord for Event {
-            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-                // Reverse for min-heap; total_cmp keeps the ordering total
-                // even if a task duration degenerates to NaN.
-                other
-                    .0
-                    .total_cmp(&self.0)
-                    .then(other.1.cmp(&self.1))
-                    .then(other.2.cmp(&self.2))
-            }
-        }
-
-        let mut heap: BinaryHeap<Event> = BinaryHeap::new();
         let mut seq = 0u64;
         let mut now = Duration::ZERO;
-        let mut started = vec![false; n];
-        let mut done = vec![false; n];
 
         // Local helper invoked whenever a task becomes ready or a resource
-        // frees: try to start tasks.
+        // frees: try to start tasks. The scratch's disjoint fields are
+        // borrowed individually so the CSR rows can stay borrowed in the
+        // event loop below.
         #[allow(clippy::too_many_arguments)]
         fn try_start(
             task: usize,
@@ -392,66 +489,67 @@ impl TaskGraph {
         // Seed with dependency-free tasks, in id order.
         #[allow(clippy::needless_range_loop)]
         for i in 0..n {
-            if remaining_deps[i] == 0 {
+            if scratch.remaining_deps[i] == 0 {
                 try_start(
                     i,
                     &self.tasks,
                     now,
-                    &mut in_use,
+                    &mut scratch.in_use,
                     &self.resources,
-                    &mut queues,
+                    &mut scratch.queues,
                     &mut start,
                     &mut finish,
                     &mut busy,
-                    &mut started,
-                    &mut heap,
+                    &mut scratch.started,
+                    &mut scratch.heap,
                     &mut seq,
                 );
             }
         }
 
-        while let Some(Event(t, _, task)) = heap.pop() {
+        while let Some(Event(t, _, task)) = scratch.heap.pop() {
             now = Duration::from_secs(t);
-            if done[task] {
+            if scratch.done[task] {
                 continue;
             }
-            done[task] = true;
+            scratch.done[task] = true;
             // Release the resource and start the next queued task.
             if let Some(r) = self.tasks[task].resource {
-                in_use[r.0] -= 1;
-                if let Some(next) = queues[r.0].pop_front() {
+                scratch.in_use[r.0] -= 1;
+                if let Some(next) = scratch.queues[r.0].pop_front() {
                     try_start(
                         next,
                         &self.tasks,
                         now,
-                        &mut in_use,
+                        &mut scratch.in_use,
                         &self.resources,
-                        &mut queues,
+                        &mut scratch.queues,
                         &mut start,
                         &mut finish,
                         &mut busy,
-                        &mut started,
-                        &mut heap,
+                        &mut scratch.started,
+                        &mut scratch.heap,
                         &mut seq,
                     );
                 }
             }
             // Unblock dependents.
-            for &dep in &dependents[task] {
-                remaining_deps[dep] -= 1;
-                if remaining_deps[dep] == 0 {
+            for slot in scratch.dep_offsets[task]..scratch.dep_offsets[task + 1] {
+                let dep = scratch.dep_targets[slot];
+                scratch.remaining_deps[dep] -= 1;
+                if scratch.remaining_deps[dep] == 0 {
                     try_start(
                         dep,
                         &self.tasks,
                         now,
-                        &mut in_use,
+                        &mut scratch.in_use,
                         &self.resources,
-                        &mut queues,
+                        &mut scratch.queues,
                         &mut start,
                         &mut finish,
                         &mut busy,
-                        &mut started,
-                        &mut heap,
+                        &mut scratch.started,
+                        &mut scratch.heap,
                         &mut seq,
                     );
                 }
@@ -775,6 +873,39 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_allocation() {
+        // Three differently-shaped graphs simulated back-to-back through one
+        // scratch must reproduce the fresh-allocation schedules exactly,
+        // including after the scratch has been stretched by a larger graph.
+        let mut graphs = Vec::new();
+        for shape in 0..3 {
+            let mut g = TaskGraph::new();
+            let r1 = g.add_resource("r1", 1);
+            let r2 = g.add_resource("r2", 2);
+            let mut prev = Vec::new();
+            for i in 0..(5 + shape * 20) {
+                let res = if i % 3 == 0 { Some(r1) } else { Some(r2) };
+                let deps: Vec<TaskId> = prev.iter().rev().take(2).copied().collect();
+                let t = g.add_task(format!("t{i}"), ms(0.5 + (i % 7) as f64), res, &deps);
+                prev.push(t);
+            }
+            graphs.push(g);
+        }
+        let mut scratch = SimScratch::new();
+        // Interleave orders so reuse crosses both growing and shrinking sizes.
+        for &idx in &[0usize, 2, 1, 0, 2] {
+            let fresh = graphs[idx].simulate().expect("valid graph");
+            let reused = graphs[idx].simulate_in(&mut scratch).expect("valid graph");
+            assert_eq!(fresh.makespan().as_secs(), reused.makespan().as_secs());
+            for task in 0..graphs[idx].len() {
+                let id = TaskId(task);
+                assert_eq!(fresh.start_of(id).as_secs(), reused.start_of(id).as_secs());
+                assert_eq!(fresh.finish_of(id).as_secs(), reused.finish_of(id).as_secs());
+            }
+        }
+    }
+
+    #[test]
     fn utilization_reflects_idle_time() {
         let mut g = TaskGraph::new();
         let r1 = g.add_resource("r1", 1);
@@ -865,7 +996,7 @@ mod tests {
         let mut g = TaskGraph::new();
         let r = g.add_resource("r", 1);
         g.add_task_in(TaskCategory::PsUpdate, "scatter", ms(1.0), Some(r), &[]);
-        let mut recorder = recsim_trace::TraceRecorder::new();
+        let mut recorder = TraceRecorder::new();
         g.simulate_traced(&mut recorder).expect("valid graph");
         let trace = recorder.finish();
         assert!(!trace.is_empty());

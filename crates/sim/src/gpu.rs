@@ -20,7 +20,7 @@
 //! traffic at each table's owner, plus a ring all-reduce of dense gradients.
 
 use crate::cost::{CostKnobs, IterationCosts};
-use crate::des::{ResourceId, Schedule, TaskGraph, TaskId};
+use crate::des::{ResourceId, Schedule, SimScratch, TaskGraph, TaskId};
 use crate::report::SimReport;
 use crate::SimError;
 use recsim_data::schema::ModelConfig;
@@ -106,10 +106,10 @@ impl GpuTrainingSim {
         let pcie = match platform.host_gpu_link() {
             Some(link) => *link,
             None => {
-                return Err(SimError::Invalid(collect_errors(diagnostics)));
+                return Err(SimError::Invalid(crate::collect_errors(diagnostics)));
             }
         };
-        let errors = collect_errors(diagnostics);
+        let errors = crate::collect_errors(diagnostics);
         if !errors.diagnostics().is_empty() {
             return Err(SimError::Invalid(errors));
         }
@@ -181,8 +181,14 @@ impl GpuTrainingSim {
     /// Simulates steady-state pipelined training and reports the marginal
     /// per-iteration time.
     pub fn run(&self) -> SimReport {
-        let single = self.schedule_of(1);
-        let pipelined = self.schedule_of(Self::PIPELINE_DEPTH);
+        self.run_in(&mut SimScratch::new())
+    }
+
+    /// [`GpuTrainingSim::run`] borrowing a caller-owned [`SimScratch`], so a
+    /// sweep amortizes the engine's working buffers over its whole grid.
+    pub fn run_in(&self, scratch: &mut SimScratch) -> SimReport {
+        let single = self.schedule_of(1, scratch);
+        let pipelined = self.schedule_of(Self::PIPELINE_DEPTH, scratch);
         let steady = pipelined
             .makespan()
             .saturating_sub(single.makespan())
@@ -195,7 +201,7 @@ impl GpuTrainingSim {
 
     /// Simulates exactly one un-pipelined iteration (latency view).
     pub fn run_single_iteration(&self) -> SimReport {
-        let schedule = self.schedule_of(1);
+        let schedule = self.schedule_of(1, &mut SimScratch::new());
         self.report(schedule.makespan(), &schedule)
     }
 
@@ -204,21 +210,21 @@ impl GpuTrainingSim {
     /// (Perfetto / `chrome://tracing`), [`recsim_trace::text_timeline`], or
     /// the summary tables.
     pub fn trace(&self) -> Trace {
-        self.schedule_of(1).to_trace()
+        self.schedule_of(1, &mut SimScratch::new()).to_trace()
     }
 
     /// Critical-path attribution of one un-pipelined iteration, with the
     /// `top_k` highest-slack off-path tasks.
     pub fn critical_path(&self, top_k: usize) -> CriticalPathReport {
-        self.schedule_of(1).critical_path(top_k)
+        self.schedule_of(1, &mut SimScratch::new()).critical_path(top_k)
     }
 
     /// Builds and simulates the iteration graph. Construction validated
     /// every input and `build_graph` only wires ids it just created, so the
     /// graph always passes its own validation; if that invariant ever broke
     /// an empty schedule (zero makespan) is returned rather than a panic.
-    fn schedule_of(&self, iterations: usize) -> Schedule {
-        match self.build_graph(iterations).simulate() {
+    fn schedule_of(&self, iterations: usize, scratch: &mut SimScratch) -> Schedule {
+        match self.build_graph(iterations).simulate_in(scratch) {
             Ok(schedule) => schedule,
             Err(_) => TaskGraph::new().execute(),
         }
@@ -773,7 +779,7 @@ impl GpuTrainingSim {
     fn report(
         &self,
         iteration_time: recsim_hw::units::Duration,
-        schedule: &crate::des::Schedule,
+        schedule: &Schedule,
     ) -> SimReport {
         let g_count = self.platform.gpus().len();
         let small_b = (self.batch / g_count as u64).max(1);
@@ -1138,7 +1144,7 @@ mod tests {
         .expect_err("hit rate above 1 rejected");
         match err {
             SimError::Invalid(v) => {
-                assert!(v.has_code(recsim_verify::Code::InvalidClusterConfig))
+                assert!(v.has_code(Code::InvalidClusterConfig))
             }
             other => panic!("unexpected error: {other}"),
         }
@@ -1155,7 +1161,7 @@ mod tests {
         .expect_err("zero batch rejected");
         match err {
             SimError::Invalid(v) => {
-                assert!(v.has_code(recsim_verify::Code::InvalidClusterConfig))
+                assert!(v.has_code(Code::InvalidClusterConfig))
             }
             other => panic!("unexpected error: {other}"),
         }
@@ -1176,7 +1182,7 @@ mod tests {
         .expect_err("negative staging fraction rejected");
         match err {
             SimError::Invalid(v) => {
-                assert!(v.has_code(recsim_verify::Code::InvalidCostKnob))
+                assert!(v.has_code(Code::InvalidCostKnob))
             }
             other => panic!("unexpected error: {other}"),
         }

@@ -66,6 +66,7 @@ pub mod variability;
 
 pub use cost::CostKnobs;
 pub use cpu::{CpuClusterSetup, CpuTrainingSim};
+pub use des::SimScratch;
 pub use gpu::GpuTrainingSim;
 pub use report::SimReport;
 pub use recsim_trace::TaskCategory;

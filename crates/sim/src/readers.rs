@@ -182,7 +182,7 @@ mod tests {
         let trace = rec.finish();
         assert_eq!(trace.len(), 3, "one emit, three counters");
         let names = trace.counter_names();
-        assert!(names.iter().any(|n| n == "reader:servers_needed"));
+        assert!(names.iter().any(|n| *n == "reader:servers_needed"));
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! the efficiency gap enormous.
 
 use crate::cost::{CostKnobs, IterationCosts};
-use crate::des::{Schedule, TaskGraph, TaskId};
+use crate::des::{Schedule, SimScratch, TaskGraph, TaskId};
 use crate::report::SimReport;
 use recsim_data::schema::ModelConfig;
 use recsim_hw::units::Bytes;
@@ -155,9 +155,15 @@ impl ScaleOutSim {
 
     /// Simulates steady-state pipelined training across the nodes.
     pub fn run(&self) -> SimReport {
-        let single = self.schedule_of(1);
+        self.run_in(&mut SimScratch::new())
+    }
+
+    /// [`ScaleOutSim::run`] borrowing a caller-owned [`SimScratch`], so a
+    /// sweep amortizes the engine's working buffers over its whole grid.
+    pub fn run_in(&self, scratch: &mut SimScratch) -> SimReport {
+        let single = self.schedule_of(1, scratch);
         let depth = crate::gpu::GpuTrainingSim::PIPELINE_DEPTH;
-        let pipelined = self.schedule_of(depth);
+        let pipelined = self.schedule_of(depth, scratch);
         let steady = pipelined.makespan().saturating_sub(single.makespan()) / (depth - 1) as f64;
         let steady = steady.max(single.makespan() / depth as f64);
 
@@ -202,18 +208,18 @@ impl ScaleOutSim {
     /// Execution trace of one un-pipelined scale-out iteration; export with
     /// [`recsim_trace::chrome_trace`] or the text/summary exporters.
     pub fn trace(&self) -> Trace {
-        self.schedule_of(1).to_trace()
+        self.schedule_of(1, &mut SimScratch::new()).to_trace()
     }
 
     /// Critical-path attribution of one un-pipelined scale-out iteration.
     pub fn critical_path(&self, top_k: usize) -> CriticalPathReport {
-        self.schedule_of(1).critical_path(top_k)
+        self.schedule_of(1, &mut SimScratch::new()).critical_path(top_k)
     }
 
     /// Builds and simulates the scale-out graph; the validated constructor
     /// makes the fallback unreachable (see `GpuTrainingSim`).
-    fn schedule_of(&self, iterations: usize) -> Schedule {
-        match self.build_graph(iterations).simulate() {
+    fn schedule_of(&self, iterations: usize, scratch: &mut SimScratch) -> Schedule {
+        match self.build_graph(iterations).simulate_in(scratch) {
             Ok(schedule) => schedule,
             Err(_) => TaskGraph::new().execute(),
         }

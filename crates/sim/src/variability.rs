@@ -94,15 +94,18 @@ impl VariabilityStudy {
             ));
         }
         let mut rng = StdRng::seed_from_u64(seed);
+        // One scratch for the whole Monte-Carlo loop: every noisy fleet
+        // reuses the engine buffers sized by the first simulation.
+        let mut scratch = crate::des::SimScratch::new();
         let nominal = GpuTrainingSim::new(config, platform, strategy, batch)?
-            .run()
+            .run_in(&mut scratch)
             .throughput();
         let mut throughputs = Vec::with_capacity(runs);
         for _ in 0..runs {
             let noisy = noise.sample_platform(platform, &mut rng);
             throughputs.push(
                 GpuTrainingSim::new(config, &noisy, strategy, batch)?
-                    .run()
+                    .run_in(&mut scratch)
                     .throughput(),
             );
         }

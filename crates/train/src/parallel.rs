@@ -16,7 +16,6 @@ use recsim_model::optim::Optimizer;
 use recsim_model::{bce_with_logits, normalized_entropy, DlrmModel};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
-use std::sync::Arc;
 
 /// Configuration of an EASGD run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -98,66 +97,57 @@ impl EasgdOutcome {
 pub fn easgd_train(model_config: &ModelConfig, config: EasgdConfig) -> EasgdOutcome {
     assert!(config.workers > 0, "need at least one worker");
     assert!(config.sync_period > 0, "sync period must be positive");
-    let center = Arc::new(Mutex::new(DlrmModel::new(model_config, config.worker.seed)));
-    let sync_count = Arc::new(Mutex::new(0usize));
+    // Workers run on scoped threads (`recsim_pool::scoped_workers`), so the
+    // shared state can live on this stack frame — no Arc needed, and a
+    // worker panic propagates here instead of being swallowed.
+    let center = Mutex::new(DlrmModel::new(model_config, config.worker.seed));
+    let sync_count = Mutex::new(0usize);
     let steps = config.worker.steps();
 
-    crossbeam::thread::scope(|scope| {
-        for w in 0..config.workers {
-            let center = Arc::clone(&center);
-            let sync_count = Arc::clone(&sync_count);
-            let model_config = model_config.clone();
-            scope.spawn(move |_| {
-                let mut local = center.lock().clone();
-                // All workers share the teacher; each draws its own stream.
-                let mut gen = CtrGenerator::with_seeds(
-                    &model_config,
-                    config.worker.seed,
-                    config.worker.seed.wrapping_add(100 + w as u64),
-                );
-                let mut opt = if config.worker.adagrad {
-                    Optimizer::adagrad(config.worker.learning_rate)
-                } else {
-                    Optimizer::sgd(config.worker.learning_rate)
-                };
-                // Track touched rows per *distinct* table (features sharing
-                // a table pool their row sets).
-                let mut touched: Vec<BTreeSet<u32>> =
-                    vec![BTreeSet::new(); model_config.num_tables()];
-                for step in 0..steps {
-                    let batch = gen.next_batch(config.worker.batch_size);
-                    for (f, sb) in batch.sparse().iter().enumerate() {
-                        touched[model_config.table_of(f)]
-                            .extend(sb.indices().iter().copied());
-                    }
-                    local.train_step(&batch, &mut opt);
-                    if (step + 1) % config.sync_period == 0 || step + 1 == steps {
-                        let rows: Vec<Vec<u32>> = touched
-                            .iter_mut()
-                            .map(|set| {
-                                let v: Vec<u32> = set.iter().copied().collect();
-                                set.clear();
-                                v
-                            })
-                            .collect();
-                        let mut c = center.lock();
-                        // Symmetric elastic update: the center and the
-                        // worker move toward each other.
-                        c.pull_toward(&local, config.elasticity, &rows);
-                        let snapshot = c.clone();
-                        drop(c);
-                        local.pull_toward(&snapshot, config.elasticity, &rows);
-                        *sync_count.lock() += 1;
-                    }
-                }
-            });
+    recsim_pool::scoped_workers(config.workers, |w| {
+        let mut local = center.lock().clone();
+        // All workers share the teacher; each draws its own stream.
+        let mut gen = CtrGenerator::with_seeds(
+            model_config,
+            config.worker.seed,
+            config.worker.seed.wrapping_add(100 + w as u64),
+        );
+        let mut opt = if config.worker.adagrad {
+            Optimizer::adagrad(config.worker.learning_rate)
+        } else {
+            Optimizer::sgd(config.worker.learning_rate)
+        };
+        // Track touched rows per *distinct* table (features sharing
+        // a table pool their row sets).
+        let mut touched: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); model_config.num_tables()];
+        for step in 0..steps {
+            let batch = gen.next_batch(config.worker.batch_size);
+            for (f, sb) in batch.sparse().iter().enumerate() {
+                touched[model_config.table_of(f)].extend(sb.indices().iter().copied());
+            }
+            local.train_step(&batch, &mut opt);
+            if (step + 1) % config.sync_period == 0 || step + 1 == steps {
+                let rows: Vec<Vec<u32>> = touched
+                    .iter_mut()
+                    .map(|set| {
+                        let v: Vec<u32> = set.iter().copied().collect();
+                        set.clear();
+                        v
+                    })
+                    .collect();
+                let mut c = center.lock();
+                // Symmetric elastic update: the center and the
+                // worker move toward each other.
+                c.pull_toward(&local, config.elasticity, &rows);
+                let snapshot = c.clone();
+                drop(c);
+                local.pull_toward(&snapshot, config.elasticity, &rows);
+                *sync_count.lock() += 1;
+            }
         }
-    })
-    .expect("worker thread panicked");
+    });
 
-    let center = Arc::try_unwrap(center)
-        .expect("all workers joined")
-        .into_inner();
+    let center = center.into_inner();
     let syncs = *sync_count.lock();
     EasgdOutcome {
         center,

@@ -84,6 +84,9 @@ pub enum Code {
     /// A simulator builds a task without a `TaskCategory` (raw `add_task`
     /// in non-test sim code, invisible to critical-path attribution).
     UncategorizedTask,
+    /// Library code spawns raw threads (`thread::spawn`/`thread::scope`)
+    /// outside `crates/pool`, bypassing the deterministic sweep pool.
+    RawThreading,
     /// A `hw::Platform` violates its structural invariants.
     InvalidPlatform,
     /// A placement routes more table bytes to a memory than it can hold.
@@ -115,7 +118,7 @@ pub enum Code {
 impl Code {
     /// Every code, in numeric order (drives the `codes` subcommand and the
     /// DESIGN.md table test).
-    pub const ALL: [Code; 23] = [
+    pub const ALL: [Code; 24] = [
         Code::MissingForbidUnsafe,
         Code::PanicInLibrary,
         Code::KnobMissingDoc,
@@ -127,6 +130,7 @@ impl Code {
         Code::ForeignDependency,
         Code::StaleAllowlist,
         Code::UncategorizedTask,
+        Code::RawThreading,
         Code::InvalidPlatform,
         Code::PlacementOverCapacity,
         Code::DanglingResource,
@@ -155,6 +159,7 @@ impl Code {
             Code::ForeignDependency => "RV009",
             Code::StaleAllowlist => "RV010",
             Code::UncategorizedTask => "RV011",
+            Code::RawThreading => "RV012",
             Code::InvalidPlatform => "RV020",
             Code::PlacementOverCapacity => "RV021",
             Code::DanglingResource => "RV022",
@@ -197,6 +202,9 @@ impl Code {
             Code::StaleAllowlist => "allowlist budget above the actual count",
             Code::UncategorizedTask => {
                 "simulator schedules a task without a TaskCategory (raw add_task)"
+            }
+            Code::RawThreading => {
+                "raw thread::spawn/scope in library code outside recsim-pool"
             }
             Code::InvalidPlatform => "platform violates structural invariants",
             Code::PlacementOverCapacity => "placement exceeds a memory's capacity",
@@ -371,6 +379,7 @@ mod tests {
         assert_eq!(Code::MissingForbidUnsafe.as_str(), "RV001");
         assert_eq!(Code::PanicInLibrary.as_str(), "RV002");
         assert_eq!(Code::UncategorizedTask.as_str(), "RV011");
+        assert_eq!(Code::RawThreading.as_str(), "RV012");
         assert_eq!(Code::DependencyCycle.as_str(), "RV026");
         assert_eq!(Code::NonPositiveIterationTime.as_str(), "RV030");
         assert_eq!(Code::NonPositiveExampleCount.as_str(), "RV031");

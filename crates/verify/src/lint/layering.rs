@@ -9,6 +9,7 @@
 //! verify ← metrics ← hw ← placement ← sim
 //!                  ↖ data ← model ← train
 //!                  ↖ trace (← sim, for schedule export/attribution)
+//! pool (dependency-free, like verify) ← train/core/bench/facade
 //! core atop everything; bench + the root facade atop core.
 //! ```
 
@@ -16,12 +17,11 @@ use crate::{Code, Diagnostic};
 
 /// External crates the workspace may depend on (build or dev). Anything
 /// else is RV009 — the environment is offline and nothing new gets vendored.
-pub const ALLOWED_EXTERNAL: [&str; 8] = [
+pub const ALLOWED_EXTERNAL: [&str; 7] = [
     "rand",
     "rand_distr",
     "proptest",
     "criterion",
-    "crossbeam",
     "parking_lot",
     "serde",
     "serde_json",
@@ -31,6 +31,7 @@ pub const ALLOWED_EXTERNAL: [&str; 8] = [
 /// DAG. `[dev-dependencies]` are not layered: tests may reach sideways.
 pub fn allowed_internal(package: &str) -> Option<&'static [&'static str]> {
     const VERIFY: &[&str] = &[];
+    const POOL: &[&str] = &[];
     const METRICS: &[&str] = &["recsim-verify"];
     const HW: &[&str] = &["recsim-verify", "recsim-metrics"];
     const DATA: &[&str] = &["recsim-verify", "recsim-metrics"];
@@ -47,12 +48,14 @@ pub fn allowed_internal(package: &str) -> Option<&'static [&'static str]> {
     ];
     const TRAIN: &[&str] = &[
         "recsim-verify",
+        "recsim-pool",
         "recsim-metrics",
         "recsim-data",
         "recsim-model",
     ];
     const CORE: &[&str] = &[
         "recsim-verify",
+        "recsim-pool",
         "recsim-metrics",
         "recsim-hw",
         "recsim-data",
@@ -64,6 +67,7 @@ pub fn allowed_internal(package: &str) -> Option<&'static [&'static str]> {
     ];
     const TOP: &[&str] = &[
         "recsim-verify",
+        "recsim-pool",
         "recsim-metrics",
         "recsim-hw",
         "recsim-data",
@@ -76,6 +80,7 @@ pub fn allowed_internal(package: &str) -> Option<&'static [&'static str]> {
     ];
     match package {
         "recsim-verify" => Some(VERIFY),
+        "recsim-pool" => Some(POOL),
         "recsim-metrics" => Some(METRICS),
         "recsim-hw" => Some(HW),
         "recsim-data" => Some(DATA),

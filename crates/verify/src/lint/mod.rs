@@ -9,6 +9,7 @@
 pub mod categories;
 pub mod knobs;
 pub mod layering;
+pub mod parallelism;
 pub mod registry;
 pub mod source;
 
@@ -53,9 +54,10 @@ pub fn run(root: &Path) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     let budgets = load_allowlist(root, &mut diags);
 
-    // RV001 + RV002 over library sources; RV011 over simulator sources
-    // (des.rs hosts the uncategorized wrappers for generic graphs, so it is
-    // exempt — every *simulator builder* must categorize its tasks).
+    // RV001 + RV002 + RV012 over library sources; RV011 over simulator
+    // sources (des.rs hosts the uncategorized wrappers for generic graphs,
+    // so it is exempt — every *simulator builder* must categorize its
+    // tasks). RV012 exempts crates/pool/src/, the sanctioned thread host.
     for (rel, content) in library_sources(root, &mut diags) {
         if rel.ends_with("src/lib.rs") {
             diags.extend(source::check_forbid_unsafe(&rel, &content));
@@ -65,6 +67,7 @@ pub fn run(root: &Path) -> Vec<Diagnostic> {
         if rel.starts_with("crates/sim/src/") && !rel.ends_with("/des.rs") {
             diags.extend(categories::check_task_categories(&rel, &content));
         }
+        diags.extend(parallelism::check_raw_threading(&rel, &content));
     }
     // Budgets pointing at files that no longer exist are stale too.
     for (path, budget) in &budgets {

@@ -1,0 +1,98 @@
+//! RV012: all parallelism stays behind the `recsim-pool` abstraction.
+//!
+//! The sweep harness's determinism contract (parallel output byte-identical
+//! to serial) holds because every fan-out goes through
+//! `recsim_pool::par_map`/`scoped_workers`, which restore submission order
+//! and surface worker panics. Raw `std::thread::spawn` / `std::thread::scope`
+//! (or crossbeam's scope) in library code would bypass that contract, so
+//! this rule flags them everywhere except `crates/pool/src/`, where the one
+//! sanctioned implementation lives. Test modules are exempt (the shared
+//! token scanner skips `#[cfg(test)]` blocks).
+
+use super::source;
+use crate::{Code, Diagnostic};
+
+/// The raw threading entry points RV012 looks for. Assembled at runtime so
+/// this file does not flag itself when the scanner runs over the verify
+/// crate. Matching on the `thread::` suffix catches `std::thread::*`,
+/// `crossbeam::thread::*` and `use std::thread; thread::spawn(…)` alike.
+fn raw_thread_tokens() -> [String; 2] {
+    [format!("thread::{}(", "spawn"), format!("thread::{}(", "scope")]
+}
+
+/// True for the files RV012 exempts: the pool crate is the one place the
+/// workspace may touch `std::thread` directly.
+pub fn is_exempt(path: &str) -> bool {
+    path.starts_with("crates/pool/src/")
+}
+
+/// RV012 for one library source file.
+pub fn check_raw_threading(path: &str, content: &str) -> Vec<Diagnostic> {
+    if is_exempt(path) {
+        return Vec::new();
+    }
+    source::token_sites(content, &raw_thread_tokens())
+        .into_iter()
+        .map(|(line, token)| {
+            Diagnostic::error(
+                Code::RawThreading,
+                format!("{path}:{line}"),
+                format!(
+                    "`{token}…)` spawns threads outside recsim-pool; route the \
+                     fan-out through `recsim_pool::par_map`/`scoped_workers` so \
+                     sweep output stays deterministic and panics are surfaced"
+                ),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_thread_spawn_is_rv012() {
+        let src = "fn fan_out() {\n    let h = std::thread::spawn(|| work());\n    h.join();\n}\n";
+        let diags = check_raw_threading("crates/core/src/experiments/fig10.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code(), Code::RawThreading);
+        assert_eq!(diags[0].location(), "crates/core/src/experiments/fig10.rs:2");
+    }
+
+    #[test]
+    fn scoped_and_crossbeam_variants_are_rv012_too() {
+        let src = "std::thread::scope(|s| { s.spawn(|| ()); });\n\
+                   crossbeam::thread::scope(|s| { s.spawn(|_| ()); });\n";
+        let diags = check_raw_threading("crates/train/src/parallel.rs", src);
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.code() == Code::RawThreading));
+    }
+
+    #[test]
+    fn pool_crate_is_exempt() {
+        let src = "std::thread::scope(|s| { s.spawn(|| ()); });\n";
+        assert!(check_raw_threading("crates/pool/src/lib.rs", src).is_empty());
+        assert!(is_exempt("crates/pool/src/lib.rs"));
+        assert!(!is_exempt("crates/train/src/parallel.rs"));
+    }
+
+    #[test]
+    fn pool_consumers_pass() {
+        let src = "let results = recsim_pool::par_map(&configs, run_one);\n\
+                   recsim_pool::scoped_workers(4, |w| trainers[w].run());\n";
+        assert!(check_raw_threading("crates/core/src/sweep.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = concat!(
+            "fn lib() { recsim_pool::par_map(&xs, f); }\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn t() { std::thread::spawn(|| ()); }\n",
+            "}\n",
+        );
+        assert!(check_raw_threading("crates/core/src/sweep.rs", src).is_empty());
+    }
+}

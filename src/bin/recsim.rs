@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! recsim experiments [--quick] [id ...]   regenerate paper artifacts
+//! recsim run --all [--quick] [--threads N]  parallel run of every driver
 //! recsim simulate [options]               price one training setup
 //! recsim trace <setup> [options]          export a timeline + attribution
 //! recsim train [options]                  really train a model, report NE
@@ -20,6 +21,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("experiments") => cmd_experiments(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
@@ -42,6 +44,8 @@ fn print_help() {
          \n\
          USAGE:\n\
          \x20 recsim experiments [--quick] [id ...]   run paper-artifact drivers\n\
+         \x20 recsim run --all [--quick] [--threads N]  run every driver in parallel\n\
+         \x20                                         (RECSIM_THREADS also honored)\n\
          \x20 recsim simulate [options]               simulate one training setup\n\
          \x20 recsim trace <setup> [options]          export a timeline + attribution\n\
          \x20 recsim train [options]                  train for real, report NE\n\
@@ -139,6 +143,52 @@ fn cmd_experiments(args: &[String]) -> ExitCode {
         println!();
         failed += out.failed_claims().len();
     }
+    if failed > 0 {
+        eprintln!("{failed} claim(s) failed");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `recsim run --all` — run every experiment driver through the
+/// `recsim-pool` parallel sweep engine. `--threads N` overrides the pool
+/// width (equivalent to setting `RECSIM_THREADS=N`); outputs are identical
+/// to the serial `recsim experiments` at any thread count.
+fn cmd_run(args: &[String]) -> ExitCode {
+    let (flags, positional) = parse_flags(args);
+    if !flags.contains_key("all") || !positional.is_empty() {
+        eprintln!("usage: recsim run --all [--quick] [--threads N]");
+        return ExitCode::FAILURE;
+    }
+    let effort = if flags.contains_key("quick") {
+        Effort::Quick
+    } else {
+        Effort::Full
+    };
+    if let Some(n) = flags.get("threads") {
+        match n.parse::<usize>() {
+            Ok(n) if n > 0 => recsim::pool::set_thread_override(Some(n)),
+            _ => {
+                eprintln!("--threads expects a positive integer, got `{n}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let threads = recsim::pool::thread_count();
+    let start = std::time::Instant::now();
+    let outputs = experiments::run_all(effort);
+    let elapsed = start.elapsed().as_secs_f64();
+    let mut failed = 0usize;
+    for (_, out) in &outputs {
+        print!("{}", out.render());
+        println!();
+        failed += out.failed_claims().len();
+    }
+    println!(
+        "ran {} driver(s) across {threads} thread(s) in {elapsed:.2}s",
+        outputs.len()
+    );
     if failed > 0 {
         eprintln!("{failed} claim(s) failed");
         ExitCode::FAILURE

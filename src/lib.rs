@@ -20,6 +20,8 @@
 //! * [`metrics`] — histograms, KDE, quantiles, report rendering,
 //! * [`core`] — the experiment drivers regenerating every paper table and
 //!   figure,
+//! * [`pool`] — the dependency-free scoped work-stealing thread pool behind
+//!   every parallel sweep (`RECSIM_THREADS` caps its width),
 //! * [`verify`] — the static-analysis and config-validation layer: RV0xx
 //!   diagnostics, the [`verify::Validate`] trait, and the workspace lint
 //!   engine (`cargo run -p recsim-verify -- lint`).
@@ -54,6 +56,7 @@ pub use recsim_hw as hw;
 pub use recsim_metrics as metrics;
 pub use recsim_model as model;
 pub use recsim_placement as placement;
+pub use recsim_pool as pool;
 pub use recsim_sim as sim;
 pub use recsim_trace as trace;
 pub use recsim_train as train;
