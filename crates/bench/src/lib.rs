@@ -31,6 +31,11 @@
 //! contract of `recsim_core::sweep` was violated; the binary also exits
 //! non-zero in that case. `speedup` is hardware-dependent: expect ~1.0 on a
 //! single-core container and scaling with physical cores elsewhere.
+//!
+//! `BENCH_autoshard.json` (written by the `autoshard_baseline` binary)
+//! follows the same schema with a single-entry `drivers` list: the
+//! `autoshard` driver timed at 1 thread vs the pool width, byte-identical
+//! outputs required.
 
 #![forbid(unsafe_code)]
 

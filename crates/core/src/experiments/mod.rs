@@ -2,6 +2,7 @@
 //! `pub fn run(effort: Effort) -> ExperimentOutput`.
 
 pub mod automl;
+pub mod autoshard;
 pub mod compression;
 pub mod fig01;
 pub mod fig02;
@@ -47,6 +48,7 @@ pub fn registry() -> Vec<(&'static str, Driver)> {
         ("fig14", fig14::run),
         ("fig15", fig15::run),
         ("automl", automl::run),
+        ("autoshard", autoshard::run),
         ("locality", locality::run),
         ("scaleout", scaleout::run),
         ("readers", readers::run),

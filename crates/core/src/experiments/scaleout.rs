@@ -14,7 +14,7 @@ use recsim_hw::Platform;
 use recsim_metrics::Table;
 use recsim_placement::PlacementStrategy;
 use recsim_sim::scaleout::{min_nodes, ScaleOutSim};
-use recsim_sim::{GpuTrainingSim, SimScratch};
+use recsim_sim::{GpuTrainingSim, SimScratch, TaskCategory};
 
 /// Runs the multi-Big-Basin vs Zion comparison for M3.
 pub fn run(effort: Effort) -> ExperimentOutput {
@@ -52,16 +52,40 @@ pub fn run(effort: Effort) -> ExperimentOutput {
         format!("{:.1}", zion.perf_per_watt()),
         "1.0x".into(),
     ]);
-    // Parallel phase: one node count per sweep point.
+    // Parallel phase: one node count per sweep point. The critical-path
+    // walk of each (large) scale-out schedule happens inside the closure,
+    // so grid-wide attribution fans out with the sweep instead of running
+    // serially afterwards (ROADMAP: parallel critical-path analysis).
     let multis = sweep(&node_counts, |&nodes| {
         let mut scratch = SimScratch::new();
-        ScaleOutSim::new(&m3, nodes, 800)
-            .expect("enough nodes")
-            .run_in(&mut scratch)
+        let sim = ScaleOutSim::new(&m3, nodes, 800).expect("enough nodes");
+        let report = sim.run_in(&mut scratch);
+        let cp = sim.critical_path(1);
+        let wire_share = (cp.share_of(TaskCategory::NicTransfer)
+            + cp.share_of(TaskCategory::HostStaging))
+            / cp.makespan.max(f64::MIN_POSITIVE);
+        let top = cp
+            .breakdown
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(c, _)| c.label().to_string())
+            .unwrap_or_default();
+        (report, wire_share, top)
     });
 
+    let mut attr_table = Table::new(vec!["nodes", "critical path dominated by", "NIC+staging share"]);
+    let mut min_wire_share = f64::INFINITY;
+    for (&nodes, (_, wire_share, top)) in node_counts.iter().zip(&multis) {
+        min_wire_share = min_wire_share.min(*wire_share);
+        attr_table.push_row(vec![
+            nodes.to_string(),
+            top.clone(),
+            format!("{:.0}%", wire_share * 100.0),
+        ]);
+    }
+
     let mut min_advantage = f64::INFINITY;
-    for (&nodes, multi) in node_counts.iter().zip(&multis) {
+    for (&nodes, (multi, _, _)) in node_counts.iter().zip(&multis) {
         let advantage = zion.perf_per_watt() / multi.perf_per_watt();
         min_advantage = min_advantage.min(advantage);
         table.push_row(vec![
@@ -73,7 +97,15 @@ pub fn run(effort: Effort) -> ExperimentOutput {
         ]);
     }
     out.tables.push(table);
+    out.tables.push(attr_table);
 
+    out.claims.push(Claim::new(
+        "Per-point critical-path attribution confirms the mechanism: the NIC wire \
+         plus host staging charge the majority of every scale-out iteration, at \
+         every node count",
+        format!("minimum NIC+staging share across node counts: {:.0}%", min_wire_share * 100.0),
+        min_wire_share > 0.5,
+    ));
     out.claims.push(Claim::new(
         "Training M3 on Zion is over an order of magnitude more power-efficient than \
          multi-Big-Basin sharded GPU memory (the paper's analytical model: 'several \

@@ -11,7 +11,8 @@ use std::sync::Mutex;
 static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
 
 /// The drivers whose sweeps were routed through `recsim_core::sweep`.
-const PARALLEL_DRIVERS: [&str; 9] = [
+const PARALLEL_DRIVERS: [&str; 10] = [
+    "autoshard",
     "fig10",
     "fig11",
     "fig12",

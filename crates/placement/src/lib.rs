@@ -24,5 +24,7 @@ pub mod partition;
 pub mod plan;
 pub mod strategy;
 
-pub use plan::{Placement, PlacementError, TableAssignment, TableLocation};
+pub use plan::{
+    table_demands, Placement, PlacementError, TableAssignment, TableDemand, TableLocation,
+};
 pub use strategy::{PartitionScheme, PlacementStrategy};

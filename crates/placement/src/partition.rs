@@ -1,9 +1,13 @@
-//! Greedy partitioning primitives shared by the placement planner.
+//! Greedy partitioning primitives shared by the placement planner and the
+//! `recsim-shard` auto-sharder.
 //!
 //! The paper notes that "differences in access ratios might create
 //! imbalances among servers if not carefully partitioned" — the planner
 //! therefore balances by *load* (bytes or traffic), not by table count,
 //! using the classic longest-processing-time greedy heuristic.
+
+use crate::plan::PlacementError;
+use recsim_hw::units::Bytes;
 
 /// Assigns each weighted item to one of `bins` bins, minimizing the maximum
 /// bin load (LPT greedy: heaviest item first, to the least-loaded bin).
@@ -43,12 +47,21 @@ pub fn greedy_balance(weights: &[u64], bins: usize) -> Vec<usize> {
 }
 
 /// Like [`greedy_balance`] but with a per-bin capacity; returns
-/// `Err(item_index)` for the first item that fits in no bin.
+/// [`PlacementError::Unplaceable`] for the first item that fits in no bin.
+///
+/// # Errors
+///
+/// [`PlacementError::Unplaceable`] names the first item (in LPT order)
+/// whose weight fits in no bin at the given capacity.
 ///
 /// # Panics
 ///
 /// Panics if `bins == 0`.
-pub fn greedy_pack(weights: &[u64], bins: usize, capacity: u64) -> Result<Vec<usize>, usize> {
+pub fn greedy_pack(
+    weights: &[u64],
+    bins: usize,
+    capacity: u64,
+) -> Result<Vec<usize>, PlacementError> {
     assert!(bins > 0, "need at least one bin");
     let mut order: Vec<usize> = (0..weights.len()).collect();
     order.sort_by(|&a, &b| weights[b].cmp(&weights[a]).then(a.cmp(&b)));
@@ -66,7 +79,83 @@ pub fn greedy_pack(weights: &[u64], bins: usize, capacity: u64) -> Result<Vec<us
                 assignment[idx] = bin;
                 loads[bin] += weights[idx];
             }
-            None => return Err(idx),
+            None => {
+                return Err(PlacementError::Unplaceable {
+                    item: idx,
+                    needed: Bytes::new(weights[idx]),
+                    available: Bytes::new(capacity),
+                })
+            }
+        }
+    }
+    Ok(assignment)
+}
+
+/// One memory tier for [`pack_tiers`]: `bins` bins of `capacity` bytes
+/// each (e.g. 8 GPUs × HBM table capacity, 1 host × DRAM, 8 remote PS ×
+/// DDR4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tier {
+    /// Number of equally-sized bins in this tier.
+    pub bins: usize,
+    /// Per-bin capacity in bytes.
+    pub capacity: u64,
+}
+
+/// Multi-tier capacity packing: places items (visited in the caller-given
+/// `order` of indices into `weights`) into the first tier with room,
+/// choosing the least-loaded fitting bin within that tier. Tiers are
+/// tried in declaration order, so putting the fastest memory first and
+/// ordering items hottest-first yields a cost-density packing.
+///
+/// Returns `(tier, bin)` per item, aligned with `weights`.
+///
+/// # Errors
+///
+/// [`PlacementError::Unplaceable`] for the first visited item that fits in
+/// no bin of any tier (`available` reports the largest per-bin capacity).
+///
+/// # Panics
+///
+/// Panics if `tiers` is empty, any tier has zero bins, `order` is not a
+/// permutation of `0..weights.len()`, or an order index is out of range.
+pub fn pack_tiers(
+    weights: &[u64],
+    order: &[usize],
+    tiers: &[Tier],
+) -> Result<Vec<(usize, usize)>, PlacementError> {
+    assert!(!tiers.is_empty(), "need at least one tier");
+    assert!(tiers.iter().all(|t| t.bins > 0), "tiers need bins");
+    assert_eq!(order.len(), weights.len(), "order must cover every item");
+    let max_capacity = tiers.iter().map(|t| t.capacity).max().unwrap_or(0);
+    let mut loads: Vec<Vec<u64>> = tiers.iter().map(|t| vec![0u64; t.bins]).collect();
+    let mut assignment = vec![(0usize, 0usize); weights.len()];
+    let mut seen = vec![false; weights.len()];
+    for &idx in order {
+        assert!(!seen[idx], "order visits item {idx} twice");
+        seen[idx] = true;
+        let w = weights[idx];
+        let mut placed = false;
+        for (t, tier_loads) in loads.iter_mut().enumerate() {
+            let candidate = tier_loads
+                .iter()
+                .enumerate()
+                .filter(|&(_, &l)| l + w <= tiers[t].capacity)
+                .min_by_key(|&(i, &l)| (l, i))
+                .map(|(i, _)| i);
+            if let Some(bin) = candidate {
+                tier_loads[bin] += w;
+                assignment[idx] = (t, bin);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            return Err(PlacementError::Unplaceable {
+                item: idx,
+                needed: Bytes::new(w),
+                available: Bytes::new(max_capacity),
+            });
         }
     }
     Ok(assignment)
@@ -224,12 +313,75 @@ mod tests {
     fn pack_reports_unfittable_item() {
         let weights = [6, 6, 6];
         let err = greedy_pack(&weights, 2, 10).expect_err("third 6 cannot fit");
-        assert!(weights[err] == 6);
+        match err {
+            PlacementError::Unplaceable {
+                item,
+                needed,
+                available,
+            } => {
+                assert_eq!(weights[item], 6);
+                assert_eq!(needed.as_u64(), 6);
+                assert_eq!(available.as_u64(), 10);
+            }
+            other => panic!("expected Unplaceable, got {other:?}"),
+        }
     }
 
     #[test]
     fn pack_rejects_oversized_single_item() {
-        assert!(greedy_pack(&[11], 4, 10).is_err());
+        let err = greedy_pack(&[11], 4, 10).expect_err("11 > 10");
+        assert!(matches!(err, PlacementError::Unplaceable { item: 0, .. }));
+        assert!(err.to_string().contains("no bin has room"));
+    }
+
+    #[test]
+    fn tiers_fill_in_declaration_order() {
+        // Two fast bins of 10, one slow bin of 100: first two items land
+        // in tier 0, the third spills.
+        let weights = [8, 8, 8];
+        let tiers = [
+            Tier {
+                bins: 2,
+                capacity: 10,
+            },
+            Tier {
+                bins: 1,
+                capacity: 100,
+            },
+        ];
+        let a = pack_tiers(&weights, &[0, 1, 2], &tiers).expect("fits");
+        assert_eq!(a[0], (0, 0));
+        assert_eq!(a[1], (0, 1));
+        assert_eq!(a[2], (1, 0));
+    }
+
+    #[test]
+    fn tiers_respect_order_priority() {
+        // Reversed order: the last item gets the fast tier instead.
+        let weights = [8, 8];
+        let tiers = [
+            Tier {
+                bins: 1,
+                capacity: 10,
+            },
+            Tier {
+                bins: 1,
+                capacity: 100,
+            },
+        ];
+        let a = pack_tiers(&weights, &[1, 0], &tiers).expect("fits");
+        assert_eq!(a[1].0, 0, "visited first, gets the fast tier");
+        assert_eq!(a[0].0, 1);
+    }
+
+    #[test]
+    fn tiers_report_unplaceable() {
+        let tiers = [Tier {
+            bins: 2,
+            capacity: 10,
+        }];
+        let err = pack_tiers(&[4, 11], &[0, 1], &tiers).expect_err("11 fits nowhere");
+        assert!(matches!(err, PlacementError::Unplaceable { item: 1, .. }));
     }
 
     #[test]

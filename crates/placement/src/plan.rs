@@ -102,6 +102,17 @@ pub enum PlacementError {
         /// Bytes available.
         available: Bytes,
     },
+    /// A packing primitive found an item that fits in no bin — the
+    /// structured form of what [`crate::partition::greedy_pack`] reports,
+    /// so callers no longer map a bare index by hand.
+    Unplaceable {
+        /// Index of the first item (table) that fits in no bin.
+        item: usize,
+        /// The item's weight.
+        needed: Bytes,
+        /// Capacity of each bin it was tried against.
+        available: Bytes,
+    },
 }
 
 impl fmt::Display for PlacementError {
@@ -115,6 +126,14 @@ impl fmt::Display for PlacementError {
             } => write!(
                 f,
                 "embedding tables need {needed} but {location} has {available}"
+            ),
+            PlacementError::Unplaceable {
+                item,
+                needed,
+                available,
+            } => write!(
+                f,
+                "table {item} needs {needed} but no bin has room within {available}"
             ),
         }
     }
@@ -144,27 +163,8 @@ impl Placement {
         state_multiplier: f64,
     ) -> Result<Placement, PlacementError> {
         assert!(state_multiplier >= 1.0, "state multiplier must be >= 1");
-        // Plan over *distinct* tables: shared tables occupy memory once but
-        // aggregate the gather traffic (and pooled outputs) of every
-        // feature they back.
-        let sized: Vec<(u64, u64, u64)> = (0..config.num_tables())
-            .map(|t| {
-                let bytes = (config.table_hash_size(t) as f64
-                    * config.row_bytes() as f64
-                    * state_multiplier) as u64;
-                let features = config.table_features(t);
-                let gather = features
-                    .iter()
-                    .map(|&f| {
-                        (config.sparse_features()[f].effective_lookups(config.truncation())
-                            * config.row_bytes() as f64) as u64
-                    })
-                    .sum();
-                let pooled = features.len() as u64 * config.row_bytes();
-                (bytes, gather, pooled)
-            })
-            .collect();
-        let total_bytes: u64 = sized.iter().map(|s| s.0).sum();
+        let sized = table_demands(config, state_multiplier);
+        let total_bytes: u64 = sized.iter().map(|s| s.bytes).sum();
 
         // Capacities are recorded on the plan so `Validate` can re-check it
         // later (after deserialization, hand edits, or noise injection).
@@ -184,12 +184,11 @@ impl Placement {
             sized
                 .iter()
                 .zip(locations)
-                .enumerate()
-                .map(|(table, (&(bytes, gather, pooled), location))| TableAssignment {
-                    table,
-                    bytes,
-                    gather_bytes_per_example: gather,
-                    pooled_bytes_per_example: pooled,
+                .map(|(d, location)| TableAssignment {
+                    table: d.table,
+                    bytes: d.bytes,
+                    gather_bytes_per_example: d.gather_bytes_per_example,
+                    pooled_bytes_per_example: d.pooled_bytes_per_example,
                     location,
                 })
                 .collect()
@@ -218,13 +217,8 @@ impl Placement {
                         ))
                     }
                     PartitionScheme::TableWise => {
-                        let weights: Vec<u64> = sized.iter().map(|s| s.0).collect();
-                        let mut assignment = greedy_pack(&weights, gpus, per_gpu)
-                            .map_err(|item| PlacementError::Capacity {
-                                location: "GPU memory (table-wise)".into(),
-                                needed: Bytes::new(weights[item]),
-                                available: Bytes::new(per_gpu),
-                            })?;
+                        let weights: Vec<u64> = sized.iter().map(|s| s.bytes).collect();
+                        let mut assignment = greedy_pack(&weights, gpus, per_gpu)?;
                         // Local search tightens the LPT result; it only
                         // ever lowers the maximum load, so capacity is
                         // preserved.
@@ -277,10 +271,13 @@ impl Placement {
                 let per_server = recsim_hw::memory::ddr4_dual_socket().capacity().as_u64();
                 // Balance by gather traffic (the imbalance the paper warns
                 // about), then verify capacity per server.
-                let traffic: Vec<u64> = sized.iter().map(|s| s.1.max(1)).collect();
+                let traffic: Vec<u64> = sized
+                    .iter()
+                    .map(|s| s.gather_bytes_per_example.max(1))
+                    .collect();
                 let mut assignment = greedy_balance(&traffic, servers);
                 refine_balance(&traffic, &mut assignment, servers, 16);
-                let byte_weights: Vec<u64> = sized.iter().map(|s| s.0).collect();
+                let byte_weights: Vec<u64> = sized.iter().map(|s| s.bytes).collect();
                 let loads = bin_loads(&byte_weights, &assignment, servers);
                 if let Some((server, &load)) =
                     loads.iter().enumerate().find(|&(_, &l)| l > per_server)
@@ -307,15 +304,17 @@ impl Placement {
                 // the remainder spills to host memory.
                 let mut order: Vec<usize> = (0..sized.len()).collect();
                 order.sort_by(|&a, &b| {
-                    let da = sized[a].1 as f64 / sized[a].0.max(1) as f64;
-                    let db = sized[b].1 as f64 / sized[b].0.max(1) as f64;
+                    let da = sized[a].gather_bytes_per_example as f64
+                        / sized[a].bytes.max(1) as f64;
+                    let db = sized[b].gather_bytes_per_example as f64
+                        / sized[b].bytes.max(1) as f64;
                     db.total_cmp(&da).then(a.cmp(&b))
                 });
                 let mut gpu_loads = vec![0u64; gpus];
                 let mut locations = vec![TableLocation::HostMemory; sized.len()];
                 let mut host_bytes = 0u64;
                 for idx in order {
-                    let bytes = sized[idx].0;
+                    let bytes = sized[idx].bytes;
                     let best = gpu_loads
                         .iter()
                         .enumerate()
@@ -694,6 +693,71 @@ impl Validate for Placement {
         }
         diags
     }
+}
+
+/// One distinct table's memory footprint and per-example traffic — the
+/// sizing [`Placement::plan`] works from, exposed so external planners
+/// (e.g. `recsim-shard`) derive demands identically instead of duplicating
+/// the formula.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TableDemand {
+    /// Distinct-table index in the model config.
+    pub table: usize,
+    /// Table bytes including optimizer state.
+    pub bytes: u64,
+    /// Bytes gathered from this table per example (lookups × row bytes),
+    /// summed over every feature the table backs.
+    pub gather_bytes_per_example: u64,
+    /// Bytes of this table's pooled output per example (one row per
+    /// backing feature).
+    pub pooled_bytes_per_example: u64,
+}
+
+impl TableDemand {
+    /// Converts a demand into an assignment at `location`.
+    pub fn assigned(&self, location: TableLocation) -> TableAssignment {
+        TableAssignment {
+            table: self.table,
+            bytes: self.bytes,
+            gather_bytes_per_example: self.gather_bytes_per_example,
+            pooled_bytes_per_example: self.pooled_bytes_per_example,
+            location,
+        }
+    }
+}
+
+/// Per-distinct-table demands for a model: shared tables occupy memory
+/// once but aggregate the gather traffic (and pooled outputs) of every
+/// feature they back. `state_multiplier` scales table bytes for optimizer
+/// state, exactly as in [`Placement::plan`].
+///
+/// # Panics
+///
+/// Panics if `state_multiplier < 1.0`.
+pub fn table_demands(config: &ModelConfig, state_multiplier: f64) -> Vec<TableDemand> {
+    assert!(state_multiplier >= 1.0, "state multiplier must be >= 1");
+    (0..config.num_tables())
+        .map(|t| {
+            let bytes = (config.table_hash_size(t) as f64
+                * config.row_bytes() as f64
+                * state_multiplier) as u64;
+            let features = config.table_features(t);
+            let gather = features
+                .iter()
+                .map(|&f| {
+                    (config.sparse_features()[f].effective_lookups(config.truncation())
+                        * config.row_bytes() as f64) as u64
+                })
+                .sum();
+            let pooled = features.len() as u64 * config.row_bytes();
+            TableDemand {
+                table: t,
+                bytes,
+                gather_bytes_per_example: gather,
+                pooled_bytes_per_example: pooled,
+            }
+        })
+        .collect()
 }
 
 /// HBM bytes per GPU available for tables after the workspace reservation.

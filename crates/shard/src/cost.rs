@@ -1,0 +1,168 @@
+//! Closed-form per-table access-cost model over the platform's memory
+//! hierarchy.
+//!
+//! The solvers need a cheap, total order on "how much does this table
+//! suffer in each tier" without running the discrete-event simulator per
+//! candidate. The model prices one training iteration's embedding traffic
+//! for a single table in each tier, from the same hardware parameters the
+//! simulator uses:
+//!
+//! ```text
+//! cost(table, GPU HBM)     = gather / BW_hbm(random)
+//! cost(table, host DRAM)   = gather / BW_host(random) + 2·pooled / BW_pcie
+//! cost(table, remote DRAM) = gather / BW_ddr(random)  + 2·pooled / BW_nic
+//! ```
+//!
+//! where `gather = batch × gather_bytes_per_example` (the raw rows touched,
+//! a random-access pattern per the paper's §III.A) and `pooled = batch ×
+//! pooled_bytes_per_example` (what must cross the interconnect to reach the
+//! trainer, forward + backward). The absolute numbers are optimistic — the
+//! simulator adds contention, staging hops and kernel overhead — but the
+//! *ordering* of tables by `benefit-per-byte` is what the greedy and
+//! packing solvers consume, and the refiner re-scores every accepted move
+//! with the real simulator anyway.
+
+use recsim_hw::units::{Bytes, Duration};
+use recsim_hw::{AccessPattern, Link, Memory, Platform};
+use recsim_placement::plan::PlacementError;
+use recsim_placement::TableDemand;
+
+/// One level of the placement memory hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemoryTier {
+    /// A GPU's HBM (fastest, scarcest).
+    GpuHbm,
+    /// The trainer host's system DRAM, reached over PCIe.
+    HostDram,
+    /// A remote sparse parameter server's DRAM, reached over the NIC.
+    RemoteDram,
+}
+
+impl MemoryTier {
+    /// All tiers, fastest first — the fill order of the packing solvers.
+    pub const ALL: [MemoryTier; 3] = [
+        MemoryTier::GpuHbm,
+        MemoryTier::HostDram,
+        MemoryTier::RemoteDram,
+    ];
+}
+
+/// Analytic access-cost model for one platform.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    hbm: Memory,
+    host: Memory,
+    remote: Memory,
+    pcie: Link,
+    nic: Link,
+}
+
+impl CostModel {
+    /// Builds the model from a platform's memory hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// [`PlacementError::NoGpus`] when the platform has no GPUs or no
+    /// host↔GPU link — auto-sharding targets accelerated systems.
+    pub fn new(platform: &Platform) -> Result<CostModel, PlacementError> {
+        let hbm = platform
+            .gpus()
+            .first()
+            .map(|g| *g.memory())
+            .ok_or(PlacementError::NoGpus)?;
+        let pcie = *platform.host_gpu_link().ok_or(PlacementError::NoGpus)?;
+        Ok(CostModel {
+            hbm,
+            host: *platform.host().memory(),
+            remote: recsim_hw::memory::ddr4_dual_socket(),
+            pcie,
+            nic: *platform.network(),
+        })
+    }
+
+    /// Predicted time to serve one iteration of `demand`'s embedding
+    /// traffic from `tier` at the given batch size.
+    pub fn access_cost(&self, demand: &TableDemand, tier: MemoryTier, batch: u64) -> Duration {
+        let gather = Bytes::new(demand.gather_bytes_per_example.saturating_mul(batch));
+        // Pooled outputs cross the interconnect twice: activations forward,
+        // gradients backward.
+        let pooled = Bytes::new(
+            demand
+                .pooled_bytes_per_example
+                .saturating_mul(batch)
+                .saturating_mul(2),
+        );
+        match tier {
+            MemoryTier::GpuHbm => self.hbm.access_time(gather, AccessPattern::Random),
+            MemoryTier::HostDram => {
+                self.host.access_time(gather, AccessPattern::Random)
+                    + self.pcie.transfer_time(pooled, 1)
+            }
+            MemoryTier::RemoteDram => {
+                self.remote.access_time(gather, AccessPattern::Random)
+                    + self.nic.transfer_time(pooled, 1)
+            }
+        }
+    }
+
+    /// Benefit-per-byte of promoting a table to HBM: how much iteration
+    /// time one byte of this table's footprint buys back relative to the
+    /// cheapest off-GPU tier. The greedy solver fills HBM in descending
+    /// order of this density (hot small tables first — the paper's
+    /// Figure 6 observation that access frequency does not correlate with
+    /// size is exactly why this beats a bytes-only fill).
+    pub fn hbm_density(&self, demand: &TableDemand, batch: u64) -> f64 {
+        let gpu = self.access_cost(demand, MemoryTier::GpuHbm, batch).as_secs();
+        let host = self
+            .access_cost(demand, MemoryTier::HostDram, batch)
+            .as_secs();
+        let remote = self
+            .access_cost(demand, MemoryTier::RemoteDram, batch)
+            .as_secs();
+        (host.min(remote) - gpu).max(0.0) / demand.bytes.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recsim_hw::units::Bytes as B;
+
+    fn demand(bytes: u64, gather: u64) -> TableDemand {
+        TableDemand {
+            table: 0,
+            bytes,
+            gather_bytes_per_example: gather,
+            pooled_bytes_per_example: 256,
+        }
+    }
+
+    fn model() -> CostModel {
+        CostModel::new(&Platform::big_basin(B::from_gib(32))).expect("big basin has GPUs")
+    }
+
+    #[test]
+    fn hbm_is_cheapest_tier() {
+        let m = model();
+        let d = demand(1 << 30, 8192);
+        let gpu = m.access_cost(&d, MemoryTier::GpuHbm, 1024);
+        let host = m.access_cost(&d, MemoryTier::HostDram, 1024);
+        let remote = m.access_cost(&d, MemoryTier::RemoteDram, 1024);
+        assert!(gpu.as_secs() < host.as_secs());
+        assert!(host.as_secs() < remote.as_secs());
+    }
+
+    #[test]
+    fn hot_small_tables_have_highest_density() {
+        let m = model();
+        let hot_small = demand(1 << 20, 16_384);
+        let cold_giant = demand(1 << 34, 256);
+        assert!(m.hbm_density(&hot_small, 1024) > m.hbm_density(&cold_giant, 1024));
+    }
+
+    #[test]
+    fn cpu_only_platform_is_rejected() {
+        let err = CostModel::new(&Platform::dual_socket_cpu()).expect_err("no GPUs");
+        assert_eq!(err, PlacementError::NoGpus);
+    }
+}

@@ -1,0 +1,349 @@
+//! Automatic embedding-table placement: searches for a [`Placement`] that
+//! minimizes predicted iteration time under hard capacity constraints.
+//!
+//! Section IV.B.1 of the paper frames table placement as *the* decision
+//! that determines DLRM training throughput on accelerated systems, but
+//! `recsim-placement` only replays the four static Figure-8 strategies.
+//! Follow-up work (RecShard, MTrainS) shows that statistics-aware placement
+//! across the memory hierarchy beats any fixed strategy: hot small tables
+//! earn their HBM bytes, cold giants are better left in host or remote
+//! DRAM. This crate closes the loop:
+//!
+//! * per-table demands come from [`recsim_placement::table_demands`]
+//!   (row counts × row bytes × optimizer state; lookups from the model's
+//!   Figure 6–7 distributions),
+//! * the memory hierarchy (HBM capacity/bandwidth, host DRAM, PCIe, NIC)
+//!   comes from [`recsim_hw::Platform`],
+//! * a closed-form [`cost::CostModel`] ranks tables by benefit-per-byte,
+//! * and candidate plans are scored with the *real* simulator
+//!   ([`recsim_sim::GpuTrainingSim`]), so "predicted iteration time" is the
+//!   same number every experiment reports.
+//!
+//! Three solvers implement the [`Sharder`] trait: [`GreedySharder`]
+//! (cost-density fill), [`PackSharder`] (multi-tier bin packing via
+//! [`recsim_placement::partition::pack_tiers`]) and [`RefineSharder`]
+//! (seeded local search with simulated evaluation; its result is never
+//! worse than the best static Figure-8 strategy by construction).
+//!
+//! # Example
+//!
+//! ```
+//! use recsim_shard::{RefineSharder, Sharder};
+//! use recsim_data::production::{production_model, ProductionModelId};
+//! use recsim_hw::{units::Bytes, Platform};
+//!
+//! let m1 = production_model(ProductionModelId::M1);
+//! let bb = Platform::big_basin(Bytes::from_gib(32));
+//! let plan = RefineSharder::default().shard(&m1, &bb, 1600)?;
+//! assert!(plan.throughput() > 0.0);
+//! # Ok::<(), recsim_shard::ShardError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod solvers;
+
+pub use cost::{CostModel, MemoryTier};
+pub use solvers::{GreedySharder, PackSharder, RefineSharder};
+
+use recsim_data::schema::ModelConfig;
+use recsim_hw::units::{Bytes, Duration};
+use recsim_hw::Platform;
+use recsim_placement::plan::ADAGRAD_STATE_MULTIPLIER;
+use recsim_placement::{Placement, PlacementError, PlacementStrategy};
+use recsim_sim::{GpuTrainingSim, SimError, SimReport};
+use recsim_verify::{Validate, ValidationError};
+use std::error::Error;
+use std::fmt;
+
+/// Maximum remote sparse parameter servers a solver may recruit — the
+/// paper's M3 production setup uses 8.
+pub const MAX_REMOTE_SERVERS: usize = 8;
+
+/// Why a sharding plan could not be produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardError {
+    /// No placement of the tables satisfies the capacity constraints
+    /// (carries the last packing failure).
+    Placement(PlacementError),
+    /// The candidate placed, but the simulator rejected the setup.
+    Sim(SimError),
+    /// The model config, platform, or a produced plan failed validation
+    /// (RV02x diagnostics).
+    Invalid(ValidationError),
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Placement(e) => write!(f, "no feasible placement: {e}"),
+            ShardError::Sim(e) => write!(f, "plan evaluation failed: {e}"),
+            ShardError::Invalid(e) => write!(f, "invalid sharding input: {e}"),
+        }
+    }
+}
+
+impl Error for ShardError {}
+
+impl From<PlacementError> for ShardError {
+    fn from(e: PlacementError) -> Self {
+        Self::Placement(e)
+    }
+}
+
+impl From<SimError> for ShardError {
+    fn from(e: SimError) -> Self {
+        match e {
+            SimError::Placement(p) => Self::Placement(p),
+            other => Self::Sim(other),
+        }
+    }
+}
+
+impl From<ValidationError> for ShardError {
+    fn from(e: ValidationError) -> Self {
+        Self::Invalid(e)
+    }
+}
+
+/// A placement search algorithm.
+///
+/// Implementations must be deterministic pure functions of their inputs:
+/// the same `(config, platform, batch)` triple yields the same plan at any
+/// thread count (enforced by `tests/determinism.rs`).
+pub trait Sharder {
+    /// Short solver name (`"greedy"`, `"pack"`, `"refine"`).
+    fn name(&self) -> &'static str;
+
+    /// Searches for a placement of `config`'s tables on `platform`
+    /// minimizing predicted iteration time at the given batch size.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::Placement`] when no capacity-feasible placement
+    /// exists (including CPU-only platforms), [`ShardError::Invalid`] when
+    /// the inputs fail validation.
+    fn shard(
+        &self,
+        config: &ModelConfig,
+        platform: &Platform,
+        batch: u64,
+    ) -> Result<ShardPlan, ShardError>;
+}
+
+/// A validated, simulator-scored placement plan — what every [`Sharder`]
+/// returns and what the `autoshard` experiment compares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardPlan {
+    solver: String,
+    placement: Placement,
+    report: SimReport,
+    batch: u64,
+}
+
+impl ShardPlan {
+    /// Validates `placement` (RV021/RV022/RV023) and scores it with
+    /// [`GpuTrainingSim`]; the resulting plan carries the full
+    /// [`SimReport`].
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::Invalid`] when the placement (or model/platform)
+    /// fails validation, [`ShardError::Sim`] when the simulator rejects
+    /// the setup.
+    pub fn new(
+        solver: impl Into<String>,
+        config: &ModelConfig,
+        platform: &Platform,
+        placement: Placement,
+        batch: u64,
+    ) -> Result<ShardPlan, ShardError> {
+        placement.check()?;
+        let sim = GpuTrainingSim::with_placement(config, platform, placement, batch)?;
+        let report = sim.run();
+        Ok(ShardPlan {
+            solver: solver.into(),
+            placement: sim.placement().clone(),
+            report,
+            batch,
+        })
+    }
+
+    /// Which solver (or static strategy label) produced the plan.
+    pub fn solver(&self) -> &str {
+        &self.solver
+    }
+
+    /// The concrete placement — plugs directly into
+    /// [`GpuTrainingSim::with_placement`].
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// The simulator's full report for this plan.
+    pub fn report(&self) -> &SimReport {
+        &self.report
+    }
+
+    /// Batch size the plan was scored at.
+    pub fn batch(&self) -> u64 {
+        self.batch
+    }
+
+    /// Predicted steady-state iteration time.
+    pub fn iteration_time(&self) -> Duration {
+        self.report.iteration_time()
+    }
+
+    /// Predicted examples/second.
+    pub fn throughput(&self) -> f64 {
+        self.report.throughput()
+    }
+
+    /// Table bytes per memory tier: `(gpu, host, remote)`.
+    pub fn bytes_per_tier(&self) -> (u64, u64, u64) {
+        let gpu: u64 = self.placement.gpu_loads().iter().sum();
+        let host = self.placement.host_bytes();
+        let remote: u64 = self.placement.remote_loads().iter().sum();
+        (gpu, host, remote)
+    }
+
+    /// GPU load imbalance (`max/mean`) of the plan.
+    pub fn gpu_imbalance(&self) -> f64 {
+        self.placement.gpu_imbalance()
+    }
+
+    /// Human-readable summary: solver, predicted performance, tier bytes,
+    /// then the placement table.
+    pub fn describe(&self) -> String {
+        let (gpu, host, remote) = self.bytes_per_tier();
+        let mut out = format!(
+            "solver: {}\npredicted iteration time: {:.3} ms ({:.0} examples/s at batch {})\n\
+             bytes per tier: GPU {}, host {}, remote {}\n",
+            self.solver,
+            self.iteration_time().as_secs() * 1e3,
+            self.throughput(),
+            self.batch,
+            Bytes::new(gpu),
+            Bytes::new(host),
+            Bytes::new(remote),
+        );
+        out.push_str(&self.placement.describe());
+        out
+    }
+}
+
+/// Scores the four static Figure-8 strategies on the same inputs,
+/// skipping the infeasible ones. Labels come from
+/// [`PlacementStrategy::label`].
+pub fn static_plans(
+    config: &ModelConfig,
+    platform: &Platform,
+    batch: u64,
+) -> Vec<ShardPlan> {
+    let mut out = Vec::new();
+    for strategy in PlacementStrategy::figure8_lineup() {
+        let Ok(placement) =
+            Placement::plan(config, platform, strategy, ADAGRAD_STATE_MULTIPLIER)
+        else {
+            continue;
+        };
+        if let Ok(plan) = ShardPlan::new(strategy.label(), config, platform, placement, batch) {
+            out.push(plan);
+        }
+    }
+    out
+}
+
+/// The best (lowest predicted iteration time) feasible static Figure-8
+/// strategy, or `None` when none places the model.
+pub fn best_static(config: &ModelConfig, platform: &Platform, batch: u64) -> Option<ShardPlan> {
+    static_plans(config, platform, batch)
+        .into_iter()
+        .min_by(|a, b| {
+            a.iteration_time()
+                .as_secs()
+                .total_cmp(&b.iteration_time().as_secs())
+        })
+}
+
+/// Looks a solver up by CLI name (`greedy`, `pack`, `refine`).
+pub fn solver_by_name(name: &str) -> Option<Box<dyn Sharder>> {
+    match name {
+        "greedy" => Some(Box::new(GreedySharder)),
+        "pack" => Some(Box::new(PackSharder)),
+        "refine" => Some(Box::new(RefineSharder::default())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recsim_data::production::{production_model, ProductionModelId};
+
+    fn big_basin() -> Platform {
+        Platform::big_basin(Bytes::from_gib(32))
+    }
+
+    #[test]
+    fn static_plans_match_figure8_labels() {
+        let m1 = production_model(ProductionModelId::M1);
+        let plans = static_plans(&m1, &big_basin(), 1600);
+        assert!(!plans.is_empty());
+        for p in &plans {
+            assert!(p.throughput() > 0.0, "{} must score", p.solver());
+        }
+    }
+
+    #[test]
+    fn best_static_is_minimal() {
+        let m1 = production_model(ProductionModelId::M1);
+        let plans = static_plans(&m1, &big_basin(), 1600);
+        let best = best_static(&m1, &big_basin(), 1600).expect("m1 places");
+        for p in &plans {
+            assert!(best.iteration_time().as_secs() <= p.iteration_time().as_secs());
+        }
+    }
+
+    #[test]
+    fn solver_lookup_covers_cli_names() {
+        for name in ["greedy", "pack", "refine"] {
+            let solver = solver_by_name(name).expect("known solver");
+            assert_eq!(solver.name(), name);
+        }
+        assert!(solver_by_name("anneal").is_none());
+    }
+
+    #[test]
+    fn invalid_plan_is_rejected_at_construction() {
+        use recsim_placement::{TableAssignment, TableLocation};
+        let m1 = production_model(ProductionModelId::M1);
+        let bb = big_basin();
+        // A dangling GPU reference must be rejected (RV022).
+        let bogus = Placement::from_parts(
+            PlacementStrategy::Hybrid,
+            vec![TableAssignment {
+                table: 0,
+                bytes: 1024,
+                gather_bytes_per_example: 64,
+                pooled_bytes_per_example: 64,
+                location: TableLocation::Gpu(99),
+            }],
+            8,
+            1 << 30,
+            1 << 30,
+            1 << 30,
+        );
+        let err = ShardPlan::new("bogus", &m1, &bb, bogus, 1600).expect_err("dangling GPU");
+        assert!(matches!(err, ShardError::Invalid(_)), "{err}");
+    }
+
+    #[test]
+    fn errors_are_displayable() {
+        let e = ShardError::Placement(PlacementError::NoGpus);
+        assert!(e.to_string().contains("no feasible placement"));
+    }
+}

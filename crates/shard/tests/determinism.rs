@@ -1,0 +1,45 @@
+//! Solver output must be a pure function of `(config, platform, batch)`:
+//! identical at any `RECSIM_THREADS` width (ISSUE 4 satellite). The
+//! solvers are serial by construction — this test pins that contract so a
+//! future parallel refactor keeps byte-identical plans.
+
+use recsim_data::production::{production_model, ProductionModelId};
+use recsim_hw::units::Bytes;
+use recsim_hw::Platform;
+use recsim_shard::{GreedySharder, PackSharder, RefineSharder, Sharder};
+
+#[test]
+fn solver_plans_are_thread_count_invariant() {
+    let cases = [
+        (ProductionModelId::M1, 1600u64),
+        (ProductionModelId::M3, 800u64),
+    ];
+    let platform = Platform::big_basin(Bytes::from_gib(32));
+    let solvers: [Box<dyn Sharder>; 3] = [
+        Box::new(GreedySharder),
+        Box::new(PackSharder),
+        Box::new(RefineSharder::with_budget(4)),
+    ];
+    for (model_id, batch) in cases {
+        let config = production_model(model_id);
+        for solver in &solvers {
+            let mut baseline: Option<String> = None;
+            for threads in [1usize, 2, 8] {
+                recsim_pool::set_thread_override(Some(threads));
+                let plan = solver
+                    .shard(&config, &platform, batch)
+                    .unwrap_or_else(|e| panic!("{} on {model_id:?}: {e}", solver.name()));
+                let rendered = format!("{plan:?}");
+                match &baseline {
+                    None => baseline = Some(rendered),
+                    Some(b) => assert_eq!(
+                        b, &rendered,
+                        "{} plan differs at {threads} threads on {model_id:?}",
+                        solver.name()
+                    ),
+                }
+            }
+            recsim_pool::set_thread_override(None);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests for the auto-sharder (ISSUE 4 satellite): every produced
+//! plan (i) places all tables exactly once, (ii) never exceeds any tier's
+//! capacity, and (iii) the refiner's predicted cost never exceeds the best
+//! static Figure-8 strategy's on the same inputs.
+
+use proptest::prelude::*;
+use recsim_data::schema::ModelConfig;
+use recsim_hw::units::Bytes;
+use recsim_hw::Platform;
+use recsim_placement::plan::gpu_table_capacity;
+use recsim_placement::TableLocation;
+use recsim_shard::{
+    best_static, GreedySharder, PackSharder, RefineSharder, ShardPlan, Sharder,
+    MAX_REMOTE_SERVERS,
+};
+use recsim_verify::Validate;
+
+fn solvers() -> [Box<dyn Sharder>; 3] {
+    [
+        Box::new(GreedySharder),
+        Box::new(PackSharder),
+        Box::new(RefineSharder::with_budget(2)),
+    ]
+}
+
+/// Checks invariants (i) and (ii) for one plan on one platform.
+fn assert_plan_invariants(plan: &ShardPlan, platform: &Platform, num_tables: usize) {
+    let p = plan.placement();
+    // (i) all tables placed, exactly once, in table order.
+    assert_eq!(p.assignments().len(), num_tables);
+    for (i, a) in p.assignments().iter().enumerate() {
+        assert_eq!(a.table, i);
+    }
+    // (ii) no tier over capacity.
+    let per_gpu = gpu_table_capacity(platform);
+    for &load in &p.gpu_loads() {
+        assert!(load <= per_gpu, "GPU over capacity: {load} > {per_gpu}");
+    }
+    let host_cap = platform.host().memory().capacity().as_u64();
+    assert!(p.host_bytes() <= host_cap);
+    let per_remote = recsim_hw::memory::ddr4_dual_socket().capacity().as_u64();
+    let remote = p.remote_loads();
+    assert!(remote.len() <= MAX_REMOTE_SERVERS);
+    for &load in &remote {
+        assert!(load <= per_remote);
+    }
+    // No stray location classes.
+    for a in p.assignments() {
+        assert!(matches!(
+            a.location,
+            TableLocation::Gpu(_) | TableLocation::HostMemory | TableLocation::Remote(_)
+        ));
+    }
+    // And the plan passes the same Validate gate every entry point uses.
+    assert!(p.check().is_ok());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn plans_place_everything_within_capacity(
+        sparse in 1usize..24,
+        hash in 1_000u64..80_000_000,
+        batch in 1u64..4096,
+    ) {
+        let config = ModelConfig::test_suite(64, sparse, hash, &[256]);
+        let platform = Platform::big_basin(Bytes::from_gib(32));
+        for solver in solvers() {
+            match solver.shard(&config, &platform, batch) {
+                Ok(plan) => assert_plan_invariants(&plan, &platform, config.num_tables()),
+                // Infeasible models may be rejected, but never panicked on.
+                Err(e) => prop_assert!(!e.to_string().is_empty()),
+            }
+        }
+    }
+
+    #[test]
+    fn refine_never_loses_to_static_baselines(
+        sparse in 1usize..12,
+        hash in 10_000u64..60_000_000,
+    ) {
+        let config = ModelConfig::test_suite(64, sparse, hash, &[256]);
+        let platform = Platform::big_basin(Bytes::from_gib(16));
+        let batch = 512;
+        let auto = RefineSharder::with_budget(2)
+            .shard(&config, &platform, batch)
+            .expect("big basin always has a feasible tier for test-suite models");
+        if let Some(best) = best_static(&config, &platform, batch) {
+            prop_assert!(
+                auto.iteration_time().as_secs() <= best.iteration_time().as_secs() + 1e-12,
+                "refine {}s must not lose to static `{}` {}s",
+                auto.iteration_time().as_secs(),
+                best.solver(),
+                best.iteration_time().as_secs(),
+            );
+        }
+    }
+}

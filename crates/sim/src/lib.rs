@@ -85,7 +85,7 @@ pub(crate) fn collect_errors(diagnostics: Vec<Diagnostic>) -> ValidationError {
 }
 
 /// Why a simulation could not be built or run.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
     /// The placement planner could not host the model's tables.
     Placement(PlacementError),

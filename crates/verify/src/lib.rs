@@ -87,6 +87,9 @@ pub enum Code {
     /// Library code spawns raw threads (`thread::spawn`/`thread::scope`)
     /// outside `crates/pool`, bypassing the deterministic sweep pool.
     RawThreading,
+    /// A crate under `crates/` is missing from the DESIGN.md workspace
+    /// inventory (§2) or has no layer in the dependency DAG.
+    CrateUndocumented,
     /// A `hw::Platform` violates its structural invariants.
     InvalidPlatform,
     /// A placement routes more table bytes to a memory than it can hold.
@@ -118,7 +121,7 @@ pub enum Code {
 impl Code {
     /// Every code, in numeric order (drives the `codes` subcommand and the
     /// DESIGN.md table test).
-    pub const ALL: [Code; 24] = [
+    pub const ALL: [Code; 25] = [
         Code::MissingForbidUnsafe,
         Code::PanicInLibrary,
         Code::KnobMissingDoc,
@@ -131,6 +134,7 @@ impl Code {
         Code::StaleAllowlist,
         Code::UncategorizedTask,
         Code::RawThreading,
+        Code::CrateUndocumented,
         Code::InvalidPlatform,
         Code::PlacementOverCapacity,
         Code::DanglingResource,
@@ -160,6 +164,7 @@ impl Code {
             Code::StaleAllowlist => "RV010",
             Code::UncategorizedTask => "RV011",
             Code::RawThreading => "RV012",
+            Code::CrateUndocumented => "RV013",
             Code::InvalidPlatform => "RV020",
             Code::PlacementOverCapacity => "RV021",
             Code::DanglingResource => "RV022",
@@ -205,6 +210,9 @@ impl Code {
             }
             Code::RawThreading => {
                 "raw thread::spawn/scope in library code outside recsim-pool"
+            }
+            Code::CrateUndocumented => {
+                "crate missing from the DESIGN.md workspace inventory or layering DAG"
             }
             Code::InvalidPlatform => "platform violates structural invariants",
             Code::PlacementOverCapacity => "placement exceeds a memory's capacity",
@@ -380,6 +388,7 @@ mod tests {
         assert_eq!(Code::PanicInLibrary.as_str(), "RV002");
         assert_eq!(Code::UncategorizedTask.as_str(), "RV011");
         assert_eq!(Code::RawThreading.as_str(), "RV012");
+        assert_eq!(Code::CrateUndocumented.as_str(), "RV013");
         assert_eq!(Code::DependencyCycle.as_str(), "RV026");
         assert_eq!(Code::NonPositiveIterationTime.as_str(), "RV030");
         assert_eq!(Code::NonPositiveExampleCount.as_str(), "RV031");

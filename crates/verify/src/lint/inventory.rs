@@ -1,0 +1,80 @@
+//! RV013: every crate under `crates/` is documented. A crate must appear
+//! in the DESIGN.md workspace inventory (§2, as `(package-name)` next to
+//! its directory) and have a layer in the dependency DAG
+//! ([`super::layering::allowed_internal`]). New crates that skip either
+//! half are invisible to reviewers and to the layering rules — this lint
+//! makes "add the crate to the docs and the DAG" a hard gate.
+
+use super::layering;
+use crate::{Code, Diagnostic};
+
+/// RV013 for one crate manifest under `crates/`.
+pub fn check_inventory(path: &str, package: &str, design_md: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if package.is_empty() {
+        out.push(Diagnostic::error(
+            Code::CrateUndocumented,
+            path,
+            "manifest has no `[package] name`, so the crate cannot be checked \
+             against the DESIGN.md inventory",
+        ));
+        return out;
+    }
+    if !design_md.contains(&format!("({package})")) {
+        out.push(Diagnostic::error(
+            Code::CrateUndocumented,
+            path,
+            format!(
+                "crate `{package}` is missing from the DESIGN.md §2 workspace \
+                 inventory — document it as `({package})` next to its directory"
+            ),
+        ));
+    }
+    if layering::allowed_internal(package).is_none() {
+        out.push(Diagnostic::error(
+            Code::CrateUndocumented,
+            path,
+            format!(
+                "crate `{package}` has no layer in the dependency DAG — add it \
+                 to `allowed_internal` in crates/verify/src/lint/layering.rs"
+            ),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DESIGN: &str = "├── shard/  (recsim-shard)  auto placement\n\
+                          ├── sim/    (recsim-sim)    simulator\n";
+
+    #[test]
+    fn documented_crate_passes() {
+        assert!(check_inventory("crates/sim/Cargo.toml", "recsim-sim", DESIGN).is_empty());
+    }
+
+    #[test]
+    fn missing_inventory_row_is_flagged() {
+        let diags = check_inventory("crates/hw/Cargo.toml", "recsim-hw", DESIGN);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code(), Code::CrateUndocumented);
+        assert!(diags[0].to_string().contains("workspace"));
+    }
+
+    #[test]
+    fn unlayered_crate_is_flagged_twice() {
+        // Not in the fixture inventory AND unknown to the DAG.
+        let diags = check_inventory("crates/new/Cargo.toml", "recsim-new", DESIGN);
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.code() == Code::CrateUndocumented));
+    }
+
+    #[test]
+    fn nameless_manifest_is_flagged() {
+        let diags = check_inventory("crates/x/Cargo.toml", "", DESIGN);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code(), Code::CrateUndocumented);
+    }
+}

@@ -6,7 +6,7 @@
 //! The DAG, bottom-up:
 //!
 //! ```text
-//! verify ← metrics ← hw ← placement ← sim
+//! verify ← metrics ← hw ← placement ← sim ← shard
 //!                  ↖ data ← model ← train
 //!                  ↖ trace (← sim, for schedule export/attribution)
 //! pool (dependency-free, like verify) ← train/core/bench/facade
@@ -46,6 +46,15 @@ pub fn allowed_internal(package: &str) -> Option<&'static [&'static str]> {
         "recsim-placement",
         "recsim-trace",
     ];
+    const SHARD: &[&str] = &[
+        "recsim-verify",
+        "recsim-metrics",
+        "recsim-hw",
+        "recsim-data",
+        "recsim-placement",
+        "recsim-sim",
+        "recsim-trace",
+    ];
     const TRAIN: &[&str] = &[
         "recsim-verify",
         "recsim-pool",
@@ -62,6 +71,7 @@ pub fn allowed_internal(package: &str) -> Option<&'static [&'static str]> {
         "recsim-model",
         "recsim-placement",
         "recsim-sim",
+        "recsim-shard",
         "recsim-trace",
         "recsim-train",
     ];
@@ -74,6 +84,7 @@ pub fn allowed_internal(package: &str) -> Option<&'static [&'static str]> {
         "recsim-model",
         "recsim-placement",
         "recsim-sim",
+        "recsim-shard",
         "recsim-trace",
         "recsim-train",
         "recsim-core",
@@ -87,6 +98,7 @@ pub fn allowed_internal(package: &str) -> Option<&'static [&'static str]> {
         "recsim-model" => Some(MODEL),
         "recsim-placement" => Some(PLACEMENT),
         "recsim-sim" => Some(SIM),
+        "recsim-shard" => Some(SHARD),
         "recsim-trace" => Some(TRACE),
         "recsim-train" => Some(TRAIN),
         "recsim-core" => Some(CORE),

@@ -7,6 +7,7 @@
 //! no network, no external tooling, no proc macros.
 
 pub mod categories;
+pub mod inventory;
 pub mod knobs;
 pub mod layering;
 pub mod parallelism;
@@ -109,9 +110,15 @@ pub fn run(root: &Path) -> Vec<Diagnostic> {
     let experiments_md = fs::read_to_string(root.join("EXPERIMENTS.md")).unwrap_or_default();
     diags.extend(registry::check_registry(&bin_stems, &modules, &experiments_md));
 
-    // RV008 + RV009 over every manifest.
+    // RV008 + RV009 over every manifest; RV013 (DESIGN.md inventory + DAG
+    // membership) over the crates/ manifests.
+    let design_md = fs::read_to_string(root.join("DESIGN.md")).unwrap_or_default();
     for (rel, toml) in manifests(root, &mut diags) {
         diags.extend(layering::check_manifest(&rel, &toml));
+        if rel.starts_with("crates/") {
+            let package = layering::parse_manifest(&toml).package;
+            diags.extend(inventory::check_inventory(&rel, &package, &design_md));
+        }
     }
 
     diags

@@ -4,6 +4,7 @@
 //! recsim experiments [--quick] [id ...]   regenerate paper artifacts
 //! recsim run --all [--quick] [--threads N]  parallel run of every driver
 //! recsim simulate [options]               price one training setup
+//! recsim shard <setup> [options]          auto-place embeddings, compare
 //! recsim trace <setup> [options]          export a timeline + attribution
 //! recsim train [options]                  really train a model, report NE
 //! recsim models                           describe the M1/M2/M3 stand-ins
@@ -23,6 +24,7 @@ fn main() -> ExitCode {
         Some("experiments") => cmd_experiments(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
+        Some("shard") => cmd_shard(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
         Some("models") => cmd_models(),
@@ -47,6 +49,7 @@ fn print_help() {
          \x20 recsim run --all [--quick] [--threads N]  run every driver in parallel\n\
          \x20                                         (RECSIM_THREADS also honored)\n\
          \x20 recsim simulate [options]               simulate one training setup\n\
+         \x20 recsim shard <setup> [options]          auto-place embedding tables\n\
          \x20 recsim trace <setup> [options]          export a timeline + attribution\n\
          \x20 recsim train [options]                  train for real, report NE\n\
          \x20 recsim models                           describe M1/M2/M3 stand-ins\n\
@@ -60,6 +63,10 @@ fn print_help() {
          \x20 --trace FILE (write a chrome://tracing timeline of one iteration)\n\
          \x20 --attribute (print the critical-path attribution breakdown)\n\
          \x20 --describe (print the table-by-table placement map)\n\
+         \n\
+         SHARD: recsim shard bb|bb16|zion\n\
+         \x20 --solver greedy|pack|refine [refine]  --model m1|m2|m3 (production\n\
+         \x20 stand-in instead of the simulate model flags)  --batch N [1600]\n\
          \n\
          TRACE: recsim trace bb|bb16|zion|cpu|scaleout\n\
          \x20 --format chrome|text|summary [chrome]  --out FILE (default: stdout)\n\
@@ -283,6 +290,63 @@ fn parse_placement(flags: &HashMap<String, String>) -> Option<PlacementStrategy>
         other => {
             eprintln!("unknown placement `{other}`");
             None
+        }
+    }
+}
+
+/// `recsim shard <setup>` — search for the embedding placement minimizing
+/// predicted iteration time, print the plan, and compare it against the
+/// best static Figure-8 strategy on the same inputs. Setups are the GPU
+/// platforms (`bb`, `bb16`, `zion`); `--model m1|m2|m3` swaps in a
+/// production stand-in, otherwise the simulate model flags apply.
+fn cmd_shard(args: &[String]) -> ExitCode {
+    let (flags, positional) = parse_flags(args);
+    let setup = positional.first().map(String::as_str).unwrap_or("bb");
+    let platform = match setup {
+        "bb" => Platform::big_basin(Bytes::from_gib(32)),
+        "bb16" => Platform::big_basin(Bytes::from_gib(16)),
+        "zion" => Platform::zion_prototype(),
+        other => {
+            eprintln!("unknown setup `{other}` (bb, bb16, zion — auto-sharding needs GPUs)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let model = match flags.get("model").map(String::as_str) {
+        Some("m1") => production_model(ProductionModelId::M1),
+        Some("m2") => production_model(ProductionModelId::M2),
+        Some("m3") => production_model(ProductionModelId::M3),
+        Some(other) => {
+            eprintln!("unknown model `{other}` (m1, m2, m3)");
+            return ExitCode::FAILURE;
+        }
+        None => build_model(&flags),
+    };
+    let batch = get(&flags, "batch", 1600u64);
+    let solver_name = flags.get("solver").map(String::as_str).unwrap_or("refine");
+    let Some(solver) = solver_by_name(solver_name) else {
+        eprintln!("unknown solver `{solver_name}` (greedy, pack, refine)");
+        return ExitCode::FAILURE;
+    };
+    match solver.shard(&model, &platform, batch) {
+        Ok(plan) => {
+            print!("{}", plan.describe());
+            match best_static(&model, &platform, batch) {
+                Some(best) => {
+                    let auto_ms = plan.iteration_time().as_secs() * 1e3;
+                    let static_ms = best.iteration_time().as_secs() * 1e3;
+                    println!(
+                        "best static (`{}`): {static_ms:.3} ms — auto plan is {:+.1}%",
+                        best.solver(),
+                        (auto_ms / static_ms - 1.0) * 100.0
+                    );
+                }
+                None => println!("no static Figure-8 strategy places this model"),
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("auto-sharding failed: {e}");
+            ExitCode::FAILURE
         }
     }
 }

@@ -13,6 +13,9 @@
 //! * [`hw`] — hardware platform models (dual-socket CPU, Big Basin, Zion),
 //! * [`placement`] — the four embedding-table placement strategies,
 //! * [`sim`] — the discrete-event training-pipeline simulator,
+//! * [`shard`] — cost-model-driven automatic embedding placement: three
+//!   solvers searching for the placement that minimizes predicted
+//!   iteration time (`recsim shard <setup>`),
 //! * [`trace`] — spans/counters tracing, Chrome/Perfetto export, and
 //!   critical-path attribution of the makespan to task categories,
 //! * [`train`] — real training loops, NE metrics, batch scaling, AutoML,
@@ -57,6 +60,7 @@ pub use recsim_metrics as metrics;
 pub use recsim_model as model;
 pub use recsim_placement as placement;
 pub use recsim_pool as pool;
+pub use recsim_shard as shard;
 pub use recsim_sim as sim;
 pub use recsim_trace as trace;
 pub use recsim_train as train;
@@ -73,6 +77,10 @@ pub mod prelude {
     pub use recsim_hw::{Platform, PlatformKind};
     pub use recsim_model::{DlrmModel, Matrix};
     pub use recsim_placement::{PartitionScheme, Placement, PlacementStrategy};
+    pub use recsim_shard::{
+        best_static, solver_by_name, static_plans, GreedySharder, PackSharder, RefineSharder,
+        ShardError, ShardPlan, Sharder,
+    };
     pub use recsim_sim::readers::ReaderModel;
     pub use recsim_sim::scaleout::ScaleOutSim;
     pub use recsim_sim::{CpuClusterSetup, CpuTrainingSim, GpuTrainingSim, SimError, SimReport};

@@ -39,10 +39,10 @@ fn registry_covers_every_paper_artifact() {
     let ids: Vec<&str> = experiments::registry().iter().map(|(id, _)| *id).collect();
     for expected in [
         "table1", "table2", "table3", "fig01", "fig02", "fig05", "fig06", "fig07", "fig09",
-        "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "automl", "locality",
-        "scaleout", "readers", "compression",
+        "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "automl", "autoshard",
+        "locality", "scaleout", "readers", "compression",
     ] {
         assert!(ids.contains(&expected), "missing driver for {expected}");
     }
-    assert_eq!(ids.len(), 20);
+    assert_eq!(ids.len(), 21);
 }
