@@ -32,10 +32,13 @@ fn ablation_random_access(c: &mut Criterion) {
         (ablated.throughput() / base.throughput() - 1.0) * 100.0
     );
     let mut group = c.benchmark_group("ablation_random_access");
-    for (name, platform) in [("with_penalty", bb.clone()), ("without", bb.without_random_access_penalty())] {
+    for (name, platform) in [
+        ("with_penalty", bb.clone()),
+        ("without", bb.without_random_access_penalty()),
+    ] {
         let sim = GpuTrainingSim::new(&model(), &platform, strategy, 1600).expect("fits");
         group.bench_with_input(BenchmarkId::from_parameter(name), &sim, |b, sim| {
-            b.iter(|| sim.run().throughput())
+            b.iter(|| sim.run().throughput());
         });
     }
     group.finish();
@@ -58,10 +61,13 @@ fn ablation_launch_overhead(c: &mut Criterion) {
         );
     }
     let mut group = c.benchmark_group("ablation_launch_overhead");
-    for (name, platform) in [("with_overhead", bb.clone()), ("without", bb.without_kernel_overhead())] {
+    for (name, platform) in [
+        ("with_overhead", bb.clone()),
+        ("without", bb.without_kernel_overhead()),
+    ] {
         let sim = GpuTrainingSim::new(&model(), &platform, strategy, 200).expect("fits");
         group.bench_with_input(BenchmarkId::from_parameter(name), &sim, |b, sim| {
-            b.iter(|| sim.run().throughput())
+            b.iter(|| sim.run().throughput());
         });
     }
     group.finish();
@@ -79,7 +85,10 @@ fn ablation_partitioning(c: &mut Criterion) {
         let strategy = PlacementStrategy::GpuMemory(scheme);
         match GpuTrainingSim::new(&model(), &bb, strategy, 1600) {
             Ok(sim) => {
-                println!("ablation_partitioning {scheme}: {:.0} ex/s", sim.run().throughput());
+                println!(
+                    "ablation_partitioning {scheme}: {:.0} ex/s",
+                    sim.run().throughput()
+                );
                 group.bench_with_input(
                     BenchmarkId::from_parameter(scheme.to_string().replace('-', "_")),
                     &sim,
@@ -109,7 +118,9 @@ fn ablation_overlap(c: &mut Criterion) {
     );
     let mut group = c.benchmark_group("ablation_overlap");
     group.bench_function("pipelined", |b| b.iter(|| sim.run().throughput()));
-    group.bench_function("serial", |b| b.iter(|| sim.run_single_iteration().throughput()));
+    group.bench_function("serial", |b| {
+        b.iter(|| sim.run_single_iteration().throughput());
+    });
     group.finish();
 }
 
@@ -272,7 +283,10 @@ fn knob_sensitivity(c: &mut Criterion) {
             .zip(baseline)
             .map(|(&v, b)| (v / b - 1.0).abs())
             .fold(0.0, f64::max);
-        println!("knob_sensitivity {name}: max |Δthroughput| {:.1}%", max_shift * 100.0);
+        println!(
+            "knob_sensitivity {name}: max |Δthroughput| {:.1}%",
+            max_shift * 100.0
+        );
     }
 
     let mut group = c.benchmark_group("knob_sensitivity");
@@ -282,7 +296,7 @@ fn knob_sensitivity(c: &mut Criterion) {
                 .iter()
                 .map(|(_, k)| throughputs(*k)[0])
                 .sum::<f64>()
-        })
+        });
     });
     group.finish();
 }
@@ -300,7 +314,7 @@ fn truncation_sweep(c: &mut Criterion) {
             sim.run().throughput()
         );
         group.bench_with_input(BenchmarkId::from_parameter(truncation), &sim, |b, sim| {
-            b.iter(|| sim.run().throughput())
+            b.iter(|| sim.run().throughput());
         });
     }
     group.finish();
@@ -308,7 +322,7 @@ fn truncation_sweep(c: &mut Criterion) {
 
 criterion_group!(
     name = benches;
-    config = Criterion::default().sample_size(15);
+    config = Criterion.sample_size(15);
     targets = ablation_random_access, ablation_launch_overhead, ablation_partitioning,
               ablation_overlap, knob_sensitivity, truncation_sweep
 );

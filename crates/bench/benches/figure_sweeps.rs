@@ -36,7 +36,7 @@ fn batch_scaling(c: &mut Criterion) {
             sim.run().throughput()
         );
         group.bench_with_input(BenchmarkId::new("gpu", batch), &sim, |b, sim| {
-            b.iter(|| sim.run().throughput())
+            b.iter(|| sim.run().throughput());
         });
     }
     for batch in [200u64, 1600, 6400] {
@@ -47,7 +47,7 @@ fn batch_scaling(c: &mut Criterion) {
             sim.run().throughput()
         );
         group.bench_with_input(BenchmarkId::new("cpu", batch), &sim, |b, sim| {
-            b.iter(|| sim.run().throughput())
+            b.iter(|| sim.run().throughput());
         });
     }
     group.finish();
@@ -94,7 +94,7 @@ fn hash_scaling(c: &mut Criterion) {
         .expect("fits");
         println!("fig12 hash {hash}: {:.0} ex/s", sim.run().throughput());
         group.bench_with_input(BenchmarkId::from_parameter(hash), &sim, |b, sim| {
-            b.iter(|| sim.run().throughput())
+            b.iter(|| sim.run().throughput());
         });
     }
     group.finish();
@@ -163,7 +163,7 @@ fn production_models(c: &mut Criterion) {
 
 criterion_group!(
     name = benches;
-    config = Criterion::default().sample_size(20);
+    config = Criterion.sample_size(20);
     targets = batch_scaling, feature_sweep, hash_scaling, mlp_scaling, production_models
 );
 criterion_main!(benches);

@@ -17,7 +17,7 @@ fn matmul(c: &mut Criterion) {
         let b = Matrix::xavier(n, n, 2);
         group.throughput(Throughput::Elements((2 * n * n * n) as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &(a, b), |bch, (a, b)| {
-            bch.iter(|| a.matmul(b))
+            bch.iter(|| a.matmul(b));
         });
     }
     group.finish();
@@ -39,7 +39,9 @@ fn embedding_bag(c: &mut Criterion) {
     group.throughput(Throughput::Elements(batch.total_lookups() as u64));
     group.bench_function("forward_256x20", |b| b.iter(|| table.forward(&batch)));
     let pooled = table.forward(&batch);
-    group.bench_function("backward_256x20", |b| b.iter(|| table.backward(&batch, &pooled)));
+    group.bench_function("backward_256x20", |b| {
+        b.iter(|| table.backward(&batch, &pooled));
+    });
     group.finish();
 }
 
@@ -64,7 +66,7 @@ fn des_engine(c: &mut Criterion) {
                     ));
                 }
                 g.simulate().expect("valid graph").makespan()
-            })
+            });
         });
     }
     group.finish();
@@ -121,14 +123,12 @@ fn des_scratch_reuse(c: &mut Criterion) {
     ];
     for (label, g) in &shapes {
         group.throughput(Throughput::Elements(g.len() as u64));
-        group.bench_with_input(
-            BenchmarkId::new("fresh_alloc", label),
-            g,
-            |b, g| b.iter(|| g.simulate().expect("valid graph").makespan()),
-        );
+        group.bench_with_input(BenchmarkId::new("fresh_alloc", label), g, |b, g| {
+            b.iter(|| g.simulate().expect("valid graph").makespan());
+        });
         group.bench_with_input(BenchmarkId::new("reused_scratch", label), g, |b, g| {
             let mut scratch = SimScratch::new();
-            b.iter(|| g.simulate_in(&mut scratch).expect("valid graph").makespan())
+            b.iter(|| g.simulate_in(&mut scratch).expect("valid graph").makespan());
         });
     }
     group.finish();
@@ -140,14 +140,14 @@ fn data_generation(c: &mut Criterion) {
     group.throughput(Throughput::Elements(256));
     group.bench_function("ctr_batch_256", |b| {
         let mut gen = CtrGenerator::new(&cfg, 7);
-        b.iter(|| gen.next_batch(256))
+        b.iter(|| gen.next_batch(256));
     });
     group.finish();
 }
 
 criterion_group!(
     name = benches;
-    config = Criterion::default().sample_size(30);
+    config = Criterion.sample_size(30);
     targets = matmul, embedding_bag, des_engine, des_scratch_reuse, data_generation
 );
 criterion_main!(benches);

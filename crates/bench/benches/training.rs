@@ -20,11 +20,15 @@ fn train_step(c: &mut Criterion) {
         let mut gen = CtrGenerator::new(&cfg, 1);
         let batch_data = gen.next_batch(batch);
         group.throughput(Throughput::Elements(batch as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch_data, |b, data| {
-            let mut model = DlrmModel::new(&cfg, 2);
-            let mut opt = Optimizer::adagrad(0.05);
-            b.iter(|| model.train_step(data, &mut opt));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(batch),
+            &batch_data,
+            |b, data| {
+                let mut model = DlrmModel::new(&cfg, 2);
+                let mut opt = Optimizer::adagrad(0.05);
+                b.iter(|| model.train_step(data, &mut opt));
+            },
+        );
     }
     group.finish();
 }
@@ -59,14 +63,14 @@ fn training_convergence(c: &mut Criterion) {
     let mut group = c.benchmark_group("training_convergence");
     group.sample_size(10);
     group.bench_function("8k_examples", |b| {
-        b.iter(|| TrainRun::new(&cfg, trainer_cfg).execute().final_ne())
+        b.iter(|| TrainRun::new(&cfg, trainer_cfg).execute().final_ne());
     });
     group.finish();
 }
 
 criterion_group!(
     name = benches;
-    config = Criterion::default().sample_size(20);
+    config = Criterion.sample_size(20);
     targets = train_step, inference, training_convergence
 );
 criterion_main!(benches);

@@ -138,7 +138,10 @@ fn main() {
             std::process::exit(1);
         }
     }
-    println!("==== summary: {}/{total_claims} claims hold ====", total_claims - failures);
+    println!(
+        "==== summary: {}/{total_claims} claims hold ====",
+        total_claims - failures
+    );
     if failures > 0 || !outputs_identical {
         std::process::exit(1);
     }

@@ -1,0 +1,88 @@
+//! Runs the `faults` experiment driver twice — a timed 1-thread pass and a
+//! timed parallel pass — verifies the two produce byte-identical structured
+//! outputs (fault schedules are counter-keyed, so the MTBF sweep is
+//! deterministic at any width), persists the artifact under `results/`, and
+//! records the speedup baseline in `BENCH_faults.json` at the workspace
+//! root, following the `recsim-bench-sweeps-v1` schema of
+//! `BENCH_sweeps.json`. Set RECSIM_QUICK=1 for the reduced MTBF grid;
+//! RECSIM_THREADS caps the parallel pass.
+use std::time::Instant;
+
+fn main() {
+    let effort = recsim_bench::effort_from_env();
+    let run = recsim_core::experiments::faults::run;
+
+    // Serial timed pass: pool pinned to one thread. This pass is rendered,
+    // claim-checked, and persisted.
+    recsim_pool::set_thread_override(Some(1));
+    let serial_start = Instant::now();
+    let serial = run(effort);
+    let serial_total = serial_start.elapsed().as_secs_f64();
+    recsim_pool::set_thread_override(None);
+
+    print!("{}", serial.render());
+    println!();
+    let failures = serial.failed_claims().len();
+    if failures > 0 {
+        eprintln!(">>> faults: {failures} claim(s) FAILED");
+    }
+    if let Err(e) = recsim_bench::write_artifacts(&serial, &recsim_bench::results_dir()) {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
+
+    // Parallel timed pass: the (setup, MTBF) points fan across workers.
+    let threads = recsim_pool::thread_count();
+    println!("==== parallel re-run across {threads} thread(s) ====");
+    let parallel_start = Instant::now();
+    let parallel = run(effort);
+    let parallel_total = parallel_start.elapsed().as_secs_f64();
+
+    let to_json = |out: &recsim_core::ExperimentOutput| {
+        serde_json::to_string(out).expect("experiment outputs serialize")
+    };
+    let outputs_identical = to_json(&serial) == to_json(&parallel);
+    if !outputs_identical {
+        eprintln!(">>> parallel faults output differs from the 1-thread run");
+    }
+
+    let speedup = if parallel_total > 0.0 {
+        serial_total / parallel_total
+    } else {
+        1.0
+    };
+    println!(
+        "==== serial {serial_total:.2}s, parallel {parallel_total:.2}s on {threads} thread(s) \
+         ({speedup:.2}x), outputs identical: {outputs_identical} ===="
+    );
+
+    let bench_doc = serde_json::json!({
+        "schema": "recsim-bench-sweeps-v1",
+        "threads": threads,
+        "effort": if effort == recsim_core::Effort::Quick { "quick" } else { "full" },
+        "drivers": [serde_json::json!({ "id": "faults", "serial_secs": serial_total })],
+        "serial_total_secs": serial_total,
+        "parallel_total_secs": parallel_total,
+        "speedup": speedup,
+        "outputs_identical": outputs_identical,
+    });
+    let root = recsim_verify::lint::workspace_root().unwrap_or_else(|| ".".into());
+    let bench_path = root.join("BENCH_faults.json");
+    match serde_json::to_string_pretty(&bench_doc) {
+        Ok(json) => match std::fs::write(&bench_path, json + "\n") {
+            Ok(()) => println!("(faults baseline written to {})", bench_path.display()),
+            Err(e) => {
+                eprintln!("could not write {}: {e}", bench_path.display());
+                std::process::exit(1);
+            }
+        },
+        Err(e) => {
+            eprintln!("could not serialize bench baseline: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if failures > 0 || !outputs_identical {
+        std::process::exit(1);
+    }
+}

@@ -44,9 +44,7 @@ use std::path::{Path, PathBuf};
 
 /// Where experiment binaries write their JSON artifacts.
 pub fn results_dir() -> PathBuf {
-    std::env::var_os("RECSIM_RESULTS_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("results"))
+    std::env::var_os("RECSIM_RESULTS_DIR").map_or_else(|| PathBuf::from("results"), PathBuf::from)
 }
 
 /// Chooses the effort level: `RECSIM_QUICK=1` selects the reduced scale.
@@ -68,8 +66,7 @@ pub fn write_artifacts(out: &ExperimentOutput, dir: &Path) -> Result<(), String>
     let path = dir.join(format!("{}.json", out.id));
     let json = serde_json::to_string_pretty(out)
         .map_err(|e| format!("could not serialize {}: {e}", out.id))?;
-    std::fs::write(&path, json)
-        .map_err(|e| format!("could not write {}: {e}", path.display()))?;
+    std::fs::write(&path, json).map_err(|e| format!("could not write {}: {e}", path.display()))?;
     println!("(structured result written to {})", path.display());
     for (i, figure) in out.figures.iter().enumerate() {
         let csv_path = dir.join(format!("{}_fig{}.csv", out.id, i));

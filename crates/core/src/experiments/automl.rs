@@ -51,7 +51,10 @@ pub fn run(effort: Effort) -> ExperimentOutput {
         format!("{:+.2}%", manual.ne_gap_percent),
     ]);
     table.push_row(vec![
-        format!("batch {big_batch}, AutoML re-tuned ({} trials)", tuned.trials),
+        format!(
+            "batch {big_batch}, AutoML re-tuned ({} trials)",
+            tuned.trials
+        ),
         format!("{:.4}", tuned.learning_rate),
         format!("{:.4}", tuned.ne),
         format!("{:+.2}%", (tuned.ne - baseline_ne) / baseline_ne * 100.0),
@@ -72,8 +75,7 @@ pub fn run(effort: Effort) -> ExperimentOutput {
             manual.ne,
             (manual.ne - tuned.ne) / (manual.ne - baseline_ne).max(1e-9) * 100.0
         ),
-        tuned.ne < manual.ne
-            && (manual.ne - tuned.ne) / (manual.ne - baseline_ne).max(1e-9) > 0.3,
+        tuned.ne < manual.ne && (manual.ne - tuned.ne) / (manual.ne - baseline_ne).max(1e-9) > 0.3,
     ));
     out.notes.push(
         "Random search stands in for FBLearner's Bayesian optimization; the paper notes \

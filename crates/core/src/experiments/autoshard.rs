@@ -15,9 +15,7 @@ use recsim_data::production::{production_model, ProductionModelId};
 use recsim_hw::units::Bytes;
 use recsim_hw::Platform;
 use recsim_metrics::Table;
-use recsim_shard::{
-    static_plans, GreedySharder, PackSharder, RefineSharder, ShardPlan, Sharder,
-};
+use recsim_shard::{static_plans, GreedySharder, PackSharder, RefineSharder, ShardPlan, Sharder};
 
 /// One sweep point: every plan scored for one production model, plus the
 /// refined plan's critical-path attribution (computed inside the parallel
@@ -58,7 +56,10 @@ pub fn run(effort: Effort) -> ExperimentOutput {
         ];
         let autos: Vec<Result<ShardPlan, String>> = solvers
             .iter()
-            .map(|s| s.shard(&config, &platform, batch).map_err(|e| e.to_string()))
+            .map(|s| {
+                s.shard(&config, &platform, batch)
+                    .map_err(|e| e.to_string())
+            })
             .collect();
         let refine_attribution = autos
             .last()
@@ -69,7 +70,11 @@ pub fn run(effort: Effort) -> ExperimentOutput {
                     .attribution()
                     .iter()
                     .map(|(label, d)| {
-                        let share = if total > 0.0 { d.as_secs() / total } else { 0.0 };
+                        let share = if total > 0.0 {
+                            d.as_secs() / total
+                        } else {
+                            0.0
+                        };
                         (label.clone(), share)
                     })
                     .collect()

@@ -60,8 +60,7 @@ pub fn run(_effort: Effort) -> ExperimentOutput {
         "ex/s",
     ]);
     let mut results = Vec::new();
-    for (&(label, precision), (fits, tput, strategy_label, size)) in
-        precisions.iter().zip(&points)
+    for (&(label, precision), (fits, tput, strategy_label, size)) in precisions.iter().zip(&points)
     {
         results.push((precision, *fits, *tput));
         table.push_row(vec![

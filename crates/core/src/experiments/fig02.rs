@@ -42,7 +42,12 @@ pub fn run(effort: Effort) -> ExperimentOutput {
             class.name().to_string(),
             format!("{:.1}", freq.mean()),
             format!("{:.1}", dur.mean()),
-            if class.is_recommendation() { "yes" } else { "no" }.to_string(),
+            if class.is_recommendation() {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
         ]);
         freq_means.push((class, freq.mean()));
         figure.push_series(series);
@@ -62,9 +67,7 @@ pub fn run(effort: Effort) -> ExperimentOutput {
         .fold(0.0f64, f64::max);
     out.claims.push(Claim::new(
         "Deep learning recommendation models are the most frequently trained workloads",
-        format!(
-            "max recommendation cadence {max_rec:.1}/week vs max other {max_other:.1}/week"
-        ),
+        format!("max recommendation cadence {max_rec:.1}/week vs max other {max_other:.1}/week"),
         max_rec > max_other,
     ));
     out

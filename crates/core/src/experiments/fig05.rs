@@ -75,8 +75,7 @@ pub fn run(effort: Effort) -> ExperimentOutput {
         let report = sim.run();
         let noise = fleet.sample_system_noise();
         let push = |summary: &mut Summary, prefix: &str, suffix: &str| {
-            let picked =
-                report.mean_utilization(|n| n.starts_with(prefix) && n.ends_with(suffix));
+            let picked = report.mean_utilization(|n| n.starts_with(prefix) && n.ends_with(suffix));
             if let Some(mean) = picked {
                 summary.push((mean * noise).clamp(0.0, 1.0));
             }
@@ -89,17 +88,12 @@ pub fn run(effort: Effort) -> ExperimentOutput {
         // repartition the reported iteration time, and the Hogwild dense
         // stack's share is what the trainer-CPU utilization reflects.
         let total = report.iteration_time().as_secs();
-        let attributed: f64 = report
-            .attribution()
-            .iter()
-            .map(|(_, d)| d.as_secs())
-            .sum();
+        let attributed: f64 = report.attribution().iter().map(|(_, d)| d.as_secs()).sum();
         attribution_gap.push((attributed - total).abs() / total);
         mlp_share.push(
             report
                 .attributed_to("mlp compute")
-                .map(|d| d.as_secs() / total)
-                .unwrap_or(0.0),
+                .map_or(0.0, |d| d.as_secs() / total),
         );
     }
 
@@ -180,7 +174,10 @@ pub fn run(effort: Effort) -> ExperimentOutput {
     let mut summary = study.summary();
     let (p5, _, p50, _, p95) = summary.whiskers();
     let mut table = Table::new(vec!["GPU-fleet throughput under hardware noise", "value"]);
-    table.push_row(vec!["nominal ex/s".into(), format!("{:.0}", study.nominal_throughput())]);
+    table.push_row(vec![
+        "nominal ex/s".into(),
+        format!("{:.0}", study.nominal_throughput()),
+    ]);
     table.push_row(vec!["p5".into(), format!("{p5:.0}")]);
     table.push_row(vec!["p50".into(), format!("{p50:.0}")]);
     table.push_row(vec!["p95".into(), format!("{p95:.0}")]);

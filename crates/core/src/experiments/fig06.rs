@@ -46,7 +46,7 @@ pub fn run(_effort: Effort) -> ExperimentOutput {
             let mean_hash = model
                 .sparse_features()
                 .iter()
-                .map(|g| g.hash_size())
+                .map(recsim_data::SparseFeatureSpec::hash_size)
                 .sum::<u64>() as f64
                 / model.num_sparse() as f64;
             if f.mean_lookups() > 2.0 * mean_lookups && (f.hash_size() as f64) < mean_hash {
@@ -91,7 +91,7 @@ pub fn run(_effort: Effort) -> ExperimentOutput {
         let lookups: Vec<f64> = model
             .sparse_features()
             .iter()
-            .map(|f| f.mean_lookups())
+            .map(recsim_data::SparseFeatureSpec::mean_lookups)
             .collect();
         max_abs_r = max_abs_r.max(recsim_metrics::stats::pearson(&hashes, &lookups).abs());
     }

@@ -11,11 +11,7 @@ pub fn run(_effort: Effort) -> ExperimentOutput {
         "fig07",
         "Mean sparse feature length distributions with KDE (paper Figure 7)",
     );
-    let mut kde_figure = Figure::new(
-        "feature-length KDE",
-        "mean lookups per feature",
-        "density",
-    );
+    let mut kde_figure = Figure::new("feature-length KDE", "mean lookups per feature", "density");
     let mut table = Table::new(vec![
         "model",
         "mean",
@@ -30,7 +26,7 @@ pub fn run(_effort: Effort) -> ExperimentOutput {
         let lengths: Vec<f64> = model
             .sparse_features()
             .iter()
-            .map(|f| f.mean_lookups())
+            .map(recsim_data::SparseFeatureSpec::mean_lookups)
             .collect();
         let mut hist = Histogram::with_range(0.0, 200.0, 20);
         for &l in &lengths {

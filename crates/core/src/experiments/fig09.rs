@@ -49,8 +49,18 @@ pub fn run(effort: Effort) -> ExperimentOutput {
     ]);
     table.push_row(vec![
         "distinct counts used".into(),
-        format!("{}", (0..trainer_hist.bins()).filter(|&i| trainer_hist.count(i) > 0).count()),
-        format!("{}", (0..ps_hist.bins()).filter(|&i| ps_hist.count(i) > 0).count()),
+        format!(
+            "{}",
+            (0..trainer_hist.bins())
+                .filter(|&i| trainer_hist.count(i) > 0)
+                .count()
+        ),
+        format!(
+            "{}",
+            (0..ps_hist.bins())
+                .filter(|&i| ps_hist.count(i) > 0)
+                .count()
+        ),
     ]);
     out.tables.push(table);
 

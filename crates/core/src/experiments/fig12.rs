@@ -38,9 +38,7 @@ pub fn run(effort: Effort) -> ExperimentOutput {
         let cpu = CpuTrainingSim::new(&model, CpuClusterSetup::single_trainer(suite.cpu_batch))
             .expect("single-trainer setup is valid")
             .run_in(&mut scratch);
-        let gpus = min_gpus_needed(&model, &bb, 2.0)
-            .map(|g| g.to_string())
-            .unwrap_or_else(|| ">8".into());
+        let gpus = min_gpus_needed(&model, &bb, 2.0).map_or_else(|| ">8".into(), |g| g.to_string());
         let gpu = gpu_with_fallback(&model, &bb, suite.gpu_batch)
             .map(|(report, strategy)| (report.throughput(), strategy.label()));
         (cpu.throughput(), gpu, gpus)
@@ -96,7 +94,10 @@ pub fn run(effort: Effort) -> ExperimentOutput {
     out.claims.push(Claim::new(
         "GPU throughput drops significantly as hash size scales (tables spread over more \
          GPUs, communication grows, and eventually spill to host memory)",
-        format!("GPU falls to {:.2}x of its small-hash throughput", gpu_last / gpu_first),
+        format!(
+            "GPU falls to {:.2}x of its small-hash throughput",
+            gpu_last / gpu_first
+        ),
         gpu_last < 0.5 * gpu_first,
     ));
     out.figures.push(

@@ -43,9 +43,7 @@ pub fn run(effort: Effort) -> ExperimentOutput {
     let mut cpu_series = Series::new("CPU (normalized)");
     let mut gpu_series = Series::new("GPU (normalized)");
     let mut table = Table::new(vec!["MLP", "CPU ex/s", "GPU ex/s"]);
-    for (i, (&(width, layers), (cpu_tput, gpu_tput))) in
-        axis.iter().zip(&points).enumerate()
-    {
+    for (i, (&(width, layers), (cpu_tput, gpu_tput))) in axis.iter().zip(&points).enumerate() {
         cpu_series.push(i as f64, *cpu_tput);
         gpu_series.push(i as f64, *gpu_tput);
         table.push_row(vec![
@@ -75,14 +73,21 @@ pub fn run(effort: Effort) -> ExperimentOutput {
         let gpu_early = gpu_norm.points()[1].1;
         out.claims.push(Claim::new(
             "Throughput does not decrease significantly until the MLP grows large",
-            format!("second point retains {:.0}% of the smallest's GPU throughput", gpu_early * 100.0),
+            format!(
+                "second point retains {:.0}% of the smallest's GPU throughput",
+                gpu_early * 100.0
+            ),
             gpu_early > 0.5,
         ));
     }
     out.figures.push(
-        Figure::new("MLP scaling (normalized)", "MLP size index", "relative throughput")
-            .with_series(cpu_norm)
-            .with_series(gpu_norm),
+        Figure::new(
+            "MLP scaling (normalized)",
+            "MLP size index",
+            "relative throughput",
+        )
+        .with_series(cpu_norm)
+        .with_series(gpu_norm),
     );
     out
 }

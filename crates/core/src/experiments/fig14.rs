@@ -78,9 +78,13 @@ pub fn run(_effort: Effort) -> ExperimentOutput {
                 let picked: f64 = labels
                     .iter()
                     .filter_map(|l| r.attributed_to(l))
-                    .map(|d| d.as_secs())
+                    .map(recsim_hw::units::Duration::as_secs)
                     .sum();
-                if total > 0.0 { picked / total } else { 0.0 }
+                if total > 0.0 {
+                    picked / total
+                } else {
+                    0.0
+                }
             }
             None => 0.0,
         }
@@ -90,11 +94,7 @@ pub fn run(_effort: Effort) -> ExperimentOutput {
     let zion_relay = share(&gpu_reports[1], &relay_labels);
     let bb_a2a = share(&gpu_reports[0], &["all-to-all"]);
     let zion_a2a = share(&gpu_reports[1], &["all-to-all"]);
-    let mut attr_table = Table::new(vec![
-        "GPU-memory attribution share",
-        "Big Basin",
-        "Zion",
-    ]);
+    let mut attr_table = Table::new(vec!["GPU-memory attribution share", "Big Basin", "Zion"]);
     attr_table.push_row(vec![
         "all-to-all (direct interconnect)".into(),
         format!("{:.1}%", bb_a2a * 100.0),
@@ -111,11 +111,9 @@ pub fn run(_effort: Effort) -> ExperimentOutput {
         results
             .iter()
             .find(|(s, _)| pred(*s))
-            .map(|(_, t)| t[platform])
-            .unwrap_or(0.0)
+            .map_or(0.0, |(_, t)| t[platform])
     };
-    let is_gpu_mem =
-        |s: PlacementStrategy| matches!(s, PlacementStrategy::GpuMemory(_));
+    let is_gpu_mem = |s: PlacementStrategy| matches!(s, PlacementStrategy::GpuMemory(_));
     let is_system = |s: PlacementStrategy| s == PlacementStrategy::SystemMemory;
     let is_remote = |s: PlacementStrategy| matches!(s, PlacementStrategy::RemoteCpu { .. });
 

@@ -40,7 +40,8 @@ pub fn run(effort: Effort) -> ExperimentOutput {
     );
     let model = accuracy_model();
     let study = BatchScalingStudy::new(&model, baseline_config(effort));
-    let batches: Vec<usize> = effort.pick(vec![200, 800, 3200], vec![200, 400, 800, 1600, 3200, 6400]);
+    let batches: Vec<usize> =
+        effort.pick(vec![200, 800, 3200], vec![200, 400, 800, 1600, 3200, 6400]);
     let points = study.sweep(&batches);
 
     let mut table = Table::new(vec!["batch", "scaled LR", "NE", "NE gap vs batch 200"]);
@@ -70,8 +71,7 @@ pub fn run(effort: Effort) -> ExperimentOutput {
         all_finite,
     ));
     out.figures.push(
-        Figure::new("accuracy gap vs batch size", "batch size", "NE gap (%)")
-            .with_series(series),
+        Figure::new("accuracy gap vs batch size", "batch size", "NE gap (%)").with_series(series),
     );
     out.notes.push(
         "Real numerics on synthetic planted-teacher CTR data with a fixed example budget: \

@@ -56,8 +56,12 @@ pub fn run(effort: Effort) -> ExperimentOutput {
     }
     out.tables.push(table);
     out.figures.push(
-        Figure::new("LRU hit rate vs cache size", "% of unique rows cached", "hit rate")
-            .with_series(curve),
+        Figure::new(
+            "LRU hit rate vs cache size",
+            "% of unique rows cached",
+            "hit rate",
+        )
+        .with_series(curve),
     );
 
     let hr_10 = profile.lru_hit_rate((unique / 10).max(1));
@@ -79,7 +83,11 @@ pub fn run(effort: Effort) -> ExperimentOutput {
             PlacementStrategy::GpuMemory(PartitionScheme::TableWise),
             None,
         ),
-        ("system memory, no cache", PlacementStrategy::SystemMemory, None),
+        (
+            "system memory, no cache",
+            PlacementStrategy::SystemMemory,
+            None,
+        ),
         (
             "system memory + hot-row GPU cache",
             PlacementStrategy::SystemMemory,

@@ -4,6 +4,7 @@
 pub mod automl;
 pub mod autoshard;
 pub mod compression;
+pub mod faults;
 pub mod fig01;
 pub mod fig02;
 pub mod fig05;
@@ -53,6 +54,7 @@ pub fn registry() -> Vec<(&'static str, Driver)> {
         ("scaleout", scaleout::run),
         ("readers", readers::run),
         ("compression", compression::run),
+        ("faults", faults::run),
     ]
 }
 

@@ -79,10 +79,7 @@ pub fn run(_effort: Effort) -> ExperimentOutput {
     ));
     out.claims.push(Claim::new(
         "Per-reader delivery rate is preprocessing-bound, well below the NIC line rate",
-        format!(
-            "{:.0} ex/s per reader",
-            readers.examples_per_second(&model)
-        ),
+        format!("{:.0} ex/s per reader", readers.examples_per_second(&model)),
         readers.examples_per_second(&model)
             < recsim_hw::Link::ethernet_25g()
                 .effective_bandwidth()

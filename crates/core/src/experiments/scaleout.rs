@@ -73,7 +73,11 @@ pub fn run(effort: Effort) -> ExperimentOutput {
         (report, wire_share, top)
     });
 
-    let mut attr_table = Table::new(vec!["nodes", "critical path dominated by", "NIC+staging share"]);
+    let mut attr_table = Table::new(vec![
+        "nodes",
+        "critical path dominated by",
+        "NIC+staging share",
+    ]);
     let mut min_wire_share = f64::INFINITY;
     for (&nodes, (_, wire_share, top)) in node_counts.iter().zip(&multis) {
         min_wire_share = min_wire_share.min(*wire_share);
@@ -103,7 +107,10 @@ pub fn run(effort: Effort) -> ExperimentOutput {
         "Per-point critical-path attribution confirms the mechanism: the NIC wire \
          plus host staging charge the majority of every scale-out iteration, at \
          every node count",
-        format!("minimum NIC+staging share across node counts: {:.0}%", min_wire_share * 100.0),
+        format!(
+            "minimum NIC+staging share across node counts: {:.0}%",
+            min_wire_share * 100.0
+        ),
         min_wire_share > 0.5,
     ));
     out.claims.push(Claim::new(

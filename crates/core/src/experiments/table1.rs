@@ -34,8 +34,7 @@ pub fn run(_effort: Effort) -> ExperimentOutput {
     let gpu_mem = |p: &Platform| {
         p.gpus()
             .first()
-            .map(|g| g.memory().capacity().to_string())
-            .unwrap_or_else(|| "-".into())
+            .map_or_else(|| "-".into(), |g| g.memory().capacity().to_string())
     };
     table.push_row(vec![
         "Accelerator Memory".into(),
@@ -85,8 +84,7 @@ pub fn run(_effort: Effort) -> ExperimentOutput {
             "{:.1}x",
             bb.power().envelope().as_watts() / cpu.power().envelope().as_watts()
         ),
-        (bb.power().envelope().as_watts() / cpu.power().envelope().as_watts() - 7.3).abs()
-            < 0.01,
+        (bb.power().envelope().as_watts() / cpu.power().envelope().as_watts() - 7.3).abs() < 0.01,
     ));
     out.claims.push(Claim::new(
         "Both GPU platforms carry eight V100s",

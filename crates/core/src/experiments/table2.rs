@@ -7,7 +7,7 @@ use recsim_metrics::Table;
 fn mlp_label(widths: &[usize]) -> String {
     widths
         .iter()
-        .map(|w| w.to_string())
+        .map(ToString::to_string)
         .collect::<Vec<_>>()
         .join("-")
 }
@@ -34,7 +34,10 @@ pub fn run(_effort: Effort) -> ExperimentOutput {
     table.push_row(row("# Sparse Features", &|m| m.num_sparse().to_string()));
     table.push_row(row("# Dense Features", &|m| m.num_dense().to_string()));
     table.push_row(row("Embedding Size [GiB]", &|m| {
-        format!("{:.0}", m.total_embedding_bytes() as f64 / (1u64 << 30) as f64)
+        format!(
+            "{:.0}",
+            m.total_embedding_bytes() as f64 / (1u64 << 30) as f64
+        )
     }));
     table.push_row(row("Embedding Lookups (mean/feature)", &|m| {
         format!("{:.0}", m.mean_lookups_per_feature())
@@ -43,8 +46,9 @@ pub fn run(_effort: Effort) -> ExperimentOutput {
     table.push_row(row("Top MLP Dimensions", &|m| mlp_label(m.top_mlp())));
     out.tables.push(table);
 
-    let gib =
-        |id: ProductionModelId| production_model(id).total_embedding_bytes() as f64 / (1u64 << 30) as f64;
+    let gib = |id: ProductionModelId| {
+        production_model(id).total_embedding_bytes() as f64 / (1u64 << 30) as f64
+    };
     out.claims.push(Claim::new(
         "M1/M2 embeddings are tens of GBs; M3's are hundreds",
         format!(

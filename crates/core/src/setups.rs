@@ -170,8 +170,7 @@ pub fn optimal_batch(
             let report = sim.run();
             let better = best
                 .as_ref()
-                .map(|(_, b)| report.throughput() > b.throughput())
-                .unwrap_or(true);
+                .is_none_or(|(_, b)| report.throughput() > b.throughput());
             if better {
                 best = Some((batch, report));
             }

@@ -11,8 +11,9 @@ use std::sync::Mutex;
 static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
 
 /// The drivers whose sweeps were routed through `recsim_core::sweep`.
-const PARALLEL_DRIVERS: [&str; 10] = [
+const PARALLEL_DRIVERS: [&str; 11] = [
     "autoshard",
+    "faults",
     "fig10",
     "fig11",
     "fig12",
@@ -34,7 +35,9 @@ fn driver(id: &str) -> experiments::Driver {
 
 #[test]
 fn refactored_drivers_are_thread_count_invariant() {
-    let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let _guard = OVERRIDE_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     for id in PARALLEL_DRIVERS {
         let run = driver(id);
         let mut baseline: Option<String> = None;
@@ -56,7 +59,9 @@ fn refactored_drivers_are_thread_count_invariant() {
 
 #[test]
 fn run_all_matches_serial_registry_order() {
-    let _guard = OVERRIDE_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let _guard = OVERRIDE_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
 
     recsim_pool::set_thread_override(Some(1));
     let serial = experiments::run_all(Effort::Quick);
@@ -67,11 +72,17 @@ fn run_all_matches_serial_registry_order() {
 
     let registry_ids: Vec<&str> = experiments::registry().iter().map(|&(id, _)| id).collect();
     let parallel_ids: Vec<&str> = parallel.iter().map(|&(id, _)| id).collect();
-    assert_eq!(registry_ids, parallel_ids, "run_all must preserve registry order");
+    assert_eq!(
+        registry_ids, parallel_ids,
+        "run_all must preserve registry order"
+    );
 
     for ((sid, sout), (_, pout)) in serial.iter().zip(&parallel) {
         let s = serde_json::to_string(sout).expect("serializes");
         let p = serde_json::to_string(pout).expect("serializes");
-        assert_eq!(s, p, "`{sid}` differs between 1-thread and 4-thread run_all");
+        assert_eq!(
+            s, p,
+            "`{sid}` differs between 1-thread and 4-thread run_all"
+        );
     }
 }

@@ -237,7 +237,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "batch size mismatch")]
     fn sparse_batch_size_enforced() {
-        MiniBatch::new(2, 1, vec![0.0; 2], vec![SparseBatch::empty(3)], vec![0.0; 2]);
+        MiniBatch::new(
+            2,
+            1,
+            vec![0.0; 2],
+            vec![SparseBatch::empty(3)],
+            vec![0.0; 2],
+        );
     }
 
     #[test]

@@ -367,10 +367,7 @@ mod tests {
         w.write_batch(&batches[0]).expect("write");
         buf.truncate(buf.len() - 3); // chop mid-record
         let mut r = DatasetReader::new(buf.as_slice()).expect("header");
-        assert!(matches!(
-            r.next_batch(),
-            Err(DatasetError::Corrupt(_))
-        ));
+        assert!(matches!(r.next_batch(), Err(DatasetError::Corrupt(_))));
     }
 
     #[test]

@@ -55,7 +55,9 @@ impl ZipfSampler {
     /// Draws one zero-based index.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         // rand_distr's Zipf returns 1-based ranks as f64.
-        (self.inner.sample(rng) as u64).saturating_sub(1).min(self.n - 1)
+        (self.inner.sample(rng) as u64)
+            .saturating_sub(1)
+            .min(self.n - 1)
     }
 }
 
@@ -78,7 +80,10 @@ impl PowerLawLengths {
     ///
     /// Panics if `alpha <= 1` or `max == 0`.
     pub fn new(alpha: f64, max: u32) -> Self {
-        assert!(alpha > 1.0 && alpha.is_finite(), "power law needs alpha > 1");
+        assert!(
+            alpha > 1.0 && alpha.is_finite(),
+            "power law needs alpha > 1"
+        );
         assert!(max > 0, "maximum length must be positive");
         Self { alpha, max }
     }

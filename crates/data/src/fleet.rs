@@ -195,8 +195,7 @@ impl FleetSampler {
         let jitter = LogNormal::new(0.0, 0.5).expect("fixed parameters");
         WorkflowSample {
             class,
-            trainings_per_week: class.typical_trainings_per_week()
-                * jitter.sample(&mut self.rng),
+            trainings_per_week: class.typical_trainings_per_week() * jitter.sample(&mut self.rng),
             duration_hours: class.typical_duration_hours() * jitter.sample(&mut self.rng),
         }
     }
@@ -349,7 +348,11 @@ mod tests {
         let mut fleet = FleetSampler::new(5);
         let n = 2000;
         let mean_freq: f64 = (0..n)
-            .map(|_| fleet.sample_workflow(WorkloadClass::NewsFeed).trainings_per_week)
+            .map(|_| {
+                fleet
+                    .sample_workflow(WorkloadClass::NewsFeed)
+                    .trainings_per_week
+            })
             .sum::<f64>()
             / n as f64;
         // LogNormal(0, 0.5) has mean exp(0.125) ≈ 1.13.

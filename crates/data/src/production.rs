@@ -178,8 +178,15 @@ pub fn production_model(id: ProductionModelId) -> ModelConfig {
 /// # Panics
 ///
 /// Panics if either shrink factor is zero.
-pub fn scaled_production_model(id: ProductionModelId, shrink: u64, shrink_dense: usize) -> ModelConfig {
-    assert!(shrink > 0 && shrink_dense > 0, "shrink factors must be positive");
+pub fn scaled_production_model(
+    id: ProductionModelId,
+    shrink: u64,
+    shrink_dense: usize,
+) -> ModelConfig {
+    assert!(
+        shrink > 0 && shrink_dense > 0,
+        "shrink factors must be positive"
+    );
     let full = production_model(id);
     let sparse = full
         .sparse_features()
@@ -292,7 +299,10 @@ mod tests {
         let m3 = gib(ProductionModelId::M3);
         assert!(m1 > 10.0 && m1 < 100.0, "M1 tens of GB, got {m1:.1}");
         assert!(m2 > 10.0 && m2 < 100.0, "M2 tens of GB, got {m2:.1}");
-        assert!((100.0..1000.0).contains(&m3), "M3 hundreds of GB, got {m3:.1}");
+        assert!(
+            (100.0..1000.0).contains(&m3),
+            "M3 hundreds of GB, got {m3:.1}"
+        );
     }
 
     #[test]

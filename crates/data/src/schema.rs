@@ -286,12 +286,7 @@ impl ModelConfig {
     /// The paper: "We fix a constant hash size for all sparse features in
     /// our model to remove potential noise … We truncate number of look-ups
     /// per table to 32."
-    pub fn test_suite(
-        num_dense: usize,
-        num_sparse: usize,
-        hash_size: u64,
-        mlp: &[usize],
-    ) -> Self {
+    pub fn test_suite(num_dense: usize, num_sparse: usize, hash_size: u64, mlp: &[usize]) -> Self {
         let sparse = (0..num_sparse)
             .map(|i| SparseFeatureSpec::new(format!("sparse_{i}"), hash_size, 20.0))
             .collect();
@@ -375,9 +370,7 @@ impl ModelConfig {
             sparse: self
                 .sparse
                 .iter()
-                .map(|f| {
-                    SparseFeatureSpec::new(f.name(), f.hash_size() * factor, f.mean_lookups())
-                })
+                .map(|f| SparseFeatureSpec::new(f.name(), f.hash_size() * factor, f.mean_lookups()))
                 .collect(),
             ..self.clone()
         }
@@ -492,8 +485,7 @@ impl ModelConfig {
                 let n = self.num_sparse() + 1;
                 let pairs = (n * (n - 1) / 2) as u64;
                 // dense->d projection + pairwise dots.
-                2 * (bottom_out * self.embedding_dim) as u64
-                    + pairs * 2 * self.embedding_dim as u64
+                2 * (bottom_out * self.embedding_dim) as u64 + pairs * 2 * self.embedding_dim as u64
             }
         }
     }
@@ -566,7 +558,7 @@ impl Validate for ModelConfig {
                     at(part),
                     "MLP stack must be non-empty",
                 ));
-            } else if mlp.iter().any(|&w| w == 0) {
+            } else if mlp.contains(&0) {
                 diags.push(Diagnostic::error(
                     Code::InvalidModelConfig,
                     at(part),
@@ -666,7 +658,10 @@ mod tests {
         assert_eq!(m.table_bytes(0), 1000 * 32 * 4);
         assert_eq!(m.total_embedding_bytes(), 8 * 1000 * 32 * 4);
         let scaled = m.with_hash_scale(10);
-        assert_eq!(scaled.total_embedding_bytes(), m.total_embedding_bytes() * 10);
+        assert_eq!(
+            scaled.total_embedding_bytes(),
+            m.total_embedding_bytes() * 10
+        );
     }
 
     #[test]

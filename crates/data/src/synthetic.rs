@@ -44,7 +44,8 @@ impl Default for DataParams {
 /// mapped to an approximately standard-normal value. O(1) memory regardless
 /// of hash size, so 20-million-row tables cost nothing.
 fn row_score(seed: u64, feature: usize, index: u32) -> f32 {
-    let mut x = seed ^ (feature as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    let mut x = seed
+        ^ (feature as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
         ^ (index as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     // splitmix64 finalizer
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -128,9 +129,7 @@ impl CtrGenerator {
         let lengths = config
             .sparse_features()
             .iter()
-            .map(|f| {
-                Poisson::new(f.mean_lookups().max(0.01)).expect("positive mean lookups")
-            })
+            .map(|f| Poisson::new(f.mean_lookups().max(0.01)).expect("positive mean lookups"))
             .collect();
         Self {
             config: config.clone(),
@@ -173,7 +172,8 @@ impl CtrGenerator {
                 .iter()
                 .map(|&i| row_score(self.teacher_seed, f, i) as f64)
                 .sum();
-            logit += self.params.sparse_signal * s / (idxs.len() as f64).sqrt()
+            logit += self.params.sparse_signal * s
+                / (idxs.len() as f64).sqrt()
                 / (sparse.len() as f64).sqrt();
         }
         sigmoid(logit)
@@ -357,8 +357,9 @@ mod tests {
         let a = row_score(1, 0, 42);
         let b = row_score(1, 0, 42);
         assert_eq!(a, b);
-        let distinct: std::collections::HashSet<i32> =
-            (0..100).map(|i| (row_score(1, 0, i) * 1000.0) as i32).collect();
+        let distinct: std::collections::HashSet<i32> = (0..100)
+            .map(|i| (row_score(1, 0, i) * 1000.0) as i32)
+            .collect();
         assert!(distinct.len() > 50);
     }
 }

@@ -1,18 +1,16 @@
 //! Property-based tests for workload-generation invariants.
 
 use proptest::prelude::*;
+use recsim_data::dataset::{DatasetReader, DatasetWriter};
 use recsim_data::dist::{PowerLawLengths, ZipfSampler};
 use recsim_data::schema::{Interaction, ModelConfig, SparseFeatureSpec};
-use recsim_data::dataset::{DatasetReader, DatasetWriter};
 use recsim_data::{CtrGenerator, SparseBatch};
 
 fn arb_config() -> impl Strategy<Value = ModelConfig> {
-    (1usize..64, 1usize..16, 10u64..10_000, 1usize..4).prop_map(
-        |(dense, sparse, hash, layers)| {
-            let mlp: Vec<usize> = (0..layers).map(|i| 8 << (i % 3)).collect();
-            ModelConfig::test_suite(dense, sparse, hash, &mlp)
-        },
-    )
+    (1usize..64, 1usize..16, 10u64..10_000, 1usize..4).prop_map(|(dense, sparse, hash, layers)| {
+        let mlp: Vec<usize> = (0..layers).map(|i| 8 << (i % 3)).collect();
+        ModelConfig::test_suite(dense, sparse, hash, &mlp)
+    })
 }
 
 proptest! {

@@ -1,0 +1,372 @@
+//! Pricing a fault environment on concrete hardware: a [`FaultContext`]
+//! bundles everything a [`crate::RecoveryPolicy`] needs to turn a failure
+//! count into goodput — throughputs (healthy, degraded, and per shrink
+//! level), checkpoint IO costs, restart and rebalance overheads.
+//!
+//! Contexts are built once per sweep point from the real models: the
+//! degraded throughput comes from a perturbed DES run
+//! ([`GpuTrainingSim::run_perturbed_in`]), the shrink ladder from re-running
+//! the `recsim-shard` sharder on the surviving GPUs, and the checkpoint
+//! costs from the platform's link model
+//! ([`Platform::checkpoint_transfer_time`]). Policies then stay pure
+//! functions of `(context, failure count)`, which is what makes their
+//! monotonicity properties testable.
+
+use crate::{FaultConfig, FaultSchedule, SlowdownField};
+use recsim_data::schema::ModelConfig;
+use recsim_hw::units::Bytes;
+use recsim_hw::Platform;
+use recsim_shard::{GreedySharder, Sharder};
+use recsim_sim::scaleout::{min_nodes, ScaleOutSim};
+use recsim_sim::{GpuTrainingSim, SimScratch};
+use recsim_verify::{Code, Diagnostic, Validate, ValidationError};
+
+/// How deep the pre-computed shrink ladder goes; a fleet rarely loses more
+/// devices than this before the horizon ends, and beyond the ladder the
+/// last rung's throughput carries forward (still monotone).
+const MAX_SHRINK_LEVELS: usize = 4;
+
+/// Everything a recovery policy needs to price failures on one setup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultContext {
+    setup: String,
+    horizon_secs: f64,
+    baseline_samples_per_sec: f64,
+    degraded_samples_per_sec: f64,
+    checkpoint_write_secs: f64,
+    restart_secs: f64,
+    /// `shrink[k]` = degraded throughput after absorbing `k` device
+    /// failures by shrinking; `shrink[0]` equals the degraded baseline.
+    /// Non-increasing by construction.
+    shrink_samples_per_sec: Vec<f64>,
+    rebalance_secs: f64,
+}
+
+impl FaultContext {
+    /// Builds a context from explicit numbers — the constructor property
+    /// tests use to explore the policy algebra directly. The shrink ladder
+    /// is clamped non-increasing and capped at the degraded baseline.
+    ///
+    /// # Errors
+    ///
+    /// [`ValidationError`] (RV032) when a rate or cost is negative,
+    /// non-finite, or the horizon is not positive.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        setup: impl Into<String>,
+        horizon_secs: f64,
+        baseline_samples_per_sec: f64,
+        degraded_samples_per_sec: f64,
+        checkpoint_write_secs: f64,
+        restart_secs: f64,
+        shrink_samples_per_sec: Vec<f64>,
+        rebalance_secs: f64,
+    ) -> Result<FaultContext, ValidationError> {
+        let mut diagnostics = Vec::new();
+        let mut check = |name: &str, value: f64, strictly_positive: bool| {
+            let bad = !value.is_finite() || value < 0.0 || (strictly_positive && value <= 0.0);
+            if bad {
+                diagnostics.push(Diagnostic::error(
+                    Code::InvalidFaultConfig,
+                    format!("FaultContext.{name}"),
+                    format!("out of range: {value}"),
+                ));
+            }
+        };
+        check("horizon_secs", horizon_secs, true);
+        check("baseline_samples_per_sec", baseline_samples_per_sec, true);
+        check("degraded_samples_per_sec", degraded_samples_per_sec, false);
+        check("checkpoint_write_secs", checkpoint_write_secs, false);
+        check("restart_secs", restart_secs, false);
+        check("rebalance_secs", rebalance_secs, false);
+        for (i, thr) in shrink_samples_per_sec.iter().enumerate() {
+            check(&format!("shrink[{i}]"), *thr, false);
+        }
+        if !diagnostics.is_empty() {
+            return Err(ValidationError::new(diagnostics));
+        }
+        let mut shrink = Vec::with_capacity(shrink_samples_per_sec.len() + 1);
+        shrink.push(degraded_samples_per_sec);
+        for thr in shrink_samples_per_sec {
+            let prev = shrink.last().copied().unwrap_or(degraded_samples_per_sec);
+            shrink.push(thr.min(prev));
+        }
+        Ok(FaultContext {
+            setup: setup.into(),
+            horizon_secs,
+            baseline_samples_per_sec,
+            degraded_samples_per_sec,
+            checkpoint_write_secs,
+            restart_secs,
+            shrink_samples_per_sec: shrink,
+            rebalance_secs,
+        })
+    }
+
+    /// Prices `fault_cfg`'s environment for single-server GPU training:
+    /// healthy and slowdown-perturbed DES runs under the greedy sharder's
+    /// placement, a shrink ladder from re-sharding onto fewer GPUs, and
+    /// checkpoint IO from the platform's link model.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::FaultError`] when the fault config is out of range (RV032),
+    /// the sharder finds no feasible placement, or the simulator rejects
+    /// the setup.
+    pub fn for_gpu_training(
+        config: &ModelConfig,
+        platform: &Platform,
+        batch: u64,
+        fault_cfg: &FaultConfig,
+        schedule: &FaultSchedule,
+    ) -> Result<FaultContext, crate::FaultError> {
+        fault_cfg.check()?;
+        let gpu_count = platform.gpus().len();
+        let plan = GreedySharder.shard(config, platform, batch)?;
+        let baseline = plan.throughput();
+        let mut scratch = SimScratch::new();
+        let field = SlowdownField::from_schedule(schedule);
+        let sim =
+            GpuTrainingSim::with_placement(config, platform, plan.placement().clone(), batch)?;
+        let degraded = sim
+            .run_perturbed_in(&mut scratch, &field)
+            .throughput()
+            .min(baseline);
+
+        // Shrink ladder: re-shard onto the survivors. A rung the sharder
+        // cannot place (model no longer fits) ends the ladder; the last
+        // rung carries forward, which keeps the sequence monotone.
+        let ratio = if baseline > 0.0 {
+            degraded / baseline
+        } else {
+            0.0
+        };
+        let mut shrink = Vec::new();
+        let levels = MAX_SHRINK_LEVELS.min(gpu_count.saturating_sub(1));
+        for lost in 1..=levels {
+            let survivors = platform.with_gpu_count(gpu_count - lost);
+            match GreedySharder.shard(config, &survivors, batch) {
+                Ok(plan) => shrink.push(plan.throughput() * ratio),
+                Err(_) => break,
+            }
+        }
+
+        let state = checkpoint_state_bytes(config);
+        let write = platform.checkpoint_transfer_time(state).as_secs();
+        let restart = write + fault_cfg.restart_overhead_secs;
+        let rebalance = write + fault_cfg.rebalance_overhead_secs;
+        FaultContext::from_parts(
+            format!("{} / batch {batch}", platform.name()),
+            fault_cfg.horizon_secs,
+            baseline,
+            degraded,
+            write,
+            restart,
+            shrink,
+            rebalance,
+        )
+        .map_err(crate::FaultError::from)
+    }
+
+    /// Prices `fault_cfg`'s environment for multi-node scale-out training.
+    /// Elastic shrink drops whole nodes (re-running [`ScaleOutSim`] on the
+    /// survivors); slowdown degradation uses the mean-field pessimistic
+    /// bound — data-parallel training paces at the slowest worker, so the
+    /// fleet runs at the minimum per-GPU effective rate.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::FaultError`] when the fault config is out of range (RV032)
+    /// or the cluster cannot hold the model at all.
+    pub fn for_scale_out(
+        config: &ModelConfig,
+        nodes: u32,
+        batch_per_node: u64,
+        fault_cfg: &FaultConfig,
+        schedule: &FaultSchedule,
+    ) -> Result<FaultContext, crate::FaultError> {
+        fault_cfg.check()?;
+        let baseline = ScaleOutSim::new(config, nodes, batch_per_node)?
+            .run()
+            .throughput();
+        let min_rate = schedule
+            .slowdown_factors()
+            .iter()
+            .filter(|(resource, _)| resource.starts_with("gpu"))
+            .map(|(_, rate)| *rate)
+            .fold(1.0_f64, f64::min);
+        let degraded = baseline * min_rate;
+
+        let floor = min_nodes(config);
+        let mut shrink = Vec::new();
+        let levels = MAX_SHRINK_LEVELS.min(nodes.saturating_sub(floor) as usize);
+        for lost in 1..=levels {
+            match ScaleOutSim::new(config, nodes - lost as u32, batch_per_node) {
+                Ok(sim) => shrink.push(sim.run().throughput() * min_rate),
+                Err(_) => break,
+            }
+        }
+
+        // Nodes checkpoint their table shards in parallel: each moves its
+        // 1/nodes share of the state through its own NIC.
+        let platform = Platform::big_basin(Bytes::from_gib(32));
+        let state = checkpoint_state_bytes(config);
+        let per_node = Bytes::new(state.as_u64() / u64::from(nodes).max(1));
+        let write = platform.checkpoint_transfer_time(per_node).as_secs();
+        let restart = write + fault_cfg.restart_overhead_secs;
+        let rebalance = write + fault_cfg.rebalance_overhead_secs;
+        FaultContext::from_parts(
+            format!("{nodes}x Big Basin / batch {batch_per_node}/node"),
+            fault_cfg.horizon_secs,
+            baseline,
+            degraded,
+            write,
+            restart,
+            shrink,
+            rebalance,
+        )
+        .map_err(crate::FaultError::from)
+    }
+
+    /// Human-readable setup label.
+    pub fn setup(&self) -> &str {
+        &self.setup
+    }
+
+    /// The horizon policies amortize over, seconds.
+    pub fn horizon_secs(&self) -> f64 {
+        self.horizon_secs
+    }
+
+    /// Healthy throughput, samples/s.
+    pub fn baseline_samples_per_sec(&self) -> f64 {
+        self.baseline_samples_per_sec
+    }
+
+    /// Throughput under the schedule's stragglers and degraded links (no
+    /// device failures yet), samples/s.
+    pub fn degraded_samples_per_sec(&self) -> f64 {
+        self.degraded_samples_per_sec
+    }
+
+    /// Time to write one checkpoint, seconds.
+    pub fn checkpoint_write_secs(&self) -> f64 {
+        self.checkpoint_write_secs
+    }
+
+    /// Time to restart the job (checkpoint restore + fixed overhead),
+    /// seconds.
+    pub fn restart_secs(&self) -> f64 {
+        self.restart_secs
+    }
+
+    /// Time to re-shard and rebalance after an elastic shrink, seconds.
+    pub fn rebalance_secs(&self) -> f64 {
+        self.rebalance_secs
+    }
+
+    /// Degraded throughput after absorbing `failures` device losses by
+    /// shrinking. Non-increasing in `failures`; beyond the pre-computed
+    /// ladder the last rung carries forward.
+    pub fn shrink_throughput(&self, failures: usize) -> f64 {
+        let last = self.shrink_samples_per_sec.len().saturating_sub(1);
+        self.shrink_samples_per_sec[failures.min(last)]
+    }
+
+    /// Number of pre-computed shrink rungs (including rung 0, the
+    /// no-failure degraded baseline).
+    pub fn shrink_levels(&self) -> usize {
+        self.shrink_samples_per_sec.len()
+    }
+}
+
+/// Bytes of training state a checkpoint must capture: embedding tables
+/// with Adagrad accumulators plus the dense parameters with optimizer
+/// state.
+pub fn checkpoint_state_bytes(config: &ModelConfig) -> Bytes {
+    let embeddings = (config.total_embedding_bytes() as f64
+        * recsim_placement::plan::ADAGRAD_STATE_MULTIPLIER) as u64;
+    let dense = config.mlp_parameter_bytes() * 2;
+    Bytes::new(embeddings + dense)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_config() -> ModelConfig {
+        ModelConfig::test_suite(256, 16, 100_000, &[512, 512, 512])
+    }
+
+    #[test]
+    fn gpu_context_prices_the_default_environment() {
+        let platform = Platform::big_basin(Bytes::from_gib(32));
+        let fault_cfg = FaultConfig::default();
+        let schedule = FaultSchedule::generate(&fault_cfg, platform.gpus().len()).expect("valid");
+        let ctx =
+            FaultContext::for_gpu_training(&test_config(), &platform, 1600, &fault_cfg, &schedule)
+                .expect("context builds");
+        assert!(ctx.baseline_samples_per_sec() > 0.0);
+        assert!(ctx.degraded_samples_per_sec() > 0.0);
+        assert!(ctx.degraded_samples_per_sec() <= ctx.baseline_samples_per_sec());
+        assert!(ctx.checkpoint_write_secs() > 0.0);
+        assert!(ctx.restart_secs() >= ctx.checkpoint_write_secs());
+        assert!(
+            ctx.shrink_levels() >= 2,
+            "ladder has at least one real rung"
+        );
+        for k in 0..ctx.shrink_levels() + 2 {
+            assert!(ctx.shrink_throughput(k + 1) <= ctx.shrink_throughput(k) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn scale_out_context_builds_and_shrinks() {
+        let cfg = test_config();
+        let fault_cfg = FaultConfig::default();
+        let nodes = min_nodes(&cfg) + 2;
+        let schedule =
+            FaultSchedule::generate(&fault_cfg, nodes as usize * 8).expect("valid config");
+        let ctx = FaultContext::for_scale_out(&cfg, nodes, 800, &fault_cfg, &schedule)
+            .expect("context builds");
+        assert!(ctx.baseline_samples_per_sec() > 0.0);
+        assert!(ctx.degraded_samples_per_sec() <= ctx.baseline_samples_per_sec());
+        for k in 0..4 {
+            assert!(ctx.shrink_throughput(k + 1) <= ctx.shrink_throughput(k) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_nonsense() {
+        assert!(FaultContext::from_parts("x", -1.0, 1.0, 1.0, 0.0, 0.0, vec![], 0.0).is_err());
+        assert!(FaultContext::from_parts("x", 1.0, 0.0, 0.0, 0.0, 0.0, vec![], 0.0).is_err());
+        assert!(FaultContext::from_parts("x", 1.0, 1.0, 1.0, f64::NAN, 0.0, vec![], 0.0).is_err());
+    }
+
+    #[test]
+    fn from_parts_clamps_the_ladder() {
+        let ctx =
+            FaultContext::from_parts("x", 100.0, 10.0, 8.0, 1.0, 2.0, vec![9.0, 5.0, 6.0], 3.0)
+                .expect("valid parts");
+        // Rung 0 is the degraded baseline; a rung above its predecessor is
+        // clamped down.
+        assert_eq!(ctx.shrink_throughput(0), 8.0);
+        assert_eq!(ctx.shrink_throughput(1), 8.0);
+        assert_eq!(ctx.shrink_throughput(2), 5.0);
+        assert_eq!(ctx.shrink_throughput(3), 5.0);
+        assert_eq!(ctx.shrink_throughput(99), 5.0);
+    }
+
+    #[test]
+    fn checkpoint_state_scales_with_the_model() {
+        let small = checkpoint_state_bytes(&test_config());
+        let big = checkpoint_state_bytes(&ModelConfig::test_suite(
+            256,
+            16,
+            1_000_000,
+            &[512, 512, 512],
+        ));
+        assert!(big > small);
+        assert!(small > Bytes::ZERO);
+    }
+}

@@ -1,0 +1,136 @@
+//! Deterministic fault injection and elastic-recovery simulation.
+//!
+//! Production recommendation training at the paper's scale runs across
+//! enough devices for long enough that failures are routine, not
+//! exceptional: a week-long job on hundreds of GPUs *will* lose devices,
+//! throttle links, and hit stragglers. This crate prices those events
+//! against the rest of the `recsim` stack:
+//!
+//! * [`prng`] — counter-keyed randomness: every draw is a pure hash of
+//!   `(seed, resource stream, event index)`, so schedules are byte-stable
+//!   across thread counts, sweep orders, and hosts;
+//! * [`schedule`] — [`FaultConfig`] (the statistical environment, RV032
+//!   validated) and [`FaultSchedule`] (its concrete, sorted expansion into
+//!   device failures, stragglers, and link degradations);
+//! * [`perturb`] — [`SlowdownField`], the bridge into the DES: a
+//!   schedule's time-averaged degradation becomes a
+//!   [`recsim_sim::Perturbation`] that stretches task durations on the
+//!   affected resources;
+//! * [`context`] — [`FaultContext`], the priced environment: healthy,
+//!   degraded, and per-shrink-level throughputs (via the `recsim-shard`
+//!   sharder on the surviving GPUs), checkpoint IO from the platform's
+//!   link model, restart and rebalance costs;
+//! * [`recovery`] — the policies. [`CheckpointRestart`] pays periodic
+//!   writes and loses half an interval per failure (Young's optimal
+//!   interval trade-off), [`ElasticShrink`] re-shards onto survivors and
+//!   keeps going, [`FailStop`] is the lose-everything baseline.
+//!
+//! # Example
+//!
+//! ```
+//! use recsim_fault::{
+//!     CheckpointRestart, FaultConfig, FaultContext, FaultSchedule, RecoveryPolicy,
+//! };
+//! use recsim_data::schema::ModelConfig;
+//! use recsim_hw::{Platform, units::Bytes};
+//!
+//! let config = ModelConfig::test_suite(256, 16, 100_000, &[512, 512, 512]);
+//! let platform = Platform::big_basin(Bytes::from_gib(32));
+//! let fault_cfg = FaultConfig::default();
+//! let schedule = FaultSchedule::generate(&fault_cfg, platform.gpus().len())?;
+//! let ctx = FaultContext::for_gpu_training(&config, &platform, 1600, &fault_cfg, &schedule)?;
+//! let policy = CheckpointRestart {
+//!     interval_secs: CheckpointRestart::optimal_interval(&ctx, fault_cfg.device_mtbf_secs),
+//! };
+//! let goodput = policy.goodput(&ctx, schedule.device_failures());
+//! assert!(goodput.goodput_samples_per_sec > 0.0);
+//! # Ok::<(), recsim_fault::FaultError>(())
+//! ```
+//!
+//! Everything here is deterministic end to end: the schedule by
+//! construction, the degraded throughput because perturbed DES runs
+//! pre-compute task durations before the event loop, and the policies
+//! because they are pure arithmetic over the context.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod perturb;
+pub mod prng;
+pub mod recovery;
+pub mod schedule;
+
+pub use context::{checkpoint_state_bytes, FaultContext};
+pub use perturb::SlowdownField;
+pub use recovery::{
+    policy_by_name, CheckpointRestart, ElasticShrink, FailStop, GoodputReport, RecoveryPolicy,
+    POLICY_NAMES,
+};
+pub use schedule::{FaultConfig, FaultEvent, FaultKind, FaultSchedule};
+
+use recsim_shard::ShardError;
+use recsim_sim::scaleout::ScaleOutError;
+use recsim_sim::SimError;
+use recsim_verify::ValidationError;
+
+/// Why a fault context could not be built.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultError {
+    /// A fault config or derived quantity failed validation (RV032
+    /// diagnostics).
+    Invalid(ValidationError),
+    /// The sharder found no feasible placement for the (possibly shrunk)
+    /// platform.
+    Shard(ShardError),
+    /// The simulator rejected the setup.
+    Sim(SimError),
+    /// The scale-out cluster cannot run the model at all.
+    ScaleOut(ScaleOutError),
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Invalid(e) => write!(f, "invalid fault setup: {e}"),
+            Self::Shard(e) => write!(f, "sharding failed: {e}"),
+            Self::Sim(e) => write!(f, "simulation failed: {e}"),
+            Self::ScaleOut(e) => write!(f, "scale-out setup failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Invalid(e) => Some(e),
+            Self::Shard(e) => Some(e),
+            Self::Sim(e) => Some(e),
+            Self::ScaleOut(e) => Some(e),
+        }
+    }
+}
+
+impl From<ValidationError> for FaultError {
+    fn from(e: ValidationError) -> Self {
+        Self::Invalid(e)
+    }
+}
+
+impl From<ShardError> for FaultError {
+    fn from(e: ShardError) -> Self {
+        Self::Shard(e)
+    }
+}
+
+impl From<SimError> for FaultError {
+    fn from(e: SimError) -> Self {
+        Self::Sim(e)
+    }
+}
+
+impl From<ScaleOutError> for FaultError {
+    fn from(e: ScaleOutError) -> Self {
+        Self::ScaleOut(e)
+    }
+}

@@ -1,0 +1,96 @@
+//! Counter-based pseudo-randomness for fault schedules.
+//!
+//! Fault injection must be reproducible to the byte: the same
+//! `(seed, resource, event index)` triple yields the same draw on every
+//! machine, at every thread count, in every sweep order. A stateful RNG
+//! cannot promise that — its output depends on how many draws other code
+//! made before yours — so this module uses a *counter* construction
+//! instead: every draw is a pure hash of its coordinates, in the style of
+//! splitmix64. There is no wall clock and no global state anywhere.
+
+/// The splitmix64 finalizer: a bijective avalanche over `u64`.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic stream id for a resource name — FNV-1a over its bytes,
+/// so `"gpu3"` draws from a different stream than `"nvlink"` regardless of
+/// registration order.
+pub fn stream_id(resource: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in resource.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A uniform draw in `[0, 1)` keyed on `(seed, stream, index)`.
+pub fn unit_f64(seed: u64, stream: u64, index: u64) -> f64 {
+    let mixed = splitmix64(
+        seed.wrapping_mul(0xA076_1D64_78BD_642F)
+            .wrapping_add(splitmix64(stream))
+            .wrapping_add(index.wrapping_mul(0xE703_7ED1_A0B4_28DB)),
+    );
+    // 53 high bits → the full double-precision lattice in [0, 1).
+    (mixed >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// An exponential inter-arrival draw with the given mean, keyed on
+/// `(seed, stream, index)`. Inverse-CDF sampling keeps the draw a pure
+/// function of its coordinates, and the arrival *times* it builds scale
+/// linearly with `mean` — which is what makes the in-horizon failure count
+/// monotone in the failure rate.
+pub fn exponential(seed: u64, stream: u64, index: u64, mean: f64) -> f64 {
+    let u = unit_f64(seed, stream, index);
+    // u < 1 always, so ln(1 - u) is finite and non-positive.
+    -mean * (1.0 - u).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_are_pure_functions_of_coordinates() {
+        assert_eq!(unit_f64(7, 3, 0), unit_f64(7, 3, 0));
+        assert_ne!(unit_f64(7, 3, 0), unit_f64(7, 3, 1));
+        assert_ne!(unit_f64(7, 3, 0), unit_f64(8, 3, 0));
+        assert_ne!(unit_f64(7, 3, 0), unit_f64(7, 4, 0));
+    }
+
+    #[test]
+    fn unit_draws_live_in_the_half_open_interval() {
+        for i in 0..10_000 {
+            let u = unit_f64(42, 1, i);
+            assert!((0.0..1.0).contains(&u), "draw {i} out of range: {u}");
+        }
+    }
+
+    #[test]
+    fn unit_draws_are_roughly_uniform() {
+        let n = 20_000;
+        let mean = (0..n).map(|i| unit_f64(9, 2, i)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_scales_linearly_with_its_mean() {
+        for i in 0..100 {
+            let short = exponential(5, 11, i, 10.0);
+            let long = exponential(5, 11, i, 1000.0);
+            assert!(short >= 0.0);
+            assert!((long / short - 100.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn stream_ids_separate_resource_names() {
+        assert_ne!(stream_id("gpu0"), stream_id("gpu1"));
+        assert_ne!(stream_id("nvlink"), stream_id("nic"));
+        assert_eq!(stream_id("pcie3"), stream_id("pcie3"));
+    }
+}

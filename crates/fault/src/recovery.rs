@@ -1,0 +1,274 @@
+//! Recovery policies: turning a failure count into goodput.
+//!
+//! Each [`RecoveryPolicy`] is a pure function of a [`FaultContext`] and a
+//! device-failure count — no hidden state, no randomness — which is what
+//! lets the property tests pin down the algebra: every policy's goodput is
+//! monotone non-increasing in the failure count, and checkpoint-restart's
+//! goodput has an interior optimum in the checkpoint interval (Young's
+//! classic `τ* ≈ √(2·c·MTBF)` trade-off between checkpoint overhead and
+//! lost work).
+
+use crate::FaultContext;
+
+/// Goodput of one `(policy, context, failure count)` evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GoodputReport {
+    /// Policy that produced the number.
+    pub policy: String,
+    /// Device failures absorbed over the horizon.
+    pub failures: usize,
+    /// Useful training throughput averaged over the horizon, samples/s.
+    pub goodput_samples_per_sec: f64,
+    /// Goodput as a fraction of the degraded no-failure throughput, in
+    /// `[0, 1]`.
+    pub useful_fraction: f64,
+    /// Horizon time lost to overheads and lost work, seconds.
+    pub overhead_secs: f64,
+}
+
+/// A strategy for surviving device failures over a horizon.
+pub trait RecoveryPolicy {
+    /// Short machine-readable name (`fail-stop`, `checkpoint`, `elastic`).
+    fn name(&self) -> &'static str;
+
+    /// Goodput when `failures` devices are lost over the context's
+    /// horizon. Implementations must be monotone non-increasing in
+    /// `failures`.
+    fn goodput(&self, ctx: &FaultContext, failures: usize) -> GoodputReport;
+}
+
+fn report(
+    policy: &dyn RecoveryPolicy,
+    ctx: &FaultContext,
+    failures: usize,
+    samples: f64,
+) -> GoodputReport {
+    let horizon = ctx.horizon_secs();
+    let reference = ctx.degraded_samples_per_sec();
+    let useful_fraction = if reference > 0.0 {
+        (samples / (reference * horizon)).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    GoodputReport {
+        policy: policy.name().to_string(),
+        failures,
+        goodput_samples_per_sec: samples / horizon,
+        useful_fraction,
+        overhead_secs: horizon * (1.0 - useful_fraction),
+    }
+}
+
+/// No checkpoints, no elasticity: every failure restarts the job from
+/// scratch, discarding everything since the previous failure. The baseline
+/// the paper-scale fleets cannot afford.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FailStop;
+
+impl RecoveryPolicy for FailStop {
+    fn name(&self) -> &'static str {
+        "fail-stop"
+    }
+
+    fn goodput(&self, ctx: &FaultContext, failures: usize) -> GoodputReport {
+        let horizon = ctx.horizon_secs();
+        // Only the final segment's work survives; each earlier segment is
+        // wiped by the failure that ends it. Restarting also costs R.
+        let segment = horizon / (failures as f64 + 1.0);
+        let useful = if failures == 0 {
+            horizon
+        } else {
+            (segment - ctx.restart_secs()).max(0.0)
+        };
+        report(self, ctx, failures, ctx.degraded_samples_per_sec() * useful)
+    }
+}
+
+/// Periodic checkpointing at a fixed interval: a failure loses half an
+/// interval of work on average plus the restart cost, and every interval
+/// pays the checkpoint-write cost.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointRestart {
+    /// Seconds between checkpoint writes.
+    pub interval_secs: f64,
+}
+
+impl CheckpointRestart {
+    /// Young's first-order optimal interval for a context and MTBF:
+    /// `√(2 · checkpoint cost · MTBF)`.
+    pub fn optimal_interval(ctx: &FaultContext, mtbf_secs: f64) -> f64 {
+        (2.0 * ctx.checkpoint_write_secs() * mtbf_secs.max(0.0)).sqrt()
+    }
+}
+
+impl RecoveryPolicy for CheckpointRestart {
+    fn name(&self) -> &'static str {
+        "checkpoint"
+    }
+
+    fn goodput(&self, ctx: &FaultContext, failures: usize) -> GoodputReport {
+        let horizon = ctx.horizon_secs();
+        // A degenerate interval behaves like "checkpoint constantly":
+        // clamp to at least the write cost so the overhead stays finite.
+        let interval = self
+            .interval_secs
+            .max(ctx.checkpoint_write_secs())
+            .max(1e-9);
+        let checkpoint_cost = (horizon / interval).floor() * ctx.checkpoint_write_secs();
+        let failure_cost = failures as f64 * (interval / 2.0 + ctx.restart_secs());
+        let useful = (horizon - checkpoint_cost - failure_cost).max(0.0);
+        report(self, ctx, failures, ctx.degraded_samples_per_sec() * useful)
+    }
+}
+
+/// Elastic shrink-and-rebalance: after a failure the survivors re-shard
+/// the model (the `recsim-shard` ladder pre-computed in the context) and
+/// continue at reduced throughput instead of waiting for a replacement.
+/// No work is lost; each shrink pays the rebalance cost once.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ElasticShrink;
+
+impl RecoveryPolicy for ElasticShrink {
+    fn name(&self) -> &'static str {
+        "elastic"
+    }
+
+    fn goodput(&self, ctx: &FaultContext, failures: usize) -> GoodputReport {
+        let horizon = ctx.horizon_secs();
+        let segment = horizon / (failures as f64 + 1.0);
+        // Segment i runs on the fleet that has absorbed i failures; every
+        // segment after the first starts with a rebalance.
+        let mut samples = ctx.shrink_throughput(0) * segment;
+        for i in 1..=failures {
+            let productive = (segment - ctx.rebalance_secs()).max(0.0);
+            samples += ctx.shrink_throughput(i) * productive;
+        }
+        report(self, ctx, failures, samples)
+    }
+}
+
+/// Looks up a policy by its [`RecoveryPolicy::name`]; `checkpoint` takes
+/// the interval to run at.
+pub fn policy_by_name(
+    name: &str,
+    checkpoint_interval_secs: f64,
+) -> Option<Box<dyn RecoveryPolicy>> {
+    match name {
+        "fail-stop" => Some(Box::new(FailStop)),
+        "checkpoint" => Some(Box::new(CheckpointRestart {
+            interval_secs: checkpoint_interval_secs,
+        })),
+        "elastic" => Some(Box::new(ElasticShrink)),
+        _ => None,
+    }
+}
+
+/// All policy names, in presentation order.
+pub const POLICY_NAMES: [&str; 3] = ["checkpoint", "elastic", "fail-stop"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> FaultContext {
+        FaultContext::from_parts(
+            "test",
+            86_400.0,
+            1000.0,
+            900.0,
+            30.0,
+            150.0,
+            vec![780.0, 660.0, 540.0],
+            330.0,
+        )
+        .expect("valid parts")
+    }
+
+    #[test]
+    fn zero_failures_cost_only_checkpoints() {
+        let ctx = ctx();
+        let fs = FailStop.goodput(&ctx, 0);
+        let el = ElasticShrink.goodput(&ctx, 0);
+        let cp = CheckpointRestart {
+            interval_secs: 3_600.0,
+        }
+        .goodput(&ctx, 0);
+        // Fail-stop and elastic run clean; checkpointing pays its writes.
+        assert!((fs.useful_fraction - 1.0).abs() < 1e-12);
+        assert!((el.useful_fraction - 1.0).abs() < 1e-12);
+        assert!(cp.useful_fraction < 1.0);
+        assert!(cp.useful_fraction > 0.98, "24 writes of 30 s in a day");
+    }
+
+    #[test]
+    fn every_policy_is_monotone_in_failures() {
+        let ctx = ctx();
+        let policies: Vec<Box<dyn RecoveryPolicy>> = vec![
+            Box::new(FailStop),
+            Box::new(CheckpointRestart {
+                interval_secs: 1_800.0,
+            }),
+            Box::new(ElasticShrink),
+        ];
+        for policy in &policies {
+            let mut last = f64::INFINITY;
+            for n in 0..40 {
+                let g = policy.goodput(&ctx, n).goodput_samples_per_sec;
+                assert!(
+                    g <= last + 1e-9,
+                    "{} rose at n={n}: {g} after {last}",
+                    policy.name()
+                );
+                last = g;
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_interval_has_an_interior_optimum() {
+        let ctx = ctx();
+        // 4 failures in a day ≈ 6 h MTBF. Sweep intervals across two
+        // orders of magnitude; the best must be strictly interior.
+        let intervals: Vec<f64> = (0..40).map(|i| 120.0 * 1.2_f64.powi(i)).collect();
+        let goodputs: Vec<f64> = intervals
+            .iter()
+            .map(|&tau| {
+                CheckpointRestart { interval_secs: tau }
+                    .goodput(&ctx, 4)
+                    .goodput_samples_per_sec
+            })
+            .collect();
+        let best = goodputs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("non-empty sweep");
+        assert!(
+            best > 0 && best < intervals.len() - 1,
+            "optimum at edge: {best}"
+        );
+        // And Young's formula lands near it.
+        let tau_star = CheckpointRestart::optimal_interval(&ctx, 21_600.0);
+        assert!(tau_star > intervals[best] / 3.0 && tau_star < intervals[best] * 3.0);
+    }
+
+    #[test]
+    fn elastic_beats_fail_stop_under_frequent_failures() {
+        let ctx = ctx();
+        for n in 2..20 {
+            let el = ElasticShrink.goodput(&ctx, n).goodput_samples_per_sec;
+            let fs = FailStop.goodput(&ctx, n).goodput_samples_per_sec;
+            assert!(el > fs, "n={n}: elastic {el} vs fail-stop {fs}");
+        }
+    }
+
+    #[test]
+    fn policy_lookup_round_trips() {
+        for name in POLICY_NAMES {
+            let policy = policy_by_name(name, 3_600.0).expect("known name");
+            assert_eq!(policy.name(), name);
+        }
+        assert!(policy_by_name("wishful-thinking", 3_600.0).is_none());
+    }
+}

@@ -1,0 +1,434 @@
+//! Fault configurations and the deterministic schedules drawn from them.
+//!
+//! A [`FaultConfig`] describes a fault environment statistically (MTBFs,
+//! slowdown factors, event durations); [`FaultSchedule::generate`] expands
+//! it into a concrete, sorted list of [`FaultEvent`]s for one machine over
+//! one horizon. Generation is a pure function of `(config, gpu_count)` —
+//! every draw is counter-keyed on `(seed, resource stream, event index)`
+//! (see [`crate::prng`]), so the same inputs yield a byte-identical
+//! schedule at any thread count, in any sweep order, on any host.
+
+use crate::prng::{exponential, stream_id, unit_f64};
+use recsim_verify::{Code, Diagnostic, Validate, ValidationError};
+use serde::{Deserialize, Serialize};
+
+/// What a fault event does to its resource.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The device is lost for the rest of the horizon; a
+    /// [`crate::RecoveryPolicy`] decides what the job does about it.
+    DeviceFailure,
+    /// The resource runs at `factor` of nominal speed for `duration_secs`
+    /// (thermal throttling, a flaky lane, a congested switch).
+    LinkDegradation {
+        /// Fraction of nominal bandwidth while degraded, in `(0, 1]`.
+        factor: f64,
+        /// How long the degradation lasts.
+        duration_secs: f64,
+    },
+    /// The device computes at `factor` of nominal speed for
+    /// `duration_secs` — the paper's "hardware level variability".
+    Straggler {
+        /// Fraction of nominal throughput while straggling, in `(0, 1]`.
+        factor: f64,
+        /// How long the slowdown lasts.
+        duration_secs: f64,
+    },
+}
+
+/// One injected fault: when, where, what.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Seconds since the start of the horizon.
+    pub at_secs: f64,
+    /// The DES resource the fault targets (`gpu3`, `nvlink`, `nic`, …).
+    pub resource: String,
+    /// What happens to it.
+    pub kind: FaultKind,
+}
+
+/// Statistical description of a fault environment. Expanded into concrete
+/// events by [`FaultSchedule::generate`]; validated by [`Validate`] with
+/// RV032 ([`Code::InvalidFaultConfig`]) diagnostics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Seed for every counter-keyed draw.
+    pub seed: u64,
+    /// Simulated wall-clock window, seconds.
+    pub horizon_secs: f64,
+    /// Mean time between device (GPU) failures across the whole machine.
+    pub device_mtbf_secs: f64,
+    /// Mean time between straggler episodes *per GPU*; `0` disables them.
+    pub straggler_mtbf_secs: f64,
+    /// Straggling GPU speed as a fraction of nominal, in `(0, 1]`.
+    pub straggler_factor: f64,
+    /// Length of one straggler episode, seconds.
+    pub straggler_duration_secs: f64,
+    /// Mean time between link-degradation episodes per shared link
+    /// (`nvlink`, `nic`); `0` disables them.
+    pub link_mtbf_secs: f64,
+    /// Degraded link bandwidth as a fraction of nominal, in `(0, 1]`.
+    pub link_factor: f64,
+    /// Length of one link-degradation episode, seconds.
+    pub link_duration_secs: f64,
+    /// Fixed job-restart cost (scheduling, process spawn, data reload)
+    /// added on top of checkpoint-restore IO.
+    pub restart_overhead_secs: f64,
+    /// Fixed cost of re-running the sharder and materializing the new
+    /// placement after an elastic shrink.
+    pub rebalance_overhead_secs: f64,
+}
+
+impl Default for FaultConfig {
+    /// A day-long window on flaky-but-plausible hardware: device failures
+    /// every ~6 h, occasional hour-scale stragglers and link brownouts.
+    fn default() -> Self {
+        FaultConfig {
+            seed: 42,
+            horizon_secs: 86_400.0,
+            device_mtbf_secs: 21_600.0,
+            straggler_mtbf_secs: 14_400.0,
+            straggler_factor: 0.6,
+            straggler_duration_secs: 1_800.0,
+            link_mtbf_secs: 28_800.0,
+            link_factor: 0.5,
+            link_duration_secs: 900.0,
+            restart_overhead_secs: 120.0,
+            rebalance_overhead_secs: 300.0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// Copy with a different device MTBF — the knob the `faults`
+    /// experiment sweeps.
+    pub fn with_device_mtbf(&self, mtbf_secs: f64) -> FaultConfig {
+        FaultConfig {
+            device_mtbf_secs: mtbf_secs,
+            ..self.clone()
+        }
+    }
+}
+
+impl Validate for FaultConfig {
+    fn validate(&self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let mut check_positive = |name: &str, value: f64| {
+            if !value.is_finite() || value <= 0.0 {
+                out.push(Diagnostic::error(
+                    Code::InvalidFaultConfig,
+                    format!("FaultConfig.{name}"),
+                    format!("must be positive and finite, got {value}"),
+                ));
+            }
+        };
+        check_positive("horizon_secs", self.horizon_secs);
+        check_positive("device_mtbf_secs", self.device_mtbf_secs);
+        let mut check_non_negative = |name: &str, value: f64| {
+            if !value.is_finite() || value < 0.0 {
+                out.push(Diagnostic::error(
+                    Code::InvalidFaultConfig,
+                    format!("FaultConfig.{name}"),
+                    format!("must be non-negative and finite, got {value}"),
+                ));
+            }
+        };
+        check_non_negative("straggler_mtbf_secs", self.straggler_mtbf_secs);
+        check_non_negative("straggler_duration_secs", self.straggler_duration_secs);
+        check_non_negative("link_mtbf_secs", self.link_mtbf_secs);
+        check_non_negative("link_duration_secs", self.link_duration_secs);
+        check_non_negative("restart_overhead_secs", self.restart_overhead_secs);
+        check_non_negative("rebalance_overhead_secs", self.rebalance_overhead_secs);
+        for (name, factor) in [
+            ("straggler_factor", self.straggler_factor),
+            ("link_factor", self.link_factor),
+        ] {
+            if !factor.is_finite() || factor <= 0.0 || factor > 1.0 {
+                out.push(Diagnostic::error(
+                    Code::InvalidFaultConfig,
+                    format!("FaultConfig.{name}"),
+                    format!("slowdown factor must be in (0, 1], got {factor}"),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// A concrete, sorted fault timeline for one machine over one horizon.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FaultSchedule {
+    horizon_secs: f64,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// Expands `config` into events for a machine with `gpu_count` GPUs.
+    ///
+    /// Device failures arrive machine-wide with exponential inter-arrivals
+    /// at `device_mtbf_secs` and strike a counter-chosen GPU; straggler
+    /// episodes arrive per GPU; link degradations arrive on `nvlink` and
+    /// `nic`. Events are sorted by `(time, resource)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ValidationError`] with RV032 diagnostics when `config` is out of
+    /// range, or when `gpu_count` is zero.
+    pub fn generate(
+        config: &FaultConfig,
+        gpu_count: usize,
+    ) -> Result<FaultSchedule, ValidationError> {
+        config.check()?;
+        if gpu_count == 0 {
+            return Err(Diagnostic::error(
+                Code::InvalidFaultConfig,
+                "FaultSchedule.gpu_count",
+                "fault schedules target at least one GPU",
+            )
+            .into());
+        }
+        let horizon = config.horizon_secs;
+        let seed = config.seed;
+        let mut events = Vec::new();
+
+        // Machine-wide device failures. Arrival times are prefix sums of
+        // exponential draws, so they scale linearly with the MTBF and the
+        // in-horizon count is monotone in the failure rate.
+        let failure_stream = stream_id("device-failure");
+        let target_stream = stream_id("device-failure-target");
+        let mut t = 0.0;
+        let mut k = 0u64;
+        loop {
+            t += exponential(seed, failure_stream, k, config.device_mtbf_secs);
+            if t >= horizon {
+                break;
+            }
+            let g = (unit_f64(seed, target_stream, k) * gpu_count as f64) as usize;
+            events.push(FaultEvent {
+                at_secs: t,
+                resource: format!("gpu{}", g.min(gpu_count - 1)),
+                kind: FaultKind::DeviceFailure,
+            });
+            k += 1;
+        }
+
+        // Per-GPU straggler episodes.
+        if config.straggler_mtbf_secs > 0.0 && config.straggler_duration_secs > 0.0 {
+            for g in 0..gpu_count {
+                let resource = format!("gpu{g}");
+                let stream = stream_id(&format!("straggler:{resource}"));
+                let mut t = 0.0;
+                let mut k = 0u64;
+                loop {
+                    t += exponential(seed, stream, k, config.straggler_mtbf_secs);
+                    if t >= horizon {
+                        break;
+                    }
+                    events.push(FaultEvent {
+                        at_secs: t,
+                        resource: resource.clone(),
+                        kind: FaultKind::Straggler {
+                            factor: config.straggler_factor,
+                            duration_secs: config.straggler_duration_secs,
+                        },
+                    });
+                    k += 1;
+                }
+            }
+        }
+
+        // Shared-link degradation episodes.
+        if config.link_mtbf_secs > 0.0 && config.link_duration_secs > 0.0 {
+            for link in ["nvlink", "nic"] {
+                let stream = stream_id(&format!("link:{link}"));
+                let mut t = 0.0;
+                let mut k = 0u64;
+                loop {
+                    t += exponential(seed, stream, k, config.link_mtbf_secs);
+                    if t >= horizon {
+                        break;
+                    }
+                    events.push(FaultEvent {
+                        at_secs: t,
+                        resource: link.to_string(),
+                        kind: FaultKind::LinkDegradation {
+                            factor: config.link_factor,
+                            duration_secs: config.link_duration_secs,
+                        },
+                    });
+                    k += 1;
+                }
+            }
+        }
+
+        events.sort_by(|a, b| {
+            a.at_secs
+                .total_cmp(&b.at_secs)
+                .then_with(|| a.resource.cmp(&b.resource))
+        });
+        Ok(FaultSchedule {
+            horizon_secs: horizon,
+            events,
+        })
+    }
+
+    /// The horizon the schedule covers, seconds.
+    pub fn horizon_secs(&self) -> f64 {
+        self.horizon_secs
+    }
+
+    /// All events, sorted by `(time, resource)`.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of device failures within the horizon — the count every
+    /// [`crate::RecoveryPolicy`] pays for.
+    pub fn device_failures(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.kind == FaultKind::DeviceFailure)
+            .count()
+    }
+
+    /// Time-averaged effective speed per degraded resource, as
+    /// `(resource, rate)` pairs sorted by resource name. A resource
+    /// straggling at factor `f` for a fraction `p` of the horizon runs at
+    /// `1 - p + p·f` on average; resources that never degrade are omitted
+    /// (their rate is 1). Device failures do not appear here — they are
+    /// priced by recovery policies, not by slowdown.
+    pub fn slowdown_factors(&self) -> Vec<(String, f64)> {
+        // (resource, degraded seconds, worst factor) — overlapping episodes
+        // approximate to summed durations at the worst factor.
+        let mut degraded: Vec<(String, f64, f64)> = Vec::new();
+        for event in &self.events {
+            let (factor, duration) = match event.kind {
+                FaultKind::Straggler {
+                    factor,
+                    duration_secs,
+                } => (factor, duration_secs),
+                FaultKind::LinkDegradation {
+                    factor,
+                    duration_secs,
+                } => (factor, duration_secs),
+                FaultKind::DeviceFailure => continue,
+            };
+            // Episodes are truncated at the horizon.
+            let duration = duration.min(self.horizon_secs - event.at_secs);
+            match degraded.iter_mut().find(|(r, _, _)| *r == event.resource) {
+                Some((_, total, f)) => {
+                    *total += duration;
+                    *f = f.min(factor);
+                }
+                None => degraded.push((event.resource.clone(), duration, factor)),
+            }
+        }
+        let mut out: Vec<(String, f64)> = degraded
+            .into_iter()
+            .map(|(resource, total, factor)| {
+                let fraction = (total / self.horizon_secs).min(1.0);
+                (resource, 1.0 - fraction + fraction * factor)
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = FaultConfig::default();
+        let a = FaultSchedule::generate(&config, 8).expect("valid config");
+        let b = FaultSchedule::generate(&config, 8).expect("valid config");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seeds_change_the_schedule() {
+        let base = FaultConfig::default();
+        let other = FaultConfig {
+            seed: 43,
+            ..base.clone()
+        };
+        let a = FaultSchedule::generate(&base, 8).expect("valid config");
+        let b = FaultSchedule::generate(&other, 8).expect("valid config");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn shorter_mtbf_means_no_fewer_failures() {
+        let base = FaultConfig::default();
+        let mut last = usize::MAX;
+        for mtbf in [3_600.0, 7_200.0, 14_400.0, 28_800.0, 57_600.0] {
+            let schedule =
+                FaultSchedule::generate(&base.with_device_mtbf(mtbf), 8).expect("valid config");
+            assert!(
+                schedule.device_failures() <= last,
+                "mtbf {mtbf}: {} failures after {last}",
+                schedule.device_failures()
+            );
+            last = schedule.device_failures();
+        }
+    }
+
+    #[test]
+    fn events_are_sorted_and_inside_the_horizon() {
+        let schedule = FaultSchedule::generate(&FaultConfig::default(), 8).expect("valid config");
+        let events = schedule.events();
+        assert!(!events.is_empty());
+        for pair in events.windows(2) {
+            assert!(pair[0].at_secs <= pair[1].at_secs);
+        }
+        for e in events {
+            assert!(e.at_secs >= 0.0 && e.at_secs < schedule.horizon_secs());
+        }
+    }
+
+    #[test]
+    fn slowdown_factors_are_partial_and_bounded() {
+        let schedule = FaultSchedule::generate(&FaultConfig::default(), 8).expect("valid config");
+        let factors = schedule.slowdown_factors();
+        assert!(!factors.is_empty(), "default config degrades something");
+        for (resource, rate) in &factors {
+            assert!(
+                *rate > 0.0 && *rate <= 1.0,
+                "{resource} effective rate {rate}"
+            );
+        }
+        // Sorted by resource name.
+        for pair in factors.windows(2) {
+            assert!(pair[0].0 < pair[1].0);
+        }
+    }
+
+    #[test]
+    fn out_of_range_config_is_rv032() {
+        let broken = FaultConfig {
+            straggler_factor: 1.5,
+            ..FaultConfig::default()
+        };
+        let err = FaultSchedule::generate(&broken, 8).expect_err("factor above 1 rejected");
+        assert!(err.has_code(Code::InvalidFaultConfig));
+        let zero_gpus = FaultSchedule::generate(&FaultConfig::default(), 0);
+        assert!(zero_gpus.is_err());
+    }
+
+    #[test]
+    fn disabled_classes_emit_no_events() {
+        let quiet = FaultConfig {
+            straggler_mtbf_secs: 0.0,
+            link_mtbf_secs: 0.0,
+            ..FaultConfig::default()
+        };
+        let schedule = FaultSchedule::generate(&quiet, 8).expect("valid config");
+        assert!(schedule
+            .events()
+            .iter()
+            .all(|e| e.kind == FaultKind::DeviceFailure));
+        assert!(schedule.slowdown_factors().is_empty());
+    }
+}

@@ -139,7 +139,7 @@ pub fn a100() -> ComputeDevice {
         DeviceKind::Gpu,
         FlopRate::from_tflops(19.5),
         0.60,
-        crate::memory::Memory::new(
+        Memory::new(
             Bytes::from_gib(40),
             crate::units::Bandwidth::from_gb_per_s(1555.0),
             0.35,
@@ -189,8 +189,14 @@ mod tests {
 
     #[test]
     fn v100_sku_memory() {
-        assert_eq!(v100(Bytes::from_gib(16)).memory().capacity(), Bytes::from_gib(16));
-        assert_eq!(v100(Bytes::from_gib(32)).memory().capacity(), Bytes::from_gib(32));
+        assert_eq!(
+            v100(Bytes::from_gib(16)).memory().capacity(),
+            Bytes::from_gib(16)
+        );
+        assert_eq!(
+            v100(Bytes::from_gib(32)).memory().capacity(),
+            Bytes::from_gib(32)
+        );
     }
 
     #[test]

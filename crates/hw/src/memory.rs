@@ -172,9 +172,7 @@ mod tests {
         let one = hbm2_v100(Bytes::from_gib(32));
         let eight = one.aggregated(8);
         assert_eq!(eight.capacity(), Bytes::from_gib(256));
-        assert!(
-            (eight.stream_bandwidth().as_gb_per_s() - 7200.0).abs() < 1e-6
-        );
+        assert!((eight.stream_bandwidth().as_gb_per_s() - 7200.0).abs() < 1e-6);
     }
 
     #[test]

@@ -110,7 +110,7 @@ impl Platform {
     /// work cites HugeCTR's MLPerf-DLRM results on this machine.
     pub fn dgx_a100() -> Self {
         let host = ComputeDevice::new(
-            crate::device::DeviceKind::Cpu,
+            device::DeviceKind::Cpu,
             crate::units::FlopRate::from_tflops(5.0),
             0.30,
             crate::memory::Memory::new(
@@ -124,7 +124,7 @@ impl Platform {
             kind: PlatformKind::Custom,
             name: "DGX-A100".into(),
             host,
-            gpus: vec![crate::device::a100(); 8],
+            gpus: vec![device::a100(); 8],
             gpu_interconnect: Some(Link::nvlink3_nvswitch()),
             host_gpu_link: Some(Link::pcie4_x16()),
             network: Link::ethernet_200g(),
@@ -224,7 +224,9 @@ impl Platform {
     /// (`ablation_random_access`).
     pub fn without_random_access_penalty(&self) -> Platform {
         Platform {
-            host: self.host.with_memory(self.host.memory().without_random_penalty()),
+            host: self
+                .host
+                .with_memory(self.host.memory().without_random_penalty()),
             gpus: self
                 .gpus
                 .iter()
@@ -244,7 +246,10 @@ impl Platform {
     /// Panics if `index` is out of range or `factor` is outside `(0, 1]`.
     pub fn with_straggler_gpu(&self, index: usize, factor: f64) -> Platform {
         assert!(index < self.gpus.len(), "GPU index out of range");
-        assert!(factor > 0.0 && factor <= 1.0, "derate factor must be in (0, 1]");
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "derate factor must be in (0, 1]"
+        );
         let mut gpus = self.gpus.clone();
         let g = gpus[index];
         gpus[index] = ComputeDevice::new(
@@ -258,6 +263,49 @@ impl Platform {
             gpus,
             ..self.clone()
         }
+    }
+
+    /// Returns a copy with only the first `count` GPUs — the surviving
+    /// machine after `count`-GPU elastic shrink-and-rebalance. Everything
+    /// else (host, links, network, power envelope) is unchanged: a failed
+    /// accelerator does not shrink the chassis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or exceeds the GPU count.
+    pub fn with_gpu_count(&self, count: usize) -> Platform {
+        assert!(count >= 1, "a shrunk platform keeps at least one GPU");
+        assert!(count <= self.gpus.len(), "cannot grow the GPU count");
+        Platform {
+            gpus: self.gpus[..count].to_vec(),
+            ..self.clone()
+        }
+    }
+
+    /// Sustained bandwidth available for streaming checkpoint state off (or
+    /// back onto) the machine: GPU state drains over the per-GPU host links
+    /// in parallel and leaves through the NIC, so the slower aggregate
+    /// bounds the stream. CPU-only platforms are bound by the NIC alone.
+    pub fn checkpoint_bandwidth(&self) -> crate::units::Bandwidth {
+        let nic = self.network.effective_bandwidth();
+        match self.host_gpu_link {
+            Some(link) if self.has_gpus() => {
+                let drain = link.effective_bandwidth().as_gb_per_s() * self.gpus.len() as f64;
+                if drain < nic.as_gb_per_s() {
+                    crate::units::Bandwidth::from_gb_per_s(drain)
+                } else {
+                    nic
+                }
+            }
+            _ => nic,
+        }
+    }
+
+    /// Time to write (or restore) `state` bytes of checkpoint at
+    /// [`Platform::checkpoint_bandwidth`] — the IO cost model behind the
+    /// optimal-checkpoint-interval curve.
+    pub fn checkpoint_transfer_time(&self, state: Bytes) -> crate::units::Duration {
+        self.checkpoint_bandwidth().transfer_time(state)
     }
 
     /// Returns a copy with zero kernel-launch overhead on every device
@@ -447,7 +495,10 @@ mod tests {
     #[test]
     fn power_ordering() {
         let cpu = Platform::dual_socket_cpu().power().envelope().as_watts();
-        let bb = Platform::big_basin(Bytes::from_gib(16)).power().envelope().as_watts();
+        let bb = Platform::big_basin(Bytes::from_gib(16))
+            .power()
+            .envelope()
+            .as_watts();
         let zion = Platform::zion_prototype().power().envelope().as_watts();
         assert!(cpu < bb && bb < zion);
     }
@@ -459,10 +510,7 @@ mod tests {
         assert!(no_nv.gpu_interconnect().is_none());
         assert_eq!(no_nv.gpus().len(), 8);
         let no_pen = bb.without_random_access_penalty();
-        assert_eq!(
-            no_pen.gpus()[0].memory().random_access_efficiency(),
-            1.0
-        );
+        assert_eq!(no_pen.gpus()[0].memory().random_access_efficiency(), 1.0);
         let no_oh = bb.without_kernel_overhead();
         assert_eq!(no_oh.gpus()[0].kernel_overhead().as_secs(), 0.0);
     }
@@ -492,6 +540,46 @@ mod tests {
             s.gpus()[0].sustained_flop_rate().as_tflops(),
             bb.gpus()[0].sustained_flop_rate().as_tflops()
         );
+    }
+
+    #[test]
+    fn shrunk_platform_keeps_chassis_but_loses_gpus() {
+        let bb = Platform::big_basin(Bytes::from_gib(32));
+        let survived = bb.with_gpu_count(5);
+        assert_eq!(survived.gpus().len(), 5);
+        assert_eq!(survived.name(), bb.name());
+        assert_eq!(
+            survived.host().memory().capacity(),
+            bb.host().memory().capacity()
+        );
+        assert!(survived.check().is_ok());
+        assert_eq!(bb.with_gpu_count(8).gpus().len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot grow")]
+    fn shrunk_platform_cannot_grow() {
+        Platform::big_basin(Bytes::from_gib(16)).with_gpu_count(9);
+    }
+
+    #[test]
+    fn checkpoint_bandwidth_is_the_tighter_of_drain_and_nic() {
+        // Big Basin: 8 PCIe3 lanes drain far faster than one 100G NIC, so
+        // the NIC bounds the checkpoint stream.
+        let bb = Platform::big_basin(Bytes::from_gib(16));
+        let nic = bb.network().effective_bandwidth();
+        assert_eq!(bb.checkpoint_bandwidth(), nic);
+        // CPU-only: NIC is the only path off the box.
+        let cpu = Platform::dual_socket_cpu();
+        assert_eq!(
+            cpu.checkpoint_bandwidth(),
+            cpu.network().effective_bandwidth()
+        );
+        // Transfer time scales linearly with state size.
+        let t1 = bb.checkpoint_transfer_time(Bytes::from_gib(1));
+        let t4 = bb.checkpoint_transfer_time(Bytes::from_gib(4));
+        assert!((t4.as_secs() / t1.as_secs() - 4.0).abs() < 1e-9);
+        assert!(t1.as_secs() > 0.0);
     }
 
     #[test]

@@ -101,10 +101,7 @@ pub fn line_plot(figure: &Figure, width: usize, height: usize) -> String {
         out.extend(row.iter());
         out.push('\n');
     }
-    out.push_str(&format!(
-        "{:>14}{x_lo:<.3} .. {x_hi:.3}\n",
-        ""
-    ));
+    out.push_str(&format!("{:>14}{x_lo:<.3} .. {x_hi:.3}\n", ""));
     for (si, series) in figure.series().iter().enumerate() {
         out.push_str(&format!(
             "  {} = {}\n",
@@ -139,10 +136,7 @@ mod tests {
 
     #[test]
     fn bar_chart_scales_to_max() {
-        let s = bar_chart(
-            &[("a".to_string(), 1.0), ("b".to_string(), 2.0)],
-            10,
-        );
+        let s = bar_chart(&[("a".to_string(), 1.0), ("b".to_string(), 2.0)], 10);
         let lines: Vec<&str> = s.lines().collect();
         let hashes = |l: &str| l.chars().filter(|&c| c == '#').count();
         assert_eq!(hashes(lines[0]), 5);

@@ -44,11 +44,7 @@ impl Kde {
         let mean = sorted.iter().sum::<f64>() / n;
         let std = (sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n).sqrt();
         let iqr = crate::stats::quantile(&sorted, 0.75) - crate::stats::quantile(&sorted, 0.25);
-        let spread = if iqr > 0.0 {
-            std.min(iqr / 1.34)
-        } else {
-            std
-        };
+        let spread = if iqr > 0.0 { std.min(iqr / 1.34) } else { std };
         // Degenerate samples (all equal) still need a positive bandwidth.
         let bandwidth = (0.9 * spread * n.powf(-0.2)).max(1e-9);
         Self {

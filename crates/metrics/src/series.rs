@@ -95,7 +95,11 @@ impl Series {
     ///
     /// Panics when empty or when the first y is zero.
     pub fn normalized_to_first(&self) -> Series {
-        let base = self.points.first().expect("cannot normalize empty series").1;
+        let base = self
+            .points
+            .first()
+            .expect("cannot normalize empty series")
+            .1;
         assert!(base != 0.0, "cannot normalize to zero");
         Series {
             name: self.name.clone(),

@@ -419,8 +419,7 @@ mod tests {
         let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
         let s: OnlineStats = xs.iter().copied().collect();
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        let var =
-            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
         assert!((s.mean() - mean).abs() < 1e-10);
         assert!((s.sample_variance() - var).abs() < 1e-10);
     }

@@ -56,7 +56,7 @@ impl Table {
     ///
     /// Panics if the row length does not match the header count.
     pub fn push_display_row<D: fmt::Display>(&mut self, row: &[D]) {
-        self.push_row(row.iter().map(|d| d.to_string()).collect());
+        self.push_row(row.iter().map(ToString::to_string).collect());
     }
 
     /// Number of data rows.
@@ -81,7 +81,10 @@ impl Table {
 
     /// Cell at `(row, col)` if present.
     pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
-        self.rows.get(row).and_then(|r| r.get(col)).map(String::as_str)
+        self.rows
+            .get(row)
+            .and_then(|r| r.get(col))
+            .map(String::as_str)
     }
 
     fn widths(&self) -> Vec<usize> {

@@ -101,7 +101,11 @@ impl DlrmModel {
         self.bottom.parameter_count()
             + self.top.parameter_count()
             + self.interaction.parameter_count()
-            + self.tables.iter().map(EmbeddingTable::parameter_count).sum::<usize>()
+            + self
+                .tables
+                .iter()
+                .map(EmbeddingTable::parameter_count)
+                .sum::<usize>()
     }
 
     /// Forward pass: returns per-example logits (`B×1`) and the cache.
@@ -166,8 +170,9 @@ impl DlrmModel {
             .zip(&interaction_grads.d_embeddings)
             .map(|((f, sb), d_emb)| self.tables[self.config.table_of(f)].backward(sb, d_emb))
             .collect();
-        let (bottom_grads, _d_dense) =
-            self.bottom.backward(&cache.bottom, &interaction_grads.d_bottom);
+        let (bottom_grads, _d_dense) = self
+            .bottom
+            .backward(&cache.bottom, &interaction_grads.d_bottom);
         DlrmGradients {
             bottom: bottom_grads,
             tables: table_grads,
@@ -210,13 +215,12 @@ impl DlrmModel {
     ///
     /// Panics if architectures differ or `touched_rows` has the wrong
     /// length.
-    pub fn pull_toward(
-        &mut self,
-        center: &DlrmModel,
-        alpha: f32,
-        touched_rows: &[Vec<u32>],
-    ) {
-        assert_eq!(touched_rows.len(), self.tables.len(), "row set count mismatch");
+    pub fn pull_toward(&mut self, center: &DlrmModel, alpha: f32, touched_rows: &[Vec<u32>]) {
+        assert_eq!(
+            touched_rows.len(),
+            self.tables.len(),
+            "row set count mismatch"
+        );
         self.bottom.pull_toward(&center.bottom, alpha);
         self.top.pull_toward(&center.top, alpha);
         self.interaction.pull_toward(&center.interaction, alpha);
@@ -330,10 +334,8 @@ mod tests {
                 let mut m = model.clone();
                 let mut g = Matrix::zeros(1, cfg.embedding_dim());
                 g.set(0, 0, -delta); // SGD with lr 1: w -= g => w += delta
-                let sg = m.tables[0].backward(
-                    &recsim_data::SparseBatch::new(vec![0, 1], vec![row]),
-                    &g,
-                );
+                let sg =
+                    m.tables[0].backward(&recsim_data::SparseBatch::new(vec![0, 1], vec![row]), &g);
                 let mut opt = Optimizer::sgd(1.0);
                 m.tables[0].apply(&sg, &mut opt);
                 let (l, _) = m.forward(&batch);
@@ -341,7 +343,11 @@ mod tests {
             };
             let fd = (poke(eps) - poke(-eps)) / (2.0 * eps as f64);
             let analytic = grads.tables[0].grads().get(
-                grads.tables[0].rows().iter().position(|&r| r == row).unwrap(),
+                grads.tables[0]
+                    .rows()
+                    .iter()
+                    .position(|&r| r == row)
+                    .unwrap(),
                 0,
             ) as f64;
             assert!(
@@ -406,12 +412,9 @@ mod tests {
         assert!(model.parameter_count() > table_params);
         // MLP bytes from the config helper agree with the built model's
         // dense parameter count (weights + biases).
-        let dense_params = model.parameter_count() - table_params
-            - model.interaction.parameter_count();
-        assert_eq!(
-            dense_params as u64 * 4,
-            cfg.mlp_parameter_bytes(),
-        );
+        let dense_params =
+            model.parameter_count() - table_params - model.interaction.parameter_count();
+        assert_eq!(dense_params as u64 * 4, cfg.mlp_parameter_bytes(),);
     }
 
     #[test]

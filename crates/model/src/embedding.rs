@@ -65,7 +65,10 @@ impl EmbeddingTable {
     ///
     /// Panics if either dimension is zero.
     pub fn new(hash_size: usize, dim: usize, seed: u64) -> Self {
-        assert!(hash_size > 0 && dim > 0, "table dimensions must be positive");
+        assert!(
+            hash_size > 0 && dim > 0,
+            "table dimensions must be positive"
+        );
         let mut weights = Matrix::xavier(hash_size, dim, seed);
         // Xavier's fan-in here is the huge hash_size; rescale to a magnitude
         // appropriate for sum pooling of a handful of rows.

@@ -59,12 +59,7 @@ impl InteractionLayer {
 
     /// Output width for `num_sparse` features given the bottom output and
     /// embedding dimension.
-    pub fn output_dim(
-        &self,
-        bottom_out: usize,
-        embedding_dim: usize,
-        num_sparse: usize,
-    ) -> usize {
+    pub fn output_dim(&self, bottom_out: usize, embedding_dim: usize, num_sparse: usize) -> usize {
         match self {
             InteractionLayer::Concat => bottom_out + num_sparse * embedding_dim,
             InteractionLayer::Dot { .. } => {
@@ -191,9 +186,8 @@ impl InteractionLayer {
                     d_out.hsplit(n0)
                 };
                 // Gradient into each interaction vector.
-                let mut d_vectors: Vec<Matrix> = (0..n)
-                    .map(|_| Matrix::zeros(b, embedding_dim))
-                    .collect();
+                let mut d_vectors: Vec<Matrix> =
+                    (0..n).map(|_| Matrix::zeros(b, embedding_dim)).collect();
                 let mut k = 0usize;
                 for i in 0..n {
                     for j in (i + 1)..n {
@@ -215,8 +209,7 @@ impl InteractionLayer {
                     }
                 }
                 // v_0 backpropagates through the projection into z0.
-                let (proj_grads, d_z0_from_proj) =
-                    projection.backward(&cache.z0, &d_vectors[0]);
+                let (proj_grads, d_z0_from_proj) = projection.backward(&cache.z0, &d_vectors[0]);
                 d_bottom.add_scaled(&d_z0_from_proj, 1.0);
                 InteractionGradients {
                     projection: Some(proj_grads),
@@ -242,10 +235,9 @@ impl InteractionLayer {
     pub fn pull_toward(&mut self, other: &InteractionLayer, alpha: f32) {
         match (self, other) {
             (InteractionLayer::Concat, InteractionLayer::Concat) => {}
-            (
-                InteractionLayer::Dot { projection },
-                InteractionLayer::Dot { projection: o },
-            ) => projection.pull_toward(o, alpha),
+            (InteractionLayer::Dot { projection }, InteractionLayer::Dot { projection: o }) => {
+                projection.pull_toward(o, alpha);
+            }
             _ => panic!("interaction variant mismatch"),
         }
     }
@@ -264,7 +256,9 @@ mod tests {
     use super::*;
 
     fn embeddings(b: usize, d: usize, n: usize, seed: u64) -> Vec<Matrix> {
-        (0..n).map(|i| Matrix::xavier(b, d, seed + i as u64)).collect()
+        (0..n)
+            .map(|i| Matrix::xavier(b, d, seed + i as u64))
+            .collect()
     }
 
     #[test]
@@ -294,7 +288,11 @@ mod tests {
         let z0 = Matrix::xavier(2, 3, 2);
         let embs = embeddings(2, 2, 2, 20);
         let (out, cache) = layer.forward(&z0, &embs);
-        let d_out = Matrix::from_vec(2, out.cols(), (0..2 * out.cols()).map(|i| i as f32).collect());
+        let d_out = Matrix::from_vec(
+            2,
+            out.cols(),
+            (0..2 * out.cols()).map(|i| i as f32).collect(),
+        );
         let g = layer.backward(&cache, &d_out, 2, 2);
         assert!(g.projection.is_none());
         assert_eq!(g.d_bottom.cols(), 3);
@@ -315,9 +313,7 @@ mod tests {
         let (out, cache) = layer.forward(&z0, &embs);
         let d_out = Matrix::from_vec(1, out.cols(), vec![1.0; out.cols()]);
         let g = layer.backward(&cache, &d_out, 2, 2);
-        let loss = |embs: &[Matrix]| -> f32 {
-            layer.forward(&z0, embs).0.as_slice().iter().sum()
-        };
+        let loss = |embs: &[Matrix]| -> f32 { layer.forward(&z0, embs).0.as_slice().iter().sum() };
         let eps = 1e-3f32;
         for f in 0..2 {
             for j in 0..2 {

@@ -45,7 +45,10 @@ impl Linear {
     ///
     /// Panics if either dimension is zero.
     pub fn new(input_dim: usize, output_dim: usize, seed: u64) -> Self {
-        assert!(input_dim > 0 && output_dim > 0, "dimensions must be positive");
+        assert!(
+            input_dim > 0 && output_dim > 0,
+            "dimensions must be positive"
+        );
         Self {
             weight: Matrix::xavier(input_dim, output_dim, seed),
             bias: vec![0.0; output_dim],

@@ -87,7 +87,9 @@ pub fn normalized_entropy(log_loss: f64, base_ctr: f64) -> f64 {
 /// Panics if `logits` is not a column vector.
 pub fn predict_probabilities(logits: &Matrix) -> Vec<f32> {
     assert_eq!(logits.cols(), 1, "logits must be a column vector");
-    (0..logits.rows()).map(|i| sigmoid(logits.get(i, 0))).collect()
+    (0..logits.rows())
+        .map(|i| sigmoid(logits.get(i, 0)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -140,7 +142,9 @@ mod tests {
         let ctr = 0.3;
         let n = 10_000;
         let positives = (n as f64 * ctr) as usize;
-        let labels: Vec<f32> = (0..n).map(|i| if i < positives { 1.0 } else { 0.0 }).collect();
+        let labels: Vec<f32> = (0..n)
+            .map(|i| if i < positives { 1.0 } else { 0.0 })
+            .collect();
         let preds = vec![ctr as f32; n];
         let ll = log_loss(&preds, &labels);
         let ne = normalized_entropy(ll, positives as f64 / n as f64);

@@ -152,7 +152,11 @@ impl Mlp {
     ///
     /// Panics if architectures differ.
     pub fn pull_toward(&mut self, other: &Mlp, alpha: f32) {
-        assert_eq!(self.layers.len(), other.layers.len(), "architecture mismatch");
+        assert_eq!(
+            self.layers.len(),
+            other.layers.len(),
+            "architecture mismatch"
+        );
         for (a, b) in self.layers.iter_mut().zip(&other.layers) {
             a.pull_toward(b, alpha);
         }
@@ -257,7 +261,12 @@ mod tests {
             let (grads, _) = mlp.backward(&cache, &dy);
             mlp.apply(&grads, &mut opt);
         }
-        assert!(losses[49] < losses[0] * 0.01, "{} -> {}", losses[0], losses[49]);
+        assert!(
+            losses[49] < losses[0] * 0.01,
+            "{} -> {}",
+            losses[0],
+            losses[49]
+        );
     }
 
     #[test]

@@ -110,12 +110,7 @@ impl Optimizer {
     /// # Panics
     ///
     /// Panics if `param` and `grad` lengths disagree.
-    pub fn update_vector(
-        &mut self,
-        param: &mut [f32],
-        grad: &[f32],
-        state: &mut Option<Vec<f32>>,
-    ) {
+    pub fn update_vector(&mut self, param: &mut [f32], grad: &[f32], state: &mut Option<Vec<f32>>) {
         assert_eq!(param.len(), grad.len(), "gradient length mismatch");
         match *self {
             Optimizer::Sgd { lr } => {
@@ -134,8 +129,7 @@ impl Optimizer {
             Optimizer::RowWiseAdagrad { lr, eps } => {
                 // A flat vector is a single "row": one shared accumulator.
                 let acc = state.get_or_insert_with(|| vec![0.0; 1]);
-                let mean_sq =
-                    grad.iter().map(|&g| g * g).sum::<f32>() / param.len().max(1) as f32;
+                let mean_sq = grad.iter().map(|&g| g * g).sum::<f32>() / param.len().max(1) as f32;
                 acc[0] += mean_sq;
                 let scale = lr / (acc[0].sqrt() + eps);
                 for (p, &g) in param.iter_mut().zip(grad) {
@@ -150,12 +144,7 @@ impl Optimizer {
     /// # Panics
     ///
     /// Panics if shapes disagree.
-    pub fn update_matrix(
-        &mut self,
-        param: &mut Matrix,
-        grad: &Matrix,
-        state: &mut Option<Matrix>,
-    ) {
+    pub fn update_matrix(&mut self, param: &mut Matrix, grad: &Matrix, state: &mut Option<Matrix>) {
         assert_eq!(
             (param.rows(), param.cols()),
             (grad.rows(), grad.cols()),
@@ -166,8 +155,7 @@ impl Optimizer {
                 param.add_scaled(grad, -lr);
             }
             Optimizer::Adagrad { lr, eps } => {
-                let acc =
-                    state.get_or_insert_with(|| Matrix::zeros(param.rows(), param.cols()));
+                let acc = state.get_or_insert_with(|| Matrix::zeros(param.rows(), param.cols()));
                 for ((p, &g), a) in param
                     .as_mut_slice()
                     .iter_mut()
@@ -183,8 +171,7 @@ impl Optimizer {
                 let acc = state.get_or_insert_with(|| Matrix::zeros(param.rows(), 1));
                 for r in 0..param.rows() {
                     let g_row = grad.row(r);
-                    let mean_sq =
-                        g_row.iter().map(|&g| g * g).sum::<f32>() / g_row.len() as f32;
+                    let mean_sq = g_row.iter().map(|&g| g * g).sum::<f32>() / g_row.len() as f32;
                     let a = acc.get(r, 0) + mean_sq;
                     acc.set(r, 0, a);
                     let scale = lr / (a.sqrt() + eps);
@@ -225,8 +212,7 @@ impl Optimizer {
                 }
             }
             Optimizer::Adagrad { lr, eps } => {
-                let acc =
-                    state.get_or_insert_with(|| Matrix::zeros(param.rows(), param.cols()));
+                let acc = state.get_or_insert_with(|| Matrix::zeros(param.rows(), param.cols()));
                 for (i, &r) in rows.iter().enumerate() {
                     let r = r as usize;
                     let g_row = grads.row(i).to_vec();
@@ -249,8 +235,7 @@ impl Optimizer {
                 for (i, &r) in rows.iter().enumerate() {
                     let r = r as usize;
                     let g_row = grads.row(i);
-                    let mean_sq =
-                        g_row.iter().map(|&g| g * g).sum::<f32>() / g_row.len() as f32;
+                    let mean_sq = g_row.iter().map(|&g| g * g).sum::<f32>() / g_row.len() as f32;
                     let a = acc.get(r, 0) + mean_sq;
                     acc.set(r, 0, a);
                     let scale = lr / (a.sqrt() + eps);
@@ -370,7 +355,10 @@ mod tests {
         let g = Matrix::from_rows(&[&[4.0, 1.0]]);
         opt.update_rows(&mut table, &[0], &g, &mut state);
         let ratio = table.get(0, 0) / table.get(0, 1);
-        assert!((ratio - 4.0).abs() < 1e-5, "uniform row scaling, ratio {ratio}");
+        assert!(
+            (ratio - 4.0).abs() < 1e-5,
+            "uniform row scaling, ratio {ratio}"
+        );
     }
 
     #[test]

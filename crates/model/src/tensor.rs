@@ -181,7 +181,10 @@ impl Matrix {
     ///
     /// Panics if column counts disagree.
     pub fn matmul_transposed(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.cols, "matmul_transposed dimension mismatch");
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transposed dimension mismatch"
+        );
         let mut out = Matrix::zeros(self.rows, other.rows);
         for i in 0..self.rows {
             let a_row = self.row(i);
@@ -200,7 +203,10 @@ impl Matrix {
     ///
     /// Panics if row counts disagree.
     pub fn transposed_matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.rows, other.rows, "transposed_matmul dimension mismatch");
+        assert_eq!(
+            self.rows, other.rows,
+            "transposed_matmul dimension mismatch"
+        );
         let mut out = Matrix::zeros(self.cols, other.cols);
         for k in 0..self.rows {
             let a_row = self.row(k);

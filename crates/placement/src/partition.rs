@@ -38,8 +38,7 @@ pub fn greedy_balance(weights: &[u64], bins: usize) -> Vec<usize> {
             .iter()
             .enumerate()
             .min_by_key(|&(i, &l)| (l, i))
-            .map(|(i, _)| i)
-            .unwrap_or(0);
+            .map_or(0, |(i, _)| i);
         assignment[idx] = bin;
         loads[bin] += weights[idx];
     }
@@ -173,12 +172,7 @@ pub fn pack_tiers(
 /// # Panics
 ///
 /// Panics if `bins == 0` or an assignment index is out of range.
-pub fn refine_balance(
-    weights: &[u64],
-    assignment: &mut [usize],
-    bins: usize,
-    iterations: usize,
-) {
+pub fn refine_balance(weights: &[u64], assignment: &mut [usize], bins: usize, iterations: usize) {
     assert!(bins > 0, "need at least one bin");
     let mut loads = bin_loads(weights, assignment, bins);
     for _ in 0..iterations {
@@ -191,10 +185,7 @@ pub fn refine_balance(
         else {
             return;
         };
-        let Some((min_bin, &min_load)) = loads
-            .iter()
-            .enumerate()
-            .min_by_key(|&(i, &l)| (l, i))
+        let Some((min_bin, &min_load)) = loads.iter().enumerate().min_by_key(|&(i, &l)| (l, i))
         else {
             return;
         };
@@ -209,8 +200,7 @@ pub fn refine_balance(
             }
             let w = weights[item];
             let new_pair_max = (max_load - w).max(min_load + w);
-            if new_pair_max < max_load && best.map(|(_, m)| new_pair_max < m).unwrap_or(true)
-            {
+            if new_pair_max < max_load && best.is_none_or(|(_, m)| new_pair_max < m) {
                 best = Some((item, new_pair_max));
             }
         }
@@ -226,9 +216,7 @@ pub fn refine_balance(
                 }
                 let delta = weights[a] - weights[b];
                 let new_pair_max = (max_load - delta).max(min_load + delta);
-                if new_pair_max < max_load
-                    && best_swap.map(|(_, _, m)| new_pair_max < m).unwrap_or(true)
-                {
+                if new_pair_max < max_load && best_swap.is_none_or(|(_, _, m)| new_pair_max < m) {
                     best_swap = Some((a, b, new_pair_max));
                 }
             }

@@ -304,10 +304,10 @@ impl Placement {
                 // the remainder spills to host memory.
                 let mut order: Vec<usize> = (0..sized.len()).collect();
                 order.sort_by(|&a, &b| {
-                    let da = sized[a].gather_bytes_per_example as f64
-                        / sized[a].bytes.max(1) as f64;
-                    let db = sized[b].gather_bytes_per_example as f64
-                        / sized[b].bytes.max(1) as f64;
+                    let da =
+                        sized[a].gather_bytes_per_example as f64 / sized[a].bytes.max(1) as f64;
+                    let db =
+                        sized[b].gather_bytes_per_example as f64 / sized[b].bytes.max(1) as f64;
                     db.total_cmp(&da).then(a.cmp(&b))
                 });
                 let mut gpu_loads = vec![0u64; gpus];
@@ -393,7 +393,7 @@ impl Placement {
         for a in &self.assignments {
             match a.location {
                 TableLocation::Replicated => {
-                    for l in loads.iter_mut() {
+                    for l in &mut loads {
                         *l += a.bytes;
                     }
                 }
@@ -545,7 +545,10 @@ impl Placement {
             ));
         }
         if self.host_bytes() > 0 {
-            out.push_str(&format!("  host memory: {}\n", Bytes::new(self.host_bytes())));
+            out.push_str(&format!(
+                "  host memory: {}\n",
+                Bytes::new(self.host_bytes())
+            ));
         }
         let remote = self.remote_loads();
         if !remote.is_empty() {
@@ -604,7 +607,7 @@ impl Validate for Placement {
                             "table replicated across GPUs on a plan with zero GPUs",
                         ));
                     } else {
-                        for l in gpu_loads.iter_mut() {
+                        for l in &mut gpu_loads {
                             *l += a.bytes;
                         }
                     }
@@ -762,13 +765,9 @@ pub fn table_demands(config: &ModelConfig, state_multiplier: f64) -> Vec<TableDe
 
 /// HBM bytes per GPU available for tables after the workspace reservation.
 pub fn gpu_table_capacity(platform: &Platform) -> u64 {
-    platform
-        .gpus()
-        .first()
-        .map(|g| {
-            (g.memory().capacity().as_u64() as f64 * (1.0 - GPU_RESERVED_FRACTION)) as u64
-        })
-        .unwrap_or(0)
+    platform.gpus().first().map_or(0, |g| {
+        (g.memory().capacity().as_u64() as f64 * (1.0 - GPU_RESERVED_FRACTION)) as u64
+    })
 }
 
 /// The minimum number of GPUs whose pooled HBM can hold the model's tables
@@ -903,11 +902,21 @@ mod tests {
             sparse.push(SparseFeatureSpec::new(format!("hot_{i}"), 1_000_000, 30.0));
         }
         for i in 0..4 {
-            sparse.push(SparseFeatureSpec::new(format!("cold_{i}"), 100_000_000, 2.0));
+            sparse.push(SparseFeatureSpec::new(
+                format!("cold_{i}"),
+                100_000_000,
+                2.0,
+            ));
         }
         let cfg = ModelConfig::new(
-            "hybrid-test", 64, sparse, 32, vec![512], vec![512],
-            Interaction::DotProduct, 32,
+            "hybrid-test",
+            64,
+            sparse,
+            32,
+            vec![512],
+            vec![512],
+            Interaction::DotProduct,
+            32,
         );
         let p = Placement::plan(
             &cfg,

@@ -57,7 +57,7 @@ pub fn thread_count() -> usize {
             }
         }
     }
-    std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, usize::from)
 }
 
 /// Map `f` over `items` on [`thread_count`] workers, preserving input order.
@@ -109,7 +109,10 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join()).collect::<Vec<_>>()
+        handles
+            .into_iter()
+            .map(std::thread::ScopedJoinHandle::join)
+            .collect::<Vec<_>>()
     });
     for worker_result in joined {
         match worker_result {
@@ -205,7 +208,9 @@ mod tests {
         let mut state = seed | 1;
         (0..len)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 state >> 33
             })
             .collect()
@@ -244,7 +249,11 @@ mod tests {
         });
         assert_eq!(out, items);
         for (i, count) in counts.iter().enumerate() {
-            assert_eq!(count.load(Ordering::SeqCst), 1, "item {i} ran a wrong number of times");
+            assert_eq!(
+                count.load(Ordering::SeqCst),
+                1,
+                "item {i} ran a wrong number of times"
+            );
         }
     }
 
@@ -257,7 +266,10 @@ mod tests {
                 i
             })
         }));
-        assert!(result.is_err(), "panic in a worker must propagate to the caller");
+        assert!(
+            result.is_err(),
+            "panic in a worker must propagate to the caller"
+        );
     }
 
     #[test]

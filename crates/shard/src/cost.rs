@@ -112,7 +112,9 @@ impl CostModel {
     /// Figure 6 observation that access frequency does not correlate with
     /// size is exactly why this beats a bytes-only fill).
     pub fn hbm_density(&self, demand: &TableDemand, batch: u64) -> f64 {
-        let gpu = self.access_cost(demand, MemoryTier::GpuHbm, batch).as_secs();
+        let gpu = self
+            .access_cost(demand, MemoryTier::GpuHbm, batch)
+            .as_secs();
         let host = self
             .access_cost(demand, MemoryTier::HostDram, batch)
             .as_secs();

@@ -238,15 +238,10 @@ impl ShardPlan {
 /// Scores the four static Figure-8 strategies on the same inputs,
 /// skipping the infeasible ones. Labels come from
 /// [`PlacementStrategy::label`].
-pub fn static_plans(
-    config: &ModelConfig,
-    platform: &Platform,
-    batch: u64,
-) -> Vec<ShardPlan> {
+pub fn static_plans(config: &ModelConfig, platform: &Platform, batch: u64) -> Vec<ShardPlan> {
     let mut out = Vec::new();
     for strategy in PlacementStrategy::figure8_lineup() {
-        let Ok(placement) =
-            Placement::plan(config, platform, strategy, ADAGRAD_STATE_MULTIPLIER)
+        let Ok(placement) = Placement::plan(config, platform, strategy, ADAGRAD_STATE_MULTIPLIER)
         else {
             continue;
         };

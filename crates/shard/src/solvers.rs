@@ -11,9 +11,7 @@ use recsim_hw::units::Bytes;
 use recsim_hw::Platform;
 use recsim_placement::partition::{pack_tiers, Tier};
 use recsim_placement::plan::{gpu_table_capacity, table_demands, ADAGRAD_STATE_MULTIPLIER};
-use recsim_placement::{
-    Placement, PlacementError, PlacementStrategy, TableDemand, TableLocation,
-};
+use recsim_placement::{Placement, PlacementError, PlacementStrategy, TableDemand, TableLocation};
 use recsim_sim::{GpuTrainingSim, SimScratch};
 
 /// Capacities of the three tiers on a platform, in solver form.
@@ -94,7 +92,7 @@ impl GreedySharder {
 
         let mut gpu_loads = vec![0u64; caps.gpus];
         let mut host_load = 0u64;
-        let mut remote_loads = vec![0u64; MAX_REMOTE_SERVERS];
+        let mut remote_loads = [0u64; MAX_REMOTE_SERVERS];
         let mut locations = vec![TableLocation::HostMemory; demands.len()];
         for idx in order {
             let d = &demands[idx];
@@ -276,7 +274,7 @@ fn loads_of(
     for (d, &loc) in demands.iter().zip(locations) {
         match loc {
             TableLocation::Replicated => {
-                for l in gpu.iter_mut() {
+                for l in &mut gpu {
                     *l += d.bytes;
                 }
             }
@@ -318,16 +316,14 @@ impl Sharder for RefineSharder {
         let demands = table_demands(config, ADAGRAD_STATE_MULTIPLIER);
         let mut scratch = SimScratch::new();
         let mut evaluate = |placement: &Placement| -> Result<f64, ShardError> {
-            let sim =
-                GpuTrainingSim::with_placement(config, platform, placement.clone(), batch)?;
+            let sim = GpuTrainingSim::with_placement(config, platform, placement.clone(), batch)?;
             Ok(sim.run_in(&mut scratch).iteration_time().as_secs())
         };
 
         // ---- Seed: every feasible static plan + the other two solvers.
         let mut candidates: Vec<Placement> = Vec::new();
         for strategy in PlacementStrategy::figure8_lineup() {
-            if let Ok(p) = Placement::plan(config, platform, strategy, ADAGRAD_STATE_MULTIPLIER)
-            {
+            if let Ok(p) = Placement::plan(config, platform, strategy, ADAGRAD_STATE_MULTIPLIER) {
                 candidates.push(p);
             }
         }
@@ -343,7 +339,7 @@ impl Sharder for RefineSharder {
         let mut best: Option<(f64, Placement)> = None;
         for p in candidates {
             let Ok(t) = evaluate(&p) else { continue };
-            let better = best.as_ref().map(|(bt, _)| t < *bt).unwrap_or(true);
+            let better = best.as_ref().is_none_or(|(bt, _)| t < *bt);
             if better {
                 best = Some((t, p));
             }
@@ -392,8 +388,7 @@ impl Sharder for RefineSharder {
                         .filter(|&(_, &l)| l + d.bytes <= caps.per_remote)
                         .min_by_key(|&(i, &l)| (l, i))
                     {
-                        let there =
-                            cost.access_cost(d, MemoryTier::RemoteDram, batch).as_secs();
+                        let there = cost.access_cost(d, MemoryTier::RemoteDram, batch).as_secs();
                         proposals.push((here - there, idx, TableLocation::Remote(s)));
                     }
                 }
@@ -424,9 +419,7 @@ impl Sharder for RefineSharder {
                 locations[idx] = prev;
                 spent += 1;
                 let Ok(t) = evaluate(&trial) else { continue };
-                if t < best_time
-                    && accepted.as_ref().map(|(at, _, _)| t < *at).unwrap_or(true)
-                {
+                if t < best_time && accepted.as_ref().is_none_or(|(at, _, _)| t < *at) {
                     accepted = Some((t, idx, target));
                 }
             }
@@ -492,7 +485,9 @@ mod tests {
     #[test]
     fn greedy_places_all_m1_tables() {
         let m1 = production_model(ProductionModelId::M1);
-        let plan = GreedySharder.shard(&m1, &big_basin(), 1600).expect("m1 fits");
+        let plan = GreedySharder
+            .shard(&m1, &big_basin(), 1600)
+            .expect("m1 fits");
         assert_eq!(plan.placement().assignments().len(), m1.num_tables());
         assert!(plan.placement().check().is_ok());
     }
@@ -528,8 +523,11 @@ mod tests {
     #[test]
     fn cpu_only_platform_is_rejected() {
         let m1 = production_model(ProductionModelId::M1);
-        for solver in [&GreedySharder as &dyn Sharder, &PackSharder, &RefineSharder::default()]
-        {
+        for solver in [
+            &GreedySharder as &dyn Sharder,
+            &PackSharder,
+            &RefineSharder::default(),
+        ] {
             let err = solver
                 .shard(&m1, &Platform::dual_socket_cpu(), 1600)
                 .expect_err("no GPUs");

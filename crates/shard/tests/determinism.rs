@@ -33,7 +33,8 @@ fn solver_plans_are_thread_count_invariant() {
                 match &baseline {
                     None => baseline = Some(rendered),
                     Some(b) => assert_eq!(
-                        b, &rendered,
+                        b,
+                        &rendered,
                         "{} plan differs at {threads} threads on {model_id:?}",
                         solver.name()
                     ),

@@ -10,8 +10,7 @@ use recsim_hw::Platform;
 use recsim_placement::plan::gpu_table_capacity;
 use recsim_placement::TableLocation;
 use recsim_shard::{
-    best_static, GreedySharder, PackSharder, RefineSharder, ShardPlan, Sharder,
-    MAX_REMOTE_SERVERS,
+    best_static, GreedySharder, PackSharder, RefineSharder, ShardPlan, Sharder, MAX_REMOTE_SERVERS,
 };
 use recsim_verify::Validate;
 

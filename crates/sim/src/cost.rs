@@ -66,8 +66,8 @@ impl Default for CostKnobs {
             backward_flops_multiplier: 2.0,
             scatter_multiplier: 4.0,
             cache_boost: 3.0,
-            cache_resident_bytes: 32 << 20,      // 32 MiB: L2/LLC resident
-            dram_resident_bytes: 4 << 30,        // 4 GiB: fully DRAM-bound
+            cache_resident_bytes: 32 << 20, // 32 MiB: L2/LLC resident
+            dram_resident_bytes: 4 << 30,   // 4 GiB: fully DRAM-bound
             kernels_per_layer: 2,
             gemm_half_efficiency_flops: 5e8,
             gpu_scatter_efficiency: 0.4,
@@ -75,7 +75,7 @@ impl Default for CostKnobs {
             staging_fraction: 0.2,
             rpc_overhead: Duration::from_micros(40.0),
             staged_hop_latency: Duration::from_micros(50.0),
-            cpu_cache_bytes: 40 << 20,           // ~40 MiB LLC per socket pair
+            cpu_cache_bytes: 40 << 20, // ~40 MiB LLC per socket pair
             hogwild_base_utilization: 0.55,
             hogwild_efficiency: 0.6,
         }
@@ -194,7 +194,8 @@ impl Validate for CostKnobs {
         );
         knob(
             "gpu_scatter_efficiency",
-            self.gpu_scatter_efficiency.is_finite() && self.gpu_scatter_efficiency > 0.0
+            self.gpu_scatter_efficiency.is_finite()
+                && self.gpu_scatter_efficiency > 0.0
                 && self.gpu_scatter_efficiency <= 1.0,
             self.gpu_scatter_efficiency,
             "in (0, 1]",
@@ -207,7 +208,8 @@ impl Validate for CostKnobs {
         );
         knob(
             "staging_fraction",
-            self.staging_fraction.is_finite() && self.staging_fraction > 0.0
+            self.staging_fraction.is_finite()
+                && self.staging_fraction > 0.0
                 && self.staging_fraction <= 1.0,
             self.staging_fraction,
             "in (0, 1]",
@@ -277,7 +279,8 @@ impl<'a> IterationCosts<'a> {
     /// weight/activation streaming.
     pub fn bottom_forward(&self, batch: u64) -> Work {
         let flops = self.config.bottom_mlp_flops_per_example() * batch;
-        let bytes = self.dense_stream_bytes(batch, self.config.bottom_mlp(), self.config.num_dense());
+        let bytes =
+            self.dense_stream_bytes(batch, self.config.bottom_mlp(), self.config.num_dense());
         Work::compute(
             Flops::new(flops),
             Bytes::new(bytes),
@@ -288,8 +291,7 @@ impl<'a> IterationCosts<'a> {
     /// Forward work of the feature interaction for `batch` examples.
     pub fn interaction_forward(&self, batch: u64) -> Work {
         let flops = self.config.interaction_flops_per_example() * batch;
-        let bytes =
-            (self.config.num_sparse() + 1) as u64 * self.config.row_bytes() * batch;
+        let bytes = (self.config.num_sparse() + 1) as u64 * self.config.row_bytes() * batch;
         Work::compute(Flops::new(flops), Bytes::new(bytes), 2)
     }
 
@@ -314,9 +316,7 @@ impl<'a> IterationCosts<'a> {
             .merge(&self.top_forward(batch));
         Work::compute(
             Flops::new((fwd.flops().as_f64() * self.knobs.backward_flops_multiplier) as u64),
-            Bytes::new(
-                (fwd.bytes().as_f64() * self.knobs.backward_flops_multiplier) as u64,
-            ),
+            Bytes::new((fwd.bytes().as_f64() * self.knobs.backward_flops_multiplier) as u64),
             fwd.kernels(),
         )
     }
@@ -353,12 +353,7 @@ impl<'a> IterationCosts<'a> {
     /// cache-ability), including pooling FLOPs. One kernel launches per
     /// table (SparseLengthsSum-style), which matters for wide models: 128
     /// sparse features cost 128 launches per pass.
-    pub fn embedding_gather(
-        &self,
-        gather_bytes: u64,
-        avg_table_bytes: u64,
-        tables: u64,
-    ) -> Work {
+    pub fn embedding_gather(&self, gather_bytes: u64, avg_table_bytes: u64, tables: u64) -> Work {
         let boost = self.knobs.gather_boost(avg_table_bytes);
         let effective = (gather_bytes as f64 / boost) as u64;
         // Pooling: one add per gathered float.
@@ -386,8 +381,7 @@ impl<'a> IterationCosts<'a> {
             recsim_hw::DeviceKind::Gpu => self.knobs.gpu_scatter_efficiency,
             recsim_hw::DeviceKind::Cpu => 1.0,
         };
-        let bytes =
-            (gather_bytes as f64 * self.knobs.scatter_multiplier / (boost * atomic)) as u64;
+        let bytes = (gather_bytes as f64 * self.knobs.scatter_multiplier / (boost * atomic)) as u64;
         Work::new(
             Flops::new(gather_bytes / F32_BYTES * 2),
             Bytes::new(bytes),
@@ -464,7 +458,11 @@ mod tests {
         assert!(u1 < u2 && u2 <= u8);
         assert!(u1 > 0.0 && u8 <= 1.0);
         assert_eq!(u8, 1.0, "many threads saturate the machine");
-        assert_eq!(k.hogwild_machine_utilization(0), u1, "zero threads clamps to one");
+        assert_eq!(
+            k.hogwild_machine_utilization(0),
+            u1,
+            "zero threads clamps to one"
+        );
     }
 
     #[test]
@@ -481,7 +479,11 @@ mod tests {
             ..CostKnobs::default()
         };
         let diags = bad.validate();
-        assert_eq!(diags.len(), 3, "one diagnostic per corrupted knob: {diags:?}");
+        assert_eq!(
+            diags.len(),
+            3,
+            "one diagnostic per corrupted knob: {diags:?}"
+        );
         assert!(diags.iter().all(|d| d.code() == Code::InvalidCostKnob));
         assert!(diags
             .iter()

@@ -80,9 +80,24 @@ impl Validate for CpuClusterSetup {
             }
         }
         let mut out = Vec::new();
-        need(&mut out, "trainers", self.trainers > 0, "need at least one trainer");
-        need(&mut out, "dense_ps", self.dense_ps > 0, "need dense parameter servers");
-        need(&mut out, "sparse_ps", self.sparse_ps > 0, "need sparse parameter servers");
+        need(
+            &mut out,
+            "trainers",
+            self.trainers > 0,
+            "need at least one trainer",
+        );
+        need(
+            &mut out,
+            "dense_ps",
+            self.dense_ps > 0,
+            "need dense parameter servers",
+        );
+        need(
+            &mut out,
+            "sparse_ps",
+            self.sparse_ps > 0,
+            "need sparse parameter servers",
+        );
         need(
             &mut out,
             "hogwild_threads",
@@ -180,9 +195,7 @@ impl CpuTrainingSim {
     pub fn run_in(&self, scratch: &mut SimScratch) -> SimReport {
         let single = self.schedule_of(1, scratch);
         let pipelined = self.schedule_of(Self::PIPELINE_DEPTH, scratch);
-        let steady = pipelined
-            .makespan()
-            .saturating_sub(single.makespan())
+        let steady = pipelined.makespan().saturating_sub(single.makespan())
             / (Self::PIPELINE_DEPTH - 1) as f64;
         let steady = steady.max(single.makespan() / Self::PIPELINE_DEPTH as f64);
         self.report(steady, &pipelined)
@@ -202,7 +215,8 @@ impl CpuTrainingSim {
 
     /// Critical-path attribution of one un-pipelined fleet iteration.
     pub fn critical_path(&self, top_k: usize) -> CriticalPathReport {
-        self.schedule_of(1, &mut SimScratch::new()).critical_path(top_k)
+        self.schedule_of(1, &mut SimScratch::new())
+            .critical_path(top_k)
     }
 
     /// Builds and simulates the fleet graph; see
@@ -253,7 +267,8 @@ impl CpuTrainingSim {
         // Traffic volumes.
         let gather_pe = self.config.embedding_read_bytes_per_example();
         let pooled_pe = self.config.pooled_bytes_per_example();
-        let avg_table = self.config.total_embedding_bytes() / self.config.num_sparse().max(1) as u64;
+        let avg_table =
+            self.config.total_embedding_bytes() / self.config.num_sparse().max(1) as u64;
         let mlp_bytes = self.config.mlp_parameter_bytes();
 
         // Dense compute per trainer iteration: fwd + bwd for b_iter examples,
@@ -280,112 +295,112 @@ impl CpuTrainingSim {
             * (1.0 / (machine_util * derate));
 
         for _iteration in 0..iterations {
-        let mut tail: Vec<TaskId> = Vec::new();
-        for i in 0..t_count {
-            // Read mini-batches from the reader tier.
-            let t_read = graph.add_task_in(
-                TaskCategory::ReaderStall,
-                format!("read{i}"),
-                net.transfer_time(Bytes::new(b_iter * self.config.example_bytes()), 1),
-                Some(trainer_nic[i]),
-                &[],
-            );
-            // Sparse lookups: PS-side gather + response over the PS NIC.
-            let mut lookup_done = Vec::with_capacity(s_count);
-            for s in 0..s_count {
-                let t_gather = graph.add_task_in(
-                    TaskCategory::EmbeddingLookup,
-                    format!("lookup_t{i}_ps{s}"),
-                    costs
-                        .embedding_gather(
-                            b_iter * gather_pe / s_count as u64,
-                            avg_table,
-                            (self.config.num_sparse() as u64).div_ceil(s_count as u64),
-                        )
-                        .time_on(&ps_dev)
-                        + self.knobs.rpc_overhead,
-                    Some(sparse_cpu[s]),
-                    &[t_read],
+            let mut tail: Vec<TaskId> = Vec::new();
+            for i in 0..t_count {
+                // Read mini-batches from the reader tier.
+                let t_read = graph.add_task_in(
+                    TaskCategory::ReaderStall,
+                    format!("read{i}"),
+                    net.transfer_time(Bytes::new(b_iter * self.config.example_bytes()), 1),
+                    Some(trainer_nic[i]),
+                    &[],
                 );
-                let t_resp = graph.add_task_in(
-                    TaskCategory::NicTransfer,
-                    format!("lookup_resp_t{i}_ps{s}"),
-                    net.transfer_time(Bytes::new(b_iter * pooled_pe / s_count as u64), 1),
-                    Some(sparse_nic[s]),
-                    &[t_gather],
+                // Sparse lookups: PS-side gather + response over the PS NIC.
+                let mut lookup_done = Vec::with_capacity(s_count);
+                for s in 0..s_count {
+                    let t_gather = graph.add_task_in(
+                        TaskCategory::EmbeddingLookup,
+                        format!("lookup_t{i}_ps{s}"),
+                        costs
+                            .embedding_gather(
+                                b_iter * gather_pe / s_count as u64,
+                                avg_table,
+                                (self.config.num_sparse() as u64).div_ceil(s_count as u64),
+                            )
+                            .time_on(&ps_dev)
+                            + self.knobs.rpc_overhead,
+                        Some(sparse_cpu[s]),
+                        &[t_read],
+                    );
+                    let t_resp = graph.add_task_in(
+                        TaskCategory::NicTransfer,
+                        format!("lookup_resp_t{i}_ps{s}"),
+                        net.transfer_time(Bytes::new(b_iter * pooled_pe / s_count as u64), 1),
+                        Some(sparse_nic[s]),
+                        &[t_gather],
+                    );
+                    lookup_done.push(t_resp);
+                }
+                // Hogwild forward+backward over the dense stack.
+                let mut compute_deps = lookup_done.clone();
+                compute_deps.push(t_read);
+                let t_compute = graph.add_task_in(
+                    TaskCategory::MlpCompute,
+                    format!("hogwild_fwd_bwd{i}"),
+                    compute_time,
+                    Some(trainer_cpu[i]),
+                    &compute_deps,
                 );
-                lookup_done.push(t_resp);
+                // Push embedding gradients back to the sparse PS.
+                for s in 0..s_count {
+                    let t_push = graph.add_task_in(
+                        TaskCategory::NicTransfer,
+                        format!("grad_push_t{i}_ps{s}"),
+                        net.transfer_time(Bytes::new(b_iter * pooled_pe / s_count as u64), 1),
+                        Some(sparse_nic[s]),
+                        &[t_compute],
+                    );
+                    tail.push(
+                        graph.add_task_in(
+                            TaskCategory::PsUpdate,
+                            format!("ps_scatter_t{i}_ps{s}"),
+                            costs
+                                .embedding_scatter(
+                                    b_iter * gather_pe / s_count as u64,
+                                    avg_table,
+                                    (self.config.num_sparse() as u64).div_ceil(s_count as u64),
+                                    recsim_hw::DeviceKind::Cpu,
+                                )
+                                .time_on(&ps_dev)
+                                + self.knobs.rpc_overhead,
+                            Some(sparse_cpu[s]),
+                            &[t_push],
+                        ),
+                    );
+                }
+                // EASGD sync of dense parameters with the dense PS shards.
+                for d in 0..d_count {
+                    // Amortized by the EASGD communication period.
+                    let shard = mlp_bytes / d_count as u64 / self.setup.sync_period as u64;
+                    let t_xfer = graph.add_task_in(
+                        TaskCategory::NicTransfer,
+                        format!("easgd_xfer_t{i}_ps{d}"),
+                        net.transfer_time(Bytes::new(2 * shard), 2),
+                        Some(dense_nic[d]),
+                        &[t_compute],
+                    );
+                    tail.push(
+                        graph.add_task_in(
+                            TaskCategory::PsUpdate,
+                            format!("easgd_update_t{i}_ps{d}"),
+                            recsim_hw::Work::compute(
+                                recsim_hw::units::Flops::new(shard / F32_BYTES * 2),
+                                Bytes::new(3 * shard),
+                                1,
+                            )
+                            .time_on(&ps_dev),
+                            Some(dense_cpu[d]),
+                            &[t_xfer],
+                        ),
+                    );
+                }
             }
-            // Hogwild forward+backward over the dense stack.
-            let mut compute_deps = lookup_done.clone();
-            compute_deps.push(t_read);
-            let t_compute = graph.add_task_in(
-                TaskCategory::MlpCompute,
-                format!("hogwild_fwd_bwd{i}"),
-                compute_time,
-                Some(trainer_cpu[i]),
-                &compute_deps,
-            );
-            // Push embedding gradients back to the sparse PS.
-            for s in 0..s_count {
-                let t_push = graph.add_task_in(
-                    TaskCategory::NicTransfer,
-                    format!("grad_push_t{i}_ps{s}"),
-                    net.transfer_time(Bytes::new(b_iter * pooled_pe / s_count as u64), 1),
-                    Some(sparse_nic[s]),
-                    &[t_compute],
-                );
-                tail.push(graph.add_task_in(
-                    TaskCategory::PsUpdate,
-                    format!("ps_scatter_t{i}_ps{s}"),
-                    costs
-                        .embedding_scatter(
-                            b_iter * gather_pe / s_count as u64,
-                            avg_table,
-                            (self.config.num_sparse() as u64).div_ceil(s_count as u64),
-                            recsim_hw::DeviceKind::Cpu,
-                        )
-                        .time_on(&ps_dev)
-                        + self.knobs.rpc_overhead,
-                    Some(sparse_cpu[s]),
-                    &[t_push],
-                ));
-            }
-            // EASGD sync of dense parameters with the dense PS shards.
-            for d in 0..d_count {
-                // Amortized by the EASGD communication period.
-                let shard = mlp_bytes / d_count as u64 / self.setup.sync_period as u64;
-                let t_xfer = graph.add_task_in(
-                    TaskCategory::NicTransfer,
-                    format!("easgd_xfer_t{i}_ps{d}"),
-                    net.transfer_time(Bytes::new(2 * shard), 2),
-                    Some(dense_nic[d]),
-                    &[t_compute],
-                );
-                tail.push(graph.add_task_in(
-                    TaskCategory::PsUpdate,
-                    format!("easgd_update_t{i}_ps{d}"),
-                    recsim_hw::Work::compute(
-                        recsim_hw::units::Flops::new(shard / F32_BYTES * 2),
-                        Bytes::new(3 * shard),
-                        1,
-                    )
-                    .time_on(&ps_dev),
-                    Some(dense_cpu[d]),
-                    &[t_xfer],
-                ));
-            }
-        }
-        graph.add_barrier("fleet_iteration_done", &tail);
+            graph.add_barrier("fleet_iteration_done", &tail);
         }
         graph
     }
 
-    fn report(
-        &self,
-        iteration_time: recsim_hw::units::Duration,
-        schedule: &Schedule,
-    ) -> SimReport {
+    fn report(&self, iteration_time: recsim_hw::units::Duration, schedule: &Schedule) -> SimReport {
         let t_count = self.setup.trainers as usize;
         let s_count = self.setup.sparse_ps as usize;
         let d_count = self.setup.dense_ps as usize;
@@ -419,7 +434,10 @@ impl CpuTrainingSim {
             .attribution()
             .into_iter()
             .map(|(label, d)| {
-                (label, recsim_hw::units::Duration::from_secs(d.as_secs() * scale))
+                (
+                    label,
+                    recsim_hw::units::Duration::from_secs(d.as_secs() * scale),
+                )
             })
             .collect();
         let setup = format!(
@@ -452,7 +470,9 @@ mod tests {
 
     #[test]
     fn single_trainer_runs() {
-        let r = CpuTrainingSim::new(&test_config(), CpuClusterSetup::single_trainer(200)).expect("valid setup").run();
+        let r = CpuTrainingSim::new(&test_config(), CpuClusterSetup::single_trainer(200))
+            .expect("valid setup")
+            .run();
         assert!(r.throughput() > 0.0);
         assert!(r.power().as_watts() > 0.0);
     }
@@ -563,8 +583,7 @@ mod tests {
         let mut setup = CpuClusterSetup::single_trainer(200);
         setup.trainers = 0;
         setup.sync_period = 0;
-        let err = CpuTrainingSim::new(&test_config(), setup)
-            .expect_err("zero trainers rejected");
+        let err = CpuTrainingSim::new(&test_config(), setup).expect_err("zero trainers rejected");
         match err {
             SimError::Invalid(v) => {
                 assert!(v.has_code(Code::InvalidClusterConfig));
@@ -577,8 +596,12 @@ mod tests {
     #[test]
     fn deterministic() {
         let cfg = test_config();
-        let a = CpuTrainingSim::new(&cfg, CpuClusterSetup::single_trainer(200)).expect("valid setup").run();
-        let b = CpuTrainingSim::new(&cfg, CpuClusterSetup::single_trainer(200)).expect("valid setup").run();
+        let a = CpuTrainingSim::new(&cfg, CpuClusterSetup::single_trainer(200))
+            .expect("valid setup")
+            .run();
+        let b = CpuTrainingSim::new(&cfg, CpuClusterSetup::single_trainer(200))
+            .expect("valid setup")
+            .run();
         assert_eq!(a, b);
     }
 }

@@ -100,6 +100,46 @@ impl Ord for Event {
     }
 }
 
+/// A deterministic rewrite of task durations applied as a graph executes —
+/// the seam `recsim-fault` uses to model stragglers and degraded links
+/// without rebuilding the iteration graph.
+///
+/// The engine calls [`Perturbation::perturbed_duration`] exactly once per
+/// task, *before* the event loop starts, so a perturbed duration may depend
+/// on the task's resource binding and category but never on simulated time
+/// or scheduling order. That restriction is what keeps perturbed runs as
+/// deterministic as unperturbed ones: the same graph and perturbation always
+/// produce the same schedule, on any thread of any sweep.
+pub trait Perturbation {
+    /// The effective duration of a task given its resource binding
+    /// (`None` for unbound tasks), attribution category, and nominal
+    /// duration. Implementations must return a non-negative, finite
+    /// duration; returning `base` leaves the task untouched.
+    fn perturbed_duration(
+        &self,
+        resource: Option<&str>,
+        category: TaskCategory,
+        base: Duration,
+    ) -> Duration;
+}
+
+/// The identity [`Perturbation`]: every task keeps its nominal duration.
+/// [`TaskGraph::simulate_perturbed_in`] with `NoPerturbation` is exactly
+/// [`TaskGraph::simulate_in`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoPerturbation;
+
+impl Perturbation for NoPerturbation {
+    fn perturbed_duration(
+        &self,
+        _resource: Option<&str>,
+        _category: TaskCategory,
+        base: Duration,
+    ) -> Duration {
+        base
+    }
+}
+
 /// Reusable arena for the engine's per-run state.
 ///
 /// Every [`TaskGraph::execute`] call needs an event heap, per-resource FIFO
@@ -134,6 +174,8 @@ pub struct SimScratch {
     /// Whether each task has started / completed.
     started: Vec<bool>,
     done: Vec<bool>,
+    /// Effective per-task durations for this run (nominal or perturbed).
+    durations: Vec<Duration>,
 }
 
 impl SimScratch {
@@ -165,6 +207,7 @@ impl SimScratch {
         self.started.resize(n_tasks, false);
         self.done.clear();
         self.done.resize(n_tasks, false);
+        self.durations.clear();
     }
 }
 
@@ -380,6 +423,18 @@ impl TaskGraph {
         Ok(self.execute_in(scratch))
     }
 
+    /// [`TaskGraph::simulate_in`] with every task duration rewritten through
+    /// `perturbation` before the event loop runs — the fault-injection entry
+    /// point. `NoPerturbation` reproduces [`TaskGraph::simulate_in`] exactly.
+    pub fn simulate_perturbed_in(
+        &self,
+        scratch: &mut SimScratch,
+        perturbation: &dyn Perturbation,
+    ) -> Result<Schedule, ValidationError> {
+        self.check()?;
+        Ok(self.execute_perturbed_in(scratch, perturbation))
+    }
+
     /// [`TaskGraph::simulate`], additionally emitting the finished schedule
     /// into `tracer` (spans per task, per-resource occupancy counters, a
     /// makespan instant). With a disabled tracer this is exactly
@@ -411,8 +466,25 @@ impl TaskGraph {
     /// fresh-allocation run; only `start`/`finish`/`busy` are allocated here
     /// (the returned [`Schedule`] owns them).
     pub(crate) fn execute_in(&self, scratch: &mut SimScratch) -> Schedule {
+        self.execute_perturbed_in(scratch, &NoPerturbation)
+    }
+
+    /// [`TaskGraph::execute_in`] with per-task durations rewritten through
+    /// `perturbation` in one pre-pass (scheduling itself is unchanged, so
+    /// determinism is too).
+    pub(crate) fn execute_perturbed_in(
+        &self,
+        scratch: &mut SimScratch,
+        perturbation: &dyn Perturbation,
+    ) -> Schedule {
         let n = self.tasks.len();
         scratch.reset(n, self.resources.len());
+        for t in &self.tasks {
+            let resource = t.resource.map(|r| self.resources[r.0].name.as_str());
+            scratch
+                .durations
+                .push(perturbation.perturbed_duration(resource, t.category, t.duration));
+        }
         for (i, t) in self.tasks.iter().enumerate() {
             scratch.remaining_deps[i] = t.deps.len();
             for d in &t.deps {
@@ -424,7 +496,9 @@ impl TaskGraph {
         }
         // Filling in task-id order keeps each CSR row ascending — the same
         // dependent order the old Vec<Vec<_>> build produced.
-        scratch.dep_cursor.extend_from_slice(&scratch.dep_offsets[..n]);
+        scratch
+            .dep_cursor
+            .extend_from_slice(&scratch.dep_offsets[..n]);
         scratch.dep_targets.resize(scratch.dep_offsets[n], 0);
         for (i, t) in self.tasks.iter().enumerate() {
             for d in &t.deps {
@@ -448,6 +522,7 @@ impl TaskGraph {
         fn try_start(
             task: usize,
             tasks: &[Task],
+            durations: &[Duration],
             now: Duration,
             in_use: &mut [usize],
             resources: &[Resource],
@@ -466,7 +541,7 @@ impl TaskGraph {
                 None => {
                     started[task] = true;
                     start[task] = now;
-                    finish[task] = now + tasks[task].duration;
+                    finish[task] = now + durations[task];
                     *seq += 1;
                     heap.push(Event(finish[task].as_secs(), *seq, task));
                 }
@@ -475,8 +550,8 @@ impl TaskGraph {
                         in_use[r.0] += 1;
                         started[task] = true;
                         start[task] = now;
-                        finish[task] = now + tasks[task].duration;
-                        busy[r.0] += tasks[task].duration;
+                        finish[task] = now + durations[task];
+                        busy[r.0] += durations[task];
                         *seq += 1;
                         heap.push(Event(finish[task].as_secs(), *seq, task));
                     } else {
@@ -493,6 +568,7 @@ impl TaskGraph {
                 try_start(
                     i,
                     &self.tasks,
+                    &scratch.durations,
                     now,
                     &mut scratch.in_use,
                     &self.resources,
@@ -520,6 +596,7 @@ impl TaskGraph {
                     try_start(
                         next,
                         &self.tasks,
+                        &scratch.durations,
                         now,
                         &mut scratch.in_use,
                         &self.resources,
@@ -541,6 +618,7 @@ impl TaskGraph {
                     try_start(
                         dep,
                         &self.tasks,
+                        &scratch.durations,
                         now,
                         &mut scratch.in_use,
                         &self.resources,
@@ -559,10 +637,7 @@ impl TaskGraph {
         // Validation guarantees acyclicity, so every task has completed;
         // the fold below would simply ignore unreached (zero-time) tasks if
         // that invariant were ever broken.
-        let makespan = finish
-            .iter()
-            .copied()
-            .fold(Duration::ZERO, Duration::max);
+        let makespan = finish.iter().copied().fold(Duration::ZERO, Duration::max);
         Schedule {
             makespan,
             start,
@@ -716,7 +791,13 @@ impl Schedule {
                 Some(r) => self.resource_names[r].as_str(),
                 None => "(unbound)",
             };
-            tracer.span(track, &self.task_names[t], self.task_category[t], start_us, dur_us);
+            tracer.span(
+                track,
+                &self.task_names[t],
+                self.task_category[t],
+                start_us,
+                dur_us,
+            );
         }
         for (r, name) in self.resource_names.iter().enumerate() {
             let mut edges: Vec<(f64, f64)> = Vec::new();
@@ -900,7 +981,10 @@ mod tests {
             for task in 0..graphs[idx].len() {
                 let id = TaskId(task);
                 assert_eq!(fresh.start_of(id).as_secs(), reused.start_of(id).as_secs());
-                assert_eq!(fresh.finish_of(id).as_secs(), reused.finish_of(id).as_secs());
+                assert_eq!(
+                    fresh.finish_of(id).as_secs(),
+                    reused.finish_of(id).as_secs()
+                );
             }
         }
     }
@@ -954,14 +1038,22 @@ mod tests {
         // Occupancy counter samples for the one real resource.
         assert!(events.iter().any(|e| e["ph"] == "C"));
         // The makespan instant survives.
-        assert!(events.iter().any(|e| e["ph"] == "i" && e["name"] == "makespan"));
+        assert!(events
+            .iter()
+            .any(|e| e["ph"] == "i" && e["name"] == "makespan"));
     }
 
     #[test]
     fn categories_flow_from_builder_to_schedule() {
         let mut g = TaskGraph::new();
         let r = g.add_resource("r", 1);
-        let a = g.add_task_in(TaskCategory::EmbeddingLookup, "gather", ms(1.0), Some(r), &[]);
+        let a = g.add_task_in(
+            TaskCategory::EmbeddingLookup,
+            "gather",
+            ms(1.0),
+            Some(r),
+            &[],
+        );
         let b = g.add_task("anything", ms(1.0), Some(r), &[a]);
         let barrier = g.add_barrier("join", &[b]);
         let s = g.simulate().expect("valid graph");
@@ -1059,6 +1151,72 @@ mod tests {
         let err = g.simulate().expect_err("cycle rejected");
         assert!(err.has_code(Code::DependencyCycle));
         assert!(err.to_string().contains("RV026"), "{err}");
+    }
+
+    /// Stretches tasks bound to one named resource by a constant factor.
+    struct Stretch<'a>(&'a str, f64);
+    impl Perturbation for Stretch<'_> {
+        fn perturbed_duration(
+            &self,
+            resource: Option<&str>,
+            _category: TaskCategory,
+            base: Duration,
+        ) -> Duration {
+            if resource == Some(self.0) {
+                base * self.1
+            } else {
+                base
+            }
+        }
+    }
+
+    #[test]
+    fn no_perturbation_reproduces_the_plain_schedule() {
+        let mut g = TaskGraph::new();
+        let r1 = g.add_resource("r1", 1);
+        let r2 = g.add_resource("r2", 2);
+        let mut prev = Vec::new();
+        for i in 0..20 {
+            let res = if i % 3 == 0 { Some(r1) } else { Some(r2) };
+            let deps: Vec<TaskId> = prev.iter().rev().take(2).copied().collect();
+            prev.push(g.add_task(format!("t{i}"), ms(0.5 + (i % 5) as f64), res, &deps));
+        }
+        let mut scratch = SimScratch::new();
+        let plain = g.simulate().expect("valid graph");
+        let identity = g
+            .simulate_perturbed_in(&mut scratch, &NoPerturbation)
+            .expect("valid graph");
+        assert_eq!(plain.makespan().as_secs(), identity.makespan().as_secs());
+        for t in 0..g.len() {
+            let id = TaskId(t);
+            assert_eq!(
+                plain.start_of(id).as_secs(),
+                identity.start_of(id).as_secs()
+            );
+            assert_eq!(
+                plain.finish_of(id).as_secs(),
+                identity.finish_of(id).as_secs()
+            );
+        }
+    }
+
+    #[test]
+    fn perturbation_stretches_only_its_resource() {
+        let mut g = TaskGraph::new();
+        let slow = g.add_resource("gpu0", 1);
+        let fast = g.add_resource("gpu1", 1);
+        let a = g.add_task("a", ms(2.0), Some(slow), &[]);
+        let b = g.add_task("b", ms(2.0), Some(fast), &[]);
+        let mut scratch = SimScratch::new();
+        let s = g
+            .simulate_perturbed_in(&mut scratch, &Stretch("gpu0", 3.0))
+            .expect("valid graph");
+        assert!((s.finish_of(a).as_millis() - 6.0).abs() < 1e-9);
+        assert!((s.finish_of(b).as_millis() - 2.0).abs() < 1e-9);
+        assert!((s.makespan().as_millis() - 6.0).abs() < 1e-9);
+        // Busy time reflects the stretched duration too.
+        assert!((s.busy_time(slow).as_millis() - 6.0).abs() < 1e-9);
+        assert!((s.busy_time(fast).as_millis() - 2.0).abs() < 1e-9);
     }
 
     #[test]

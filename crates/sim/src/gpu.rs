@@ -189,12 +189,28 @@ impl GpuTrainingSim {
     pub fn run_in(&self, scratch: &mut SimScratch) -> SimReport {
         let single = self.schedule_of(1, scratch);
         let pipelined = self.schedule_of(Self::PIPELINE_DEPTH, scratch);
-        let steady = pipelined
-            .makespan()
-            .saturating_sub(single.makespan())
+        let steady = pipelined.makespan().saturating_sub(single.makespan())
             / (Self::PIPELINE_DEPTH - 1) as f64;
         // A fully-overlapped graph could in principle report ~zero marginal
         // time; never report faster than the critical path allows.
+        let steady = steady.max(single.makespan() / Self::PIPELINE_DEPTH as f64);
+        self.report(steady, &pipelined)
+    }
+
+    /// [`GpuTrainingSim::run_in`] with every task duration rewritten through
+    /// `perturbation` — how `recsim-fault` measures degraded throughput
+    /// (stragglers, derated links) without rebuilding the simulator. With
+    /// [`crate::des::NoPerturbation`] this is exactly
+    /// [`GpuTrainingSim::run_in`].
+    pub fn run_perturbed_in(
+        &self,
+        scratch: &mut SimScratch,
+        perturbation: &dyn crate::des::Perturbation,
+    ) -> SimReport {
+        let single = self.schedule_perturbed_of(1, scratch, perturbation);
+        let pipelined = self.schedule_perturbed_of(Self::PIPELINE_DEPTH, scratch, perturbation);
+        let steady = pipelined.makespan().saturating_sub(single.makespan())
+            / (Self::PIPELINE_DEPTH - 1) as f64;
         let steady = steady.max(single.makespan() / Self::PIPELINE_DEPTH as f64);
         self.report(steady, &pipelined)
     }
@@ -216,7 +232,8 @@ impl GpuTrainingSim {
     /// Critical-path attribution of one un-pipelined iteration, with the
     /// `top_k` highest-slack off-path tasks.
     pub fn critical_path(&self, top_k: usize) -> CriticalPathReport {
-        self.schedule_of(1, &mut SimScratch::new()).critical_path(top_k)
+        self.schedule_of(1, &mut SimScratch::new())
+            .critical_path(top_k)
     }
 
     /// Builds and simulates the iteration graph. Construction validated
@@ -225,6 +242,22 @@ impl GpuTrainingSim {
     /// an empty schedule (zero makespan) is returned rather than a panic.
     fn schedule_of(&self, iterations: usize, scratch: &mut SimScratch) -> Schedule {
         match self.build_graph(iterations).simulate_in(scratch) {
+            Ok(schedule) => schedule,
+            Err(_) => TaskGraph::new().execute(),
+        }
+    }
+
+    /// [`GpuTrainingSim::schedule_of`] through a [`crate::des::Perturbation`].
+    fn schedule_perturbed_of(
+        &self,
+        iterations: usize,
+        scratch: &mut SimScratch,
+        perturbation: &dyn crate::des::Perturbation,
+    ) -> Schedule {
+        match self
+            .build_graph(iterations)
+            .simulate_perturbed_in(scratch, perturbation)
+        {
             Ok(schedule) => schedule,
             Err(_) => TaskGraph::new().execute(),
         }
@@ -261,10 +294,8 @@ impl GpuTrainingSim {
         let nic = *self.platform.network();
 
         // ---- Placement-derived traffic ---------------------------------
-        let (mut gather_gpu, mut gather_host, mut gather_remote) =
-            self.placement.gather_split();
-        let (mut pooled_gpu, mut pooled_host, mut pooled_remote) =
-            self.placement.pooled_split();
+        let (mut gather_gpu, mut gather_host, mut gather_remote) = self.placement.gather_split();
+        let (mut pooled_gpu, mut pooled_host, mut pooled_remote) = self.placement.pooled_split();
         if self.cache_hit_rate > 0.0 {
             // A hot-row cache on the GPUs serves `hit_rate` of the off-GPU
             // lookups locally (replicated-cache semantics: local gathers,
@@ -284,14 +315,12 @@ impl GpuTrainingSim {
             .assignments()
             .iter()
             .all(|a| a.location == TableLocation::Replicated)
-            || self
-                .placement
-                .assignments()
-                .iter()
-                .all(|a| !matches!(
+            || self.placement.assignments().iter().all(|a| {
+                !matches!(
                     a.location,
                     TableLocation::Gpu(_) | TableLocation::RowWiseSharded { .. }
-                ));
+                )
+            });
         let avg = |class: &dyn Fn(&TableAssignment) -> bool| -> u64 {
             let sel: Vec<&TableAssignment> = self
                 .placement
@@ -317,7 +346,11 @@ impl GpuTrainingSim {
         let avg_remote_table =
             avg(&|a: &TableAssignment| matches!(a.location, TableLocation::Remote(_)));
         let count = |class: &dyn Fn(&TableAssignment) -> bool| -> u64 {
-            self.placement.assignments().iter().filter(|a| class(a)).count() as u64
+            self.placement
+                .assignments()
+                .iter()
+                .filter(|a| class(a))
+                .count() as u64
         };
         let gpu_tables = count(&|a: &TableAssignment| {
             matches!(
@@ -351,98 +384,97 @@ impl GpuTrainingSim {
         // dependencies: the DES yields the steady-state overlap.
         let example_bytes = self.config.example_bytes();
         for _iteration in 0..iterations {
-        let t_read = graph.add_task_in(
-            TaskCategory::ReaderStall,
-            "read_batch",
-            nic.transfer_time(Bytes::new(big_b * example_bytes), 1),
-            Some(nic_res),
-            &[],
-        );
-        let t_stage_in = graph.add_task_in(
-            TaskCategory::HostStaging,
-            "stage_input",
-            costs.host_staging(big_b * example_bytes, &host_dev),
-            Some(host_res),
-            &[t_read],
-        );
-        let t_h2d: Vec<TaskId> = (0..g_count)
-            .map(|g| {
-                graph.add_task_in(
-                    TaskCategory::PcieTransfer,
-                    format!("h2d_input{g}"),
-                    pcie.transfer_time(Bytes::new(small_b * example_bytes), 1),
-                    Some(pcie_res[g]),
-                    &[t_stage_in],
-                )
-            })
-            .collect();
+            let t_read = graph.add_task_in(
+                TaskCategory::ReaderStall,
+                "read_batch",
+                nic.transfer_time(Bytes::new(big_b * example_bytes), 1),
+                Some(nic_res),
+                &[],
+            );
+            let t_stage_in = graph.add_task_in(
+                TaskCategory::HostStaging,
+                "stage_input",
+                costs.host_staging(big_b * example_bytes, &host_dev),
+                Some(host_res),
+                &[t_read],
+            );
+            let t_h2d: Vec<TaskId> = (0..g_count)
+                .map(|g| {
+                    graph.add_task_in(
+                        TaskCategory::PcieTransfer,
+                        format!("h2d_input{g}"),
+                        pcie.transfer_time(Bytes::new(small_b * example_bytes), 1),
+                        Some(pcie_res[g]),
+                        &[t_stage_in],
+                    )
+                })
+                .collect();
 
-        // ---- Dense forward ----------------------------------------------
-        let t_bottom: Vec<TaskId> = (0..g_count)
-            .map(|g| {
-                graph.add_task_in(
-                    TaskCategory::MlpCompute,
-                    format!("bottom_mlp{g}"),
-                    costs.dense_time_on(&costs.bottom_forward(small_b), &gpu_devs[g]),
-                    Some(gpu_res[g]),
-                    &[t_h2d[g]],
-                )
-            })
-            .collect();
-
-        // ---- Embedding forward ------------------------------------------
-        // Collect, per consumer GPU, the tasks that must finish before its
-        // pooled embeddings are resident.
-        let mut emb_ready: Vec<Vec<TaskId>> = vec![Vec::new(); g_count];
-
-        if gather_gpu > 0 {
-            if replicated {
-                for g in 0..g_count {
-                    let t = graph.add_task_in(
-                        TaskCategory::EmbeddingLookup,
-                        format!("local_gather{g}"),
-                        costs
-                            .embedding_gather(small_b * gather_gpu, avg_gpu_table, gpu_tables)
-                            .time_on(&gpu_devs[g]),
+            // ---- Dense forward ----------------------------------------------
+            let t_bottom: Vec<TaskId> = (0..g_count)
+                .map(|g| {
+                    graph.add_task_in(
+                        TaskCategory::MlpCompute,
+                        format!("bottom_mlp{g}"),
+                        costs.dense_time_on(&costs.bottom_forward(small_b), &gpu_devs[g]),
                         Some(gpu_res[g]),
                         &[t_h2d[g]],
-                    );
-                    emb_ready[g].push(t);
-                }
-            } else {
-                // Owners gather the full batch for their tables.
-                let gathers: Vec<TaskId> = (0..g_count)
-                    .map(|o| {
-                        graph.add_task_in(
+                    )
+                })
+                .collect();
+
+            // ---- Embedding forward ------------------------------------------
+            // Collect, per consumer GPU, the tasks that must finish before its
+            // pooled embeddings are resident.
+            let mut emb_ready: Vec<Vec<TaskId>> = vec![Vec::new(); g_count];
+
+            if gather_gpu > 0 {
+                if replicated {
+                    for g in 0..g_count {
+                        let t = graph.add_task_in(
                             TaskCategory::EmbeddingLookup,
-                            format!("owner_gather{o}"),
+                            format!("local_gather{g}"),
                             costs
-                                .embedding_gather(
-                                    big_b * owner_gather[o],
-                                    avg_gpu_table,
-                                    gpu_tables.div_ceil(g_count as u64),
-                                )
-                                .time_on(&gpu_devs[o]),
-                            Some(gpu_res[o]),
-                            &[t_h2d[o]],
-                        )
-                    })
-                    .collect();
-                // All-to-all of pooled vectors: one collective per
-                // distributed table.
-                let distributed_tables = self
-                    .placement
-                    .assignments()
-                    .iter()
-                    .filter(|a| {
-                        matches!(
-                            a.location,
-                            TableLocation::Gpu(_) | TableLocation::RowWiseSharded { .. }
-                        )
-                    })
-                    .count() as u64;
-                let a2a =
-                    self.add_exchange(
+                                .embedding_gather(small_b * gather_gpu, avg_gpu_table, gpu_tables)
+                                .time_on(&gpu_devs[g]),
+                            Some(gpu_res[g]),
+                            &[t_h2d[g]],
+                        );
+                        emb_ready[g].push(t);
+                    }
+                } else {
+                    // Owners gather the full batch for their tables.
+                    let gathers: Vec<TaskId> = (0..g_count)
+                        .map(|o| {
+                            graph.add_task_in(
+                                TaskCategory::EmbeddingLookup,
+                                format!("owner_gather{o}"),
+                                costs
+                                    .embedding_gather(
+                                        big_b * owner_gather[o],
+                                        avg_gpu_table,
+                                        gpu_tables.div_ceil(g_count as u64),
+                                    )
+                                    .time_on(&gpu_devs[o]),
+                                Some(gpu_res[o]),
+                                &[t_h2d[o]],
+                            )
+                        })
+                        .collect();
+                    // All-to-all of pooled vectors: one collective per
+                    // distributed table.
+                    let distributed_tables = self
+                        .placement
+                        .assignments()
+                        .iter()
+                        .filter(|a| {
+                            matches!(
+                                a.location,
+                                TableLocation::Gpu(_) | TableLocation::RowWiseSharded { .. }
+                            )
+                        })
+                        .count() as u64;
+                    let a2a = self.add_exchange(
                         &mut graph,
                         "a2a_fwd",
                         &gathers,
@@ -454,333 +486,336 @@ impl GpuTrainingSim {
                         host_res,
                         &costs,
                     );
-                for ready in emb_ready.iter_mut() {
-                    ready.push(a2a);
+                    for ready in &mut emb_ready {
+                        ready.push(a2a);
+                    }
                 }
             }
-        }
 
-        if gather_host > 0 {
-            let t_hgather = graph.add_task_in(
-                TaskCategory::EmbeddingLookup,
-                "host_gather",
-                costs
-                    .embedding_gather(big_b * gather_host, avg_host_table, host_tables)
-                    .time_on(&host_dev),
-                Some(host_res),
-                &[t_stage_in],
-            );
-            for g in 0..g_count {
-                let t = graph.add_task_in(
-                    TaskCategory::PcieTransfer,
-                    format!("h2d_pooled{g}"),
-                    pcie.transfer_time(Bytes::new(small_b * pooled_host), 1),
-                    Some(pcie_res[g]),
-                    &[t_hgather],
-                );
-                emb_ready[g].push(t);
-            }
-        }
-
-        if gather_remote > 0 && remote_servers > 0 {
-            // Per-server gather shares.
-            let mut server_gather = vec![0u64; remote_servers];
-            for a in self.placement.assignments() {
-                if let TableLocation::Remote(s) = a.location {
-                    server_gather[s] += a.gather_bytes_per_example;
-                }
-            }
-            let ps_dev = recsim_hw::device::skylake_dual_socket();
-            let ps_tasks: Vec<TaskId> = (0..remote_servers)
-                .map(|k| {
-                    graph.add_task_in(
-                        TaskCategory::EmbeddingLookup,
-                        format!("ps_gather{k}"),
-                        costs
-                            .embedding_gather(
-                                big_b * server_gather[k],
-                                avg_remote_table,
-                                remote_table_count.div_ceil(remote_servers as u64),
-                            )
-                            .time_on(&ps_dev)
-                            + self.knobs.rpc_overhead,
-                        Some(ps_res[k]),
-                        &[t_read],
-                    )
-                })
-                .collect();
-            let remote_tables = self
-                .placement
-                .assignments()
-                .iter()
-                .filter(|a| matches!(a.location, TableLocation::Remote(_)))
-                .count() as u64;
-            let t_net = graph.add_task_in(
-                TaskCategory::NicTransfer,
-                "net_pooled",
-                nic.transfer_time(
-                    Bytes::new(big_b * pooled_remote),
-                    remote_tables * remote_servers as u64,
-                ),
-                Some(nic_res),
-                &ps_tasks,
-            );
-            // The GPU server's CPUs unpack every response and repack
-            // per-GPU buffers — one RPC's worth of software per table per
-            // server plus the staging copy ("this setup also creates
-            // additional work for the CPUs on the GPU server").
-            let t_rstage = graph.add_task_in(
-                TaskCategory::HostStaging,
-                "stage_pooled",
-                costs.host_staging(big_b * pooled_remote, &host_dev)
-                    + self.knobs.rpc_overhead * (remote_tables * remote_servers as u64) as f64,
-                Some(host_res),
-                &[t_net],
-            );
-            for g in 0..g_count {
-                let t = graph.add_task_in(
-                    TaskCategory::PcieTransfer,
-                    format!("h2d_remote_pooled{g}"),
-                    pcie.transfer_time(Bytes::new(small_b * pooled_remote), 1),
-                    Some(pcie_res[g]),
-                    &[t_rstage],
-                );
-                emb_ready[g].push(t);
-            }
-        }
-
-        // ---- Interaction, top MLP, dense backward -----------------------
-        let mut t_bwd = Vec::with_capacity(g_count);
-        for g in 0..g_count {
-            let mut deps = vec![t_bottom[g]];
-            deps.extend_from_slice(&emb_ready[g]);
-            let t_interact = graph.add_task_in(
-                TaskCategory::MlpCompute,
-                format!("interaction{g}"),
-                costs.dense_time_on(&costs.interaction_forward(small_b), &gpu_devs[g]),
-                Some(gpu_res[g]),
-                &deps,
-            );
-            let t_top = graph.add_task_in(
-                TaskCategory::MlpCompute,
-                format!("top_mlp{g}"),
-                costs.dense_time_on(&costs.top_forward(small_b), &gpu_devs[g]),
-                Some(gpu_res[g]),
-                &[t_interact],
-            );
-            t_bwd.push(graph.add_task_in(
-                TaskCategory::MlpCompute,
-                format!("dense_backward{g}"),
-                costs.dense_time_on(&costs.dense_backward(small_b), &gpu_devs[g]),
-                Some(gpu_res[g]),
-                &[t_top],
-            ));
-        }
-
-        // ---- Embedding backward ------------------------------------------
-        let mut tail_tasks: Vec<TaskId> = Vec::new();
-
-        if gather_gpu > 0 {
-            if replicated {
-                // Replicas must agree: exchange the pooled-embedding
-                // gradients (one collective per table, like the dense
-                // all-reduce), then every GPU applies the FULL batch's
-                // updates to its own copy.
-                let grad_exchange = self.add_exchange(
-                    &mut graph,
-                    "replica_grad_allreduce",
-                    &t_bwd,
-                    big_b.saturating_sub(small_b) * pooled_gpu / g_count as u64,
-                    small_b * pooled_gpu,
-                    gpu_tables,
-                    nvlink_res,
-                    &pcie_res,
-                    host_res,
-                    &costs,
+            if gather_host > 0 {
+                let t_hgather = graph.add_task_in(
+                    TaskCategory::EmbeddingLookup,
+                    "host_gather",
+                    costs
+                        .embedding_gather(big_b * gather_host, avg_host_table, host_tables)
+                        .time_on(&host_dev),
+                    Some(host_res),
+                    &[t_stage_in],
                 );
                 for g in 0..g_count {
-                    tail_tasks.push(graph.add_task_in(
-                        TaskCategory::EmbeddingUpdate,
-                        format!("replica_scatter{g}"),
-                        costs
-                            .embedding_scatter(
-                                big_b * gather_gpu,
-                                avg_gpu_table,
-                                gpu_tables,
-                                recsim_hw::DeviceKind::Gpu,
-                            )
-                            .time_on(&gpu_devs[g]),
-                        Some(gpu_res[g]),
-                        &[grad_exchange],
-                    ));
+                    let t = graph.add_task_in(
+                        TaskCategory::PcieTransfer,
+                        format!("h2d_pooled{g}"),
+                        pcie.transfer_time(Bytes::new(small_b * pooled_host), 1),
+                        Some(pcie_res[g]),
+                        &[t_hgather],
+                    );
+                    emb_ready[g].push(t);
                 }
-            } else {
-                let distributed_tables = self
+            }
+
+            if gather_remote > 0 && remote_servers > 0 {
+                // Per-server gather shares.
+                let mut server_gather = vec![0u64; remote_servers];
+                for a in self.placement.assignments() {
+                    if let TableLocation::Remote(s) = a.location {
+                        server_gather[s] += a.gather_bytes_per_example;
+                    }
+                }
+                let ps_dev = recsim_hw::device::skylake_dual_socket();
+                let ps_tasks: Vec<TaskId> = (0..remote_servers)
+                    .map(|k| {
+                        graph.add_task_in(
+                            TaskCategory::EmbeddingLookup,
+                            format!("ps_gather{k}"),
+                            costs
+                                .embedding_gather(
+                                    big_b * server_gather[k],
+                                    avg_remote_table,
+                                    remote_table_count.div_ceil(remote_servers as u64),
+                                )
+                                .time_on(&ps_dev)
+                                + self.knobs.rpc_overhead,
+                            Some(ps_res[k]),
+                            &[t_read],
+                        )
+                    })
+                    .collect();
+                let remote_tables = self
                     .placement
                     .assignments()
                     .iter()
-                    .filter(|a| {
-                        matches!(
-                            a.location,
-                            TableLocation::Gpu(_) | TableLocation::RowWiseSharded { .. }
+                    .filter(|a| matches!(a.location, TableLocation::Remote(_)))
+                    .count() as u64;
+                let t_net = graph.add_task_in(
+                    TaskCategory::NicTransfer,
+                    "net_pooled",
+                    nic.transfer_time(
+                        Bytes::new(big_b * pooled_remote),
+                        remote_tables * remote_servers as u64,
+                    ),
+                    Some(nic_res),
+                    &ps_tasks,
+                );
+                // The GPU server's CPUs unpack every response and repack
+                // per-GPU buffers — one RPC's worth of software per table per
+                // server plus the staging copy ("this setup also creates
+                // additional work for the CPUs on the GPU server").
+                let t_rstage = graph.add_task_in(
+                    TaskCategory::HostStaging,
+                    "stage_pooled",
+                    costs.host_staging(big_b * pooled_remote, &host_dev)
+                        + self.knobs.rpc_overhead * (remote_tables * remote_servers as u64) as f64,
+                    Some(host_res),
+                    &[t_net],
+                );
+                for g in 0..g_count {
+                    let t = graph.add_task_in(
+                        TaskCategory::PcieTransfer,
+                        format!("h2d_remote_pooled{g}"),
+                        pcie.transfer_time(Bytes::new(small_b * pooled_remote), 1),
+                        Some(pcie_res[g]),
+                        &[t_rstage],
+                    );
+                    emb_ready[g].push(t);
+                }
+            }
+
+            // ---- Interaction, top MLP, dense backward -----------------------
+            let mut t_bwd = Vec::with_capacity(g_count);
+            for g in 0..g_count {
+                let mut deps = vec![t_bottom[g]];
+                deps.extend_from_slice(&emb_ready[g]);
+                let t_interact = graph.add_task_in(
+                    TaskCategory::MlpCompute,
+                    format!("interaction{g}"),
+                    costs.dense_time_on(&costs.interaction_forward(small_b), &gpu_devs[g]),
+                    Some(gpu_res[g]),
+                    &deps,
+                );
+                let t_top = graph.add_task_in(
+                    TaskCategory::MlpCompute,
+                    format!("top_mlp{g}"),
+                    costs.dense_time_on(&costs.top_forward(small_b), &gpu_devs[g]),
+                    Some(gpu_res[g]),
+                    &[t_interact],
+                );
+                t_bwd.push(graph.add_task_in(
+                    TaskCategory::MlpCompute,
+                    format!("dense_backward{g}"),
+                    costs.dense_time_on(&costs.dense_backward(small_b), &gpu_devs[g]),
+                    Some(gpu_res[g]),
+                    &[t_top],
+                ));
+            }
+
+            // ---- Embedding backward ------------------------------------------
+            let mut tail_tasks: Vec<TaskId> = Vec::new();
+
+            if gather_gpu > 0 {
+                if replicated {
+                    // Replicas must agree: exchange the pooled-embedding
+                    // gradients (one collective per table, like the dense
+                    // all-reduce), then every GPU applies the FULL batch's
+                    // updates to its own copy.
+                    let grad_exchange = self.add_exchange(
+                        &mut graph,
+                        "replica_grad_allreduce",
+                        &t_bwd,
+                        big_b.saturating_sub(small_b) * pooled_gpu / g_count as u64,
+                        small_b * pooled_gpu,
+                        gpu_tables,
+                        nvlink_res,
+                        &pcie_res,
+                        host_res,
+                        &costs,
+                    );
+                    for g in 0..g_count {
+                        tail_tasks.push(
+                            graph.add_task_in(
+                                TaskCategory::EmbeddingUpdate,
+                                format!("replica_scatter{g}"),
+                                costs
+                                    .embedding_scatter(
+                                        big_b * gather_gpu,
+                                        avg_gpu_table,
+                                        gpu_tables,
+                                        recsim_hw::DeviceKind::Gpu,
+                                    )
+                                    .time_on(&gpu_devs[g]),
+                                Some(gpu_res[g]),
+                                &[grad_exchange],
+                            ),
+                        );
+                    }
+                } else {
+                    let distributed_tables = self
+                        .placement
+                        .assignments()
+                        .iter()
+                        .filter(|a| {
+                            matches!(
+                                a.location,
+                                TableLocation::Gpu(_) | TableLocation::RowWiseSharded { .. }
+                            )
+                        })
+                        .count() as u64;
+                    let a2a_bwd = self.add_exchange(
+                        &mut graph,
+                        "a2a_bwd",
+                        &t_bwd,
+                        big_b.saturating_sub(small_b) * pooled_gpu / g_count as u64,
+                        small_b * pooled_gpu,
+                        distributed_tables,
+                        nvlink_res,
+                        &pcie_res,
+                        host_res,
+                        &costs,
+                    );
+                    for o in 0..g_count {
+                        tail_tasks.push(
+                            graph.add_task_in(
+                                TaskCategory::EmbeddingUpdate,
+                                format!("owner_scatter{o}"),
+                                costs
+                                    .embedding_scatter(
+                                        big_b * owner_gather[o],
+                                        avg_gpu_table,
+                                        gpu_tables.div_ceil(g_count as u64),
+                                        recsim_hw::DeviceKind::Gpu,
+                                    )
+                                    .time_on(&gpu_devs[o]),
+                                Some(gpu_res[o]),
+                                &[a2a_bwd],
+                            ),
+                        );
+                    }
+                }
+            }
+
+            if gather_host > 0 {
+                let ups: Vec<TaskId> = (0..g_count)
+                    .map(|g| {
+                        graph.add_task_in(
+                            TaskCategory::PcieTransfer,
+                            format!("d2h_emb_grad{g}"),
+                            pcie.transfer_time(Bytes::new(small_b * pooled_host), 1),
+                            Some(pcie_res[g]),
+                            &[t_bwd[g]],
                         )
                     })
+                    .collect();
+                tail_tasks.push(
+                    graph.add_task_in(
+                        TaskCategory::EmbeddingUpdate,
+                        "host_scatter",
+                        costs
+                            .embedding_scatter(
+                                big_b * gather_host,
+                                avg_host_table,
+                                host_tables,
+                                recsim_hw::DeviceKind::Cpu,
+                            )
+                            .time_on(&host_dev),
+                        Some(host_res),
+                        &ups,
+                    ),
+                );
+            }
+
+            if gather_remote > 0 && remote_servers > 0 {
+                let mut server_gather = vec![0u64; remote_servers];
+                for a in self.placement.assignments() {
+                    if let TableLocation::Remote(s) = a.location {
+                        server_gather[s] += a.gather_bytes_per_example;
+                    }
+                }
+                let remote_tables = self
+                    .placement
+                    .assignments()
+                    .iter()
+                    .filter(|a| matches!(a.location, TableLocation::Remote(_)))
                     .count() as u64;
-                let a2a_bwd = self.add_exchange(
-                    &mut graph,
-                    "a2a_bwd",
+                // Repack gradient requests on the host, then push them out.
+                let t_bstage = graph.add_task_in(
+                    TaskCategory::HostStaging,
+                    "stage_emb_grads",
+                    costs.host_staging(big_b * pooled_remote, &host_dev)
+                        + self.knobs.rpc_overhead * (remote_tables * remote_servers as u64) as f64,
+                    Some(host_res),
                     &t_bwd,
-                    big_b.saturating_sub(small_b) * pooled_gpu / g_count as u64,
-                    small_b * pooled_gpu,
-                    distributed_tables,
+                );
+                let t_up = graph.add_task_in(
+                    TaskCategory::NicTransfer,
+                    "net_emb_grads",
+                    nic.transfer_time(
+                        Bytes::new(big_b * pooled_remote),
+                        remote_tables * remote_servers as u64,
+                    ),
+                    Some(nic_res),
+                    &[t_bstage],
+                );
+                let ps_dev = recsim_hw::device::skylake_dual_socket();
+                for k in 0..remote_servers {
+                    tail_tasks.push(
+                        graph.add_task_in(
+                            TaskCategory::PsUpdate,
+                            format!("ps_scatter{k}"),
+                            costs
+                                .embedding_scatter(
+                                    big_b * server_gather[k],
+                                    avg_remote_table,
+                                    remote_table_count.div_ceil(remote_servers as u64),
+                                    recsim_hw::DeviceKind::Cpu,
+                                )
+                                .time_on(&ps_dev)
+                                + self.knobs.rpc_overhead,
+                            Some(ps_res[k]),
+                            &[t_up],
+                        ),
+                    );
+                }
+            }
+
+            // ---- Dense all-reduce + optimizer --------------------------------
+            let mlp_bytes = self.config.mlp_parameter_bytes();
+            let opt_deps: Vec<TaskId> = if g_count > 1 {
+                let ring_bytes = 2 * mlp_bytes * (g_count as u64 - 1) / g_count as u64;
+                let mlp_layers =
+                    (self.config.bottom_mlp().len() + self.config.top_mlp().len() + 1) as u64;
+                let ar = self.add_exchange(
+                    &mut graph,
+                    "allreduce_dense",
+                    &t_bwd,
+                    ring_bytes,
+                    ring_bytes,
+                    mlp_layers,
                     nvlink_res,
                     &pcie_res,
                     host_res,
                     &costs,
                 );
-                for o in 0..g_count {
-                    tail_tasks.push(graph.add_task_in(
-                        TaskCategory::EmbeddingUpdate,
-                        format!("owner_scatter{o}"),
-                        costs
-                            .embedding_scatter(
-                                big_b * owner_gather[o],
-                                avg_gpu_table,
-                                gpu_tables.div_ceil(g_count as u64),
-                                recsim_hw::DeviceKind::Gpu,
-                            )
-                            .time_on(&gpu_devs[o]),
-                        Some(gpu_res[o]),
-                        &[a2a_bwd],
-                    ));
-                }
+                vec![ar]
+            } else {
+                t_bwd.clone()
+            };
+            for g in 0..g_count {
+                let t = graph.add_task_in(
+                    TaskCategory::Optimizer,
+                    format!("dense_optimizer{g}"),
+                    costs.dense_optimizer().time_on(&gpu_devs[g]),
+                    Some(gpu_res[g]),
+                    &opt_deps,
+                );
+                tail_tasks.push(t);
             }
-        }
 
-        if gather_host > 0 {
-            let ups: Vec<TaskId> = (0..g_count)
-                .map(|g| {
-                    graph.add_task_in(
-                        TaskCategory::PcieTransfer,
-                        format!("d2h_emb_grad{g}"),
-                        pcie.transfer_time(Bytes::new(small_b * pooled_host), 1),
-                        Some(pcie_res[g]),
-                        &[t_bwd[g]],
-                    )
-                })
-                .collect();
-            tail_tasks.push(graph.add_task_in(
-                TaskCategory::EmbeddingUpdate,
-                "host_scatter",
-                costs
-                    .embedding_scatter(
-                        big_b * gather_host,
-                        avg_host_table,
-                        host_tables,
-                        recsim_hw::DeviceKind::Cpu,
-                    )
-                    .time_on(&host_dev),
-                Some(host_res),
-                &ups,
-            ));
-        }
-
-        if gather_remote > 0 && remote_servers > 0 {
-            let mut server_gather = vec![0u64; remote_servers];
-            for a in self.placement.assignments() {
-                if let TableLocation::Remote(s) = a.location {
-                    server_gather[s] += a.gather_bytes_per_example;
-                }
-            }
-            let remote_tables = self
-                .placement
-                .assignments()
-                .iter()
-                .filter(|a| matches!(a.location, TableLocation::Remote(_)))
-                .count() as u64;
-            // Repack gradient requests on the host, then push them out.
-            let t_bstage = graph.add_task_in(
-                TaskCategory::HostStaging,
-                "stage_emb_grads",
-                costs.host_staging(big_b * pooled_remote, &host_dev)
-                    + self.knobs.rpc_overhead * (remote_tables * remote_servers as u64) as f64,
-                Some(host_res),
-                &t_bwd,
-            );
-            let t_up = graph.add_task_in(
-                TaskCategory::NicTransfer,
-                "net_emb_grads",
-                nic.transfer_time(
-                    Bytes::new(big_b * pooled_remote),
-                    remote_tables * remote_servers as u64,
-                ),
-                Some(nic_res),
-                &[t_bstage],
-            );
-            let ps_dev = recsim_hw::device::skylake_dual_socket();
-            for k in 0..remote_servers {
-                tail_tasks.push(graph.add_task_in(
-                    TaskCategory::PsUpdate,
-                    format!("ps_scatter{k}"),
-                    costs
-                        .embedding_scatter(
-                            big_b * server_gather[k],
-                            avg_remote_table,
-                            remote_table_count.div_ceil(remote_servers as u64),
-                            recsim_hw::DeviceKind::Cpu,
-                        )
-                        .time_on(&ps_dev)
-                        + self.knobs.rpc_overhead,
-                    Some(ps_res[k]),
-                    &[t_up],
-                ));
-            }
-        }
-
-        // ---- Dense all-reduce + optimizer --------------------------------
-        let mlp_bytes = self.config.mlp_parameter_bytes();
-        let opt_deps: Vec<TaskId> = if g_count > 1 {
-            let ring_bytes = 2 * mlp_bytes * (g_count as u64 - 1) / g_count as u64;
-            let mlp_layers = (self.config.bottom_mlp().len()
-                + self.config.top_mlp().len()
-                + 1) as u64;
-            let ar = self.add_exchange(
-                &mut graph,
-                "allreduce_dense",
-                &t_bwd,
-                ring_bytes,
-                ring_bytes,
-                mlp_layers,
-                nvlink_res,
-                &pcie_res,
-                host_res,
-                &costs,
-            );
-            vec![ar]
-        } else {
-            t_bwd.clone()
-        };
-        for g in 0..g_count {
-            let t = graph.add_task_in(
-                TaskCategory::Optimizer,
-                format!("dense_optimizer{g}"),
-                costs.dense_optimizer().time_on(&gpu_devs[g]),
-                Some(gpu_res[g]),
-                &opt_deps,
-            );
-            tail_tasks.push(t);
-        }
-
-        graph.add_barrier("iteration_done", &tail_tasks);
+            graph.add_barrier("iteration_done", &tail_tasks);
         }
         graph
     }
 
-    fn report(
-        &self,
-        iteration_time: recsim_hw::units::Duration,
-        schedule: &Schedule,
-    ) -> SimReport {
+    fn report(&self, iteration_time: recsim_hw::units::Duration, schedule: &Schedule) -> SimReport {
         let g_count = self.platform.gpus().len();
         let small_b = (self.batch / g_count as u64).max(1);
         let remote_servers = self.placement.remote_loads().len();
@@ -799,8 +834,7 @@ impl GpuTrainingSim {
                 .map(|(_, u)| *u)
                 .sum::<f64>()
                 / remote_servers as f64;
-            power = power
-                + PowerModel::cpu_server().draw(ps_util) * remote_servers as f64;
+            power = power + PowerModel::cpu_server().draw(ps_util) * remote_servers as f64;
         }
         // Attribute the reported (steady-state) iteration time across the
         // schedule's critical-path categories: each category keeps its share
@@ -815,7 +849,10 @@ impl GpuTrainingSim {
             .attribution()
             .into_iter()
             .map(|(label, d)| {
-                (label, recsim_hw::units::Duration::from_secs(d.as_secs() * scale))
+                (
+                    label,
+                    recsim_hw::units::Duration::from_secs(d.as_secs() * scale),
+                )
             })
             .collect();
         let setup = format!(
@@ -994,14 +1031,9 @@ mod tests {
         // sockets) and slow on Big Basin (2 sockets). Use production-scale
         // tables (DRAM-resident, like M2's multi-GB tables).
         let cfg = ModelConfig::test_suite(256, 16, 20_000_000, &[512, 512, 512]);
-        let bb = GpuTrainingSim::new(
-            &cfg,
-            &big_basin(),
-            PlacementStrategy::SystemMemory,
-            1600,
-        )
-        .unwrap()
-        .run();
+        let bb = GpuTrainingSim::new(&cfg, &big_basin(), PlacementStrategy::SystemMemory, 1600)
+            .unwrap()
+            .run();
         let zion = GpuTrainingSim::new(
             &cfg,
             &Platform::zion_prototype(),
@@ -1083,7 +1115,12 @@ mod tests {
         assert!(r.utilization_of("sparse_ps0").unwrap() > 0.0);
         assert!(r.utilization_of("nic").unwrap() > 0.0);
         assert!(
-            r.power().as_watts() > Platform::big_basin(Bytes::from_gib(32)).power().draw(1.0).as_watts() * 0.3,
+            r.power().as_watts()
+                > Platform::big_basin(Bytes::from_gib(32))
+                    .power()
+                    .draw(1.0)
+                    .as_watts()
+                    * 0.3,
             "remote setup counts PS power"
         );
     }
@@ -1133,18 +1170,13 @@ mod tests {
     #[test]
     fn cache_hit_rate_validated() {
         let cfg = test_config();
-        let err = GpuTrainingSim::new(
-            &cfg,
-            &big_basin(),
-            PlacementStrategy::SystemMemory,
-            256,
-        )
-        .unwrap()
-        .with_host_cache_hit_rate(1.5)
-        .expect_err("hit rate above 1 rejected");
+        let err = GpuTrainingSim::new(&cfg, &big_basin(), PlacementStrategy::SystemMemory, 256)
+            .unwrap()
+            .with_host_cache_hit_rate(1.5)
+            .expect_err("hit rate above 1 rejected");
         match err {
             SimError::Invalid(v) => {
-                assert!(v.has_code(Code::InvalidClusterConfig))
+                assert!(v.has_code(Code::InvalidClusterConfig));
             }
             other => panic!("unexpected error: {other}"),
         }
@@ -1161,7 +1193,7 @@ mod tests {
         .expect_err("zero batch rejected");
         match err {
             SimError::Invalid(v) => {
-                assert!(v.has_code(Code::InvalidClusterConfig))
+                assert!(v.has_code(Code::InvalidClusterConfig));
             }
             other => panic!("unexpected error: {other}"),
         }
@@ -1182,7 +1214,7 @@ mod tests {
         .expect_err("negative staging fraction rejected");
         match err {
             SimError::Invalid(v) => {
-                assert!(v.has_code(Code::InvalidCostKnob))
+                assert!(v.has_code(Code::InvalidCostKnob));
             }
             other => panic!("unexpected error: {other}"),
         }
@@ -1210,6 +1242,47 @@ mod tests {
             "one slow GPU drags the fleet: {} vs {}",
             degraded.throughput(),
             healthy.throughput()
+        );
+    }
+
+    #[test]
+    fn perturbed_run_matches_plain_under_identity_and_slows_otherwise() {
+        use crate::des::{NoPerturbation, Perturbation};
+        use recsim_hw::units::Duration;
+
+        let sim = GpuTrainingSim::new(
+            &test_config(),
+            &big_basin(),
+            PlacementStrategy::GpuMemory(PartitionScheme::TableWise),
+            1600,
+        )
+        .unwrap();
+        let mut scratch = SimScratch::new();
+        let plain = sim.run_in(&mut scratch);
+        let identity = sim.run_perturbed_in(&mut scratch, &NoPerturbation);
+        assert_eq!(plain, identity);
+
+        struct SlowGpu;
+        impl Perturbation for SlowGpu {
+            fn perturbed_duration(
+                &self,
+                resource: Option<&str>,
+                _category: TaskCategory,
+                base: Duration,
+            ) -> Duration {
+                if resource == Some("gpu2") {
+                    base * 4.0
+                } else {
+                    base
+                }
+            }
+        }
+        let degraded = sim.run_perturbed_in(&mut scratch, &SlowGpu);
+        assert!(
+            degraded.throughput() < plain.throughput(),
+            "straggler perturbation must cost throughput: {} vs {}",
+            degraded.throughput(),
+            plain.throughput()
         );
     }
 

@@ -66,10 +66,10 @@ pub mod variability;
 
 pub use cost::CostKnobs;
 pub use cpu::{CpuClusterSetup, CpuTrainingSim};
-pub use des::SimScratch;
+pub use des::{NoPerturbation, Perturbation, SimScratch};
 pub use gpu::GpuTrainingSim;
-pub use report::SimReport;
 pub use recsim_trace::TaskCategory;
+pub use report::SimReport;
 
 use recsim_placement::PlacementError;
 use recsim_verify::{Diagnostic, Severity, ValidationError};

@@ -92,7 +92,8 @@ impl ReaderModel {
         ts_us: f64,
         tracer: &mut dyn Tracer,
     ) {
-        if !tracer.enabled() || !(target_throughput > 0.0) || !target_throughput.is_finite() {
+        let usable = target_throughput.is_finite() && target_throughput > 0.0;
+        if !tracer.enabled() || !usable {
             return;
         }
         tracer.counter(
@@ -153,9 +154,7 @@ mod tests {
         let m = ReaderModel::default();
         let small = ModelConfig::test_suite(64, 4, 1000, &[64]);
         let big = ModelConfig::test_suite(4096, 128, 1000, &[64]);
-        assert!(
-            m.readers_needed(&big, 100_000.0) > m.readers_needed(&small, 100_000.0)
-        );
+        assert!(m.readers_needed(&big, 100_000.0) > m.readers_needed(&small, 100_000.0));
     }
 
     #[test]
@@ -182,7 +181,7 @@ mod tests {
         let trace = rec.finish();
         assert_eq!(trace.len(), 3, "one emit, three counters");
         let names = trace.counter_names();
-        assert!(names.iter().any(|n| *n == "reader:servers_needed"));
+        assert!(names.contains(&"reader:servers_needed"));
     }
 
     #[test]

@@ -41,7 +41,7 @@ impl SimReport {
         power: Power,
     ) -> Result<Self, Diagnostic> {
         let setup = setup.into();
-        if !(iteration_time.as_secs() > 0.0) {
+        if iteration_time.as_secs().is_nan() || iteration_time.as_secs() <= 0.0 {
             return Err(Diagnostic::error(
                 Code::NonPositiveIterationTime,
                 format!("SimReport::new({setup})"),
@@ -51,7 +51,7 @@ impl SimReport {
                 ),
             ));
         }
-        if !(examples_per_iteration > 0.0) {
+        if examples_per_iteration.is_nan() || examples_per_iteration <= 0.0 {
             return Err(Diagnostic::error(
                 Code::NonPositiveExampleCount,
                 format!("SimReport::new({setup})"),

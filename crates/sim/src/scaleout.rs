@@ -168,8 +168,8 @@ impl ScaleOutSim {
         let steady = steady.max(single.makespan() / depth as f64);
 
         let utilizations = pipelined.utilizations();
-        let avg_util = utilizations.iter().map(|(_, u)| *u).sum::<f64>()
-            / utilizations.len().max(1) as f64;
+        let avg_util =
+            utilizations.iter().map(|(_, u)| *u).sum::<f64>() / utilizations.len().max(1) as f64;
         let power = PowerModel::big_basin().draw(avg_util) * self.nodes as f64;
         // Scale the schedule's critical-path breakdown to the reported
         // steady-state iteration time (see GpuTrainingSim::report).
@@ -183,7 +183,10 @@ impl ScaleOutSim {
             .attribution()
             .into_iter()
             .map(|(label, d)| {
-                (label, recsim_hw::units::Duration::from_secs(d.as_secs() * scale))
+                (
+                    label,
+                    recsim_hw::units::Duration::from_secs(d.as_secs() * scale),
+                )
             })
             .collect();
         let setup = format!(
@@ -213,7 +216,8 @@ impl ScaleOutSim {
 
     /// Critical-path attribution of one un-pipelined scale-out iteration.
     pub fn critical_path(&self, top_k: usize) -> CriticalPathReport {
-        self.schedule_of(1, &mut SimScratch::new()).critical_path(top_k)
+        self.schedule_of(1, &mut SimScratch::new())
+            .critical_path(top_k)
     }
 
     /// Builds and simulates the scale-out graph; the validated constructor
@@ -280,7 +284,11 @@ impl ScaleOutSim {
                     TaskCategory::EmbeddingLookup,
                     format!("gather{i}"),
                     costs
-                        .embedding_gather(big_b * gather_pe / n as u64, avg_table, tables / n as u64)
+                        .embedding_gather(
+                            big_b * gather_pe / n as u64,
+                            avg_table,
+                            tables / n as u64,
+                        )
                         .time_on(&gpu_dev),
                     Some(gpus[i]),
                     &[t_stage],
@@ -305,10 +313,7 @@ impl ScaleOutSim {
                     let t_wire = graph.add_task_in(
                         TaskCategory::NicTransfer,
                         format!("wire_fwd{i}"),
-                        nic.transfer_time(
-                            Bytes::new(wire_bytes as u64 + import_bytes),
-                            messages,
-                        ),
+                        nic.transfer_time(Bytes::new(wire_bytes as u64 + import_bytes), messages),
                         Some(nics[i]),
                         &[t_export_stage],
                     );
@@ -362,10 +367,7 @@ impl ScaleOutSim {
                     vec![graph.add_task_in(
                         TaskCategory::NicTransfer,
                         format!("wire_bwd{i}"),
-                        nic.transfer_time(
-                            Bytes::new(wire_bytes as u64 + import_bytes),
-                            messages,
-                        ),
+                        nic.transfer_time(Bytes::new(wire_bytes as u64 + import_bytes), messages),
                         Some(nics[i]),
                         &[t_grad_stage],
                     )]
@@ -396,8 +398,8 @@ impl ScaleOutSim {
                         format!("allreduce{i}"),
                         nic.transfer_time(
                             Bytes::new((ring as u64).max(1)),
-                            (self.config.bottom_mlp().len() + self.config.top_mlp().len()
-                                + 1) as u64,
+                            (self.config.bottom_mlp().len() + self.config.top_mlp().len() + 1)
+                                as u64,
                         ),
                         Some(nics[i]),
                         &bwd,
@@ -434,7 +436,7 @@ mod tests {
         let m3 = production_model(ProductionModelId::M3);
         match ScaleOutSim::new(&m3, 0, 800) {
             Err(ScaleOutError::Invalid(v)) => {
-                assert!(v.has_code(Code::InvalidClusterConfig))
+                assert!(v.has_code(Code::InvalidClusterConfig));
             }
             other => panic!("expected Invalid, got {other:?}"),
         }

@@ -132,8 +132,7 @@ impl VariabilityStudy {
 
     /// Mean fraction of nominal throughput lost to hardware noise.
     pub fn mean_loss(&self) -> f64 {
-        let mean =
-            self.throughputs.iter().sum::<f64>() / self.throughputs.len() as f64;
+        let mean = self.throughputs.iter().sum::<f64>() / self.throughputs.len() as f64;
         1.0 - mean / self.nominal
     }
 }
@@ -222,11 +221,23 @@ mod tests {
     fn studies_are_reproducible() {
         let (cfg, platform, strategy) = setup();
         let a = VariabilityStudy::run(
-            &cfg, &platform, strategy, 512, HardwareNoise::default(), 6, 3,
+            &cfg,
+            &platform,
+            strategy,
+            512,
+            HardwareNoise::default(),
+            6,
+            3,
         )
         .expect("valid study");
         let b = VariabilityStudy::run(
-            &cfg, &platform, strategy, 512, HardwareNoise::default(), 6, 3,
+            &cfg,
+            &platform,
+            strategy,
+            512,
+            HardwareNoise::default(),
+            6,
+            3,
         )
         .expect("valid study");
         assert_eq!(a, b);

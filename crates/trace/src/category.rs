@@ -42,6 +42,9 @@ pub enum TaskCategory {
     Optimizer,
     /// Waiting on the input pipeline: batch delivery from the reader tier.
     ReaderStall,
+    /// Fault-recovery overhead: checkpoint writes, restarts, re-sharding
+    /// after an elastic shrink (`recsim-fault`).
+    Recovery,
     /// Framework bookkeeping: barriers and zero-duration joins.
     Framework,
     /// Uncategorized work (generic graphs built outside the simulators).
@@ -50,7 +53,7 @@ pub enum TaskCategory {
 
 impl TaskCategory {
     /// Every category, in display order.
-    pub const ALL: [TaskCategory; 12] = [
+    pub const ALL: [TaskCategory; 13] = [
         TaskCategory::EmbeddingLookup,
         TaskCategory::EmbeddingUpdate,
         TaskCategory::MlpCompute,
@@ -61,6 +64,7 @@ impl TaskCategory {
         TaskCategory::PsUpdate,
         TaskCategory::Optimizer,
         TaskCategory::ReaderStall,
+        TaskCategory::Recovery,
         TaskCategory::Framework,
         TaskCategory::Other,
     ];
@@ -79,6 +83,7 @@ impl TaskCategory {
             TaskCategory::PsUpdate => "ps update",
             TaskCategory::Optimizer => "optimizer",
             TaskCategory::ReaderStall => "reader stall",
+            TaskCategory::Recovery => "recovery",
             TaskCategory::Framework => "framework",
             TaskCategory::Other => "other",
         }
@@ -98,8 +103,9 @@ impl TaskCategory {
             TaskCategory::PsUpdate => 7,
             TaskCategory::Optimizer => 8,
             TaskCategory::ReaderStall => 9,
-            TaskCategory::Framework => 10,
-            TaskCategory::Other => 11,
+            TaskCategory::Recovery => 10,
+            TaskCategory::Framework => 11,
+            TaskCategory::Other => 12,
         }
     }
 

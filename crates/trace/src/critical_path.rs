@@ -280,7 +280,11 @@ fn slack_report(tasks: &[ScheduledTask], makespan: f64, top_k: usize) -> Vec<Sla
             }
         })
         .collect();
-    entries.sort_by(|a, b| b.slack.total_cmp(&a.slack).then_with(|| a.task.cmp(&b.task)));
+    entries.sort_by(|a, b| {
+        b.slack
+            .total_cmp(&a.slack)
+            .then_with(|| a.task.cmp(&b.task))
+    });
     entries.truncate(top_k);
     entries
 }
@@ -358,8 +362,22 @@ mod tests {
         // Two independent tasks on one unit of resource 0: "second" waits
         // for "first" to free the unit, so both land on the path.
         let tasks = vec![
-            task("first", TaskCategory::EmbeddingLookup, 0.0, 2.0, Some(0), &[]),
-            task("second", TaskCategory::EmbeddingUpdate, 2.0, 5.0, Some(0), &[]),
+            task(
+                "first",
+                TaskCategory::EmbeddingLookup,
+                0.0,
+                2.0,
+                Some(0),
+                &[],
+            ),
+            task(
+                "second",
+                TaskCategory::EmbeddingUpdate,
+                2.0,
+                5.0,
+                Some(0),
+                &[],
+            ),
         ];
         let report = critical_path(&tasks, 2);
         assert_eq!(report.makespan, 5.0);

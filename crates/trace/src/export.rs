@@ -64,7 +64,12 @@ pub fn chrome_trace(trace: &Trace) -> String {
 /// `@`, followed by a counter section when counters were recorded.
 pub fn text_timeline(trace: &Trace) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "timeline ({} events, {} end)", trace.len(), fmt_us(trace.end_us()));
+    let _ = writeln!(
+        out,
+        "timeline ({} events, {} end)",
+        trace.len(),
+        fmt_us(trace.end_us())
+    );
     for track in trace.tracks() {
         let _ = writeln!(out, "{track}:");
         let mut rows: Vec<(f64, String)> = Vec::new();
@@ -86,7 +91,11 @@ pub fn text_timeline(trace: &Trace) -> String {
                         ),
                     ));
                 }
-                TraceEvent::Instant { track: t, name, ts_us } if t == track => {
+                TraceEvent::Instant {
+                    track: t,
+                    name,
+                    ts_us,
+                } if t == track => {
                     rows.push((*ts_us, format!("  @{:>12} {name}", fmt_us(*ts_us))));
                 }
                 _ => {}
@@ -102,7 +111,12 @@ pub fn text_timeline(trace: &Trace) -> String {
         let _ = writeln!(out, "counters:");
         for name in counters {
             for event in trace.events() {
-                if let TraceEvent::Counter { name: n, ts_us, value } = event {
+                if let TraceEvent::Counter {
+                    name: n,
+                    ts_us,
+                    value,
+                } = event
+                {
                     if n == name {
                         let _ = writeln!(out, "  {n} @{} = {value}", fmt_us(*ts_us));
                     }

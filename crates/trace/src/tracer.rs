@@ -59,7 +59,14 @@ pub trait Tracer {
     }
 
     /// Records a span (see [`TraceEvent::Span`]).
-    fn span(&mut self, track: &str, name: &str, category: TaskCategory, start_us: f64, dur_us: f64) {
+    fn span(
+        &mut self,
+        track: &str,
+        name: &str,
+        category: TaskCategory,
+        start_us: f64,
+        dur_us: f64,
+    ) {
         let _ = (track, name, category, start_us, dur_us);
     }
 
@@ -95,7 +102,9 @@ impl TraceRecorder {
 
     /// Consumes the recorder and returns the finished trace.
     pub fn finish(self) -> Trace {
-        Trace { events: self.events }
+        Trace {
+            events: self.events,
+        }
     }
 }
 
@@ -104,7 +113,14 @@ impl Tracer for TraceRecorder {
         true
     }
 
-    fn span(&mut self, track: &str, name: &str, category: TaskCategory, start_us: f64, dur_us: f64) {
+    fn span(
+        &mut self,
+        track: &str,
+        name: &str,
+        category: TaskCategory,
+        start_us: f64,
+        dur_us: f64,
+    ) {
         self.events.push(TraceEvent::Span {
             track: track.to_string(),
             name: name.to_string(),
@@ -186,7 +202,10 @@ impl Trace {
     pub fn category_totals(&self) -> Vec<(TaskCategory, f64)> {
         let mut acc = [0.0f64; TaskCategory::ALL.len()];
         for e in &self.events {
-            if let TraceEvent::Span { category, dur_us, .. } = e {
+            if let TraceEvent::Span {
+                category, dur_us, ..
+            } = e
+            {
                 acc[category.index()] += dur_us;
             }
         }
@@ -202,7 +221,9 @@ impl Trace {
         self.events
             .iter()
             .map(|e| match e {
-                TraceEvent::Span { start_us, dur_us, .. } => start_us + dur_us,
+                TraceEvent::Span {
+                    start_us, dur_us, ..
+                } => start_us + dur_us,
                 TraceEvent::Instant { ts_us, .. } | TraceEvent::Counter { ts_us, .. } => *ts_us,
             })
             .fold(0.0, f64::max)

@@ -94,7 +94,10 @@ pub fn learning_curve(
     early_stopping: Option<EarlyStopping>,
 ) -> (LearningCurve, usize) {
     assert!(eval_every_steps > 0, "evaluation period must be positive");
-    assert!(config.batch_size > 0 && config.train_examples > 0, "degenerate config");
+    assert!(
+        config.batch_size > 0 && config.train_examples > 0,
+        "degenerate config"
+    );
     let mut model = DlrmModel::new(model_config, config.seed);
     let mut gen = CtrGenerator::with_seeds(
         model_config,

@@ -83,7 +83,9 @@ impl BatchScalingStudy {
                 let lr = self.scaled_learning_rate(batch_size);
                 let ne = TrainRun::new(
                     &self.model_config,
-                    self.baseline.with_batch_size(batch_size).with_learning_rate(lr),
+                    self.baseline
+                        .with_batch_size(batch_size)
+                        .with_learning_rate(lr),
                 )
                 .execute()
                 .final_ne();

@@ -94,7 +94,10 @@ impl TrainRun {
     /// Panics if the configuration has a zero batch size or example budget.
     pub fn new(model_config: &ModelConfig, config: TrainerConfig) -> Self {
         assert!(config.batch_size > 0, "batch size must be positive");
-        assert!(config.train_examples > 0, "training budget must be positive");
+        assert!(
+            config.train_examples > 0,
+            "training budget must be positive"
+        );
         assert!(config.eval_examples > 0, "evaluation set must be non-empty");
         let model = DlrmModel::new(model_config, config.seed);
         let generator = CtrGenerator::new(model_config, config.seed.wrapping_add(1));

@@ -90,6 +90,10 @@ pub enum Code {
     /// A crate under `crates/` is missing from the DESIGN.md workspace
     /// inventory (§2) or has no layer in the dependency DAG.
     CrateUndocumented,
+    /// A `BENCH_*.json` artifact at the repo root does not match the
+    /// recsim-bench schema or names no existing bench binary (stale or
+    /// renamed baseline).
+    StaleBenchArtifact,
     /// A `hw::Platform` violates its structural invariants.
     InvalidPlatform,
     /// A placement routes more table bytes to a memory than it can hold.
@@ -116,12 +120,15 @@ pub enum Code {
     NonPositiveIterationTime,
     /// A simulation report's examples-per-iteration is zero or negative.
     NonPositiveExampleCount,
+    /// A fault-injection configuration (seed/MTBF/horizon/slowdown factors)
+    /// is outside its valid range.
+    InvalidFaultConfig,
 }
 
 impl Code {
     /// Every code, in numeric order (drives the `codes` subcommand and the
     /// DESIGN.md table test).
-    pub const ALL: [Code; 25] = [
+    pub const ALL: [Code; 27] = [
         Code::MissingForbidUnsafe,
         Code::PanicInLibrary,
         Code::KnobMissingDoc,
@@ -135,6 +142,7 @@ impl Code {
         Code::UncategorizedTask,
         Code::RawThreading,
         Code::CrateUndocumented,
+        Code::StaleBenchArtifact,
         Code::InvalidPlatform,
         Code::PlacementOverCapacity,
         Code::DanglingResource,
@@ -147,6 +155,7 @@ impl Code {
         Code::InvalidClusterConfig,
         Code::NonPositiveIterationTime,
         Code::NonPositiveExampleCount,
+        Code::InvalidFaultConfig,
     ];
 
     /// The stable `RV0xx` identifier.
@@ -165,6 +174,7 @@ impl Code {
             Code::UncategorizedTask => "RV011",
             Code::RawThreading => "RV012",
             Code::CrateUndocumented => "RV013",
+            Code::StaleBenchArtifact => "RV014",
             Code::InvalidPlatform => "RV020",
             Code::PlacementOverCapacity => "RV021",
             Code::DanglingResource => "RV022",
@@ -177,6 +187,7 @@ impl Code {
             Code::InvalidClusterConfig => "RV029",
             Code::NonPositiveIterationTime => "RV030",
             Code::NonPositiveExampleCount => "RV031",
+            Code::InvalidFaultConfig => "RV032",
         }
     }
 
@@ -214,6 +225,9 @@ impl Code {
             Code::CrateUndocumented => {
                 "crate missing from the DESIGN.md workspace inventory or layering DAG"
             }
+            Code::StaleBenchArtifact => {
+                "BENCH_*.json artifact off-schema or naming no existing bench binary"
+            }
             Code::InvalidPlatform => "platform violates structural invariants",
             Code::PlacementOverCapacity => "placement exceeds a memory's capacity",
             Code::DanglingResource => "placement references a nonexistent device",
@@ -226,6 +240,7 @@ impl Code {
             Code::InvalidClusterConfig => "fleet/cluster configuration is invalid",
             Code::NonPositiveIterationTime => "simulation report iteration time not positive",
             Code::NonPositiveExampleCount => "simulation report example count not positive",
+            Code::InvalidFaultConfig => "fault-injection configuration out of range",
         }
     }
 }
@@ -257,11 +272,7 @@ impl Diagnostic {
     }
 
     /// Creates a warning-severity diagnostic.
-    pub fn warning(
-        code: Code,
-        location: impl Into<String>,
-        message: impl Into<String>,
-    ) -> Self {
+    pub fn warning(code: Code, location: impl Into<String>, message: impl Into<String>) -> Self {
         Self {
             code,
             severity: Severity::Warning,
@@ -389,9 +400,11 @@ mod tests {
         assert_eq!(Code::UncategorizedTask.as_str(), "RV011");
         assert_eq!(Code::RawThreading.as_str(), "RV012");
         assert_eq!(Code::CrateUndocumented.as_str(), "RV013");
+        assert_eq!(Code::StaleBenchArtifact.as_str(), "RV014");
         assert_eq!(Code::DependencyCycle.as_str(), "RV026");
         assert_eq!(Code::NonPositiveIterationTime.as_str(), "RV030");
         assert_eq!(Code::NonPositiveExampleCount.as_str(), "RV031");
+        assert_eq!(Code::InvalidFaultConfig.as_str(), "RV032");
     }
 
     #[test]
@@ -402,11 +415,7 @@ mod tests {
                 self.0.clone()
             }
         }
-        let warn_only = Fixture(vec![Diagnostic::warning(
-            Code::StaleAllowlist,
-            "here",
-            "m",
-        )]);
+        let warn_only = Fixture(vec![Diagnostic::warning(Code::StaleAllowlist, "here", "m")]);
         assert!(warn_only.check().is_ok());
         let with_error = Fixture(vec![
             Diagnostic::warning(Code::StaleAllowlist, "here", "m"),

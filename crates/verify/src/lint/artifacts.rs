@@ -1,0 +1,236 @@
+//! RV014: every `BENCH_*.json` baseline artifact at the repo root must
+//! still be backed by the workspace. A bench binary writes its speedup
+//! baseline under a stable filename; if that binary is renamed or deleted,
+//! the artifact silently rots and CI keeps comparing against a ghost. The
+//! rule is structural (the lint engine is dependency-free, so there is no
+//! JSON parser here): the artifact must be balanced JSON, carry the
+//! `recsim-bench-sweeps-v1` schema tag plus every schema field, and its
+//! filename must appear verbatim in some `crates/bench/src/bin` source —
+//! the writer names its own artifact, so a missing mention means the
+//! producer is gone.
+
+use crate::{Code, Diagnostic};
+
+/// The schema tag every speedup-baseline artifact must carry (documented in
+/// `crates/bench/src/lib.rs`).
+pub const BENCH_SCHEMA: &str = "recsim-bench-sweeps-v1";
+
+/// Top-level fields of the `recsim-bench-sweeps-v1` schema besides
+/// `schema` itself (which is value-checked, not just presence-checked).
+pub const REQUIRED_KEYS: [&str; 7] = [
+    "threads",
+    "effort",
+    "drivers",
+    "serial_total_secs",
+    "parallel_total_secs",
+    "speedup",
+    "outputs_identical",
+];
+
+/// RV014 for the repo-root bench artifacts. `artifacts` holds
+/// `(file name, contents)` for every `BENCH_*.json`; `bin_sources` holds
+/// `(rel path, contents)` for every `crates/bench/src/bin/*.rs`.
+pub fn check_bench_artifacts(
+    artifacts: &[(String, String)],
+    bin_sources: &[(String, String)],
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (name, json) in artifacts {
+        if !json_is_balanced(json) {
+            out.push(Diagnostic::error(
+                Code::StaleBenchArtifact,
+                name,
+                "artifact is not well-formed JSON (unbalanced braces/brackets \
+                 or unterminated string)",
+            ));
+            continue;
+        }
+        match string_value_of(json, "schema") {
+            Some(tag) if tag == BENCH_SCHEMA => {}
+            Some(tag) => out.push(Diagnostic::error(
+                Code::StaleBenchArtifact,
+                name,
+                format!("schema tag `{tag}` is not `{BENCH_SCHEMA}`"),
+            )),
+            None => out.push(Diagnostic::error(
+                Code::StaleBenchArtifact,
+                name,
+                format!("artifact has no `schema` string field (`{BENCH_SCHEMA}` expected)"),
+            )),
+        }
+        for key in REQUIRED_KEYS {
+            if !has_key(json, key) {
+                out.push(Diagnostic::error(
+                    Code::StaleBenchArtifact,
+                    name,
+                    format!("required schema field `{key}` is missing"),
+                ));
+            }
+        }
+        if !bin_sources
+            .iter()
+            .any(|(_, src)| src.contains(name.as_str()))
+        {
+            out.push(Diagnostic::error(
+                Code::StaleBenchArtifact,
+                name,
+                "no bench binary under crates/bench/src/bin names this artifact \
+                 — its producer was renamed or removed; delete or regenerate it",
+            ));
+        }
+    }
+    out
+}
+
+/// Whether `{}`/`[]` nest correctly with strings (and escapes) respected.
+fn json_is_balanced(json: &str) -> bool {
+    let mut depth: i64 = 0;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in json.chars() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => {
+                depth -= 1;
+                if depth < 0 {
+                    return false;
+                }
+            }
+            _ => {}
+        }
+    }
+    depth == 0 && !in_string
+}
+
+/// Whether `"key"` appears as an object key (followed by `:`).
+fn has_key(json: &str, key: &str) -> bool {
+    let needle = format!("\"{key}\"");
+    let mut from = 0;
+    while let Some(pos) = json[from..].find(&needle) {
+        let after = from + pos + needle.len();
+        if json[after..].trim_start().starts_with(':') {
+            return true;
+        }
+        from = after;
+    }
+    false
+}
+
+/// The string value of top-level-ish `"key": "value"`, if present.
+fn string_value_of(json: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\"");
+    let mut from = 0;
+    while let Some(pos) = json[from..].find(&needle) {
+        let after = from + pos + needle.len();
+        let rest = json[after..].trim_start();
+        if let Some(rest) = rest.strip_prefix(':') {
+            let rest = rest.trim_start();
+            let mut value = String::new();
+            let mut chars = rest.chars();
+            if chars.next() == Some('"') {
+                let mut escaped = false;
+                for c in chars {
+                    if escaped {
+                        value.push(c);
+                        escaped = false;
+                    } else if c == '\\' {
+                        escaped = true;
+                    } else if c == '"' {
+                        return Some(value);
+                    } else {
+                        value.push(c);
+                    }
+                }
+            }
+            return None;
+        }
+        from = after;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn valid_doc() -> String {
+        format!(
+            "{{\"schema\": \"{BENCH_SCHEMA}\", \"threads\": 4, \"effort\": \"quick\", \
+             \"drivers\": [{{\"id\": \"fig10\", \"serial_secs\": 0.5}}], \
+             \"serial_total_secs\": 0.5, \"parallel_total_secs\": 0.2, \
+             \"speedup\": 2.5, \"outputs_identical\": true}}"
+        )
+    }
+
+    fn producer() -> Vec<(String, String)> {
+        vec![(
+            "crates/bench/src/bin/all_experiments.rs".to_string(),
+            "let path = root.join(\"BENCH_sweeps.json\");".to_string(),
+        )]
+    }
+
+    #[test]
+    fn valid_artifact_with_producer_passes() {
+        let artifacts = vec![("BENCH_sweeps.json".to_string(), valid_doc())];
+        assert!(check_bench_artifacts(&artifacts, &producer()).is_empty());
+    }
+
+    #[test]
+    fn orphaned_artifact_is_flagged() {
+        let artifacts = vec![("BENCH_ghost.json".to_string(), valid_doc())];
+        let diags = check_bench_artifacts(&artifacts, &producer());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code(), Code::StaleBenchArtifact);
+        assert!(diags[0].message().contains("producer"));
+    }
+
+    #[test]
+    fn wrong_schema_tag_is_flagged() {
+        let doc = valid_doc().replace(BENCH_SCHEMA, "recsim-bench-sweeps-v0");
+        let artifacts = vec![("BENCH_sweeps.json".to_string(), doc)];
+        let diags = check_bench_artifacts(&artifacts, &producer());
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message().contains("recsim-bench-sweeps-v0"));
+    }
+
+    #[test]
+    fn missing_field_is_flagged() {
+        let doc = valid_doc().replace("\"speedup\": 2.5, ", "");
+        let artifacts = vec![("BENCH_sweeps.json".to_string(), doc)];
+        let diags = check_bench_artifacts(&artifacts, &producer());
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message().contains("speedup"));
+    }
+
+    #[test]
+    fn unbalanced_json_is_flagged_once() {
+        let artifacts = vec![(
+            "BENCH_sweeps.json".to_string(),
+            "{\"schema\": [}".to_string(),
+        )];
+        let diags = check_bench_artifacts(&artifacts, &producer());
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message().contains("well-formed"));
+    }
+
+    #[test]
+    fn key_matching_requires_colon() {
+        // "schema" appearing only as a *value* must not satisfy the key scan.
+        let doc = "{\"note\": \"schema\", \"x\": 1}";
+        assert!(!has_key(doc, "schema"));
+        assert!(has_key(doc, "note"));
+        assert_eq!(string_value_of(doc, "note").as_deref(), Some("schema"));
+        assert_eq!(string_value_of(doc, "x"), None);
+    }
+}

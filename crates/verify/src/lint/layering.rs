@@ -6,7 +6,7 @@
 //! The DAG, bottom-up:
 //!
 //! ```text
-//! verify ← metrics ← hw ← placement ← sim ← shard
+//! verify ← metrics ← hw ← placement ← sim ← shard ← fault
 //!                  ↖ data ← model ← train
 //!                  ↖ trace (← sim, for schedule export/attribution)
 //! pool (dependency-free, like verify) ← train/core/bench/facade
@@ -36,7 +36,12 @@ pub fn allowed_internal(package: &str) -> Option<&'static [&'static str]> {
     const HW: &[&str] = &["recsim-verify", "recsim-metrics"];
     const DATA: &[&str] = &["recsim-verify", "recsim-metrics"];
     const MODEL: &[&str] = &["recsim-verify", "recsim-metrics", "recsim-data"];
-    const PLACEMENT: &[&str] = &["recsim-verify", "recsim-metrics", "recsim-hw", "recsim-data"];
+    const PLACEMENT: &[&str] = &[
+        "recsim-verify",
+        "recsim-metrics",
+        "recsim-hw",
+        "recsim-data",
+    ];
     const TRACE: &[&str] = &["recsim-verify", "recsim-metrics"];
     const SIM: &[&str] = &[
         "recsim-verify",
@@ -53,6 +58,16 @@ pub fn allowed_internal(package: &str) -> Option<&'static [&'static str]> {
         "recsim-data",
         "recsim-placement",
         "recsim-sim",
+        "recsim-trace",
+    ];
+    const FAULT: &[&str] = &[
+        "recsim-verify",
+        "recsim-metrics",
+        "recsim-hw",
+        "recsim-data",
+        "recsim-placement",
+        "recsim-sim",
+        "recsim-shard",
         "recsim-trace",
     ];
     const TRAIN: &[&str] = &[
@@ -72,6 +87,7 @@ pub fn allowed_internal(package: &str) -> Option<&'static [&'static str]> {
         "recsim-placement",
         "recsim-sim",
         "recsim-shard",
+        "recsim-fault",
         "recsim-trace",
         "recsim-train",
     ];
@@ -85,6 +101,7 @@ pub fn allowed_internal(package: &str) -> Option<&'static [&'static str]> {
         "recsim-placement",
         "recsim-sim",
         "recsim-shard",
+        "recsim-fault",
         "recsim-trace",
         "recsim-train",
         "recsim-core",
@@ -99,6 +116,7 @@ pub fn allowed_internal(package: &str) -> Option<&'static [&'static str]> {
         "recsim-placement" => Some(PLACEMENT),
         "recsim-sim" => Some(SIM),
         "recsim-shard" => Some(SHARD),
+        "recsim-fault" => Some(FAULT),
         "recsim-trace" => Some(TRACE),
         "recsim-train" => Some(TRAIN),
         "recsim-core" => Some(CORE),

@@ -6,6 +6,7 @@
 //! to the real tree. Everything runs offline on the checked-out sources —
 //! no network, no external tooling, no proc macros.
 
+pub mod artifacts;
 pub mod categories;
 pub mod inventory;
 pub mod knobs;
@@ -45,9 +46,7 @@ pub fn workspace_root() -> Option<PathBuf> {
 }
 
 fn is_workspace_root(dir: &Path) -> bool {
-    fs::read_to_string(dir.join("Cargo.toml"))
-        .map(|s| s.contains("[workspace]"))
-        .unwrap_or(false)
+    fs::read_to_string(dir.join("Cargo.toml")).is_ok_and(|s| s.contains("[workspace]"))
 }
 
 /// Runs every Layer-1 rule over the workspace at `root`.
@@ -87,7 +86,11 @@ pub fn run(root: &Path) -> Vec<Diagnostic> {
         Ok(cost_src) => {
             diags.extend(knobs::check_knob_declarations(cost_rel, &cost_src));
             let bench_sources = sources_under(root, &["crates/bench/benches", "crates/bench/src"]);
-            diags.extend(knobs::check_knob_references(cost_rel, &cost_src, &bench_sources));
+            diags.extend(knobs::check_knob_references(
+                cost_rel,
+                &cost_src,
+                &bench_sources,
+            ));
         }
         Err(e) => diags.push(read_error(cost_rel, &e)),
     }
@@ -108,7 +111,19 @@ pub fn run(root: &Path) -> Vec<Diagnostic> {
         }
     };
     let experiments_md = fs::read_to_string(root.join("EXPERIMENTS.md")).unwrap_or_default();
-    diags.extend(registry::check_registry(&bin_stems, &modules, &experiments_md));
+    diags.extend(registry::check_registry(
+        &bin_stems,
+        &modules,
+        &experiments_md,
+    ));
+
+    // RV014 over the repo-root bench baselines.
+    let bench_artifacts = root_bench_artifacts(root, &mut diags);
+    let bin_sources = sources_under(root, &["crates/bench/src/bin"]);
+    diags.extend(artifacts::check_bench_artifacts(
+        &bench_artifacts,
+        &bin_sources,
+    ));
 
     // RV008 + RV009 over every manifest; RV013 (DESIGN.md inventory + DAG
     // membership) over the crates/ manifests.
@@ -149,9 +164,9 @@ pub fn write_allowlist(root: &Path) -> std::io::Result<usize> {
 
 fn load_allowlist(root: &Path, diags: &mut Vec<Diagnostic>) -> BTreeMap<String, usize> {
     let mut budgets = BTreeMap::new();
-    let text = match fs::read_to_string(root.join(ALLOWLIST_PATH)) {
-        Ok(t) => t,
-        Err(_) => return budgets, // no allowlist = zero budget everywhere
+    // No allowlist = zero budget everywhere.
+    let Ok(text) = fs::read_to_string(root.join(ALLOWLIST_PATH)) else {
+        return budgets;
     };
     for (idx, raw) in text.lines().enumerate() {
         let line = raw.trim();
@@ -159,7 +174,10 @@ fn load_allowlist(root: &Path, diags: &mut Vec<Diagnostic>) -> BTreeMap<String, 
             continue;
         }
         let mut parts = line.split_whitespace();
-        let entry = (parts.next(), parts.next().and_then(|n| n.parse::<usize>().ok()));
+        let entry = (
+            parts.next(),
+            parts.next().and_then(|n| n.parse::<usize>().ok()),
+        );
         if let (Some(path), Some(count)) = entry {
             budgets.insert(path.to_string(), count);
         } else {
@@ -259,6 +277,28 @@ fn sources_under(root: &Path, rel_dirs: &[&str]) -> Vec<(String, String)> {
         }
     }
     out.sort();
+    out
+}
+
+/// Every `BENCH_*.json` at the workspace root, as `(file name, contents)`.
+fn root_bench_artifacts(root: &Path, diags: &mut Vec<Diagnostic>) -> Vec<(String, String)> {
+    let mut names: Vec<String> = fs::read_dir(root)
+        .map(|rd| {
+            rd.filter_map(Result::ok)
+                .filter(|e| e.path().is_file())
+                .filter_map(|e| e.file_name().to_str().map(String::from))
+                .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+                .collect()
+        })
+        .unwrap_or_default();
+    names.sort();
+    let mut out = Vec::new();
+    for name in names {
+        match fs::read_to_string(root.join(&name)) {
+            Ok(content) => out.push((name, content)),
+            Err(e) => diags.push(read_error(&name, &e)),
+        }
+    }
     out
 }
 

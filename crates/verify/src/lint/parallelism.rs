@@ -17,7 +17,10 @@ use crate::{Code, Diagnostic};
 /// crate. Matching on the `thread::` suffix catches `std::thread::*`,
 /// `crossbeam::thread::*` and `use std::thread; thread::spawn(…)` alike.
 fn raw_thread_tokens() -> [String; 2] {
-    [format!("thread::{}(", "spawn"), format!("thread::{}(", "scope")]
+    [
+        format!("thread::{}(", "spawn"),
+        format!("thread::{}(", "scope"),
+    ]
 }
 
 /// True for the files RV012 exempts: the pool crate is the one place the
@@ -57,7 +60,10 @@ mod tests {
         let diags = check_raw_threading("crates/core/src/experiments/fig10.rs", src);
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].code(), Code::RawThreading);
-        assert_eq!(diags[0].location(), "crates/core/src/experiments/fig10.rs:2");
+        assert_eq!(
+            diags[0].location(),
+            "crates/core/src/experiments/fig10.rs:2"
+        );
     }
 
     #[test]

@@ -92,7 +92,10 @@ mod tests {
 
     #[test]
     fn missing_module_and_row_flagged() {
-        let bins = vec!["fig01_throughput".to_string(), "fig02_landscape".to_string()];
+        let bins = vec![
+            "fig01_throughput".to_string(),
+            "fig02_landscape".to_string(),
+        ];
         let modules = vec!["fig01".to_string()];
         let md = "| Fig 1 | `fig01_throughput` | … |";
         let diags = check_registry(&bins, &modules, md);

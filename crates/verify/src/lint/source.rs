@@ -222,7 +222,11 @@ mod tests {
             "fn after() -> Option<u8> { None.unwrap() }\n",
         );
         let sites = panic_sites(src);
-        assert_eq!(sites.len(), 1, "only the post-module site counts: {sites:?}");
+        assert_eq!(
+            sites.len(),
+            1,
+            "only the post-module site counts: {sites:?}"
+        );
         assert_eq!(sites[0].0, 8);
     }
 

@@ -57,7 +57,10 @@ fn cmd_lint(write_allowlist: bool) -> ExitCode {
         }
     }
     let diags = lint::run(&root);
-    let errors = diags.iter().filter(|d| d.severity() == Severity::Error).count();
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity() == Severity::Error)
+        .count();
     let warnings = diags.len() - errors;
     for d in &diags {
         println!("{d}");
@@ -77,7 +80,11 @@ fn cmd_lint(write_allowlist: bool) -> ExitCode {
 fn cmd_codes() {
     println!("code   severity-at-rest  description");
     for code in Code::ALL {
-        let layer = if code.as_str() < "RV020" { "lint" } else { "validate" };
+        let layer = if code.as_str() < "RV020" {
+            "lint"
+        } else {
+            "validate"
+        };
         println!("{}  {:<8}         {}", code, layer, code.describe());
     }
 }

@@ -13,9 +13,9 @@
 //!
 //! Run with: `cargo run --release --example reliability_drill`
 
+use recsim::model::optim::Optimizer;
 use recsim::prelude::*;
 use recsim::train::checkpoint::Checkpoint;
-use recsim::model::optim::Optimizer;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- Part 1: crash-and-resume -----------------------------------

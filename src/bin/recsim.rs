@@ -5,6 +5,7 @@
 //! recsim run --all [--quick] [--threads N]  parallel run of every driver
 //! recsim simulate [options]               price one training setup
 //! recsim shard <setup> [options]          auto-place embeddings, compare
+//! recsim faults <setup> [options]         goodput under injected failures
 //! recsim trace <setup> [options]          export a timeline + attribution
 //! recsim train [options]                  really train a model, report NE
 //! recsim models                           describe the M1/M2/M3 stand-ins
@@ -25,6 +26,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("shard") => cmd_shard(&args[1..]),
+        Some("faults") => cmd_faults(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
         Some("models") => cmd_models(),
@@ -47,9 +49,11 @@ fn print_help() {
          USAGE:\n\
          \x20 recsim experiments [--quick] [id ...]   run paper-artifact drivers\n\
          \x20 recsim run --all [--quick] [--threads N]  run every driver in parallel\n\
-         \x20                                         (RECSIM_THREADS also honored)\n\
+         \x20                                         (RECSIM_THREADS also honored;\n\
+         \x20                                         RECSIM_RESULTS_DIR persists JSON)\n\
          \x20 recsim simulate [options]               simulate one training setup\n\
          \x20 recsim shard <setup> [options]          auto-place embedding tables\n\
+         \x20 recsim faults <setup> [options]         goodput under injected failures\n\
          \x20 recsim trace <setup> [options]          export a timeline + attribution\n\
          \x20 recsim train [options]                  train for real, report NE\n\
          \x20 recsim models                           describe M1/M2/M3 stand-ins\n\
@@ -67,6 +71,12 @@ fn print_help() {
          SHARD: recsim shard bb|bb16|zion\n\
          \x20 --solver greedy|pack|refine [refine]  --model m1|m2|m3 (production\n\
          \x20 stand-in instead of the simulate model flags)  --batch N [1600]\n\
+         \n\
+         FAULTS: recsim faults bb|bb16|scaleout\n\
+         \x20 --policy checkpoint|elastic|fail-stop|all [all]  --mtbf SECONDS [21600]\n\
+         \x20 --interval SECONDS (checkpoint interval; default: Young's optimum)\n\
+         \x20 --seed N [42]  --horizon SECONDS [86400]  --nodes N (scaleout only)\n\
+         \x20 plus the simulate model flags and --model m1|m2|m3\n\
          \n\
          TRACE: recsim trace bb|bb16|zion|cpu|scaleout\n\
          \x20 --format chrome|text|summary [chrome]  --out FILE (default: stdout)\n\
@@ -192,6 +202,34 @@ fn cmd_run(args: &[String]) -> ExitCode {
         println!();
         failed += out.failed_claims().len();
     }
+    // With RECSIM_RESULTS_DIR set, persist one JSON artifact per driver —
+    // the CI determinism job diffs these across thread counts.
+    if let Some(dir) = std::env::var_os("RECSIM_RESULTS_DIR") {
+        let dir = std::path::PathBuf::from(dir);
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        for (id, out) in &outputs {
+            let json = match serde_json::to_string(out) {
+                Ok(json) => json,
+                Err(e) => {
+                    eprintln!("cannot serialize `{id}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let path = dir.join(format!("{id}.json"));
+            if let Err(e) = std::fs::write(&path, json + "\n") {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        println!(
+            "({} artifact(s) written to {})",
+            outputs.len(),
+            dir.display()
+        );
+    }
     println!(
         "ran {} driver(s) across {threads} thread(s) in {elapsed:.2}s",
         outputs.len()
@@ -211,7 +249,7 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
 
     // Multi-node scale-out mode.
     if let Some(nodes) = flags.get("nodes").and_then(|v| v.parse::<u32>().ok()) {
-        return match recsim::sim::scaleout::ScaleOutSim::new(&model, nodes, batch) {
+        return match ScaleOutSim::new(&model, nodes, batch) {
             Ok(sim) => {
                 print_report(&sim.run());
                 ExitCode::SUCCESS
@@ -228,8 +266,7 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
         .cloned()
         .unwrap_or_else(|| "bb".to_string());
     if platform_name == "cpu" {
-        return match CpuTrainingSim::new(&model, CpuClusterSetup::single_trainer(batch.min(800)))
-        {
+        return match CpuTrainingSim::new(&model, CpuClusterSetup::single_trainer(batch.min(800))) {
             Ok(sim) => {
                 print_report(&sim.run());
                 ExitCode::SUCCESS
@@ -280,7 +317,7 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
 }
 
 fn parse_placement(flags: &HashMap<String, String>) -> Option<PlacementStrategy> {
-    match flags.get("placement").map(String::as_str).unwrap_or("gpu") {
+    match flags.get("placement").map_or("gpu", String::as_str) {
         "gpu" => Some(PlacementStrategy::GpuMemory(PartitionScheme::TableWise)),
         "rowwise" => Some(PlacementStrategy::GpuMemory(PartitionScheme::RowWise)),
         "replicated" => Some(PlacementStrategy::GpuMemory(PartitionScheme::Replicated)),
@@ -301,7 +338,7 @@ fn parse_placement(flags: &HashMap<String, String>) -> Option<PlacementStrategy>
 /// production stand-in, otherwise the simulate model flags apply.
 fn cmd_shard(args: &[String]) -> ExitCode {
     let (flags, positional) = parse_flags(args);
-    let setup = positional.first().map(String::as_str).unwrap_or("bb");
+    let setup = positional.first().map_or("bb", String::as_str);
     let platform = match setup {
         "bb" => Platform::big_basin(Bytes::from_gib(32)),
         "bb16" => Platform::big_basin(Bytes::from_gib(16)),
@@ -322,7 +359,7 @@ fn cmd_shard(args: &[String]) -> ExitCode {
         None => build_model(&flags),
     };
     let batch = get(&flags, "batch", 1600u64);
-    let solver_name = flags.get("solver").map(String::as_str).unwrap_or("refine");
+    let solver_name = flags.get("solver").map_or("refine", String::as_str);
     let Some(solver) = solver_by_name(solver_name) else {
         eprintln!("unknown solver `{solver_name}` (greedy, pack, refine)");
         return ExitCode::FAILURE;
@@ -351,6 +388,119 @@ fn cmd_shard(args: &[String]) -> ExitCode {
     }
 }
 
+/// `recsim faults <setup>` — price a fault environment and report each
+/// recovery policy's goodput. Setups: the GPU platforms (`bb`, `bb16`) and
+/// `scaleout` (multi-node sharded GPU memory). The schedule is a pure
+/// function of `(seed, mtbf, horizon)`, so output is byte-identical at any
+/// thread count.
+fn cmd_faults(args: &[String]) -> ExitCode {
+    let (flags, positional) = parse_flags(args);
+    let setup = positional.first().map_or("bb", String::as_str);
+    let model = match flags.get("model").map(String::as_str) {
+        Some("m1") => production_model(ProductionModelId::M1),
+        Some("m2") => production_model(ProductionModelId::M2),
+        Some("m3") => production_model(ProductionModelId::M3),
+        Some(other) => {
+            eprintln!("unknown model `{other}` (m1, m2, m3)");
+            return ExitCode::FAILURE;
+        }
+        None => build_model(&flags),
+    };
+    let fault_cfg = FaultConfig {
+        seed: get(&flags, "seed", 42u64),
+        horizon_secs: get(&flags, "horizon", 86_400.0f64),
+        ..FaultConfig::default()
+    }
+    .with_device_mtbf(get(&flags, "mtbf", 21_600.0f64));
+
+    let built = match setup {
+        "bb" | "bb16" => {
+            let platform = if setup == "bb16" {
+                Platform::big_basin(Bytes::from_gib(16))
+            } else {
+                Platform::big_basin(Bytes::from_gib(32))
+            };
+            let batch = get(&flags, "batch", 1600u64);
+            FaultSchedule::generate(&fault_cfg, platform.gpus().len())
+                .map_err(FaultError::from)
+                .and_then(|schedule| {
+                    let ctx = FaultContext::for_gpu_training(
+                        &model, &platform, batch, &fault_cfg, &schedule,
+                    )?;
+                    Ok((schedule, ctx))
+                })
+        }
+        "scaleout" => {
+            let nodes = get(&flags, "nodes", min_nodes(&model) + 2);
+            let batch = get(&flags, "batch", 800u64);
+            FaultSchedule::generate(&fault_cfg, nodes as usize * 8)
+                .map_err(FaultError::from)
+                .and_then(|schedule| {
+                    let ctx =
+                        FaultContext::for_scale_out(&model, nodes, batch, &fault_cfg, &schedule)?;
+                    Ok((schedule, ctx))
+                })
+        }
+        other => {
+            eprintln!("unknown setup `{other}` (bb, bb16, scaleout)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (schedule, ctx) = match built {
+        Ok(parts) => parts,
+        Err(e) => {
+            eprintln!("fault setup failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let failures = schedule.device_failures();
+    println!("{}", ctx.setup());
+    println!(
+        "horizon {:.1} h, device MTBF {:.1} h: {} device failures, {} fault events",
+        ctx.horizon_secs() / 3_600.0,
+        fault_cfg.device_mtbf_secs / 3_600.0,
+        failures,
+        schedule.events().len()
+    );
+    println!(
+        "healthy {:.0} ex/s, degraded {:.0} ex/s; checkpoint write {:.1} s, restart {:.1} s",
+        ctx.baseline_samples_per_sec(),
+        ctx.degraded_samples_per_sec(),
+        ctx.checkpoint_write_secs(),
+        ctx.restart_secs()
+    );
+    let interval = flags
+        .get("interval")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| CheckpointRestart::optimal_interval(&ctx, fault_cfg.device_mtbf_secs));
+    println!("checkpoint interval {interval:.0} s");
+
+    let wanted = flags.get("policy").map_or("all", String::as_str);
+    let names: Vec<&str> = if wanted == "all" {
+        POLICY_NAMES.to_vec()
+    } else if POLICY_NAMES.contains(&wanted) {
+        vec![wanted]
+    } else {
+        eprintln!("unknown policy `{wanted}` (checkpoint, elastic, fail-stop, all)");
+        return ExitCode::FAILURE;
+    };
+    for name in names {
+        let Some(policy) = policy_by_name(name, interval) else {
+            continue;
+        };
+        let g = policy.goodput(&ctx, failures);
+        println!(
+            "  {:<10} {:>8.0} ex/s goodput  ({:.1}% useful, {:.0} s overhead)",
+            g.policy,
+            g.goodput_samples_per_sec,
+            g.useful_fraction * 100.0,
+            g.overhead_secs
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 /// `recsim trace <setup>` — export one iteration's execution timeline and
 /// its critical-path attribution. Setups: the GPU platforms (`bb`, `bb16`,
 /// `zion`), `cpu` (single-trainer fleet) and `scaleout` (multi-node sharded
@@ -361,7 +511,7 @@ fn cmd_trace(args: &[String]) -> ExitCode {
     let (flags, positional) = parse_flags(args);
     let model = build_model(&flags);
     let batch = get(&flags, "batch", 1600u64);
-    let setup = positional.first().map(String::as_str).unwrap_or("bb");
+    let setup = positional.first().map_or("bb", String::as_str);
 
     let (trace, cp) = match setup {
         "cpu" => {
@@ -375,7 +525,7 @@ fn cmd_trace(args: &[String]) -> ExitCode {
         }
         "scaleout" => {
             let nodes = get(&flags, "nodes", min_nodes(&model).max(2));
-            match recsim::sim::scaleout::ScaleOutSim::new(&model, nodes, batch) {
+            match ScaleOutSim::new(&model, nodes, batch) {
                 Ok(sim) => (sim.trace(), sim.critical_path(TOP_K)),
                 Err(e) => {
                     eprintln!("scale-out error: {e} (min nodes = {})", min_nodes(&model));
@@ -406,7 +556,7 @@ fn cmd_trace(args: &[String]) -> ExitCode {
         }
     };
 
-    let rendered = match flags.get("format").map(String::as_str).unwrap_or("chrome") {
+    let rendered = match flags.get("format").map_or("chrome", String::as_str) {
         "chrome" => chrome_trace(&trace),
         "text" => recsim::trace::text_timeline(&trace),
         "summary" => format!(
@@ -449,7 +599,11 @@ fn print_attribution(report: &SimReport) {
     let total = report.iteration_time().as_secs();
     println!("attribution (critical path):");
     for (label, d) in report.attribution() {
-        let share = if total > 0.0 { d.as_secs() / total * 100.0 } else { 0.0 };
+        let share = if total > 0.0 {
+            d.as_secs() / total * 100.0
+        } else {
+            0.0
+        };
         println!("  {label:<18} {d} ({share:.1}%)");
     }
 }
@@ -467,7 +621,10 @@ fn cmd_verify() -> ExitCode {
     };
 
     for (name, platform) in [
-        ("platform bb (32 GiB)", Platform::big_basin(Bytes::from_gib(32))),
+        (
+            "platform bb (32 GiB)",
+            Platform::big_basin(Bytes::from_gib(32)),
+        ),
         ("platform bb16", Platform::big_basin(Bytes::from_gib(16))),
         ("platform zion", Platform::zion_prototype()),
         ("platform cpu", Platform::dual_socket_cpu()),
@@ -488,7 +645,10 @@ fn cmd_verify() -> ExitCode {
             check(format!("placement {} on bb", id.name()), p.validate());
         }
     }
-    check("cost knobs (default)".to_string(), CostKnobs::default().validate());
+    check(
+        "cost knobs (default)".to_string(),
+        CostKnobs::default().validate(),
+    );
 
     for (subject, d) in &findings {
         println!("{subject}: {d}");
@@ -554,9 +714,18 @@ fn cmd_train(args: &[String]) -> ExitCode {
     let run = TrainRun::new(&model, config).execute();
     let hist = run.loss_history();
     println!("steps:           {}", hist.len());
-    println!("first-step loss: {:.4}", hist.first().copied().unwrap_or(0.0));
-    println!("last-step loss:  {:.4}", hist.last().copied().unwrap_or(0.0));
-    println!("held-out NE:     {:.4}  (1.0 = base-rate prediction)", run.final_ne());
+    println!(
+        "first-step loss: {:.4}",
+        hist.first().copied().unwrap_or(0.0)
+    );
+    println!(
+        "last-step loss:  {:.4}",
+        hist.last().copied().unwrap_or(0.0)
+    );
+    println!(
+        "held-out NE:     {:.4}  (1.0 = base-rate prediction)",
+        run.final_ne()
+    );
     ExitCode::SUCCESS
 }
 

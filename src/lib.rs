@@ -16,6 +16,10 @@
 //! * [`shard`] — cost-model-driven automatic embedding placement: three
 //!   solvers searching for the placement that minimizes predicted
 //!   iteration time (`recsim shard <setup>`),
+//! * [`fault`] — deterministic fault injection and recovery: counter-keyed
+//!   fault schedules, slowdown perturbations for the DES, and the
+//!   checkpoint / elastic-shrink / fail-stop goodput policies
+//!   (`recsim faults <setup>`),
 //! * [`trace`] — spans/counters tracing, Chrome/Perfetto export, and
 //!   critical-path attribution of the makespan to task categories,
 //! * [`train`] — real training loops, NE metrics, batch scaling, AutoML,
@@ -55,6 +59,7 @@
 
 pub use recsim_core as core;
 pub use recsim_data as data;
+pub use recsim_fault as fault;
 pub use recsim_hw as hw;
 pub use recsim_metrics as metrics;
 pub use recsim_model as model;
@@ -73,6 +78,10 @@ pub mod prelude {
     pub use recsim_data::schema::{Interaction, ModelConfig, SparseFeatureSpec};
     pub use recsim_data::trace::{AccessTrace, ReuseProfile};
     pub use recsim_data::CtrGenerator;
+    pub use recsim_fault::{
+        policy_by_name, CheckpointRestart, ElasticShrink, FailStop, FaultConfig, FaultContext,
+        FaultError, FaultSchedule, GoodputReport, RecoveryPolicy, SlowdownField, POLICY_NAMES,
+    };
     pub use recsim_hw::units::{Bandwidth, Bytes, Duration, FlopRate, Flops, Power};
     pub use recsim_hw::{Platform, PlatformKind};
     pub use recsim_model::{DlrmModel, Matrix};

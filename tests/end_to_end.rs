@@ -19,7 +19,10 @@ fn m3_capacity_story() {
         PlacementStrategy::GpuMemory(PartitionScheme::RowWise),
         2.0,
     );
-    assert!(gpu_mem.is_err(), "M3's hundreds of GBs cannot fit 256 GiB HBM");
+    assert!(
+        gpu_mem.is_err(),
+        "M3's hundreds of GBs cannot fit 256 GiB HBM"
+    );
 
     // Remote placement works but is slow relative to the CPU fleet.
     let remote = GpuTrainingSim::new(&m3, &bb, PlacementStrategy::RemoteCpu { servers: 8 }, 800)

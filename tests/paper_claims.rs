@@ -38,11 +38,30 @@ fn experiment_outputs_serialize_round_trip() {
 fn registry_covers_every_paper_artifact() {
     let ids: Vec<&str> = experiments::registry().iter().map(|(id, _)| *id).collect();
     for expected in [
-        "table1", "table2", "table3", "fig01", "fig02", "fig05", "fig06", "fig07", "fig09",
-        "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "automl", "autoshard",
-        "locality", "scaleout", "readers", "compression",
+        "table1",
+        "table2",
+        "table3",
+        "fig01",
+        "fig02",
+        "fig05",
+        "fig06",
+        "fig07",
+        "fig09",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "automl",
+        "autoshard",
+        "faults",
+        "locality",
+        "scaleout",
+        "readers",
+        "compression",
     ] {
         assert!(ids.contains(&expected), "missing driver for {expected}");
     }
-    assert_eq!(ids.len(), 21);
+    assert_eq!(ids.len(), 22);
 }

@@ -154,10 +154,7 @@ fn text_timeline_names_every_track() {
     let trace = sim.trace();
     let text = text_timeline(&trace);
     for track in trace.tracks() {
-        assert!(
-            text.contains(track),
-            "timeline missing track {track:?}"
-        );
+        assert!(text.contains(track), "timeline missing track {track:?}");
     }
 }
 
