@@ -1,0 +1,105 @@
+//! Runtime half of the determinism sanitizer: run a driver twice — serial
+//! and parallel — with the per-stage digest recorder armed, and localize
+//! the first divergence (DESIGN.md §11).
+//!
+//! While armed, the instrumented pipeline records a [`StageEntry`] at the
+//! end of every stage (`data/batch`, `sim/taskgraph`, `sim/schedule`,
+//! `sim/report`, `train/run`, …) and the pool re-emits each sweep point's
+//! captured entries serially in submission order, tagged with the point
+//! index. Two runs of a determinism-respecting driver therefore produce
+//! *identical* digest streams at any worker count, and the first
+//! mismatching entry of a violating driver names the exact stage and sweep
+//! point where state diverged — instead of the artifact-level "bytes
+//! differ somewhere" a JSON diff gives.
+//!
+//! The recorder and the pool's thread override are process-global, so
+//! comparisons must not run concurrently; the CLI runs drivers one at a
+//! time, and the integration test keeps everything in one `#[test]`.
+
+use crate::experiments::Driver;
+use crate::{Effort, ExperimentOutput};
+use recsim_detsan::{first_divergence, Divergence, StageEntry};
+
+/// The outcome of one serial-vs-parallel comparison.
+#[derive(Debug)]
+pub struct DetsanComparison {
+    /// Driver id, e.g. `"fig10"`.
+    pub driver: String,
+    /// Parallel worker count the serial run was compared against.
+    pub threads: usize,
+    /// Digest-stream length of the serial run.
+    pub serial_entries: usize,
+    /// First divergence between the two streams, if any.
+    pub divergence: Option<Divergence>,
+    /// Whether the serialized artifacts were byte-identical.
+    pub artifacts_match: bool,
+    /// Serialized artifact of the serial run.
+    pub json_serial: String,
+    /// Serialized artifact of the parallel run.
+    pub json_parallel: String,
+}
+
+impl DetsanComparison {
+    /// True when the digest streams and the artifacts both matched.
+    pub fn is_clean(&self) -> bool {
+        self.divergence.is_none() && self.artifacts_match
+    }
+
+    /// One-line verdict for the CLI.
+    pub fn describe(&self) -> String {
+        match &self.divergence {
+            Some(d) => format!("detsan {}: 1 vs {} threads: {d}", self.driver, self.threads),
+            None if !self.artifacts_match => format!(
+                "detsan {}: digest streams match ({} entries) but artifacts differ — \
+                 an un-instrumented stage diverged; add a digest hook to narrow it",
+                self.driver, self.serial_entries
+            ),
+            None => format!(
+                "detsan {}: ok — {} stage entries identical at 1 vs {} threads",
+                self.driver, self.serial_entries, self.threads
+            ),
+        }
+    }
+}
+
+/// Runs `driver` once at `threads` workers with the recorder armed and
+/// returns its digest stream and serialized artifact. The artifact itself
+/// is digested as a final `driver/artifact` stage so the stream also covers
+/// fold and formatting code after the last instrumented stage.
+fn traced_run(driver: Driver, effort: Effort, threads: usize) -> (Vec<StageEntry>, String) {
+    recsim_pool::set_thread_override(Some(threads));
+    recsim_detsan::set_enabled(true);
+    let _ = recsim_detsan::drain();
+    let out: ExperimentOutput = driver(effort);
+    let json = serde_json::to_string(&out).unwrap_or_default();
+    let mut d = recsim_detsan::StateDigest::new();
+    d.write_str(&json);
+    recsim_detsan::record("driver/artifact", d.finish());
+    let stream = recsim_detsan::drain();
+    recsim_detsan::set_enabled(false);
+    recsim_pool::set_thread_override(None);
+    (stream, json)
+}
+
+/// Compares one driver's digest streams at 1 worker vs `threads` workers.
+pub fn compare_driver(
+    id: &str,
+    driver: Driver,
+    effort: Effort,
+    threads: usize,
+) -> DetsanComparison {
+    let threads = threads.max(2);
+    let (serial, json_serial) = traced_run(driver, effort, 1);
+    let (parallel, json_parallel) = traced_run(driver, effort, threads);
+    let divergence = first_divergence(&serial, &parallel);
+    let artifacts_match = json_serial == json_parallel;
+    DetsanComparison {
+        driver: id.to_string(),
+        threads,
+        serial_entries: serial.len(),
+        divergence,
+        artifacts_match,
+        json_serial,
+        json_parallel,
+    }
+}

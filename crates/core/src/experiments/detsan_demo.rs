@@ -1,0 +1,105 @@
+//! A deliberately order-sensitive toy driver that the determinism
+//! sanitizer must catch.
+//!
+//! Not in [`super::registry`]: this driver exists to *fail* `recsim verify
+//! --detsan`, proving the sanitizer localizes a planted nondeterminism bug
+//! to the exact stage and sweep point. The planted bug is the canonical
+//! one: a floating-point reduction whose grouping depends on the worker
+//! count, so the rounding — and therefore the result — changes with
+//! `RECSIM_THREADS` even though every sweep point computes "the same" sum.
+//! Only [`DIVERGENT_POINT`] carries values with enough magnitude spread
+//! (±1e8 against 1.0) for the grouping to matter, so the sanitizer must
+//! name that point, not just the driver.
+
+use crate::sweep::sweep;
+use crate::{Claim, Effort, ExperimentOutput};
+
+/// The sweep point carrying the catastrophic-cancellation values — the one
+/// the sanitizer must localize.
+pub const DIVERGENT_POINT: u64 = 2;
+
+/// Stage recorded once per sweep point, over the point's reduced sum.
+pub const POINT_STAGE: &str = "demo/point-reduce";
+
+/// The values of one sweep point. Every point sums 62 ones; the divergent
+/// point brackets them with ±1e8, where f32 spacing is 8, so small addends
+/// are absorbed differently depending on grouping.
+fn point_values(point: u64) -> Vec<f32> {
+    let mut values = vec![1.0f32; 62];
+    if point == DIVERGENT_POINT {
+        values.insert(0, 1.0e8);
+        values.push(-1.0e8);
+    }
+    values
+}
+
+/// Sums `values` in `chunks` contiguous chunks with f32 accumulation, then
+/// adds the chunk sums. The grouping (and thus the rounding) depends on
+/// `chunks` — the exact bug the sanitizer's contract forbids.
+fn chunked_sum(values: &[f32], chunks: usize) -> f32 {
+    let chunks = chunks.clamp(1, values.len().max(1));
+    let size = values.len().div_ceil(chunks).max(1);
+    // detsan: reduction-order — deliberately worker-count-dependent
+    // grouping; this IS the planted bug.
+    let chunk_sums = values.chunks(size).map(|c| c.iter().sum::<f32>());
+    chunk_sums.sum::<f32>()
+}
+
+/// Runs the demo sweep. Byte-identical across thread counts everywhere
+/// *except* the planted reduction, which `recsim verify --detsan
+/// detsan_demo` must pin to [`POINT_STAGE`] at point [`DIVERGENT_POINT`].
+pub fn run(effort: Effort) -> ExperimentOutput {
+    let points: Vec<u64> = (0..effort.pick(4, 8)).collect();
+    let sums = sweep(&points, |&p| {
+        let values = point_values(p);
+        if recsim_detsan::enabled() {
+            recsim_detsan::record("demo/datagen", recsim_detsan::digest_f32_slice(&values));
+        }
+        let sum = chunked_sum(&values, recsim_pool::thread_count());
+        if recsim_detsan::enabled() {
+            let mut d = recsim_detsan::StateDigest::new();
+            d.write_f32(sum);
+            recsim_detsan::record(POINT_STAGE, d.finish());
+        }
+        sum
+    });
+    // detsan: reduction-order — serial fold over the submission-ordered
+    // sweep results, widened to f64.
+    let total: f64 = sums.iter().map(|&s| f64::from(s)).sum();
+    if recsim_detsan::enabled() {
+        let mut d = recsim_detsan::StateDigest::new();
+        d.write_f64(total);
+        recsim_detsan::record("demo/fold", d.finish());
+    }
+
+    let mut out = ExperimentOutput::new(
+        "detsan_demo",
+        "determinism-sanitizer demo (plants an order-sensitive reduction)",
+    );
+    out.claims.push(Claim::new(
+        "the demo sweep folds to a finite total",
+        format!("total = {total}"),
+        total.is_finite(),
+    ));
+    out.notes.push(format!(
+        "chunked f32 sum over {} points: {total} — worker-count-dependent \
+         by design; see DESIGN.md §11",
+        points.len()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunking_changes_the_planted_points_sum() {
+        let values = point_values(DIVERGENT_POINT);
+        let serial = chunked_sum(&values, 1);
+        let split = chunked_sum(&values, 4);
+        assert_ne!(serial, split, "the planted values must be order-sensitive");
+        let benign = point_values(0);
+        assert_eq!(chunked_sum(&benign, 1), chunked_sum(&benign, 4));
+    }
+}

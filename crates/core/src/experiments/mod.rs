@@ -4,6 +4,7 @@
 pub mod automl;
 pub mod autoshard;
 pub mod compression;
+pub mod detsan_demo;
 pub mod faults;
 pub mod fig01;
 pub mod fig02;

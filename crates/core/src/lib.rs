@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod design_space;
+pub mod detsan_check;
 pub mod experiments;
 pub mod output;
 pub mod setups;

@@ -16,7 +16,11 @@
 //! order the serial loop did). Anything order-sensitive — accumulators,
 //! claim thresholds, formatting — belongs in the fold, not the closure.
 //! `crates/core/tests/determinism.rs` enforces this for every refactored
-//! driver at 1, 2 and 8 threads.
+//! driver at 1, 2 and 8 threads, and `recsim verify --detsan` (DESIGN.md
+//! §11) localizes a violation to the first divergent stage and sweep point:
+//! when the sanitizer is armed, the pool runs each point inside a digest
+//! scope and re-emits the captured per-stage digests serially in
+//! submission order.
 
 /// Maps `f` over the sweep points on all available cores (see
 /// `recsim_pool::thread_count` for the `RECSIM_THREADS` / `--threads`

@@ -1,0 +1,45 @@
+//! End-to-end test of the determinism sanitizer's runtime half: the
+//! planted bug in `detsan_demo` must be localized to its exact stage and
+//! sweep point, and a real sweep-refactored driver must compare clean.
+//!
+//! Everything lives in ONE `#[test]` because the digest recorder and the
+//! pool's thread override are process-global — Rust runs `#[test]` fns in
+//! one process on shared threads, so two concurrent comparisons would
+//! interleave their streams.
+
+use recsim_core::detsan_check::compare_driver;
+use recsim_core::experiments::{detsan_demo, fig10};
+use recsim_core::Effort;
+
+#[test]
+fn detsan_localizes_the_planted_bug_and_passes_clean_drivers() {
+    // The demo driver's worker-count-dependent f32 reduction: the sanitizer
+    // must name the planted stage and the one sweep point whose values are
+    // order-sensitive — not just "something diverged".
+    let demo = compare_driver("detsan_demo", detsan_demo::run, Effort::Quick, 4);
+    let d = demo
+        .divergence
+        .as_ref()
+        .expect("the demo driver must diverge at 1 vs 4 threads");
+    assert_eq!(d.stage, detsan_demo::POINT_STAGE, "wrong stage: {d}");
+    assert_eq!(
+        d.point,
+        Some(detsan_demo::DIVERGENT_POINT),
+        "wrong sweep point: {d}"
+    );
+    assert!(!demo.is_clean());
+    assert!(demo.describe().contains(detsan_demo::POINT_STAGE));
+
+    // A real driver refactored onto `sweep`: identical digest streams and
+    // byte-identical artifacts at any worker count.
+    let clean = compare_driver("fig10", fig10::run, Effort::Quick, 4);
+    assert!(clean.is_clean(), "{}", clean.describe());
+    assert!(
+        clean.serial_entries > 0,
+        "the instrumented pipeline must have recorded stages"
+    );
+
+    // The sanitizer leaves the process disarmed and the pool width restored.
+    assert!(!recsim_detsan::enabled());
+    assert!(recsim_detsan::drain().is_empty());
+}

@@ -15,6 +15,29 @@ use rand::{Rng, SeedableRng};
 use rand_distr::{Distribution, Poisson, StandardNormal};
 use serde::{Deserialize, Serialize};
 
+/// Digest of a generated batch's full contents, recorded as stage
+/// `data/batch` when the determinism sanitizer is armed: any divergence in
+/// data generation is caught here, before it can masquerade as a simulator
+/// or trainer bug downstream.
+fn batch_digest(batch: &MiniBatch) -> u64 {
+    let mut d = recsim_detsan::StateDigest::new();
+    d.write_usize(batch.batch_size());
+    for &x in batch.dense() {
+        d.write_f32(x);
+    }
+    d.write_usize(batch.sparse().len());
+    for sb in batch.sparse() {
+        d.write_usize(sb.indices().len());
+        for &i in sb.indices() {
+            d.write_u32(i);
+        }
+    }
+    for &l in batch.labels() {
+        d.write_f32(l);
+    }
+    d.finish()
+}
+
 /// Tunables of the synthetic data distribution.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DataParams {
@@ -226,7 +249,11 @@ impl CtrGenerator {
             .into_iter()
             .map(|(offsets, indices)| SparseBatch::new(offsets, indices))
             .collect();
-        MiniBatch::new(batch_size, num_dense, dense, sparse, labels)
+        let batch = MiniBatch::new(batch_size, num_dense, dense, sparse, labels);
+        if recsim_detsan::enabled() {
+            recsim_detsan::record("data/batch", batch_digest(&batch));
+        }
+        batch
     }
 
     /// Estimates the Bayes-optimal binary cross-entropy of the data

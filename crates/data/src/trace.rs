@@ -14,7 +14,7 @@
 
 use crate::synthetic::CtrGenerator;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A Fenwick (binary-indexed) tree over access timestamps, used to count
 /// distinct rows touched between two accesses to the same row.
@@ -70,8 +70,10 @@ impl ReuseProfile {
     pub fn from_stream(accesses: &[u32]) -> Self {
         let n = accesses.len();
         let mut fenwick = Fenwick::new(n);
-        let mut last_pos: HashMap<u32, usize> = HashMap::new();
-        let mut freq: HashMap<u32, u64> = HashMap::new();
+        // BTreeMaps, not hash maps: `row_frequencies` ties broken by row id
+        // must come out in one fixed order for byte-identical artifacts.
+        let mut last_pos: BTreeMap<u32, usize> = BTreeMap::new();
+        let mut freq: BTreeMap<u32, u64> = BTreeMap::new();
         let mut distances: Vec<u64> = Vec::new();
         let mut cold = 0u64;
         for (t, &row) in accesses.iter().enumerate() {

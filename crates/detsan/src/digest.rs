@@ -1,0 +1,290 @@
+//! Canonical state digests: FNV-1a 64 over little-endian bytes, finished
+//! through a splitmix64 mixer.
+//!
+//! The digest is *not* cryptographic — it is a cheap, dependency-free,
+//! portable fingerprint whose only job is to be byte-order-canonical: two
+//! runs that produced the same values in the same order produce the same
+//! digest on any platform, and a single flipped bit (e.g. one float rounded
+//! differently because a parallel reduction reassociated) flips roughly half
+//! the output bits, so divergences never cancel out silently.
+//!
+//! Canonical form: every value is serialized to little-endian bytes before
+//! hashing; floats go through their IEEE-754 bit patterns (`to_bits`), so
+//! `-0.0` and `+0.0` digest differently and NaN payloads are observable —
+//! exactly what a determinism check wants. Variable-length values (strings,
+//! slices) are length-prefixed so concatenation ambiguities cannot collide.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The splitmix64 finalizer: a full-avalanche bijective mixer, so digests
+/// of short inputs (a single `u64`) still differ in ~half their bits.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// An incremental state digest. Feed values in pipeline order, then
+/// [`finish`](StateDigest::finish).
+#[derive(Debug, Clone)]
+pub struct StateDigest {
+    state: u64,
+}
+
+impl Default for StateDigest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StateDigest {
+    /// A fresh digest at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+
+    /// Hashes raw bytes (FNV-1a per byte).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Hashes one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.write_bytes(&[v]);
+    }
+
+    /// Hashes a `u32` as little-endian bytes.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Hashes a `u64` as little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Hashes an `i64` as little-endian two's-complement bytes.
+    pub fn write_i64(&mut self, v: i64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Hashes a `usize` widened to `u64`, so 32- and 64-bit hosts agree.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Hashes an `f32` via its IEEE-754 bit pattern.
+    pub fn write_f32(&mut self, v: f32) {
+        self.write_u32(v.to_bits());
+    }
+
+    /// Hashes an `f64` via its IEEE-754 bit pattern.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Hashes a bool as one byte.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(u8::from(v));
+    }
+
+    /// Hashes a string, length-prefixed.
+    pub fn write_str(&mut self, v: &str) {
+        self.write_usize(v.len());
+        self.write_bytes(v.as_bytes());
+    }
+
+    /// The finalized digest (splitmix64 over the FNV state). Does not
+    /// consume the digest, so intermediate checkpoints are possible.
+    pub fn finish(&self) -> u64 {
+        splitmix64(self.state)
+    }
+}
+
+/// Values that know how to feed themselves to a [`StateDigest`] in
+/// canonical form.
+pub trait Digestible {
+    /// Appends this value's canonical bytes to the digest.
+    fn digest_into(&self, d: &mut StateDigest);
+
+    /// One-shot digest of this value alone.
+    fn digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        self.digest_into(&mut d);
+        d.finish()
+    }
+}
+
+macro_rules! digest_via {
+    ($($t:ty => $m:ident),* $(,)?) => {
+        $(impl Digestible for $t {
+            fn digest_into(&self, d: &mut StateDigest) {
+                d.$m(*self);
+            }
+        })*
+    };
+}
+
+digest_via! {
+    u8 => write_u8,
+    u32 => write_u32,
+    u64 => write_u64,
+    i64 => write_i64,
+    usize => write_usize,
+    f32 => write_f32,
+    f64 => write_f64,
+    bool => write_bool,
+}
+
+impl Digestible for u16 {
+    fn digest_into(&self, d: &mut StateDigest) {
+        d.write_u32(u32::from(*self));
+    }
+}
+
+impl Digestible for i32 {
+    fn digest_into(&self, d: &mut StateDigest) {
+        d.write_i64(i64::from(*self));
+    }
+}
+
+impl Digestible for str {
+    fn digest_into(&self, d: &mut StateDigest) {
+        d.write_str(self);
+    }
+}
+
+impl Digestible for String {
+    fn digest_into(&self, d: &mut StateDigest) {
+        d.write_str(self);
+    }
+}
+
+impl<T: Digestible + ?Sized> Digestible for &T {
+    fn digest_into(&self, d: &mut StateDigest) {
+        (*self).digest_into(d);
+    }
+}
+
+impl<T: Digestible> Digestible for [T] {
+    fn digest_into(&self, d: &mut StateDigest) {
+        d.write_usize(self.len());
+        for v in self {
+            v.digest_into(d);
+        }
+    }
+}
+
+impl<T: Digestible> Digestible for Vec<T> {
+    fn digest_into(&self, d: &mut StateDigest) {
+        self.as_slice().digest_into(d);
+    }
+}
+
+impl<T: Digestible> Digestible for Option<T> {
+    fn digest_into(&self, d: &mut StateDigest) {
+        match self {
+            None => d.write_u8(0),
+            Some(v) => {
+                d.write_u8(1);
+                v.digest_into(d);
+            }
+        }
+    }
+}
+
+impl<A: Digestible, B: Digestible> Digestible for (A, B) {
+    fn digest_into(&self, d: &mut StateDigest) {
+        self.0.digest_into(d);
+        self.1.digest_into(d);
+    }
+}
+
+impl<A: Digestible, B: Digestible, C: Digestible> Digestible for (A, B, C) {
+    fn digest_into(&self, d: &mut StateDigest) {
+        self.0.digest_into(d);
+        self.1.digest_into(d);
+        self.2.digest_into(d);
+    }
+}
+
+/// Digest of an `f32` slice (bit patterns, length-prefixed). The common
+/// case — dense activations, losses, partial sums — gets a named helper.
+pub fn digest_f32_slice(values: &[f32]) -> u64 {
+    values.digest()
+}
+
+/// Digest of an `f64` slice (bit patterns, length-prefixed).
+pub fn digest_f64_slice(values: &[f64]) -> u64 {
+    values.digest()
+}
+
+/// Digest of a simulation report's result-bearing fields, kept here (below
+/// the sim crate) so every simulator digests reports identically: setup
+/// label, iteration time, examples per iteration, and per-resource
+/// utilizations in schedule order.
+pub fn digest_report(
+    setup: &str,
+    iteration_time_secs: f64,
+    examples_per_iteration: f64,
+    utilizations: &[(String, f64)],
+) -> u64 {
+    let mut d = StateDigest::new();
+    d.write_str(setup);
+    d.write_f64(iteration_time_secs);
+    d.write_f64(examples_per_iteration);
+    d.write_usize(utilizations.len());
+    for (name, frac) in utilizations {
+        d.write_str(name);
+        d.write_f64(*frac);
+    }
+    d.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_inputs_equal_digests() {
+        let a = digest_f32_slice(&[1.0, 2.5, -3.25]);
+        let b = digest_f32_slice(&[1.0, 2.5, -3.25]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn order_matters() {
+        assert_ne!(digest_f32_slice(&[1.0, 2.0]), digest_f32_slice(&[2.0, 1.0]));
+        assert_ne!("ab".digest(), "ba".digest());
+    }
+
+    #[test]
+    fn single_bit_flips_are_visible() {
+        let base = 1.0f32;
+        let tweaked = f32::from_bits(base.to_bits() ^ 1);
+        assert_ne!(digest_f32_slice(&[base]), digest_f32_slice(&[tweaked]));
+        assert_ne!(digest_f32_slice(&[0.0]), digest_f32_slice(&[-0.0]));
+    }
+
+    #[test]
+    fn length_prefix_prevents_concat_collisions() {
+        let one = vec![vec![1u32, 2], vec![3u32]];
+        let two = vec![vec![1u32], vec![2u32, 3]];
+        assert_ne!(one.digest(), two.digest());
+        assert_ne!(digest_f32_slice(&[]), digest_f32_slice(&[0.0]));
+    }
+
+    #[test]
+    fn composite_values_digest() {
+        let report = digest_report("gpu/big-basin", 0.125, 512.0, &[("gpu0".to_string(), 0.9)]);
+        let other = digest_report("gpu/big-basin", 0.125, 512.0, &[("gpu0".to_string(), 0.91)]);
+        assert_ne!(report, other);
+        assert_ne!(Some(1u64).digest(), None::<u64>.digest());
+        assert_ne!((1u32, 2u32).digest(), (2u32, 1u32).digest());
+    }
+}

@@ -1,0 +1,40 @@
+//! `recsim-detsan` — the determinism sanitizer runtime.
+//!
+//! The workspace's core invariant is that every result-producing run is
+//! byte-identical at any thread count (`RECSIM_THREADS=1` vs `N`). This
+//! crate is the *runtime half* of the sanitizer that enforces it (the
+//! static half is lints RV015–RV018 in `recsim-verify`):
+//!
+//! * [`StateDigest`] / [`Digestible`] — a canonical, dependency-free
+//!   fingerprint (FNV-1a 64 over little-endian bytes, splitmix64-mixed) of
+//!   any pipeline value: generated batches, task graphs, schedules, loss
+//!   histories, reports.
+//! * the **stage recorder** ([`record`], [`with_point_scope`],
+//!   [`emit_point`], [`drain`]) — an ordered stream of
+//!   `(stage, sweep point, digest)` checkpoints. Parallel sweep closures
+//!   record into thread-local point scopes that the pool re-emits serially
+//!   in submission order, so the stream is deterministic by construction
+//!   whenever the computation is.
+//! * [`first_divergence`] — entry-by-entry comparison of two streams,
+//!   naming the first stage and sweep point where two runs disagreed
+//!   instead of a bare artifact diff.
+//!
+//! `recsim verify --detsan <driver>` runs a driver twice (1 thread, then
+//! `N`), drains both streams, and reports the localization. Everything here
+//! is disabled by default and costs one relaxed atomic load per
+//! instrumentation site when off, so the hooks stay in release builds.
+//!
+//! This crate sits at the very bottom of the workspace DAG (even
+//! `recsim-pool` depends on it) and must stay dependency-free.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod digest;
+pub mod recorder;
+
+pub use digest::{digest_f32_slice, digest_f64_slice, digest_report, Digestible, StateDigest};
+pub use recorder::{
+    drain, emit_point, enabled, first_divergence, record, set_enabled, with_point_scope,
+    Divergence, DivergenceKind, StageEntry,
+};

@@ -1,0 +1,359 @@
+//! The stage recorder: an ordered stream of `(stage, point, digest)`
+//! entries plus the divergence comparator.
+//!
+//! Ordering is the whole game. Entries recorded on the caller thread go
+//! straight to a global stream; entries recorded inside a parallel sweep
+//! closure are captured in a thread-local *point scope* (see
+//! [`with_point_scope`]) and re-emitted serially in submission order by the
+//! pool once all points finished ([`emit_point`]). That makes the stream a
+//! pure function of the work submitted — never of worker interleaving — so
+//! two runs of the same driver at different `RECSIM_THREADS` produce
+//! entry-for-entry comparable streams, and the first index where they
+//! disagree localizes the divergence to a stage and sweep point.
+//!
+//! Recording is off by default and costs one relaxed atomic load per call
+//! site when disabled; `recsim verify --detsan` flips it on around each
+//! instrumented run.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use crate::digest::StateDigest;
+
+/// One recorded pipeline-stage checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageEntry {
+    /// Stage label, e.g. `data/batch`, `sim/taskgraph`, `train/run`.
+    pub stage: String,
+    /// The sweep point (submission index) this entry was recorded under,
+    /// if it happened inside a parallel sweep closure.
+    pub point: Option<u64>,
+    /// The canonical state digest at this checkpoint.
+    pub digest: u64,
+}
+
+impl fmt::Display for StageEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.point {
+            Some(p) => write!(f, "{} [point {p}] {:#018x}", self.stage, self.digest),
+            None => write!(f, "{} {:#018x}", self.stage, self.digest),
+        }
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static STREAM: Mutex<Vec<StageEntry>> = Mutex::new(Vec::new());
+
+thread_local! {
+    /// Stack of open point scopes on this thread (a stack because sweeps
+    /// nest: `run --all` sweeps drivers, each driver sweeps its grid).
+    static SCOPES: RefCell<Vec<Vec<StageEntry>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Turns recording on or off process-wide. Callers should drain between
+/// runs; disabling does not clear the stream.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether recording is on. Instrumentation sites check this before doing
+/// any digest work, so the disabled cost is one relaxed load.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+fn push(entry: StageEntry) {
+    let routed_local = SCOPES.with(|s| {
+        let mut scopes = s.borrow_mut();
+        match scopes.last_mut() {
+            Some(scope) => {
+                scope.push(entry.clone());
+                true
+            }
+            None => false,
+        }
+    });
+    if !routed_local {
+        STREAM
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(entry);
+    }
+}
+
+/// Records a stage checkpoint. No-op while recording is disabled.
+pub fn record(stage: &str, digest: u64) {
+    if !enabled() {
+        return;
+    }
+    push(StageEntry {
+        stage: stage.to_string(),
+        point: None,
+        digest,
+    });
+}
+
+struct ScopeGuard;
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        // Unwind path only: discard the half-built scope so a panicking
+        // closure does not leave the stack misaligned.
+        SCOPES.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// Runs `f` with a fresh point scope on this thread: every [`record`] made
+/// inside lands in the returned buffer instead of the global stream. The
+/// pool wraps each parallel work item in one of these and re-emits the
+/// buffers serially in submission order via [`emit_point`].
+pub fn with_point_scope<R>(f: impl FnOnce() -> R) -> (R, Vec<StageEntry>) {
+    SCOPES.with(|s| s.borrow_mut().push(Vec::new()));
+    let guard = ScopeGuard;
+    let out = f();
+    std::mem::forget(guard);
+    let entries = SCOPES.with(|s| s.borrow_mut().pop()).unwrap_or_default();
+    (out, entries)
+}
+
+/// Re-emits a completed point's captured entries in submission order,
+/// tagging them with the point index, then appends one `sweep/point`
+/// summary entry combining them — so even an un-instrumented closure
+/// leaves a positional skeleton in the stream. Nested entries that already
+/// carry a point index (from an inner sweep) keep it.
+pub fn emit_point(point: u64, entries: Vec<StageEntry>) {
+    if !enabled() {
+        return;
+    }
+    let mut combined = StateDigest::new();
+    combined.write_usize(entries.len());
+    for mut entry in entries {
+        combined.write_str(&entry.stage);
+        combined.write_u64(entry.digest);
+        if entry.point.is_none() {
+            entry.point = Some(point);
+        }
+        push(entry);
+    }
+    push(StageEntry {
+        stage: "sweep/point".to_string(),
+        point: Some(point),
+        digest: combined.finish(),
+    });
+}
+
+/// Takes the recorded stream, leaving it empty. Call before a run to clear
+/// leftovers and after it to collect.
+pub fn drain() -> Vec<StageEntry> {
+    std::mem::take(&mut *STREAM.lock().unwrap_or_else(PoisonError::into_inner))
+}
+
+/// How two streams first disagree at [`Divergence::index`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DivergenceKind {
+    /// Same stage and point, different digest — the stage computed
+    /// different values.
+    DigestMismatch {
+        /// Digest in the left (reference) stream.
+        left: u64,
+        /// Digest in the right stream.
+        right: u64,
+    },
+    /// The streams recorded different stages or points at this index —
+    /// control flow itself diverged (e.g. a thread-count-dependent task
+    /// decomposition).
+    StageMismatch {
+        /// Entry in the left (reference) stream.
+        left: StageEntry,
+        /// Entry in the right stream.
+        right: StageEntry,
+    },
+    /// One stream ended early.
+    LengthMismatch {
+        /// Entries in the left (reference) stream.
+        left: usize,
+        /// Entries in the right stream.
+        right: usize,
+    },
+}
+
+/// The first index where two digest streams disagree, localized to a stage
+/// and sweep point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Index into both streams of the first disagreement.
+    pub index: usize,
+    /// Stage label at the divergence (the left stream's, when stages differ).
+    pub stage: String,
+    /// Sweep point at the divergence, if the entry was inside a sweep.
+    pub point: Option<u64>,
+    /// What kind of disagreement.
+    pub kind: DivergenceKind,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "first divergence at entry {}: stage `{}`",
+            self.index, self.stage
+        )?;
+        if let Some(p) = self.point {
+            write!(f, ", sweep point {p}")?;
+        }
+        match &self.kind {
+            DivergenceKind::DigestMismatch { left, right } => {
+                write!(f, ": digest {left:#018x} vs {right:#018x}")
+            }
+            DivergenceKind::StageMismatch { left, right } => {
+                write!(f, ": stream shape differs — `{left}` vs `{right}`")
+            }
+            DivergenceKind::LengthMismatch { left, right } => {
+                write!(f, ": stream ends — {left} vs {right} entries")
+            }
+        }
+    }
+}
+
+/// Compares two stage streams entry by entry and reports the first
+/// disagreement, or `None` when they match exactly.
+pub fn first_divergence(left: &[StageEntry], right: &[StageEntry]) -> Option<Divergence> {
+    for (i, (l, r)) in left.iter().zip(right.iter()).enumerate() {
+        if l.stage != r.stage || l.point != r.point {
+            return Some(Divergence {
+                index: i,
+                stage: l.stage.clone(),
+                point: l.point,
+                kind: DivergenceKind::StageMismatch {
+                    left: l.clone(),
+                    right: r.clone(),
+                },
+            });
+        }
+        if l.digest != r.digest {
+            return Some(Divergence {
+                index: i,
+                stage: l.stage.clone(),
+                point: l.point,
+                kind: DivergenceKind::DigestMismatch {
+                    left: l.digest,
+                    right: r.digest,
+                },
+            });
+        }
+    }
+    if left.len() != right.len() {
+        let i = left.len().min(right.len());
+        let tail = if left.len() > right.len() {
+            &left[i]
+        } else {
+            &right[i]
+        };
+        return Some(Divergence {
+            index: i,
+            stage: tail.stage.clone(),
+            point: tail.point,
+            kind: DivergenceKind::LengthMismatch {
+                left: left.len(),
+                right: right.len(),
+            },
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(stage: &str, point: Option<u64>, digest: u64) -> StageEntry {
+        StageEntry {
+            stage: stage.to_string(),
+            point,
+            digest,
+        }
+    }
+
+    #[test]
+    fn first_divergence_localizes() {
+        let base = vec![
+            entry("data/batch", None, 1),
+            entry("demo/reduce", Some(2), 42),
+            entry("sweep/point", Some(2), 7),
+        ];
+        assert_eq!(first_divergence(&base, &base.clone()), None);
+
+        let mut digest_flip = base.clone();
+        digest_flip[1].digest = 43;
+        let d = first_divergence(&base, &digest_flip).expect("diverges");
+        assert_eq!(d.index, 1);
+        assert_eq!(d.stage, "demo/reduce");
+        assert_eq!(d.point, Some(2));
+        assert!(matches!(
+            d.kind,
+            DivergenceKind::DigestMismatch {
+                left: 42,
+                right: 43
+            }
+        ));
+        assert!(d.to_string().contains("sweep point 2"));
+
+        let mut stage_flip = base.clone();
+        stage_flip[0].stage = "sim/taskgraph".to_string();
+        let d = first_divergence(&base, &stage_flip).expect("diverges");
+        assert_eq!(d.index, 0);
+        assert!(matches!(d.kind, DivergenceKind::StageMismatch { .. }));
+
+        let longer = base.clone();
+        let d = first_divergence(&base[..2].to_vec().as_slice(), &longer).expect("diverges");
+        assert_eq!(d.index, 2);
+        assert!(matches!(
+            d.kind,
+            DivergenceKind::LengthMismatch { left: 2, right: 3 }
+        ));
+    }
+
+    // Global-state behavior (enable flag, stream, scopes) lives in one test
+    // so parallel test threads cannot race the process-wide recorder.
+    #[test]
+    fn recorder_roundtrip_and_scoping() {
+        set_enabled(false);
+        record("ignored", 1);
+        assert!(drain().is_empty(), "disabled recorder must not record");
+
+        set_enabled(true);
+        let _ = drain();
+        record("outer/a", 10);
+        let ((), captured) = with_point_scope(|| {
+            record("inner/x", 20);
+            record("inner/y", 21);
+        });
+        assert_eq!(captured.len(), 2);
+        assert_eq!(captured[0].stage, "inner/x");
+        assert!(captured[0].point.is_none());
+        emit_point(3, captured);
+        record("outer/b", 11);
+        let stream = drain();
+        set_enabled(false);
+
+        let stages: Vec<(&str, Option<u64>)> =
+            stream.iter().map(|e| (e.stage.as_str(), e.point)).collect();
+        assert_eq!(
+            stages,
+            vec![
+                ("outer/a", None),
+                ("inner/x", Some(3)),
+                ("inner/y", Some(3)),
+                ("sweep/point", Some(3)),
+                ("outer/b", None),
+            ]
+        );
+        // The sweep/point summary digest is a function of the captured
+        // entries, so an un-instrumented closure still yields a stable one.
+        assert_ne!(stream[3].digest, 0);
+    }
+}

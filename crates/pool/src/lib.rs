@@ -85,6 +85,40 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    if recsim_detsan::enabled() {
+        return par_map_traced(items, threads, &f);
+    }
+    par_map_plain(items, threads, f)
+}
+
+/// Sanitizer path for [`par_map_with`]: each item runs inside a detsan
+/// point scope that captures the stage digests its closure records; the
+/// captured streams are then re-emitted *serially in submission order*, so
+/// the recorded digest stream is identical at any worker count and a
+/// divergence in the digested state itself pins the first bad sweep point.
+fn par_map_traced<T, R, F>(items: &[T], threads: usize, f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let traced = par_map_plain(items, threads, |item| {
+        recsim_detsan::with_point_scope(|| f(item))
+    });
+    let mut out = Vec::with_capacity(traced.len());
+    for (idx, (result, entries)) in traced.into_iter().enumerate() {
+        recsim_detsan::emit_point(idx as u64, entries);
+        out.push(result);
+    }
+    out
+}
+
+fn par_map_plain<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
     let workers = threads.clamp(1, items.len().max(1));
     if workers <= 1 || items.len() <= 1 {
         return items.iter().map(f).collect();

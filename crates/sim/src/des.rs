@@ -415,12 +415,50 @@ impl TaskGraph {
         self.simulate_in(&mut SimScratch::new())
     }
 
+    /// Digest of the graph structure, recorded as stage `sim/taskgraph`
+    /// when the determinism sanitizer is armed — a divergence here means
+    /// iteration *compilation* (not the event loop) went nondeterministic.
+    fn state_digest(&self) -> u64 {
+        let mut d = recsim_detsan::StateDigest::new();
+        d.write_usize(self.resources.len());
+        for r in &self.resources {
+            d.write_str(&r.name);
+            d.write_usize(r.capacity);
+        }
+        d.write_usize(self.tasks.len());
+        for t in &self.tasks {
+            d.write_str(&t.name);
+            d.write_str(t.category.label());
+            d.write_f64(t.duration.as_secs());
+            match t.resource {
+                Some(ResourceId(r)) => {
+                    d.write_bool(true);
+                    d.write_usize(r);
+                }
+                None => d.write_bool(false),
+            }
+            d.write_usize(t.deps.len());
+            for &TaskId(dep) in &t.deps {
+                d.write_usize(dep);
+            }
+        }
+        d.finish()
+    }
+
     /// [`TaskGraph::simulate`] borrowing a caller-owned [`SimScratch`] so
     /// back-to-back simulations reuse the engine's working buffers instead
     /// of reallocating them. Produces the identical schedule.
     pub fn simulate_in(&self, scratch: &mut SimScratch) -> Result<Schedule, ValidationError> {
         self.check()?;
-        Ok(self.execute_in(scratch))
+        let armed = recsim_detsan::enabled();
+        if armed {
+            recsim_detsan::record("sim/taskgraph", self.state_digest());
+        }
+        let schedule = self.execute_in(scratch);
+        if armed {
+            recsim_detsan::record("sim/schedule", schedule.state_digest());
+        }
+        Ok(schedule)
     }
 
     /// [`TaskGraph::simulate_in`] with every task duration rewritten through
@@ -432,7 +470,15 @@ impl TaskGraph {
         perturbation: &dyn Perturbation,
     ) -> Result<Schedule, ValidationError> {
         self.check()?;
-        Ok(self.execute_perturbed_in(scratch, perturbation))
+        let armed = recsim_detsan::enabled();
+        if armed {
+            recsim_detsan::record("sim/taskgraph", self.state_digest());
+        }
+        let schedule = self.execute_perturbed_in(scratch, perturbation);
+        if armed {
+            recsim_detsan::record("sim/schedule", schedule.state_digest());
+        }
+        Ok(schedule)
     }
 
     /// [`TaskGraph::simulate`], additionally emitting the finished schedule
@@ -714,6 +760,21 @@ impl Schedule {
     /// Total time from first start to last finish.
     pub fn makespan(&self) -> Duration {
         self.makespan
+    }
+
+    /// Digest of the full schedule (per-task start/finish, per-resource
+    /// busy time), recorded as stage `sim/schedule` when the determinism
+    /// sanitizer is armed.
+    fn state_digest(&self) -> u64 {
+        let mut d = recsim_detsan::StateDigest::new();
+        d.write_f64(self.makespan.as_secs());
+        for times in [&self.start, &self.finish, &self.busy] {
+            d.write_usize(times.len());
+            for t in times {
+                d.write_f64(t.as_secs());
+            }
+        }
+        d.finish()
     }
 
     /// When `task` started.

@@ -58,7 +58,7 @@ impl SimReport {
                 format!("examples per iteration must be positive, got {examples_per_iteration}"),
             ));
         }
-        Ok(Self {
+        let report = Self {
             setup,
             iteration_time,
             examples_per_iteration,
@@ -66,7 +66,37 @@ impl SimReport {
             bottleneck,
             power,
             attribution: Vec::new(),
-        })
+        };
+        if recsim_detsan::enabled() {
+            recsim_detsan::record("sim/report", report.state_digest());
+        }
+        Ok(report)
+    }
+
+    /// Digest of every reported field, recorded as stage `sim/report` when
+    /// the determinism sanitizer is armed. This is the last per-point stage
+    /// before driver folds, so a clean `sim/report` stream with a divergent
+    /// artifact points the finger at the fold.
+    fn state_digest(&self) -> u64 {
+        let mut d = recsim_detsan::StateDigest::new();
+        d.write_str(&self.setup);
+        d.write_f64(self.iteration_time.as_secs());
+        d.write_f64(self.examples_per_iteration);
+        d.write_usize(self.utilizations.len());
+        for (name, u) in &self.utilizations {
+            d.write_str(name);
+            d.write_f64(*u);
+        }
+        match &self.bottleneck {
+            Some((name, u)) => {
+                d.write_bool(true);
+                d.write_str(name);
+                d.write_f64(*u);
+            }
+            None => d.write_bool(false),
+        }
+        d.write_f64(self.power.as_watts());
+        d.finish()
     }
 
     /// Infallible degenerate report (1 µs, 1 example, no resources). The

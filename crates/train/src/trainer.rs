@@ -146,6 +146,15 @@ impl TrainRun {
             let loss = self.model.train_step(&batch, &mut opt);
             self.loss_history.push(loss);
         }
+        if recsim_detsan::enabled() {
+            let mut d = recsim_detsan::StateDigest::new();
+            d.write_usize(self.loss_history.len());
+            for &loss in &self.loss_history {
+                d.write_f64(loss);
+            }
+            d.write_f64(self.eval_log_loss());
+            recsim_detsan::record("train/run", d.finish());
+        }
         self
     }
 

@@ -94,6 +94,22 @@ pub enum Code {
     /// recsim-bench schema or names no existing bench binary (stale or
     /// renamed baseline).
     StaleBenchArtifact,
+    /// Library code uses a hash-ordered collection (`HashMap`/`HashSet`)
+    /// whose iteration order is nondeterministic; result-producing crates
+    /// must use `BTreeMap`/`BTreeSet` or sort before iterating.
+    UnorderedCollection,
+    /// A floating-point reduction in a file that touches the parallel pool
+    /// has no `// detsan: reduction-order` annotation documenting the
+    /// chosen (deterministic) accumulation order.
+    UnannotatedFloatReduction,
+    /// A wall-clock or entropy source (`SystemTime`, `Instant::now`,
+    /// thread-local RNG seeding) in result-producing library code; results
+    /// must be pure functions of their inputs.
+    EntropyInResultPath,
+    /// A `par_map`/`sweep` call site's argument list touches shared mutable
+    /// state (locks, cells, atomics) — parallel closures must stay pure and
+    /// feed a serial submission-order fold.
+    ImpureSweepClosure,
     /// A `hw::Platform` violates its structural invariants.
     InvalidPlatform,
     /// A placement routes more table bytes to a memory than it can hold.
@@ -128,7 +144,7 @@ pub enum Code {
 impl Code {
     /// Every code, in numeric order (drives the `codes` subcommand and the
     /// DESIGN.md table test).
-    pub const ALL: [Code; 27] = [
+    pub const ALL: [Code; 31] = [
         Code::MissingForbidUnsafe,
         Code::PanicInLibrary,
         Code::KnobMissingDoc,
@@ -143,6 +159,10 @@ impl Code {
         Code::RawThreading,
         Code::CrateUndocumented,
         Code::StaleBenchArtifact,
+        Code::UnorderedCollection,
+        Code::UnannotatedFloatReduction,
+        Code::EntropyInResultPath,
+        Code::ImpureSweepClosure,
         Code::InvalidPlatform,
         Code::PlacementOverCapacity,
         Code::DanglingResource,
@@ -175,6 +195,10 @@ impl Code {
             Code::RawThreading => "RV012",
             Code::CrateUndocumented => "RV013",
             Code::StaleBenchArtifact => "RV014",
+            Code::UnorderedCollection => "RV015",
+            Code::UnannotatedFloatReduction => "RV016",
+            Code::EntropyInResultPath => "RV017",
+            Code::ImpureSweepClosure => "RV018",
             Code::InvalidPlatform => "RV020",
             Code::PlacementOverCapacity => "RV021",
             Code::DanglingResource => "RV022",
@@ -227,6 +251,18 @@ impl Code {
             }
             Code::StaleBenchArtifact => {
                 "BENCH_*.json artifact off-schema or naming no existing bench binary"
+            }
+            Code::UnorderedCollection => {
+                "hash-ordered collection in result-producing library code (use an ordered one)"
+            }
+            Code::UnannotatedFloatReduction => {
+                "float reduction near the parallel pool without a reduction-order annotation"
+            }
+            Code::EntropyInResultPath => {
+                "wall-clock or entropy source in result-producing library code"
+            }
+            Code::ImpureSweepClosure => {
+                "parallel sweep closure touches shared mutable state instead of a serial fold"
             }
             Code::InvalidPlatform => "platform violates structural invariants",
             Code::PlacementOverCapacity => "placement exceeds a memory's capacity",
@@ -401,6 +437,10 @@ mod tests {
         assert_eq!(Code::RawThreading.as_str(), "RV012");
         assert_eq!(Code::CrateUndocumented.as_str(), "RV013");
         assert_eq!(Code::StaleBenchArtifact.as_str(), "RV014");
+        assert_eq!(Code::UnorderedCollection.as_str(), "RV015");
+        assert_eq!(Code::UnannotatedFloatReduction.as_str(), "RV016");
+        assert_eq!(Code::EntropyInResultPath.as_str(), "RV017");
+        assert_eq!(Code::ImpureSweepClosure.as_str(), "RV018");
         assert_eq!(Code::DependencyCycle.as_str(), "RV026");
         assert_eq!(Code::NonPositiveIterationTime.as_str(), "RV030");
         assert_eq!(Code::NonPositiveExampleCount.as_str(), "RV031");

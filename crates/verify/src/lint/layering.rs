@@ -9,7 +9,8 @@
 //! verify ← metrics ← hw ← placement ← sim ← shard ← fault
 //!                  ↖ data ← model ← train
 //!                  ↖ trace (← sim, for schedule export/attribution)
-//! pool (dependency-free, like verify) ← train/core/bench/facade
+//! detsan (dependency-free) ← pool/data/sim/train/core/facade
+//! pool (← detsan only) ← train/core/bench/facade
 //! core atop everything; bench + the root facade atop core.
 //! ```
 
@@ -31,10 +32,11 @@ pub const ALLOWED_EXTERNAL: [&str; 7] = [
 /// DAG. `[dev-dependencies]` are not layered: tests may reach sideways.
 pub fn allowed_internal(package: &str) -> Option<&'static [&'static str]> {
     const VERIFY: &[&str] = &[];
-    const POOL: &[&str] = &[];
+    const DETSAN: &[&str] = &[];
+    const POOL: &[&str] = &["recsim-detsan"];
     const METRICS: &[&str] = &["recsim-verify"];
     const HW: &[&str] = &["recsim-verify", "recsim-metrics"];
-    const DATA: &[&str] = &["recsim-verify", "recsim-metrics"];
+    const DATA: &[&str] = &["recsim-verify", "recsim-detsan", "recsim-metrics"];
     const MODEL: &[&str] = &["recsim-verify", "recsim-metrics", "recsim-data"];
     const PLACEMENT: &[&str] = &[
         "recsim-verify",
@@ -45,6 +47,7 @@ pub fn allowed_internal(package: &str) -> Option<&'static [&'static str]> {
     const TRACE: &[&str] = &["recsim-verify", "recsim-metrics"];
     const SIM: &[&str] = &[
         "recsim-verify",
+        "recsim-detsan",
         "recsim-metrics",
         "recsim-hw",
         "recsim-data",
@@ -72,6 +75,7 @@ pub fn allowed_internal(package: &str) -> Option<&'static [&'static str]> {
     ];
     const TRAIN: &[&str] = &[
         "recsim-verify",
+        "recsim-detsan",
         "recsim-pool",
         "recsim-metrics",
         "recsim-data",
@@ -79,6 +83,7 @@ pub fn allowed_internal(package: &str) -> Option<&'static [&'static str]> {
     ];
     const CORE: &[&str] = &[
         "recsim-verify",
+        "recsim-detsan",
         "recsim-pool",
         "recsim-metrics",
         "recsim-hw",
@@ -93,6 +98,7 @@ pub fn allowed_internal(package: &str) -> Option<&'static [&'static str]> {
     ];
     const TOP: &[&str] = &[
         "recsim-verify",
+        "recsim-detsan",
         "recsim-pool",
         "recsim-metrics",
         "recsim-hw",
@@ -108,6 +114,7 @@ pub fn allowed_internal(package: &str) -> Option<&'static [&'static str]> {
     ];
     match package {
         "recsim-verify" => Some(VERIFY),
+        "recsim-detsan" => Some(DETSAN),
         "recsim-pool" => Some(POOL),
         "recsim-metrics" => Some(METRICS),
         "recsim-hw" => Some(HW),

@@ -8,12 +8,16 @@
 
 pub mod artifacts;
 pub mod categories;
+pub mod collections;
+pub mod entropy;
 pub mod inventory;
 pub mod knobs;
 pub mod layering;
 pub mod parallelism;
+pub mod reductions;
 pub mod registry;
 pub mod source;
+pub mod sweep_purity;
 
 use std::collections::BTreeMap;
 use std::fs;
@@ -23,6 +27,9 @@ use crate::{Code, Diagnostic};
 
 /// Relative path of the RV002 budget file.
 pub const ALLOWLIST_PATH: &str = "crates/verify/panic_allowlist.txt";
+
+/// Relative path of the RV015 budget file (hash-collection sites per file).
+pub const DETSAN_ALLOWLIST_PATH: &str = "crates/verify/detsan_allowlist.txt";
 
 /// Locates the workspace root: `$CARGO_MANIFEST_DIR/../..` when run via
 /// `cargo run -p recsim-verify`, otherwise the nearest ancestor of the
@@ -52,12 +59,14 @@ fn is_workspace_root(dir: &Path) -> bool {
 /// Runs every Layer-1 rule over the workspace at `root`.
 pub fn run(root: &Path) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
-    let budgets = load_allowlist(root, &mut diags);
+    let budgets = load_allowlist(root, ALLOWLIST_PATH, &mut diags);
+    let detsan_budgets = load_allowlist(root, DETSAN_ALLOWLIST_PATH, &mut diags);
 
     // RV001 + RV002 + RV012 over library sources; RV011 over simulator
     // sources (des.rs hosts the uncategorized wrappers for generic graphs,
     // so it is exempt — every *simulator builder* must categorize its
     // tasks). RV012 exempts crates/pool/src/, the sanctioned thread host.
+    // RV015–RV018 are the determinism-sanitizer rules (DESIGN.md §11).
     for (rel, content) in library_sources(root, &mut diags) {
         if rel.ends_with("src/lib.rs") {
             diags.extend(source::check_forbid_unsafe(&rel, &content));
@@ -68,15 +77,29 @@ pub fn run(root: &Path) -> Vec<Diagnostic> {
             diags.extend(categories::check_task_categories(&rel, &content));
         }
         diags.extend(parallelism::check_raw_threading(&rel, &content));
+        let detsan_budget = detsan_budgets.get(rel.as_str()).copied().unwrap_or(0);
+        diags.extend(collections::check_unordered_collections(
+            &rel,
+            &content,
+            detsan_budget,
+        ));
+        diags.extend(reductions::check_float_reductions(&rel, &content));
+        diags.extend(entropy::check_entropy_sources(&rel, &content));
+        diags.extend(sweep_purity::check_sweep_purity(&rel, &content));
     }
     // Budgets pointing at files that no longer exist are stale too.
-    for (path, budget) in &budgets {
-        if !root.join(path).is_file() {
-            diags.push(Diagnostic::warning(
-                Code::StaleAllowlist,
-                ALLOWLIST_PATH,
-                format!("allowlisted file `{path}` (budget {budget}) does not exist"),
-            ));
+    for (list, budgets) in [
+        (ALLOWLIST_PATH, &budgets),
+        (DETSAN_ALLOWLIST_PATH, &detsan_budgets),
+    ] {
+        for (path, budget) in budgets {
+            if !root.join(path).is_file() {
+                diags.push(Diagnostic::warning(
+                    Code::StaleAllowlist,
+                    list,
+                    format!("allowlisted file `{path}` (budget {budget}) does not exist"),
+                ));
+            }
         }
     }
 
@@ -139,33 +162,54 @@ pub fn run(root: &Path) -> Vec<Diagnostic> {
     diags
 }
 
-/// Regenerates the allowlist from the actual per-file panic counts, so the
-/// budget is exactly tight (`lint --write-allowlist`).
+/// Regenerates both budget files from the actual per-file counts, so the
+/// budgets are exactly tight (`lint --write-allowlist`). Returns the number
+/// of files with a nonzero budget across both lists.
 pub fn write_allowlist(root: &Path) -> std::io::Result<usize> {
     let mut ignored = Vec::new();
-    let mut lines = vec![
+    let mut panic_lines = vec![
         "# RV002 budget: panicking sites allowed per library file.".to_string(),
         "# Regenerate with `cargo run -p recsim-verify -- lint --write-allowlist`.".to_string(),
         "# The budget only ratchets down: exceeding it is an error, beating it".to_string(),
         "# is an RV010 warning until this file is tightened.".to_string(),
     ];
+    let mut detsan_lines = vec![
+        "# RV015 budget: hash-ordered collection sites allowed per library file.".to_string(),
+        "# Regenerate with `cargo run -p recsim-verify -- lint --write-allowlist`.".to_string(),
+        "# The budget only ratchets down: exceeding it is an error, beating it".to_string(),
+        "# is an RV010 warning until this file is tightened. The tree ships".to_string(),
+        "# clean — think hard before adding an entry here.".to_string(),
+    ];
     let mut files = 0;
     for (rel, content) in library_sources(root, &mut ignored) {
-        let count = source::panic_sites(&content).len();
-        if count > 0 {
-            lines.push(format!("{rel} {count}"));
+        let panics = source::panic_sites(&content).len();
+        if panics > 0 {
+            panic_lines.push(format!("{rel} {panics}"));
             files += 1;
         }
+        if !collections::is_exempt(&rel) {
+            let sites = collections::collection_sites(&content).len();
+            if sites > 0 {
+                detsan_lines.push(format!("{rel} {sites}"));
+                files += 1;
+            }
+        }
     }
-    lines.push(String::new());
-    fs::write(root.join(ALLOWLIST_PATH), lines.join("\n"))?;
+    panic_lines.push(String::new());
+    detsan_lines.push(String::new());
+    fs::write(root.join(ALLOWLIST_PATH), panic_lines.join("\n"))?;
+    fs::write(root.join(DETSAN_ALLOWLIST_PATH), detsan_lines.join("\n"))?;
     Ok(files)
 }
 
-fn load_allowlist(root: &Path, diags: &mut Vec<Diagnostic>) -> BTreeMap<String, usize> {
+fn load_allowlist(
+    root: &Path,
+    list_rel: &str,
+    diags: &mut Vec<Diagnostic>,
+) -> BTreeMap<String, usize> {
     let mut budgets = BTreeMap::new();
     // No allowlist = zero budget everywhere.
-    let Ok(text) = fs::read_to_string(root.join(ALLOWLIST_PATH)) else {
+    let Ok(text) = fs::read_to_string(root.join(list_rel)) else {
         return budgets;
     };
     for (idx, raw) in text.lines().enumerate() {
@@ -183,7 +227,7 @@ fn load_allowlist(root: &Path, diags: &mut Vec<Diagnostic>) -> BTreeMap<String, 
         } else {
             diags.push(Diagnostic::error(
                 Code::StaleAllowlist,
-                format!("{ALLOWLIST_PATH}:{}", idx + 1),
+                format!("{list_rel}:{}", idx + 1),
                 format!("malformed allowlist line `{line}` (expected `path count`)"),
             ));
         }

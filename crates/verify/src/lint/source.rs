@@ -41,19 +41,20 @@ pub fn panic_sites(content: &str) -> Vec<(usize, String)> {
     token_sites(content, &panic_tokens())
 }
 
-/// Generic non-test token scanner shared by RV002 and RV011: returns
-/// `(line_number, token)` for every match outside test code.
+/// The comment- and test-stripped view of a source file: one entry per
+/// input line, in order, so indices are `line_number - 1`. Lines inside
+/// `#[cfg(test)]` items (and the attribute lines themselves) come back
+/// empty; code lines come back with any trailing `//` comment removed.
+/// Shared by every token-scanning rule (RV002, RV011, RV015–RV018).
 ///
-/// The scanner strips `//` comments (which also removes doc comments and
-/// the doctests inside them) and skips `#[cfg(test)] mod … { … }` blocks by
-/// brace counting. It intentionally does not parse string literals — a
-/// lightweight token scan is the contract here, and the workspace style
-/// keeps the scanned tokens out of message strings.
-pub fn token_sites(content: &str, tokens: &[String]) -> Vec<(usize, String)> {
-    let mut sites = Vec::new();
+/// The `#[cfg(test)]` handling: after the attribute we look for the item it
+/// decorates and swallow its brace-delimited body by brace counting. String
+/// literals are intentionally not parsed — a lightweight token scan is the
+/// contract here, and the workspace style keeps scanned tokens out of
+/// message strings.
+pub fn non_test_lines(content: &str) -> Vec<String> {
+    let mut out = Vec::new();
 
-    // `#[cfg(test)]` handling: after the attribute we look for the item it
-    // decorates and swallow its brace-delimited body.
     enum State {
         Code,
         /// Saw `#[cfg(test)]`; consuming any further stacked attributes.
@@ -65,40 +66,36 @@ pub fn token_sites(content: &str, tokens: &[String]) -> Vec<(usize, String)> {
     }
     let mut state = State::Code;
 
-    for (idx, raw) in content.lines().enumerate() {
+    for raw in content.lines() {
         let line = strip_line_comment(raw);
         let trimmed = line.trim_start();
         let delta = brace_delta(line);
+        let mut keep = false;
 
         match state {
             State::Code => {
                 if trimmed.starts_with("#[cfg(test)]") {
                     state = State::PendingItem;
-                    continue;
-                }
-                for tok in tokens {
-                    let mut start = 0;
-                    while let Some(pos) = line[start..].find(tok.as_str()) {
-                        sites.push((idx + 1, tok.clone()));
-                        start += pos + tok.len();
-                    }
+                } else {
+                    keep = true;
                 }
             }
             State::PendingItem => {
                 if trimmed.starts_with("#[") {
-                    continue; // stacked attributes (#[cfg(test)] #[allow(...)])
-                }
-                state = if line.contains('{') {
-                    if delta > 0 {
-                        State::Skipping(delta)
-                    } else {
-                        State::Code // opened and closed on one line
-                    }
-                } else if trimmed.ends_with(';') {
-                    State::Code // `mod tests;` — out-of-line file, skip just this line
+                    // stacked attributes (#[cfg(test)] #[allow(...)])
                 } else {
-                    State::WaitingOpen
-                };
+                    state = if line.contains('{') {
+                        if delta > 0 {
+                            State::Skipping(delta)
+                        } else {
+                            State::Code // opened and closed on one line
+                        }
+                    } else if trimmed.ends_with(';') {
+                        State::Code // `mod tests;` — out-of-line file, skip just this line
+                    } else {
+                        State::WaitingOpen
+                    };
+                }
             }
             State::WaitingOpen => {
                 if line.contains('{') {
@@ -116,6 +113,28 @@ pub fn token_sites(content: &str, tokens: &[String]) -> Vec<(usize, String)> {
                 } else {
                     State::Skipping(depth)
                 };
+            }
+        }
+        out.push(if keep {
+            line.to_string()
+        } else {
+            String::new()
+        });
+    }
+    out
+}
+
+/// Generic non-test token scanner shared by RV002 and RV011 (and, via
+/// [`non_test_lines`], the detsan lints): returns `(line_number, token)`
+/// for every match outside comments and test code.
+pub fn token_sites(content: &str, tokens: &[String]) -> Vec<(usize, String)> {
+    let mut sites = Vec::new();
+    for (idx, line) in non_test_lines(content).iter().enumerate() {
+        for tok in tokens {
+            let mut start = 0;
+            while let Some(pos) = line[start..].find(tok.as_str()) {
+                sites.push((idx + 1, tok.clone()));
+                start += pos + tok.len();
             }
         }
     }

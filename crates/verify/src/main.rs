@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cargo run --release -p recsim-verify -- lint               # run all lints
-//! cargo run -p recsim-verify -- lint --write-allowlist       # retighten RV002 budgets
+//! cargo run -p recsim-verify -- lint --format json           # machine-readable findings
+//! cargo run -p recsim-verify -- lint --write-allowlist       # retighten RV002/RV015 budgets
 //! cargo run -p recsim-verify -- codes                        # print the RV0xx table
 //! ```
 //!
@@ -15,12 +16,38 @@
 use std::process::ExitCode;
 
 use recsim_verify::lint;
-use recsim_verify::{Code, Severity};
+use recsim_verify::{Code, Diagnostic, Severity};
+
+/// How `lint` renders its findings.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    /// The default one-line-per-finding text, plus a summary line.
+    Text,
+    /// A JSON array of `{rule, severity, file, line, message}` objects on
+    /// stdout and nothing else — for editors and CI annotators.
+    Json,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => cmd_lint(args.iter().any(|a| a == "--write-allowlist")),
+        Some("lint") => {
+            let format = match args.iter().position(|a| a == "--format") {
+                None => Format::Text,
+                Some(i) => match args.get(i + 1).map(String::as_str) {
+                    Some("json") => Format::Json,
+                    Some("text") => Format::Text,
+                    other => {
+                        eprintln!(
+                            "--format expects `text` or `json`, got `{}`",
+                            other.unwrap_or("")
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                },
+            };
+            cmd_lint(args.iter().any(|a| a == "--write-allowlist"), format)
+        }
         Some("codes") => {
             cmd_codes();
             ExitCode::SUCCESS
@@ -37,7 +64,7 @@ fn main() -> ExitCode {
     }
 }
 
-fn cmd_lint(write_allowlist: bool) -> ExitCode {
+fn cmd_lint(write_allowlist: bool, format: Format) -> ExitCode {
     let Some(root) = lint::workspace_root() else {
         eprintln!("error: could not locate the workspace root (no Cargo.toml with [workspace])");
         return ExitCode::FAILURE;
@@ -45,10 +72,13 @@ fn cmd_lint(write_allowlist: bool) -> ExitCode {
     if write_allowlist {
         match lint::write_allowlist(&root) {
             Ok(files) => {
-                println!(
-                    "wrote {} ({files} file(s) with a non-zero budget)",
-                    lint::ALLOWLIST_PATH
-                );
+                if format == Format::Text {
+                    println!(
+                        "wrote {} and {} ({files} file(s) with a non-zero budget)",
+                        lint::ALLOWLIST_PATH,
+                        lint::DETSAN_ALLOWLIST_PATH
+                    );
+                }
             }
             Err(e) => {
                 eprintln!("error: failed to write {}: {e}", lint::ALLOWLIST_PATH);
@@ -61,20 +91,85 @@ fn cmd_lint(write_allowlist: bool) -> ExitCode {
         .iter()
         .filter(|d| d.severity() == Severity::Error)
         .count();
-    let warnings = diags.len() - errors;
-    for d in &diags {
-        println!("{d}");
+    match format {
+        Format::Text => {
+            let warnings = diags.len() - errors;
+            for d in &diags {
+                println!("{d}");
+            }
+            println!(
+                "recsim-verify lint: {errors} error(s), {warnings} warning(s) \
+                 across workspace at {}",
+                root.display()
+            );
+        }
+        Format::Json => println!("{}", render_json(&diags)),
     }
-    println!(
-        "recsim-verify lint: {errors} error(s), {warnings} warning(s) \
-         across workspace at {}",
-        root.display()
-    );
     if errors > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Renders findings as a JSON array without a serializer dependency: every
+/// emitted string passes through [`escape_json`], and the schema is flat —
+/// `rule`, `severity`, `file`, `line` (0 when the location has no line
+/// part, e.g. a whole-crate finding), `message`.
+fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let (file, line) = split_location(d.location());
+        out.push_str(&format!(
+            "\n  {{\"rule\": \"{}\", \"severity\": \"{}\", \"file\": \"{}\", \
+             \"line\": {line}, \"message\": \"{}\"}}",
+            escape_json(&d.code().to_string()),
+            match d.severity() {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            },
+            escape_json(file),
+            escape_json(d.message())
+        ));
+    }
+    if !diags.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+/// Splits a `path:line` lint location into its parts. Semantic-validation
+/// locations (`Platform(bb).gpus[3]`) and whole-file locations have no
+/// trailing line number; those come back verbatim with line 0.
+fn split_location(location: &str) -> (&str, usize) {
+    match location.rsplit_once(':') {
+        Some((file, line)) => match line.parse::<usize>() {
+            Ok(n) => (file, n),
+            Err(_) => (location, 0),
+        },
+        None => (location, 0),
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn cmd_codes() {
@@ -94,8 +189,9 @@ fn print_help() {
         "recsim-verify — static analysis for the recsim workspace\n\n\
          USAGE:\n  cargo run --release -p recsim-verify -- <subcommand>\n\n\
          SUBCOMMANDS:\n  \
-         lint                    run all workspace lints (RV001-RV010); exits non-zero on errors\n  \
-         lint --write-allowlist  regenerate the RV002 panic budget before linting\n  \
+         lint                    run all workspace lints (RV001-RV018); exits non-zero on errors\n  \
+         lint --format json      emit findings as a JSON array (rule, severity, file, line, message)\n  \
+         lint --write-allowlist  regenerate the RV002 panic and RV015 collection budgets\n  \
          codes                   print the full RV0xx code table\n  \
          help                    this message\n\n\
          The driver is fully offline: it reads only the checked-out sources."

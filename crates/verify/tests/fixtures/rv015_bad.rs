@@ -1,0 +1,11 @@
+//! RV015 fixture: a result-producing module whose output order depends on
+//! hasher state. Must trip RV015 and nothing else.
+use std::collections::HashMap;
+
+pub fn frequencies(ids: &[u32]) -> Vec<(u32, u64)> {
+    let mut freq: HashMap<u32, u64> = HashMap::new();
+    for &id in ids {
+        *freq.entry(id).or_insert(0) += 1;
+    }
+    freq.into_iter().collect()
+}

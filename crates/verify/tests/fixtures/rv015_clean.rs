@@ -1,0 +1,10 @@
+//! Clean twin of `rv015_bad.rs`: same shape, deterministic iteration order.
+use std::collections::BTreeMap;
+
+pub fn frequencies(ids: &[u32]) -> Vec<(u32, u64)> {
+    let mut freq: BTreeMap<u32, u64> = BTreeMap::new();
+    for &id in ids {
+        *freq.entry(id).or_insert(0) += 1;
+    }
+    freq.into_iter().collect()
+}

@@ -1,0 +1,8 @@
+//! RV016 fixture: a float reduction in pool-adjacent code without a
+//! `detsan: reduction-order` annotation. Must trip RV016 and nothing else.
+
+pub fn mean(values: &[f32]) -> f32 {
+    let width = recsim_pool::thread_count();
+    let total = values.iter().sum::<f32>();
+    total / values.len().max(width) as f32
+}

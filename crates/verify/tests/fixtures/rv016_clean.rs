@@ -1,0 +1,9 @@
+//! Clean twin of `rv016_bad.rs`: the reduction carries the annotation
+//! declaring its evaluation order fixed.
+
+pub fn mean(values: &[f32]) -> f32 {
+    let width = recsim_pool::thread_count();
+    // detsan: reduction-order — serial left-to-right iterator sum.
+    let total = values.iter().sum::<f32>();
+    total / values.len().max(width) as f32
+}

@@ -1,0 +1,9 @@
+//! RV017 fixture: wall-clock entropy feeding a result. Must trip RV017 and
+//! nothing else.
+
+pub fn stamp() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}

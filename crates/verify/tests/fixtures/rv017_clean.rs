@@ -1,0 +1,6 @@
+//! Clean twin of `rv017_bad.rs`: the stamp is a pure function of its
+//! inputs, so reruns reproduce it exactly.
+
+pub fn stamp(seed: u64, step: u64) -> u64 {
+    seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(step)
+}

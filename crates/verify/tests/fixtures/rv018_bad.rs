@@ -1,0 +1,10 @@
+//! RV018 fixture: a parallel sweep closure mutating shared state, so the
+//! side effects land in worker-completion order. Must trip RV018 and
+//! nothing else.
+
+pub fn run(points: &[u32], hits: &std::sync::Mutex<Vec<u32>>) -> Vec<u32> {
+    recsim_pool::par_map(points, |&p| {
+        hits.lock().expect("poisoned").push(p);
+        p * 2
+    })
+}

@@ -1,0 +1,8 @@
+//! Clean twin of `rv018_bad.rs`: the closure is a pure function of its
+//! point; any accumulation happens in the serial fold afterwards.
+
+pub fn run(points: &[u32]) -> (Vec<u32>, u64) {
+    let doubled = recsim_pool::par_map(points, |&p| p * 2);
+    let total = doubled.iter().map(|&v| u64::from(v)).fold(0u64, u64::wrapping_add);
+    (doubled, total)
+}

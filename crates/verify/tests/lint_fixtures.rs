@@ -1,0 +1,86 @@
+//! Fixture tests for the determinism lints (RV015–RV018).
+//!
+//! Each `tests/fixtures/rv0NN_bad.rs` snippet is crafted to trip exactly
+//! one rule, and its `_clean.rs` twin is the minimal compliant rewrite of
+//! the same code — together they pin both the detection and the escape
+//! hatch of every rule. Fixtures are checked through the same entry points
+//! `lint::run` uses, under a non-exempt synthetic path.
+
+use recsim_verify::lint::{collections, entropy, reductions, sweep_purity};
+use recsim_verify::{Code, Diagnostic};
+
+/// The synthetic library path fixtures are checked under — inside a
+/// result-producing crate, exempt from nothing.
+const FIXTURE_PATH: &str = "crates/sim/src/fixture.rs";
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+/// Runs all four determinism lints over one snippet, RV015 with an empty
+/// budget.
+fn all_checks(content: &str) -> Vec<Diagnostic> {
+    let mut diags = collections::check_unordered_collections(FIXTURE_PATH, content, 0);
+    diags.extend(reductions::check_float_reductions(FIXTURE_PATH, content));
+    diags.extend(entropy::check_entropy_sources(FIXTURE_PATH, content));
+    diags.extend(sweep_purity::check_sweep_purity(FIXTURE_PATH, content));
+    diags
+}
+
+/// Asserts the bad fixture trips only `expected` and its clean twin trips
+/// nothing.
+fn assert_pair(rule: &str, expected: Code) {
+    let bad = all_checks(&fixture(&format!("{rule}_bad.rs")));
+    assert!(
+        !bad.is_empty(),
+        "{rule}_bad.rs should produce at least one finding"
+    );
+    for d in &bad {
+        assert_eq!(
+            d.code(),
+            expected,
+            "{rule}_bad.rs tripped an unexpected rule: {d}"
+        );
+    }
+    let clean = all_checks(&fixture(&format!("{rule}_clean.rs")));
+    assert!(
+        clean.is_empty(),
+        "{rule}_clean.rs should be lint-free, got: {:?}",
+        clean.iter().map(ToString::to_string).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn rv015_unordered_collection() {
+    assert_pair("rv015", Code::UnorderedCollection);
+}
+
+#[test]
+fn rv016_unannotated_float_reduction() {
+    assert_pair("rv016", Code::UnannotatedFloatReduction);
+}
+
+#[test]
+fn rv017_entropy_in_result_path() {
+    assert_pair("rv017", Code::EntropyInResultPath);
+}
+
+#[test]
+fn rv018_impure_sweep_closure() {
+    assert_pair("rv018", Code::ImpureSweepClosure);
+}
+
+#[test]
+fn exemptions_hold_where_nondeterminism_is_the_point() {
+    // The pool's own internals legitimately use hash maps and locks.
+    let bad15 = fixture("rv015_bad.rs");
+    assert!(
+        collections::check_unordered_collections("crates/pool/src/lib.rs", &bad15, 0).is_empty()
+    );
+    let bad18 = fixture("rv018_bad.rs");
+    assert!(sweep_purity::check_sweep_purity("crates/pool/src/lib.rs", &bad18).is_empty());
+    // Benchmark timing is the one sanctioned wall-clock reader.
+    let bad17 = fixture("rv017_bad.rs");
+    assert!(entropy::check_entropy_sources("crates/bench/src/timing.rs", &bad17).is_empty());
+}

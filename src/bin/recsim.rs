@@ -10,6 +10,7 @@
 //! recsim train [options]                  really train a model, report NE
 //! recsim models                           describe the M1/M2/M3 stand-ins
 //! recsim verify                           validate presets, list RV0xx codes
+//! recsim verify --detsan <id|all>         localize nondeterminism per stage
 //! recsim help
 //! ```
 
@@ -30,7 +31,7 @@ fn main() -> ExitCode {
         Some("trace") => cmd_trace(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
         Some("models") => cmd_models(),
-        Some("verify") => cmd_verify(),
+        Some("verify") => cmd_verify(&args[1..]),
         Some("help") | None => {
             print_help();
             ExitCode::SUCCESS
@@ -58,6 +59,11 @@ fn print_help() {
          \x20 recsim train [options]                  train for real, report NE\n\
          \x20 recsim models                           describe M1/M2/M3 stand-ins\n\
          \x20 recsim verify                           validate presets, list RV0xx codes\n\
+         \x20 recsim verify --detsan <id|all>         run each driver at 1 vs N threads\n\
+         \x20   [--quick] [--threads N]               and report the first divergent\n\
+         \x20                                         stage + sweep point (DESIGN.md §11;\n\
+         \x20                                         RECSIM_RESULTS_DIR writes -t1/-tN\n\
+         \x20                                         artifact trees for CI diffing)\n\
          \n\
          SIMULATE OPTIONS (defaults in brackets):\n\
          \x20 --platform bb|bb16|zion|cpu [bb]   --placement gpu|rowwise|replicated|\n\
@@ -612,7 +618,19 @@ fn print_attribution(report: &SimReport) {
 /// built-in platform, production model and the default cost knobs through
 /// [`Validate`] and prints the structured findings. The source-lint half
 /// lives in the standalone driver (`cargo run -p recsim-verify -- lint`).
-fn cmd_verify() -> ExitCode {
+/// With `--detsan <id|all>` it instead runs the determinism sanitizer
+/// (DESIGN.md §11): each selected driver at 1 worker vs N workers with the
+/// per-stage digest recorder armed, reporting the first divergent stage and
+/// sweep point.
+fn cmd_verify(args: &[String]) -> ExitCode {
+    let (flags, positional) = parse_flags(args);
+    if !positional.is_empty() {
+        eprintln!("usage: recsim verify [--detsan <id|all> [--quick] [--threads N]]");
+        return ExitCode::FAILURE;
+    }
+    if let Some(target) = flags.get("detsan") {
+        return cmd_verify_detsan(target, &flags);
+    }
     let mut findings: Vec<(String, Diagnostic)> = Vec::new();
     let mut checked = 0usize;
     let mut check = |subject: String, diags: Vec<Diagnostic>| {
@@ -663,6 +681,91 @@ fn cmd_verify() -> ExitCode {
     );
     println!("(source lints: cargo run -p recsim-verify -- lint; codes: -- codes)");
     if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `recsim verify --detsan <id|all>` — the runtime half of the determinism
+/// sanitizer. Runs each selected driver serially and at N workers with the
+/// `recsim-detsan` recorder armed, then compares the per-stage digest
+/// streams; a mismatch names the first divergent stage and sweep point.
+/// The deliberately broken `detsan_demo` driver is selectable by id but
+/// excluded from `all`. With `RECSIM_RESULTS_DIR=<dir>` the serial and
+/// parallel artifacts are persisted to `<dir>-t1/` and `<dir>-tN/` so CI
+/// can byte-diff them as a backstop.
+fn cmd_verify_detsan(target: &str, flags: &HashMap<String, String>) -> ExitCode {
+    let effort = if flags.contains_key("quick") {
+        Effort::Quick
+    } else {
+        Effort::Full
+    };
+    let threads = match flags.get("threads") {
+        Some(n) => match n.parse::<usize>() {
+            Ok(n) if n >= 2 => n,
+            _ => {
+                eprintln!("--threads expects an integer >= 2, got `{n}`");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => recsim::pool::thread_count().max(2),
+    };
+    // A bare `--detsan` parses as the value "true": sweep everything.
+    let target = if target == "true" { "all" } else { target };
+    let registry = experiments::registry();
+    let selected: Vec<(&str, experiments::Driver)> = if target == "all" {
+        registry
+    } else if target == "detsan_demo" {
+        vec![(
+            "detsan_demo",
+            experiments::detsan_demo::run as experiments::Driver,
+        )]
+    } else if let Some(pair) = registry.into_iter().find(|(id, _)| *id == target) {
+        vec![pair]
+    } else {
+        eprintln!("unknown driver `{target}`; use a registry id, `detsan_demo`, or `all`");
+        return ExitCode::FAILURE;
+    };
+
+    let results_dir = std::env::var_os("RECSIM_RESULTS_DIR")
+        .map(|d| std::path::PathBuf::from(d).to_string_lossy().into_owned());
+    let mut dirty = 0usize;
+    for (id, driver) in &selected {
+        let cmp = recsim::core::detsan_check::compare_driver(id, *driver, effort, threads);
+        println!("{}", cmp.describe());
+        if let Some(base) = &results_dir {
+            for (suffix, json) in [
+                ("t1".to_string(), &cmp.json_serial),
+                (format!("t{threads}"), &cmp.json_parallel),
+            ] {
+                let dir = std::path::PathBuf::from(format!("{base}-{suffix}"));
+                if let Err(e) = std::fs::create_dir_all(&dir) {
+                    eprintln!("cannot create {}: {e}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+                let path = dir.join(format!("{id}.json"));
+                if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if !cmp.is_clean() {
+            dirty += 1;
+        }
+    }
+    if let Some(base) = &results_dir {
+        println!(
+            "(artifacts written to {base}-t1 and {base}-t{threads}, {} driver(s) each)",
+            selected.len()
+        );
+    }
+    println!(
+        "detsan: {} driver(s) compared at 1 vs {threads} thread(s), {dirty} divergent",
+        selected.len()
+    );
+    if dirty > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

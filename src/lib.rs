@@ -8,6 +8,9 @@
 //! * [`data`] — synthetic recommendation workloads: the model configuration
 //!   space, distributions, a CTR generator with a planted teacher,
 //!   production-model stand-ins and the fleet sampler,
+//! * [`detsan`] — the determinism sanitizer runtime: canonical state
+//!   digests and per-stage divergence localization behind
+//!   `recsim verify --detsan`,
 //! * [`model`] — a from-scratch DLRM that really trains (tensors, MLPs,
 //!   embedding bags, interactions, losses, optimizers),
 //! * [`hw`] — hardware platform models (dual-socket CPU, Big Basin, Zion),
@@ -59,6 +62,7 @@
 
 pub use recsim_core as core;
 pub use recsim_data as data;
+pub use recsim_detsan as detsan;
 pub use recsim_fault as fault;
 pub use recsim_hw as hw;
 pub use recsim_metrics as metrics;
