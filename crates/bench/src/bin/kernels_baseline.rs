@@ -1,0 +1,110 @@
+//! Runs the `automl` driver (the real-training hot path) twice — a timed
+//! pass with the kernel profiler disarmed and a timed pass with it armed —
+//! verifies the two produce byte-identical structured outputs (timing
+//! scopes must never perturb results), and records the per-op FLOP/byte
+//! baseline in `BENCH_kernels.json` at the workspace root under the
+//! `recsim-bench-kernels-v1` schema. Set RECSIM_QUICK=1 for the reduced
+//! grid; RECSIM_THREADS caps the pool as usual.
+use std::time::Instant;
+
+fn main() {
+    let effort = recsim_bench::effort_from_env();
+    let run = recsim_core::experiments::automl::run;
+
+    // Baseline pass: profiler off — the production configuration whose
+    // wall clock the armed pass is compared against.
+    recsim_prof::set_enabled(false);
+    recsim_prof::reset();
+    let baseline_start = Instant::now();
+    let baseline = run(effort);
+    let baseline_wall = baseline_start.elapsed().as_secs_f64();
+
+    // Profiled pass: every operator scope live, counters accumulating.
+    recsim_prof::reset();
+    recsim_prof::set_enabled(true);
+    let profiled_start = Instant::now();
+    let profiled = run(effort);
+    let profiled_wall = profiled_start.elapsed().as_secs_f64();
+    let snapshot = recsim_prof::drain();
+    recsim_prof::set_enabled(false);
+
+    let to_json = |out: &recsim_core::ExperimentOutput| {
+        serde_json::to_string(out).expect("experiment outputs serialize")
+    };
+    let outputs_identical = to_json(&baseline) == to_json(&profiled);
+    if !outputs_identical {
+        eprintln!(">>> profiled automl output differs from the profiler-off run");
+    }
+    let failures = profiled.failed_claims().len();
+    if failures > 0 {
+        eprintln!(">>> automl: {failures} claim(s) FAILED under the profiler");
+    }
+
+    let loop_total = snapshot.phase_total_ns() as f64 * 1e-9;
+    let leaf_total = snapshot.leaf_total_ns() as f64 * 1e-9;
+    let overhead = if baseline_wall > 0.0 {
+        (profiled_wall - baseline_wall) / baseline_wall * 100.0
+    } else {
+        0.0
+    };
+    println!(
+        "==== baseline {baseline_wall:.2}s, profiled {profiled_wall:.2}s \
+         ({overhead:+.1}% overhead), outputs identical: {outputs_identical} ===="
+    );
+
+    let ops: Vec<serde_json::Value> = snapshot
+        .active_ops()
+        .map(|p| {
+            println!(
+                "{:<16} count {:>6}  total {:>9.3} ms  p50 {:>8.1} us  p99 {:>8.1} us  \
+                 {:>8.2} GFLOP  {:>8.2} GB",
+                p.op.id(),
+                p.count,
+                p.total_ns as f64 * 1e-6,
+                p.p50_ns as f64 * 1e-3,
+                p.p99_ns as f64 * 1e-3,
+                p.flops as f64 * 1e-9,
+                p.bytes as f64 * 1e-9,
+            );
+            serde_json::json!({
+                "op": p.op.id(),
+                "count": p.count,
+                "total_secs": p.total_ns as f64 * 1e-9,
+                "p50_us": p.p50_ns as f64 * 1e-3,
+                "p99_us": p.p99_ns as f64 * 1e-3,
+                "gflop": p.flops as f64 * 1e-9,
+                "gbyte": p.bytes as f64 * 1e-9,
+            })
+        })
+        .collect();
+
+    let bench_doc = serde_json::json!({
+        "schema": recsim_verify::lint::artifacts::KERNELS_SCHEMA,
+        "effort": if effort == recsim_core::Effort::Quick { "quick" } else { "full" },
+        "ops": ops,
+        "loop_total_secs": loop_total,
+        "leaf_total_secs": leaf_total,
+        "baseline_wall_secs": baseline_wall,
+        "profiled_wall_secs": profiled_wall,
+        "outputs_identical": outputs_identical,
+    });
+    let root = recsim_verify::lint::workspace_root().unwrap_or_else(|| ".".into());
+    let bench_path = root.join("BENCH_kernels.json");
+    match serde_json::to_string_pretty(&bench_doc) {
+        Ok(json) => match std::fs::write(&bench_path, json + "\n") {
+            Ok(()) => println!("(kernel baseline written to {})", bench_path.display()),
+            Err(e) => {
+                eprintln!("could not write {}: {e}", bench_path.display());
+                std::process::exit(1);
+            }
+        },
+        Err(e) => {
+            eprintln!("could not serialize kernel baseline: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if failures > 0 || !outputs_identical {
+        std::process::exit(1);
+    }
+}

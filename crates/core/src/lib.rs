@@ -44,6 +44,7 @@ pub mod design_space;
 pub mod detsan_check;
 pub mod experiments;
 pub mod output;
+pub mod profiling;
 pub mod setups;
 pub mod sweep;
 

@@ -1,0 +1,789 @@
+//! Hot-path profiling and sim-vs-real roofline calibration (DESIGN.md §12).
+//!
+//! [`profile_driver`] runs one experiment driver with the `recsim-prof`
+//! recorder armed, then joins the drained [`ProfileSnapshot`] with the
+//! hardware model: every measured operator is classified against the host
+//! CPU's roofline (compute- vs bandwidth-bound, achieved fraction of the
+//! roof), and the measured wall-clock shares are calibrated against the
+//! simulator's critical-path attribution for the same training
+//! configuration. Divergence beyond [`DIVERGENCE_THRESHOLD_PP`] percentage
+//! points is flagged — the signal that the simulator's cost model and the
+//! real numerics have drifted apart.
+//!
+//! The join is deliberately built from plain data ([`build_report`] is a
+//! pure function of a snapshot), so everything below the timing source is
+//! unit-testable with synthetic profiles.
+
+use crate::experiments::{self, fig15};
+use crate::Effort;
+use recsim_hw::device::skylake_dual_socket;
+use recsim_hw::units::{Bytes, Flops};
+use recsim_hw::{AccessPattern, ComputeDevice, Work};
+use recsim_metrics::Table;
+use recsim_prof::{self as prof, Op, OpProfile, ProfileSnapshot};
+use recsim_sim::{CpuClusterSetup, CpuTrainingSim};
+use recsim_trace::{chrome_trace, TaskCategory, Tracer};
+use serde::{Deserialize, Serialize};
+
+/// Measured-vs-simulated share divergence (percentage points) beyond which
+/// a calibration row is flagged.
+pub const DIVERGENCE_THRESHOLD_PP: f64 = 15.0;
+
+/// How a measured operator sits against the device roofline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RooflineBound {
+    /// Arithmetic throughput limits the op (intensity above the ridge).
+    Compute,
+    /// Memory traffic limits the op (intensity below the ridge).
+    Bandwidth,
+    /// No counters recorded (loop phases, zero-shape kernels).
+    Unclassified,
+}
+
+impl RooflineBound {
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            RooflineBound::Compute => "compute",
+            RooflineBound::Bandwidth => "bandwidth",
+            RooflineBound::Unclassified => "-",
+        }
+    }
+}
+
+/// One operator's measured aggregates joined with its roofline placement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpRoofline {
+    /// Which operator.
+    pub op: Op,
+    /// Closed scopes recorded.
+    pub count: u64,
+    /// Measured wall time, seconds.
+    pub total_secs: f64,
+    /// Share of the measured loop time, percent (phases: share of the
+    /// profiled driver's wall time instead).
+    pub share_percent: f64,
+    /// Mean scope duration, microseconds.
+    pub mean_us: f64,
+    /// Median retained-sample duration, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile retained-sample duration, microseconds.
+    pub p99_us: f64,
+    /// Closed-form FLOPs counted.
+    pub flops: u64,
+    /// Closed-form bytes counted.
+    pub bytes: u64,
+    /// Achieved compute rate, GFLOP/s.
+    pub achieved_gflops: f64,
+    /// Achieved memory traffic, GB/s.
+    pub achieved_gb_per_sec: f64,
+    /// Arithmetic intensity, FLOP/byte (`None` when no bytes counted).
+    pub intensity: Option<f64>,
+    /// Which roof limits this op on the reference device.
+    pub bound: RooflineBound,
+    /// Roofline-predicted time for the counted work, seconds.
+    pub roof_secs: f64,
+    /// `roof_secs / total_secs`: fraction of the roof actually achieved
+    /// (1.0 = running at the roof; small = leaving the device idle).
+    pub roof_fraction: f64,
+}
+
+/// One row of the sim-vs-measured calibration join.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationRow {
+    /// Attribution category label ([`TaskCategory::label`]).
+    pub category: String,
+    /// Share of the measured (profiled) loop time, percent.
+    pub measured_percent: f64,
+    /// Share of the simulator's critical-path makespan, percent,
+    /// renormalized over the categories the profiler can observe.
+    pub simulated_percent: f64,
+    /// `measured_percent - simulated_percent`.
+    pub divergence_pp: f64,
+    /// Whether `|divergence_pp|` exceeds the threshold.
+    pub flagged: bool,
+}
+
+/// A profiled driver run: measured op profiles, roofline classification
+/// and the calibration join against the simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileReport {
+    /// Which registry driver ran.
+    pub driver: String,
+    /// The effort it ran at.
+    pub effort: Effort,
+    /// Wall-clock of the whole driver run, seconds.
+    pub wall_secs: f64,
+    /// Measured loop time (sum over phase scopes), seconds.
+    pub loop_secs: f64,
+    /// Measured leaf-kernel time, seconds.
+    pub leaf_secs: f64,
+    /// Loop time not attributed to any leaf kernel, seconds.
+    pub unattributed_secs: f64,
+    /// Total counted work across leaves, GFLOP.
+    pub total_gflop: f64,
+    /// Total counted traffic across leaves, GB.
+    pub total_gb: f64,
+    /// Reference device the roofline classification used.
+    pub device: String,
+    /// Per-op measurements joined with the roofline (active ops only,
+    /// leaves first in [`Op::ALL`] order).
+    pub ops: Vec<OpRoofline>,
+    /// Sim-vs-measured calibration rows (empty when the driver exercised
+    /// no real training).
+    pub calibration: Vec<CalibrationRow>,
+    /// Share of the simulator makespan in categories the profiler cannot
+    /// observe (dropped before renormalizing), percent.
+    pub sim_unobserved_percent: f64,
+    /// Flagging threshold used, percentage points.
+    pub threshold_pp: f64,
+    /// The raw drained snapshot (retained samples feed the Chrome export).
+    pub snapshot: ProfileSnapshot,
+}
+
+/// The attribution category a measured op calibrates against, `None` for
+/// loop phases that only bracket other ops.
+pub fn category_of(op: Op) -> Option<TaskCategory> {
+    match op {
+        Op::EmbGather => Some(TaskCategory::EmbeddingLookup),
+        Op::EmbScatter | Op::OptSparse => Some(TaskCategory::EmbeddingUpdate),
+        Op::LinearFwd | Op::LinearBwd | Op::InteractionFwd | Op::InteractionBwd | Op::LossBce => {
+            Some(TaskCategory::MlpCompute)
+        }
+        Op::OptDense => Some(TaskCategory::Optimizer),
+        Op::DataGen => Some(TaskCategory::ReaderStall),
+        Op::TrainStep | Op::Eval => None,
+    }
+}
+
+/// The access pattern an op's counted bytes follow on the host.
+fn pattern_of(op: Op) -> AccessPattern {
+    match op {
+        Op::EmbGather | Op::EmbScatter | Op::OptSparse => AccessPattern::Random,
+        _ => AccessPattern::Sequential,
+    }
+}
+
+/// The counted work of one op as a roofline quantum (no launch overhead:
+/// measured time already includes every real overhead).
+fn work_of(p: &OpProfile) -> Work {
+    Work::new(
+        Flops::new(p.flops),
+        Bytes::new(p.bytes),
+        pattern_of(p.op),
+        0,
+    )
+}
+
+/// Runs the registry driver `id` at `effort` with the profiler armed and
+/// returns the joined report.
+///
+/// # Errors
+///
+/// Returns the list of known ids when `id` is not in the registry.
+pub fn profile_driver(id: &str, effort: Effort) -> Result<ProfileReport, String> {
+    let Some((_, driver)) = experiments::registry().into_iter().find(|(d, _)| *d == id) else {
+        let known: Vec<&str> = experiments::registry().iter().map(|(d, _)| *d).collect();
+        return Err(format!(
+            "unknown driver `{id}`; known drivers: {}",
+            known.join(", ")
+        ));
+    };
+    prof::reset();
+    prof::set_enabled(true);
+    let t0 = prof::clock::monotonic_nanos();
+    let _ = driver(effort);
+    let wall_secs = prof::clock::monotonic_nanos().saturating_sub(t0) as f64 * 1e-9;
+    let snapshot = prof::drain();
+    prof::set_enabled(false);
+    Ok(build_report(id, effort, wall_secs, snapshot))
+}
+
+/// Joins a drained snapshot with the roofline model and the simulator's
+/// attribution. Pure in everything but the embedded `CpuTrainingSim` run
+/// (itself deterministic), so synthetic snapshots exercise every branch.
+pub fn build_report(
+    driver: &str,
+    effort: Effort,
+    wall_secs: f64,
+    snapshot: ProfileSnapshot,
+) -> ProfileReport {
+    let device = skylake_dual_socket();
+    let loop_secs = snapshot.phase_total_ns() as f64 * 1e-9;
+    let leaf_secs = snapshot.leaf_total_ns() as f64 * 1e-9;
+    let unattributed_secs = snapshot.unattributed_ns() as f64 * 1e-9;
+
+    let ops: Vec<OpRoofline> = snapshot
+        .active_ops()
+        .map(|p| op_roofline(p, &device, loop_secs, wall_secs))
+        .collect();
+
+    let (calibration, sim_unobserved_percent) = calibrate(&snapshot, effort);
+
+    ProfileReport {
+        driver: driver.to_string(),
+        effort,
+        wall_secs,
+        loop_secs,
+        leaf_secs,
+        unattributed_secs,
+        total_gflop: snapshot.total_flops() as f64 * 1e-9,
+        total_gb: snapshot.total_bytes() as f64 * 1e-9,
+        device: "skylake dual-socket".to_string(),
+        ops,
+        calibration,
+        sim_unobserved_percent,
+        threshold_pp: DIVERGENCE_THRESHOLD_PP,
+        snapshot,
+    }
+}
+
+fn op_roofline(
+    p: &OpProfile,
+    device: &ComputeDevice,
+    loop_secs: f64,
+    wall_secs: f64,
+) -> OpRoofline {
+    let total_secs = p.total_ns as f64 * 1e-9;
+    let basis = if p.op.is_phase() {
+        wall_secs
+    } else {
+        loop_secs
+    };
+    let share_percent = if basis > 0.0 {
+        total_secs / basis * 100.0
+    } else {
+        0.0
+    };
+    let work = work_of(p);
+    let has_counters = p.flops > 0 || p.bytes > 0;
+    let bound = if !has_counters {
+        RooflineBound::Unclassified
+    } else if work.is_memory_bound_on(device) {
+        RooflineBound::Bandwidth
+    } else {
+        RooflineBound::Compute
+    };
+    let roof_secs = if has_counters {
+        work.time_on(device).as_secs()
+    } else {
+        0.0
+    };
+    OpRoofline {
+        op: p.op,
+        count: p.count,
+        total_secs,
+        share_percent,
+        mean_us: p.mean_ns() as f64 * 1e-3,
+        p50_us: p.p50_ns as f64 * 1e-3,
+        p99_us: p.p99_ns as f64 * 1e-3,
+        flops: p.flops,
+        bytes: p.bytes,
+        achieved_gflops: p.achieved_flops_per_sec() * 1e-9,
+        achieved_gb_per_sec: p.achieved_bytes_per_sec() * 1e-9,
+        intensity: (p.bytes > 0).then(|| p.intensity()),
+        bound,
+        roof_secs,
+        roof_fraction: if total_secs > 0.0 {
+            roof_secs / total_secs
+        } else {
+            0.0
+        },
+    }
+}
+
+/// One calibration bucket: a coarse pipeline stage with an explicit
+/// mapping on both sides of the join. The measured loop is a single
+/// process, while the reference CPU fleet distributes the same stages
+/// across parameter servers — PS-side scatters and EASGD center updates
+/// are that architecture's "update" stage, so they join the same bucket
+/// as the local scatter/optimizer scopes. Wire time (`NicTransfer` etc.)
+/// has no local counterpart and is excluded (reported as unobserved).
+struct CalibrationBucket {
+    label: &'static str,
+    ops: &'static [Op],
+    categories: &'static [TaskCategory],
+}
+
+const CALIBRATION_BUCKETS: [CalibrationBucket; 4] = [
+    CalibrationBucket {
+        label: "embedding lookup",
+        ops: &[Op::EmbGather],
+        categories: &[TaskCategory::EmbeddingLookup],
+    },
+    CalibrationBucket {
+        label: "embedding + dense update",
+        ops: &[Op::EmbScatter, Op::OptSparse, Op::OptDense],
+        categories: &[
+            TaskCategory::EmbeddingUpdate,
+            TaskCategory::PsUpdate,
+            TaskCategory::Optimizer,
+        ],
+    },
+    CalibrationBucket {
+        label: "mlp compute",
+        ops: &[
+            Op::LinearFwd,
+            Op::LinearBwd,
+            Op::InteractionFwd,
+            Op::InteractionBwd,
+            Op::LossBce,
+        ],
+        categories: &[TaskCategory::MlpCompute],
+    },
+    CalibrationBucket {
+        label: "input pipeline",
+        ops: &[Op::DataGen],
+        categories: &[TaskCategory::ReaderStall],
+    },
+];
+
+/// Joins measured per-bucket shares with the simulator's critical-path
+/// attribution for the reference training configuration (the fig15
+/// accuracy model at its baseline batch — the same hot path the real
+/// training drivers execute). Returns the rows plus the simulator share
+/// that fell outside every bucket (distribution overhead the local loop
+/// cannot exhibit).
+fn calibrate(snapshot: &ProfileSnapshot, effort: Effort) -> (Vec<CalibrationRow>, f64) {
+    let measured: Vec<f64> = CALIBRATION_BUCKETS
+        .iter()
+        .map(|b| {
+            b.ops
+                .iter()
+                .map(|&op| snapshot.op(op).total_ns as f64 * 1e-9)
+                .sum()
+        })
+        .collect();
+    let measured_total: f64 = measured.iter().sum();
+    if measured_total <= 0.0 {
+        return (Vec::new(), 0.0);
+    }
+
+    let model = fig15::accuracy_model();
+    let batch = fig15::baseline_config(effort).batch_size as u64;
+    let Ok(sim) = CpuTrainingSim::new(&model, CpuClusterSetup::single_trainer(batch)) else {
+        return (Vec::new(), 0.0);
+    };
+    let cp = sim.critical_path(5);
+
+    let simulated: Vec<f64> = CALIBRATION_BUCKETS
+        .iter()
+        .map(|b| b.categories.iter().map(|&c| cp.share_of(c)).sum())
+        .collect();
+    let sim_observable: f64 = simulated.iter().sum();
+    let sim_unobserved_percent = if cp.makespan > 0.0 {
+        (cp.makespan - sim_observable) / cp.makespan * 100.0
+    } else {
+        0.0
+    };
+
+    let rows = CALIBRATION_BUCKETS
+        .iter()
+        .zip(measured.iter().zip(&simulated))
+        .map(|(bucket, (&m, &s))| {
+            let measured_percent = m / measured_total * 100.0;
+            let simulated_percent = if sim_observable > 0.0 {
+                s / sim_observable * 100.0
+            } else {
+                0.0
+            };
+            let divergence_pp = measured_percent - simulated_percent;
+            CalibrationRow {
+                category: bucket.label.to_string(),
+                measured_percent,
+                simulated_percent,
+                divergence_pp,
+                flagged: divergence_pp.abs() > DIVERGENCE_THRESHOLD_PP,
+            }
+        })
+        .collect();
+    (rows, sim_unobserved_percent)
+}
+
+impl ProfileReport {
+    /// The kernel table: one row per active leaf op.
+    pub fn kernel_table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "op", "count", "total ms", "share", "mean µs", "p99 µs", "GFLOP/s", "GB/s", "FLOP/B",
+            "bound", "of roof",
+        ]);
+        for o in self.ops.iter().filter(|o| !o.op.is_phase()) {
+            t.push_row(vec![
+                o.op.id().to_string(),
+                o.count.to_string(),
+                format!("{:.2}", o.total_secs * 1e3),
+                format!("{:.1}%", o.share_percent),
+                format!("{:.1}", o.mean_us),
+                format!("{:.1}", o.p99_us),
+                format!("{:.2}", o.achieved_gflops),
+                format!("{:.2}", o.achieved_gb_per_sec),
+                o.intensity.map_or("-".to_string(), |i| format!("{i:.2}")),
+                o.bound.label().to_string(),
+                format!("{:.0}%", o.roof_fraction * 100.0),
+            ]);
+        }
+        if self.loop_secs > 0.0 {
+            t.push_row(vec![
+                "(unattributed)".to_string(),
+                "-".to_string(),
+                format!("{:.2}", self.unattributed_secs * 1e3),
+                format!("{:.1}%", self.unattributed_secs / self.loop_secs * 100.0),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// The phase table: loop phases against the driver wall clock.
+    pub fn phase_table(&self) -> Table {
+        let mut t = Table::new(vec!["phase", "count", "total ms", "share of wall"]);
+        for o in self.ops.iter().filter(|o| o.op.is_phase()) {
+            t.push_row(vec![
+                o.op.id().to_string(),
+                o.count.to_string(),
+                format!("{:.2}", o.total_secs * 1e3),
+                format!("{:.1}%", o.share_percent),
+            ]);
+        }
+        t
+    }
+
+    /// The calibration table: measured vs simulated category shares.
+    pub fn calibration_table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "category",
+            "measured",
+            "simulated",
+            "divergence",
+            "flag",
+        ]);
+        for r in &self.calibration {
+            t.push_row(vec![
+                r.category.clone(),
+                format!("{:.1}%", r.measured_percent),
+                format!("{:.1}%", r.simulated_percent),
+                format!("{:+.1} pp", r.divergence_pp),
+                if r.flagged { "DIVERGENT" } else { "ok" }.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// Renders the human-readable summary (the `--format summary` output).
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "profiled `{}` ({:?}): wall {:.3} s, loop {:.3} s, leaves {:.3} s \
+             ({:.1}% of loop attributed), {:.2} GFLOP / {:.2} GB counted\n",
+            self.driver,
+            self.effort,
+            self.wall_secs,
+            self.loop_secs,
+            self.leaf_secs,
+            if self.loop_secs > 0.0 {
+                self.leaf_secs / self.loop_secs * 100.0
+            } else {
+                0.0
+            },
+            self.total_gflop,
+            self.total_gb,
+        ));
+        out.push_str(&format!(
+            "kernels vs {} roofline:\n{}",
+            self.device,
+            self.kernel_table()
+        ));
+        out.push_str(&format!("loop phases:\n{}", self.phase_table()));
+        if self.calibration.is_empty() {
+            out.push_str("calibration: driver exercised no profiled training loop\n");
+        } else {
+            out.push_str(&format!(
+                "sim-vs-measured calibration (threshold {:.0} pp, {:.1}% of sim makespan \
+                 outside profiled categories):\n{}",
+                self.threshold_pp,
+                self.sim_unobserved_percent,
+                self.calibration_table()
+            ));
+            let flagged = self.calibration.iter().filter(|r| r.flagged).count();
+            out.push_str(&format!(
+                "{flagged} divergent categor{} of {}\n",
+                if flagged == 1 { "y" } else { "ies" },
+                self.calibration.len()
+            ));
+        }
+        out
+    }
+
+    /// Exports the retained samples as a Perfetto-loadable Chrome trace:
+    /// one track per op, spans at their measured offsets.
+    pub fn chrome(&self) -> String {
+        let mut rec = recsim_trace::TraceRecorder::new();
+        for p in &self.snapshot.ops {
+            let category = category_of(p.op).unwrap_or(TaskCategory::Framework);
+            for s in &p.samples {
+                rec.span(
+                    p.op.id(),
+                    p.op.id(),
+                    category,
+                    s.start_ns as f64 * 1e-3,
+                    s.dur_ns as f64 * 1e-3,
+                );
+            }
+        }
+        chrome_trace(&rec.finish())
+    }
+
+    /// Serializes the whole report as pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the serializer error (never for this report shape).
+    pub fn json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recsim_prof::Counters;
+
+    /// A synthetic snapshot shaped like a real training loop drain.
+    fn synthetic_snapshot() -> ProfileSnapshot {
+        let mut ops: Vec<OpProfile> = Op::ALL
+            .into_iter()
+            .map(|op| OpProfile {
+                op,
+                count: 0,
+                total_ns: 0,
+                flops: 0,
+                bytes: 0,
+                min_ns: 0,
+                max_ns: 0,
+                p50_ns: 0,
+                p99_ns: 0,
+                samples: Vec::new(),
+                dropped_samples: 0,
+            })
+            .collect();
+        let mut set = |op: Op, total_ns: u64, c: Counters| {
+            let p = &mut ops[op.index()];
+            p.count = 10;
+            p.total_ns = total_ns;
+            p.flops = c.flops;
+            p.bytes = c.bytes;
+        };
+        set(
+            Op::LinearFwd,
+            400_000,
+            Counters::linear_forward(200, 16, 32),
+        );
+        set(
+            Op::LinearBwd,
+            700_000,
+            Counters::linear_backward(200, 16, 32),
+        );
+        set(
+            Op::EmbGather,
+            300_000,
+            Counters::embedding_forward(800, 200, 8),
+        );
+        set(
+            Op::EmbScatter,
+            200_000,
+            Counters::embedding_backward(800, 400, 8),
+        );
+        set(Op::LossBce, 50_000, Counters::bce_loss(200));
+        set(Op::OptDense, 150_000, Counters::adagrad_update(1_000));
+        set(Op::DataGen, 500_000, Counters::none());
+        set(Op::TrainStep, 2_000_000, Counters::none());
+        ProfileSnapshot { ops }
+    }
+
+    #[test]
+    fn leaf_shares_and_unattributed_sum_to_loop() {
+        let report = build_report("automl", Effort::Quick, 3e-3, synthetic_snapshot());
+        let leaf_shares: f64 = report
+            .ops
+            .iter()
+            .filter(|o| !o.op.is_phase())
+            .map(|o| o.share_percent)
+            .sum();
+        let unattributed = report.unattributed_secs / report.loop_secs * 100.0;
+        assert!(
+            (leaf_shares + unattributed - 100.0).abs() < 1e-6,
+            "{leaf_shares} + {unattributed} != 100"
+        );
+        assert!(report.loop_secs > 0.0 && report.leaf_secs > 0.0);
+    }
+
+    #[test]
+    fn embedding_gather_is_bandwidth_bound_on_cpu() {
+        let report = build_report("automl", Effort::Quick, 3e-3, synthetic_snapshot());
+        let gather = report
+            .ops
+            .iter()
+            .find(|o| o.op == Op::EmbGather)
+            .expect("active");
+        assert_eq!(gather.bound, RooflineBound::Bandwidth);
+        assert!(gather.intensity.expect("bytes counted") < 1.0);
+    }
+
+    #[test]
+    fn large_gemm_is_compute_bound_on_cpu() {
+        let device = skylake_dual_socket();
+        let p = OpProfile {
+            op: Op::LinearFwd,
+            count: 1,
+            total_ns: 1_000_000,
+            flops: Counters::linear_forward(1024, 1024, 1024).flops,
+            bytes: Counters::linear_forward(1024, 1024, 1024).bytes,
+            min_ns: 0,
+            max_ns: 0,
+            p50_ns: 0,
+            p99_ns: 0,
+            samples: Vec::new(),
+            dropped_samples: 0,
+        };
+        let r = op_roofline(&p, &device, 1.0, 1.0);
+        assert_eq!(r.bound, RooflineBound::Compute);
+        assert!(r.roof_secs > 0.0);
+    }
+
+    #[test]
+    fn phases_are_unclassified_and_share_wall() {
+        let report = build_report("automl", Effort::Quick, 4e-3, synthetic_snapshot());
+        let step = report
+            .ops
+            .iter()
+            .find(|o| o.op == Op::TrainStep)
+            .expect("active");
+        assert_eq!(step.bound, RooflineBound::Unclassified);
+        // 2 ms of 4 ms wall.
+        assert!((step.share_percent - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn calibration_covers_observable_categories_and_sums_to_100() {
+        let report = build_report("automl", Effort::Quick, 3e-3, synthetic_snapshot());
+        assert!(!report.calibration.is_empty());
+        let measured: f64 = report.calibration.iter().map(|r| r.measured_percent).sum();
+        let simulated: f64 = report.calibration.iter().map(|r| r.simulated_percent).sum();
+        assert!(
+            (measured - 100.0).abs() < 1e-6,
+            "measured sums to {measured}"
+        );
+        assert!(
+            (simulated - 100.0).abs() < 1e-6,
+            "simulated sums to {simulated}"
+        );
+        let labels: Vec<&str> = report
+            .calibration
+            .iter()
+            .map(|r| r.category.as_str())
+            .collect();
+        for want in [
+            "embedding lookup",
+            "embedding + dense update",
+            "mlp compute",
+            "input pipeline",
+        ] {
+            assert!(labels.contains(&want), "missing {want} in {labels:?}");
+        }
+    }
+
+    #[test]
+    fn calibration_buckets_cover_every_leaf_and_data_gen() {
+        for op in Op::ALL {
+            let in_bucket = CALIBRATION_BUCKETS.iter().any(|b| b.ops.contains(&op));
+            if op.is_phase() {
+                assert_eq!(in_bucket, op == Op::DataGen, "{op:?}");
+            } else {
+                assert!(in_bucket, "{op:?} not in any calibration bucket");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_has_no_calibration() {
+        let empty = ProfileSnapshot {
+            ops: Op::ALL
+                .into_iter()
+                .map(|op| OpProfile {
+                    op,
+                    count: 0,
+                    total_ns: 0,
+                    flops: 0,
+                    bytes: 0,
+                    min_ns: 0,
+                    max_ns: 0,
+                    p50_ns: 0,
+                    p99_ns: 0,
+                    samples: Vec::new(),
+                    dropped_samples: 0,
+                })
+                .collect(),
+        };
+        let report = build_report("table1", Effort::Quick, 1e-3, empty);
+        assert!(report.calibration.is_empty());
+        assert!(report.ops.is_empty());
+        assert!(report.summary().contains("no profiled training loop"));
+    }
+
+    #[test]
+    fn every_leaf_op_maps_to_a_category() {
+        for op in Op::ALL {
+            if op.is_phase() {
+                // Only DataGen among phases feeds calibration directly.
+                continue;
+            }
+            assert!(category_of(op).is_some(), "{op:?} unmapped");
+        }
+        assert_eq!(category_of(Op::TrainStep), None);
+        assert_eq!(category_of(Op::Eval), None);
+        assert_eq!(category_of(Op::DataGen), Some(TaskCategory::ReaderStall));
+    }
+
+    #[test]
+    fn summary_renders_all_sections() {
+        let report = build_report("automl", Effort::Quick, 3e-3, synthetic_snapshot());
+        let s = report.summary();
+        assert!(s.contains("kernels vs skylake dual-socket roofline"));
+        assert!(s.contains("loop phases"));
+        assert!(s.contains("sim-vs-measured calibration"));
+        assert!(s.contains("linear/fwd"));
+        assert!(s.contains("(unattributed)"));
+    }
+
+    #[test]
+    fn chrome_export_emits_one_span_per_sample() {
+        let mut snapshot = synthetic_snapshot();
+        snapshot.ops[Op::LinearFwd.index()].samples = vec![
+            recsim_prof::Sample {
+                start_ns: 1_000,
+                dur_ns: 500,
+            },
+            recsim_prof::Sample {
+                start_ns: 2_000,
+                dur_ns: 700,
+            },
+        ];
+        let report = build_report("automl", Effort::Quick, 3e-3, snapshot);
+        let json = report.chrome();
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+        assert!(json.contains("linear/fwd"));
+    }
+
+    #[test]
+    fn unknown_driver_is_an_error() {
+        let err = profile_driver("nonsense", Effort::Quick).expect_err("unknown id");
+        assert!(err.contains("unknown driver"));
+        assert!(err.contains("automl"));
+    }
+}

@@ -10,6 +10,7 @@
 use crate::optim::Optimizer;
 use crate::tensor::Matrix;
 use recsim_data::SparseBatch;
+use recsim_prof::{self as prof, Counters, Op};
 use serde::{Deserialize, Serialize};
 
 /// A learned embedding table with sum-pooling lookup.
@@ -109,6 +110,10 @@ impl EmbeddingTable {
     ///
     /// Panics if any index is out of range.
     pub fn forward(&self, batch: &SparseBatch) -> Matrix {
+        let _prof = prof::scope(
+            Op::EmbGather,
+            Counters::embedding_forward(batch.indices().len(), batch.batch_size(), self.dim()),
+        );
         let mut out = Matrix::zeros(batch.batch_size(), self.dim());
         for (i, idxs) in batch.iter().enumerate() {
             let row = out.row_mut(i);
@@ -131,9 +136,16 @@ impl EmbeddingTable {
     pub fn backward(&self, batch: &SparseBatch, dy: &Matrix) -> SparseGradient {
         assert_eq!(dy.rows(), batch.batch_size(), "batch size mismatch");
         assert_eq!(dy.cols(), self.dim(), "gradient width mismatch");
+        let mut _prof = prof::scope(Op::EmbScatter, Counters::none());
         let mut rows: Vec<u32> = batch.indices().to_vec();
         rows.sort_unstable();
         rows.dedup();
+        // The coalesced-row count is only known after dedup.
+        _prof.set_counters(Counters::embedding_backward(
+            batch.indices().len(),
+            rows.len(),
+            self.dim(),
+        ));
         let pos = |idx: u32| rows.binary_search(&idx).expect("present by construction");
         let mut grads = Matrix::zeros(rows.len().max(1), self.dim());
         for (i, idxs) in batch.iter().enumerate() {
@@ -160,6 +172,10 @@ impl EmbeddingTable {
         if grad.rows.is_empty() {
             return;
         }
+        let _prof = prof::scope(
+            Op::OptSparse,
+            optimizer.step_counters(grad.rows.len(), self.dim()),
+        );
         optimizer.update_rows(&mut self.weights, &grad.rows, &grad.grads, &mut self.state);
     }
 

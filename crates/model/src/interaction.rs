@@ -9,6 +9,7 @@
 use crate::linear::{Linear, LinearGradients};
 use crate::optim::Optimizer;
 use crate::tensor::Matrix;
+use recsim_prof::{self as prof, Counters, Op};
 use serde::{Deserialize, Serialize};
 
 /// The interaction layer of a DLRM.
@@ -81,6 +82,9 @@ impl InteractionLayer {
         }
         match self {
             InteractionLayer::Concat => {
+                let width = z0.cols() + embeddings.iter().map(Matrix::cols).sum::<usize>();
+                let _prof =
+                    prof::scope(Op::InteractionFwd, Counters::concat_copy(z0.rows() * width));
                 let mut out = z0.clone();
                 for e in embeddings {
                     out = out.hcat(e);
@@ -100,6 +104,12 @@ impl InteractionLayer {
                 for e in embeddings {
                     assert_eq!(e.cols(), d, "embedding dim mismatch");
                 }
+                // The projection GEMM above records as `LinearFwd`; the
+                // interaction scope covers only the pairwise dots.
+                let _prof = prof::scope(
+                    Op::InteractionFwd,
+                    Counters::interaction_dot_forward(b, embeddings.len() + 1, d),
+                );
                 let mut vectors = Vec::with_capacity(embeddings.len() + 1);
                 vectors.push(p);
                 vectors.extend(embeddings.iter().cloned());
@@ -154,6 +164,10 @@ impl InteractionLayer {
                     n0 + num_sparse * embedding_dim,
                     "gradient width mismatch"
                 );
+                let _prof = prof::scope(
+                    Op::InteractionBwd,
+                    Counters::concat_copy(d_out.rows() * d_out.cols()),
+                );
                 let (d_bottom, mut rest) = if num_sparse == 0 {
                     (d_out.clone(), Matrix::zeros(d_out.rows(), 1))
                 } else {
@@ -180,6 +194,12 @@ impl InteractionLayer {
                 assert_eq!(n, num_sparse + 1, "stale cache");
                 let pairs = n * (n - 1) / 2;
                 let b = d_out.rows();
+                // Scoped so the projection backward below records under its
+                // own `LinearBwd`, not double-counted here.
+                let _prof = prof::scope(
+                    Op::InteractionBwd,
+                    Counters::interaction_dot_backward(b, n, embedding_dim),
+                );
                 let (mut d_bottom, d_dots) = if pairs == 0 {
                     (d_out.clone(), Matrix::zeros(b, 1))
                 } else {
@@ -208,7 +228,10 @@ impl InteractionLayer {
                         k += 1;
                     }
                 }
-                // v_0 backpropagates through the projection into z0.
+                // v_0 backpropagates through the projection into z0; close
+                // the interaction scope first — the projection records its
+                // own `LinearBwd`.
+                drop(_prof);
                 let (proj_grads, d_z0_from_proj) = projection.backward(&cache.z0, &d_vectors[0]);
                 d_bottom.add_scaled(&d_z0_from_proj, 1.0);
                 InteractionGradients {

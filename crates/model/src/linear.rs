@@ -2,6 +2,7 @@
 
 use crate::optim::Optimizer;
 use crate::tensor::Matrix;
+use recsim_prof::{self as prof, Counters, Op};
 use serde::{Deserialize, Serialize};
 
 /// A fully connected layer `y = x·W + b` with `W: in×out`, `b: out`.
@@ -88,6 +89,10 @@ impl Linear {
     ///
     /// Panics if `x.cols() != input_dim`.
     pub fn forward(&self, x: &Matrix) -> Matrix {
+        let _prof = prof::scope(
+            Op::LinearFwd,
+            Counters::linear_forward(x.rows(), self.input_dim(), self.output_dim()),
+        );
         let mut y = x.matmul(&self.weight);
         for r in 0..y.rows() {
             for (v, &b) in y.row_mut(r).iter_mut().zip(&self.bias) {
@@ -106,6 +111,10 @@ impl Linear {
     pub fn backward(&self, x: &Matrix, dy: &Matrix) -> (LinearGradients, Matrix) {
         assert_eq!(x.rows(), dy.rows(), "batch size mismatch");
         assert_eq!(dy.cols(), self.output_dim(), "upstream gradient width");
+        let _prof = prof::scope(
+            Op::LinearBwd,
+            Counters::linear_backward(x.rows(), self.input_dim(), self.output_dim()),
+        );
         let grads = LinearGradients {
             weight: x.transposed_matmul(dy),
             bias: dy.column_sums(),
@@ -117,6 +126,12 @@ impl Linear {
     /// Applies gradients with the optimizer (allocating Adagrad state
     /// lazily).
     pub fn apply(&mut self, grads: &LinearGradients, optimizer: &mut Optimizer) {
+        let _prof = prof::scope(
+            Op::OptDense,
+            optimizer
+                .step_counters(self.weight.rows(), self.weight.cols())
+                .merge(optimizer.step_counters(1, self.bias.len())),
+        );
         optimizer.update_matrix(&mut self.weight, &grads.weight, &mut self.weight_state);
         optimizer.update_vector(&mut self.bias, &grads.bias, &mut self.bias_state);
     }

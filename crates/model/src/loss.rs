@@ -6,6 +6,7 @@
 //! CTR — 1.0 means the model is no better than predicting the base rate.
 
 use crate::tensor::Matrix;
+use recsim_prof::{self as prof, Counters, Op};
 
 fn sigmoid(x: f32) -> f32 {
     1.0 / (1.0 + (-x).exp())
@@ -32,6 +33,7 @@ fn sigmoid(x: f32) -> f32 {
 pub fn bce_with_logits(logits: &Matrix, labels: &[f32]) -> (f64, Matrix) {
     assert_eq!(logits.cols(), 1, "logits must be a column vector");
     assert_eq!(logits.rows(), labels.len(), "label count mismatch");
+    let _prof = prof::scope(Op::LossBce, Counters::bce_loss(labels.len()));
     let b = labels.len();
     let mut grad = Matrix::zeros(b, 1);
     let mut total = 0.0f64;

@@ -6,6 +6,7 @@
 //! [`Optimizer`] value can drive every layer.
 
 use crate::tensor::Matrix;
+use recsim_prof::Counters;
 use serde::{Deserialize, Serialize};
 
 /// The optimizer algorithm and its hyper-parameters.
@@ -101,6 +102,18 @@ impl Optimizer {
             Optimizer::Sgd { .. } => Optimizer::Sgd { lr },
             Optimizer::Adagrad { eps, .. } => Optimizer::Adagrad { lr, eps },
             Optimizer::RowWiseAdagrad { eps, .. } => Optimizer::RowWiseAdagrad { lr, eps },
+        }
+    }
+
+    /// Closed-form profiler counters for one update of a `rows`×`dim`
+    /// parameter under this algorithm (a flat vector is one row). Call
+    /// sites open their `OptDense`/`OptSparse` scopes with this so the
+    /// FLOP/byte accounting tracks the optimizer variant.
+    pub fn step_counters(&self, rows: usize, dim: usize) -> Counters {
+        match *self {
+            Optimizer::Sgd { .. } => Counters::sgd_update(rows * dim),
+            Optimizer::Adagrad { .. } => Counters::adagrad_update(rows * dim),
+            Optimizer::RowWiseAdagrad { .. } => Counters::row_wise_adagrad_update(rows, dim),
         }
     }
 

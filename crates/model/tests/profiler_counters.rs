@@ -1,0 +1,165 @@
+//! Property tests pinning the profiler's FLOP/byte accounting: for random
+//! kernel shapes, the counters a scope charges must equal the closed-form
+//! counts re-derived *independently* here (the formulas are written out
+//! again rather than calling `Counters` constructors, so a drifted kernel
+//! or counter fails loudly instead of drifting in lockstep).
+//!
+//! The profiler recorder is process-wide, so every check runs under one
+//! lock; the fixed-grid test gives the same coverage deterministically
+//! where the proptest harness is unavailable.
+
+use std::sync::{Mutex, PoisonError};
+
+use proptest::prelude::*;
+use recsim_data::SparseBatch;
+use recsim_model::embedding::EmbeddingTable;
+use recsim_model::linear::Linear;
+use recsim_model::optim::Optimizer;
+use recsim_model::{bce_with_logits, Matrix};
+use recsim_prof::{Op, ProfileSnapshot};
+
+/// Serializes access to the process-wide profiler across test threads.
+static PROF_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with the profiler armed from a clean slate and returns what it
+/// recorded.
+fn profiled<R>(f: impl FnOnce() -> R) -> ProfileSnapshot {
+    let _guard = PROF_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    recsim_prof::reset();
+    recsim_prof::set_enabled(true);
+    let _ = f();
+    recsim_prof::set_enabled(false);
+    recsim_prof::drain()
+}
+
+/// Linear fwd + bwd + SGD apply for batch `b` through an `i → o` layer.
+fn check_linear(b: usize, i: usize, o: usize, seed: u64) {
+    let snap = profiled(|| {
+        let mut layer = Linear::new(i, o, seed);
+        let x = Matrix::xavier(b, i, seed + 1);
+        let dy = Matrix::xavier(b, o, seed + 2);
+        let y = layer.forward(&x);
+        assert_eq!((y.rows(), y.cols()), (b, o));
+        let (grads, _) = layer.backward(&x, &dy);
+        layer.apply(&grads, &mut Optimizer::sgd(0.1));
+    });
+    let (bu, iu, ou) = (b as u64, i as u64, o as u64);
+
+    // Forward: GEMM 2·b·i·o plus bias add b·o; reads x, W, bias, writes y.
+    let fwd = snap.op(Op::LinearFwd);
+    assert_eq!(fwd.count, 1);
+    assert_eq!(
+        fwd.flops,
+        2 * bu * iu * ou + bu * ou,
+        "fwd flops {b}x{i}x{o}"
+    );
+    assert_eq!(fwd.bytes, 4 * (bu * iu + iu * ou + ou + bu * ou));
+
+    // Backward: dW = xᵀdy and dx = dyWᵀ GEMMs plus db column sums.
+    let bwd = snap.op(Op::LinearBwd);
+    assert_eq!(
+        bwd.flops,
+        4 * bu * iu * ou + bu * ou,
+        "bwd flops {b}x{i}x{o}"
+    );
+    assert_eq!(bwd.bytes, 4 * (2 * bu * iu + bu * ou + 2 * iu * ou + ou));
+
+    // SGD over i·o weights and o biases: 2 FLOPs and 3 touched values per
+    // parameter.
+    let opt = snap.op(Op::OptDense);
+    let params = iu * ou + ou;
+    assert_eq!(opt.flops, 2 * params, "sgd flops over {params} params");
+    assert_eq!(opt.bytes, 4 * 3 * params);
+}
+
+/// Embedding-bag gather + scatter + sparse SGD for a two-bag batch.
+fn check_embedding(rows: usize, dim: usize, idxs: &[u32]) {
+    let split = idxs.len() / 2;
+    let batch = SparseBatch::new(vec![0, split, idxs.len()], idxs.to_vec());
+    // The coalesced-row count, derived independently of the kernel.
+    let mut unique: Vec<u32> = idxs.to_vec();
+    unique.sort_unstable();
+    unique.dedup();
+
+    let snap = profiled(|| {
+        let mut table = EmbeddingTable::new(rows, dim, 11);
+        let pooled = table.forward(&batch);
+        let grad = table.backward(&batch, &pooled);
+        table.apply(&grad, &mut Optimizer::sgd(0.1));
+    });
+    let (l, u, d) = (idxs.len() as u64, unique.len() as u64, dim as u64);
+
+    // Gather: one add per gathered element; reads the gathered rows,
+    // writes the 2-row pooled output.
+    let gather = snap.op(Op::EmbGather);
+    assert_eq!(gather.count, 1);
+    assert_eq!(gather.flops, l * d, "gather flops l={l} d={d}");
+    assert_eq!(gather.bytes, 4 * (l * d + 2 * d));
+
+    // Scatter: one add per scattered element; each unique row read+written.
+    let scatter = snap.op(Op::EmbScatter);
+    assert_eq!(scatter.flops, l * d, "scatter flops l={l} d={d}");
+    assert_eq!(
+        scatter.bytes,
+        4 * (l * d + 2 * u * d),
+        "scatter bytes u={u}"
+    );
+
+    // Sparse SGD touches exactly the coalesced rows.
+    let opt = snap.op(Op::OptSparse);
+    assert_eq!(opt.flops, 2 * u * d);
+    assert_eq!(opt.bytes, 4 * 3 * u * d);
+}
+
+/// BCE-with-logits over `b` examples: ~10 FLOPs each, three columns moved.
+fn check_bce(b: usize) {
+    let logits = Matrix::zeros(b, 1);
+    let labels = vec![1.0f32; b];
+    let snap = profiled(|| bce_with_logits(&logits, &labels));
+    let loss = snap.op(Op::LossBce);
+    assert_eq!(loss.count, 1);
+    assert_eq!(loss.flops, 10 * b as u64);
+    assert_eq!(loss.bytes, 4 * 3 * b as u64);
+}
+
+/// Deterministic shape grid covering the same invariants as the proptests,
+/// for harnesses where the proptest runner is unavailable.
+#[test]
+fn closed_form_counters_fixed_grid() {
+    for (b, i, o) in [(1, 1, 1), (2, 3, 4), (7, 16, 5), (32, 64, 8)] {
+        check_linear(b, i, o, 42);
+    }
+    check_embedding(20, 4, &[3, 3, 3, 3]); // heavy duplication
+    check_embedding(50, 8, &[0, 7, 13, 49, 7, 0]); // partial overlap
+    check_embedding(10, 2, &[9]); // single lookup
+    for b in [1, 5, 33] {
+        check_bce(b);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn linear_counters_match_closed_form(
+        b in 1usize..24,
+        i in 1usize..32,
+        o in 1usize..16,
+        seed in 0u64..1000,
+    ) {
+        check_linear(b, i, o, seed);
+    }
+
+    #[test]
+    fn embedding_counters_match_closed_form(
+        dim in 1usize..12,
+        idxs in prop::collection::vec(0u32..30, 1..20),
+    ) {
+        check_embedding(30, dim, &idxs);
+    }
+
+    #[test]
+    fn bce_counters_match_closed_form(b in 1usize..64) {
+        check_bce(b);
+    }
+}

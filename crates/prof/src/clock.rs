@@ -1,0 +1,34 @@
+//! The profiler's single wall-clock reader.
+//!
+//! Every timestamp in recsim-prof comes from [`monotonic_nanos`], the one
+//! sanctioned host-clock read outside recsim-bench (RV017 exempts exactly
+//! this file). Keeping the read in one place makes the determinism audit
+//! trivial: timing values measured here flow only into profiler reports,
+//! never into training results, simulated clocks, or experiment artifacts.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Process-wide anchor so timestamps are small, monotone offsets rather
+/// than raw `Instant`s (which cannot be turned into integers directly).
+static START: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since the first call in this process. Monotone and cheap;
+/// the first call initializes the anchor and returns a small value.
+pub fn monotonic_nanos() -> u64 {
+    let anchor = *START.get_or_init(Instant::now);
+    // Saturate on the (absurd) >584-year overflow instead of wrapping.
+    u64::try_from(anchor.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nanos_are_monotone() {
+        let a = monotonic_nanos();
+        let b = monotonic_nanos();
+        assert!(b >= a, "clock went backwards: {a} -> {b}");
+    }
+}

@@ -1,0 +1,244 @@
+//! Closed-form FLOP and byte counts for the instrumented kernels.
+//!
+//! Each constructor encodes the arithmetic of one `recsim-model` kernel as
+//! a function of its shape, mirroring the paper's roofline accounting: a
+//! multiply-accumulate is 2 FLOPs, and bytes count each operand matrix read
+//! once and each output written once at `f32` width (4 bytes). The
+//! formulas are duplicated independently in the proptest suite so a
+//! drifted kernel or counter shows up as a test failure, not a silent
+//! bias.
+
+use serde::{Deserialize, Serialize};
+
+/// Bytes per element everywhere in the model (all tensors are `f32`).
+pub const ELEM_BYTES: u64 = 4;
+
+/// Work performed inside one profiling scope: floating-point operations
+/// and bytes moved, both from closed-form shape arithmetic (not hardware
+/// counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counters {
+    /// Floating-point operations (multiply and add counted separately).
+    pub flops: u64,
+    /// Bytes read plus bytes written, at `f32` width.
+    pub bytes: u64,
+}
+
+impl Counters {
+    /// No work — for pure phases (data generation, step wrappers) whose
+    /// arithmetic is attributed to the leaf kernels they contain.
+    pub fn none() -> Self {
+        Self { flops: 0, bytes: 0 }
+    }
+
+    /// Explicit counts, for call sites with bespoke arithmetic.
+    pub fn new(flops: u64, bytes: u64) -> Self {
+        Self { flops, bytes }
+    }
+
+    /// Linear forward `y = x·W + b` for `x: b×i`, `W: i×o`:
+    /// GEMM (`2·b·i·o`) plus bias row-add (`b·o`); reads `x`, `W`, `b`,
+    /// writes `y`.
+    pub fn linear_forward(b: usize, i: usize, o: usize) -> Self {
+        let (b, i, o) = (b as u64, i as u64, o as u64);
+        Self {
+            flops: 2 * b * i * o + b * o,
+            bytes: ELEM_BYTES * (b * i + i * o + o + b * o),
+        }
+    }
+
+    /// Linear backward: `dW = xᵀ·dy` (`2·b·i·o`), `db = Σrows dy` (`b·o`),
+    /// `dx = dy·Wᵀ` (`2·b·i·o`); reads `x`, `dy`, `W`, writes `dW`, `db`,
+    /// `dx`.
+    pub fn linear_backward(b: usize, i: usize, o: usize) -> Self {
+        let (b, i, o) = (b as u64, i as u64, o as u64);
+        Self {
+            flops: 4 * b * i * o + b * o,
+            bytes: ELEM_BYTES * (2 * b * i + b * o + 2 * i * o + o),
+        }
+    }
+
+    /// Embedding-bag forward: `lookups` gathered rows of width `dim`
+    /// sum-pooled into `batch` bags — one add per gathered element; reads
+    /// the gathered rows, writes the pooled output.
+    pub fn embedding_forward(lookups: usize, batch: usize, dim: usize) -> Self {
+        let (l, b, d) = (lookups as u64, batch as u64, dim as u64);
+        Self {
+            flops: l * d,
+            bytes: ELEM_BYTES * (l * d + b * d),
+        }
+    }
+
+    /// Embedding-bag backward: `lookups` gradient rows coalesced into
+    /// `unique` distinct table rows — one add per scattered element; reads
+    /// the upstream gradient per lookup, reads+writes each unique output
+    /// row.
+    pub fn embedding_backward(lookups: usize, unique: usize, dim: usize) -> Self {
+        let (l, u, d) = (lookups as u64, unique as u64, dim as u64);
+        Self {
+            flops: l * d,
+            bytes: ELEM_BYTES * (l * d + 2 * u * d),
+        }
+    }
+
+    /// Pairwise-dot interaction forward over `vectors` embeddings of width
+    /// `dim` per example: `pairs = vectors·(vectors−1)/2` dot products of
+    /// length `dim` (2 FLOPs per element); reads the vectors, writes one
+    /// scalar per pair. Excludes the projection GEMM (its own scope).
+    pub fn interaction_dot_forward(batch: usize, vectors: usize, dim: usize) -> Self {
+        let (b, n, d) = (batch as u64, vectors as u64, dim as u64);
+        let p = n * (n - 1) / 2;
+        Self {
+            flops: 2 * b * p * d,
+            bytes: ELEM_BYTES * (b * n * d + b * p),
+        }
+    }
+
+    /// Pairwise-dot interaction backward: each pair gradient `g` feeds two
+    /// FMA row accumulations (`dz_i += g·z_j`, `dz_j += g·z_i`), 4 FLOPs
+    /// per pair element; reads the pair gradients and the vectors, writes
+    /// the vector gradients.
+    pub fn interaction_dot_backward(batch: usize, vectors: usize, dim: usize) -> Self {
+        let (b, n, d) = (batch as u64, vectors as u64, dim as u64);
+        let p = n * (n - 1) / 2;
+        Self {
+            flops: 4 * b * p * d,
+            bytes: ELEM_BYTES * (b * p + 2 * b * n * d),
+        }
+    }
+
+    /// Concat interaction (either direction): a pure copy of `elements`
+    /// values — zero FLOPs, one read and one write per element.
+    pub fn concat_copy(elements: usize) -> Self {
+        Self {
+            flops: 0,
+            bytes: ELEM_BYTES * 2 * elements as u64,
+        }
+    }
+
+    /// Binary cross-entropy with logits over `batch` examples: ~10 FLOPs
+    /// per example (exp, ln1p, sigmoid, loss and gradient arithmetic);
+    /// reads logits and labels, writes the gradient column.
+    pub fn bce_loss(batch: usize) -> Self {
+        let b = batch as u64;
+        Self {
+            flops: 10 * b,
+            bytes: ELEM_BYTES * 3 * b,
+        }
+    }
+
+    /// SGD update of `params` elements: fused multiply-subtract
+    /// (`p −= lr·g`, 2 FLOPs each); reads param and gradient, writes param.
+    pub fn sgd_update(params: usize) -> Self {
+        let n = params as u64;
+        Self {
+            flops: 2 * n,
+            bytes: ELEM_BYTES * 3 * n,
+        }
+    }
+
+    /// Adagrad update of `params` elements: `a += g²` then
+    /// `p −= lr·g/(√a+ε)` (~7 FLOPs each); reads param, gradient and
+    /// accumulator, writes param and accumulator.
+    pub fn adagrad_update(params: usize) -> Self {
+        let n = params as u64;
+        Self {
+            flops: 7 * n,
+            bytes: ELEM_BYTES * 5 * n,
+        }
+    }
+
+    /// Row-wise Adagrad over `rows`×`dim` elements: per-row mean-square
+    /// (2 FLOPs/elem) plus uniform scaled subtract (2 FLOPs/elem) and ~3
+    /// per-row scalar ops; accumulator is one scalar per row.
+    pub fn row_wise_adagrad_update(rows: usize, dim: usize) -> Self {
+        let (r, d) = (rows as u64, dim as u64);
+        Self {
+            flops: 4 * r * d + 3 * r,
+            bytes: ELEM_BYTES * (3 * r * d + 2 * r),
+        }
+    }
+
+    /// Element-wise sum of two counter sets (for call sites that fuse
+    /// several sub-kernels under one scope).
+    pub fn merge(self, other: Self) -> Self {
+        Self {
+            flops: self.flops + other.flops,
+            bytes: self.bytes + other.bytes,
+        }
+    }
+
+    /// Arithmetic intensity in FLOP/byte; infinite when no bytes move.
+    pub fn intensity(self) -> f64 {
+        if self.bytes == 0 {
+            f64::INFINITY
+        } else {
+            self.flops as f64 / self.bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_forward_matches_hand_count() {
+        // 2×3 input through a 3×4 layer: GEMM 2·2·3·4 = 48, bias 8.
+        let c = Counters::linear_forward(2, 3, 4);
+        assert_eq!(c.flops, 56);
+        assert_eq!(c.bytes, 4 * (6 + 12 + 4 + 8));
+    }
+
+    #[test]
+    fn backward_costs_about_twice_forward() {
+        let f = Counters::linear_forward(64, 128, 256);
+        let b = Counters::linear_backward(64, 128, 256);
+        let ratio = b.flops as f64 / f.flops as f64;
+        assert!((1.9..2.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn embedding_counts_scale_with_lookups() {
+        let c = Counters::embedding_forward(120, 32, 16);
+        assert_eq!(c.flops, 120 * 16);
+        assert_eq!(c.bytes, 4 * (120 * 16 + 32 * 16));
+        let b = Counters::embedding_backward(120, 50, 16);
+        assert_eq!(b.flops, 120 * 16);
+        assert_eq!(b.bytes, 4 * (120 * 16 + 2 * 50 * 16));
+    }
+
+    #[test]
+    fn interaction_pair_count_is_triangular() {
+        // 9 vectors -> 36 pairs.
+        let c = Counters::interaction_dot_forward(8, 9, 32);
+        assert_eq!(c.flops, 2 * 8 * 36 * 32);
+        assert_eq!(
+            Counters::interaction_dot_backward(8, 9, 32).flops,
+            2 * c.flops
+        );
+    }
+
+    #[test]
+    fn optimizer_variants_order_by_cost() {
+        let n = 1000;
+        let sgd = Counters::sgd_update(n);
+        let ada = Counters::adagrad_update(n);
+        assert!(sgd.flops < ada.flops);
+        assert!(sgd.bytes < ada.bytes);
+        let rw = Counters::row_wise_adagrad_update(100, 10);
+        assert!(rw.flops > sgd.flops && rw.flops < ada.flops);
+    }
+
+    #[test]
+    fn intensity_and_merge() {
+        let a = Counters::new(100, 50);
+        assert!((a.intensity() - 2.0).abs() < 1e-12);
+        assert_eq!(Counters::new(1, 0).intensity(), f64::INFINITY);
+        let m = a.merge(Counters::new(10, 10));
+        assert_eq!(m, Counters::new(110, 60));
+        assert_eq!(Counters::none(), Counters::default());
+        assert_eq!(Counters::concat_copy(7), Counters::new(0, 56));
+        assert_eq!(Counters::bce_loss(3), Counters::new(30, 36));
+    }
+}

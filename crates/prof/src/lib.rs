@@ -1,0 +1,52 @@
+//! recsim-prof: a low-overhead scoped profiler for the real training hot
+//! path.
+//!
+//! The simulator predicts where DLRM training time goes; this crate
+//! *measures* it. Every `recsim-model` kernel and `recsim-train` loop
+//! phase opens an RAII [`Scope`] tagged with an [`Op`] from the closed
+//! inventory and with closed-form [`Counters`] (FLOPs and bytes derived
+//! from the kernel's shape), and the recorder aggregates per-op counts,
+//! totals, percentiles and retained samples into a [`ProfileSnapshot`].
+//!
+//! # Determinism contract
+//!
+//! Profiling is off by default and costs one relaxed atomic load per call
+//! site when disabled. Timing flows *out* of the training loop into
+//! reports — never back into results — so enabling the profiler leaves
+//! training artifacts and detsan digests byte-identical (pinned by
+//! integration tests in recsim-train). All wall-clock reads go through
+//! [`clock::monotonic_nanos`], the one RV017-exempt library clock source;
+//! RV019 conversely requires every inventory [`Op`] to have an
+//! instrumentation point so kernels cannot escape measurement.
+//!
+//! # Example
+//!
+//! ```
+//! use recsim_prof::{self as prof, Counters, Op};
+//!
+//! prof::set_enabled(true);
+//! prof::reset();
+//! {
+//!     let _scope = prof::scope(Op::LinearFwd, Counters::linear_forward(32, 64, 16));
+//!     // ... run the kernel ...
+//! }
+//! let snapshot = prof::drain();
+//! prof::set_enabled(false);
+//! let lin = snapshot.op(Op::LinearFwd);
+//! assert_eq!(lin.count, 1);
+//! assert_eq!(lin.flops, 2 * 32 * 64 * 16 + 32 * 16);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod counters;
+pub mod ops;
+pub mod record;
+pub mod report;
+
+pub use counters::Counters;
+pub use ops::Op;
+pub use record::{drain, enabled, reset, scope, set_enabled, Scope, SAMPLE_CAP};
+pub use report::{OpProfile, ProfileSnapshot, Sample};

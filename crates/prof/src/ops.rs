@@ -1,0 +1,121 @@
+//! The instrumented-operator inventory.
+//!
+//! Every hot-path kernel in `recsim-model` and every loop phase in
+//! `recsim-train` maps to exactly one [`Op`]. The inventory is closed on
+//! purpose: RV019 cross-checks that each variant listed in [`Op::ALL`] has
+//! at least one instrumentation point (`prof::scope(Op::Variant, ...)`) in
+//! the model/train sources, so new kernels cannot silently escape
+//! measurement.
+
+use serde::{Deserialize, Serialize};
+
+/// One instrumented operator (leaf kernel) or training-loop phase.
+///
+/// Leaves are the mutually exclusive kernels whose times sum to the
+/// training step; phases ([`Op::is_phase`]) wrap whole loop sections and
+/// therefore *contain* leaf time — share accounting must not mix the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// Dense linear layer forward: `y = x·W + b` (GEMM + bias row-add).
+    LinearFwd,
+    /// Dense linear layer backward: `dW = xᵀ·dy`, `db = Σ dy`, `dx = dy·Wᵀ`.
+    LinearBwd,
+    /// Embedding-bag forward: gather rows by index and sum-pool per bag.
+    EmbGather,
+    /// Embedding-bag backward: sort/dedup indices and coalesce gradients.
+    EmbScatter,
+    /// Feature-interaction forward (pairwise dots / concat), excluding the
+    /// projection GEMM which records as [`Op::LinearFwd`].
+    InteractionFwd,
+    /// Feature-interaction backward, excluding the projection GEMM.
+    InteractionBwd,
+    /// Binary cross-entropy with logits: loss plus logit gradient.
+    LossBce,
+    /// Dense optimizer update (MLP weights/biases, projection).
+    OptDense,
+    /// Sparse optimizer update (embedding-table rows).
+    OptSparse,
+    /// Phase: synthetic batch generation (the reader).
+    DataGen,
+    /// Phase: one full training step (forward, loss, backward, apply).
+    TrainStep,
+    /// Phase: held-out evaluation passes.
+    Eval,
+}
+
+impl Op {
+    /// Every operator, in report order: leaf kernels first, phases last.
+    pub const ALL: [Op; 12] = [
+        Op::LinearFwd,
+        Op::LinearBwd,
+        Op::EmbGather,
+        Op::EmbScatter,
+        Op::InteractionFwd,
+        Op::InteractionBwd,
+        Op::LossBce,
+        Op::OptDense,
+        Op::OptSparse,
+        Op::DataGen,
+        Op::TrainStep,
+        Op::Eval,
+    ];
+
+    /// Stable string id, `area/kernel` style (mirrors detsan stage labels).
+    pub fn id(self) -> &'static str {
+        match self {
+            Op::LinearFwd => "linear/fwd",
+            Op::LinearBwd => "linear/bwd",
+            Op::EmbGather => "emb/gather",
+            Op::EmbScatter => "emb/scatter",
+            Op::InteractionFwd => "interaction/fwd",
+            Op::InteractionBwd => "interaction/bwd",
+            Op::LossBce => "loss/bce",
+            Op::OptDense => "opt/dense",
+            Op::OptSparse => "opt/sparse",
+            Op::DataGen => "data/gen",
+            Op::TrainStep => "train/step",
+            Op::Eval => "train/eval",
+        }
+    }
+
+    /// Dense index into per-op accumulator arrays; inverse of `ALL[i]`.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// True for loop phases that *contain* leaf-kernel time ([`Op::DataGen`],
+    /// [`Op::TrainStep`], [`Op::Eval`]). Leaf shares are reported against
+    /// the phase total; summing leaves and phases together double-counts.
+    pub fn is_phase(self) -> bool {
+        matches!(self, Op::DataGen | Op::TrainStep | Op::Eval)
+    }
+
+    /// Parses a stable id back into an operator.
+    pub fn from_id(id: &str) -> Option<Op> {
+        Op::ALL.into_iter().find(|op| op.id() == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_and_indices_are_dense() {
+        for (i, op) in Op::ALL.into_iter().enumerate() {
+            assert_eq!(op.index(), i, "{op:?} index");
+            assert_eq!(Op::from_id(op.id()), Some(op), "{op:?} id round trip");
+        }
+        assert_eq!(Op::from_id("linear/unknown"), None);
+    }
+
+    #[test]
+    fn phases_trail_the_leaf_kernels() {
+        let first_phase = Op::ALL.iter().position(|op| op.is_phase()).unwrap();
+        assert!(
+            Op::ALL[first_phase..].iter().all(|op| op.is_phase()),
+            "report order keeps phases contiguous at the end"
+        );
+        assert_eq!(Op::ALL.len() - first_phase, 3);
+    }
+}

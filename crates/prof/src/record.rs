@@ -1,0 +1,227 @@
+//! The profiling recorder: a process-wide switch, per-op accumulators,
+//! and the RAII scope that feeds them.
+//!
+//! The recorder follows the recsim-detsan recorder discipline: off by
+//! default, one relaxed atomic load per call site when disabled, and a
+//! single `Mutex`-protected global that instrumented code never observes —
+//! timing flows *out* of the training loop into reports, never back into
+//! results, so enabling the profiler cannot perturb artifacts (a property
+//! the train-crate integration tests pin byte-for-byte).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use crate::clock::monotonic_nanos;
+use crate::counters::Counters;
+use crate::ops::Op;
+use crate::report::{OpProfile, ProfileSnapshot, Sample};
+
+/// Per-op retained `(start, duration)` samples are capped at this many;
+/// aggregate counters stay exact past the cap, and the overflow count is
+/// reported so truncation is never silent.
+pub const SAMPLE_CAP: usize = 1 << 16;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static REGISTRY: Mutex<Vec<OpAccum>> = Mutex::new(Vec::new());
+
+/// Running totals for one operator.
+#[derive(Debug, Clone, Default)]
+struct OpAccum {
+    count: u64,
+    total_ns: u64,
+    flops: u64,
+    bytes: u64,
+    min_ns: u64,
+    max_ns: u64,
+    samples: Vec<Sample>,
+    dropped_samples: u64,
+}
+
+/// Turns profiling on or off process-wide. Callers should [`reset`] before
+/// a measured region; disabling does not clear accumulated state.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether profiling is on. Scopes check this at construction, so the
+/// disabled cost is one relaxed load (plus the caller's shape arithmetic).
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+fn registry() -> std::sync::MutexGuard<'static, Vec<OpAccum>> {
+    let mut reg = REGISTRY.lock().unwrap_or_else(PoisonError::into_inner);
+    if reg.is_empty() {
+        reg.resize_with(Op::ALL.len(), OpAccum::default);
+    }
+    reg
+}
+
+/// Clears all accumulated state (counts, totals, samples).
+pub fn reset() {
+    registry().fill_with(OpAccum::default);
+}
+
+/// Opens a timing scope for `op`, charging `counters` when it closes.
+/// While profiling is disabled the returned guard is inert.
+///
+/// For kernels whose counts are only known afterwards (e.g. the unique-row
+/// count of an embedding scatter), open with [`Counters::none`] and call
+/// [`Scope::set_counters`] before the guard drops.
+pub fn scope(op: Op, counters: Counters) -> Scope {
+    Scope {
+        op,
+        counters,
+        start_ns: enabled().then(monotonic_nanos),
+    }
+}
+
+/// An open RAII timing scope; records on drop. Created by [`scope`].
+#[derive(Debug)]
+pub struct Scope {
+    op: Op,
+    counters: Counters,
+    start_ns: Option<u64>,
+}
+
+impl Scope {
+    /// Replaces the counters charged at close — for shapes (like scatter
+    /// coalescing) only known once the kernel has run.
+    pub fn set_counters(&mut self, counters: Counters) {
+        self.counters = counters;
+    }
+}
+
+impl Drop for Scope {
+    fn drop(&mut self) {
+        let Some(start_ns) = self.start_ns else {
+            return;
+        };
+        let dur_ns = monotonic_nanos().saturating_sub(start_ns);
+        let mut reg = registry();
+        let acc = &mut reg[self.op.index()];
+        acc.count += 1;
+        acc.total_ns += dur_ns;
+        acc.flops += self.counters.flops;
+        acc.bytes += self.counters.bytes;
+        acc.min_ns = if acc.count == 1 {
+            dur_ns
+        } else {
+            acc.min_ns.min(dur_ns)
+        };
+        acc.max_ns = acc.max_ns.max(dur_ns);
+        if acc.samples.len() < SAMPLE_CAP {
+            acc.samples.push(Sample { start_ns, dur_ns });
+        } else {
+            acc.dropped_samples += 1;
+        }
+    }
+}
+
+/// Takes the accumulated profile, leaving the recorder empty. Percentiles
+/// are computed over the retained samples ([`SAMPLE_CAP`] per op);
+/// aggregate counters are exact regardless.
+pub fn drain() -> ProfileSnapshot {
+    let accums = {
+        let mut reg = registry();
+        std::mem::take(&mut *reg)
+    };
+    let ops = Op::ALL
+        .into_iter()
+        .zip(accums)
+        .map(|(op, acc)| {
+            let mut durations: Vec<u64> = acc.samples.iter().map(|s| s.dur_ns).collect();
+            durations.sort_unstable();
+            OpProfile {
+                op,
+                count: acc.count,
+                total_ns: acc.total_ns,
+                flops: acc.flops,
+                bytes: acc.bytes,
+                min_ns: acc.min_ns,
+                max_ns: acc.max_ns,
+                p50_ns: percentile(&durations, 0.50),
+                p99_ns: percentile(&durations, 0.99),
+                samples: acc.samples,
+                dropped_samples: acc.dropped_samples,
+            }
+        })
+        .collect();
+    ProfileSnapshot { ops }
+}
+
+/// Nearest-rank percentile of an ascending-sorted duration list.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.99), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.50), 51);
+        assert_eq!(percentile(&v, 0.99), 99);
+        assert_eq!(percentile(&v, 1.0), 100);
+    }
+
+    // All global-state behavior lives in one test so parallel test threads
+    // cannot race the process-wide recorder (same discipline as the detsan
+    // recorder tests).
+    #[test]
+    fn recorder_roundtrip() {
+        set_enabled(false);
+        reset();
+        {
+            let _s = scope(Op::LinearFwd, Counters::new(100, 40));
+        }
+        let off = drain();
+        assert!(
+            off.ops.iter().all(|o| o.count == 0),
+            "disabled profiler must not record"
+        );
+
+        set_enabled(true);
+        reset();
+        {
+            let _s = scope(Op::LinearFwd, Counters::new(100, 40));
+        }
+        {
+            let mut s = scope(Op::EmbScatter, Counters::none());
+            s.set_counters(Counters::new(7, 8));
+        }
+        {
+            let _outer = scope(Op::TrainStep, Counters::none());
+            let _inner = scope(Op::LinearFwd, Counters::new(1, 2));
+        }
+        let snap = drain();
+        set_enabled(false);
+
+        let lin = snap.op(Op::LinearFwd);
+        assert_eq!(lin.count, 2);
+        assert_eq!(lin.flops, 101);
+        assert_eq!(lin.bytes, 42);
+        assert_eq!(lin.samples.len(), 2);
+        assert!(lin.total_ns >= lin.min_ns && lin.max_ns <= lin.total_ns);
+        assert!(lin.p50_ns <= lin.p99_ns && lin.p99_ns <= lin.max_ns);
+
+        let emb = snap.op(Op::EmbScatter);
+        assert_eq!((emb.count, emb.flops, emb.bytes), (1, 7, 8));
+
+        let step = snap.op(Op::TrainStep);
+        assert_eq!(step.count, 1);
+        // The phase wraps the inner leaf, so its duration dominates it.
+        assert!(step.total_ns >= snap.op(Op::LinearFwd).min_ns);
+
+        // Drain cleared the registry.
+        assert!(drain().ops.iter().all(|o| o.count == 0));
+    }
+}

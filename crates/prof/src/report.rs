@@ -1,0 +1,220 @@
+//! Drained profile data: per-op aggregates and the snapshot container.
+//!
+//! These are plain data — classification against hardware roofs and the
+//! sim-vs-measured calibration join live in `recsim-core::profiling`,
+//! which has access to the device models and the simulator.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ops::Op;
+
+/// One retained timing sample: when a scope opened (relative to the
+/// process clock anchor) and how long it stayed open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Scope open time, nanoseconds since the profiler clock anchor.
+    pub start_ns: u64,
+    /// Scope duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Aggregated measurements for one operator.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpProfile {
+    /// Which operator.
+    pub op: Op,
+    /// Closed scopes recorded.
+    pub count: u64,
+    /// Summed wall time over all scopes, nanoseconds (exact).
+    pub total_ns: u64,
+    /// Summed closed-form FLOPs (exact).
+    pub flops: u64,
+    /// Summed closed-form bytes moved (exact).
+    pub bytes: u64,
+    /// Fastest single scope, nanoseconds.
+    pub min_ns: u64,
+    /// Slowest single scope, nanoseconds.
+    pub max_ns: u64,
+    /// Median scope duration over retained samples.
+    pub p50_ns: u64,
+    /// 99th-percentile scope duration over retained samples.
+    pub p99_ns: u64,
+    /// Retained `(start, duration)` samples, in record order (capped).
+    pub samples: Vec<Sample>,
+    /// Scopes past the sample cap: aggregates include them, samples and
+    /// percentiles do not.
+    pub dropped_samples: u64,
+}
+
+impl OpProfile {
+    /// Mean scope duration in nanoseconds (0 when nothing recorded).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Achieved compute rate in FLOP/s over this op's measured time.
+    pub fn achieved_flops_per_sec(&self) -> f64 {
+        if self.total_ns == 0 {
+            0.0
+        } else {
+            self.flops as f64 / (self.total_ns as f64 * 1e-9)
+        }
+    }
+
+    /// Achieved memory traffic in bytes/s over this op's measured time.
+    pub fn achieved_bytes_per_sec(&self) -> f64 {
+        if self.total_ns == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / (self.total_ns as f64 * 1e-9)
+        }
+    }
+
+    /// Arithmetic intensity in FLOP/byte; infinite when no bytes counted.
+    pub fn intensity(&self) -> f64 {
+        if self.bytes == 0 {
+            f64::INFINITY
+        } else {
+            self.flops as f64 / self.bytes as f64
+        }
+    }
+}
+
+/// A drained profile: one [`OpProfile`] per inventory entry, in
+/// [`Op::ALL`] order (including zero-count ops).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfileSnapshot {
+    /// Per-op aggregates, indexed by [`Op::index`].
+    pub ops: Vec<OpProfile>,
+}
+
+impl ProfileSnapshot {
+    /// The profile of one operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot was built with a foreign op list (never the
+    /// case for [`crate::record::drain`] output).
+    pub fn op(&self, op: Op) -> &OpProfile {
+        &self.ops[op.index()]
+    }
+
+    /// Ops that recorded at least one scope, in report order.
+    pub fn active_ops(&self) -> impl Iterator<Item = &OpProfile> {
+        self.ops.iter().filter(|o| o.count > 0)
+    }
+
+    /// Summed time over leaf kernels (excludes phases, whose spans contain
+    /// the leaves).
+    pub fn leaf_total_ns(&self) -> u64 {
+        self.ops
+            .iter()
+            .filter(|o| !o.op.is_phase())
+            .map(|o| o.total_ns)
+            .sum()
+    }
+
+    /// Summed time over loop phases (data generation + training steps +
+    /// evaluation) — the measured loop wall time leaves are accounted
+    /// against.
+    pub fn phase_total_ns(&self) -> u64 {
+        self.ops
+            .iter()
+            .filter(|o| o.op.is_phase())
+            .map(|o| o.total_ns)
+            .sum()
+    }
+
+    /// Loop time not attributed to any leaf kernel (glue: cache
+    /// bookkeeping, gradient plumbing, allocator churn). Clamped at zero
+    /// for profiles where leaves were recorded outside any phase.
+    pub fn unattributed_ns(&self) -> u64 {
+        self.phase_total_ns().saturating_sub(self.leaf_total_ns())
+    }
+
+    /// Total FLOPs across leaf kernels.
+    pub fn total_flops(&self) -> u64 {
+        self.ops
+            .iter()
+            .filter(|o| !o.op.is_phase())
+            .map(|o| o.flops)
+            .sum()
+    }
+
+    /// Total bytes across leaf kernels.
+    pub fn total_bytes(&self) -> u64 {
+        self.ops
+            .iter()
+            .filter(|o| !o.op.is_phase())
+            .map(|o| o.bytes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(op: Op, count: u64, total_ns: u64, flops: u64, bytes: u64) -> OpProfile {
+        OpProfile {
+            op,
+            count,
+            total_ns,
+            flops,
+            bytes,
+            min_ns: 0,
+            max_ns: 0,
+            p50_ns: 0,
+            p99_ns: 0,
+            samples: Vec::new(),
+            dropped_samples: 0,
+        }
+    }
+
+    fn snapshot() -> ProfileSnapshot {
+        let ops = Op::ALL
+            .into_iter()
+            .map(|op| match op {
+                Op::LinearFwd => profile(op, 10, 600, 1_000, 500),
+                Op::EmbGather => profile(op, 10, 300, 50, 800),
+                Op::TrainStep => profile(op, 10, 1_500, 0, 0),
+                Op::DataGen => profile(op, 10, 200, 0, 0),
+                _ => profile(op, 0, 0, 0, 0),
+            })
+            .collect();
+        ProfileSnapshot { ops }
+    }
+
+    #[test]
+    fn totals_split_leaves_from_phases() {
+        let s = snapshot();
+        assert_eq!(s.leaf_total_ns(), 900);
+        assert_eq!(s.phase_total_ns(), 1_700);
+        assert_eq!(s.unattributed_ns(), 800);
+        assert_eq!(s.total_flops(), 1_050);
+        assert_eq!(s.total_bytes(), 1_300);
+        assert_eq!(s.active_ops().count(), 4);
+        assert_eq!(s.op(Op::LinearFwd).mean_ns(), 60);
+    }
+
+    #[test]
+    fn rates_derive_from_measured_time() {
+        let s = snapshot();
+        let lin = s.op(Op::LinearFwd);
+        // 1000 FLOPs over 600 ns.
+        assert!((lin.achieved_flops_per_sec() - 1_000.0 / 600e-9).abs() < 1.0);
+        assert!((lin.achieved_bytes_per_sec() - 500.0 / 600e-9).abs() < 1.0);
+        assert!((lin.intensity() - 2.0).abs() < 1e-12);
+        assert_eq!(s.op(Op::TrainStep).intensity(), f64::INFINITY);
+        assert_eq!(s.op(Op::LossBce).mean_ns(), 0);
+        assert_eq!(s.op(Op::LossBce).achieved_flops_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_serializes_with_op_ids() {
+        let json = serde_json::to_string(&snapshot()).unwrap();
+        assert!(json.contains("\"ops\""));
+        assert!(json.contains("LinearFwd"));
+        assert!(json.contains("\"total_ns\""));
+    }
+}

@@ -4,6 +4,7 @@ use recsim_data::schema::ModelConfig;
 use recsim_data::{CtrGenerator, MiniBatch};
 use recsim_model::optim::Optimizer;
 use recsim_model::{bce_with_logits, normalized_entropy, DlrmModel};
+use recsim_prof::{self as prof, Counters, Op};
 use serde::{Deserialize, Serialize};
 
 /// Hyper-parameters and budget of one training run.
@@ -142,8 +143,14 @@ impl TrainRun {
             } else {
                 opt = opt.with_learning_rate(self.config.learning_rate);
             }
-            let batch = self.generator.next_batch(self.config.batch_size);
-            let loss = self.model.train_step(&batch, &mut opt);
+            let batch = {
+                let _prof = prof::scope(Op::DataGen, Counters::none());
+                self.generator.next_batch(self.config.batch_size)
+            };
+            let loss = {
+                let _prof = prof::scope(Op::TrainStep, Counters::none());
+                self.model.train_step(&batch, &mut opt)
+            };
             self.loss_history.push(loss);
         }
         if recsim_detsan::enabled() {
@@ -165,6 +172,7 @@ impl TrainRun {
 
     /// Held-out log loss of the current model.
     pub fn eval_log_loss(&self) -> f64 {
+        let _prof = prof::scope(Op::Eval, Counters::none());
         let (logits, _) = self.model.forward(&self.eval_batch);
         bce_with_logits(&logits, self.eval_batch.labels()).0
     }

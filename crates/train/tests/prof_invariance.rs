@@ -1,0 +1,67 @@
+//! The profiler's core safety property: arming it must not perturb
+//! training. Timing flows out of the loop into reports, never back into
+//! results, so a profiled run must be byte-identical to a bare one — in
+//! its loss history, its held-out metrics, and the digest stream the
+//! determinism sanitizer records.
+//!
+//! Both the profiler and the detsan recorder are process-wide, so this
+//! file holds a single test (the same discipline as the recorder's own
+//! unit tests).
+
+use recsim_data::schema::ModelConfig;
+use recsim_prof::Op;
+use recsim_train::trainer::{TrainRun, TrainerConfig};
+
+#[test]
+fn armed_profiler_leaves_results_and_digests_byte_identical() {
+    let model = ModelConfig::test_suite(8, 2, 500, &[16, 8]);
+
+    // Bare run, with the determinism sanitizer armed.
+    recsim_detsan::set_enabled(true);
+    let bare = TrainRun::new(&model, TrainerConfig::quick_test()).execute();
+    let bare_ne = bare.final_ne();
+    let bare_stream = recsim_detsan::drain();
+
+    // Same run with every profiling scope live.
+    recsim_prof::reset();
+    recsim_prof::set_enabled(true);
+    let profiled = TrainRun::new(&model, TrainerConfig::quick_test()).execute();
+    let profiled_ne = profiled.final_ne();
+    let profiled_stream = recsim_detsan::drain();
+    recsim_detsan::set_enabled(false);
+    recsim_prof::set_enabled(false);
+    let snapshot = recsim_prof::drain();
+
+    // Results are bit-identical, not merely close.
+    assert_eq!(
+        bare.loss_history().len(),
+        profiled.loss_history().len(),
+        "step counts diverged"
+    );
+    for (step, (a, b)) in bare
+        .loss_history()
+        .iter()
+        .zip(profiled.loss_history())
+        .enumerate()
+    {
+        assert_eq!(a.to_bits(), b.to_bits(), "loss diverged at step {step}");
+    }
+    assert_eq!(
+        bare_ne.to_bits(),
+        profiled_ne.to_bits(),
+        "final NE diverged"
+    );
+
+    // The armed sanitizer saw the same digest stream entry-for-entry.
+    assert!(!bare_stream.is_empty(), "detsan recorded nothing");
+    assert_eq!(
+        recsim_detsan::first_divergence(&bare_stream, &profiled_stream),
+        None,
+        "digest streams diverged"
+    );
+
+    // And the profiler really observed the run it left untouched.
+    assert!(snapshot.op(Op::TrainStep).count > 0, "no steps profiled");
+    assert!(snapshot.op(Op::LinearFwd).count > 0, "no kernels profiled");
+    assert!(snapshot.total_flops() > 0, "no FLOPs counted");
+}

@@ -110,6 +110,10 @@ pub enum Code {
     /// state (locks, cells, atomics) — parallel closures must stay pure and
     /// feed a serial submission-order fold.
     ImpureSweepClosure,
+    /// An operator in the recsim-prof op inventory has no profiler
+    /// instrumentation point in the model/train sources — every hot-path
+    /// kernel must be measurable.
+    UninstrumentedOp,
     /// A `hw::Platform` violates its structural invariants.
     InvalidPlatform,
     /// A placement routes more table bytes to a memory than it can hold.
@@ -144,7 +148,7 @@ pub enum Code {
 impl Code {
     /// Every code, in numeric order (drives the `codes` subcommand and the
     /// DESIGN.md table test).
-    pub const ALL: [Code; 31] = [
+    pub const ALL: [Code; 32] = [
         Code::MissingForbidUnsafe,
         Code::PanicInLibrary,
         Code::KnobMissingDoc,
@@ -163,6 +167,7 @@ impl Code {
         Code::UnannotatedFloatReduction,
         Code::EntropyInResultPath,
         Code::ImpureSweepClosure,
+        Code::UninstrumentedOp,
         Code::InvalidPlatform,
         Code::PlacementOverCapacity,
         Code::DanglingResource,
@@ -199,6 +204,7 @@ impl Code {
             Code::UnannotatedFloatReduction => "RV016",
             Code::EntropyInResultPath => "RV017",
             Code::ImpureSweepClosure => "RV018",
+            Code::UninstrumentedOp => "RV019",
             Code::InvalidPlatform => "RV020",
             Code::PlacementOverCapacity => "RV021",
             Code::DanglingResource => "RV022",
@@ -263,6 +269,9 @@ impl Code {
             }
             Code::ImpureSweepClosure => {
                 "parallel sweep closure touches shared mutable state instead of a serial fold"
+            }
+            Code::UninstrumentedOp => {
+                "profiler op inventory entry has no instrumentation point in model/train"
             }
             Code::InvalidPlatform => "platform violates structural invariants",
             Code::PlacementOverCapacity => "placement exceeds a memory's capacity",
@@ -441,6 +450,7 @@ mod tests {
         assert_eq!(Code::UnannotatedFloatReduction.as_str(), "RV016");
         assert_eq!(Code::EntropyInResultPath.as_str(), "RV017");
         assert_eq!(Code::ImpureSweepClosure.as_str(), "RV018");
+        assert_eq!(Code::UninstrumentedOp.as_str(), "RV019");
         assert_eq!(Code::DependencyCycle.as_str(), "RV026");
         assert_eq!(Code::NonPositiveIterationTime.as_str(), "RV030");
         assert_eq!(Code::NonPositiveExampleCount.as_str(), "RV031");

@@ -3,17 +3,21 @@
 //! baseline under a stable filename; if that binary is renamed or deleted,
 //! the artifact silently rots and CI keeps comparing against a ghost. The
 //! rule is structural (the lint engine is dependency-free, so there is no
-//! JSON parser here): the artifact must be balanced JSON, carry the
-//! `recsim-bench-sweeps-v1` schema tag plus every schema field, and its
-//! filename must appear verbatim in some `crates/bench/src/bin` source —
-//! the writer names its own artifact, so a missing mention means the
-//! producer is gone.
+//! JSON parser here): the artifact must be balanced JSON, carry one of the
+//! known schema tags plus every field of that schema, and its filename
+//! must appear verbatim in some `crates/bench/src/bin` source — the writer
+//! names its own artifact, so a missing mention means the producer is
+//! gone.
 
 use crate::{Code, Diagnostic};
 
-/// The schema tag every speedup-baseline artifact must carry (documented in
-/// `crates/bench/src/lib.rs`).
+/// The schema tag of the sweep speedup baseline (`BENCH_sweeps.json`,
+/// documented in `crates/bench/src/lib.rs`).
 pub const BENCH_SCHEMA: &str = "recsim-bench-sweeps-v1";
+
+/// The schema tag of the hot-path kernel baseline (`BENCH_kernels.json`,
+/// written by the `kernels_baseline` binary).
+pub const KERNELS_SCHEMA: &str = "recsim-bench-kernels-v1";
 
 /// Top-level fields of the `recsim-bench-sweeps-v1` schema besides
 /// `schema` itself (which is value-checked, not just presence-checked).
@@ -26,6 +30,27 @@ pub const REQUIRED_KEYS: [&str; 7] = [
     "speedup",
     "outputs_identical",
 ];
+
+/// Top-level fields of the `recsim-bench-kernels-v1` schema besides
+/// `schema`.
+pub const KERNELS_REQUIRED_KEYS: [&str; 7] = [
+    "effort",
+    "ops",
+    "loop_total_secs",
+    "leaf_total_secs",
+    "baseline_wall_secs",
+    "profiled_wall_secs",
+    "outputs_identical",
+];
+
+/// The required key set for a recognized schema tag.
+fn required_keys_for(tag: &str) -> Option<&'static [&'static str]> {
+    match tag {
+        BENCH_SCHEMA => Some(&REQUIRED_KEYS),
+        KERNELS_SCHEMA => Some(&KERNELS_REQUIRED_KEYS),
+        _ => None,
+    }
+}
 
 /// RV014 for the repo-root bench artifacts. `artifacts` holds
 /// `(file name, contents)` for every `BENCH_*.json`; `bin_sources` holds
@@ -45,27 +70,34 @@ pub fn check_bench_artifacts(
             ));
             continue;
         }
-        match string_value_of(json, "schema") {
-            Some(tag) if tag == BENCH_SCHEMA => {}
-            Some(tag) => out.push(Diagnostic::error(
+        match string_value_of(json, "schema")
+            .as_deref()
+            .map(|tag| required_keys_for(tag).ok_or_else(|| tag.to_string()))
+        {
+            Some(Ok(required)) => {
+                for &key in required {
+                    if !has_key(json, key) {
+                        out.push(Diagnostic::error(
+                            Code::StaleBenchArtifact,
+                            name,
+                            format!("required schema field `{key}` is missing"),
+                        ));
+                    }
+                }
+            }
+            Some(Err(tag)) => out.push(Diagnostic::error(
                 Code::StaleBenchArtifact,
                 name,
-                format!("schema tag `{tag}` is not `{BENCH_SCHEMA}`"),
+                format!("schema tag `{tag}` is neither `{BENCH_SCHEMA}` nor `{KERNELS_SCHEMA}`"),
             )),
             None => out.push(Diagnostic::error(
                 Code::StaleBenchArtifact,
                 name,
-                format!("artifact has no `schema` string field (`{BENCH_SCHEMA}` expected)"),
+                format!(
+                    "artifact has no `schema` string field (`{BENCH_SCHEMA}` or \
+                     `{KERNELS_SCHEMA}` expected)"
+                ),
             )),
-        }
-        for key in REQUIRED_KEYS {
-            if !has_key(json, key) {
-                out.push(Diagnostic::error(
-                    Code::StaleBenchArtifact,
-                    name,
-                    format!("required schema field `{key}` is missing"),
-                ));
-            }
         }
         if !bin_sources
             .iter()
@@ -211,6 +243,31 @@ mod tests {
         let diags = check_bench_artifacts(&artifacts, &producer());
         assert_eq!(diags.len(), 1);
         assert!(diags[0].message().contains("speedup"));
+    }
+
+    #[test]
+    fn kernels_schema_is_accepted_with_its_own_keys() {
+        let doc = format!(
+            "{{\"schema\": \"{KERNELS_SCHEMA}\", \"effort\": \"quick\", \
+             \"ops\": [{{\"op\": \"linear/fwd\", \"total_secs\": 0.1}}], \
+             \"loop_total_secs\": 0.5, \"leaf_total_secs\": 0.4, \
+             \"baseline_wall_secs\": 0.6, \"profiled_wall_secs\": 0.7, \
+             \"outputs_identical\": true}}"
+        );
+        let producer = vec![(
+            "crates/bench/src/bin/kernels_baseline.rs".to_string(),
+            "let path = root.join(\"BENCH_kernels.json\");".to_string(),
+        )];
+        let artifacts = vec![("BENCH_kernels.json".to_string(), doc.clone())];
+        assert!(check_bench_artifacts(&artifacts, &producer).is_empty());
+
+        // Kernels artifacts are checked against *their* key list, not the
+        // sweeps one: dropping a kernels key is flagged by name.
+        let broken = doc.replace("\"loop_total_secs\": 0.5, ", "");
+        let artifacts = vec![("BENCH_kernels.json".to_string(), broken)];
+        let diags = check_bench_artifacts(&artifacts, &producer);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message().contains("loop_total_secs"));
     }
 
     #[test]

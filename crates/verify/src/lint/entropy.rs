@@ -28,9 +28,11 @@ fn entropy_tokens() -> [String; 6] {
 
 /// True for files RV017 exempts: recsim-bench exists to time real execution,
 /// so its sources (including its `src/bin/` timing harnesses) may read the
-/// host clock.
+/// host clock; and the profiler's single clock module — every recsim-prof
+/// timestamp funnels through `crates/prof/src/clock.rs`, keeping the rest
+/// of the profiler (and everything it instruments) under the ban.
 pub fn is_exempt(path: &str) -> bool {
-    path.starts_with("crates/bench/src/")
+    path.starts_with("crates/bench/src/") || path == "crates/prof/src/clock.rs"
 }
 
 /// RV017 for one library source file.
@@ -79,6 +81,16 @@ mod tests {
     fn bench_timing_sources_are_exempt() {
         let src = "fn main() { let t = std::time::Instant::now(); }\n";
         assert!(check_entropy_sources("crates/bench/src/bin/all_experiments.rs", src).is_empty());
+    }
+
+    #[test]
+    fn profiler_clock_module_alone_is_exempt() {
+        let src = "pub fn now() -> u128 { std::time::Instant::now().elapsed().as_nanos() }\n";
+        assert!(check_entropy_sources("crates/prof/src/clock.rs", src).is_empty());
+        // The rest of the profiler must route through the clock module.
+        let diags = check_entropy_sources("crates/prof/src/record.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code(), Code::EntropyInResultPath);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //!                  ↖ data ← model ← train
 //!                  ↖ trace (← sim, for schedule export/attribution)
 //! detsan (dependency-free) ← pool/data/sim/train/core/facade
+//! prof (dependency-free) ← model/train/core/facade
 //! pool (← detsan only) ← train/core/bench/facade
 //! core atop everything; bench + the root facade atop core.
 //! ```
@@ -33,11 +34,17 @@ pub const ALLOWED_EXTERNAL: [&str; 7] = [
 pub fn allowed_internal(package: &str) -> Option<&'static [&'static str]> {
     const VERIFY: &[&str] = &[];
     const DETSAN: &[&str] = &[];
+    const PROF: &[&str] = &[];
     const POOL: &[&str] = &["recsim-detsan"];
     const METRICS: &[&str] = &["recsim-verify"];
     const HW: &[&str] = &["recsim-verify", "recsim-metrics"];
     const DATA: &[&str] = &["recsim-verify", "recsim-detsan", "recsim-metrics"];
-    const MODEL: &[&str] = &["recsim-verify", "recsim-metrics", "recsim-data"];
+    const MODEL: &[&str] = &[
+        "recsim-verify",
+        "recsim-prof",
+        "recsim-metrics",
+        "recsim-data",
+    ];
     const PLACEMENT: &[&str] = &[
         "recsim-verify",
         "recsim-metrics",
@@ -76,6 +83,7 @@ pub fn allowed_internal(package: &str) -> Option<&'static [&'static str]> {
     const TRAIN: &[&str] = &[
         "recsim-verify",
         "recsim-detsan",
+        "recsim-prof",
         "recsim-pool",
         "recsim-metrics",
         "recsim-data",
@@ -84,6 +92,7 @@ pub fn allowed_internal(package: &str) -> Option<&'static [&'static str]> {
     const CORE: &[&str] = &[
         "recsim-verify",
         "recsim-detsan",
+        "recsim-prof",
         "recsim-pool",
         "recsim-metrics",
         "recsim-hw",
@@ -99,6 +108,7 @@ pub fn allowed_internal(package: &str) -> Option<&'static [&'static str]> {
     const TOP: &[&str] = &[
         "recsim-verify",
         "recsim-detsan",
+        "recsim-prof",
         "recsim-pool",
         "recsim-metrics",
         "recsim-hw",
@@ -115,6 +125,7 @@ pub fn allowed_internal(package: &str) -> Option<&'static [&'static str]> {
     match package {
         "recsim-verify" => Some(VERIFY),
         "recsim-detsan" => Some(DETSAN),
+        "recsim-prof" => Some(PROF),
         "recsim-pool" => Some(POOL),
         "recsim-metrics" => Some(METRICS),
         "recsim-hw" => Some(HW),

@@ -10,6 +10,7 @@ pub mod artifacts;
 pub mod categories;
 pub mod collections;
 pub mod entropy;
+pub mod instrumentation;
 pub mod inventory;
 pub mod knobs;
 pub mod layering;
@@ -139,6 +140,21 @@ pub fn run(root: &Path) -> Vec<Diagnostic> {
         &modules,
         &experiments_md,
     ));
+
+    // RV019 over the profiler op inventory: every op must be instrumented
+    // somewhere in the model/train sources.
+    let ops_rel = "crates/prof/src/ops.rs";
+    match fs::read_to_string(root.join(ops_rel)) {
+        Ok(ops_src) => {
+            let instrumented = sources_under(root, &["crates/model/src", "crates/train/src"]);
+            diags.extend(instrumentation::check_instrumentation(
+                ops_rel,
+                &ops_src,
+                &instrumented,
+            ));
+        }
+        Err(e) => diags.push(read_error(ops_rel, &e)),
+    }
 
     // RV014 over the repo-root bench baselines.
     let bench_artifacts = root_bench_artifacts(root, &mut diags);

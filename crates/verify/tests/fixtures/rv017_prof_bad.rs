@@ -1,0 +1,19 @@
+//! RV017 fixture, profiler edition: a measurement scope reading the host
+//! clock directly instead of routing through `recsim_prof::clock`. Under
+//! any non-exempt path (including the rest of crates/prof) this must trip
+//! RV017 and nothing else; under `crates/prof/src/clock.rs` — the one
+//! sanctioned profiler clock module — it is exempt.
+
+pub struct Scope {
+    start: std::time::Instant,
+}
+
+pub fn open() -> Scope {
+    Scope {
+        start: std::time::Instant::now(),
+    }
+}
+
+pub fn close(scope: Scope) -> u64 {
+    scope.start.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,17 @@
+//! Clean twin of `rv017_prof_bad.rs`: the scope takes its timestamps from
+//! the profiler's clock module (the single RV017-exempt clock reader), so
+//! this file itself performs no banned host-clock read. The `Instant`
+//! *type* never appears; only externally-measured nanosecond offsets flow
+//! through.
+
+pub struct Scope {
+    start_ns: u64,
+}
+
+pub fn open(now_ns: u64) -> Scope {
+    Scope { start_ns: now_ns }
+}
+
+pub fn close(scope: Scope, now_ns: u64) -> u64 {
+    now_ns.saturating_sub(scope.start_ns)
+}

@@ -72,6 +72,14 @@ fn rv018_impure_sweep_closure() {
 }
 
 #[test]
+fn rv017_profiler_scope_pair() {
+    // A profiler measurement scope reading the host clock directly trips
+    // RV017 anywhere outside the sanctioned clock module; the clean twin
+    // plumbs externally-measured offsets and passes everywhere.
+    assert_pair("rv017_prof", Code::EntropyInResultPath);
+}
+
+#[test]
 fn exemptions_hold_where_nondeterminism_is_the_point() {
     // The pool's own internals legitimately use hash maps and locks.
     let bad15 = fixture("rv015_bad.rs");
@@ -83,4 +91,10 @@ fn exemptions_hold_where_nondeterminism_is_the_point() {
     // Benchmark timing is the one sanctioned wall-clock reader.
     let bad17 = fixture("rv017_bad.rs");
     assert!(entropy::check_entropy_sources("crates/bench/src/timing.rs", &bad17).is_empty());
+    // …and the profiler's clock module is the one sanctioned *library*
+    // reader: the same direct-read scope is exempt there, but not in any
+    // other prof source.
+    let bad17p = fixture("rv017_prof_bad.rs");
+    assert!(entropy::check_entropy_sources("crates/prof/src/clock.rs", &bad17p).is_empty());
+    assert!(!entropy::check_entropy_sources("crates/prof/src/record.rs", &bad17p).is_empty());
 }

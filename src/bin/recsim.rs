@@ -7,6 +7,7 @@
 //! recsim shard <setup> [options]          auto-place embeddings, compare
 //! recsim faults <setup> [options]         goodput under injected failures
 //! recsim trace <setup> [options]          export a timeline + attribution
+//! recsim prof <driver> [options]          profile the real hot path, calibrate
 //! recsim train [options]                  really train a model, report NE
 //! recsim models                           describe the M1/M2/M3 stand-ins
 //! recsim verify                           validate presets, list RV0xx codes
@@ -29,6 +30,7 @@ fn main() -> ExitCode {
         Some("shard") => cmd_shard(&args[1..]),
         Some("faults") => cmd_faults(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("prof") => cmd_prof(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
         Some("models") => cmd_models(),
         Some("verify") => cmd_verify(&args[1..]),
@@ -56,6 +58,11 @@ fn print_help() {
          \x20 recsim shard <setup> [options]          auto-place embedding tables\n\
          \x20 recsim faults <setup> [options]         goodput under injected failures\n\
          \x20 recsim trace <setup> [options]          export a timeline + attribution\n\
+         \x20 recsim prof <driver> [options]          run a driver with the hot-path\n\
+         \x20                                         profiler armed; report per-op\n\
+         \x20                                         time/FLOP/byte shares, roofline\n\
+         \x20                                         bounds and sim-vs-measured\n\
+         \x20                                         calibration (DESIGN.md §12)\n\
          \x20 recsim train [options]                  train for real, report NE\n\
          \x20 recsim models                           describe M1/M2/M3 stand-ins\n\
          \x20 recsim verify                           validate presets, list RV0xx codes\n\
@@ -87,6 +94,10 @@ fn print_help() {
          TRACE: recsim trace bb|bb16|zion|cpu|scaleout\n\
          \x20 --format chrome|text|summary [chrome]  --out FILE (default: stdout)\n\
          \x20 plus the simulate model/placement/batch/nodes flags\n\
+         \n\
+         PROF: recsim prof <driver> (any experiment id; automl and fig15 run\n\
+         \x20 the real training loop)  [--quick]\n\
+         \x20 --format summary|chrome|json [summary]  --out FILE (default: stdout)\n\
          \n\
          TRAIN OPTIONS:\n\
          \x20 --batch N [200]  --examples N [40000]  --lr F [0.04]  --seed N [31]\n\
@@ -200,16 +211,51 @@ fn cmd_run(args: &[String]) -> ExitCode {
     }
     let threads = recsim::pool::thread_count();
     let start = std::time::Instant::now();
-    let outputs = experiments::run_all(effort);
+    // Same fan-out as `experiments::run_all`, with a per-driver wall clock
+    // measured inside each (otherwise pure) sweep item. Timing rides along
+    // in the fold result; the driver outputs stay byte-identical at any
+    // thread count.
+    let entries = experiments::registry();
+    let timed = recsim::core::sweep(&entries, |&(id, driver)| {
+        let t = std::time::Instant::now();
+        let out = driver(effort);
+        (id, out, t.elapsed().as_secs_f64())
+    });
     let elapsed = start.elapsed().as_secs_f64();
+    let outputs: Vec<(&str, ExperimentOutput)> = timed
+        .iter()
+        .map(|(id, out, _)| (*id, out.clone()))
+        .collect();
     let mut failed = 0usize;
     for (_, out) in &outputs {
         print!("{}", out.render());
         println!();
         failed += out.failed_claims().len();
     }
+    // Per-driver wall-clock table (slowest first). Parallel fan-out means
+    // the per-driver times sum past the elapsed wall time.
+    let mut timings: Vec<(&str, f64)> = timed.iter().map(|(id, _, secs)| (*id, *secs)).collect();
+    timings.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+    let mut timing_table = recsim::metrics::Table::new(vec!["driver", "wall s", "share"]);
+    let timed_total: f64 = timings.iter().map(|(_, s)| s).sum();
+    for (id, secs) in &timings {
+        timing_table.push_row(vec![
+            (*id).to_string(),
+            format!("{secs:.3}"),
+            format!(
+                "{:.1}%",
+                if timed_total > 0.0 {
+                    secs / timed_total * 100.0
+                } else {
+                    0.0
+                }
+            ),
+        ]);
+    }
+    println!("per-driver wall clock:\n{timing_table}");
     // With RECSIM_RESULTS_DIR set, persist one JSON artifact per driver —
-    // the CI determinism job diffs these across thread counts.
+    // the CI determinism job diffs these across thread counts — plus the
+    // (run-specific, never diffed) wall-clock table as timings.json.
     if let Some(dir) = std::env::var_os("RECSIM_RESULTS_DIR") {
         let dir = std::path::PathBuf::from(dir);
         if let Err(e) = std::fs::create_dir_all(&dir) {
@@ -230,8 +276,22 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        let rows: Vec<String> = timings
+            .iter()
+            .map(|(id, secs)| format!("    {{\"driver\": \"{id}\", \"wall_secs\": {secs:.6}}}"))
+            .collect();
+        let timings_json = format!(
+            "{{\n  \"schema\": \"recsim-run-timings-v1\",\n  \"threads\": {threads},\n  \
+             \"total_wall_secs\": {elapsed:.6},\n  \"drivers\": [\n{}\n  ]\n}}\n",
+            rows.join(",\n")
+        );
+        let path = dir.join("timings.json");
+        if let Err(e) = std::fs::write(&path, timings_json) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
         println!(
-            "({} artifact(s) written to {})",
+            "({} artifact(s) + timings.json written to {})",
             outputs.len(),
             dir.display()
         );
@@ -581,6 +641,65 @@ fn cmd_trace(args: &[String]) -> ExitCode {
         Some(path) => match std::fs::write(path, rendered) {
             Ok(()) => {
                 println!("trace written to {path}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("could not write {path}: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        None => {
+            print!("{rendered}");
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+/// `recsim prof <driver>` — run one experiment driver with the hot-path
+/// profiler armed (`recsim-prof` scopes on every model kernel and train
+/// phase), then report per-op time/FLOP/byte shares against the host
+/// roofline plus the sim-vs-measured calibration join (DESIGN.md §12).
+/// Formats: `summary` (text tables), `chrome` (Perfetto-loadable spans of
+/// the retained samples), `json` (the full [`ProfileReport`]).
+fn cmd_prof(args: &[String]) -> ExitCode {
+    let (flags, positional) = parse_flags(args);
+    let Some(id) = positional.first() else {
+        eprintln!(
+            "usage: recsim prof <driver> [--quick] [--format summary|chrome|json] [--out FILE]"
+        );
+        return ExitCode::FAILURE;
+    };
+    let effort = if flags.contains_key("quick") {
+        Effort::Quick
+    } else {
+        Effort::Full
+    };
+    let report = match profile_driver(id, effort) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rendered = match flags.get("format").map_or("summary", String::as_str) {
+        "summary" => report.summary(),
+        "chrome" => report.chrome(),
+        "json" => match report.json() {
+            Ok(json) => json + "\n",
+            Err(e) => {
+                eprintln!("cannot serialize profile: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        other => {
+            eprintln!("unknown format `{other}` (summary, chrome, json)");
+            return ExitCode::FAILURE;
+        }
+    };
+    match flags.get("out") {
+        Some(path) => match std::fs::write(path, rendered) {
+            Ok(()) => {
+                println!("profile written to {path}");
                 ExitCode::SUCCESS
             }
             Err(e) => {

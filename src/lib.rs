@@ -25,6 +25,10 @@
 //!   (`recsim faults <setup>`),
 //! * [`trace`] — spans/counters tracing, Chrome/Perfetto export, and
 //!   critical-path attribution of the makespan to task categories,
+//! * [`prof`] — the hot-path kernel profiler: RAII timing scopes with
+//!   closed-form FLOP/byte counters on every model operator, joined with
+//!   the hardware roofline and the simulator's attribution by
+//!   `recsim prof <driver>`,
 //! * [`train`] — real training loops, NE metrics, batch scaling, AutoML,
 //!   EASGD/Hogwild,
 //! * [`metrics`] — histograms, KDE, quantiles, report rendering,
@@ -69,6 +73,7 @@ pub use recsim_metrics as metrics;
 pub use recsim_model as model;
 pub use recsim_placement as placement;
 pub use recsim_pool as pool;
+pub use recsim_prof as prof;
 pub use recsim_shard as shard;
 pub use recsim_sim as sim;
 pub use recsim_trace as trace;
@@ -77,6 +82,7 @@ pub use recsim_verify as verify;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
+    pub use recsim_core::profiling::{profile_driver, ProfileReport, RooflineBound};
     pub use recsim_core::{experiments, Effort, ExperimentOutput};
     pub use recsim_data::production::{production_model, ProductionModelId};
     pub use recsim_data::schema::{Interaction, ModelConfig, SparseFeatureSpec};
