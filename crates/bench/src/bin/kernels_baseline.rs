@@ -52,6 +52,32 @@ fn main() {
          ({overhead:+.1}% overhead), outputs identical: {outputs_identical} ===="
     );
 
+    // Prior committed baseline (read before this run overwrites it): each
+    // op gains a `speedup_vs` ratio against its previous `total_secs`, and
+    // the document a top-level one against the previous wall clock, so a
+    // kernel regression is visible in the diff of the re-recorded file.
+    let root = recsim_verify::lint::workspace_root().unwrap_or_else(|| ".".into());
+    let bench_path = root.join("BENCH_kernels.json");
+    let prior: Option<serde_json::Value> = std::fs::read_to_string(&bench_path)
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok());
+    let prior_op_secs = |op: &str| -> Option<f64> {
+        prior
+            .as_ref()?
+            .get("ops")?
+            .as_array()?
+            .iter()
+            .find(|o| o.get("op").and_then(|v| v.as_str()) == Some(op))?
+            .get("total_secs")?
+            .as_f64()
+    };
+    let ratio = |prior_secs: Option<f64>, now_secs: f64| -> Option<f64> {
+        match prior_secs {
+            Some(p) if now_secs > 0.0 => Some(p / now_secs),
+            _ => None,
+        }
+    };
+
     let ops: Vec<serde_json::Value> = snapshot
         .active_ops()
         .map(|p| {
@@ -66,18 +92,30 @@ fn main() {
                 p.flops as f64 * 1e-9,
                 p.bytes as f64 * 1e-9,
             );
+            let total_secs = p.total_ns as f64 * 1e-9;
+            // `speedup_vs`: this op's prior committed total over the new
+            // one (null only when no prior baseline exists).
             serde_json::json!({
                 "op": p.op.id(),
                 "count": p.count,
-                "total_secs": p.total_ns as f64 * 1e-9,
+                "total_secs": total_secs,
                 "p50_us": p.p50_ns as f64 * 1e-3,
                 "p99_us": p.p99_ns as f64 * 1e-3,
                 "gflop": p.flops as f64 * 1e-9,
                 "gbyte": p.bytes as f64 * 1e-9,
+                "speedup_vs": ratio(prior_op_secs(p.op.id()), total_secs),
             })
         })
         .collect();
 
+    let prior_wall = prior
+        .as_ref()
+        .and_then(|p| p.get("baseline_wall_secs"))
+        .and_then(|v| v.as_f64());
+    let wall_speedup = ratio(prior_wall, baseline_wall);
+    if let Some(s) = wall_speedup {
+        println!("==== {s:.2}x vs committed baseline wall ====");
+    }
     let bench_doc = serde_json::json!({
         "schema": recsim_verify::lint::artifacts::KERNELS_SCHEMA,
         "effort": if effort == recsim_core::Effort::Quick { "quick" } else { "full" },
@@ -87,9 +125,8 @@ fn main() {
         "baseline_wall_secs": baseline_wall,
         "profiled_wall_secs": profiled_wall,
         "outputs_identical": outputs_identical,
+        "speedup_vs": wall_speedup,
     });
-    let root = recsim_verify::lint::workspace_root().unwrap_or_else(|| ".".into());
-    let bench_path = root.join("BENCH_kernels.json");
     match serde_json::to_string_pretty(&bench_doc) {
         Ok(json) => match std::fs::write(&bench_path, json + "\n") {
             Ok(()) => println!("(kernel baseline written to {})", bench_path.display()),

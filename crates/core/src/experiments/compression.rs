@@ -9,7 +9,7 @@
 //! the GPU-memory placement it was denied becomes available.
 
 use crate::setups::gpu_with_fallback;
-use crate::sweep::sweep;
+use crate::sweep::sweep_compact;
 use crate::{Claim, Effort, ExperimentOutput};
 use recsim_data::production::{production_model, ProductionModelId};
 use recsim_data::schema::EmbeddingPrecision;
@@ -33,7 +33,7 @@ pub fn run(_effort: Effort) -> ExperimentOutput {
         ("FP16", EmbeddingPrecision::Fp16),
         ("INT8", EmbeddingPrecision::Int8),
     ];
-    let points = sweep(&precisions, |&(_, precision)| {
+    let points = sweep_compact(&precisions, |&(_, precision)| {
         let model = production_model(ProductionModelId::M3).with_embedding_precision(precision);
         let fits = Placement::plan(
             &model,

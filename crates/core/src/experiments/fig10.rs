@@ -2,7 +2,7 @@
 //! CPU and GPU, plus the perf-per-watt comparison.
 
 use crate::design_space::TestSuite;
-use crate::sweep::{grid2, sweep};
+use crate::sweep::{grid2, sweep_compact};
 use crate::{Claim, Effort, ExperimentOutput};
 use recsim_hw::units::Bytes;
 use recsim_hw::Platform;
@@ -31,7 +31,7 @@ pub fn run(effort: Effort) -> ExperimentOutput {
     let bb = Platform::big_basin(Bytes::from_gib(32));
 
     // Parallel phase: each grid point is an independent pure simulation.
-    let points = sweep(&grid2(&dense_axis, &sparse_axis), |&(dense, sparse)| {
+    let points = sweep_compact(&grid2(&dense_axis, &sparse_axis), |&(dense, sparse)| {
         let model = suite.model(dense, sparse);
         let mut scratch = SimScratch::new();
         let cpu = CpuTrainingSim::new(&model, CpuClusterSetup::single_trainer(suite.cpu_batch))

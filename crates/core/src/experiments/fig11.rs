@@ -1,7 +1,7 @@
 //! Figure 11 — batch-size scaling on CPU and GPU.
 
 use crate::design_space::TestSuite;
-use crate::sweep::sweep;
+use crate::sweep::sweep_compact;
 use crate::{Claim, Effort, ExperimentOutput};
 use recsim_hw::units::Bytes;
 use recsim_hw::Platform;
@@ -21,7 +21,7 @@ pub fn run(effort: Effort) -> ExperimentOutput {
     let bb = Platform::big_basin(Bytes::from_gib(32));
 
     // Parallel phase: one (cpu, gpu) simulation pair per batch size.
-    let points = sweep(&batches, |&batch| {
+    let points = sweep_compact(&batches, |&batch| {
         let mut scratch = SimScratch::new();
         let cpu = CpuTrainingSim::new(&model, CpuClusterSetup::single_trainer(batch))
             .expect("single-trainer setup is valid")

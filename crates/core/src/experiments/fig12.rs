@@ -9,7 +9,7 @@
 
 use crate::design_space::TestSuite;
 use crate::setups::gpu_with_fallback;
-use crate::sweep::sweep;
+use crate::sweep::sweep_compact;
 use crate::{Claim, Effort, ExperimentOutput};
 use recsim_data::schema::ModelConfig;
 use recsim_hw::units::Bytes;
@@ -32,7 +32,7 @@ pub fn run(effort: Effort) -> ExperimentOutput {
     let bb = Platform::big_basin(Bytes::from_gib(32));
 
     // Parallel phase: one hash size per sweep point.
-    let points = sweep(&hashes, |&hash| {
+    let points = sweep_compact(&hashes, |&hash| {
         let model = ModelConfig::test_suite(256, 16, hash, &suite.mlp);
         let mut scratch = SimScratch::new();
         let cpu = CpuTrainingSim::new(&model, CpuClusterSetup::single_trainer(suite.cpu_batch))

@@ -1,7 +1,7 @@
 //! Figure 13 — throughput under varying MLP dimensions.
 
 use crate::design_space::TestSuite;
-use crate::sweep::sweep;
+use crate::sweep::sweep_compact;
 use crate::{Claim, Effort, ExperimentOutput};
 use recsim_data::schema::ModelConfig;
 use recsim_hw::units::Bytes;
@@ -22,7 +22,7 @@ pub fn run(effort: Effort) -> ExperimentOutput {
     let bb = Platform::big_basin(Bytes::from_gib(32));
 
     // Parallel phase: one MLP shape per sweep point.
-    let points = sweep(&axis, |&(width, layers)| {
+    let points = sweep_compact(&axis, |&(width, layers)| {
         let mlp = vec![width; layers];
         let model = ModelConfig::test_suite(256, 16, suite.hash_size, &mlp);
         let mut scratch = SimScratch::new();

@@ -1,6 +1,6 @@
 //! Figure 14 — embedding placements on Big Basin vs Zion for M2.
 
-use crate::sweep::sweep;
+use crate::sweep::sweep_compact;
 use crate::{Claim, Effort, ExperimentOutput};
 use recsim_data::production::{production_model, ProductionModelId};
 use recsim_hw::units::Bytes;
@@ -25,7 +25,7 @@ pub fn run(_effort: Effort) -> ExperimentOutput {
     // Parallel phase: one placement strategy per sweep point (both
     // platforms simulated inside the point, sharing one scratch).
     let lineup = PlacementStrategy::figure8_lineup();
-    let cells: Vec<Vec<Result<SimReport, String>>> = sweep(&lineup, |&strategy| {
+    let cells: Vec<Vec<Result<SimReport, String>>> = sweep_compact(&lineup, |&strategy| {
         let mut scratch = SimScratch::new();
         platforms
             .iter()

@@ -7,7 +7,7 @@
 //! magnitude more efficient". This driver regenerates that analysis with
 //! the concrete multi-node simulator.
 
-use crate::sweep::sweep;
+use crate::sweep::sweep_compact;
 use crate::{Claim, Effort, ExperimentOutput};
 use recsim_data::production::{production_model, ProductionModelId};
 use recsim_hw::Platform;
@@ -56,7 +56,7 @@ pub fn run(effort: Effort) -> ExperimentOutput {
     // walk of each (large) scale-out schedule happens inside the closure,
     // so grid-wide attribution fans out with the sweep instead of running
     // serially afterwards (ROADMAP: parallel critical-path analysis).
-    let multis = sweep(&node_counts, |&nodes| {
+    let multis = sweep_compact(&node_counts, |&nodes| {
         let mut scratch = SimScratch::new();
         let sim = ScaleOutSim::new(&m3, nodes, 800).expect("enough nodes");
         let report = sim.run_in(&mut scratch);

@@ -2,7 +2,7 @@
 //! models.
 
 use crate::setups::{optimal_batch, ProductionSetup};
-use crate::sweep::sweep;
+use crate::sweep::sweep_compact;
 use crate::{Claim, Effort, ExperimentOutput};
 use recsim_data::production::ProductionModelId;
 use recsim_hw::units::Bytes;
@@ -23,7 +23,7 @@ pub fn run(effort: Effort) -> ExperimentOutput {
 
     // Parallel phase: one production model per sweep point. The optimal
     // batch search inside each point is itself a serial candidate scan.
-    let points = sweep(&ProductionModelId::ALL, |&id| {
+    let points = sweep_compact(&ProductionModelId::ALL, |&id| {
         let setup = ProductionSetup::for_model(id);
         let cpu = setup.simulate_cpu();
         let model = setup.model_config();

@@ -49,7 +49,7 @@ pub mod setups;
 pub mod sweep;
 
 pub use output::{Claim, Effort, ExperimentOutput};
-pub use sweep::sweep;
+pub use sweep::{sweep, sweep_compact};
 
 /// Re-export of the validation layer so experiment drivers and downstream
 /// tools can name RV0xx codes without a direct `recsim-verify` dependency.

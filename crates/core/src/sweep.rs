@@ -34,6 +34,23 @@ where
     recsim_pool::par_map(points, f)
 }
 
+/// Serial variant of [`sweep`] for sub-threshold grids.
+///
+/// Dispatching a sweep through the pool costs worker spawns and a result
+/// channel per call; for grid drivers whose whole serial runtime is under
+/// ~20ms (fig10–fig14, table3, scaleout, compression at quick effort) that
+/// overhead exceeds the work and `recsim run --all` regressed below 1x.
+/// Those drivers iterate inline instead — same closure contract, same
+/// submission-order results, trivially thread-count invariant — while
+/// `run_all` still fans the *drivers themselves* across the pool. Sweeps
+/// with real per-point work (locality, autoshard, faults) stay on [`sweep`].
+pub fn sweep_compact<T, R, F>(points: &[T], f: F) -> Vec<R>
+where
+    F: Fn(&T) -> R,
+{
+    points.iter().map(f).collect()
+}
+
 /// The cartesian product of two axes, row-major (`a` outer, `b` inner) —
 /// the iteration order of the nested loops the grid drivers started from.
 pub fn grid2<A: Copy, B: Copy>(a: &[A], b: &[B]) -> Vec<(A, B)> {
@@ -55,6 +72,15 @@ mod tests {
         let points: Vec<u32> = (0..97).collect();
         let out = sweep(&points, |&p| p * 3);
         assert_eq!(out, points.iter().map(|&p| p * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sweep_compact_matches_sweep() {
+        let points: Vec<u32> = (0..97).collect();
+        assert_eq!(
+            sweep_compact(&points, |&p| p * 3),
+            sweep(&points, |&p| p * 3)
+        );
     }
 
     #[test]

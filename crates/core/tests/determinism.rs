@@ -10,10 +10,14 @@ use std::sync::Mutex;
 
 static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
 
-/// The drivers whose sweeps were routed through `recsim_core::sweep`.
-const PARALLEL_DRIVERS: [&str; 11] = [
+/// The drivers that reach `recsim-pool`: grid sweeps routed through
+/// `recsim_core::sweep`, plus the training-loop drivers (`automl`, `fig15`)
+/// whose parallelism is the batch-shard fan-out inside the trainer.
+const PARALLEL_DRIVERS: [&str; 13] = [
     "autoshard",
     "faults",
+    "automl",
+    "fig15",
     "fig10",
     "fig11",
     "fig12",

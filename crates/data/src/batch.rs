@@ -92,6 +92,23 @@ impl SparseBatch {
     pub fn max_index(&self) -> Option<u32> {
         self.indices.iter().copied().max()
     }
+
+    /// Copies examples `[start, end)` into a standalone CSR batch with
+    /// rebased offsets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > batch_size()`.
+    pub fn slice(&self, start: usize, end: usize) -> SparseBatch {
+        assert!(start <= end && end <= self.batch_size(), "slice bounds");
+        let base = self.offsets[start];
+        let offsets = self.offsets[start..=end]
+            .iter()
+            .map(|&o| o - base)
+            .collect();
+        let indices = self.indices[base..self.offsets[end]].to_vec();
+        SparseBatch { offsets, indices }
+    }
 }
 
 /// A complete mini-batch: dense features (row-major `B × num_dense`), one
@@ -184,6 +201,25 @@ impl MiniBatch {
             self.labels.iter().map(|&l| l as f64).sum::<f64>() / self.labels.len() as f64
         }
     }
+
+    /// Copies examples `[start, end)` into a standalone mini-batch: dense
+    /// rows and labels sliced, every sparse feature re-based via
+    /// [`SparseBatch::slice`]. Used by the batch-shard-parallel trainer to
+    /// hand each worker a self-contained shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or out of bounds.
+    pub fn slice(&self, start: usize, end: usize) -> MiniBatch {
+        assert!(start < end && end <= self.batch_size, "slice bounds");
+        MiniBatch {
+            batch_size: end - start,
+            num_dense: self.num_dense,
+            dense: self.dense[start * self.num_dense..end * self.num_dense].to_vec(),
+            sparse: self.sparse.iter().map(|sb| sb.slice(start, end)).collect(),
+            labels: self.labels[start..end].to_vec(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -251,5 +287,42 @@ mod tests {
         let sb = SparseBatch::new(vec![0, 2, 3], vec![1, 2, 3]);
         let rows: Vec<&[u32]> = sb.iter().collect();
         assert_eq!(rows, vec![&[1u32, 2][..], &[3u32][..]]);
+    }
+
+    #[test]
+    fn sparse_slice_rebases_offsets() {
+        let sb = SparseBatch::new(vec![0, 1, 1, 4, 6], vec![7, 1, 2, 3, 9, 8]);
+        let mid = sb.slice(1, 3);
+        assert_eq!(mid.batch_size(), 2);
+        assert_eq!(mid.offsets(), &[0, 0, 3]);
+        assert_eq!(mid.example(0), &[] as &[u32]);
+        assert_eq!(mid.example(1), &[1, 2, 3]);
+        // Full-range slice is identity.
+        assert_eq!(sb.slice(0, 4), sb);
+    }
+
+    #[test]
+    fn minibatch_slice_matches_per_example_views() {
+        let mb = MiniBatch::new(
+            3,
+            2,
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+            vec![SparseBatch::new(vec![0, 2, 2, 3], vec![4, 5, 6])],
+            vec![1.0, 0.0, 1.0],
+        );
+        let shard = mb.slice(1, 3);
+        assert_eq!(shard.batch_size(), 2);
+        assert_eq!(shard.dense_row(0), mb.dense_row(1));
+        assert_eq!(shard.dense_row(1), mb.dense_row(2));
+        assert_eq!(shard.labels(), &mb.labels()[1..3]);
+        assert_eq!(shard.sparse()[0].example(0), mb.sparse()[0].example(1));
+        assert_eq!(shard.sparse()[0].example(1), mb.sparse()[0].example(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "slice bounds")]
+    fn minibatch_slice_rejects_empty_range() {
+        let mb = MiniBatch::new(1, 1, vec![0.0], vec![SparseBatch::empty(1)], vec![0.0]);
+        mb.slice(1, 1);
     }
 }

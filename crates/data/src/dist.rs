@@ -61,6 +61,235 @@ impl ZipfSampler {
     }
 }
 
+/// A tiny, fast, deterministic uniform stream (sequential splitmix64).
+///
+/// The synthetic CTR generator draws tens of millions of variates per
+/// training run; `StdRng` (ChaCha12) spends most of the generator's time in
+/// the block cipher. Splitmix64 is one add and three xor-multiplies per
+/// draw, passes BigCrush, and — unlike counter-free hashing — keeps the
+/// sequential-stream semantics the generator API promises (every draw
+/// advances the stream exactly once).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a stream seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut x = self.state;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    /// Next uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Next approximately standard-normal `f32` from a single draw: the sum
+    /// of four 16-bit uniforms (Irwin–Hall), centered and rescaled to unit
+    /// variance. Matches the tail quality the planted-teacher row scores
+    /// already rely on, at a fraction of a Box–Muller's cost.
+    #[inline]
+    pub fn next_normal_f32(&mut self) -> f32 {
+        let x = self.next_u64();
+        let mut acc = 0.0f64;
+        for shift in [0u32, 16, 32, 48] {
+            acc += ((x >> shift) & 0xFFFF) as f64 / 65535.0;
+        }
+        ((acc - 2.0) * (12.0f64 / 4.0).sqrt()) as f32
+    }
+}
+
+/// Table-driven Zipf sampler: Vose alias method for exact O(1) draws when
+/// the support fits a table, and a continuous bounded power-law inverse CDF
+/// for huge supports where an alias table would cost tens of megabytes.
+///
+/// This replaces rejection-based Zipf sampling on the data-generation hot
+/// path: one uniform draw per index, no rejection loop, no `powf` in the
+/// common (tabled) case.
+#[derive(Debug, Clone)]
+pub struct ZipfTable {
+    n: u64,
+    kind: ZipfKind,
+}
+
+#[derive(Debug, Clone)]
+enum ZipfKind {
+    Alias {
+        prob: Vec<f64>,
+        alias: Vec<u32>,
+    },
+    Pareto {
+        inv_one_minus_s: f64,
+        tail: f64,
+        ln_m: f64,
+    },
+}
+
+/// Largest support size for which the alias table is materialized (12 bytes
+/// per row). Beyond this the continuous approximation is indistinguishable
+/// for training purposes and costs O(1) memory.
+const ZIPF_ALIAS_MAX: u64 = 1 << 20;
+
+impl ZipfTable {
+    /// Creates a sampler over `[0, n)` with exponent `s > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is not positive and finite.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "Zipf support must be non-empty");
+        assert!(s > 0.0 && s.is_finite(), "Zipf exponent must be positive");
+        let kind = if n <= ZIPF_ALIAS_MAX {
+            let weights: Vec<f64> = (1..=n).map(|k| (k as f64).powf(-s)).collect();
+            // detsan: reduction-order — construction-time normalizer, fixed
+            // sequential sum over ranks
+            let total: f64 = weights.iter().sum();
+            let len = weights.len();
+            // Vose's alias method: split scaled probabilities into "small"
+            // (< 1) and "large" (>= 1) and pair each small slot with a large
+            // donor.
+            let mut prob: Vec<f64> = weights.iter().map(|w| w / total * len as f64).collect();
+            let mut alias = vec![0u32; len];
+            let mut small: Vec<u32> = Vec::new();
+            let mut large: Vec<u32> = Vec::new();
+            for (i, &p) in prob.iter().enumerate() {
+                if p < 1.0 {
+                    small.push(i as u32);
+                } else {
+                    large.push(i as u32);
+                }
+            }
+            while let (Some(&s_i), Some(&l_i)) = (small.last(), large.last()) {
+                small.pop();
+                alias[s_i as usize] = l_i;
+                prob[l_i as usize] -= 1.0 - prob[s_i as usize];
+                if prob[l_i as usize] < 1.0 {
+                    large.pop();
+                    small.push(l_i);
+                }
+            }
+            // Numerical stragglers on either stack have probability ~1.
+            for &i in small.iter().chain(large.iter()) {
+                prob[i as usize] = 1.0;
+                alias[i as usize] = i;
+            }
+            ZipfKind::Alias { prob, alias }
+        } else {
+            // Continuous bounded power-law on [1, n]: F(x) =
+            // (x^(1-s) - 1) / (n^(1-s) - 1), discretized by flooring.
+            let m = n as f64;
+            if (s - 1.0).abs() < 1e-9 {
+                ZipfKind::Pareto {
+                    inv_one_minus_s: 0.0,
+                    tail: 0.0,
+                    ln_m: m.ln(),
+                }
+            } else {
+                ZipfKind::Pareto {
+                    inv_one_minus_s: 1.0 / (1.0 - s),
+                    tail: m.powf(1.0 - s) - 1.0,
+                    ln_m: m.ln(),
+                }
+            }
+        };
+        Self { n, kind }
+    }
+
+    /// Support size.
+    pub fn support(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws one zero-based index from a single uniform variate.
+    #[inline]
+    pub fn sample(&self, rng: &mut SplitMix64) -> u64 {
+        match &self.kind {
+            ZipfKind::Alias { prob, alias } => {
+                let f = rng.next_f64() * prob.len() as f64;
+                let slot = (f as usize).min(prob.len() - 1);
+                let frac = f - slot as f64;
+                if frac < prob[slot] {
+                    slot as u64
+                } else {
+                    alias[slot] as u64
+                }
+            }
+            ZipfKind::Pareto {
+                inv_one_minus_s,
+                tail,
+                ln_m,
+            } => {
+                let u = rng.next_f64();
+                let x = if *inv_one_minus_s == 0.0 {
+                    (u * ln_m).exp()
+                } else {
+                    (1.0 + u * tail).powf(*inv_one_minus_s)
+                };
+                (x as u64).saturating_sub(1).min(self.n - 1)
+            }
+        }
+    }
+}
+
+/// Truncated Poisson lookup-count sampler as a precomputed CDF table.
+///
+/// Matches the semantics the generator always had — a Poisson draw clamped
+/// to `[1, truncation]` — but replaces the per-draw rejection/inversion work
+/// with one uniform and a binary search over at most `truncation` entries.
+/// The tail mass beyond the truncation point is folded into the last entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TruncatedPoissonTable {
+    cdf: Vec<f64>,
+}
+
+impl TruncatedPoissonTable {
+    /// Builds the table for `mean` lookups truncated to `[1, truncation]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `truncation == 0` or `mean` is not positive and finite.
+    pub fn new(mean: f64, truncation: u32) -> Self {
+        assert!(truncation > 0, "truncation must be positive");
+        assert!(mean > 0.0 && mean.is_finite(), "mean must be positive");
+        let mut cdf = Vec::with_capacity(truncation as usize);
+        // detsan: reduction-order — construction-time CDF, fixed sequential
+        // accumulation over k
+        let mut pk = (-mean).exp(); // P(raw = 0)
+        let mut cum = pk;
+        for k in 1..=u64::from(truncation) {
+            pk *= mean / k as f64;
+            cum += pk;
+            // After k = 1 this is P(raw <= 1) = P(len = 1), matching the
+            // clamp-to-1 floor of the original sampler.
+            cdf.push(cum.min(1.0));
+        }
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Self { cdf }
+    }
+
+    /// Draws one length in `{1, …, truncation}`.
+    #[inline]
+    pub fn sample(&self, rng: &mut SplitMix64) -> u32 {
+        let u = rng.next_f64();
+        let idx = self.cdf.partition_point(|&c| c <= u);
+        (idx as u32 + 1).min(self.cdf.len() as u32)
+    }
+}
+
 /// A discrete power-law sampler over `{1, …, max}` with density ∝ `k^-alpha`,
 /// used for per-example feature lengths (paper Figure 7).
 ///
@@ -309,5 +538,120 @@ mod tests {
     #[should_panic(expected = "alpha > 1")]
     fn power_law_validates_alpha() {
         PowerLawLengths::new(1.0, 10);
+    }
+
+    #[test]
+    fn splitmix_uniforms_in_unit_interval_and_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..1000 {
+            let u = a.next_f64();
+            assert!((0.0..1.0).contains(&u));
+            assert_eq!(u, b.next_f64());
+        }
+    }
+
+    #[test]
+    fn splitmix_normals_are_standardish() {
+        let mut rng = SplitMix64::new(7);
+        let n = 100_000;
+        let mut sum = 0.0f64;
+        let mut sq = 0.0f64;
+        for _ in 0..n {
+            let x = rng.next_normal_f32() as f64;
+            sum += x;
+            sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn zipf_table_respects_support_and_skew() {
+        let mut rng = SplitMix64::new(9);
+        let z = ZipfTable::new(1000, 1.2);
+        let mut low = 0;
+        for _ in 0..10_000 {
+            let i = z.sample(&mut rng);
+            assert!(i < 1000);
+            if i < 10 {
+                low += 1;
+            }
+        }
+        assert!(low > 2000, "got {low} hits in the top 10 ranks");
+    }
+
+    #[test]
+    fn zipf_table_alias_matches_exact_head_probabilities() {
+        // With s = 1.1 over n = 100, P(rank 1) = 1 / H where
+        // H = sum k^-1.1; the alias table must reproduce it closely.
+        let n = 100u64;
+        let s = 1.1f64;
+        let h: f64 = (1..=n).map(|k| (k as f64).powf(-s)).sum();
+        let expect = 1.0 / h;
+        let z = ZipfTable::new(n, s);
+        let mut rng = SplitMix64::new(11);
+        let draws = 200_000;
+        let hits = (0..draws).filter(|_| z.sample(&mut rng) == 0).count();
+        let emp = hits as f64 / draws as f64;
+        assert!(
+            (emp - expect).abs() < 0.01,
+            "empirical {emp:.4} vs exact {expect:.4}"
+        );
+    }
+
+    #[test]
+    fn zipf_table_large_support_falls_back_and_stays_skewed() {
+        let n = (ZIPF_ALIAS_MAX + 1) * 2;
+        let z = ZipfTable::new(n, 1.1);
+        let mut rng = SplitMix64::new(13);
+        let mut low = 0;
+        for _ in 0..10_000 {
+            let i = z.sample(&mut rng);
+            assert!(i < n);
+            if i < 100 {
+                low += 1;
+            }
+        }
+        assert!(low > 2000, "large-support fallback lost its skew: {low}");
+    }
+
+    #[test]
+    fn truncated_poisson_matches_clamped_reference() {
+        // The table must reproduce P(clamp(Poisson(mean), 1, t)) exactly.
+        let mean = 3.0f64;
+        let t = 8u32;
+        let table = TruncatedPoissonTable::new(mean, t);
+        let mut rng = SplitMix64::new(21);
+        let n = 200_000;
+        let mut counts = vec![0usize; t as usize + 1];
+        for _ in 0..n {
+            let l = table.sample(&mut rng);
+            assert!((1..=t).contains(&l));
+            counts[l as usize] += 1;
+        }
+        // Analytic P(len = 1) = e^-3 (1 + 3).
+        let p1 = (-mean).exp() * (1.0 + mean);
+        let emp1 = counts[1] as f64 / n as f64;
+        assert!((emp1 - p1).abs() < 0.01, "P(1): {emp1:.4} vs {p1:.4}");
+        // Mean should be close to E[clamp(Poisson(3), 1, 8)] ≈ 3.02.
+        let emp_mean: f64 = counts
+            .iter()
+            .enumerate()
+            .map(|(l, &c)| l as f64 * c as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!((emp_mean - 3.02).abs() < 0.05, "mean {emp_mean}");
+    }
+
+    #[test]
+    fn truncated_poisson_clamps_to_one() {
+        let table = TruncatedPoissonTable::new(0.01, 4);
+        let mut rng = SplitMix64::new(5);
+        for _ in 0..1000 {
+            assert_eq!(table.sample(&mut rng), 1);
+        }
     }
 }

@@ -8,11 +8,11 @@
 //! Bayes risk.
 
 use crate::batch::{MiniBatch, SparseBatch};
-use crate::dist::ZipfSampler;
+use crate::dist::{SplitMix64, TruncatedPoissonTable, ZipfTable};
 use crate::schema::ModelConfig;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rand_distr::{Distribution, Poisson, StandardNormal};
+use rand::SeedableRng;
+use rand_distr::{Distribution, StandardNormal};
 use serde::{Deserialize, Serialize};
 
 /// Digest of a generated batch's full contents, recorded as stage
@@ -106,11 +106,11 @@ fn sigmoid(x: f64) -> f64 {
 pub struct CtrGenerator {
     config: ModelConfig,
     params: DataParams,
-    rng: StdRng,
+    stream: SplitMix64,
     teacher_seed: u64,
     dense_weights: Vec<f32>,
-    zipf: Vec<ZipfSampler>,
-    lengths: Vec<Poisson<f64>>,
+    zipf: Vec<ZipfTable>,
+    lengths: Vec<TruncatedPoissonTable>,
 }
 
 impl CtrGenerator {
@@ -127,7 +127,7 @@ impl CtrGenerator {
     /// another stream.
     pub fn with_seeds(config: &ModelConfig, teacher_seed: u64, stream_seed: u64) -> Self {
         let mut gen = Self::with_params(config, teacher_seed, DataParams::default());
-        gen.rng = StdRng::seed_from_u64(stream_seed);
+        gen.stream = SplitMix64::new(stream_seed);
         gen
     }
 
@@ -137,6 +137,8 @@ impl CtrGenerator {
     ///
     /// Panics if `params.zipf_exponent` is not positive.
     pub fn with_params(config: &ModelConfig, seed: u64, params: DataParams) -> Self {
+        // Teacher weights keep the original StdRng draw (cold path, once per
+        // generator); the per-example stream is the fast splitmix sequence.
         let mut rng = StdRng::seed_from_u64(seed);
         let dense_weights: Vec<f32> = (0..config.num_dense())
             .map(|_| {
@@ -147,18 +149,18 @@ impl CtrGenerator {
         let zipf = config
             .sparse_features()
             .iter()
-            .map(|f| ZipfSampler::new(f.hash_size(), params.zipf_exponent))
+            .map(|f| ZipfTable::new(f.hash_size(), params.zipf_exponent))
             .collect();
         let lengths = config
             .sparse_features()
             .iter()
-            .map(|f| Poisson::new(f.mean_lookups().max(0.01)).expect("positive mean lookups"))
+            .map(|f| TruncatedPoissonTable::new(f.mean_lookups().max(0.01), config.truncation()))
             .collect();
         Self {
             config: config.clone(),
             params,
             teacher_seed: seed.wrapping_mul(0xA24B_AED4_963E_E407),
-            rng,
+            stream: SplitMix64::new(seed),
             dense_weights,
             zipf,
             lengths,
@@ -210,39 +212,54 @@ impl CtrGenerator {
     pub fn next_batch(&mut self, batch_size: usize) -> MiniBatch {
         assert!(batch_size > 0, "batch size must be positive");
         let num_dense = self.config.num_dense();
-        let truncation = self.config.truncation() as usize;
+        let num_sparse = self.config.sparse_features().len();
+        let d_sqrt = (num_dense as f64).sqrt();
+        let f_sqrt = (num_sparse as f64).sqrt();
+
+        // Flat, preallocated buffers: the per-example loop below allocates
+        // nothing, and the teacher logit is accumulated inline — in exactly
+        // the float-op order of `teacher_probability`, so labels and the
+        // Bayes estimator see bit-identical probabilities.
         let mut dense = Vec::with_capacity(batch_size * num_dense);
-        let mut per_feature: Vec<(Vec<usize>, Vec<u32>)> = self
-            .config
-            .sparse_features()
-            .iter()
-            .map(|_| (vec![0usize], Vec::new()))
+        let mut per_feature: Vec<(Vec<usize>, Vec<u32>)> = (0..num_sparse)
+            .map(|f| {
+                let mut offsets = Vec::with_capacity(batch_size + 1);
+                offsets.push(0usize);
+                let expect = (self.config.sparse_features()[f].mean_lookups().ceil() as usize)
+                    .max(1)
+                    * batch_size;
+                (offsets, Vec::with_capacity(expect))
+            })
             .collect();
         let mut labels = Vec::with_capacity(batch_size);
 
         for _ in 0..batch_size {
-            let row: Vec<f32> = (0..num_dense)
-                .map(|_| {
-                    let g: f64 = StandardNormal.sample(&mut self.rng);
-                    g as f32
-                })
-                .collect();
-            let mut example_sparse: Vec<Vec<u32>> = Vec::with_capacity(per_feature.len());
-            for (f, (offsets, indices)) in per_feature.iter_mut().enumerate() {
-                let raw = self.lengths[f].sample(&mut self.rng) as usize;
-                let len = raw.clamp(1, truncation);
-                let mut idxs = Vec::with_capacity(len);
-                for _ in 0..len {
-                    idxs.push(self.zipf[f].sample(&mut self.rng) as u32);
-                }
-                indices.extend_from_slice(&idxs);
-                offsets.push(indices.len());
-                example_sparse.push(idxs);
+            let mut logit = self.params.bias;
+            // detsan: reduction-order — sequential dense-weight dot, same
+            // order as `teacher_probability`
+            let mut dot = 0.0f64;
+            for &w in &self.dense_weights {
+                let x = self.stream.next_normal_f32();
+                dense.push(x);
+                dot += (x * w) as f64;
             }
-            let p = self.teacher_probability(&row, &example_sparse);
-            let label = if self.rng.gen_bool(p) { 1.0 } else { 0.0 };
+            logit += self.params.dense_signal * dot / d_sqrt;
+            for (f, (offsets, indices)) in per_feature.iter_mut().enumerate() {
+                let len = self.lengths[f].sample(&mut self.stream) as usize;
+                // detsan: reduction-order — sequential row-score sum in
+                // lookup order, same order as `teacher_probability`
+                let mut s = 0.0f64;
+                for _ in 0..len {
+                    let idx = self.zipf[f].sample(&mut self.stream) as u32;
+                    indices.push(idx);
+                    s += row_score(self.teacher_seed, f, idx) as f64;
+                }
+                offsets.push(indices.len());
+                logit += self.params.sparse_signal * s / (len as f64).sqrt() / f_sqrt;
+            }
+            let p = sigmoid(logit);
+            let label = if self.stream.next_f64() < p { 1.0 } else { 0.0 };
             labels.push(label);
-            dense.extend_from_slice(&row);
         }
 
         let sparse = per_feature

@@ -2,7 +2,7 @@
 
 use crate::embedding::{EmbeddingTable, SparseGradient};
 use crate::interaction::{InteractionCache, InteractionGradients, InteractionLayer};
-use crate::loss::bce_with_logits;
+use crate::loss::{bce_with_logits, bce_with_logits_scaled};
 use crate::mlp::{Mlp, MlpCache, MlpGradients};
 use crate::optim::Optimizer;
 use crate::tensor::Matrix;
@@ -43,6 +43,49 @@ pub struct DlrmGradients {
     pub interaction: InteractionGradients,
     /// Top-MLP gradients.
     pub top: MlpGradients,
+}
+
+impl DlrmGradients {
+    /// Folds per-shard gradients into the whole-batch gradient: dense
+    /// layers accumulate elementwise into shard 0's set in shard-index
+    /// order, and each table's sparse gradients go through one k-way
+    /// row-union merge ([`SparseGradient::merge_many`]). The shard split is
+    /// a pure function of the batch size, so the folded gradient is
+    /// bit-reproducible at any thread count.
+    ///
+    /// The activation-side interaction blocks (`d_bottom`/`d_embeddings`)
+    /// belong to disjoint example ranges and are already consumed inside
+    /// [`DlrmModel::backward`]; the fold keeps shard 0's blocks and callers
+    /// must not read them afterwards ([`DlrmModel::apply`] only uses the
+    /// projection gradients).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or the gradient sets disagree in shape.
+    pub fn fold(mut parts: Vec<DlrmGradients>) -> DlrmGradients {
+        assert!(!parts.is_empty(), "need at least one shard gradient");
+        if parts.len() == 1 {
+            return parts.remove(0);
+        }
+        let features = parts[0].tables.len();
+        for p in &parts {
+            assert_eq!(p.tables.len(), features, "feature count mismatch");
+        }
+        let tables: Vec<SparseGradient> = (0..features)
+            .map(|f| {
+                let shards: Vec<&SparseGradient> = parts.iter().map(|p| &p.tables[f]).collect();
+                SparseGradient::merge_many(&shards)
+            })
+            .collect();
+        let mut acc = parts.remove(0);
+        for p in parts {
+            acc.bottom.accumulate(&p.bottom);
+            acc.interaction.accumulate(&p.interaction);
+            acc.top.accumulate(&p.top);
+        }
+        acc.tables = tables;
+        acc
+    }
 }
 
 impl DlrmModel {
@@ -201,10 +244,39 @@ impl DlrmModel {
         loss
     }
 
+    /// Forward, loss and backward over a batch *shard* without applying:
+    /// returns the shard's **summed** BCE loss and gradients whose
+    /// per-example term is divided by `normalizer` (the full batch size).
+    /// Folding shard gradients via [`DlrmGradients::fold`] then yields the
+    /// full-batch mean-loss gradient up to the documented, shape-fixed
+    /// summation orders.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch does not match the configuration or
+    /// `normalizer` is zero.
+    pub fn forward_backward_scaled(
+        &self,
+        batch: &MiniBatch,
+        normalizer: usize,
+    ) -> (f64, DlrmGradients) {
+        let (logits, cache) = self.forward(batch);
+        let (loss_sum, d_logits) = bce_with_logits_scaled(&logits, batch.labels(), normalizer);
+        (loss_sum, self.backward(batch, &cache, &d_logits))
+    }
+
     /// Evaluates mean BCE loss on a batch without updating parameters.
     pub fn evaluate(&self, batch: &MiniBatch) -> f64 {
         let (logits, _) = self.forward(batch);
         bce_with_logits(&logits, batch.labels()).0
+    }
+
+    /// Evaluates the **summed** BCE loss of a batch shard (no averaging),
+    /// for shard-parallel evaluation: shard sums divide by the total
+    /// example count after a fixed serial fold.
+    pub fn evaluate_sum(&self, batch: &MiniBatch) -> f64 {
+        let (logits, _) = self.forward(batch);
+        bce_with_logits_scaled(&logits, batch.labels(), batch.batch_size()).0
     }
 
     /// Elastic-averaging pull toward a center replica: dense parameters move
@@ -329,7 +401,10 @@ mod tests {
         // Finite difference on a table row that the batch actually touched.
         let touched = grads.tables[0].rows().first().copied();
         if let Some(row) = touched {
-            let eps = 1e-2f32;
+            // Small eps: hot rows recur ~20x per bag here (Zipf skew into a
+            // tiny hash space), so a large poke moves the pooled embedding
+            // far enough to cross ReLU kinks and invalidate the FD.
+            let eps = 1e-3f32;
             let poke = |delta: f32| -> f64 {
                 let mut m = model.clone();
                 let mut g = Matrix::zeros(1, cfg.embedding_dim());

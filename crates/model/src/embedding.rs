@@ -55,6 +55,65 @@ impl SparseGradient {
     pub fn touched(&self) -> usize {
         self.rows.len()
     }
+
+    /// K-way merge of per-shard coalesced gradients: the union of the
+    /// sorted row sets, each output row summing its contributions in
+    /// shard-index order. One pass, one allocation — a pairwise merge tree
+    /// would copy every untouched row once per level. The shard split is a
+    /// pure function of the batch size, so the result never depends on
+    /// thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or gradient widths disagree.
+    pub fn merge_many(parts: &[&SparseGradient]) -> SparseGradient {
+        assert!(!parts.is_empty(), "need at least one shard gradient");
+        let live: Vec<&SparseGradient> = parts
+            .iter()
+            .copied()
+            .filter(|p| !p.rows.is_empty())
+            .collect();
+        match live.len() {
+            0 => return parts[0].clone(),
+            1 => return live[0].clone(),
+            _ => {}
+        }
+        let dim = live[0].grads.cols();
+        for p in &live {
+            assert_eq!(p.grads.cols(), dim, "gradient width mismatch");
+        }
+        let upper: usize = live.iter().map(|p| p.rows.len()).sum();
+        let mut rows = Vec::with_capacity(upper);
+        let mut data: Vec<f32> = Vec::with_capacity(upper * dim);
+        let mut cursors = vec![0usize; live.len()];
+        loop {
+            let mut head: Option<u32> = None;
+            for (p, &c) in live.iter().zip(&cursors) {
+                if let Some(&r) = p.rows.get(c) {
+                    head = Some(head.map_or(r, |m| m.min(r)));
+                }
+            }
+            let Some(r) = head else { break };
+            rows.push(r);
+            let start = data.len();
+            data.resize(start + dim, 0.0);
+            // detsan: reduction-order — contributing shards summed in
+            // shard-index order, fixed by the batch-size-only shard split
+            for (p, c) in live.iter().zip(cursors.iter_mut()) {
+                if p.rows.get(*c) == Some(&r) {
+                    for (d, &v) in data[start..].iter_mut().zip(p.grads.row(*c)) {
+                        *d += v;
+                    }
+                    *c += 1;
+                }
+            }
+        }
+        let touched = rows.len();
+        SparseGradient {
+            rows,
+            grads: Matrix::from_vec(touched, dim, data),
+        }
+    }
 }
 
 impl EmbeddingTable {
@@ -117,6 +176,41 @@ impl EmbeddingTable {
         let mut out = Matrix::zeros(batch.batch_size(), self.dim());
         for (i, idxs) in batch.iter().enumerate() {
             let row = out.row_mut(i);
+            // Fused gather+pool: two table rows combine into the bag per
+            // pass, halving loads/stores of the output row versus one
+            // row-at-a-time accumulation.
+            // detsan: reduction-order — index pairs in bag order, fixed by
+            // the batch contents alone
+            let mut pairs = idxs.chunks_exact(2);
+            for p in &mut pairs {
+                let s0 = self.weights.row(p[0] as usize);
+                let s1 = self.weights.row(p[1] as usize);
+                for (o, (&v0, &v1)) in row.iter_mut().zip(s0.iter().zip(s1)) {
+                    *o += v0 + v1;
+                }
+            }
+            if let [idx] = pairs.remainder() {
+                let src = self.weights.row(*idx as usize);
+                for (o, &v) in row.iter_mut().zip(src) {
+                    *o += v;
+                }
+            }
+        }
+        out
+    }
+
+    /// Reference sum-pool gather: one table row accumulated at a time in
+    /// strict bag order. Retained off the hot path as the proptest baseline
+    /// for the fused [`EmbeddingTable::forward`]
+    /// (`crates/model/tests/kernel_equivalence.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn forward_reference(&self, batch: &SparseBatch) -> Matrix {
+        let mut out = Matrix::zeros(batch.batch_size(), self.dim());
+        for (i, idxs) in batch.iter().enumerate() {
+            let row = out.row_mut(i);
             for &idx in idxs {
                 let src = self.weights.row(idx as usize);
                 for (o, &v) in row.iter_mut().zip(src) {
@@ -146,6 +240,60 @@ impl EmbeddingTable {
             rows.len(),
             self.dim(),
         ));
+        // Coalesced scatter: every lookup's destination slot is resolved
+        // once up front (one binary search per lookup, in stream order),
+        // then the accumulation loop runs branch-free over contiguous rows
+        // with no per-example copies of the upstream gradient. (A stable
+        // counting-sort bucketing by destination row was measured slower
+        // here: at embedding dims this small the extra index traffic costs
+        // more than the destination-row locality it buys.)
+        let positions: Vec<u32> = batch
+            .indices()
+            .iter()
+            .map(|idx| match rows.binary_search(idx) {
+                Ok(p) => p as u32,
+                // `rows` holds every batch index by construction.
+                Err(_) => unreachable!("index missing from coalesced rows"),
+            })
+            .collect();
+        let mut grads = Matrix::zeros(rows.len().max(1), self.dim());
+        let mut cursor = 0usize;
+        // detsan: reduction-order — lookups scattered in stream order,
+        // identical to the reference scatter (byte-for-byte)
+        for (i, idxs) in batch.iter().enumerate() {
+            let dy_row = dy.row(i);
+            for &p in &positions[cursor..cursor + idxs.len()] {
+                let dst = grads.row_mut(p as usize);
+                for (d, &v) in dst.iter_mut().zip(dy_row) {
+                    *d += v;
+                }
+            }
+            cursor += idxs.len();
+        }
+        if rows.is_empty() {
+            // Degenerate batch with no activations: empty gradient.
+            return SparseGradient {
+                rows,
+                grads: Matrix::zeros(1, self.dim()),
+            };
+        }
+        SparseGradient { rows, grads }
+    }
+
+    /// Reference scatter: per-lookup binary search with a copied upstream
+    /// row, exactly the pre-optimization kernel. The coalesced
+    /// [`EmbeddingTable::backward`] is property-tested byte-identical to
+    /// this (`crates/model/tests/kernel_equivalence.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dy`'s shape does not match the batch and dimension.
+    pub fn backward_reference(&self, batch: &SparseBatch, dy: &Matrix) -> SparseGradient {
+        assert_eq!(dy.rows(), batch.batch_size(), "batch size mismatch");
+        assert_eq!(dy.cols(), self.dim(), "gradient width mismatch");
+        let mut rows: Vec<u32> = batch.indices().to_vec();
+        rows.sort_unstable();
+        rows.dedup();
         let pos = |idx: u32| rows.binary_search(&idx).expect("present by construction");
         let mut grads = Matrix::zeros(rows.len().max(1), self.dim());
         for (i, idxs) in batch.iter().enumerate() {
@@ -158,7 +306,6 @@ impl EmbeddingTable {
             }
         }
         if rows.is_empty() {
-            // Degenerate batch with no activations: empty gradient.
             return SparseGradient {
                 rows,
                 grads: Matrix::zeros(1, self.dim()),

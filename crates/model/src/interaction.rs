@@ -44,6 +44,30 @@ pub struct InteractionGradients {
     pub d_embeddings: Vec<Matrix>,
 }
 
+impl InteractionGradients {
+    /// Adds another shard's parameter (projection) gradients in place.
+    ///
+    /// Only the projection gradients accumulate: `d_bottom` and
+    /// `d_embeddings` are activation-side gradients whose rows belong to a
+    /// single shard's examples, so the accumulator keeps its own blocks and
+    /// callers must not read them after folding. `apply` only consumes the
+    /// projection gradients, so this is sufficient for training.
+    ///
+    /// # Panics
+    ///
+    /// Panics if one side has projection gradients and the other does not.
+    pub fn accumulate(&mut self, other: &InteractionGradients) {
+        assert_eq!(
+            self.projection.is_some(),
+            other.projection.is_some(),
+            "interaction gradient variant mismatch"
+        );
+        if let (Some(a), Some(b)) = (&mut self.projection, &other.projection) {
+            a.accumulate(b);
+        }
+    }
+}
+
 impl InteractionLayer {
     /// Creates a concat interaction.
     pub fn concat() -> Self {
@@ -122,8 +146,7 @@ impl InteractionLayer {
                         for row in 0..b {
                             let vi = vectors[i].row(row);
                             let vj = vectors[j].row(row);
-                            let dot: f32 = vi.iter().zip(vj).map(|(&a, &c)| a * c).sum();
-                            dots.set(row, k, dot);
+                            dots.set(row, k, crate::tensor::dot(vi, vj));
                         }
                         k += 1;
                     }
@@ -209,19 +232,19 @@ impl InteractionLayer {
                 let mut d_vectors: Vec<Matrix> =
                     (0..n).map(|_| Matrix::zeros(b, embedding_dim)).collect();
                 let mut k = 0usize;
+                // Branch-free axpy pairs straight from the cached vectors:
+                // no per-row copies and no data-dependent zero-skip, so the
+                // inner loops vectorize.
                 for i in 0..n {
                     for j in (i + 1)..n {
                         for row in 0..b {
                             let g = d_dots.get(row, k);
-                            if g == 0.0 {
-                                continue;
-                            }
-                            let vj = cache.vectors[j].row(row).to_vec();
-                            for (d, &v) in d_vectors[i].row_mut(row).iter_mut().zip(&vj) {
+                            let vj = cache.vectors[j].row(row);
+                            for (d, &v) in d_vectors[i].row_mut(row).iter_mut().zip(vj) {
                                 *d += g * v;
                             }
-                            let vi = cache.vectors[i].row(row).to_vec();
-                            for (d, &v) in d_vectors[j].row_mut(row).iter_mut().zip(&vi) {
+                            let vi = cache.vectors[i].row(row);
+                            for (d, &v) in d_vectors[j].row_mut(row).iter_mut().zip(vi) {
                                 *d += g * v;
                             }
                         }

@@ -39,6 +39,25 @@ pub struct LinearGradients {
     pub bias: Vec<f32>,
 }
 
+impl LinearGradients {
+    /// Adds another shard's gradients in place, elementwise. The shard fold
+    /// accumulates shards in shard-index order, so the sum never depends on
+    /// thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree.
+    pub fn accumulate(&mut self, other: &LinearGradients) {
+        assert_eq!(self.bias.len(), other.bias.len(), "bias length mismatch");
+        // detsan: reduction-order — shards accumulate in shard-index order,
+        // elementwise
+        self.weight.add_scaled(&other.weight, 1.0);
+        for (a, &b) in self.bias.iter_mut().zip(&other.bias) {
+            *a += b;
+        }
+    }
+}
+
 impl Linear {
     /// Creates a layer with Xavier-initialized weights and zero bias.
     ///

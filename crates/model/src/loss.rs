@@ -31,20 +31,49 @@ fn sigmoid(x: f32) -> f32 {
 /// assert!(loss < 1e-3, "confident correct predictions, loss {loss}");
 /// ```
 pub fn bce_with_logits(logits: &Matrix, labels: &[f32]) -> (f64, Matrix) {
+    let b = labels.len();
+    let (total, grad) = bce_with_logits_scaled(logits, labels, b);
+    (total / b as f64, grad)
+}
+
+/// Binary cross-entropy over a batch *shard* with an explicit gradient
+/// normalizer: returns the **summed** (not averaged) loss and per-example
+/// gradients divided by `normalizer` rather than the shard length.
+///
+/// The batch-shard-parallel training step evaluates each shard with
+/// `normalizer` set to the full batch size, so summing shard gradients
+/// reproduces full-batch mean-loss gradients exactly (up to the documented,
+/// shape-fixed summation order). [`bce_with_logits`] is this with
+/// `normalizer == labels.len()`.
+///
+/// # Panics
+///
+/// Panics if `logits` is not a column (`B×1`), label count disagrees, or
+/// `normalizer` is zero.
+pub fn bce_with_logits_scaled(logits: &Matrix, labels: &[f32], normalizer: usize) -> (f64, Matrix) {
     assert_eq!(logits.cols(), 1, "logits must be a column vector");
     assert_eq!(logits.rows(), labels.len(), "label count mismatch");
+    assert!(normalizer > 0, "normalizer must be positive");
     let _prof = prof::scope(Op::LossBce, Counters::bce_loss(labels.len()));
     let b = labels.len();
+    let inv_n = 1.0 / normalizer as f32;
     let mut grad = Matrix::zeros(b, 1);
     let mut total = 0.0f64;
-    for (i, &y) in labels.iter().enumerate() {
-        let x = logits.get(i, 0);
+    // Branch-free slice loop (column matrices are contiguous, so the
+    // gradient writes stream straight through the buffer).
+    // detsan: reduction-order — sequential example-order loss sum
+    for ((g, &x), &y) in grad
+        .as_mut_slice()
+        .iter_mut()
+        .zip(logits.as_slice())
+        .zip(labels)
+    {
         // log(1+exp(-|x|)) + max(x,0) - x*y  (stable form)
         let loss = (-x.abs()).exp().ln_1p() + x.max(0.0) - x * y;
         total += loss as f64;
-        grad.set(i, 0, (sigmoid(x) - y) / b as f32);
+        *g = (sigmoid(x) - y) * inv_n;
     }
-    (total / b as f64, grad)
+    (total, grad)
 }
 
 /// Mean binary log loss of probability predictions (no gradient).

@@ -25,12 +25,13 @@ pub struct Mlp {
     relu_last: bool,
 }
 
-/// Forward activations retained for the backward pass: the input to each
-/// layer and each post-activation output.
+/// Forward activations retained for the backward pass: `values[i]` is the
+/// input to layer `i` and `values[i + 1]` its post-activation output, so
+/// one chain of `layers + 1` matrices serves both roles without the
+/// duplicate clones a separate inputs/activations split would keep.
 #[derive(Debug, Clone)]
 pub struct MlpCache {
-    inputs: Vec<Matrix>,
-    activations: Vec<Matrix>,
+    values: Vec<Matrix>,
 }
 
 /// Gradients for every layer of an [`Mlp`], outermost first.
@@ -38,6 +39,24 @@ pub struct MlpCache {
 pub struct MlpGradients {
     /// Per-layer parameter gradients, in layer order.
     pub layers: Vec<LinearGradients>,
+}
+
+impl MlpGradients {
+    /// Adds another shard's gradients in place, layer by layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if layer counts or shapes disagree.
+    pub fn accumulate(&mut self, other: &MlpGradients) {
+        assert_eq!(
+            self.layers.len(),
+            other.layers.len(),
+            "layer count mismatch"
+        );
+        for (a, b) in self.layers.iter_mut().zip(&other.layers) {
+            a.accumulate(b);
+        }
+    }
 }
 
 impl Mlp {
@@ -82,26 +101,22 @@ impl Mlp {
 
     /// Forward pass; returns the output and the cache for backprop.
     pub fn forward(&self, x: &Matrix) -> (Matrix, MlpCache) {
-        let mut inputs = Vec::with_capacity(self.layers.len());
-        let mut activations = Vec::with_capacity(self.layers.len());
-        let mut cur = x.clone();
+        let mut values = Vec::with_capacity(self.layers.len() + 1);
+        values.push(x.clone());
         for (i, layer) in self.layers.iter().enumerate() {
-            inputs.push(cur.clone());
-            let mut y = layer.forward(&cur);
+            // `values[i]` is layer `i`'s input, pushed by the previous turn.
+            let mut y = layer.forward(&values[i]);
             let is_last = i + 1 == self.layers.len();
             if !is_last || self.relu_last {
-                y = y.map(|v| v.max(0.0));
+                // In-place branch-free ReLU on the freshly produced matrix.
+                for v in y.as_mut_slice() {
+                    *v = v.max(0.0);
+                }
             }
-            activations.push(y.clone());
-            cur = y;
+            values.push(y);
         }
-        (
-            cur,
-            MlpCache {
-                inputs,
-                activations,
-            },
-        )
+        let out = values[self.layers.len()].clone();
+        (out, MlpCache { values })
     }
 
     /// Backward pass from upstream gradient `dy`; returns per-layer
@@ -111,26 +126,31 @@ impl Mlp {
     ///
     /// Panics if the cache does not match this MLP.
     pub fn backward(&self, cache: &MlpCache, dy: &Matrix) -> (MlpGradients, Matrix) {
-        assert_eq!(cache.inputs.len(), self.layers.len(), "stale cache");
-        let mut grads = vec![None; self.layers.len()];
+        assert_eq!(cache.values.len(), self.layers.len() + 1, "stale cache");
+        // Collected outermost-last while walking the stack in reverse, then
+        // flipped into layer order once.
+        let mut grads = Vec::with_capacity(self.layers.len());
         let mut upstream = dy.clone();
         for (i, layer) in self.layers.iter().enumerate().rev() {
             let is_last = i + 1 == self.layers.len();
             if !is_last || self.relu_last {
-                // Gate by the ReLU mask of this layer's activation.
-                let mask = cache.activations[i].map(|v| if v > 0.0 { 1.0 } else { 0.0 });
-                upstream = upstream.hadamard(&mask);
+                // Gate by this layer's ReLU mask, fused in place: one pass
+                // multiplying by {0, 1} instead of materializing a mask
+                // matrix and a Hadamard product.
+                for (u, &a) in upstream
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(cache.values[i + 1].as_slice())
+                {
+                    *u *= if a > 0.0 { 1.0 } else { 0.0 };
+                }
             }
-            let (g, dx) = layer.backward(&cache.inputs[i], &upstream);
-            grads[i] = Some(g);
+            let (g, dx) = layer.backward(&cache.values[i], &upstream);
+            grads.push(g);
             upstream = dx;
         }
-        (
-            MlpGradients {
-                layers: grads.into_iter().map(|g| g.expect("filled")).collect(),
-            },
-            upstream,
-        )
+        grads.reverse();
+        (MlpGradients { layers: grads }, upstream)
     }
 
     /// Applies per-layer gradients.
@@ -173,7 +193,7 @@ mod tests {
         let x = Matrix::xavier(3, 4, 2);
         let (y, cache) = mlp.forward(&x);
         assert_eq!((y.rows(), y.cols()), (3, 2));
-        assert_eq!(cache.inputs.len(), 3);
+        assert_eq!(cache.values.len(), 4);
     }
 
     #[test]

@@ -228,6 +228,73 @@ impl Optimizer {
                 let acc = state.get_or_insert_with(|| Matrix::zeros(param.rows(), param.cols()));
                 for (i, &r) in rows.iter().enumerate() {
                     let r = r as usize;
+                    // Fused single pass over the row: accumulator and
+                    // parameter update per element, with no temporary row
+                    // copies. Byte-identical to the former two-pass form —
+                    // the second pass already read the freshly updated
+                    // accumulator element.
+                    for ((p, &g), a) in param
+                        .row_mut(r)
+                        .iter_mut()
+                        .zip(grads.row(i))
+                        .zip(acc.row_mut(r))
+                    {
+                        *a += g * g;
+                        *p -= lr * g / (a.sqrt() + eps);
+                    }
+                }
+            }
+            Optimizer::RowWiseAdagrad { lr, eps } => {
+                // State: one accumulator per table row (n x 1) — 1/d the
+                // memory of full Adagrad, the production default for
+                // embedding tables.
+                let acc = state.get_or_insert_with(|| Matrix::zeros(param.rows(), 1));
+                for (i, &r) in rows.iter().enumerate() {
+                    let r = r as usize;
+                    let g_row = grads.row(i);
+                    let mean_sq = g_row.iter().map(|&g| g * g).sum::<f32>() / g_row.len() as f32;
+                    let a = acc.get(r, 0) + mean_sq;
+                    acc.set(r, 0, a);
+                    let scale = lr / (a.sqrt() + eps);
+                    for (p, &g) in param.row_mut(r).iter_mut().zip(g_row) {
+                        *p -= scale * g;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reference sparse row update: the pre-optimization two-pass kernel
+    /// with temporary row copies. Retained off the hot path as the proptest
+    /// baseline the fused [`Optimizer::update_rows`] must match
+    /// byte-for-byte (`crates/model/tests/kernel_equivalence.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths disagree, `grads.rows() != rows.len()`, or a row is
+    /// out of bounds.
+    pub fn update_rows_reference(
+        &mut self,
+        param: &mut Matrix,
+        rows: &[u32],
+        grads: &Matrix,
+        state: &mut Option<Matrix>,
+    ) {
+        assert_eq!(grads.rows(), rows.len(), "row count mismatch");
+        assert_eq!(grads.cols(), param.cols(), "row width mismatch");
+        match *self {
+            Optimizer::Sgd { lr } => {
+                for (i, &r) in rows.iter().enumerate() {
+                    let dst = param.row_mut(r as usize);
+                    for (p, &g) in dst.iter_mut().zip(grads.row(i)) {
+                        *p -= lr * g;
+                    }
+                }
+            }
+            Optimizer::Adagrad { lr, eps } => {
+                let acc = state.get_or_insert_with(|| Matrix::zeros(param.rows(), param.cols()));
+                for (i, &r) in rows.iter().enumerate() {
+                    let r = r as usize;
                     let g_row = grads.row(i).to_vec();
                     let a_row = acc.row_mut(r);
                     for (a, &g) in a_row.iter_mut().zip(&g_row) {
@@ -241,9 +308,6 @@ impl Optimizer {
                 }
             }
             Optimizer::RowWiseAdagrad { lr, eps } => {
-                // State: one accumulator per table row (n x 1) — 1/d the
-                // memory of full Adagrad, the production default for
-                // embedding tables.
                 let acc = state.get_or_insert_with(|| Matrix::zeros(param.rows(), 1));
                 for (i, &r) in rows.iter().enumerate() {
                     let r = r as usize;

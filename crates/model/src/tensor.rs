@@ -10,6 +10,49 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+/// Rows of the shared dimension consumed per pass by the unrolled GEMM
+/// microkernels. Four rank-1 updates share one load/store of the output
+/// row, and the combined inner loop is branch-free so the autovectorizer
+/// turns it into packed FMAs.
+const K_UNROLL: usize = 4;
+
+/// Independent accumulators in the vectorized dot product. Eight running
+/// sums break the loop-carried dependence of a sequential reduction, which
+/// is what lets the compiler keep a full SIMD register of partial sums.
+const DOT_LANES: usize = 8;
+
+/// Vectorized dot product: [`DOT_LANES`] independent accumulators folded in
+/// a fixed pairwise tree, with the sub-lane remainder summed sequentially
+/// and added last. The summation order is a pure function of the slice
+/// length — never of thread count — so results are deterministic at any
+/// pool width (the order differs from a strict sequential sum, which is the
+/// documented tolerance in the kernel-equivalence proptests).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+// detsan: reduction-order — fixed 8-lane pairwise fold + sequential tail
+pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    let mut lanes = [0.0f32; DOT_LANES];
+    let mut ac = a.chunks_exact(DOT_LANES);
+    let mut bc = b.chunks_exact(DOT_LANES);
+    for (av, bv) in (&mut ac).zip(&mut bc) {
+        for l in 0..DOT_LANES {
+            lanes[l] += av[l] * bv[l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for (&x, &y) in ac.remainder().iter().zip(bc.remainder()) {
+        tail += x * y;
+    }
+    let s01 = lanes[0] + lanes[1];
+    let s23 = lanes[2] + lanes[3];
+    let s45 = lanes[4] + lanes[5];
+    let s67 = lanes[6] + lanes[7];
+    ((s01 + s23) + (s45 + s67)) + tail
+}
+
 /// A dense row-major matrix of `f32`.
 ///
 /// # Example
@@ -152,30 +195,79 @@ impl Matrix {
 
     /// `self · other`.
     ///
+    /// i-k-j loop order with the `k` dimension unrolled by [`K_UNROLL`]:
+    /// four rows of `B` are combined into the output row per pass through a
+    /// branch-free inner loop (no data-dependent zero-skip), which the
+    /// autovectorizer turns into packed multiply-adds. Per output element
+    /// the `k` terms accumulate in groups of four left-to-right — an order
+    /// fixed by the shapes alone, so results are identical at any thread
+    /// count (see [`Matrix::matmul_naive`] for the sequential reference).
+    ///
     /// # Panics
     ///
     /// Panics if inner dimensions disagree.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
         let mut out = Matrix::zeros(self.rows, other.cols);
-        // i-k-j loop order: streaming access on both inputs and the output.
+        let n = other.cols;
         for i in 0..self.rows {
             let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            let mut k = 0;
+            // detsan: reduction-order — k-groups of 4 combined left-to-right,
+            // fixed by shape, never thread-count-dependent
+            while k + K_UNROLL <= self.cols {
+                let (a0, a1, a2, a3) = (a_row[k], a_row[k + 1], a_row[k + 2], a_row[k + 3]);
+                let b0 = &other.data[k * n..(k + 1) * n];
+                let b1 = &other.data[(k + 1) * n..(k + 2) * n];
+                let b2 = &other.data[(k + 2) * n..(k + 3) * n];
+                let b3 = &other.data[(k + 3) * n..(k + 4) * n];
+                let bs = b0.iter().zip(b1.iter().zip(b2.iter().zip(b3)));
+                for (o, (&v0, (&v1, (&v2, &v3)))) in out_row.iter_mut().zip(bs) {
+                    *o += a0 * v0 + a1 * v1 + a2 * v2 + a3 * v3;
                 }
-                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
+                k += K_UNROLL;
+            }
+            while k < self.cols {
+                let a = a_row[k];
+                let b_row = &other.data[k * n..(k + 1) * n];
                 for (o, &b) in out_row.iter_mut().zip(b_row) {
                     *o += a * b;
                 }
+                k += 1;
+            }
+        }
+        out
+    }
+
+    /// Reference `self · other`: the textbook triple loop with strictly
+    /// sequential accumulation over `k`. Retained off the hot path as the
+    /// semantic baseline the unrolled [`Matrix::matmul`] is property-tested
+    /// against (`crates/model/tests/kernel_equivalence.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    pub fn matmul_naive(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for j in 0..other.cols {
+                let mut acc = 0.0f32;
+                for k in 0..self.cols {
+                    acc += self.get(i, k) * other.get(k, j);
+                }
+                out.set(i, j, acc);
             }
         }
         out
     }
 
     /// `self · otherᵀ`.
+    ///
+    /// Each output element is an inner product of two contiguous rows,
+    /// computed by the multi-accumulator [`dot`] kernel (fixed pairwise
+    /// lane fold; order depends only on the row length).
     ///
     /// # Panics
     ///
@@ -188,16 +280,46 @@ impl Matrix {
         let mut out = Matrix::zeros(self.rows, other.rows);
         for i in 0..self.rows {
             let a_row = self.row(i);
+            let out_row = &mut out.data[i * other.rows..(i + 1) * other.rows];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                *o = dot(a_row, other.row(j));
+            }
+        }
+        out
+    }
+
+    /// Reference `self · otherᵀ` with strictly sequential dot products,
+    /// retained as the proptest baseline for [`Matrix::matmul_transposed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if column counts disagree.
+    pub fn matmul_transposed_naive(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transposed dimension mismatch"
+        );
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
             for j in 0..other.rows {
                 let b_row = other.row(j);
-                let dot: f32 = a_row.iter().zip(b_row).map(|(&a, &b)| a * b).sum();
-                out.set(i, j, dot);
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out.set(i, j, acc);
             }
         }
         out
     }
 
     /// `selfᵀ · other`.
+    ///
+    /// The shared (batch) dimension is unrolled by [`K_UNROLL`]: four rows
+    /// of `other` are scattered into each output row per pass through a
+    /// branch-free combined inner loop. Like [`Matrix::matmul`], the
+    /// accumulation order is fixed by the shapes alone.
     ///
     /// # Panics
     ///
@@ -207,14 +329,66 @@ impl Matrix {
             self.rows, other.rows,
             "transposed_matmul dimension mismatch"
         );
+        let m = self.cols;
+        let n = other.cols;
+        let mut out = Matrix::zeros(m, n);
+        let mut k = 0;
+        // detsan: reduction-order — k-groups of 4 combined left-to-right,
+        // fixed by shape, never thread-count-dependent
+        while k + K_UNROLL <= self.rows {
+            let (a0, a1, a2, a3) = (
+                self.row(k),
+                self.row(k + 1),
+                self.row(k + 2),
+                self.row(k + 3),
+            );
+            let (b0, b1, b2, b3) = (
+                other.row(k),
+                other.row(k + 1),
+                other.row(k + 2),
+                other.row(k + 3),
+            );
+            for i in 0..m {
+                let (c0, c1, c2, c3) = (a0[i], a1[i], a2[i], a3[i]);
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                let bs = b0.iter().zip(b1.iter().zip(b2.iter().zip(b3)));
+                for (o, (&v0, (&v1, (&v2, &v3)))) in out_row.iter_mut().zip(bs) {
+                    *o += c0 * v0 + c1 * v1 + c2 * v2 + c3 * v3;
+                }
+            }
+            k += K_UNROLL;
+        }
+        while k < self.rows {
+            let a_row = self.row(k);
+            let b_row = other.row(k);
+            for (i, &a) in a_row.iter().enumerate() {
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+            k += 1;
+        }
+        out
+    }
+
+    /// Reference `selfᵀ · other` accumulating strictly sequentially over
+    /// the shared dimension, retained as the proptest baseline for
+    /// [`Matrix::transposed_matmul`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts disagree.
+    pub fn transposed_matmul_naive(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "transposed_matmul dimension mismatch"
+        );
         let mut out = Matrix::zeros(self.cols, other.cols);
         for k in 0..self.rows {
             let a_row = self.row(k);
             let b_row = other.row(k);
             for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
                 let out_row = out.row_mut(i);
                 for (o, &b) in out_row.iter_mut().zip(b_row) {
                     *o += a * b;
@@ -394,6 +568,30 @@ mod tests {
             &a.transposed().matmul(&c),
             1e-6
         ));
+    }
+
+    #[test]
+    fn unrolled_kernels_match_naive_references() {
+        // Shapes straddle the unroll/lane boundaries (K_UNROLL=4, DOT_LANES=8)
+        // including ragged remainders; the proptests in
+        // tests/kernel_equivalence.rs cover random shapes.
+        for (r, k, c) in [(1, 1, 1), (3, 5, 7), (4, 8, 2), (6, 17, 9), (2, 32, 3)] {
+            let a = Matrix::xavier(r, k, 11);
+            let b = Matrix::xavier(k, c, 12);
+            assert!(approx(&a.matmul(&b), &a.matmul_naive(&b), 1e-5));
+            let bt = Matrix::xavier(c, k, 13);
+            assert!(approx(
+                &a.matmul_transposed(&bt),
+                &a.matmul_transposed_naive(&bt),
+                1e-5
+            ));
+            let o = Matrix::xavier(r, c, 14);
+            assert!(approx(
+                &a.transposed_matmul(&o),
+                &a.transposed_matmul_naive(&o),
+                1e-5
+            ));
+        }
     }
 
     #[test]

@@ -1,0 +1,249 @@
+//! Equivalence of the optimized kernels against their retained reference
+//! implementations (DESIGN.md §13).
+//!
+//! Two tiers of guarantee, each pinned here at random and ragged shapes:
+//!
+//! - **Byte-identical**: the coalesced embedding scatter
+//!   (`EmbeddingTable::backward`) and the fused sparse optimizer update
+//!   (`Optimizer::update_rows`) perform the same float operations in the
+//!   same order as their references — results must match bit-for-bit.
+//! - **Documented tolerance** (RV016 reduction-order change): the tiled
+//!   GEMMs and the pair-fused embedding gather reassociate their
+//!   accumulations, so they match the naive kernels to float tolerance
+//!   only. The changed orders are fixed functions of the shapes, so
+//!   determinism at any thread count is unaffected.
+//!
+//! The seeded loop tests run in every build; the `proptest!` blocks fuzz
+//! the same properties in CI (they compile out of offline shadow builds).
+
+use proptest::prelude::*;
+use recsim_data::SparseBatch;
+use recsim_model::embedding::EmbeddingTable;
+use recsim_model::optim::Optimizer;
+use recsim_model::Matrix;
+
+/// Minimal splittable generator so the loop tests need no external RNG.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    fn val(&mut self) -> f32 {
+        (self.next_u64() % 4001) as f32 / 2000.0 - 1.0
+    }
+
+    fn matrix(&mut self, rows: usize, cols: usize) -> Matrix {
+        Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| self.val()).collect())
+    }
+
+    /// A ragged sparse batch: `batch` examples, bags of 0..=max_len lookups
+    /// into `hash` rows.
+    fn sparse(&mut self, batch: usize, hash: usize, max_len: usize) -> SparseBatch {
+        let mut offsets = vec![0usize];
+        let mut indices = Vec::new();
+        for _ in 0..batch {
+            let len = self.below(max_len + 1);
+            for _ in 0..len {
+                indices.push(self.below(hash) as u32);
+            }
+            offsets.push(indices.len());
+        }
+        SparseBatch::new(offsets, indices)
+    }
+}
+
+fn assert_close(a: &Matrix, b: &Matrix, tol: f32, what: &str) {
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()), "{what}: shape");
+    for (i, (&x, &y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        assert!(
+            (x - y).abs() <= tol * x.abs().max(y.abs()).max(1.0),
+            "{what}: element {i}: {x} vs {y}"
+        );
+    }
+}
+
+#[test]
+fn tiled_gemms_match_naive_at_ragged_shapes() {
+    let mut rng = Lcg(0x9E3779B97F4A7C15);
+    for trial in 0..60 {
+        // Deliberately ragged: shapes straddle the unroll widths (4-wide k,
+        // 8-lane dot) so every remainder path is exercised.
+        let m = 1 + rng.below(13);
+        let k = 1 + rng.below(19);
+        let n = 1 + rng.below(13);
+        let a = rng.matrix(m, k);
+        let b = rng.matrix(k, n);
+        assert_close(
+            &a.matmul(&b),
+            &a.matmul_naive(&b),
+            1e-5,
+            &format!("matmul trial {trial} ({m}x{k}x{n})"),
+        );
+        let bt = rng.matrix(n, k);
+        assert_close(
+            &a.matmul_transposed(&bt),
+            &a.matmul_transposed_naive(&bt),
+            1e-5,
+            &format!("matmul_transposed trial {trial}"),
+        );
+        let c = rng.matrix(m, n);
+        assert_close(
+            &a.transposed_matmul(&c),
+            &a.transposed_matmul_naive(&c),
+            1e-5,
+            &format!("transposed_matmul trial {trial}"),
+        );
+    }
+}
+
+#[test]
+fn fused_gather_matches_reference_at_ragged_bags() {
+    let mut rng = Lcg(0xA24BAED4963EE407);
+    for trial in 0..40 {
+        let hash = 1 + rng.below(40);
+        let dim = 1 + rng.below(12);
+        let table = EmbeddingTable::new(hash, dim, trial);
+        let bsz = 1 + rng.below(9);
+        let batch = rng.sparse(bsz, hash, 9);
+        // Pair-fused pooling reassociates the bag sum: tolerance, not bytes.
+        assert_close(
+            &table.forward(&batch),
+            &table.forward_reference(&batch),
+            1e-5,
+            &format!("fused gather trial {trial}"),
+        );
+    }
+}
+
+#[test]
+fn coalesced_scatter_is_byte_identical_to_reference() {
+    let mut rng = Lcg(0x85EBCA77C2B2AE63);
+    for trial in 0..40 {
+        let hash = 1 + rng.below(40);
+        let dim = 1 + rng.below(12);
+        let table = EmbeddingTable::new(hash, dim, trial);
+        let bsz = 1 + rng.below(9);
+        let batch = rng.sparse(bsz, hash, 9);
+        let dy = rng.matrix(batch.batch_size(), dim);
+        let fast = table.backward(&batch, &dy);
+        let refr = table.backward_reference(&batch, &dy);
+        assert_eq!(fast.rows(), refr.rows(), "scatter rows trial {trial}");
+        assert_eq!(
+            fast.grads().as_slice(),
+            refr.grads().as_slice(),
+            "scatter grads trial {trial}"
+        );
+    }
+}
+
+#[test]
+fn fused_sparse_update_is_byte_identical_to_reference() {
+    let mut rng = Lcg(0xC2B2AE3D27D4EB4F);
+    for trial in 0..40 {
+        let hash = 2 + rng.below(20);
+        let dim = 1 + rng.below(12);
+        // Unique sorted touched rows, as the scatter produces them.
+        let mut rows: Vec<u32> = (0..hash as u32).filter(|_| rng.below(2) == 0).collect();
+        if rows.is_empty() {
+            rows.push(rng.below(hash) as u32);
+        }
+        let grads = rng.matrix(rows.len(), dim);
+        for opt in [
+            Optimizer::sgd(0.1),
+            Optimizer::adagrad(0.05),
+            Optimizer::row_wise_adagrad(0.05),
+        ] {
+            let param = rng.matrix(hash, dim);
+            let (mut p_fast, mut p_ref) = (param.clone(), param);
+            let (mut s_fast, mut s_ref) = (None, None);
+            let (mut o_fast, mut o_ref) = (opt, opt);
+            // Two steps so the Adagrad accumulator path is hit warm too.
+            for _ in 0..2 {
+                o_fast.update_rows(&mut p_fast, &rows, &grads, &mut s_fast);
+                o_ref.update_rows_reference(&mut p_ref, &rows, &grads, &mut s_ref);
+            }
+            assert_eq!(
+                p_fast.as_slice(),
+                p_ref.as_slice(),
+                "update trial {trial} ({opt:?})"
+            );
+            assert_eq!(s_fast, s_ref, "state trial {trial} ({opt:?})");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prop_tiled_matmul_matches_naive(
+        seed in 0u64..10_000,
+        m in 1usize..12,
+        k in 1usize..20,
+        n in 1usize..12,
+    ) {
+        let a = Matrix::xavier(m, k, seed);
+        let b = Matrix::xavier(k, n, seed.wrapping_add(1));
+        let fast = a.matmul(&b);
+        let naive = a.matmul_naive(&b);
+        for (x, y) in fast.as_slice().iter().zip(naive.as_slice()) {
+            prop_assert!((x - y).abs() <= 1e-5 * x.abs().max(y.abs()).max(1.0));
+        }
+    }
+
+    #[test]
+    fn prop_scatter_byte_identical(
+        seed in 0u64..10_000,
+        idxs in prop::collection::vec(0u32..30, 0..24),
+        cuts in prop::collection::vec(0usize..24, 0..4),
+    ) {
+        // Build ragged offsets from sorted cut points clamped to the
+        // index-list length.
+        let mut offsets: Vec<usize> = cuts.iter().map(|&c| c.min(idxs.len())).collect();
+        offsets.push(0);
+        offsets.push(idxs.len());
+        offsets.sort_unstable();
+        let batch = SparseBatch::new(offsets, idxs);
+        let table = EmbeddingTable::new(30, 5, seed);
+        let dy = Matrix::xavier(batch.batch_size(), 5, seed.wrapping_add(9));
+        let fast = table.backward(&batch, &dy);
+        let refr = table.backward_reference(&batch, &dy);
+        prop_assert_eq!(fast.rows(), refr.rows());
+        prop_assert_eq!(fast.grads().as_slice(), refr.grads().as_slice());
+    }
+
+    #[test]
+    fn prop_fused_update_rows_byte_identical(
+        seed in 0u64..10_000,
+        picks in prop::collection::vec(0u32..16, 1..10),
+    ) {
+        let mut rows = picks;
+        rows.sort_unstable();
+        rows.dedup();
+        let grads = Matrix::xavier(rows.len(), 6, seed);
+        for opt in [
+            Optimizer::sgd(0.1),
+            Optimizer::adagrad(0.05),
+            Optimizer::row_wise_adagrad(0.05),
+        ] {
+            let param = Matrix::xavier(16, 6, seed.wrapping_add(3));
+            let (mut p_fast, mut p_ref) = (param.clone(), param);
+            let (mut s_fast, mut s_ref) = (None, None);
+            let (mut o_fast, mut o_ref) = (opt, opt);
+            o_fast.update_rows(&mut p_fast, &rows, &grads, &mut s_fast);
+            o_ref.update_rows_reference(&mut p_ref, &rows, &grads, &mut s_ref);
+            prop_assert_eq!(p_fast.as_slice(), p_ref.as_slice());
+            prop_assert_eq!(s_fast, s_ref);
+        }
+    }
+}

@@ -60,7 +60,8 @@ pub fn thread_count() -> usize {
     std::thread::available_parallelism().map_or(1, usize::from)
 }
 
-/// Map `f` over `items` on [`thread_count`] workers, preserving input order.
+/// Map `f` over `items` on up to [`thread_count`] workers (capped at the
+/// detected core count), preserving input order.
 ///
 /// The output is element-for-element identical to
 /// `items.iter().map(f).collect()`; with one worker (or one item) that exact
@@ -72,7 +73,12 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    par_map_with(items, thread_count(), f)
+    // CPU-bound workers gain nothing past the physical core count —
+    // oversubscription only adds scheduling overhead — so a requested count
+    // above the detected parallelism is capped. Outputs are worker-count
+    // invariant by construction, so the cap never changes a result.
+    let hardware = std::thread::available_parallelism().map_or(usize::MAX, usize::from);
+    par_map_with(items, thread_count().min(hardware), f)
 }
 
 /// [`par_map`] with an explicit worker count, bypassing the global override.

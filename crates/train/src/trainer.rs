@@ -3,9 +3,42 @@
 use recsim_data::schema::ModelConfig;
 use recsim_data::{CtrGenerator, MiniBatch};
 use recsim_model::optim::Optimizer;
-use recsim_model::{bce_with_logits, normalized_entropy, DlrmModel};
+use recsim_model::{normalized_entropy, DlrmGradients, DlrmModel};
 use recsim_prof::{self as prof, Counters, Op};
 use serde::{Deserialize, Serialize};
+
+/// Rows per batch shard in the shard-parallel training step. Sharding is a
+/// pure function of the batch size — never of the worker count — so the
+/// shard tree (and therefore every float-summation order) is identical
+/// whether the shards run on one thread or sixteen.
+const SHARD_ROWS: usize = 128;
+
+/// Splits `batch_size` examples into near-equal contiguous shards of at
+/// most [`SHARD_ROWS`] rows: `ceil(n / SHARD_ROWS)` shards whose sizes
+/// differ by at most one.
+fn shard_bounds(batch_size: usize) -> Vec<(usize, usize)> {
+    let shards = batch_size.div_ceil(SHARD_ROWS);
+    let base = batch_size / shards;
+    let extra = batch_size % shards;
+    let mut bounds = Vec::with_capacity(shards);
+    let mut start = 0;
+    for s in 0..shards {
+        let end = start + base + usize::from(s < extra);
+        bounds.push((start, end));
+        start = end;
+    }
+    bounds
+}
+
+/// Folds shard gradients in shard-index order (`g0 + g1 + …`, dense grads
+/// in place, sparse grads through one k-way row-union merge). The order
+/// depends only on the shard count — itself a pure function of the batch
+/// size — so the folded gradient is bit-reproducible at any thread count.
+fn fold_gradients(parts: Vec<DlrmGradients>) -> DlrmGradients {
+    // detsan: reduction-order — fixed shard-index fold, see
+    // DlrmGradients::fold
+    DlrmGradients::fold(parts)
+}
 
 /// Hyper-parameters and budget of one training run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -149,7 +182,7 @@ impl TrainRun {
             };
             let loss = {
                 let _prof = prof::scope(Op::TrainStep, Counters::none());
-                self.model.train_step(&batch, &mut opt)
+                self.sharded_train_step(&batch, &mut opt)
             };
             self.loss_history.push(loss);
         }
@@ -165,16 +198,57 @@ impl TrainRun {
         self
     }
 
+    /// One optimizer step over `batch`, shard-parallel when the batch spans
+    /// more than one shard: each shard runs forward/backward independently
+    /// (gradients pre-scaled by the full batch size), shard gradients are
+    /// folded in shard-index order by [`fold_gradients`], and the
+    /// merged gradient is applied once. Returns the batch's mean loss.
+    fn sharded_train_step(&mut self, batch: &MiniBatch, opt: &mut Optimizer) -> f64 {
+        let bounds = shard_bounds(batch.batch_size());
+        if bounds.len() <= 1 {
+            return self.model.train_step(batch, opt);
+        }
+        let total = batch.batch_size();
+        let shards: Vec<MiniBatch> = bounds.iter().map(|&(s, e)| batch.slice(s, e)).collect();
+        let model = &self.model;
+        let results =
+            recsim_pool::par_map(&shards, |shard| model.forward_backward_scaled(shard, total));
+        // detsan: reduction-order — sequential shard-order loss sum
+        let mut loss_sum = 0.0f64;
+        let mut parts = Vec::with_capacity(results.len());
+        for (shard_loss, grads) in results {
+            loss_sum += shard_loss;
+            parts.push(grads);
+        }
+        self.model.apply(&fold_gradients(parts), opt);
+        loss_sum / total as f64
+    }
+
     /// Per-step training losses (empty before [`TrainRun::execute`]).
     pub fn loss_history(&self) -> &[f64] {
         &self.loss_history
     }
 
-    /// Held-out log loss of the current model.
+    /// Held-out log loss of the current model, shard-parallel over the
+    /// evaluation batch with a fixed serial fold of per-shard loss sums.
     pub fn eval_log_loss(&self) -> f64 {
         let _prof = prof::scope(Op::Eval, Counters::none());
-        let (logits, _) = self.model.forward(&self.eval_batch);
-        bce_with_logits(&logits, self.eval_batch.labels()).0
+        let bounds = shard_bounds(self.eval_batch.batch_size());
+        if bounds.len() <= 1 {
+            return self.model.evaluate(&self.eval_batch);
+        }
+        let shards: Vec<MiniBatch> = bounds
+            .iter()
+            .map(|&(s, e)| self.eval_batch.slice(s, e))
+            .collect();
+        let model = &self.model;
+        let sums = recsim_pool::par_map(&shards, |shard| model.evaluate_sum(shard));
+        // detsan: reduction-order — sequential shard-order loss sum
+        let mut total = 0.0f64;
+        for s in sums {
+            total += s;
+        }
+        total / self.eval_batch.batch_size() as f64
     }
 
     /// Held-out normalized entropy: `< 1.0` beats base-rate prediction.
@@ -253,5 +327,34 @@ mod tests {
         )
         .execute();
         assert_ne!(base.final_ne(), hot.final_ne());
+    }
+
+    #[test]
+    fn shard_bounds_partition_evenly() {
+        assert_eq!(shard_bounds(64), vec![(0, 64)]);
+        assert_eq!(shard_bounds(128), vec![(0, 128)]);
+        assert_eq!(shard_bounds(200), vec![(0, 100), (100, 200)]);
+        let bounds = shard_bounds(1000);
+        assert_eq!(bounds.len(), 8);
+        assert_eq!(bounds.first(), Some(&(0, 125)));
+        assert_eq!(bounds.last(), Some(&(875, 1000)));
+        for w in bounds.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "contiguous");
+            assert!(w[0].1 - w[0].0 <= SHARD_ROWS);
+        }
+    }
+
+    #[test]
+    fn sharded_training_is_thread_count_invariant() {
+        // The shard tree depends only on the batch size, so a multi-shard
+        // run must be bit-identical on one worker and on four.
+        let c = TrainerConfig::quick_test().with_batch_size(300);
+        recsim_pool::set_thread_override(Some(1));
+        let serial = TrainRun::new(&config(), c).execute();
+        recsim_pool::set_thread_override(Some(4));
+        let parallel = TrainRun::new(&config(), c).execute();
+        recsim_pool::set_thread_override(None);
+        assert_eq!(serial.loss_history(), parallel.loss_history());
+        assert_eq!(serial.final_ne(), parallel.final_ne());
     }
 }
