@@ -1,0 +1,177 @@
+//! Runs the `serve` experiment driver twice — a timed 1-thread pass and a
+//! timed parallel pass — verifies the two produce byte-identical structured
+//! outputs (the serving loop is pure virtual time, so every sweep point is
+//! deterministic at any width), persists the artifact under `results/`,
+//! re-measures the three canonical scenarios (steady, traffic-spike,
+//! model-push) for the scenario table, and records the baseline in
+//! `BENCH_serve.json` at the workspace root under the
+//! `recsim-bench-serve-v1` schema. Set RECSIM_QUICK=1 for the reduced
+//! sweeps; RECSIM_THREADS caps the parallel pass.
+use std::time::Instant;
+
+use recsim_data::ModelConfig;
+use recsim_serve::{
+    simulate, BatchPolicy, CachePolicy, LatencyModel, ModelPush, ServeConfig, Spike, WorkloadConfig,
+};
+
+/// The three headline scenarios re-measured for the artifact's scenario
+/// table, mirroring the driver's configurations at its knee settings.
+fn scenarios() -> Vec<(&'static str, ServeConfig)> {
+    let base = ServeConfig {
+        workload: WorkloadConfig::steady(0xC0FFEE, 4_000.0, 1.0),
+        policy: CachePolicy::Lru,
+        capacity_rows: 16_384,
+        batching: BatchPolicy::new(16, 2_000),
+        slo_ms: 5.0,
+        push: None,
+    };
+    vec![
+        ("steady", base.clone()),
+        (
+            "traffic-spike",
+            ServeConfig {
+                workload: WorkloadConfig {
+                    spike: Some(Spike {
+                        start_secs: 0.4,
+                        duration_secs: 0.2,
+                        multiplier: 6.0,
+                    }),
+                    ..WorkloadConfig::steady(0x5E1C, 8_000.0, 1.0)
+                },
+                slo_ms: 2.0,
+                ..base.clone()
+            },
+        ),
+        (
+            "model-push",
+            ServeConfig {
+                workload: WorkloadConfig::steady(0x9054, 8_000.0, 1.0),
+                slo_ms: 2.0,
+                push: Some(ModelPush {
+                    at_secs: 0.5,
+                    stall_us: 20_000,
+                }),
+                ..base
+            },
+        ),
+    ]
+}
+
+fn main() {
+    let effort = recsim_bench::effort_from_env();
+    let run = recsim_core::experiments::serve::run;
+
+    // Serial timed pass: pool pinned to one thread. This pass is rendered,
+    // claim-checked, and persisted.
+    recsim_pool::set_thread_override(Some(1));
+    let serial_start = Instant::now();
+    let serial = run(effort);
+    let serial_wall = serial_start.elapsed().as_secs_f64();
+    recsim_pool::set_thread_override(None);
+
+    print!("{}", serial.render());
+    println!();
+    let failures = serial.failed_claims().len();
+    if failures > 0 {
+        eprintln!(">>> serve: {failures} claim(s) FAILED");
+    }
+    if let Err(e) = recsim_bench::write_artifacts(&serial, &recsim_bench::results_dir()) {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
+
+    // Parallel timed pass: the cache/batching grids fan across workers.
+    let threads = recsim_pool::thread_count();
+    println!("==== parallel re-run across {threads} thread(s) ====");
+    let parallel_start = Instant::now();
+    let parallel = run(effort);
+    let parallel_wall = parallel_start.elapsed().as_secs_f64();
+
+    let to_json = |out: &recsim_core::ExperimentOutput| {
+        serde_json::to_string(out).expect("experiment outputs serialize")
+    };
+    let outputs_identical = to_json(&serial) == to_json(&parallel);
+    if !outputs_identical {
+        eprintln!(">>> parallel serve output differs from the 1-thread run");
+    }
+
+    let speedup = if parallel_wall > 0.0 {
+        serial_wall / parallel_wall
+    } else {
+        1.0
+    };
+    println!(
+        "==== serial {serial_wall:.2}s, parallel {parallel_wall:.2}s on {threads} thread(s) \
+         ({speedup:.2}x), outputs identical: {outputs_identical} ===="
+    );
+    // Same gate as `all_experiments`: the pooled pass must not lose to the
+    // serial one, but only when the pool can actually dispatch workers.
+    let hardware = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut regression = false;
+    if threads.min(hardware) > 1 && speedup < 1.0 {
+        eprintln!(">>> parallel pass regressed below serial ({speedup:.2}x < 1.00x)");
+        regression = true;
+    }
+
+    // The scenario table: headline tail-latency numbers per scenario, so a
+    // serving regression is visible in the diff of the re-recorded file.
+    let model = ModelConfig::test_suite(8, 4, 65_536, &[64, 32]);
+    let latency = LatencyModel::closed_form(&model);
+    let scenario_docs: Vec<serde_json::Value> = scenarios()
+        .iter()
+        .map(|(id, cfg)| {
+            let report = simulate(&model, cfg, &latency);
+            println!(
+                "{id:<14} offered {:>6.0} rps  goodput {:>6.0} rps  p50 {:>7.3} ms  \
+                 p99 {:>7.3} ms  p999 {:>7.3} ms  slo {:>5.1}%  hits {:>5.1}%",
+                report.offered_rps,
+                report.goodput_rps,
+                report.p50_ms,
+                report.p99_ms,
+                report.p999_ms,
+                report.slo_attainment * 100.0,
+                report.hit_rate * 100.0,
+            );
+            serde_json::json!({
+                "id": id,
+                "offered_rps": report.offered_rps,
+                "goodput_rps": report.goodput_rps,
+                "p50_ms": report.p50_ms,
+                "p99_ms": report.p99_ms,
+                "p999_ms": report.p999_ms,
+                "slo_attainment": report.slo_attainment,
+                "hit_rate": report.hit_rate,
+            })
+        })
+        .collect();
+
+    let bench_doc = serde_json::json!({
+        "schema": recsim_verify::lint::artifacts::SERVE_SCHEMA,
+        "effort": if effort == recsim_core::Effort::Quick { "quick" } else { "full" },
+        "threads": threads,
+        "scenarios": scenario_docs,
+        "serial_wall_secs": serial_wall,
+        "parallel_wall_secs": parallel_wall,
+        "speedup": speedup,
+        "outputs_identical": outputs_identical,
+    });
+    let root = recsim_verify::lint::workspace_root().unwrap_or_else(|| ".".into());
+    let bench_path = root.join("BENCH_serve.json");
+    match serde_json::to_string_pretty(&bench_doc) {
+        Ok(json) => match std::fs::write(&bench_path, json + "\n") {
+            Ok(()) => println!("(serve baseline written to {})", bench_path.display()),
+            Err(e) => {
+                eprintln!("could not write {}: {e}", bench_path.display());
+                std::process::exit(1);
+            }
+        },
+        Err(e) => {
+            eprintln!("could not serialize serve baseline: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if failures > 0 || !outputs_identical || regression {
+        std::process::exit(1);
+    }
+}

@@ -36,6 +36,14 @@
 //! follows the same schema with a single-entry `drivers` list: the
 //! `autoshard` driver timed at 1 thread vs the pool width, byte-identical
 //! outputs required.
+//!
+//! `BENCH_serve.json` (written by the `serve_baseline` binary) records the
+//! serving tier under its own `recsim-bench-serve-v1` schema: the `serve`
+//! driver timed at 1 thread vs the pool width (`serial_wall_secs`,
+//! `parallel_wall_secs`, `speedup`, `outputs_identical`) plus a
+//! `scenarios` table of headline tail-latency numbers (offered/goodput
+//! rps, p50/p99/p999 ms, SLO attainment, cache hit rate) for the steady,
+//! traffic-spike, and model-push scenarios.
 
 #![forbid(unsafe_code)]
 

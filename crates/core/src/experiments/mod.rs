@@ -21,6 +21,7 @@ pub mod fig15;
 pub mod locality;
 pub mod readers;
 pub mod scaleout;
+pub mod serve;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -56,6 +57,7 @@ pub fn registry() -> Vec<(&'static str, Driver)> {
         ("readers", readers::run),
         ("compression", compression::run),
         ("faults", faults::run),
+        ("serve", serve::run),
     ]
 }
 

@@ -151,15 +151,19 @@ pub fn category_of(op: Op) -> Option<TaskCategory> {
             Some(TaskCategory::MlpCompute)
         }
         Op::OptDense => Some(TaskCategory::Optimizer),
+        Op::ServeCacheLookup => Some(TaskCategory::EmbeddingLookup),
+        Op::ServeBatchAssemble => Some(TaskCategory::HostStaging),
         Op::DataGen => Some(TaskCategory::ReaderStall),
-        Op::TrainStep | Op::Eval => None,
+        Op::TrainStep | Op::Eval | Op::ServeStep => None,
     }
 }
 
 /// The access pattern an op's counted bytes follow on the host.
 fn pattern_of(op: Op) -> AccessPattern {
     match op {
-        Op::EmbGather | Op::EmbScatter | Op::OptSparse => AccessPattern::Random,
+        Op::EmbGather | Op::EmbScatter | Op::OptSparse | Op::ServeCacheLookup => {
+            AccessPattern::Random
+        }
         _ => AccessPattern::Sequential,
     }
 }
@@ -308,7 +312,7 @@ struct CalibrationBucket {
 const CALIBRATION_BUCKETS: [CalibrationBucket; 4] = [
     CalibrationBucket {
         label: "embedding lookup",
-        ops: &[Op::EmbGather],
+        ops: &[Op::EmbGather, Op::ServeCacheLookup],
         categories: &[TaskCategory::EmbeddingLookup],
     },
     CalibrationBucket {
@@ -333,8 +337,8 @@ const CALIBRATION_BUCKETS: [CalibrationBucket; 4] = [
     },
     CalibrationBucket {
         label: "input pipeline",
-        ops: &[Op::DataGen],
-        categories: &[TaskCategory::ReaderStall],
+        ops: &[Op::DataGen, Op::ServeBatchAssemble],
+        categories: &[TaskCategory::ReaderStall, TaskCategory::HostStaging],
     },
 ];
 

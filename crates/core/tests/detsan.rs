@@ -8,7 +8,7 @@
 //! interleave their streams.
 
 use recsim_core::detsan_check::compare_driver;
-use recsim_core::experiments::{detsan_demo, fig10};
+use recsim_core::experiments::{detsan_demo, fig10, serve};
 use recsim_core::Effort;
 
 #[test]
@@ -37,6 +37,16 @@ fn detsan_localizes_the_planted_bug_and_passes_clean_drivers() {
     assert!(
         clean.serial_entries > 0,
         "the instrumented pipeline must have recorded stages"
+    );
+
+    // The serving tier under the same contract: the DES loop's stage
+    // digests (`serve/arrivals`, `serve/cache`, `serve/latency`) and the
+    // real-execution score digest must match at 1 vs 4 workers.
+    let serve = compare_driver("serve", serve::run, Effort::Quick, 4);
+    assert!(serve.is_clean(), "{}", serve.describe());
+    assert!(
+        serve.serial_entries > 0,
+        "the serving loop must have recorded stages"
     );
 
     // The sanitizer leaves the process disarmed and the pool width restored.

@@ -1,0 +1,175 @@
+//! Arrival-rate and popularity processes for open-loop request generation.
+//!
+//! The serving tier (`recsim-serve`) drives its load generator from two
+//! deterministic processes that live here, next to the other workload
+//! distributions:
+//!
+//! * [`DiurnalProfile`] — a smooth peak-to-trough modulation of a base
+//!   request rate, the classic daily traffic curve. It is a pure function
+//!   of virtual time, so inhomogeneous-Poisson thinning or per-step mean
+//!   scaling stays byte-deterministic.
+//! * [`PopularityProcess`] — per-entity Zipf popularity: each sparse
+//!   feature draws embedding rows from a [`ZipfTable`], keyed by
+//!   `(seed, entity, draw index)` so any draw can be regenerated in
+//!   isolation, in any order, on any thread.
+//!
+//! [`ZipfTable`]: crate::dist::ZipfTable
+
+use crate::dist::{SplitMix64, ZipfTable};
+use serde::{Deserialize, Serialize};
+
+/// A daily traffic curve: the instantaneous rate multiplier oscillates
+/// smoothly between `1.0` (trough) and `peak_to_trough` (peak) with the
+/// given period.
+///
+/// # Example
+///
+/// ```
+/// use recsim_data::arrival::DiurnalProfile;
+///
+/// let p = DiurnalProfile::new(3.0, 86_400.0);
+/// assert!((p.factor_at(0.25 * 86_400.0) - 3.0).abs() < 1e-9); // peak
+/// assert!((p.factor_at(0.75 * 86_400.0) - 1.0).abs() < 1e-9); // trough
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalProfile {
+    /// Peak rate divided by trough rate (`>= 1`).
+    peak_to_trough: f64,
+    /// Oscillation period in (virtual) seconds.
+    period_secs: f64,
+}
+
+impl DiurnalProfile {
+    /// Creates a profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peak_to_trough < 1` or `period_secs <= 0`.
+    pub fn new(peak_to_trough: f64, period_secs: f64) -> Self {
+        assert!(
+            peak_to_trough >= 1.0 && peak_to_trough.is_finite(),
+            "peak-to-trough ratio must be >= 1"
+        );
+        assert!(
+            period_secs > 0.0 && period_secs.is_finite(),
+            "period must be positive"
+        );
+        Self {
+            peak_to_trough,
+            period_secs,
+        }
+    }
+
+    /// Peak rate over trough rate.
+    pub fn peak_to_trough(&self) -> f64 {
+        self.peak_to_trough
+    }
+
+    /// Oscillation period, seconds.
+    pub fn period_secs(&self) -> f64 {
+        self.period_secs
+    }
+
+    /// The rate multiplier at virtual time `t_secs`: a sinusoid from `1.0`
+    /// at the trough to `peak_to_trough` at the peak (peak hits at a
+    /// quarter period, like afternoon traffic against a midnight origin).
+    pub fn factor_at(&self, t_secs: f64) -> f64 {
+        let phase = (t_secs / self.period_secs * std::f64::consts::TAU).sin();
+        1.0 + (self.peak_to_trough - 1.0) * 0.5 * (1.0 + phase)
+    }
+
+    /// Mean multiplier over a whole period (`(peak/trough + 1) / 2`).
+    pub fn mean_factor(&self) -> f64 {
+        0.5 * (self.peak_to_trough + 1.0)
+    }
+}
+
+/// Zipf popularity over one entity class (users, ad candidates, one sparse
+/// feature's rows): draw `k` of the `support` items where item 0 is the
+/// hottest. Draws are keyed on `(seed, entity, draw index)`, so a single
+/// request's activations can be regenerated without replaying the trace.
+#[derive(Debug, Clone)]
+pub struct PopularityProcess {
+    table: ZipfTable,
+    seed: u64,
+}
+
+impl PopularityProcess {
+    /// Creates a popularity process over `[0, support)` with Zipf exponent
+    /// `s` (see [`ZipfTable::new`] for the panics).
+    pub fn new(support: u64, s: f64, seed: u64) -> Self {
+        Self {
+            table: ZipfTable::new(support, s),
+            seed,
+        }
+    }
+
+    /// Support size.
+    pub fn support(&self) -> u64 {
+        self.table.support()
+    }
+
+    /// Draws the `draw`-th item for `entity` — a pure function of
+    /// `(seed, entity, draw)`.
+    pub fn sample(&self, entity: u64, draw: u64) -> u64 {
+        let mut rng = SplitMix64::new(
+            self.seed
+                ^ entity.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ draw.wrapping_mul(0xE703_7ED1_A0B4_28DB),
+        );
+        self.table.sample(&mut rng)
+    }
+
+    /// Draws `k` items for `entity` as one contiguous draw range.
+    pub fn sample_many(&self, entity: u64, k: usize) -> Vec<u64> {
+        (0..k as u64).map(|d| self.sample(entity, d)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diurnal_factor_stays_in_band_and_averages_halfway() {
+        let p = DiurnalProfile::new(4.0, 3_600.0);
+        let n = 10_000;
+        let mut sum = 0.0;
+        for i in 0..n {
+            let f = p.factor_at(i as f64 * 3_600.0 / n as f64);
+            assert!((1.0..=4.0 + 1e-9).contains(&f), "factor {f}");
+            sum += f;
+        }
+        assert!((sum / n as f64 - p.mean_factor()).abs() < 0.01);
+    }
+
+    #[test]
+    fn flat_profile_is_identity() {
+        let p = DiurnalProfile::new(1.0, 60.0);
+        for t in [0.0, 13.0, 59.9] {
+            assert!((p.factor_at(t) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn popularity_draws_are_pure_functions_of_coordinates() {
+        let p = PopularityProcess::new(1_000, 1.1, 7);
+        assert_eq!(p.sample(3, 0), p.sample(3, 0));
+        assert_ne!(p.sample_many(3, 16), p.sample_many(4, 16));
+        let q = PopularityProcess::new(1_000, 1.1, 8);
+        assert_ne!(p.sample_many(3, 16), q.sample_many(3, 16));
+    }
+
+    #[test]
+    fn popularity_is_head_heavy() {
+        let p = PopularityProcess::new(100_000, 1.2, 42);
+        let draws: Vec<u64> = (0..20_000).map(|e| p.sample(e, 0)).collect();
+        let head = draws.iter().filter(|&&v| v < 100).count() as f64;
+        assert!(
+            head / draws.len() as f64 > 0.3,
+            "top-0.1% of items took {} of draws",
+            head / draws.len() as f64
+        );
+        assert!(draws.iter().all(|&v| v < 100_000));
+    }
+}

@@ -21,7 +21,9 @@
 //!   Figures 6–7,
 //! * [`fleet`] — the workflow-population sampler behind Figures 2, 5 and 9,
 //! * [`trace`] — embedding-access traces with reuse-distance (LRU) analysis,
-//!   quantifying the caching opportunity the paper's Section III.A.2 notes.
+//!   quantifying the caching opportunity the paper's Section III.A.2 notes,
+//! * [`arrival`] — open-loop arrival-rate and popularity processes (diurnal
+//!   traffic curves, per-entity Zipf draws) for the serving tier.
 //!
 //! # Example
 //!
@@ -39,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrival;
 pub mod batch;
 pub mod dataset;
 pub mod dist;
@@ -48,6 +51,7 @@ pub mod schema;
 pub mod synthetic;
 pub mod trace;
 
+pub use arrival::{DiurnalProfile, PopularityProcess};
 pub use batch::{MiniBatch, SparseBatch};
 pub use schema::{Interaction, ModelConfig, SparseFeatureSpec};
 pub use synthetic::CtrGenerator;

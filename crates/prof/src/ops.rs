@@ -1,10 +1,11 @@
 //! The instrumented-operator inventory.
 //!
-//! Every hot-path kernel in `recsim-model` and every loop phase in
-//! `recsim-train` maps to exactly one [`Op`]. The inventory is closed on
-//! purpose: RV019 cross-checks that each variant listed in [`Op::ALL`] has
-//! at least one instrumentation point (`prof::scope(Op::Variant, ...)`) in
-//! the model/train sources, so new kernels cannot silently escape
+//! Every hot-path kernel in `recsim-model`, every loop phase in
+//! `recsim-train`, and every serving stage in `recsim-serve` maps to
+//! exactly one [`Op`]. The inventory is closed on purpose: RV019
+//! cross-checks that each variant listed in [`Op::ALL`] has at least one
+//! instrumentation point (`prof::scope(Op::Variant, ...)`) in the
+//! model/train/serve sources, so new kernels cannot silently escape
 //! measurement.
 
 use serde::{Deserialize, Serialize};
@@ -35,17 +36,25 @@ pub enum Op {
     OptDense,
     /// Sparse optimizer update (embedding-table rows).
     OptSparse,
+    /// Serving embedding-cache probe: key packing plus hit/miss lookups
+    /// for one micro-batch.
+    ServeCacheLookup,
+    /// Serving micro-batch assembly: gathering request indices and dense
+    /// features into a `MiniBatch`-shaped staging buffer.
+    ServeBatchAssemble,
     /// Phase: synthetic batch generation (the reader).
     DataGen,
     /// Phase: one full training step (forward, loss, backward, apply).
     TrainStep,
     /// Phase: held-out evaluation passes.
     Eval,
+    /// Phase: one served micro-batch end to end (assemble, cache, forward).
+    ServeStep,
 }
 
 impl Op {
     /// Every operator, in report order: leaf kernels first, phases last.
-    pub const ALL: [Op; 12] = [
+    pub const ALL: [Op; 15] = [
         Op::LinearFwd,
         Op::LinearBwd,
         Op::EmbGather,
@@ -55,9 +64,12 @@ impl Op {
         Op::LossBce,
         Op::OptDense,
         Op::OptSparse,
+        Op::ServeCacheLookup,
+        Op::ServeBatchAssemble,
         Op::DataGen,
         Op::TrainStep,
         Op::Eval,
+        Op::ServeStep,
     ];
 
     /// Stable string id, `area/kernel` style (mirrors detsan stage labels).
@@ -72,9 +84,12 @@ impl Op {
             Op::LossBce => "loss/bce",
             Op::OptDense => "opt/dense",
             Op::OptSparse => "opt/sparse",
+            Op::ServeCacheLookup => "serve/cache",
+            Op::ServeBatchAssemble => "serve/batch",
             Op::DataGen => "data/gen",
             Op::TrainStep => "train/step",
             Op::Eval => "train/eval",
+            Op::ServeStep => "serve/step",
         }
     }
 
@@ -84,10 +99,11 @@ impl Op {
     }
 
     /// True for loop phases that *contain* leaf-kernel time ([`Op::DataGen`],
-    /// [`Op::TrainStep`], [`Op::Eval`]). Leaf shares are reported against
-    /// the phase total; summing leaves and phases together double-counts.
+    /// [`Op::TrainStep`], [`Op::Eval`], [`Op::ServeStep`]). Leaf shares are
+    /// reported against the phase total; summing leaves and phases together
+    /// double-counts.
     pub fn is_phase(self) -> bool {
-        matches!(self, Op::DataGen | Op::TrainStep | Op::Eval)
+        matches!(self, Op::DataGen | Op::TrainStep | Op::Eval | Op::ServeStep)
     }
 
     /// Parses a stable id back into an operator.
@@ -116,6 +132,6 @@ mod tests {
             Op::ALL[first_phase..].iter().all(|op| op.is_phase()),
             "report order keeps phases contiguous at the end"
         );
-        assert_eq!(Op::ALL.len() - first_phase, 3);
+        assert_eq!(Op::ALL.len() - first_phase, 4);
     }
 }

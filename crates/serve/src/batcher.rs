@@ -1,0 +1,162 @@
+//! The dynamic micro-batcher.
+//!
+//! Inference kernels amortize launch overhead across a batch, but a batch
+//! only exists once enough requests arrive — so batching trades queueing
+//! delay for throughput. The policy is the classic *max-batch / max-delay*
+//! pair: a batch closes as soon as `max_batch` requests are waiting, or
+//! when the oldest waiting request has been held `max_delay_us`, whichever
+//! comes first. Under a busy server the close time additionally floors at
+//! the server-free time, which is what lets batches fill to `max_batch`
+//! instantly during overload (adaptive batching).
+
+use serde::{Deserialize, Serialize};
+
+/// The max-batch / max-delay batching policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchPolicy {
+    /// Largest batch the kernel accepts.
+    pub max_batch: usize,
+    /// Longest the oldest request may be held before the batch closes,
+    /// virtual microseconds.
+    pub max_delay_us: u64,
+}
+
+impl BatchPolicy {
+    /// A policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch == 0`.
+    pub fn new(max_batch: usize, max_delay_us: u64) -> Self {
+        assert!(max_batch > 0, "max batch must be positive");
+        Self {
+            max_batch,
+            max_delay_us,
+        }
+    }
+}
+
+/// One closed micro-batch: requests `[start, start + len)` of the arrival
+/// -ordered trace, closed (ready for service) at `close_us`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MicroBatch {
+    /// Index of the first request in the batch.
+    pub start: usize,
+    /// Number of requests in the batch.
+    pub len: usize,
+    /// Virtual time the batch closed and could start service.
+    pub close_us: u64,
+}
+
+/// Greedily assembles micro-batches over sorted `arrivals_us`, serving
+/// them on a single logical server whose per-batch service time is given
+/// by `service_us(batch_size, first_request_index)`. Returns the batches
+/// and each request's completion time (same order as `arrivals_us`).
+///
+/// The loop is a pure fold over the trace — no wall clock, no state
+/// outside its locals — so its output is byte-identical on every run.
+pub fn assemble_and_serve(
+    arrivals_us: &[u64],
+    policy: BatchPolicy,
+    mut service_us: impl FnMut(usize, usize) -> u64,
+) -> (Vec<MicroBatch>, Vec<u64>) {
+    let n = arrivals_us.len();
+    let mut batches = Vec::new();
+    let mut completions = vec![0u64; n];
+    let mut server_free = 0u64;
+    let mut i = 0usize;
+    while i < n {
+        // Earliest instant the server could take a batch led by request i.
+        let free = server_free.max(arrivals_us[i]);
+        // The batch fills when its max_batch-th member arrives...
+        let fill = if i + policy.max_batch - 1 < n {
+            arrivals_us[i + policy.max_batch - 1]
+        } else {
+            u64::MAX
+        };
+        // ...or times out `max_delay_us` after its oldest member arrived.
+        let deadline = arrivals_us[i].saturating_add(policy.max_delay_us);
+        let close = free.max(fill.min(deadline));
+        // Take everything that has arrived by the close, up to max_batch.
+        let mut len = 0usize;
+        while i + len < n && len < policy.max_batch && arrivals_us[i + len] <= close {
+            len += 1;
+        }
+        debug_assert!(len > 0, "batch must contain its lead request");
+        let took = service_us(len, i);
+        server_free = close + took;
+        for done in completions.iter_mut().skip(i).take(len) {
+            *done = server_free;
+        }
+        batches.push(MicroBatch {
+            start: i,
+            len,
+            close_us: close,
+        });
+        i += len;
+    }
+    (batches, completions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_to_max_batch_when_requests_are_waiting() {
+        // Four requests at t=0, max_batch 2: two full batches back to back.
+        let arrivals = [0, 0, 0, 0];
+        let (batches, completions) =
+            assemble_and_serve(&arrivals, BatchPolicy::new(2, 1_000), |b, _| 10 * b as u64);
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].len, 2);
+        assert_eq!(batches[1].len, 2);
+        assert_eq!(completions, vec![20, 20, 40, 40]);
+    }
+
+    #[test]
+    fn closes_on_deadline_when_traffic_is_sparse() {
+        // One request, then nothing: the batch closes at arrival + delay.
+        let arrivals = [100];
+        let (batches, completions) =
+            assemble_and_serve(&arrivals, BatchPolicy::new(8, 500), |_, _| 50);
+        assert_eq!(batches[0].close_us, 600);
+        assert_eq!(completions[0], 650);
+    }
+
+    #[test]
+    fn close_never_precedes_server_free() {
+        // Slow service: second batch must wait for the server, and fills
+        // with both remaining requests while waiting.
+        let arrivals = [0, 10, 20];
+        let (batches, _) = assemble_and_serve(&arrivals, BatchPolicy::new(2, 5), |_, _| 1_000);
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[1].len, 2);
+        assert!(batches[1].close_us >= 1_000);
+    }
+
+    #[test]
+    fn unit_batches_serve_fifo() {
+        let arrivals = [0, 5, 10];
+        let (batches, completions) =
+            assemble_and_serve(&arrivals, BatchPolicy::new(1, 0), |b, _| {
+                assert_eq!(b, 1);
+                7
+            });
+        assert_eq!(batches.len(), 3);
+        assert_eq!(completions, vec![7, 14, 21]);
+    }
+
+    #[test]
+    fn every_request_lands_in_exactly_one_batch() {
+        let arrivals: Vec<u64> = (0..997u64).map(|i| i * 13 % 10_000).collect();
+        let mut sorted = arrivals.clone();
+        sorted.sort_unstable();
+        let (batches, _) = assemble_and_serve(&sorted, BatchPolicy::new(7, 111), |b, _| b as u64);
+        let covered: usize = batches.iter().map(|b| b.len).sum();
+        assert_eq!(covered, sorted.len());
+        for w in batches.windows(2) {
+            assert_eq!(w[0].start + w[0].len, w[1].start);
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! The embedding cache in front of the `recsim-hw` memory hierarchy.
+//!
+//! Inference at serving scale cannot hold every embedding table in device
+//! memory; it holds a *cache* of hot rows in HBM and pays the host (or a
+//! remote parameter tier) on a miss. Acun et al. show embedding access is
+//! heavily skewed (Zipf popularity, Section III.A.2), which is exactly the
+//! regime where a small cache absorbs most traffic. This module implements
+//! the three policies the serving tier compares:
+//!
+//! * [`CachePolicy::Lru`] — evict the least recently used row,
+//! * [`CachePolicy::Lfu`] — *perfect* LFU: frequency counts are global
+//!   (kept across evictions), ties broken by recency,
+//! * [`CachePolicy::StaticHot`] — a fixed hot set pinned up front; misses
+//!   never insert.
+//!
+//! LRU and perfect LFU both order rows by a priority that is independent
+//! of the cache capacity (recency; global frequency then recency), which
+//! makes them *stack algorithms* in Mattson's sense: the content of a
+//! size-`C` cache is always a subset of the size-`C+1` cache on the same
+//! trace, so the hit rate is monotone non-decreasing in capacity. The
+//! static-hot sets produced by [`optimal_static_set`] are nested by
+//! construction. The proptest suite pins all three properties, plus
+//! byte-determinism of the eviction order.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A cacheable embedding row: `(sparse feature, row index)` packed into a
+/// single key. Feature count is tiny; rows fit easily in the low bits.
+pub type RowKey = u64;
+
+/// Packs a `(feature, row)` coordinate into a [`RowKey`].
+pub fn row_key(feature: u32, row: u64) -> RowKey {
+    debug_assert!(row < 1 << 48, "row index exceeds 48 bits");
+    (u64::from(feature) << 48) | row
+}
+
+/// The replacement policy of an [`EmbeddingCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum CachePolicy {
+    /// Evict the least recently used row.
+    Lru,
+    /// Evict the globally least frequently used row (ties: least recent).
+    Lfu,
+    /// A pinned hot set; misses are priced but never inserted.
+    StaticHot,
+}
+
+impl CachePolicy {
+    /// Every policy, in report order.
+    pub const ALL: [CachePolicy; 3] = [CachePolicy::Lru, CachePolicy::Lfu, CachePolicy::StaticHot];
+
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CachePolicy::Lru => "lru",
+            CachePolicy::Lfu => "lfu",
+            CachePolicy::StaticHot => "static-hot",
+        }
+    }
+
+    /// Parses a [`CachePolicy::name`] back into a policy.
+    pub fn from_name(name: &str) -> Option<CachePolicy> {
+        CachePolicy::ALL.into_iter().find(|p| p.name() == name)
+    }
+}
+
+/// Eviction priority: the row with the *smallest* priority leaves first.
+/// For LRU this is the last-access tick; for LFU the global frequency
+/// with the last-access tick as tie-break. Both orderings are independent
+/// of the cache capacity, which is what makes the policies stack
+/// algorithms (hit rate monotone in capacity).
+fn priority(policy: CachePolicy, freq: u64, last_tick: u64) -> (u64, u64) {
+    match policy {
+        CachePolicy::Lru => (last_tick, 0),
+        CachePolicy::Lfu => (freq, last_tick),
+        CachePolicy::StaticHot => (0, 0),
+    }
+}
+
+/// A fixed-capacity cache of embedding rows with deterministic eviction.
+#[derive(Debug, Clone)]
+pub struct EmbeddingCache {
+    policy: CachePolicy,
+    capacity: usize,
+    /// Cached rows → their current priority (mirrored in `order`).
+    entries: BTreeMap<RowKey, (u64, u64)>,
+    /// Eviction index: ordered `(priority, key)` pairs; first = victim.
+    order: BTreeSet<((u64, u64), RowKey)>,
+    /// Global access counts — kept across evictions (perfect LFU).
+    freq: BTreeMap<RowKey, u64>,
+    /// Monotone access counter; unique per access, so priorities never tie.
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    /// Rolling FNV-1a digest of the eviction sequence, for determinism
+    /// pinning without storing the whole sequence.
+    eviction_digest: u64,
+}
+
+impl EmbeddingCache {
+    /// Creates an empty LRU or LFU cache holding up to `capacity` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or the policy is [`CachePolicy::StaticHot`]
+    /// (use [`EmbeddingCache::static_hot`]).
+    pub fn new(policy: CachePolicy, capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        assert!(
+            policy != CachePolicy::StaticHot,
+            "static-hot caches are built from a hot set"
+        );
+        Self::build(policy, capacity)
+    }
+
+    /// Creates a static-hot cache pinning `hot` rows (capacity = set size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hot set is empty.
+    pub fn static_hot(hot: &BTreeSet<RowKey>) -> Self {
+        assert!(!hot.is_empty(), "hot set must be non-empty");
+        let mut cache = Self::build(CachePolicy::StaticHot, hot.len());
+        for &key in hot {
+            cache.entries.insert(key, (0, 0));
+        }
+        cache
+    }
+
+    fn build(policy: CachePolicy, capacity: usize) -> Self {
+        Self {
+            policy,
+            capacity,
+            entries: BTreeMap::new(),
+            order: BTreeSet::new(),
+            freq: BTreeMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            eviction_digest: 0xCBF2_9CE4_8422_2325,
+        }
+    }
+
+    /// The replacement policy.
+    pub fn policy(&self) -> CachePolicy {
+        self.policy
+    }
+
+    /// Maximum rows held.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Rows currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up one row, updating recency/frequency state, and returns
+    /// whether it hit. A miss inserts the row (except under static-hot),
+    /// evicting the lowest-priority resident if at capacity.
+    pub fn lookup(&mut self, key: RowKey) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        let freq = {
+            let f = self.freq.entry(key).or_insert(0);
+            *f += 1;
+            *f
+        };
+        if self.policy == CachePolicy::StaticHot {
+            let hit = self.entries.contains_key(&key);
+            if hit {
+                self.hits += 1;
+            } else {
+                self.misses += 1;
+            }
+            return hit;
+        }
+        let new_prio = priority(self.policy, freq, tick);
+        if let Some(old_prio) = self.entries.insert(key, new_prio) {
+            self.order.remove(&(old_prio, key));
+            self.order.insert((new_prio, key));
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if self.entries.len() > self.capacity {
+            if let Some(&(victim_prio, victim)) = self.order.iter().next() {
+                self.order.remove(&(victim_prio, victim));
+                self.entries.remove(&victim);
+                self.evictions += 1;
+                self.eviction_digest ^= victim;
+                self.eviction_digest = self.eviction_digest.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        self.order.insert((new_prio, key));
+        false
+    }
+
+    /// Hits recorded so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses recorded so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Evictions performed so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// FNV-1a digest of the eviction sequence (order-sensitive).
+    pub fn eviction_digest(&self) -> u64 {
+        self.eviction_digest
+    }
+
+    /// `hits / (hits + misses)`, or 0 before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The offline-optimal static set for a trace: the `k` keys with the
+/// highest access counts, ties broken by smaller key. Among *static*
+/// caches of size `k` this maximizes hits on the trace it was derived
+/// from (each static set's hit count is the sum of its keys' counts), and
+/// the sets are nested in `k`, so the static-hot hit rate is monotone in
+/// capacity by construction.
+pub fn optimal_static_set(trace: &[RowKey], k: usize) -> BTreeSet<RowKey> {
+    let mut counts: BTreeMap<RowKey, u64> = BTreeMap::new();
+    for &key in trace {
+        *counts.entry(key).or_insert(0) += 1;
+    }
+    let mut ranked: Vec<(RowKey, u64)> = counts.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranked.into_iter().take(k).map(|(key, _)| key).collect()
+}
+
+/// Hits a fixed set scores on a trace (static caches have no dynamics, so
+/// this is exact).
+pub fn static_hits(trace: &[RowKey], set: &BTreeSet<RowKey>) -> u64 {
+    trace.iter().filter(|key| set.contains(key)).count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_trace(policy: CachePolicy, capacity: usize, trace: &[RowKey]) -> EmbeddingCache {
+        let mut cache = EmbeddingCache::new(policy, capacity);
+        for &key in trace {
+            cache.lookup(key);
+        }
+        cache
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut cache = EmbeddingCache::new(CachePolicy::Lru, 2);
+        assert!(!cache.lookup(1));
+        assert!(!cache.lookup(2));
+        assert!(cache.lookup(1)); // 2 is now least recent
+        assert!(!cache.lookup(3)); // evicts 2
+        assert!(cache.lookup(1));
+        assert!(!cache.lookup(2)); // 2 was gone
+        assert_eq!(cache.evictions(), 2);
+    }
+
+    #[test]
+    fn lfu_keeps_frequent_rows() {
+        let mut cache = EmbeddingCache::new(CachePolicy::Lfu, 2);
+        for _ in 0..5 {
+            cache.lookup(7);
+        }
+        cache.lookup(8);
+        cache.lookup(9); // evicts 8 (freq 1, older than 9)
+        assert!(cache.lookup(7), "hot row survived");
+        assert!(!cache.lookup(8));
+    }
+
+    #[test]
+    fn static_hot_never_inserts() {
+        let hot: BTreeSet<RowKey> = [1, 2, 3].into_iter().collect();
+        let mut cache = EmbeddingCache::static_hot(&hot);
+        assert!(cache.lookup(1));
+        assert!(!cache.lookup(9));
+        assert!(!cache.lookup(9), "miss did not insert");
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn hit_rate_is_monotone_in_capacity_on_a_zipfish_trace() {
+        // Small deterministic head-heavy trace.
+        let trace: Vec<RowKey> = (0..2_000u64).map(|i| (i * i + i / 3) % 97 % 23).collect();
+        for policy in [CachePolicy::Lru, CachePolicy::Lfu] {
+            let mut prev = -1.0;
+            for capacity in [1, 2, 4, 8, 16] {
+                let cache = run_trace(policy, capacity, &trace);
+                assert!(
+                    cache.hit_rate() >= prev - 1e-12,
+                    "{policy:?} cap {capacity}: {} < {prev}",
+                    cache.hit_rate()
+                );
+                prev = cache.hit_rate();
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_static_set_beats_rank_order_on_this_trace() {
+        let trace: Vec<RowKey> = (0..500u64).map(|i| (i * 7 + 1) % 13).collect();
+        let opt = optimal_static_set(&trace, 4);
+        let naive: BTreeSet<RowKey> = (0..4u64).collect();
+        assert!(static_hits(&trace, &opt) >= static_hits(&trace, &naive));
+    }
+
+    #[test]
+    fn eviction_digest_is_reproducible() {
+        let trace: Vec<RowKey> = (0..1_000u64).map(|i| (i * 31 + 7) % 40).collect();
+        let a = run_trace(CachePolicy::Lru, 8, &trace);
+        let b = run_trace(CachePolicy::Lru, 8, &trace);
+        assert_eq!(a.eviction_digest(), b.eviction_digest());
+        assert_eq!(a.hits(), b.hits());
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for p in CachePolicy::ALL {
+            assert_eq!(CachePolicy::from_name(p.name()), Some(p));
+        }
+        assert_eq!(CachePolicy::from_name("arc"), None);
+    }
+
+    #[test]
+    fn row_keys_separate_features() {
+        assert_ne!(row_key(0, 5), row_key(1, 5));
+        assert_eq!(row_key(2, 9), row_key(2, 9));
+    }
+}

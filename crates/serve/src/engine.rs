@@ -1,0 +1,552 @@
+//! The discrete-event serving loop and its report.
+//!
+//! Everything runs in *virtual* time: arrivals come pre-timestamped from
+//! the workload generator, the batcher/server loop advances a single
+//! virtual clock, and per-batch service times come from the closed-form
+//! [`LatencyModel`]. No wall clock anywhere — the loop is a pure function
+//! of its configuration, byte-identical at any thread count, which is
+//! what lets the experiment driver sweep it under `recsim-pool` and the
+//! detsan matrix pin it. Stage digests (`serve/arrivals`, `serve/cache`,
+//! `serve/latency`) are recorded through `recsim-detsan` so a divergence
+//! localizes to the first differing stage.
+
+use recsim_data::ModelConfig;
+use recsim_detsan::StateDigest;
+use recsim_metrics::quantile;
+use recsim_trace::{TaskCategory, TraceRecorder, Tracer};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+use crate::batcher::{assemble_and_serve, BatchPolicy, MicroBatch};
+use crate::cache::{optimal_static_set, CachePolicy, EmbeddingCache, RowKey};
+use crate::pricing::LatencyModel;
+use crate::workload::{generate, Request, WorkloadConfig};
+
+/// A model-update push: at `at_secs` the server swaps in a freshly
+/// trained model, stalling for the weight transfer and starting cold
+/// (the cache is flushed — new weights invalidate cached rows).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelPush {
+    /// Push instant, virtual seconds.
+    pub at_secs: f64,
+    /// Stall while the new weights stream in, virtual microseconds.
+    pub stall_us: u64,
+}
+
+/// One serving scenario: workload, cache, batching, SLO, optional push.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// The open-loop load.
+    pub workload: WorkloadConfig,
+    /// Cache replacement policy.
+    pub policy: CachePolicy,
+    /// Cache capacity in rows.
+    pub capacity_rows: usize,
+    /// Micro-batching policy.
+    pub batching: BatchPolicy,
+    /// The latency SLO requests must finish under to count as goodput.
+    pub slo_ms: f64,
+    /// Optional mid-run model swap.
+    pub push: Option<ModelPush>,
+}
+
+/// What one serving run measured.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Requests generated (and served — the loop drains the trace).
+    pub requests: usize,
+    /// Micro-batches formed.
+    pub batches: usize,
+    /// Mean batch size.
+    pub mean_batch: f64,
+    /// Virtual horizon of the workload, seconds.
+    pub duration_secs: f64,
+    /// Offered load, requests per second.
+    pub offered_rps: f64,
+    /// Median request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_ms: f64,
+    /// 99.9th-percentile request latency, milliseconds.
+    pub p999_ms: f64,
+    /// Embedding-cache hit rate over the run.
+    pub hit_rate: f64,
+    /// Cache evictions over the run.
+    pub evictions: u64,
+    /// The SLO the run was scored against, milliseconds.
+    pub slo_ms: f64,
+    /// Fraction of requests completing within the SLO.
+    pub slo_attainment: f64,
+    /// Requests per second completing within the SLO — the serving
+    /// analogue of the training goodput metric.
+    pub goodput_rps: f64,
+    /// Critical-path style attribution of served time: fractional shares
+    /// per `recsim-trace` category (embedding lookups split hit/miss via
+    /// `EmbeddingLookup`/`PcieTransfer`, dense compute as `MlpCompute`,
+    /// batch wait as `HostStaging`, push stall as `Recovery`).
+    pub attribution: Vec<(String, f64)>,
+    /// Before/after latency of a model push, when one was configured.
+    pub push: Option<PushReport>,
+}
+
+/// Latency around a model push.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PushReport {
+    /// p99 over requests arriving before the push, milliseconds.
+    pub pre_p99_ms: f64,
+    /// p99 over the first post-push window (cold cache), milliseconds.
+    pub post_p99_ms: f64,
+    /// Hit rate before the push.
+    pub pre_hit_rate: f64,
+    /// Hit rate after the push (cold start included).
+    pub post_hit_rate: f64,
+    /// The stall the weight transfer imposed, milliseconds.
+    pub stall_ms: f64,
+}
+
+/// The request trace and micro-batch schedule that [`simulate`] prices,
+/// for callers that want to run the same schedule for real
+/// ([`crate::exec::execute_schedule`]). The fold replays the cache and
+/// push logic so service times — and therefore batch boundaries — are
+/// byte-identical to the simulated run.
+pub fn schedule(
+    model: &ModelConfig,
+    cfg: &ServeConfig,
+    latency: &LatencyModel,
+) -> (Vec<Request>, Vec<MicroBatch>) {
+    let requests = generate(&cfg.workload, model);
+    let keys: Vec<Vec<RowKey>> = requests.iter().map(|r| r.row_keys().collect()).collect();
+    let mut cache = build_cache(cfg, &keys);
+    let push_at_us = cfg.push.map(|p| (p.at_secs * 1e6) as u64);
+    let mut push_applied = false;
+    let arrivals: Vec<u64> = requests.iter().map(|r| r.arrival_us).collect();
+    let (batches, _) = assemble_and_serve(&arrivals, cfg.batching, |len, start| {
+        let mut stall_us = 0u64;
+        if let (Some(at), Some(push)) = (push_at_us, cfg.push) {
+            if !push_applied && arrivals[start] >= at {
+                push_applied = true;
+                cache = build_cache(cfg, &keys);
+                stall_us = push.stall_us;
+            }
+        }
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for keys in keys.iter().skip(start).take(len) {
+            for &key in keys {
+                if cache.lookup(key) {
+                    hits += 1;
+                } else {
+                    misses += 1;
+                }
+            }
+        }
+        (latency.batch_us(len, hits, misses) + stall_us as f64) as u64
+    });
+    (requests, batches)
+}
+
+/// Runs one serving scenario end to end in virtual time.
+pub fn simulate(model: &ModelConfig, cfg: &ServeConfig, latency: &LatencyModel) -> ServeReport {
+    let requests = generate(&cfg.workload, model);
+    record_arrivals(&requests);
+
+    let keys: Vec<Vec<RowKey>> = requests.iter().map(|r| r.row_keys().collect()).collect();
+    let mut cache = build_cache(cfg, &keys);
+
+    let push_at_us = cfg.push.map(|p| (p.at_secs * 1e6) as u64);
+    let mut push_applied = false;
+    let mut pre_push = CacheCounters::default();
+
+    let arrivals: Vec<u64> = requests.iter().map(|r| r.arrival_us).collect();
+    let mut tracer = TraceRecorder::new();
+    let mut served_us = ServedTime::default();
+
+    let (batches, completions) = assemble_and_serve(&arrivals, cfg.batching, |len, start| {
+        // Model push: the first batch closing past the push instant pays
+        // the stall and restarts the cache cold.
+        let mut stall_us = 0u64;
+        if let (Some(at), Some(push)) = (push_at_us, cfg.push) {
+            if !push_applied && arrivals[start] >= at {
+                push_applied = true;
+                pre_push = CacheCounters::of(&cache);
+                cache = build_cache(cfg, &keys);
+                stall_us = push.stall_us;
+            }
+        }
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for keys in keys.iter().skip(start).take(len) {
+            for &key in keys {
+                if cache.lookup(key) {
+                    hits += 1;
+                } else {
+                    misses += 1;
+                }
+            }
+        }
+        let hit_us = latency.hit_us_per_lookup * hits as f64;
+        let miss_us = latency.miss_us_per_lookup * misses as f64;
+        let dense_us = latency.batch_overhead_us + latency.per_example_us * len as f64;
+        served_us.add(&mut tracer, hit_us, miss_us, dense_us, stall_us as f64);
+        (latency.batch_us(len, hits, misses) + stall_us as f64) as u64
+    });
+
+    build_report(
+        cfg,
+        &requests,
+        &batches,
+        &completions,
+        &cache,
+        pre_push,
+        push_applied,
+        &served_us,
+        tracer,
+    )
+}
+
+/// Hit/miss/eviction totals frozen at the push instant.
+#[derive(Debug, Clone, Copy, Default)]
+struct CacheCounters {
+    hits: u64,
+    misses: u64,
+}
+
+impl CacheCounters {
+    fn of(cache: &EmbeddingCache) -> Self {
+        Self {
+            hits: cache.hits(),
+            misses: cache.misses(),
+        }
+    }
+
+    fn hit_rate(self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Served-time accumulators per attribution category (virtual µs).
+#[derive(Debug, Default)]
+struct ServedTime {
+    hit_us: f64,
+    miss_us: f64,
+    dense_us: f64,
+    stall_us: f64,
+    spans: usize,
+}
+
+/// Cap on per-batch trace spans so huge sweeps stay cheap; totals keep
+/// accumulating past the cap.
+const MAX_TRACE_SPANS: usize = 512;
+
+impl ServedTime {
+    fn add(
+        &mut self,
+        tracer: &mut TraceRecorder,
+        hit_us: f64,
+        miss_us: f64,
+        dense_us: f64,
+        stall_us: f64,
+    ) {
+        let start = self.total_us();
+        if self.spans < MAX_TRACE_SPANS {
+            let mut at = start;
+            for (category, dur) in [
+                (TaskCategory::EmbeddingLookup, hit_us),
+                (TaskCategory::PcieTransfer, miss_us),
+                (TaskCategory::MlpCompute, dense_us),
+                (TaskCategory::Recovery, stall_us),
+            ] {
+                if dur > 0.0 {
+                    tracer.span("serve", category.label(), category, at, dur);
+                    at += dur;
+                }
+            }
+            self.spans += 1;
+        }
+        self.hit_us += hit_us;
+        self.miss_us += miss_us;
+        self.dense_us += dense_us;
+        self.stall_us += stall_us;
+    }
+
+    fn total_us(&self) -> f64 {
+        self.hit_us + self.miss_us + self.dense_us + self.stall_us
+    }
+}
+
+fn build_cache(cfg: &ServeConfig, keys: &[Vec<RowKey>]) -> EmbeddingCache {
+    match cfg.policy {
+        CachePolicy::StaticHot => {
+            let flat: Vec<RowKey> = keys.iter().flatten().copied().collect();
+            let hot: BTreeSet<RowKey> = optimal_static_set(&flat, cfg.capacity_rows);
+            EmbeddingCache::static_hot(&hot)
+        }
+        policy => EmbeddingCache::new(policy, cfg.capacity_rows),
+    }
+}
+
+fn record_arrivals(requests: &[Request]) {
+    if !recsim_detsan::enabled() {
+        return;
+    }
+    let mut d = StateDigest::new();
+    d.write_usize(requests.len());
+    for r in requests {
+        d.write_u64(r.arrival_us);
+        d.write_u64(r.id);
+    }
+    recsim_detsan::record("serve/arrivals", d.finish());
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_report(
+    cfg: &ServeConfig,
+    requests: &[Request],
+    batches: &[MicroBatch],
+    completions: &[u64],
+    cache: &EmbeddingCache,
+    pre_push: CacheCounters,
+    push_applied: bool,
+    served_us: &ServedTime,
+    tracer: TraceRecorder,
+) -> ServeReport {
+    let n = requests.len();
+    let mut latencies_ms: Vec<f64> = requests
+        .iter()
+        .zip(completions)
+        .map(|(r, &c)| (c.saturating_sub(r.arrival_us)) as f64 * 1e-3)
+        .collect();
+
+    if recsim_detsan::enabled() {
+        let mut d = StateDigest::new();
+        d.write_u64(cache.hits());
+        d.write_u64(cache.misses());
+        d.write_u64(cache.evictions());
+        d.write_u64(cache.eviction_digest());
+        recsim_detsan::record("serve/cache", d.finish());
+        let mut d = StateDigest::new();
+        for &l in &latencies_ms {
+            d.write_f64(l);
+        }
+        recsim_detsan::record("serve/latency", d.finish());
+    }
+
+    let within_slo = latencies_ms.iter().filter(|&&l| l <= cfg.slo_ms).count();
+    latencies_ms.sort_by(f64::total_cmp);
+    let q = |p: f64| {
+        if latencies_ms.is_empty() {
+            0.0
+        } else {
+            quantile(&latencies_ms, p)
+        }
+    };
+
+    // Wait time (queueing + batching delay) = latency minus served time;
+    // attribute it as host staging next to the served categories.
+    let total_latency_us: f64 = latencies_ms.iter().sum::<f64>() * 1e3;
+    let wait_us = (total_latency_us - served_us.total_us()).max(0.0);
+    let denom = served_us.total_us() + wait_us;
+    // The tracer carried per-batch spans (bounded); shares come from the
+    // exact accumulators so they cover the whole run.
+    let _ = tracer.finish();
+    let mut attribution: Vec<(String, f64)> = [
+        (TaskCategory::EmbeddingLookup, served_us.hit_us),
+        (TaskCategory::PcieTransfer, served_us.miss_us),
+        (TaskCategory::MlpCompute, served_us.dense_us),
+        (TaskCategory::Recovery, served_us.stall_us),
+        (TaskCategory::HostStaging, wait_us),
+    ]
+    .into_iter()
+    .filter(|(_, us)| *us > 0.0)
+    .map(|(c, us)| {
+        (
+            c.label().to_string(),
+            if denom > 0.0 { us / denom } else { 0.0 },
+        )
+    })
+    .collect();
+    attribution.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    let push = push_applied.then(|| {
+        let push_us = cfg.push.map_or(0, |p| (p.at_secs * 1e6) as u64);
+        let split = requests.partition_point(|r| r.arrival_us < push_us);
+        let p99_of = |range: std::ops::Range<usize>| {
+            let mut v: Vec<f64> = requests[range.clone()]
+                .iter()
+                .zip(&completions[range])
+                .map(|(r, &c)| (c.saturating_sub(r.arrival_us)) as f64 * 1e-3)
+                .collect();
+            v.sort_by(f64::total_cmp);
+            if v.is_empty() {
+                0.0
+            } else {
+                quantile(&v, 0.99)
+            }
+        };
+        let post = CacheCounters {
+            hits: cache.hits(),
+            misses: cache.misses(),
+        };
+        PushReport {
+            pre_p99_ms: p99_of(0..split),
+            post_p99_ms: p99_of(split..n),
+            pre_hit_rate: pre_push.hit_rate(),
+            post_hit_rate: post.hit_rate(),
+            stall_ms: cfg.push.map_or(0.0, |p| p.stall_us as f64 * 1e-3),
+        }
+    });
+
+    ServeReport {
+        requests: n,
+        batches: batches.len(),
+        mean_batch: if batches.is_empty() {
+            0.0
+        } else {
+            n as f64 / batches.len() as f64
+        },
+        duration_secs: cfg.workload.duration_secs,
+        offered_rps: n as f64 / cfg.workload.duration_secs,
+        p50_ms: q(0.50),
+        p99_ms: q(0.99),
+        p999_ms: q(0.999),
+        hit_rate: cache.hit_rate(),
+        evictions: cache.evictions(),
+        slo_ms: cfg.slo_ms,
+        slo_attainment: if n == 0 {
+            0.0
+        } else {
+            within_slo as f64 / n as f64
+        },
+        goodput_rps: within_slo as f64 / cfg.workload.duration_secs,
+        attribution,
+        push,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Spike;
+
+    fn model() -> ModelConfig {
+        ModelConfig::test_suite(8, 4, 16_384, &[32, 16])
+    }
+
+    fn base_config() -> ServeConfig {
+        ServeConfig {
+            workload: WorkloadConfig::steady(42, 2_000.0, 1.0),
+            policy: CachePolicy::Lru,
+            capacity_rows: 1_024,
+            batching: BatchPolicy::new(16, 2_000),
+            slo_ms: 10.0,
+            push: None,
+        }
+    }
+
+    #[test]
+    fn simulate_is_deterministic() {
+        let m = model();
+        let lat = LatencyModel::closed_form(&m);
+        let a = simulate(&m, &base_config(), &lat);
+        let b = simulate(&m, &base_config(), &lat);
+        assert_eq!(a, b);
+        assert!(a.requests > 1_500);
+        assert!(a.p50_ms <= a.p99_ms && a.p99_ms <= a.p999_ms);
+        assert!(a.hit_rate > 0.0 && a.hit_rate < 1.0);
+    }
+
+    #[test]
+    fn schedule_matches_the_priced_run() {
+        // `schedule` must reproduce exactly the batches `simulate` prices —
+        // including across a model push, where the cache restart changes
+        // service times and therefore batch boundaries.
+        let m = model();
+        let lat = LatencyModel::closed_form(&m);
+        let cfg = ServeConfig {
+            push: Some(ModelPush {
+                at_secs: 0.5,
+                stall_us: 10_000,
+            }),
+            ..base_config()
+        };
+        let report = simulate(&m, &cfg, &lat);
+        let (requests, batches) = schedule(&m, &cfg, &lat);
+        assert_eq!(requests.len(), report.requests);
+        assert_eq!(batches.len(), report.batches);
+        let covered: usize = batches.iter().map(|b| b.len).sum();
+        assert_eq!(covered, requests.len());
+    }
+
+    #[test]
+    fn attribution_shares_sum_to_one() {
+        let m = model();
+        let lat = LatencyModel::closed_form(&m);
+        let report = simulate(&m, &base_config(), &lat);
+        let total: f64 = report.attribution.iter().map(|(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-9, "shares sum to {total}");
+    }
+
+    #[test]
+    fn spike_raises_tail_latency() {
+        let m = model();
+        let lat = LatencyModel::closed_form(&m);
+        let steady = simulate(&m, &base_config(), &lat);
+        let mut spiked_cfg = base_config();
+        spiked_cfg.workload.spike = Some(Spike {
+            start_secs: 0.3,
+            duration_secs: 0.4,
+            multiplier: 30.0,
+        });
+        let spiked = simulate(&m, &spiked_cfg, &lat);
+        assert!(
+            spiked.p99_ms > steady.p99_ms,
+            "spiked {} vs steady {}",
+            spiked.p99_ms,
+            steady.p99_ms
+        );
+        assert!(spiked.slo_attainment < steady.slo_attainment);
+    }
+
+    #[test]
+    fn model_push_stalls_and_cools_the_cache() {
+        let m = model();
+        let lat = LatencyModel::closed_form(&m);
+        let mut cfg = base_config();
+        cfg.push = Some(ModelPush {
+            at_secs: 0.5,
+            stall_us: 50_000,
+        });
+        let report = simulate(&m, &cfg, &lat);
+        let push = report.push.expect("push applied");
+        assert!(push.post_p99_ms > push.pre_p99_ms);
+        assert!(push.stall_ms > 0.0);
+        let recovery = report
+            .attribution
+            .iter()
+            .find(|(label, _)| label == TaskCategory::Recovery.label());
+        assert!(
+            recovery.is_some(),
+            "stall attributed: {:?}",
+            report.attribution
+        );
+    }
+
+    #[test]
+    fn static_hot_beats_lru_on_stationary_zipf() {
+        let m = model();
+        let lat = LatencyModel::closed_form(&m);
+        let lru = simulate(&m, &base_config(), &lat);
+        let mut hot_cfg = base_config();
+        hot_cfg.policy = CachePolicy::StaticHot;
+        let hot = simulate(&m, &hot_cfg, &lat);
+        assert!(
+            hot.hit_rate >= lru.hit_rate,
+            "static-hot {} vs lru {}",
+            hot.hit_rate,
+            lru.hit_rate
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! The *real* serving path: forward passes of a trained [`DlrmModel`].
+//!
+//! The discrete-event loop in [`crate::engine`] prices latency; this
+//! module actually executes the numerics the prices stand for. It walks
+//! the same micro-batch schedule, assembles each batch into a
+//! [`MiniBatch`] (request indices become the CSR sparse batch, dense
+//! features are drawn deterministically per request), probes the
+//! embedding cache, and runs the model forward. Every stage is wrapped in
+//! a `prof::scope` so `recsim prof serve` and RV019 see the
+//! serving operators ([`Op::ServeStep`], [`Op::ServeBatchAssemble`],
+//! [`Op::ServeCacheLookup`]) exactly like the training kernels.
+
+use recsim_data::batch::{MiniBatch, SparseBatch};
+use recsim_data::ModelConfig;
+use recsim_detsan::digest_f32_slice;
+use recsim_fault::prng;
+use recsim_model::loss::predict_probabilities;
+use recsim_model::DlrmModel;
+use recsim_prof::{scope, Counters, Op};
+use serde::{Deserialize, Serialize};
+
+use crate::batcher::MicroBatch;
+use crate::cache::EmbeddingCache;
+use crate::workload::Request;
+
+/// What executing the schedule against the real model produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionSummary {
+    /// Micro-batches executed.
+    pub batches: usize,
+    /// Examples scored.
+    pub examples: usize,
+    /// Embedding-cache hits observed on the execution pass.
+    pub hits: u64,
+    /// Embedding-cache misses observed on the execution pass.
+    pub misses: u64,
+    /// Mean predicted click probability over every scored example.
+    pub mean_score: f64,
+    /// Order-sensitive digest of every score, for byte-identity checks.
+    pub score_digest: u64,
+}
+
+/// Runs the micro-batch schedule through the trained model.
+///
+/// `requests` and `batches` come straight from the simulator
+/// ([`crate::workload::generate`] + [`crate::engine::simulate`]'s
+/// batcher), so the executed batches are exactly the priced ones. The
+/// cache is probed for its hit/miss account; rows are served from the
+/// model's tables either way (the cache prices placement, it does not
+/// change values).
+pub fn execute_schedule(
+    model: &DlrmModel,
+    config: &ModelConfig,
+    requests: &[Request],
+    batches: &[MicroBatch],
+    cache: &mut EmbeddingCache,
+    seed: u64,
+) -> ExecutionSummary {
+    let mut examples = 0usize;
+    let mut score_sum = 0.0f64;
+    let mut scores: Vec<f32> = Vec::with_capacity(requests.len());
+
+    for batch in batches {
+        let members = &requests[batch.start..batch.start + batch.len];
+        let _step = scope(Op::ServeStep, Counters::none());
+
+        let minibatch = {
+            let dense_elems = batch.len * config.num_dense();
+            let lookups: usize = members.iter().map(Request::total_lookups).sum();
+            let _assemble = scope(
+                Op::ServeBatchAssemble,
+                Counters::new(0, ((dense_elems + lookups) * 4) as u64),
+            );
+            assemble_minibatch(config, members, seed)
+        };
+
+        {
+            let lookups: usize = members.iter().map(Request::total_lookups).sum();
+            let _probe = scope(
+                Op::ServeCacheLookup,
+                Counters::embedding_forward(lookups, batch.len, config.embedding_dim()),
+            );
+            for request in members {
+                for key in request.row_keys() {
+                    cache.lookup(key);
+                }
+            }
+        }
+
+        let (output, _cache) = model.forward(&minibatch);
+        let probs = predict_probabilities(&output);
+        examples += probs.len();
+        score_sum += probs.iter().map(|&s| f64::from(s)).sum::<f64>();
+        scores.extend_from_slice(&probs);
+    }
+
+    ExecutionSummary {
+        batches: batches.len(),
+        examples,
+        hits: cache.hits(),
+        misses: cache.misses(),
+        mean_score: if examples == 0 {
+            0.0
+        } else {
+            score_sum / examples as f64
+        },
+        score_digest: digest_f32_slice(&scores),
+    }
+}
+
+/// Packs one micro-batch of requests into the model's input shape.
+///
+/// Sparse features come verbatim from the request indices (CSR per
+/// feature); dense features are drawn from the counter-keyed PRNG on
+/// `(seed, request id, slot)` so the batch is a pure function of its
+/// requests — the same request scores identically wherever it lands.
+fn assemble_minibatch(config: &ModelConfig, members: &[Request], seed: u64) -> MiniBatch {
+    let num_dense = config.num_dense();
+    let dense_stream = prng::stream_id("serve/dense");
+    let mut dense = Vec::with_capacity(members.len() * num_dense);
+    for request in members {
+        for slot in 0..num_dense {
+            let draw = request.id * num_dense as u64 + slot as u64;
+            dense.push(prng::unit_f64(seed, dense_stream, draw) as f32);
+        }
+    }
+
+    let sparse: Vec<SparseBatch> = (0..config.sparse_features().len())
+        .map(|f| {
+            let mut offsets = Vec::with_capacity(members.len() + 1);
+            let mut indices = Vec::new();
+            offsets.push(0);
+            for request in members {
+                indices.extend_from_slice(&request.indices[f]);
+                offsets.push(indices.len());
+            }
+            SparseBatch::new(offsets, indices)
+        })
+        .collect();
+
+    // Labels are unused by the forward pass; zero-fill to satisfy shape.
+    let labels = vec![0.0f32; members.len()];
+    MiniBatch::new(members.len(), num_dense, dense, sparse, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batcher::{assemble_and_serve, BatchPolicy};
+    use crate::cache::CachePolicy;
+    use crate::workload::{generate, WorkloadConfig};
+
+    fn setup() -> (ModelConfig, DlrmModel, Vec<Request>, Vec<MicroBatch>) {
+        let config = ModelConfig::test_suite(8, 4, 2_048, &[16, 8]);
+        let model = DlrmModel::new(&config, 7);
+        let requests = generate(&WorkloadConfig::steady(3, 400.0, 0.5), &config);
+        let arrivals: Vec<u64> = requests.iter().map(|r| r.arrival_us).collect();
+        let (batches, _) = assemble_and_serve(&arrivals, BatchPolicy::new(8, 1_000), |_, _| 100);
+        (config, model, requests, batches)
+    }
+
+    #[test]
+    fn execution_is_deterministic_and_covers_every_request() {
+        let (config, model, requests, batches) = setup();
+        let mut run = || {
+            let mut cache = EmbeddingCache::new(CachePolicy::Lru, 256);
+            execute_schedule(&model, &config, &requests, &batches, &mut cache, 11)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert_eq!(a.examples, requests.len());
+        assert_eq!(a.batches, batches.len());
+        assert!(a.mean_score > 0.0 && a.mean_score < 1.0);
+        assert!(a.hits + a.misses > 0);
+    }
+
+    #[test]
+    fn scores_are_probabilities() {
+        let (config, model, requests, batches) = setup();
+        let mut cache = EmbeddingCache::new(CachePolicy::Lfu, 128);
+        let summary = execute_schedule(&model, &config, &requests, &batches, &mut cache, 11);
+        assert_ne!(summary.score_digest, 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! # recsim-serve — the online inference serving tier
+//!
+//! Trained DLRMs spend most of their life *serving*: answering ranking
+//! queries under a tail-latency SLO, not training. This crate models that
+//! tier with the same discipline as the rest of the workspace — virtual
+//! time only, counter-keyed randomness, byte-identical output at any
+//! thread count — and can also *execute* the schedule against a real
+//! trained model.
+//!
+//! The pieces, in pipeline order:
+//!
+//! * [`workload`] — the open-loop request generator: Poisson/diurnal
+//!   arrivals with optional traffic spikes, per-feature Zipf row
+//!   popularity (via `recsim-data`), everything a pure function of the
+//!   seed.
+//! * [`batcher`] — the dynamic micro-batcher: the max-batch / max-delay
+//!   policy plus a single-server queueing fold that turns arrivals into
+//!   batches and completion times.
+//! * [`cache`] — the embedding cache: LRU and perfect-LFU (both stack
+//!   algorithms, so hit rate is provably monotone in capacity) plus a
+//!   static-hot set; deterministic eviction order with a rolling digest.
+//! * [`pricing`] — per-batch latency priced from the `recsim-hw` memory
+//!   hierarchy (HBM hit vs host-DDR-plus-PCIe miss), optionally
+//!   calibrated against the measured kernel baseline.
+//! * [`engine`] — the discrete-event serving loop: p50/p99/p999,
+//!   goodput-under-SLO, trace-category attribution, traffic spikes, and
+//!   mid-run model pushes.
+//! * [`exec`] — the real path: assembles each micro-batch into a
+//!   `MiniBatch` and runs the trained model forward under `prof::scope`
+//!   instrumentation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod cache;
+pub mod engine;
+pub mod exec;
+pub mod pricing;
+pub mod workload;
+
+pub use batcher::{assemble_and_serve, BatchPolicy, MicroBatch};
+pub use cache::{optimal_static_set, row_key, static_hits, CachePolicy, EmbeddingCache, RowKey};
+pub use engine::{schedule, simulate, ModelPush, PushReport, ServeConfig, ServeReport};
+pub use exec::{execute_schedule, ExecutionSummary};
+pub use pricing::LatencyModel;
+pub use workload::{generate, ArrivalProcess, Request, Spike, WorkloadConfig};

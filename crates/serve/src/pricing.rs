@@ -1,0 +1,154 @@
+//! Pricing one micro-batch against the `recsim-hw` memory hierarchy.
+//!
+//! The serving knee comes from three terms with very different scales:
+//!
+//! * a fixed per-batch overhead (kernel launches, batching bookkeeping) —
+//!   the term batching amortizes,
+//! * per-example dense compute (bottom MLP, interaction, top MLP) on the
+//!   accelerator's sustained FLOP rate,
+//! * per-lookup embedding traffic, split by the cache: a *hit* pays one
+//!   random-access row read from HBM, a *miss* pays the host DDR read
+//!   plus a PCIe message to bring the row over.
+//!
+//! The closed form prices everything from the `recsim-hw` presets, so the
+//! experiment driver is self-contained and deterministic. The CLI may
+//! instead calibrate the dense term from the measured kernel baseline
+//! (`BENCH_kernels.json`) via [`LatencyModel::from_kernel_bench`] — real
+//! p50s replace the roofline estimate, closed form fills any gap.
+
+use recsim_data::ModelConfig;
+use recsim_hw::device::v100;
+use recsim_hw::memory::{ddr4_dual_socket, hbm2_v100, AccessPattern};
+use recsim_hw::units::{Bytes, Flops};
+use recsim_hw::Link;
+use serde::{Deserialize, Serialize};
+
+/// Per-batch latency coefficients, all in virtual microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Fixed cost per batch: kernel launches + batching bookkeeping.
+    pub batch_overhead_us: f64,
+    /// Dense forward compute per example.
+    pub per_example_us: f64,
+    /// One cached row: HBM random-access read.
+    pub hit_us_per_lookup: f64,
+    /// One missed row: host DDR random read + a PCIe message.
+    pub miss_us_per_lookup: f64,
+}
+
+/// Kernel launches per forward pass the fixed overhead charges for
+/// (bottom MLP, gathers, interaction, top MLP, sigmoid — a small constant).
+const LAUNCHES_PER_BATCH: f64 = 12.0;
+
+impl LatencyModel {
+    /// Prices the model's forward pass on a V100-class device with host
+    /// DDR behind PCIe 3 — the Big Basin inference slice.
+    pub fn closed_form(model: &ModelConfig) -> Self {
+        let device = v100(Bytes::from_gib(16));
+        let hbm = hbm2_v100(Bytes::from_gib(16));
+        let host = ddr4_dual_socket();
+        let pcie = Link::pcie3_x16();
+        let row = Bytes::new(model.row_bytes());
+
+        let flops = Flops::new(model.forward_flops_per_example());
+        let per_example_us = device
+            .sustained_flop_rate()
+            .execution_time(flops)
+            .as_micros();
+        let batch_overhead_us = device.kernel_overhead().as_micros() * LAUNCHES_PER_BATCH;
+        let hit_us_per_lookup = hbm.access_time(row, AccessPattern::Random).as_micros();
+        let miss_us_per_lookup = host.access_time(row, AccessPattern::Random).as_micros()
+            + pcie.transfer_time(row, 1).as_micros();
+        Self {
+            batch_overhead_us,
+            per_example_us,
+            hit_us_per_lookup,
+            miss_us_per_lookup,
+        }
+    }
+
+    /// Calibrates the dense term from a measured kernel baseline
+    /// (`BENCH_kernels.json`, schema `recsim-bench-kernels-v1`): the
+    /// measured `linear/fwd` p50 replaces the roofline per-example cost.
+    /// Returns `None` when the document does not parse or carries no
+    /// usable rows; callers fall back to [`LatencyModel::closed_form`].
+    pub fn from_kernel_bench(json: &str, model: &ModelConfig) -> Option<Self> {
+        let doc: serde_json::Value = serde_json::from_str(json).ok()?;
+        let ops = doc.get("ops")?.as_array()?;
+        let p50_us = |op: &str| -> Option<f64> {
+            ops.iter()
+                .find(|o| o.get("op").and_then(|v| v.as_str()) == Some(op))?
+                .get("p50_us")?
+                .as_f64()
+        };
+        // The training baseline measures whole-layer GEMMs at training
+        // batch sizes; per example, the forward stack costs roughly the
+        // linear/fwd p50 split across the baseline batch. Conservatively
+        // assume a 128-example measurement batch.
+        let linear_p50 = p50_us("linear/fwd").filter(|&v| v > 0.0)?;
+        let layers = (model.bottom_mlp().len() + model.top_mlp().len()).max(1) as f64;
+        let per_example_us = linear_p50 * layers / 128.0;
+        Some(Self {
+            per_example_us,
+            ..Self::closed_form(model)
+        })
+    }
+
+    /// Service time of one micro-batch, microseconds.
+    pub fn batch_us(&self, batch_size: usize, hits: u64, misses: u64) -> f64 {
+        self.batch_overhead_us
+            + self.per_example_us * batch_size as f64
+            + self.hit_us_per_lookup * hits as f64
+            + self.miss_us_per_lookup * misses as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ModelConfig {
+        ModelConfig::test_suite(8, 4, 65_536, &[64, 32])
+    }
+
+    #[test]
+    fn misses_cost_more_than_hits() {
+        let m = LatencyModel::closed_form(&model());
+        assert!(m.miss_us_per_lookup > m.hit_us_per_lookup * 5.0);
+        assert!(m.batch_overhead_us > 0.0);
+        assert!(m.per_example_us > 0.0);
+    }
+
+    #[test]
+    fn batching_amortizes_overhead() {
+        let m = LatencyModel::closed_form(&model());
+        let single = m.batch_us(1, 8, 0);
+        let batched = m.batch_us(32, 256, 0) / 32.0;
+        assert!(
+            batched < single,
+            "per-example batched {batched} vs single {single}"
+        );
+    }
+
+    #[test]
+    fn kernel_bench_calibration_overrides_dense_term() {
+        let json = r#"{"schema": "recsim-bench-kernels-v1",
+            "ops": [{"op": "linear/fwd", "p50_us": 256.0}]}"#;
+        // Offline stub builds cannot parse JSON at all; the calibration
+        // path is exercised only where a real serde_json is linked.
+        let Some(m) = LatencyModel::from_kernel_bench(json, &model()) else {
+            assert!(serde_json::from_str::<serde_json::Value>("0").is_err());
+            return;
+        };
+        let closed = LatencyModel::closed_form(&model());
+        assert!((m.hit_us_per_lookup - closed.hit_us_per_lookup).abs() < 1e-12);
+        assert!(m.per_example_us > 0.0);
+        assert_ne!(m.per_example_us, closed.per_example_us);
+    }
+
+    #[test]
+    fn malformed_bench_is_rejected() {
+        assert!(LatencyModel::from_kernel_bench("{", &model()).is_none());
+        assert!(LatencyModel::from_kernel_bench("{\"ops\": []}", &model()).is_none());
+    }
+}

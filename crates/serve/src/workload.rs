@@ -1,0 +1,255 @@
+//! The open-loop request generator.
+//!
+//! Serving load is *open loop*: users do not wait for the previous request
+//! to finish before issuing the next one, so arrivals are an exogenous
+//! point process and queueing delay compounds under overload (the regime
+//! tail-latency SLOs are about). Arrivals here are a Poisson process whose
+//! instantaneous rate is modulated by a diurnal curve
+//! ([`recsim_data::arrival::DiurnalProfile`]) and an optional traffic
+//! spike; inter-arrival gaps are drawn with the counter-keyed exponential
+//! from `recsim_fault::prng`, so the whole trace is a pure function of the
+//! seed. Each request's embedding rows come from per-feature Zipf
+//! popularity ([`recsim_data::arrival::PopularityProcess`]), keyed by
+//! `(seed, request, feature, draw)`.
+
+use recsim_data::arrival::{DiurnalProfile, PopularityProcess};
+use recsim_data::ModelConfig;
+use recsim_fault::prng;
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{row_key, RowKey};
+
+/// The arrival process shape.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Homogeneous Poisson at the base rate.
+    Poisson,
+    /// Poisson with a diurnal rate curve.
+    Diurnal {
+        /// Peak rate over trough rate (`>= 1`).
+        peak_to_trough: f64,
+        /// Period of the daily curve, virtual seconds.
+        period_secs: f64,
+    },
+}
+
+/// A transient traffic spike: the rate multiplies by `multiplier` over
+/// `[start_secs, start_secs + duration_secs)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Spike {
+    /// Spike onset, virtual seconds.
+    pub start_secs: f64,
+    /// Spike length, virtual seconds.
+    pub duration_secs: f64,
+    /// Rate multiplier during the spike.
+    pub multiplier: f64,
+}
+
+/// Everything the generator needs to expand a request trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Master seed; every draw is keyed on it.
+    pub seed: u64,
+    /// Base arrival rate, requests per virtual second.
+    pub base_rps: f64,
+    /// Horizon: requests arriving past this are not generated.
+    pub duration_secs: f64,
+    /// Arrival process shape.
+    pub arrival: ArrivalProcess,
+    /// Zipf exponent of row popularity per sparse feature.
+    pub zipf_exponent: f64,
+    /// Embedding lookups per sparse feature per request.
+    pub lookups_per_feature: usize,
+    /// Optional transient traffic spike.
+    pub spike: Option<Spike>,
+}
+
+impl WorkloadConfig {
+    /// A steady 2000-rps workload over `duration_secs` — the baseline the
+    /// driver and CLI sweeps perturb.
+    pub fn steady(seed: u64, base_rps: f64, duration_secs: f64) -> Self {
+        Self {
+            seed,
+            base_rps,
+            duration_secs,
+            arrival: ArrivalProcess::Poisson,
+            zipf_exponent: 1.1,
+            lookups_per_feature: 2,
+            spike: None,
+        }
+    }
+
+    /// The instantaneous arrival rate at virtual time `t_secs`.
+    pub fn rate_at(&self, t_secs: f64) -> f64 {
+        let diurnal = match self.arrival {
+            ArrivalProcess::Poisson => 1.0,
+            ArrivalProcess::Diurnal {
+                peak_to_trough,
+                period_secs,
+            } => DiurnalProfile::new(peak_to_trough, period_secs).factor_at(t_secs),
+        };
+        let spike = match self.spike {
+            Some(s) if (s.start_secs..s.start_secs + s.duration_secs).contains(&t_secs) => {
+                s.multiplier
+            }
+            _ => 1.0,
+        };
+        self.base_rps * diurnal * spike
+    }
+}
+
+/// One inference request: arrival time plus the embedding rows it
+/// activates, one index list per sparse feature.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Sequence number (also the per-request randomness coordinate).
+    pub id: u64,
+    /// Arrival time, virtual microseconds.
+    pub arrival_us: u64,
+    /// Activated rows, `indices[feature][draw]`, each `< hash_size`.
+    pub indices: Vec<Vec<u32>>,
+}
+
+impl Request {
+    /// The request's lookups as packed cache keys, feature-major.
+    pub fn row_keys(&self) -> impl Iterator<Item = RowKey> + '_ {
+        self.indices
+            .iter()
+            .enumerate()
+            .flat_map(|(f, rows)| rows.iter().map(move |&r| row_key(f as u32, u64::from(r))))
+    }
+
+    /// Total embedding lookups in this request.
+    pub fn total_lookups(&self) -> usize {
+        self.indices.iter().map(Vec::len).sum()
+    }
+}
+
+/// Expands the workload into an arrival-ordered request trace.
+///
+/// Arrivals integrate inter-arrival gaps drawn at the *current* rate
+/// (a step-wise inhomogeneous Poisson process); indices come from one
+/// [`PopularityProcess`] per sparse feature. Both are pure functions of
+/// `(config, model)`, so the trace is byte-identical on every run.
+pub fn generate(config: &WorkloadConfig, model: &ModelConfig) -> Vec<Request> {
+    let stream = prng::stream_id("serve/arrivals");
+    let popularity: Vec<PopularityProcess> = model
+        .sparse_features()
+        .iter()
+        .enumerate()
+        .map(|(f, spec)| {
+            PopularityProcess::new(
+                spec.hash_size(),
+                config.zipf_exponent,
+                prng::splitmix64(config.seed ^ prng::stream_id("serve/popularity") ^ f as u64),
+            )
+        })
+        .collect();
+
+    let mut out = Vec::new();
+    let mut t_secs = 0.0_f64;
+    let mut id = 0_u64;
+    let horizon = config.duration_secs;
+    loop {
+        let rate = config.rate_at(t_secs).max(1e-9);
+        t_secs += prng::exponential(config.seed, stream, id, 1.0 / rate);
+        if t_secs >= horizon {
+            break;
+        }
+        let indices: Vec<Vec<u32>> = popularity
+            .iter()
+            .map(|pop| {
+                // Entity = request id: each request draws a fresh ranked
+                // sample, feature-independent via the per-feature seed.
+                pop.sample_many(id, config.lookups_per_feature)
+                    .into_iter()
+                    .map(|r| r as u32)
+                    .collect()
+            })
+            .collect();
+        out.push(Request {
+            id,
+            arrival_us: (t_secs * 1e6) as u64,
+            indices,
+        });
+        id += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ModelConfig {
+        ModelConfig::test_suite(8, 4, 4_096, &[32, 16])
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = WorkloadConfig::steady(7, 500.0, 2.0);
+        let a = generate(&cfg, &model());
+        let b = generate(&cfg, &model());
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn rate_roughly_matches_request_count() {
+        let cfg = WorkloadConfig::steady(3, 1_000.0, 4.0);
+        let n = generate(&cfg, &model()).len() as f64;
+        let expected = 4_000.0;
+        assert!(
+            (n - expected).abs() < expected * 0.1,
+            "{n} requests for expected {expected}"
+        );
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_within_horizon() {
+        let cfg = WorkloadConfig::steady(11, 800.0, 1.0);
+        let reqs = generate(&cfg, &model());
+        assert!(reqs.windows(2).all(|w| w[0].arrival_us <= w[1].arrival_us));
+        assert!(reqs.iter().all(|r| r.arrival_us < 1_000_000));
+        assert!(reqs.iter().all(|r| r.indices.len() == 4));
+        assert!(reqs.iter().all(|r| r.total_lookups() == 8));
+    }
+
+    #[test]
+    fn spike_adds_requests_in_its_window() {
+        let base = WorkloadConfig::steady(5, 500.0, 3.0);
+        let spiked = WorkloadConfig {
+            spike: Some(Spike {
+                start_secs: 1.0,
+                duration_secs: 1.0,
+                multiplier: 4.0,
+            }),
+            ..base.clone()
+        };
+        let in_window = |reqs: &[Request]| {
+            reqs.iter()
+                .filter(|r| (1_000_000..2_000_000).contains(&r.arrival_us))
+                .count()
+        };
+        let n_base = in_window(&generate(&base, &model()));
+        let n_spiked = in_window(&generate(&spiked, &model()));
+        assert!(
+            n_spiked as f64 > n_base as f64 * 2.0,
+            "spike window: {n_spiked} vs base {n_base}"
+        );
+    }
+
+    #[test]
+    fn diurnal_rate_oscillates() {
+        let cfg = WorkloadConfig {
+            arrival: ArrivalProcess::Diurnal {
+                peak_to_trough: 3.0,
+                period_secs: 2.0,
+            },
+            ..WorkloadConfig::steady(1, 100.0, 2.0)
+        };
+        let peak = cfg.rate_at(0.5);
+        let trough = cfg.rate_at(1.5);
+        assert!((peak / trough - 3.0).abs() < 1e-9, "{peak} / {trough}");
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for the serving tier (ISSUE 9 satellite): (i) LRU and
+//! perfect-LFU are stack algorithms, so on any trace their hit count is
+//! monotone non-decreasing in capacity; (ii) the top-k-by-frequency static
+//! set is hit-optimal among all same-size static sets; (iii) cache
+//! processing of a fixed trace is byte-identical across runs, eviction
+//! order included; (iv) the micro-batcher covers every request exactly
+//! once and never completes a request before it arrives.
+
+use proptest::prelude::*;
+use recsim_serve::{
+    assemble_and_serve, optimal_static_set, row_key, static_hits, BatchPolicy, CachePolicy,
+    EmbeddingCache, RowKey,
+};
+use std::collections::BTreeSet;
+
+/// Expands compact `(feature, row)` draws into a cache probe trace.
+fn trace_of(draws: &[(u32, u64)]) -> Vec<RowKey> {
+    draws.iter().map(|&(f, r)| row_key(f % 4, r % 64)).collect()
+}
+
+/// Runs one policy over a trace and returns `(hits, eviction digest)`.
+fn run_policy(policy: CachePolicy, capacity: usize, trace: &[RowKey]) -> (u64, u64) {
+    let mut cache = EmbeddingCache::new(policy, capacity);
+    for &key in trace {
+        cache.lookup(key);
+    }
+    (cache.hits(), cache.eviction_digest())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (i) Stack-algorithm inclusion: growing the cache never loses hits.
+    #[test]
+    fn hit_count_is_monotone_in_capacity(
+        draws in proptest::collection::vec((0u32..8, 0u64..512), 1..400),
+    ) {
+        let trace = trace_of(&draws);
+        for policy in [CachePolicy::Lru, CachePolicy::Lfu] {
+            let mut last = 0u64;
+            for capacity in [1usize, 2, 4, 8, 16, 32, 64, 256] {
+                let (hits, _) = run_policy(policy, capacity, &trace);
+                prop_assert!(
+                    hits >= last,
+                    "{policy:?} lost hits growing to {capacity}: {hits} < {last}"
+                );
+                last = hits;
+            }
+        }
+    }
+
+    /// (ii) The top-k-by-frequency set maximizes static hits: no other
+    /// same-size subset of the trace's keys scores more.
+    #[test]
+    fn optimal_static_set_beats_arbitrary_sets(
+        draws in proptest::collection::vec((0u32..8, 0u64..512), 1..300),
+        picks in proptest::collection::vec(0usize..1_000, 0..12),
+        k in 1usize..24,
+    ) {
+        let trace = trace_of(&draws);
+        let best = optimal_static_set(&trace, k);
+        prop_assert!(best.len() <= k);
+        // A rival set of the same size, sampled from the trace's own keys
+        // (any superset-free choice outside the trace can only do worse).
+        let rival: BTreeSet<RowKey> = picks
+            .iter()
+            .map(|&i| trace[i % trace.len()])
+            .take(k)
+            .collect();
+        prop_assert!(
+            static_hits(&trace, &best) >= static_hits(&trace, &rival),
+            "top-k set lost to a rival of size {}",
+            rival.len()
+        );
+    }
+
+    /// (iii) Replays of the same trace agree byte for byte — hit counts
+    /// and the order-sensitive eviction digest.
+    #[test]
+    fn cache_processing_is_deterministic(
+        draws in proptest::collection::vec((0u32..8, 0u64..512), 1..400),
+        capacity in 1usize..64,
+    ) {
+        let trace = trace_of(&draws);
+        for policy in [CachePolicy::Lru, CachePolicy::Lfu] {
+            let a = run_policy(policy, capacity, &trace);
+            let b = run_policy(policy, capacity, &trace);
+            prop_assert_eq!(a, b, "{:?} replay diverged", policy);
+        }
+    }
+
+    /// (iv) The batcher partitions the trace: every request is in exactly
+    /// one batch, batches are contiguous, and completions respect both
+    /// arrival order and the arrival time itself.
+    #[test]
+    fn batcher_covers_every_request_exactly_once(
+        gaps in proptest::collection::vec(0u64..5_000, 1..300),
+        max_batch in 1usize..32,
+        max_delay in 0u64..10_000,
+        service in 1u64..2_000,
+    ) {
+        let mut arrivals = Vec::with_capacity(gaps.len());
+        let mut t = 0u64;
+        for gap in gaps {
+            t += gap;
+            arrivals.push(t);
+        }
+        let (batches, completions) =
+            assemble_and_serve(&arrivals, BatchPolicy::new(max_batch, max_delay), |len, _| {
+                service * len as u64
+            });
+        let covered: usize = batches.iter().map(|b| b.len).sum();
+        prop_assert_eq!(covered, arrivals.len());
+        prop_assert_eq!(batches.first().map_or(0, |b| b.start), 0);
+        for w in batches.windows(2) {
+            prop_assert_eq!(w[0].start + w[0].len, w[1].start);
+        }
+        for (i, (&arrival, &done)) in arrivals.iter().zip(&completions).enumerate() {
+            prop_assert!(done > arrival, "request {i} completed before arriving");
+        }
+        for w in completions.windows(2) {
+            prop_assert!(w[0] <= w[1], "completions must be non-decreasing");
+        }
+    }
+}

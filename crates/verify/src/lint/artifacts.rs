@@ -19,6 +19,10 @@ pub const BENCH_SCHEMA: &str = "recsim-bench-sweeps-v1";
 /// written by the `kernels_baseline` binary).
 pub const KERNELS_SCHEMA: &str = "recsim-bench-kernels-v1";
 
+/// The schema tag of the serving-tier baseline (`BENCH_serve.json`,
+/// written by the `serve_baseline` binary).
+pub const SERVE_SCHEMA: &str = "recsim-bench-serve-v1";
+
 /// Top-level fields of the `recsim-bench-sweeps-v1` schema besides
 /// `schema` itself (which is value-checked, not just presence-checked).
 pub const REQUIRED_KEYS: [&str; 7] = [
@@ -43,11 +47,24 @@ pub const KERNELS_REQUIRED_KEYS: [&str; 7] = [
     "outputs_identical",
 ];
 
+/// Top-level fields of the `recsim-bench-serve-v1` schema besides
+/// `schema`.
+pub const SERVE_REQUIRED_KEYS: [&str; 7] = [
+    "effort",
+    "threads",
+    "scenarios",
+    "serial_wall_secs",
+    "parallel_wall_secs",
+    "speedup",
+    "outputs_identical",
+];
+
 /// The required key set for a recognized schema tag.
 fn required_keys_for(tag: &str) -> Option<&'static [&'static str]> {
     match tag {
         BENCH_SCHEMA => Some(&REQUIRED_KEYS),
         KERNELS_SCHEMA => Some(&KERNELS_REQUIRED_KEYS),
+        SERVE_SCHEMA => Some(&SERVE_REQUIRED_KEYS),
         _ => None,
     }
 }
@@ -88,14 +105,17 @@ pub fn check_bench_artifacts(
             Some(Err(tag)) => out.push(Diagnostic::error(
                 Code::StaleBenchArtifact,
                 name,
-                format!("schema tag `{tag}` is neither `{BENCH_SCHEMA}` nor `{KERNELS_SCHEMA}`"),
+                format!(
+                    "schema tag `{tag}` is none of `{BENCH_SCHEMA}`, `{KERNELS_SCHEMA}`, \
+                     or `{SERVE_SCHEMA}`"
+                ),
             )),
             None => out.push(Diagnostic::error(
                 Code::StaleBenchArtifact,
                 name,
                 format!(
-                    "artifact has no `schema` string field (`{BENCH_SCHEMA}` or \
-                     `{KERNELS_SCHEMA}` expected)"
+                    "artifact has no `schema` string field (`{BENCH_SCHEMA}`, \
+                     `{KERNELS_SCHEMA}`, or `{SERVE_SCHEMA}` expected)"
                 ),
             )),
         }
@@ -268,6 +288,28 @@ mod tests {
         let diags = check_bench_artifacts(&artifacts, &producer);
         assert_eq!(diags.len(), 1);
         assert!(diags[0].message().contains("loop_total_secs"));
+    }
+
+    #[test]
+    fn serve_schema_is_accepted_with_its_own_keys() {
+        let doc = format!(
+            "{{\"schema\": \"{SERVE_SCHEMA}\", \"effort\": \"quick\", \"threads\": 4, \
+             \"scenarios\": [{{\"id\": \"cache-sweep\", \"p99_ms\": 1.5}}], \
+             \"serial_wall_secs\": 0.6, \"parallel_wall_secs\": 0.3, \
+             \"speedup\": 2.0, \"outputs_identical\": true}}"
+        );
+        let producer = vec![(
+            "crates/bench/src/bin/serve_baseline.rs".to_string(),
+            "let path = root.join(\"BENCH_serve.json\");".to_string(),
+        )];
+        let artifacts = vec![("BENCH_serve.json".to_string(), doc.clone())];
+        assert!(check_bench_artifacts(&artifacts, &producer).is_empty());
+
+        let broken = doc.replace("\"scenarios\"", "\"scenes\"");
+        let artifacts = vec![("BENCH_serve.json".to_string(), broken)];
+        let diags = check_bench_artifacts(&artifacts, &producer);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message().contains("scenarios"));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! still sum to ~100% — the gap is silent. This rule closes the loop: each
 //! `Op::Variant` listed in the inventory's `ALL` array must appear at a
 //! `prof::scope(...)`-style call site somewhere in the instrumented crates
-//! (recsim-model and recsim-train), so adding an op without wiring it up —
+//! (recsim-model, recsim-train, recsim-serve), so adding an op without wiring it up —
 //! or deleting the scope during a refactor — fails the lint, the same
 //! coverage-ratchet idea as the panic/detsan allowlists.
 
@@ -58,8 +58,9 @@ pub fn check_instrumentation(
                 ops_path,
                 format!(
                     "op inventory entry `{token}` has no instrumentation point in \
-                     crates/model or crates/train — open a `prof::scope({token}, …)` \
-                     around the kernel (or remove the op from the inventory)"
+                     crates/model, crates/train, or crates/serve — open a \
+                     `prof::scope({token}, …)` around the kernel (or remove the op \
+                     from the inventory)"
                 ),
             ));
         }

@@ -9,9 +9,10 @@
 //! verify ← metrics ← hw ← placement ← sim ← shard ← fault
 //!                  ↖ data ← model ← train
 //!                  ↖ trace (← sim, for schedule export/attribution)
-//! detsan (dependency-free) ← pool/data/sim/train/core/facade
-//! prof (dependency-free) ← model/train/core/facade
+//! detsan (dependency-free) ← pool/data/sim/train/serve/core/facade
+//! prof (dependency-free) ← model/train/serve/core/facade
 //! pool (← detsan only) ← train/core/bench/facade
+//! serve (← hw/data/model/fault/trace) beside train, under core
 //! core atop everything; bench + the root facade atop core.
 //! ```
 
@@ -89,6 +90,16 @@ pub fn allowed_internal(package: &str) -> Option<&'static [&'static str]> {
         "recsim-data",
         "recsim-model",
     ];
+    const SERVE: &[&str] = &[
+        "recsim-detsan",
+        "recsim-prof",
+        "recsim-metrics",
+        "recsim-hw",
+        "recsim-data",
+        "recsim-model",
+        "recsim-fault",
+        "recsim-trace",
+    ];
     const CORE: &[&str] = &[
         "recsim-verify",
         "recsim-detsan",
@@ -104,6 +115,7 @@ pub fn allowed_internal(package: &str) -> Option<&'static [&'static str]> {
         "recsim-fault",
         "recsim-trace",
         "recsim-train",
+        "recsim-serve",
     ];
     const TOP: &[&str] = &[
         "recsim-verify",
@@ -120,6 +132,7 @@ pub fn allowed_internal(package: &str) -> Option<&'static [&'static str]> {
         "recsim-fault",
         "recsim-trace",
         "recsim-train",
+        "recsim-serve",
         "recsim-core",
     ];
     match package {
@@ -137,6 +150,7 @@ pub fn allowed_internal(package: &str) -> Option<&'static [&'static str]> {
         "recsim-fault" => Some(FAULT),
         "recsim-trace" => Some(TRACE),
         "recsim-train" => Some(TRAIN),
+        "recsim-serve" => Some(SERVE),
         "recsim-core" => Some(CORE),
         "recsim-bench" | "recsim" => Some(TOP),
         _ => None,

@@ -142,11 +142,14 @@ pub fn run(root: &Path) -> Vec<Diagnostic> {
     ));
 
     // RV019 over the profiler op inventory: every op must be instrumented
-    // somewhere in the model/train sources.
+    // somewhere in the model/train/serve sources.
     let ops_rel = "crates/prof/src/ops.rs";
     match fs::read_to_string(root.join(ops_rel)) {
         Ok(ops_src) => {
-            let instrumented = sources_under(root, &["crates/model/src", "crates/train/src"]);
+            let instrumented = sources_under(
+                root,
+                &["crates/model/src", "crates/train/src", "crates/serve/src"],
+            );
             diags.extend(instrumentation::check_instrumentation(
                 ops_rel,
                 &ops_src,

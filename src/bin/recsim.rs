@@ -9,6 +9,7 @@
 //! recsim trace <setup> [options]          export a timeline + attribution
 //! recsim prof <driver> [options]          profile the real hot path, calibrate
 //! recsim train [options]                  really train a model, report NE
+//! recsim serve <setup> [options]          serve a trained model under load
 //! recsim models                           describe the M1/M2/M3 stand-ins
 //! recsim verify                           validate presets, list RV0xx codes
 //! recsim verify --detsan <id|all>         localize nondeterminism per stage
@@ -32,6 +33,7 @@ fn main() -> ExitCode {
         Some("trace") => cmd_trace(&args[1..]),
         Some("prof") => cmd_prof(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("models") => cmd_models(),
         Some("verify") => cmd_verify(&args[1..]),
         Some("help") | None => {
@@ -64,6 +66,10 @@ fn print_help() {
          \x20                                         bounds and sim-vs-measured\n\
          \x20                                         calibration (DESIGN.md §12)\n\
          \x20 recsim train [options]                  train for real, report NE\n\
+         \x20 recsim serve <setup> [options]          price a serving scenario in\n\
+         \x20                                         virtual time, then train a\n\
+         \x20                                         model and score the exact\n\
+         \x20                                         schedule through it\n\
          \x20 recsim models                           describe M1/M2/M3 stand-ins\n\
          \x20 recsim verify                           validate presets, list RV0xx codes\n\
          \x20 recsim verify --detsan <id|all>         run each driver at 1 vs N threads\n\
@@ -101,7 +107,14 @@ fn print_help() {
          \n\
          TRAIN OPTIONS:\n\
          \x20 --batch N [200]  --examples N [40000]  --lr F [0.04]  --seed N [31]\n\
-         \x20 --dense N [16]   --sparse N [4]        --hash N [2000]"
+         \x20 --dense N [16]   --sparse N [4]        --hash N [2000]\n\
+         \n\
+         SERVE: recsim serve steady|spike|push\n\
+         \x20 --rps F [4000]  --duration SECONDS [2]  --seed N [7]\n\
+         \x20 --policy lru|lfu|static-hot [lru]  --capacity ROWS [1024]\n\
+         \x20 --max-batch N [16]  --max-delay-us N [2000]  --slo-ms F [5]\n\
+         \x20 --multiplier F [6] (spike)  --stall-us N [20000] (push)\n\
+         \x20 plus the train model flags (--dense/--sparse/--hash/--mlp)"
     );
 }
 
@@ -949,6 +962,219 @@ fn cmd_train(args: &[String]) -> ExitCode {
         run.final_ne()
     );
     ExitCode::SUCCESS
+}
+
+/// `recsim serve <setup>` — run the online inference serving tier: price
+/// the scenario in virtual time (micro-batching, embedding cache, SLO
+/// tails), then really train a DLRM and push the exact priced schedule
+/// through its forward path. Setups: `steady` (stationary Poisson),
+/// `spike` (transient rate burst mid-run), `push` (mid-run model swap: a
+/// second model trained at `seed + 1` takes over behind a weight-transfer
+/// stall and a cold cache).
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let (mut flags, positional) = parse_flags(args);
+    let setup = positional.first().map_or("steady", String::as_str);
+    flags.entry("dense".into()).or_insert_with(|| "16".into());
+    flags.entry("sparse".into()).or_insert_with(|| "4".into());
+    flags.entry("hash".into()).or_insert_with(|| "2000".into());
+    flags.entry("mlp".into()).or_insert_with(|| "32x2".into());
+    let model = build_model(&flags);
+
+    let seed = get(&flags, "seed", 7u64);
+    let duration = get(&flags, "duration", 2.0f64);
+    let rps = get(&flags, "rps", 4_000.0f64);
+    let mut workload = WorkloadConfig::steady(seed, rps, duration);
+    let mut push = None;
+    match setup {
+        "steady" => {}
+        "spike" => {
+            workload.spike = Some(Spike {
+                start_secs: duration * 0.4,
+                duration_secs: duration * 0.2,
+                multiplier: get(&flags, "multiplier", 6.0f64),
+            });
+        }
+        "push" => {
+            push = Some(ModelPush {
+                at_secs: duration * 0.5,
+                stall_us: get(&flags, "stall-us", 20_000u64),
+            });
+        }
+        other => {
+            eprintln!("unknown setup `{other}` (steady, spike, push)");
+            return ExitCode::FAILURE;
+        }
+    }
+    let policy_name = flags.get("policy").map_or("lru", String::as_str);
+    let Some(policy) = CachePolicy::from_name(policy_name) else {
+        eprintln!("unknown cache policy `{policy_name}` (lru, lfu, static-hot)");
+        return ExitCode::FAILURE;
+    };
+    let cfg = ServeConfig {
+        workload,
+        policy,
+        capacity_rows: get(&flags, "capacity", 1_024usize),
+        batching: BatchPolicy::new(
+            get(&flags, "max-batch", 16usize),
+            get(&flags, "max-delay-us", 2_000u64),
+        ),
+        slo_ms: get(&flags, "slo-ms", 5.0f64),
+        push,
+    };
+
+    // Latency terms: the measured kernel baseline when the artifact is in
+    // the tree, the closed-form hardware model otherwise.
+    let bench = recsim::verify::lint::workspace_root()
+        .map(|root| root.join("BENCH_kernels.json"))
+        .and_then(|path| std::fs::read_to_string(path).ok());
+    let (latency, source) = match bench
+        .as_deref()
+        .and_then(|json| LatencyModel::from_kernel_bench(json, &model))
+    {
+        Some(calibrated) => (calibrated, "measured BENCH_kernels.json"),
+        None => (LatencyModel::closed_form(&model), "closed-form hw model"),
+    };
+
+    println!(
+        "serving {} under `{setup}` load: {rps:.0} rps x {duration:.1} s, {} cache of {} \
+         rows, batch <= {} within {} us, SLO {} ms (latency: {source})",
+        model.name(),
+        policy.name(),
+        cfg.capacity_rows,
+        cfg.batching.max_batch,
+        cfg.batching.max_delay_us,
+        cfg.slo_ms,
+    );
+    let report = simulate(&model, &cfg, &latency);
+    print_serve_report(&report);
+
+    // The real pass: train, then score the exact priced schedule.
+    let train_seed = get(&flags, "train-seed", 17u64);
+    let trainer = TrainerConfig {
+        seed: train_seed,
+        ..TrainerConfig::quick_test()
+    };
+    println!("\ntraining {} for the execution pass...", model.name());
+    let run = TrainRun::new(&model, trainer).execute();
+    println!(
+        "  held-out NE {:.4} after {} steps",
+        run.final_ne(),
+        run.loss_history().len()
+    );
+    let (requests, batches) = recsim::serve::schedule(&model, &cfg, &latency);
+    let build_cache = |requests: &[recsim::serve::Request]| match policy {
+        CachePolicy::StaticHot => {
+            let flat: Vec<_> = requests
+                .iter()
+                .flat_map(recsim::serve::Request::row_keys)
+                .collect();
+            EmbeddingCache::static_hot(&recsim::serve::optimal_static_set(&flat, cfg.capacity_rows))
+        }
+        p => EmbeddingCache::new(p, cfg.capacity_rows),
+    };
+    let mut cache = build_cache(&requests);
+    let push_split = cfg.push.map(|p| {
+        let at = (p.at_secs * 1e6) as u64;
+        batches.partition_point(|b| requests[b.start].arrival_us < at)
+    });
+    match push_split {
+        Some(split) if split < batches.len() => {
+            let pre = execute_schedule(
+                run.model(),
+                &model,
+                &requests,
+                &batches[..split],
+                &mut cache,
+                seed,
+            );
+            print_execution("pre-push ", &pre);
+            println!(
+                "  model push: training the replacement at seed {}...",
+                train_seed + 1
+            );
+            let fresh = TrainRun::new(
+                &model,
+                TrainerConfig {
+                    seed: train_seed + 1,
+                    ..trainer
+                },
+            )
+            .execute();
+            let mut cold = build_cache(&requests);
+            let post = execute_schedule(
+                fresh.model(),
+                &model,
+                &requests,
+                &batches[split..],
+                &mut cold,
+                seed,
+            );
+            print_execution("post-push", &post);
+        }
+        _ => print_execution(
+            "executed ",
+            &execute_schedule(run.model(), &model, &requests, &batches, &mut cache, seed),
+        ),
+    }
+    ExitCode::SUCCESS
+}
+
+/// Prints a [`ServeReport`]'s headline numbers and attribution.
+fn print_serve_report(r: &ServeReport) {
+    println!(
+        "requests:       {} over {:.2} s ({:.0} rps offered)",
+        r.requests, r.duration_secs, r.offered_rps
+    );
+    println!(
+        "micro-batches:  {} (mean batch {:.1})",
+        r.batches, r.mean_batch
+    );
+    println!(
+        "latency:        p50 {:.3} ms, p99 {:.3} ms, p999 {:.3} ms",
+        r.p50_ms, r.p99_ms, r.p999_ms
+    );
+    println!(
+        "cache:          {:.1}% hits, {} evictions",
+        r.hit_rate * 100.0,
+        r.evictions
+    );
+    println!(
+        "slo:            {:.1}% within {} ms -> goodput {:.0} rps",
+        r.slo_attainment * 100.0,
+        r.slo_ms,
+        r.goodput_rps
+    );
+    if !r.attribution.is_empty() {
+        println!("served time:");
+        for (label, share) in &r.attribution {
+            println!("  {label:<18} {:>5.1}%", share * 100.0);
+        }
+    }
+    if let Some(p) = &r.push {
+        println!(
+            "model push:     p99 {:.3} -> {:.3} ms, hit rate {:.1}% -> {:.1}% \
+             ({:.0} ms stall)",
+            p.pre_p99_ms,
+            p.post_p99_ms,
+            p.pre_hit_rate * 100.0,
+            p.post_hit_rate * 100.0,
+            p.stall_ms
+        );
+    }
+}
+
+/// Prints one real-execution pass.
+fn print_execution(tag: &str, s: &recsim::serve::ExecutionSummary) {
+    let probes = (s.hits + s.misses).max(1);
+    println!(
+        "  {tag} {} examples in {} batches: mean click score {:.4}, cache \
+         {:.1}% hits, score digest {:#018x}",
+        s.examples,
+        s.batches,
+        s.mean_score,
+        100.0 * s.hits as f64 / probes as f64,
+        s.score_digest
+    );
 }
 
 fn cmd_models() -> ExitCode {

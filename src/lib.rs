@@ -29,6 +29,10 @@
 //!   closed-form FLOP/byte counters on every model operator, joined with
 //!   the hardware roofline and the simulator's attribution by
 //!   `recsim prof <driver>`,
+//! * [`serve`] — the online inference serving tier: open-loop request
+//!   generation, dynamic micro-batching, embedding caches priced by the
+//!   memory hierarchy, and tail-latency SLO reporting — including running
+//!   the schedule through a really-trained model (`recsim serve <setup>`),
 //! * [`train`] — real training loops, NE metrics, batch scaling, AutoML,
 //!   EASGD/Hogwild,
 //! * [`metrics`] — histograms, KDE, quantiles, report rendering,
@@ -74,6 +78,7 @@ pub use recsim_model as model;
 pub use recsim_placement as placement;
 pub use recsim_pool as pool;
 pub use recsim_prof as prof;
+pub use recsim_serve as serve;
 pub use recsim_shard as shard;
 pub use recsim_sim as sim;
 pub use recsim_trace as trace;
@@ -96,6 +101,10 @@ pub mod prelude {
     pub use recsim_hw::{Platform, PlatformKind};
     pub use recsim_model::{DlrmModel, Matrix};
     pub use recsim_placement::{PartitionScheme, Placement, PlacementStrategy};
+    pub use recsim_serve::{
+        execute_schedule, simulate, BatchPolicy, CachePolicy, EmbeddingCache, LatencyModel,
+        ModelPush, ServeConfig, ServeReport, Spike, WorkloadConfig,
+    };
     pub use recsim_shard::{
         best_static, solver_by_name, static_plans, GreedySharder, PackSharder, RefineSharder,
         ShardError, ShardPlan, Sharder,

@@ -60,8 +60,9 @@ fn registry_covers_every_paper_artifact() {
         "scaleout",
         "readers",
         "compression",
+        "serve",
     ] {
         assert!(ids.contains(&expected), "missing driver for {expected}");
     }
-    assert_eq!(ids.len(), 22);
+    assert_eq!(ids.len(), 23);
 }
