@@ -1,9 +1,14 @@
 //! Runs every experiment driver twice — a timed serial pass and a timed
 //! parallel pass through `recsim_core::experiments::run_all` — verifies the
 //! two produce byte-identical structured outputs, summarizes which paper
-//! claims reproduce, writes a consolidated `results/REPORT.md`, and records
-//! the speedup baseline in `BENCH_sweeps.json` at the workspace root (schema
-//! documented in `recsim_bench`). Set RECSIM_QUICK=1 for the reduced scale;
+//! claims reproduce, prints the per-driver wall-clock table to stdout
+//! (unconditionally, so a perf-smoke failure is diagnosable from the CI log
+//! alone), writes a consolidated `results/REPORT.md` plus `timings.json`
+//! under the results dir, re-times the batch-shard training drivers
+//! (`automl`, `fig15`) at the pool's width and gates their fan-out speedup
+//! at >= 1.0 on multi-core hosts, and records the speedup baseline in
+//! `BENCH_sweeps.json` at the workspace root (schema documented in
+//! `recsim_bench`). Set RECSIM_QUICK=1 for the reduced scale;
 //! RECSIM_THREADS caps the parallel pass.
 use std::time::Instant;
 
@@ -101,6 +106,102 @@ fn main() {
     if threads.min(hardware) > 1 && speedup < 1.0 {
         eprintln!(">>> parallel pass regressed below serial ({speedup:.2}x < 1.00x)");
         regression = true;
+    }
+
+    // Per-driver wall-clock table (slowest first), printed unconditionally:
+    // when the CI perf smoke trips its budget, the log alone must show
+    // which driver ate the time.
+    let mut timings: Vec<(&str, f64)> = driver_times.clone();
+    timings.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+    let mut timing_table = recsim_metrics::Table::new(vec!["driver", "serial s", "share"]);
+    for (id, secs) in &timings {
+        timing_table.push_row(vec![
+            (*id).to_string(),
+            format!("{secs:.3}"),
+            format!(
+                "{:.1}%",
+                if serial_total > 0.0 {
+                    secs / serial_total * 100.0
+                } else {
+                    0.0
+                }
+            ),
+        ]);
+    }
+    println!("per-driver wall clock:\n{timing_table}");
+
+    // Batch-shard fan-out gate: the training drivers (`automl`, `fig15`)
+    // parallelize *inside* the trainer (batch shards across workers), so
+    // the whole-registry speedup above can mask a fan-out regression. Time
+    // each at the pool's width against its serial pass. The gate arms only
+    // with real parallelism available — on a single-core host the shards
+    // run inline and the ratio is timing noise.
+    let mut fanout: Vec<(&str, f64, f64, f64)> = Vec::new();
+    for (id, driver) in recsim_core::experiments::registry() {
+        if id != "automl" && id != "fig15" {
+            continue;
+        }
+        let serial_secs = driver_times
+            .iter()
+            .find(|(tid, _)| *tid == id)
+            .map_or(0.0, |(_, s)| *s);
+        let t = Instant::now();
+        let _ = driver(effort);
+        let fan_secs = t.elapsed().as_secs_f64();
+        let fan_speedup = if fan_secs > 0.0 {
+            serial_secs / fan_secs
+        } else {
+            1.0
+        };
+        println!(
+            "batch-shard fan-out `{id}`: serial {serial_secs:.2}s, {threads}-thread \
+             {fan_secs:.2}s ({fan_speedup:.2}x)"
+        );
+        if threads.min(hardware) > 1 && fan_speedup < 1.0 {
+            eprintln!(">>> `{id}` batch-shard fan-out regressed ({fan_speedup:.2}x < 1.00x)");
+            regression = true;
+        }
+        fanout.push((id, serial_secs, fan_secs, fan_speedup));
+    }
+
+    // Per-driver timings artifact (same `recsim-run-timings-v1` shape the
+    // CLI's `run --all` writes): the CI fan-out step uploads this.
+    let results = recsim_bench::results_dir();
+    if let Err(e) = std::fs::create_dir_all(&results) {
+        eprintln!("could not create results dir {}: {e}", results.display());
+        std::process::exit(1);
+    }
+    let timings_doc = serde_json::json!({
+        "schema": "recsim-run-timings-v1",
+        "threads": threads,
+        "total_wall_secs": serial_total,
+        "drivers": timings
+            .iter()
+            .map(|(id, secs)| serde_json::json!({ "driver": id, "wall_secs": secs }))
+            .collect::<Vec<_>>(),
+        "fanout": fanout
+            .iter()
+            .map(|(id, serial_secs, fan_secs, fan_speedup)| serde_json::json!({
+                "driver": id,
+                "serial_secs": serial_secs,
+                "parallel_secs": fan_secs,
+                "speedup": fan_speedup,
+            }))
+            .collect::<Vec<_>>(),
+    });
+    let timings_path = results.join("timings.json");
+    match serde_json::to_string_pretty(&timings_doc) {
+        Ok(json) => match std::fs::write(&timings_path, json + "\n") {
+            Ok(()) => println!("(timings written to {})", timings_path.display()),
+            Err(e) => {
+                eprintln!("could not write {}: {e}", timings_path.display());
+                std::process::exit(1);
+            }
+        },
+        Err(e) => {
+            eprintln!("could not serialize timings: {e}");
+            std::process::exit(1);
+        }
     }
 
     // Persist the speedup baseline next to the workspace manifest.

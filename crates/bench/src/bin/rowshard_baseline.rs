@@ -1,0 +1,155 @@
+//! Runs the `rowshard` experiment driver twice — a timed 1-thread pass and
+//! a timed parallel pass — verifies the two produce byte-identical
+//! structured outputs (the row-split solver and the sweep are deterministic
+//! at any width), persists the artifact under `results/`, prices one
+//! representative per-model cell directly (per-row vs per-table at an
+//! equal HBM budget with the warm tier capped at 2x), and records the
+//! baseline in `BENCH_rowshard.json` at the workspace root under the
+//! `recsim-bench-rowshard-v1` schema. Set RECSIM_QUICK=1 for the reduced
+//! sweep; RECSIM_THREADS caps the parallel pass.
+use std::time::Instant;
+
+use recsim_data::production::{production_model, ProductionModelId};
+use recsim_hw::units::Bytes;
+use recsim_hw::{Platform, ScmDevice};
+use recsim_placement::plan::{table_demands, ADAGRAD_STATE_MULTIPLIER};
+use recsim_shard::{per_table_plan_with_caps, RowShardSolver};
+
+/// Representative cell: lookup skew and HBM budget (as a fraction of each
+/// model's own footprint) for the per-model summary rows.
+const REF_ZIPF: f64 = 1.1;
+const REF_HBM_FRAC: f64 = 0.15;
+const REF_DDR_MULTIPLE: f64 = 2.0;
+
+fn main() {
+    let effort = recsim_bench::effort_from_env();
+    let run = recsim_core::experiments::rowshard::run;
+
+    // Serial timed pass: pool pinned to one thread. This pass is rendered,
+    // claim-checked, and persisted.
+    recsim_pool::set_thread_override(Some(1));
+    let serial_start = Instant::now();
+    let serial = run(effort);
+    let serial_total = serial_start.elapsed().as_secs_f64();
+    recsim_pool::set_thread_override(None);
+
+    print!("{}", serial.render());
+    println!();
+    let failures = serial.failed_claims().len();
+    if failures > 0 {
+        eprintln!(">>> rowshard: {failures} claim(s) FAILED");
+    }
+    if let Err(e) = recsim_bench::write_artifacts(&serial, &recsim_bench::results_dir()) {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
+
+    // Parallel timed pass: the skew x budget grid fans across workers.
+    let threads = recsim_pool::thread_count();
+    println!("==== parallel re-run across {threads} thread(s) ====");
+    let parallel_start = Instant::now();
+    let parallel = run(effort);
+    let parallel_total = parallel_start.elapsed().as_secs_f64();
+
+    let to_json = |out: &recsim_core::ExperimentOutput| {
+        serde_json::to_string(out).expect("experiment outputs serialize")
+    };
+    let outputs_identical = to_json(&serial) == to_json(&parallel);
+    if !outputs_identical {
+        eprintln!(">>> parallel rowshard output differs from the 1-thread run");
+    }
+
+    // Per-model summary rows: one representative cell priced directly, so
+    // the artifact carries absolute plan numbers, not just wall times.
+    let platform = Platform::big_basin(Bytes::from_gib(32)).with_scm(ScmDevice::optane_pmem());
+    let setups = [
+        (ProductionModelId::M1, 1600u64),
+        (ProductionModelId::M2, 3200),
+        (ProductionModelId::M3, 800),
+    ];
+    let mut models = Vec::new();
+    for (id, batch) in setups {
+        let config = production_model(id);
+        let total: u64 = table_demands(&config, ADAGRAD_STATE_MULTIPLIER)
+            .iter()
+            .map(|d| d.bytes)
+            .sum();
+        let hbm = Bytes::new((total as f64 * REF_HBM_FRAC) as u64);
+        let ddr = Bytes::new((hbm.as_u64() as f64 * REF_DDR_MULTIPLE) as u64);
+        let row = RowShardSolver::default()
+            .solve_with_caps(&config, &platform, batch, REF_ZIPF, hbm, ddr)
+            .unwrap_or_else(|e| {
+                eprintln!("per-row solve failed on {id:?}: {e}");
+                std::process::exit(1);
+            });
+        let table = per_table_plan_with_caps(&config, &platform, batch, REF_ZIPF, hbm, ddr)
+            .unwrap_or_else(|e| {
+                eprintln!("per-table solve failed on {id:?}: {e}");
+                std::process::exit(1);
+            });
+        let (_, _, scm_bytes) = row.bytes_per_tier();
+        let advantage = if table.cost().as_secs() > 0.0 {
+            1.0 - row.cost().as_secs() / table.cost().as_secs()
+        } else {
+            0.0
+        };
+        println!(
+            "{id:?}: per-row {:.3} ms vs per-table {:.3} ms ({:.1}% advantage, \
+             SCM {:.2} GiB) at zipf {REF_ZIPF}, HBM {:.0}% of footprint",
+            row.cost().as_secs() * 1e3,
+            table.cost().as_secs() * 1e3,
+            advantage * 100.0,
+            scm_bytes as f64 / (1u64 << 30) as f64,
+            REF_HBM_FRAC * 100.0,
+        );
+        models.push(serde_json::json!({
+            "id": format!("{id:?}"),
+            "batch": batch,
+            "per_row_ms": row.cost().as_secs() * 1e3,
+            "per_table_ms": table.cost().as_secs() * 1e3,
+            "advantage": advantage,
+            "scm_bytes": scm_bytes,
+            "fell_back": row.fell_back(),
+        }));
+    }
+
+    let speedup = if parallel_total > 0.0 {
+        serial_total / parallel_total
+    } else {
+        1.0
+    };
+    println!(
+        "==== serial {serial_total:.2}s, parallel {parallel_total:.2}s on {threads} thread(s) \
+         ({speedup:.2}x), outputs identical: {outputs_identical} ===="
+    );
+
+    let bench_doc = serde_json::json!({
+        "schema": "recsim-bench-rowshard-v1",
+        "threads": threads,
+        "effort": if effort == recsim_core::Effort::Quick { "quick" } else { "full" },
+        "models": models,
+        "serial_wall_secs": serial_total,
+        "parallel_wall_secs": parallel_total,
+        "speedup": speedup,
+        "outputs_identical": outputs_identical,
+    });
+    let root = recsim_verify::lint::workspace_root().unwrap_or_else(|| ".".into());
+    let bench_path = root.join("BENCH_rowshard.json");
+    match serde_json::to_string_pretty(&bench_doc) {
+        Ok(json) => match std::fs::write(&bench_path, json + "\n") {
+            Ok(()) => println!("(rowshard baseline written to {})", bench_path.display()),
+            Err(e) => {
+                eprintln!("could not write {}: {e}", bench_path.display());
+                std::process::exit(1);
+            }
+        },
+        Err(e) => {
+            eprintln!("could not serialize bench baseline: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if failures > 0 || !outputs_identical {
+        std::process::exit(1);
+    }
+}

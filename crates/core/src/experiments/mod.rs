@@ -20,6 +20,7 @@ pub mod fig14;
 pub mod fig15;
 pub mod locality;
 pub mod readers;
+pub mod rowshard;
 pub mod scaleout;
 pub mod serve;
 pub mod table1;
@@ -58,6 +59,7 @@ pub fn registry() -> Vec<(&'static str, Driver)> {
         ("compression", compression::run),
         ("faults", faults::run),
         ("serve", serve::run),
+        ("rowshard", rowshard::run),
     ]
 }
 

@@ -13,8 +13,9 @@ static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
 /// The drivers that reach `recsim-pool`: grid sweeps routed through
 /// `recsim_core::sweep`, plus the training-loop drivers (`automl`, `fig15`)
 /// whose parallelism is the batch-shard fan-out inside the trainer.
-const PARALLEL_DRIVERS: [&str; 14] = [
+const PARALLEL_DRIVERS: [&str; 15] = [
     "autoshard",
+    "rowshard",
     "faults",
     "serve",
     "automl",

@@ -436,6 +436,133 @@ impl SystemNoise {
     }
 }
 
+/// Ranks whose probability mass is tabulated exactly; beyond this the CDF
+/// switches to a closed-form integral approximation of the Zipf tail.
+const ZIPF_CDF_HEAD: u64 = 1 << 16;
+
+/// The access CDF of a Zipf-popular embedding table: what fraction of all
+/// lookups lands in the `k` most popular rows.
+///
+/// This is the curve RecShard-style per-row sharding reads its split points
+/// off: a steep CDF means a thin hot slice in HBM captures almost all
+/// traffic and the cold tail can live on SCM. The first
+/// [`ZIPF_CDF_HEAD`] ranks use exact partial harmonic sums; beyond that the
+/// tail mass comes from the midpoint-corrected integral
+/// `∫ x^{-s} dx`, whose error on the smooth tail is far below any split
+/// decision's sensitivity. `cdf` is monotone in `k` by construction.
+///
+/// # Example
+///
+/// ```
+/// use recsim_data::dist::ZipfCdf;
+///
+/// let cdf = ZipfCdf::new(10_000_000, 1.1);
+/// // A thin hot prefix soaks up most of the traffic...
+/// assert!(cdf.cdf(100_000) > 0.75);
+/// // ...and the inverse lookup finds the 90%-coverage row count.
+/// let hot = cdf.rows_for_coverage(0.9);
+/// assert!(cdf.cdf(hot) >= 0.9 && cdf.cdf(hot - 1) < 0.9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfCdf {
+    n: u64,
+    s: f64,
+    /// `head[k-1]` = Σ_{i=1..k} i^{-s}, for k ≤ min(n, ZIPF_CDF_HEAD).
+    head: Vec<f64>,
+    /// Total mass H(n) ≈ Σ_{i=1..n} i^{-s}.
+    total: f64,
+}
+
+impl ZipfCdf {
+    /// Builds the CDF for a table of `n` rows with Zipf exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is not positive and finite.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "Zipf support must be non-empty");
+        assert!(s > 0.0 && s.is_finite(), "Zipf exponent must be positive");
+        let head_len = n.min(ZIPF_CDF_HEAD) as usize;
+        let mut head = Vec::with_capacity(head_len);
+        let mut acc = 0.0f64;
+        // detsan: reduction-order — construction-time prefix sums, fixed
+        // sequential order at every thread count.
+        for i in 1..=head_len as u64 {
+            acc += (i as f64).powf(-s);
+            head.push(acc);
+        }
+        let total = acc + Self::tail_integral(head_len as u64, n, s);
+        Self { n, s, head, total }
+    }
+
+    /// Midpoint-corrected integral of `x^{-s}` from rank `from`
+    /// (exclusive) to rank `to` (inclusive): ∫_{from+0.5}^{to+0.5}.
+    fn tail_integral(from: u64, to: u64, s: f64) -> f64 {
+        if to <= from {
+            return 0.0;
+        }
+        let (a, b) = (from as f64 + 0.5, to as f64 + 0.5);
+        if (s - 1.0).abs() < 1e-12 {
+            (b / a).ln()
+        } else {
+            (b.powf(1.0 - s) - a.powf(1.0 - s)) / (1.0 - s)
+        }
+    }
+
+    /// Number of rows in the table.
+    pub fn support(&self) -> u64 {
+        self.n
+    }
+
+    /// The Zipf exponent the CDF was built with.
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    /// Fraction of all lookups that hit the `k` most popular rows.
+    /// `cdf(0) == 0.0`, `cdf(n) == 1.0`, monotone non-decreasing in `k`.
+    pub fn cdf(&self, k: u64) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        let k = k.min(self.n);
+        let head_len = self.head.len() as u64;
+        let mass = if k <= head_len {
+            self.head[k as usize - 1]
+        } else {
+            self.head[self.head.len() - 1] + Self::tail_integral(head_len, k, self.s)
+        };
+        (mass / self.total).clamp(0.0, 1.0)
+    }
+
+    /// Smallest row count `k` with `cdf(k) >= coverage` — the hot-slice
+    /// size that captures the requested traffic share.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coverage` is outside `[0, 1]`.
+    pub fn rows_for_coverage(&self, coverage: f64) -> u64 {
+        assert!(
+            (0.0..=1.0).contains(&coverage),
+            "coverage must be in [0, 1]"
+        );
+        if coverage <= 0.0 {
+            return 0;
+        }
+        let (mut lo, mut hi) = (0u64, self.n);
+        // Invariant: cdf(lo) < coverage <= cdf(hi).
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if self.cdf(mid) >= coverage {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        hi
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -463,6 +590,80 @@ mod tests {
         }
         // Top-1% of ranks should collect far more than 1% of mass.
         assert!(low > 2000, "got {low} hits in the top 10 ranks");
+    }
+
+    #[test]
+    fn zipf_cdf_is_monotone_and_normalized() {
+        for &(n, s) in &[(100u64, 0.8f64), (1 << 16, 1.0), (10_000_000, 1.2)] {
+            let cdf = ZipfCdf::new(n, s);
+            assert_eq!(cdf.cdf(0), 0.0);
+            assert!((cdf.cdf(n) - 1.0).abs() < 1e-12);
+            let mut prev = 0.0;
+            let mut k = 1;
+            while k <= n {
+                let c = cdf.cdf(k);
+                assert!(c >= prev, "cdf not monotone at k={k} (n={n}, s={s})");
+                assert!((0.0..=1.0).contains(&c));
+                prev = c;
+                k = (k * 7 / 2).max(k + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_cdf_head_matches_exact_harmonic_sums() {
+        let (n, s) = (1000u64, 1.1f64);
+        let cdf = ZipfCdf::new(n, s);
+        let total: f64 = (1..=n).map(|i| (i as f64).powf(-s)).sum();
+        for k in [1u64, 10, 100, 1000] {
+            let exact: f64 = (1..=k).map(|i| (i as f64).powf(-s)).sum::<f64>() / total;
+            assert!(
+                (cdf.cdf(k) - exact).abs() < 1e-9,
+                "k={k}: {} vs {exact}",
+                cdf.cdf(k)
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_cdf_tail_integral_is_tight_beyond_the_head() {
+        // A support just past the head boundary: the integral tail must
+        // agree with the exact sum to well under a percent.
+        let n = (1 << 16) + 50_000;
+        let s = 1.1;
+        let cdf = ZipfCdf::new(n, s);
+        let total: f64 = (1..=n).map(|i| (i as f64).powf(-s)).sum();
+        let k = (1 << 16) + 25_000;
+        let exact: f64 = (1..=k).map(|i| (i as f64).powf(-s)).sum::<f64>() / total;
+        assert!(
+            (cdf.cdf(k) - exact).abs() < 1e-4,
+            "tail approx off: {} vs {exact}",
+            cdf.cdf(k)
+        );
+    }
+
+    #[test]
+    fn steeper_zipf_concentrates_faster() {
+        let n = 1_000_000;
+        let flat = ZipfCdf::new(n, 0.8);
+        let steep = ZipfCdf::new(n, 1.4);
+        assert!(steep.cdf(100) > flat.cdf(100));
+        // The 90%-coverage hot-slice shrinks as the skew grows.
+        assert!(steep.rows_for_coverage(0.9) < flat.rows_for_coverage(0.9));
+    }
+
+    #[test]
+    fn rows_for_coverage_is_the_exact_inverse() {
+        let cdf = ZipfCdf::new(500_000, 1.1);
+        for &p in &[0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            let k = cdf.rows_for_coverage(p);
+            assert!(cdf.cdf(k) >= p, "cdf({k}) < {p}");
+            if k > 0 {
+                assert!(cdf.cdf(k - 1) < p, "cdf({}) already covers {p}", k - 1);
+            }
+        }
+        assert_eq!(cdf.rows_for_coverage(0.0), 0);
+        assert_eq!(cdf.rows_for_coverage(1.0), cdf.support());
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! * [`Platform`] — full machines assembled from the above, with presets
 //!   [`Platform::dual_socket_cpu`], [`Platform::big_basin`] and
 //!   [`Platform::zion_prototype`],
+//! * [`ScmDevice`] — an optional storage-class-memory / NVMe tier below
+//!   host DDR (capacity, random-read latency, sustained bandwidth), the
+//!   cold end of the per-row sharding hierarchy,
 //! * [`roofline`] — the cost model mapping a [`roofline::Work`] quantum onto
 //!   a device,
 //! * [`power`] — utilization-dependent power draw for perf-per-watt numbers.
@@ -42,11 +45,13 @@ pub mod memory;
 pub mod platform;
 pub mod power;
 pub mod roofline;
+pub mod scm;
 pub mod units;
 
 pub use device::{ComputeDevice, DeviceKind};
 pub use link::Link;
 pub use memory::{AccessPattern, Memory};
 pub use platform::{Platform, PlatformKind};
+pub use scm::ScmDevice;
 pub use power::PowerModel;
 pub use roofline::Work;

@@ -3,6 +3,7 @@
 use crate::device::{self, ComputeDevice};
 use crate::link::Link;
 use crate::power::PowerModel;
+use crate::scm::ScmDevice;
 use crate::units::Bytes;
 use recsim_verify::{Code, Diagnostic, Validate};
 use serde::{Deserialize, Serialize};
@@ -41,6 +42,12 @@ pub struct Platform {
     host_gpu_link: Option<Link>,
     network: Link,
     power: PowerModel,
+    /// Optional storage-class-memory / NVMe tier below host DDR. None on
+    /// every Table I preset; attached via [`Platform::with_scm`] for the
+    /// per-row sharding hierarchy. `serde(default)` keeps configs written
+    /// before this tier existed loadable.
+    #[serde(default)]
+    scm: Option<ScmDevice>,
 }
 
 impl Platform {
@@ -72,6 +79,7 @@ impl Platform {
             host_gpu_link,
             network,
             power,
+            scm: None,
         }
     }
 
@@ -87,6 +95,7 @@ impl Platform {
             host_gpu_link: None,
             network: Link::ethernet_25g(),
             power: PowerModel::cpu_server(),
+            scm: None,
         }
     }
 
@@ -102,6 +111,7 @@ impl Platform {
             host_gpu_link: Some(Link::pcie3_x16()),
             network: Link::ethernet_100g(),
             power: PowerModel::big_basin(),
+            scm: None,
         }
     }
 
@@ -129,6 +139,7 @@ impl Platform {
             host_gpu_link: Some(Link::pcie4_x16()),
             network: Link::ethernet_200g(),
             power: PowerModel::new(crate::units::Power::from_watts(6500.0), 0.30),
+            scm: None,
         }
     }
 
@@ -147,6 +158,7 @@ impl Platform {
             host_gpu_link: Some(Link::pcie3_x16()),
             network: Link::infiniband_4x100g(),
             power: PowerModel::zion(),
+            scm: None,
         }
     }
 
@@ -194,6 +206,21 @@ impl Platform {
     /// The platform power model.
     pub fn power(&self) -> &PowerModel {
         &self.power
+    }
+
+    /// The storage-class-memory / NVMe tier, when one is attached.
+    pub fn scm(&self) -> Option<&ScmDevice> {
+        self.scm.as_ref()
+    }
+
+    /// Returns a copy with an SCM/NVMe tier attached below host DDR —
+    /// the MTrainS-style heterogeneous hierarchy the per-row sharder
+    /// spills cold embedding rows into.
+    pub fn with_scm(&self, scm: ScmDevice) -> Platform {
+        Platform {
+            scm: Some(scm),
+            ..self.clone()
+        }
     }
 
     /// Aggregate accelerator memory capacity (Big Basin with 16 GiB SKUs:
@@ -365,6 +392,30 @@ impl Validate for Platform {
         ] {
             if let Some(link) = link {
                 validate_link(&mut diags, &at(part), link);
+            }
+        }
+        if let Some(scm) = &self.scm {
+            // `ScmDevice::new` upholds these, but Deserialize bypasses it.
+            if scm.capacity().as_u64() == 0 {
+                diags.push(Diagnostic::error(
+                    Code::InvalidPlatform,
+                    at("scm"),
+                    "SCM capacity must be positive",
+                ));
+            }
+            if scm.sustained_bandwidth().as_gb_per_s() <= 0.0 {
+                diags.push(Diagnostic::error(
+                    Code::InvalidPlatform,
+                    at("scm"),
+                    "SCM sustained bandwidth must be positive",
+                ));
+            }
+            if scm.read_latency().as_secs() < 0.0 {
+                diags.push(Diagnostic::error(
+                    Code::InvalidPlatform,
+                    at("scm"),
+                    "SCM read latency must be non-negative",
+                ));
             }
         }
         if self.power.envelope().as_watts() <= 0.0 {
@@ -580,6 +631,20 @@ mod tests {
         let t4 = bb.checkpoint_transfer_time(Bytes::from_gib(4));
         assert!((t4.as_secs() / t1.as_secs() - 4.0).abs() < 1e-9);
         assert!(t1.as_secs() > 0.0);
+    }
+
+    #[test]
+    fn scm_tier_attaches_and_validates() {
+        let bb = Platform::big_basin(Bytes::from_gib(32));
+        assert!(bb.scm().is_none(), "Table I presets carry no SCM tier");
+        let with = bb.with_scm(ScmDevice::optane_pmem());
+        assert_eq!(
+            with.scm().unwrap().capacity(),
+            Bytes::from_gib(1536),
+            "attached tier is readable back"
+        );
+        assert_eq!(with.gpus().len(), 8, "everything else is unchanged");
+        assert!(with.check().is_ok());
     }
 
     #[test]

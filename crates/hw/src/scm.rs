@@ -1,0 +1,155 @@
+//! Storage-class memory / NVMe tier below host DDR (MTrainS-style).
+//!
+//! MTrainS (PAPERS.md) shows DLRM embedding tables can spill their cold
+//! tail onto byte-addressable storage-class memory (Optane PMem) or NVMe
+//! flash: huge capacity at a latency/bandwidth cost that only the rarely
+//! touched rows can absorb. This module models such a device with the
+//! three numbers that matter for per-row sharding: capacity, per-access
+//! random-read latency, and sustained read bandwidth.
+
+use crate::units::{Bandwidth, Bytes, Duration};
+use serde::{Deserialize, Serialize};
+
+/// A storage-class-memory or NVMe device: the cold tier of the embedding
+/// memory hierarchy.
+///
+/// # Example
+///
+/// ```
+/// use recsim_hw::scm::ScmDevice;
+///
+/// let pmem = ScmDevice::optane_pmem();
+/// let flash = ScmDevice::nvme_flash();
+/// // Flash trades two decimal orders of latency for capacity.
+/// assert!(flash.capacity() > pmem.capacity());
+/// assert!(flash.read_latency().as_secs() > pmem.read_latency().as_secs() * 50.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScmDevice {
+    capacity: Bytes,
+    read_latency: Duration,
+    sustained_bandwidth: Bandwidth,
+}
+
+impl ScmDevice {
+    /// Builds a device from its three characteristic numbers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacity is zero or latency is negative (bandwidth
+    /// positivity is enforced by [`Bandwidth`] itself).
+    pub fn new(capacity: Bytes, read_latency: Duration, sustained_bandwidth: Bandwidth) -> Self {
+        assert!(capacity.as_u64() > 0, "SCM capacity must be positive");
+        assert!(
+            read_latency.as_secs() >= 0.0,
+            "SCM read latency must be non-negative"
+        );
+        Self {
+            capacity,
+            read_latency,
+            sustained_bandwidth,
+        }
+    }
+
+    /// Byte-addressable Optane-class persistent memory: ~1.5 TiB per
+    /// socket pair, ~300 ns loaded read latency, ~30 GB/s sustained
+    /// aggregate read bandwidth (MTrainS Table 1 ballpark).
+    pub fn optane_pmem() -> Self {
+        Self::new(
+            Bytes::from_gib(1536),
+            Duration::from_secs(300e-9),
+            Bandwidth::from_gb_per_s(30.0),
+        )
+    }
+
+    /// Datacenter NVMe flash: ~4 TiB, ~80 µs random-read latency, ~6 GB/s
+    /// sustained sequential reads.
+    pub fn nvme_flash() -> Self {
+        Self::new(
+            Bytes::from_gib(4096),
+            Duration::from_micros(80.0),
+            Bandwidth::from_gb_per_s(6.0),
+        )
+    }
+
+    /// Usable capacity.
+    pub fn capacity(&self) -> Bytes {
+        self.capacity
+    }
+
+    /// Per-access random-read latency.
+    pub fn read_latency(&self) -> Duration {
+        self.read_latency
+    }
+
+    /// Sustained (sequential) read bandwidth.
+    pub fn sustained_bandwidth(&self) -> Bandwidth {
+        self.sustained_bandwidth
+    }
+
+    /// Returns a copy with a different capacity — used by the tier-capacity
+    /// sweeps, which scale the cold tier while keeping its speed.
+    pub fn with_capacity(&self, capacity: Bytes) -> Self {
+        Self::new(capacity, self.read_latency, self.sustained_bandwidth)
+    }
+
+    /// Time to serve `accesses` independent random reads totalling `bytes`:
+    /// each access pays the device latency, and the payload streams at the
+    /// sustained bandwidth. This is the MTrainS access model — latency
+    /// dominates for small rows on flash, bandwidth for wide rows on PMem.
+    pub fn random_read_time(&self, bytes: Bytes, accesses: u64) -> Duration {
+        let latency = self.read_latency.as_secs() * accesses as f64;
+        let stream = self.sustained_bandwidth.transfer_time(bytes).as_secs();
+        Duration::from_secs(latency + stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_sane_shapes() {
+        let pmem = ScmDevice::optane_pmem();
+        assert_eq!(pmem.capacity(), Bytes::from_gib(1536));
+        assert!(pmem.read_latency().as_secs() < 1e-6, "PMem is sub-µs");
+        let flash = ScmDevice::nvme_flash();
+        assert!(flash.read_latency().as_secs() > 1e-5, "flash is tens of µs");
+        assert!(
+            pmem.sustained_bandwidth().as_gb_per_s() > flash.sustained_bandwidth().as_gb_per_s()
+        );
+    }
+
+    #[test]
+    fn random_read_time_decomposes_into_latency_and_stream() {
+        let dev = ScmDevice::new(
+            Bytes::from_gib(1),
+            Duration::from_micros(10.0),
+            Bandwidth::from_gb_per_s(1.0),
+        );
+        // 1000 accesses × 10 µs = 10 ms latency; 1 MB at 1 GB/s = 1 ms.
+        let t = dev.random_read_time(Bytes::new(1_000_000), 1000);
+        assert!((t.as_secs() - 0.011).abs() < 1e-9, "got {}", t.as_secs());
+        // Zero accesses, zero bytes: free.
+        assert_eq!(dev.random_read_time(Bytes::new(0), 0).as_secs(), 0.0);
+    }
+
+    #[test]
+    fn with_capacity_keeps_speed() {
+        let pmem = ScmDevice::optane_pmem();
+        let small = pmem.with_capacity(Bytes::from_gib(64));
+        assert_eq!(small.capacity(), Bytes::from_gib(64));
+        assert_eq!(small.read_latency(), pmem.read_latency());
+        assert_eq!(small.sustained_bandwidth(), pmem.sustained_bandwidth());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        ScmDevice::new(
+            Bytes::new(0),
+            Duration::from_micros(1.0),
+            Bandwidth::from_gb_per_s(1.0),
+        );
+    }
+}

@@ -25,6 +25,11 @@
 //! (seeded local search with simulated evaluation; its result is never
 //! worse than the best static Figure-8 strategy by construction).
 //!
+//! Beyond whole tables, [`rows`] splits each table into hot/warm/cold
+//! *row ranges* across HBM / host DDR / SCM from the Zipf access CDF
+//! ([`RowShardSolver`]), with [`per_table_plan`] as the whole-table
+//! baseline on the same cost model.
+//!
 //! # Example
 //!
 //! ```
@@ -43,9 +48,13 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod rows;
 pub mod solvers;
 
 pub use cost::{CostModel, MemoryTier};
+pub use rows::{
+    per_table_plan, per_table_plan_with_caps, RowShardError, RowShardPlan, RowShardSolver, RowSplit,
+};
 pub use solvers::{GreedySharder, PackSharder, RefineSharder};
 
 use recsim_data::schema::ModelConfig;

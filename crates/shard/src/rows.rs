@@ -1,0 +1,821 @@
+//! Per-row hot/cold embedding sharding over a heterogeneous memory
+//! hierarchy (RecShard + MTrainS).
+//!
+//! The per-table solvers in [`crate::solvers`] treat a table as atomic:
+//! either its whole footprint earns HBM or none of it does. RecShard's
+//! observation is that embedding-row popularity inside one table is itself
+//! Zipf-skewed, so a thin *hot slice* of rows captures most of the
+//! table's traffic — and MTrainS adds a storage-class-memory tier below
+//! host DDR where the barely touched cold tail can live almost for free.
+//! This module splits every table into three contiguous row ranges:
+//!
+//! ```text
+//! rank 1 ……… hot_rows | ……… hot+warm | ……………………… rows
+//!       HBM           |   host DDR   |   SCM / NVMe
+//! ```
+//!
+//! and prices the split with a hit-rate-weighted access cost: a range
+//! holding fraction `m` of the table's lookup mass (from the Zipf access
+//! CDF [`recsim_data::dist::ZipfCdf`]) costs `m × rate(tier)`, where the
+//! per-tier rates reuse the same hardware numbers as [`crate::CostModel`]
+//! plus [`recsim_hw::ScmDevice::random_read_time`] for the cold tier.
+//!
+//! [`RowShardSolver`] picks split points greedily off the CDF (log-spaced
+//! candidate boundaries, filled in benefit-per-byte order);
+//! [`per_table_plan`] is the whole-table baseline on the *same* rates and
+//! capacities, so the two plans are directly comparable. The solver falls
+//! back to the baseline's split when chunk rounding would ever let the
+//! baseline win, making "per-row ≥ per-table at equal HBM budget" hold by
+//! construction — the `rowshard` experiment asserts it anyway.
+
+use crate::MemoryTier;
+use recsim_data::dist::ZipfCdf;
+use recsim_data::schema::ModelConfig;
+use recsim_hw::units::{Bytes, Duration};
+use recsim_hw::{AccessPattern, Platform};
+use recsim_placement::plan::{table_demands, ADAGRAD_STATE_MULTIPLIER};
+use std::error::Error;
+use std::fmt;
+
+/// Default number of candidate split boundaries per table. Log-spaced, so
+/// the hot head is resolved row-by-row while the cold tail uses coarse
+/// chunks — matching where the CDF actually bends.
+pub const DEFAULT_CHUNKS_PER_TABLE: usize = 64;
+
+/// Why a per-row plan could not be produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RowShardError {
+    /// The platform has no GPUs (or no host↔GPU link) — per-row sharding
+    /// targets accelerated systems, like the per-table solvers.
+    NoGpus,
+    /// The platform has no SCM/NVMe tier attached
+    /// ([`Platform::with_scm`]).
+    NoScm,
+    /// The cold tail does not fit the SCM tier.
+    ScmOverflow {
+        /// Bytes the plan wanted to spill.
+        needed: u64,
+        /// Bytes the SCM device offers.
+        capacity: u64,
+    },
+}
+
+impl fmt::Display for RowShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RowShardError::NoGpus => write!(f, "per-row sharding needs GPUs and a host-GPU link"),
+            RowShardError::NoScm => write!(
+                f,
+                "per-row sharding needs an SCM/NVMe tier (Platform::with_scm)"
+            ),
+            RowShardError::ScmOverflow { needed, capacity } => write!(
+                f,
+                "cold tail ({}) exceeds SCM capacity ({})",
+                Bytes::new(*needed),
+                Bytes::new(*capacity)
+            ),
+        }
+    }
+}
+
+impl Error for RowShardError {}
+
+/// One table's row-range split across the three-tier hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RowSplit {
+    /// Distinct-table index in the model config.
+    pub table: usize,
+    /// Total rows in the table.
+    pub rows: u64,
+    /// Most popular `hot_rows` ranks live in GPU HBM.
+    pub hot_rows: u64,
+    /// The next `warm_rows` ranks live in host DDR.
+    pub warm_rows: u64,
+    /// Fraction of the table's lookup mass served by the hot slice.
+    pub hot_mass: f64,
+    /// Fraction of the table's lookup mass served by the warm slice.
+    pub warm_mass: f64,
+}
+
+impl RowSplit {
+    /// Rows in the SCM cold tail.
+    pub fn cold_rows(&self) -> u64 {
+        self.rows - self.hot_rows - self.warm_rows
+    }
+
+    /// Fraction of the table's lookup mass served from SCM.
+    pub fn cold_mass(&self) -> f64 {
+        (1.0 - self.hot_mass - self.warm_mass).max(0.0)
+    }
+}
+
+/// A per-row (or per-table baseline) placement over the HBM / host DDR /
+/// SCM hierarchy, with its hit-rate-weighted access cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowShardPlan {
+    solver: String,
+    splits: Vec<RowSplit>,
+    cost: Duration,
+    batch: u64,
+    hbm_bytes: u64,
+    host_bytes: u64,
+    scm_bytes: u64,
+    fell_back: bool,
+}
+
+impl RowShardPlan {
+    /// Which solver produced the plan (`"per-row"` or `"per-table"`).
+    pub fn solver(&self) -> &str {
+        &self.solver
+    }
+
+    /// The per-table row splits, in table order.
+    pub fn splits(&self) -> &[RowSplit] {
+        &self.splits
+    }
+
+    /// Hit-rate-weighted embedding access cost per training iteration.
+    pub fn cost(&self) -> Duration {
+        self.cost
+    }
+
+    /// Batch size the plan was priced at.
+    pub fn batch(&self) -> u64 {
+        self.batch
+    }
+
+    /// Table bytes per tier: `(hbm, host, scm)`, optimizer state included.
+    pub fn bytes_per_tier(&self) -> (u64, u64, u64) {
+        (self.hbm_bytes, self.host_bytes, self.scm_bytes)
+    }
+
+    /// Whether the per-row solver fell back to the per-table split
+    /// (possible only when chunk rounding erased its advantage).
+    pub fn fell_back(&self) -> bool {
+        self.fell_back
+    }
+
+    /// Fraction of all lookup traffic served from HBM.
+    pub fn hbm_traffic_share(&self, config: &ModelConfig, batch: u64) -> f64 {
+        let demands = table_demands(config, ADAGRAD_STATE_MULTIPLIER);
+        let mut hot = 0.0f64;
+        let mut total = 0.0f64;
+        // detsan: reduction-order — fixed table order at every thread count.
+        for split in &self.splits {
+            let gather = demands[split.table].gather_bytes_per_example as f64 * batch as f64;
+            hot += split.hot_mass * gather;
+            total += gather;
+        }
+        if total > 0.0 {
+            hot / total
+        } else {
+            0.0
+        }
+    }
+
+    /// Human-readable summary: solver, cost, tier bytes, then the largest
+    /// splits.
+    pub fn describe(&self) -> String {
+        let mut out = format!(
+            "solver: {}{}\npredicted embedding access time: {:.3} ms/iteration (batch {})\n\
+             bytes per tier: HBM {}, host {}, SCM {}\n",
+            self.solver,
+            if self.fell_back {
+                " (fell back to per-table split)"
+            } else {
+                ""
+            },
+            self.cost.as_secs() * 1e3,
+            self.batch,
+            Bytes::new(self.hbm_bytes),
+            Bytes::new(self.host_bytes),
+            Bytes::new(self.scm_bytes),
+        );
+        let mut by_size: Vec<&RowSplit> = self.splits.iter().collect();
+        by_size.sort_by(|a, b| b.rows.cmp(&a.rows).then(a.table.cmp(&b.table)));
+        out.push_str("table     rows       hot(HBM)   warm(DDR)  cold(SCM)  hot traffic\n");
+        const SHOWN: usize = 12;
+        for split in by_size.iter().take(SHOWN) {
+            out.push_str(&format!(
+                "{:<9} {:<10} {:<10} {:<10} {:<10} {:.1}%\n",
+                split.table,
+                split.rows,
+                split.hot_rows,
+                split.warm_rows,
+                split.cold_rows(),
+                split.hot_mass * 100.0
+            ));
+        }
+        if by_size.len() > SHOWN {
+            out.push_str(&format!("… and {} more tables\n", by_size.len() - SHOWN));
+        }
+        out
+    }
+}
+
+/// Per-tier access rates for one table: the cost of serving the table's
+/// *entire* per-iteration traffic from each tier. A row range holding
+/// fraction `m` of the lookup mass costs `m × rate`.
+#[derive(Debug, Clone, Copy)]
+struct TierRates {
+    hbm: f64,
+    ddr: f64,
+    scm: f64,
+}
+
+/// One candidate row range `(lo, hi]` of a table.
+#[derive(Debug, Clone, Copy)]
+struct Chunk {
+    hi: u64,
+    mass: f64,
+    bytes: u64,
+}
+
+/// Per-table solver state during the greedy fill.
+struct TableState {
+    table: usize,
+    rows: u64,
+    rates: TierRates,
+    chunks: Vec<Chunk>,
+    cdf: ZipfCdf,
+}
+
+/// Splits every embedding table into hot/warm/cold row ranges from the
+/// Zipf access CDF, greedily filling HBM then host DDR by benefit per
+/// byte. Deterministic pure function of its inputs at any thread count.
+#[derive(Debug, Clone, Copy)]
+pub struct RowShardSolver {
+    /// Candidate split boundaries per table (log-spaced).
+    pub chunks_per_table: usize,
+}
+
+impl Default for RowShardSolver {
+    fn default() -> Self {
+        Self {
+            chunks_per_table: DEFAULT_CHUNKS_PER_TABLE,
+        }
+    }
+}
+
+impl RowShardSolver {
+    /// Solves for a per-row plan: hot slices in HBM under `hbm_budget`
+    /// aggregate bytes, warm in host DDR (up to the host's full capacity),
+    /// cold tail in SCM. Lookup skew is `zipf_exponent`, the generator's
+    /// row-popularity exponent.
+    ///
+    /// # Errors
+    ///
+    /// [`RowShardError::NoGpus`] / [`RowShardError::NoScm`] when the
+    /// platform lacks a tier, [`RowShardError::ScmOverflow`] when the cold
+    /// tail exceeds the SCM device.
+    pub fn solve(
+        &self,
+        config: &ModelConfig,
+        platform: &Platform,
+        batch: u64,
+        zipf_exponent: f64,
+        hbm_budget: Bytes,
+    ) -> Result<RowShardPlan, RowShardError> {
+        let ddr = platform.host().memory().capacity();
+        self.solve_with_caps(config, platform, batch, zipf_exponent, hbm_budget, ddr)
+    }
+
+    /// [`RowShardSolver::solve`] with an explicit DDR byte budget — the
+    /// tier-capacity sweeps shrink the warm tier below the host's physical
+    /// capacity (DDR is shared with readers, activations and the OS) so
+    /// the cold tail genuinely lands on SCM.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RowShardSolver::solve`].
+    pub fn solve_with_caps(
+        &self,
+        config: &ModelConfig,
+        platform: &Platform,
+        batch: u64,
+        zipf_exponent: f64,
+        hbm_budget: Bytes,
+        ddr_budget: Bytes,
+    ) -> Result<RowShardPlan, RowShardError> {
+        let tables = table_states(
+            config,
+            platform,
+            batch,
+            zipf_exponent,
+            self.chunks_per_table,
+        )?;
+        let host_cap = ddr_budget
+            .as_u64()
+            .min(platform.host().memory().capacity().as_u64());
+        let scm_cap = scm_capacity(platform)?;
+
+        // Stage 1: fill the HBM budget with the highest-density chunks.
+        // Within a table the CDF is concave and the rates constant, so
+        // densities fall with rank and the global order visits each
+        // table's chunks front to back; the next-chunk counters enforce
+        // contiguity defensively anyway.
+        let hot_taken = fill_stage(
+            &tables,
+            &vec![0usize; tables.len()],
+            hbm_budget.as_u64(),
+            |t| t.rates.scm - t.rates.hbm,
+        );
+        // Stage 2: fill host DDR with what SCM would serve slowest.
+        let warm_taken = fill_stage(&tables, &hot_taken, host_cap, |t| t.rates.scm - t.rates.ddr);
+
+        let per_row = assemble_plan("per-row", &tables, &hot_taken, &warm_taken, batch, scm_cap)?;
+        let per_table = per_table_plan_with_caps(
+            config,
+            platform,
+            batch,
+            zipf_exponent,
+            hbm_budget,
+            ddr_budget,
+        )?;
+
+        // Never-worse guarantee: chunk rounding is the only way the
+        // whole-table baseline can win; adopt its split when it does.
+        let plan = if per_table.cost.as_secs() < per_row.cost.as_secs() - 1e-15 {
+            RowShardPlan {
+                solver: "per-row".into(),
+                fell_back: true,
+                ..per_table
+            }
+        } else {
+            per_row
+        };
+
+        if recsim_detsan::enabled() {
+            let mut d = recsim_detsan::StateDigest::new();
+            d.write_str(&plan.solver);
+            d.write_u64(plan.batch);
+            d.write_u64(hbm_budget.as_u64());
+            d.write_usize(plan.splits.len());
+            for split in &plan.splits {
+                d.write_usize(split.table);
+                d.write_u64(split.rows);
+                d.write_u64(split.hot_rows);
+                d.write_u64(split.warm_rows);
+            }
+            recsim_detsan::record("shard/rowsplit", d.finish());
+        }
+        Ok(plan)
+    }
+}
+
+/// The whole-table baseline on the same rates and capacities: each table
+/// goes entirely to one tier, greedily by benefit per byte — exactly what
+/// the per-table solvers do, priced with the row-shard cost model so the
+/// two plans are comparable.
+///
+/// # Errors
+///
+/// Same conditions as [`RowShardSolver::solve`].
+pub fn per_table_plan(
+    config: &ModelConfig,
+    platform: &Platform,
+    batch: u64,
+    zipf_exponent: f64,
+    hbm_budget: Bytes,
+) -> Result<RowShardPlan, RowShardError> {
+    let ddr = platform.host().memory().capacity();
+    per_table_plan_with_caps(config, platform, batch, zipf_exponent, hbm_budget, ddr)
+}
+
+/// [`per_table_plan`] with an explicit DDR byte budget, mirroring
+/// [`RowShardSolver::solve_with_caps`] so the comparison stays
+/// like-for-like under shrunk warm tiers.
+///
+/// # Errors
+///
+/// Same conditions as [`RowShardSolver::solve`].
+pub fn per_table_plan_with_caps(
+    config: &ModelConfig,
+    platform: &Platform,
+    batch: u64,
+    zipf_exponent: f64,
+    hbm_budget: Bytes,
+    ddr_budget: Bytes,
+) -> Result<RowShardPlan, RowShardError> {
+    let tables = table_states(config, platform, batch, zipf_exponent, 1)?;
+    let host_cap = ddr_budget
+        .as_u64()
+        .min(platform.host().memory().capacity().as_u64());
+    let scm_cap = scm_capacity(platform)?;
+
+    let total_bytes = |t: &TableState| -> u64 { t.chunks.iter().map(|c| c.bytes).sum() };
+    let mut tier = vec![MemoryTier::RemoteDram; tables.len()]; // placeholder = SCM
+    let mut order: Vec<usize> = (0..tables.len()).collect();
+
+    // HBM fill: benefit of the whole table over SCM, per byte.
+    order.sort_by(|&a, &b| {
+        let da = density(
+            tables[a].rates.scm - tables[a].rates.hbm,
+            total_bytes(&tables[a]),
+        );
+        let db = density(
+            tables[b].rates.scm - tables[b].rates.hbm,
+            total_bytes(&tables[b]),
+        );
+        db.total_cmp(&da).then(a.cmp(&b))
+    });
+    let mut hbm_left = hbm_budget.as_u64();
+    for &i in &order {
+        let bytes = total_bytes(&tables[i]);
+        if tables[i].rates.scm - tables[i].rates.hbm > 0.0 && bytes <= hbm_left {
+            tier[i] = MemoryTier::GpuHbm;
+            hbm_left -= bytes;
+        }
+    }
+    // DDR fill over the remainder.
+    order.sort_by(|&a, &b| {
+        let da = density(
+            tables[a].rates.scm - tables[a].rates.ddr,
+            total_bytes(&tables[a]),
+        );
+        let db = density(
+            tables[b].rates.scm - tables[b].rates.ddr,
+            total_bytes(&tables[b]),
+        );
+        db.total_cmp(&da).then(a.cmp(&b))
+    });
+    let mut host_left = host_cap;
+    for &i in &order {
+        if tier[i] != MemoryTier::RemoteDram {
+            continue;
+        }
+        let bytes = total_bytes(&tables[i]);
+        if tables[i].rates.scm - tables[i].rates.ddr > 0.0 && bytes <= host_left {
+            tier[i] = MemoryTier::HostDram;
+            host_left -= bytes;
+        }
+    }
+
+    let hot_taken: Vec<usize> = tier
+        .iter()
+        .map(|t| usize::from(*t == MemoryTier::GpuHbm))
+        .collect();
+    let warm_taken: Vec<usize> = tier
+        .iter()
+        .map(|t| usize::from(*t != MemoryTier::RemoteDram))
+        .collect();
+    assemble_plan(
+        "per-table",
+        &tables,
+        &hot_taken,
+        &warm_taken,
+        batch,
+        scm_cap,
+    )
+}
+
+fn density(gain: f64, bytes: u64) -> f64 {
+    gain.max(0.0) / bytes.max(1) as f64
+}
+
+fn scm_capacity(platform: &Platform) -> Result<u64, RowShardError> {
+    platform
+        .scm()
+        .map(|s| s.capacity().as_u64())
+        .ok_or(RowShardError::NoScm)
+}
+
+/// Builds per-table solver state: CDF, tier rates and log-spaced chunks.
+fn table_states(
+    config: &ModelConfig,
+    platform: &Platform,
+    batch: u64,
+    zipf_exponent: f64,
+    chunks_per_table: usize,
+) -> Result<Vec<TableState>, RowShardError> {
+    assert!(
+        zipf_exponent > 0.0 && zipf_exponent.is_finite(),
+        "Zipf exponent must be positive"
+    );
+    assert!(chunks_per_table >= 1, "need at least one chunk per table");
+    let hbm = platform
+        .gpus()
+        .first()
+        .map(|g| *g.memory())
+        .ok_or(RowShardError::NoGpus)?;
+    let pcie = *platform.host_gpu_link().ok_or(RowShardError::NoGpus)?;
+    let host = *platform.host().memory();
+    let scm = *platform.scm().ok_or(RowShardError::NoScm)?;
+    let row_bytes = config.row_bytes().max(1);
+
+    Ok(table_demands(config, ADAGRAD_STATE_MULTIPLIER)
+        .iter()
+        .map(|demand| {
+            let gather = Bytes::new(demand.gather_bytes_per_example.saturating_mul(batch));
+            let pooled2 = Bytes::new(
+                demand
+                    .pooled_bytes_per_example
+                    .saturating_mul(batch)
+                    .saturating_mul(2),
+            );
+            let accesses = gather.as_u64() / row_bytes;
+            let pcie_time = pcie.transfer_time(pooled2, 1).as_secs();
+            let rates = TierRates {
+                hbm: hbm.access_time(gather, AccessPattern::Random).as_secs(),
+                ddr: host.access_time(gather, AccessPattern::Random).as_secs() + pcie_time,
+                scm: scm.random_read_time(gather, accesses).as_secs() + pcie_time,
+            };
+            let rows = config.table_hash_size(demand.table).max(1);
+            let cdf = ZipfCdf::new(rows, zipf_exponent);
+            let chunks = chunk_table(&cdf, rows, demand.bytes, chunks_per_table);
+            TableState {
+                table: demand.table,
+                rows,
+                rates,
+                chunks,
+                cdf,
+            }
+        })
+        .collect())
+}
+
+/// Log-spaced candidate boundaries: `round(rows^(i/n))`, deduplicated,
+/// always ending at `rows`. Chunk bytes are exact proportional shares of
+/// the table footprint (they sum to `table_bytes` by telescoping).
+fn chunk_table(cdf: &ZipfCdf, rows: u64, table_bytes: u64, n: usize) -> Vec<Chunk> {
+    let mut bounds: Vec<u64> = Vec::with_capacity(n);
+    for i in 1..=n {
+        let k = (rows as f64).powf(i as f64 / n as f64).round() as u64;
+        let k = k.clamp(1, rows);
+        if bounds.last() != Some(&k) {
+            bounds.push(k);
+        }
+    }
+    if bounds.last() != Some(&rows) {
+        bounds.push(rows);
+    }
+    let share = |k: u64| -> u64 { (k as u128 * table_bytes as u128 / rows as u128) as u64 };
+    let mut chunks = Vec::with_capacity(bounds.len());
+    let mut lo = 0u64;
+    for &hi in &bounds {
+        chunks.push(Chunk {
+            hi,
+            mass: cdf.cdf(hi) - cdf.cdf(lo),
+            bytes: share(hi) - share(lo),
+        });
+        lo = hi;
+    }
+    chunks
+}
+
+/// Greedily accepts chunks in descending benefit-per-byte order into a
+/// tier with `budget` bytes, starting each table at `start[i]` (chunks
+/// already placed in faster tiers). A table freezes at its first rejected
+/// chunk so accepted ranges stay contiguous. Returns the per-table count
+/// of chunks placed up to and including this tier.
+fn fill_stage(
+    tables: &[TableState],
+    start: &[usize],
+    budget: u64,
+    gain: impl Fn(&TableState) -> f64,
+) -> Vec<usize> {
+    let mut candidates: Vec<(f64, usize, usize)> = Vec::new();
+    for (i, t) in tables.iter().enumerate() {
+        let g = gain(t);
+        for (c, chunk) in t.chunks.iter().enumerate().skip(start[i]) {
+            candidates.push((chunk.mass * g.max(0.0) / chunk.bytes.max(1) as f64, i, c));
+        }
+    }
+    candidates.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+
+    let mut taken = start.to_vec();
+    let mut frozen = vec![false; tables.len()];
+    let mut left = budget;
+    for &(d, i, c) in &candidates {
+        if frozen[i] || c != taken[i] || d <= 0.0 {
+            continue;
+        }
+        let bytes = tables[i].chunks[c].bytes;
+        if bytes <= left {
+            taken[i] = c + 1;
+            left -= bytes;
+        } else {
+            frozen[i] = true;
+        }
+    }
+    taken
+}
+
+/// Folds accepted chunk counts into splits, bytes per tier and the
+/// hit-rate-weighted cost; errors when the cold tail overflows SCM.
+fn assemble_plan(
+    solver: &str,
+    tables: &[TableState],
+    hot_taken: &[usize],
+    warm_taken: &[usize],
+    batch: u64,
+    scm_cap: u64,
+) -> Result<RowShardPlan, RowShardError> {
+    let mut splits = Vec::with_capacity(tables.len());
+    let (mut hbm_bytes, mut host_bytes, mut scm_bytes) = (0u64, 0u64, 0u64);
+    let mut cost = 0.0f64;
+    // detsan: reduction-order — fixed table order at every thread count.
+    for (i, t) in tables.iter().enumerate() {
+        let hot_rows = if hot_taken[i] > 0 {
+            t.chunks[hot_taken[i] - 1].hi
+        } else {
+            0
+        };
+        let warm_hi = if warm_taken[i] > 0 {
+            t.chunks[warm_taken[i] - 1].hi
+        } else {
+            0
+        };
+        let warm_rows = warm_hi.max(hot_rows) - hot_rows;
+        let hot_mass = t.cdf.cdf(hot_rows);
+        let warm_mass = t.cdf.cdf(hot_rows + warm_rows) - hot_mass;
+        let cold_mass = (1.0 - hot_mass - warm_mass).max(0.0);
+        cost += hot_mass * t.rates.hbm + warm_mass * t.rates.ddr + cold_mass * t.rates.scm;
+
+        let hot_b: u64 = t.chunks[..hot_taken[i]].iter().map(|c| c.bytes).sum();
+        let warm_b: u64 = t.chunks[hot_taken[i]..warm_taken[i]]
+            .iter()
+            .map(|c| c.bytes)
+            .sum();
+        let cold_b: u64 = t.chunks[warm_taken[i]..].iter().map(|c| c.bytes).sum();
+        hbm_bytes += hot_b;
+        host_bytes += warm_b;
+        scm_bytes += cold_b;
+
+        splits.push(RowSplit {
+            table: t.table,
+            rows: t.rows,
+            hot_rows,
+            warm_rows,
+            hot_mass,
+            warm_mass,
+        });
+    }
+    if scm_bytes > scm_cap {
+        return Err(RowShardError::ScmOverflow {
+            needed: scm_bytes,
+            capacity: scm_cap,
+        });
+    }
+    Ok(RowShardPlan {
+        solver: solver.into(),
+        splits,
+        cost: Duration::from_secs(cost),
+        batch,
+        hbm_bytes,
+        host_bytes,
+        scm_bytes,
+        fell_back: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recsim_data::production::{production_model, ProductionModelId};
+    use recsim_hw::ScmDevice;
+
+    fn platform() -> Platform {
+        Platform::big_basin(Bytes::from_gib(32)).with_scm(ScmDevice::optane_pmem())
+    }
+
+    fn m1() -> ModelConfig {
+        production_model(ProductionModelId::M1)
+    }
+
+    #[test]
+    fn splits_partition_every_table() {
+        let plan = RowShardSolver::default()
+            .solve(&m1(), &platform(), 1600, 1.1, Bytes::from_gib(8))
+            .expect("solvable");
+        assert_eq!(plan.splits().len(), m1().num_tables());
+        for split in plan.splits() {
+            assert_eq!(
+                split.hot_rows + split.warm_rows + split.cold_rows(),
+                split.rows
+            );
+            assert!(split.hot_mass >= 0.0 && split.hot_mass <= 1.0);
+        }
+        let (hbm, host, scm) = plan.bytes_per_tier();
+        let demands = table_demands(&m1(), ADAGRAD_STATE_MULTIPLIER);
+        let total: u64 = demands.iter().map(|d| d.bytes).sum();
+        assert_eq!(hbm + host + scm, total, "bytes are conserved exactly");
+    }
+
+    #[test]
+    fn hbm_budget_is_respected() {
+        for gib in [1u64, 4, 16] {
+            let budget = Bytes::from_gib(gib);
+            let plan = RowShardSolver::default()
+                .solve(&m1(), &platform(), 1600, 1.1, budget)
+                .expect("solvable");
+            let (hbm, host, _) = plan.bytes_per_tier();
+            assert!(hbm <= budget.as_u64(), "{hbm} > {}", budget.as_u64());
+            assert!(host <= platform().host().memory().capacity().as_u64());
+        }
+    }
+
+    #[test]
+    fn per_row_never_loses_to_per_table() {
+        for &(zipf, gib) in &[(0.8, 2u64), (1.1, 8), (1.4, 16)] {
+            let budget = Bytes::from_gib(gib);
+            let row = RowShardSolver::default()
+                .solve(&m1(), &platform(), 1600, zipf, budget)
+                .expect("solvable");
+            let table = per_table_plan(&m1(), &platform(), 1600, zipf, budget).expect("solvable");
+            assert!(
+                row.cost().as_secs() <= table.cost().as_secs() + 1e-15,
+                "zipf {zipf} budget {gib} GiB: per-row {} vs per-table {}",
+                row.cost().as_secs(),
+                table.cost().as_secs()
+            );
+        }
+    }
+
+    #[test]
+    fn tight_budget_still_captures_most_traffic() {
+        // 1 GiB of HBM is a tiny fraction of M1's footprint, yet the hot
+        // slices should capture well over half the lookup traffic.
+        let plan = RowShardSolver::default()
+            .solve(&m1(), &platform(), 1600, 1.1, Bytes::from_gib(1))
+            .expect("solvable");
+        let share = plan.hbm_traffic_share(&m1(), 1600);
+        let (hbm, _, _) = plan.bytes_per_tier();
+        let total: u64 = table_demands(&m1(), ADAGRAD_STATE_MULTIPLIER)
+            .iter()
+            .map(|d| d.bytes)
+            .sum();
+        assert!(
+            share > 0.5,
+            "hot share {share} from {:.1}% of bytes",
+            hbm as f64 / total as f64 * 100.0
+        );
+        assert!(hbm as f64 / (total as f64) < 0.05);
+    }
+
+    #[test]
+    fn steeper_skew_shrinks_the_hot_slice_coverage_point() {
+        // The crossover (rows needed for 90% coverage) moves left as the
+        // exponent grows — the claim the experiment sweeps.
+        let flat = ZipfCdf::new(10_000_000, 0.8).rows_for_coverage(0.9);
+        let mid = ZipfCdf::new(10_000_000, 1.1).rows_for_coverage(0.9);
+        let steep = ZipfCdf::new(10_000_000, 1.4).rows_for_coverage(0.9);
+        assert!(flat > mid && mid > steep, "{flat} > {mid} > {steep}");
+    }
+
+    #[test]
+    fn missing_tiers_are_reported() {
+        let no_scm = Platform::big_basin(Bytes::from_gib(32));
+        let err = RowShardSolver::default()
+            .solve(&m1(), &no_scm, 1600, 1.1, Bytes::from_gib(8))
+            .expect_err("no SCM tier");
+        assert_eq!(err, RowShardError::NoScm);
+
+        let cpu = Platform::dual_socket_cpu().with_scm(ScmDevice::nvme_flash());
+        let err = RowShardSolver::default()
+            .solve(&m1(), &cpu, 1600, 1.1, Bytes::from_gib(8))
+            .expect_err("no GPUs");
+        assert_eq!(err, RowShardError::NoGpus);
+        assert!(err.to_string().contains("GPUs"));
+    }
+
+    #[test]
+    fn scm_overflow_is_reported() {
+        // A host with 1 GiB of DDR cannot absorb M1's ~80 GiB of tables,
+        // so nearly everything spills — and a 1-byte SCM rejects it.
+        use recsim_hw::memory::Memory;
+        use recsim_hw::units::{Bandwidth, Duration as D, FlopRate};
+        use recsim_hw::{ComputeDevice, DeviceKind, Link, PowerModel};
+        let host = ComputeDevice::new(
+            DeviceKind::Cpu,
+            FlopRate::from_tflops(1.0),
+            0.3,
+            Memory::new(Bytes::from_gib(1), Bandwidth::from_gb_per_s(100.0), 0.25),
+            D::from_micros(1.0),
+        );
+        let tiny = Platform::custom(
+            "tiny-host",
+            host,
+            vec![recsim_hw::device::v100(Bytes::from_gib(32))],
+            None,
+            Some(Link::pcie3_x16()),
+            Link::ethernet_25g(),
+            PowerModel::cpu_server(),
+        )
+        .with_scm(ScmDevice::optane_pmem().with_capacity(Bytes::new(1)));
+        let err = RowShardSolver::default()
+            .solve(&m1(), &tiny, 1600, 1.1, Bytes::new(1024))
+            .expect_err("1-byte SCM cannot hold the tail");
+        assert!(matches!(err, RowShardError::ScmOverflow { .. }), "{err}");
+    }
+
+    #[test]
+    fn describe_mentions_all_three_tiers() {
+        let plan = RowShardSolver::default()
+            .solve(&m1(), &platform(), 1600, 1.1, Bytes::from_gib(8))
+            .expect("solvable");
+        let text = plan.describe();
+        assert!(text.contains("HBM") && text.contains("SCM"), "{text}");
+        assert!(text.contains("per-row"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests for the per-row sharder (ISSUE 10 satellite): every
+//! produced plan (i) partitions each table into hot/warm/cold ranges that
+//! cover it exactly, (ii) respects every tier's capacity, (iii) is
+//! identical at any pool thread count, and (iv) never costs more than the
+//! whole-table baseline at the same HBM budget.
+
+use proptest::prelude::*;
+use recsim_data::schema::ModelConfig;
+use recsim_hw::units::Bytes;
+use recsim_hw::{Platform, ScmDevice};
+use recsim_placement::plan::{table_demands, ADAGRAD_STATE_MULTIPLIER};
+use recsim_shard::{per_table_plan, RowShardPlan, RowShardSolver};
+
+fn platform() -> Platform {
+    Platform::big_basin(Bytes::from_gib(32)).with_scm(ScmDevice::optane_pmem())
+}
+
+/// Invariants (i) and (ii) for one plan.
+fn assert_row_plan_invariants(
+    plan: &RowShardPlan,
+    config: &ModelConfig,
+    platform: &Platform,
+    hbm_budget: Bytes,
+) {
+    let demands = table_demands(config, ADAGRAD_STATE_MULTIPLIER);
+    assert_eq!(plan.splits().len(), demands.len());
+    for (i, split) in plan.splits().iter().enumerate() {
+        assert_eq!(split.table, i, "splits stay in table order");
+        assert_eq!(
+            split.rows,
+            config.table_hash_size(i).max(1),
+            "split covers the table's real row count"
+        );
+        assert!(
+            split.hot_rows + split.warm_rows <= split.rows,
+            "ranges cannot exceed the table"
+        );
+        assert_eq!(
+            split.hot_rows + split.warm_rows + split.cold_rows(),
+            split.rows,
+            "hot/warm/cold partition table {i} exactly"
+        );
+        let masses = split.hot_mass + split.warm_mass + split.cold_mass();
+        assert!(
+            (masses - 1.0).abs() < 1e-9,
+            "lookup mass partitions to 1, got {masses}"
+        );
+    }
+    let (hbm, host, scm) = plan.bytes_per_tier();
+    let total: u64 = demands.iter().map(|d| d.bytes).sum();
+    assert_eq!(hbm + host + scm, total, "bytes conserved across tiers");
+    assert!(hbm <= hbm_budget.as_u64(), "HBM budget respected");
+    assert!(
+        host <= platform.host().memory().capacity().as_u64(),
+        "host DDR capacity respected"
+    );
+    assert!(
+        scm <= platform.scm().expect("attached").capacity().as_u64(),
+        "SCM capacity respected"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn row_splits_partition_tables_within_capacity(
+        sparse in 1usize..16,
+        hash in 1_000u64..40_000_000,
+        batch in 1u64..4096,
+        zipf in 0.5f64..1.6,
+        budget_gib in 1u64..32,
+    ) {
+        let config = ModelConfig::test_suite(64, sparse, hash, &[256]);
+        let budget = Bytes::from_gib(budget_gib);
+        let plat = platform();
+        let plan = RowShardSolver::default()
+            .solve(&config, &plat, batch, zipf, budget)
+            .expect("optane-sized SCM absorbs any test-suite tail");
+        assert_row_plan_invariants(&plan, &config, &plat, budget);
+    }
+
+    #[test]
+    fn row_solver_is_thread_count_invariant(
+        sparse in 1usize..12,
+        hash in 10_000u64..20_000_000,
+        zipf in 0.6f64..1.5,
+    ) {
+        let config = ModelConfig::test_suite(64, sparse, hash, &[256]);
+        let plat = platform();
+        let budget = Bytes::from_gib(4);
+        let mut baseline: Option<String> = None;
+        for threads in [1usize, 2, 8] {
+            recsim_pool::set_thread_override(Some(threads));
+            let plan = RowShardSolver::default()
+                .solve(&config, &plat, 1024, zipf, budget)
+                .expect("solvable");
+            let rendered = format!("{plan:?}");
+            recsim_pool::set_thread_override(None);
+            match &baseline {
+                None => baseline = Some(rendered),
+                Some(b) => prop_assert_eq!(
+                    b, &rendered,
+                    "per-row plan differs at {} threads", threads
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn per_row_never_loses_to_per_table_at_equal_budget(
+        sparse in 1usize..16,
+        hash in 1_000u64..40_000_000,
+        zipf in 0.5f64..1.6,
+        budget_gib in 1u64..32,
+    ) {
+        let config = ModelConfig::test_suite(64, sparse, hash, &[256]);
+        let plat = platform();
+        let budget = Bytes::from_gib(budget_gib);
+        let row = RowShardSolver::default()
+            .solve(&config, &plat, 1024, zipf, budget)
+            .expect("solvable");
+        let table = per_table_plan(&config, &plat, 1024, zipf, budget)
+            .expect("solvable");
+        prop_assert!(
+            row.cost().as_secs() <= table.cost().as_secs() + 1e-15,
+            "per-row {}s must not lose to per-table {}s (zipf {}, {} GiB)",
+            row.cost().as_secs(), table.cost().as_secs(), zipf, budget_gib
+        );
+    }
+}

@@ -23,6 +23,10 @@ pub const KERNELS_SCHEMA: &str = "recsim-bench-kernels-v1";
 /// written by the `serve_baseline` binary).
 pub const SERVE_SCHEMA: &str = "recsim-bench-serve-v1";
 
+/// The schema tag of the per-row sharding baseline (`BENCH_rowshard.json`,
+/// written by the `rowshard_baseline` binary).
+pub const ROWSHARD_SCHEMA: &str = "recsim-bench-rowshard-v1";
+
 /// Top-level fields of the `recsim-bench-sweeps-v1` schema besides
 /// `schema` itself (which is value-checked, not just presence-checked).
 pub const REQUIRED_KEYS: [&str; 7] = [
@@ -59,12 +63,25 @@ pub const SERVE_REQUIRED_KEYS: [&str; 7] = [
     "outputs_identical",
 ];
 
+/// Top-level fields of the `recsim-bench-rowshard-v1` schema besides
+/// `schema`.
+pub const ROWSHARD_REQUIRED_KEYS: [&str; 7] = [
+    "effort",
+    "threads",
+    "models",
+    "serial_wall_secs",
+    "parallel_wall_secs",
+    "speedup",
+    "outputs_identical",
+];
+
 /// The required key set for a recognized schema tag.
 fn required_keys_for(tag: &str) -> Option<&'static [&'static str]> {
     match tag {
         BENCH_SCHEMA => Some(&REQUIRED_KEYS),
         KERNELS_SCHEMA => Some(&KERNELS_REQUIRED_KEYS),
         SERVE_SCHEMA => Some(&SERVE_REQUIRED_KEYS),
+        ROWSHARD_SCHEMA => Some(&ROWSHARD_REQUIRED_KEYS),
         _ => None,
     }
 }
@@ -107,7 +124,7 @@ pub fn check_bench_artifacts(
                 name,
                 format!(
                     "schema tag `{tag}` is none of `{BENCH_SCHEMA}`, `{KERNELS_SCHEMA}`, \
-                     or `{SERVE_SCHEMA}`"
+                     `{SERVE_SCHEMA}`, or `{ROWSHARD_SCHEMA}`"
                 ),
             )),
             None => out.push(Diagnostic::error(
@@ -115,7 +132,8 @@ pub fn check_bench_artifacts(
                 name,
                 format!(
                     "artifact has no `schema` string field (`{BENCH_SCHEMA}`, \
-                     `{KERNELS_SCHEMA}`, or `{SERVE_SCHEMA}` expected)"
+                     `{KERNELS_SCHEMA}`, `{SERVE_SCHEMA}`, or `{ROWSHARD_SCHEMA}` \
+                     expected)"
                 ),
             )),
         }
@@ -310,6 +328,28 @@ mod tests {
         let diags = check_bench_artifacts(&artifacts, &producer);
         assert_eq!(diags.len(), 1);
         assert!(diags[0].message().contains("scenarios"));
+    }
+
+    #[test]
+    fn rowshard_schema_is_accepted_with_its_own_keys() {
+        let doc = format!(
+            "{{\"schema\": \"{ROWSHARD_SCHEMA}\", \"effort\": \"quick\", \"threads\": 4, \
+             \"models\": [{{\"id\": \"M1\", \"advantage\": 0.4}}], \
+             \"serial_wall_secs\": 0.6, \"parallel_wall_secs\": 0.3, \
+             \"speedup\": 2.0, \"outputs_identical\": true}}"
+        );
+        let producer = vec![(
+            "crates/bench/src/bin/rowshard_baseline.rs".to_string(),
+            "let path = root.join(\"BENCH_rowshard.json\");".to_string(),
+        )];
+        let artifacts = vec![("BENCH_rowshard.json".to_string(), doc.clone())];
+        assert!(check_bench_artifacts(&artifacts, &producer).is_empty());
+
+        let broken = doc.replace("\"models\"", "\"tables\"");
+        let artifacts = vec![("BENCH_rowshard.json".to_string(), broken)];
+        let diags = check_bench_artifacts(&artifacts, &producer);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message().contains("models"));
     }
 
     #[test]

@@ -64,6 +64,7 @@ pub fn allowed_internal(package: &str) -> Option<&'static [&'static str]> {
     ];
     const SHARD: &[&str] = &[
         "recsim-verify",
+        "recsim-detsan",
         "recsim-metrics",
         "recsim-hw",
         "recsim-data",

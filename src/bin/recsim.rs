@@ -90,6 +90,8 @@ fn print_help() {
          SHARD: recsim shard bb|bb16|zion\n\
          \x20 --solver greedy|pack|refine [refine]  --model m1|m2|m3 (production\n\
          \x20 stand-in instead of the simulate model flags)  --batch N [1600]\n\
+         \x20 --rows (per-row hot/cold split over HBM/DDR/SCM)  --zipf S [1.1]\n\
+         \x20 --hbm-gib N [8]  --ddr-gib N [host capacity]  --scm pmem|nvme [pmem] (with --rows)\n\
          \n\
          FAULTS: recsim faults bb|bb16|scaleout\n\
          \x20 --policy checkpoint|elastic|fail-stop|all [all]  --mtbf SECONDS [21600]\n\
@@ -438,6 +440,9 @@ fn cmd_shard(args: &[String]) -> ExitCode {
         None => build_model(&flags),
     };
     let batch = get(&flags, "batch", 1600u64);
+    if flags.contains_key("rows") {
+        return cmd_shard_rows(&flags, &model, &platform, batch);
+    }
     let solver_name = flags.get("solver").map_or("refine", String::as_str);
     let Some(solver) = solver_by_name(solver_name) else {
         eprintln!("unknown solver `{solver_name}` (greedy, pack, refine)");
@@ -462,6 +467,60 @@ fn cmd_shard(args: &[String]) -> ExitCode {
         }
         Err(e) => {
             eprintln!("auto-sharding failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `recsim shard <setup> --rows` — per-row hot/cold sharding over the
+/// HBM / host DDR / SCM hierarchy: split every table into row ranges from
+/// the Zipf access CDF, print the plan and compare it against the
+/// whole-table baseline at the same HBM budget. `--zipf` sets the lookup
+/// skew, `--hbm-gib` the aggregate HBM byte budget for hot slices,
+/// `--ddr-gib` caps the warm host-DDR tier (default: the host's physical
+/// capacity), and `--scm pmem|nvme` picks the cold tier device.
+fn cmd_shard_rows(
+    flags: &HashMap<String, String>,
+    model: &ModelConfig,
+    platform: &Platform,
+    batch: u64,
+) -> ExitCode {
+    let scm = match flags.get("scm").map(String::as_str) {
+        None | Some("pmem") => ScmDevice::optane_pmem(),
+        Some("nvme") => ScmDevice::nvme_flash(),
+        Some(other) => {
+            eprintln!("unknown SCM device `{other}` (pmem, nvme)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let platform = platform.with_scm(scm);
+    let zipf = get(flags, "zipf", 1.1f64);
+    let budget = Bytes::from_gib(get(flags, "hbm-gib", 8u64));
+    let host_gib = platform.host().memory().capacity().as_u64() >> 30;
+    let ddr = Bytes::from_gib(get(flags, "ddr-gib", host_gib));
+    let row = match RowShardSolver::default()
+        .solve_with_caps(model, &platform, batch, zipf, budget, ddr)
+    {
+        Ok(plan) => plan,
+        Err(e) => {
+            eprintln!("per-row sharding failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", row.describe());
+    match per_table_plan_with_caps(model, &platform, batch, zipf, budget, ddr) {
+        Ok(table) => {
+            let row_ms = row.cost().as_secs() * 1e3;
+            let table_ms = table.cost().as_secs() * 1e3;
+            println!(
+                "per-table baseline at the same {budget} HBM budget: {table_ms:.3} ms — \
+                 per-row plan is {:+.1}%",
+                (row_ms / table_ms - 1.0) * 100.0
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("per-table baseline failed: {e}");
             ExitCode::FAILURE
         }
     }

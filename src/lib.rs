@@ -98,7 +98,7 @@ pub mod prelude {
         FaultError, FaultSchedule, GoodputReport, RecoveryPolicy, SlowdownField, POLICY_NAMES,
     };
     pub use recsim_hw::units::{Bandwidth, Bytes, Duration, FlopRate, Flops, Power};
-    pub use recsim_hw::{Platform, PlatformKind};
+    pub use recsim_hw::{Platform, PlatformKind, ScmDevice};
     pub use recsim_model::{DlrmModel, Matrix};
     pub use recsim_placement::{PartitionScheme, Placement, PlacementStrategy};
     pub use recsim_serve::{
@@ -106,8 +106,9 @@ pub mod prelude {
         ModelPush, ServeConfig, ServeReport, Spike, WorkloadConfig,
     };
     pub use recsim_shard::{
-        best_static, solver_by_name, static_plans, GreedySharder, PackSharder, RefineSharder,
-        ShardError, ShardPlan, Sharder,
+        best_static, per_table_plan, per_table_plan_with_caps, solver_by_name, static_plans,
+        GreedySharder, PackSharder, RefineSharder, RowShardError, RowShardPlan, RowShardSolver,
+        RowSplit, ShardError, ShardPlan, Sharder,
     };
     pub use recsim_sim::readers::ReaderModel;
     pub use recsim_sim::scaleout::ScaleOutSim;

@@ -61,8 +61,9 @@ fn registry_covers_every_paper_artifact() {
         "readers",
         "compression",
         "serve",
+        "rowshard",
     ] {
         assert!(ids.contains(&expected), "missing driver for {expected}");
     }
-    assert_eq!(ids.len(), 23);
+    assert_eq!(ids.len(), 24);
 }
